@@ -1,0 +1,72 @@
+"""Ablation: the SMAC's bandwidth claim (paper Sections 3.3.2-3.3.3).
+
+"Store prefetching is effective but requires a significant amount of
+core-to-L2 bandwidth ... the Store Miss Accelerator achieves similar gains
+as store prefetching while conserving L2 cache bandwidth."
+
+This bench quantifies both halves on the scaled SMAC configuration: EPI
+improvement AND L2 write-path requests per committed store.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import StorePrefetchMode
+from repro.harness.figures import SMAC_ENTRY_SWEEP, smac_memory_config
+
+from conftest import once
+
+
+def run_bandwidth_study(bench):
+    results = {}
+    for workload in ("database", "specweb"):
+        rows = {}
+        # Prefetching: better EPI, extra write requests.
+        for label, mode in (("Sp0", StorePrefetchMode.NONE),
+                            ("Sp1", StorePrefetchMode.AT_RETIRE),
+                            ("Sp2", StorePrefetchMode.AT_EXECUTE)):
+            result = bench.run(
+                workload,
+                memory_config=smac_memory_config(None),
+                tag="none",
+                store_prefetch=mode,
+            )
+            rows[label] = {
+                "epi": result.epi_per_1000,
+                "overhead": result.store_bandwidth_overhead,
+            }
+        # SMAC without prefetching: better EPI, no extra requests.
+        result = bench.run(
+            workload,
+            memory_config=smac_memory_config(SMAC_ENTRY_SWEEP[-1]),
+            tag=f"smac-{SMAC_ENTRY_SWEEP[-1]}",
+            store_prefetch=StorePrefetchMode.NONE,
+        )
+        rows["SMAC"] = {
+            "epi": result.epi_per_1000,
+            "overhead": result.store_bandwidth_overhead,
+        }
+        results[workload] = rows
+    return results
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_smac_conserves_bandwidth(benchmark, bench_smac):
+    results = once(benchmark, run_bandwidth_study, bench_smac)
+    print()
+    for workload, rows in results.items():
+        print(f"== {workload} ==")
+        for label, row in rows.items():
+            print(f"  {label:5s} EPI/1000={row['epi']:.3f} "
+                  f"write-overhead={row['overhead']:.4f} req/store")
+
+    for workload, rows in results.items():
+        # The SMAC improves on Sp0 without any prefetch requests.
+        assert rows["SMAC"]["epi"] < rows["Sp0"]["epi"]
+        assert rows["SMAC"]["overhead"] == 0.0
+        # Prefetching pays measurable write-path overhead; Sp1's is at most
+        # marginally above Sp2's (the paper notes Sp1's can be *smaller*
+        # because coalesced stores skip their prefetch).
+        assert rows["Sp1"]["overhead"] > 0.0
+        assert rows["Sp2"]["overhead"] >= rows["Sp1"]["overhead"] * 0.9

@@ -1,0 +1,66 @@
+"""Ablation: memory-latency sensitivity of the overlap window and scout.
+
+EPI itself is latency-independent by construction (that is the metric's
+point), but two mechanisms scale with latency measured in instructions:
+the silent-overlap window (Table 2) and the Hardware Scout depth.  This
+ablation verifies both directions:
+
+- longer latency -> fewer fully overlapped stores (harder to hide),
+- longer latency -> deeper scout -> more of the miss stream prefetched.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.config import ScoutMode
+from repro.core import MlpSimulator
+
+from conftest import once
+
+
+LATENCIES = (250, 500, 1000)
+
+
+def run_latency_sweep(bench):
+    annotated = bench.annotated("specweb")
+    results = {}
+    for latency in LATENCIES:
+        config = dataclasses.replace(
+            bench.simulation_config("specweb"),
+        ).with_memory(memory_latency=latency)
+        base = MlpSimulator(config).run(annotated)
+        scout = MlpSimulator(
+            config.with_core(scout=ScoutMode.HWS2)
+        ).run(annotated)
+        results[latency] = {
+            "overlap_fraction": base.store_overlap_fraction,
+            "scout_epi": scout.epi_per_1000,
+            "base_epi": base.epi_per_1000,
+        }
+    return results
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_latency_sensitivity(benchmark, bench_default):
+    results = once(benchmark, run_latency_sweep, bench_default)
+    print()
+    for latency, row in results.items():
+        print(
+            f"  latency={latency}: overlap={row['overlap_fraction']:.3f} "
+            f"base EPI={row['base_epi']:.3f} HWS2 EPI={row['scout_epi']:.3f}"
+        )
+
+    # Fully overlapping a store gets harder as the latency grows.
+    overlaps = [results[latency]["overlap_fraction"] for latency in LATENCIES]
+    assert overlaps[0] >= overlaps[1] >= overlaps[2]
+
+    # Scout keeps (or improves) its effectiveness as latency grows: the
+    # episode covers proportionally more instructions.
+    gains = [
+        results[latency]["base_epi"] - results[latency]["scout_epi"]
+        for latency in LATENCIES
+    ]
+    assert gains[-1] >= gains[0] * 0.9

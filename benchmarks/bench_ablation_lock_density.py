@@ -1,0 +1,55 @@
+"""Ablation: the serialization cliff.
+
+The paper attributes the PC store problem to serializing instructions in
+lock acquire/release.  Sweeping the generator's critical-section density
+shows the cliff directly: EPI under PC rises with lock density while WC is
+much flatter, and the PC-WC gap widens.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import ExperimentSettings, Workbench
+from repro.workloads import SPECWEB
+
+from conftest import MEASURE, SEED, WARMUP, once
+
+DENSITIES = (0.5, 2.0, 6.0)
+
+
+def run_density_sweep():
+    results = {}
+    for locks_per_1000 in DENSITIES:
+        bench = Workbench(ExperimentSettings(
+            warmup=WARMUP, measure=MEASURE, seed=SEED, calibrate=False,
+        ))
+        bench.set_profile(
+            "specweb", SPECWEB.with_(locks_per_1000=locks_per_1000)
+        )
+        pc = bench.run("specweb").epi_per_1000
+        wc = bench.run("specweb", variant="wc").epi_per_1000
+        results[locks_per_1000] = {"pc": pc, "wc": wc, "gap": pc - wc}
+    return results
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_lock_density_cliff(benchmark):
+    results = once(benchmark, run_density_sweep)
+    print()
+    for density, row in results.items():
+        print(
+            f"  locks/1000={density}: PC={row['pc']:.3f} WC={row['wc']:.3f} "
+            f"gap={row['gap']:.3f}"
+        )
+
+    densities = list(DENSITIES)
+    # PC EPI grows with lock density.
+    pcs = [results[d]["pc"] for d in densities]
+    assert pcs[0] < pcs[-1]
+    # The PC-WC gap widens with lock density.
+    gaps = [results[d]["gap"] for d in densities]
+    assert gaps[0] < gaps[-1]
+    # WC is flatter than PC across the sweep.
+    wcs = [results[d]["wc"] for d in densities]
+    assert (wcs[-1] - wcs[0]) < (pcs[-1] - pcs[0])

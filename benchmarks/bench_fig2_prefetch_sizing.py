@@ -1,0 +1,72 @@
+"""Figure 2: store prefetching x store buffer size x store queue size.
+
+The paper's key results, asserted here:
+
+1. store prefetching (Sp1 or Sp2) is highly effective for all workloads
+   except SPECjbb2000 (whose limiter is serialization),
+2. for SPECjbb/SPECweb, even Sp2 leaves a gap to perfect stores and
+   enlarging the queues has little effect,
+3. store MLP is insensitive to store buffer size (8 entries suffice for the
+   64-entry ROB),
+4. EPI is monotonically non-increasing in store queue size.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import StorePrefetchMode
+from repro.harness.figures import figure2
+from repro.harness.formatting import format_series
+
+from conftest import ALL_WORKLOADS, once
+
+
+@pytest.mark.benchmark(group="figure2")
+def test_figure2_prefetch_and_sizing(benchmark, bench_default):
+    results = once(benchmark, figure2, bench_default, ALL_WORKLOADS)
+    print()
+    for workload, series in results.items():
+        print(f"== {workload} (epochs per 1000 instructions) ==")
+        for mode in ("Sp0", "Sp1", "Sp2"):
+            points = {
+                key.split("/", 1)[1]: value
+                for key, value in series.items()
+                if key.startswith(mode + "/")
+            }
+            print(" ", format_series(mode, points))
+        print(f"  perfect stores: {series['perfect']:.3f}")
+
+    for workload, series in results.items():
+        default_key = "sb16/sq32"
+        sp0 = series[f"Sp0/{default_key}"]
+        sp1 = series[f"Sp1/{default_key}"]
+        sp2 = series[f"Sp2/{default_key}"]
+        perfect = series["perfect"]
+
+        # (1) prefetching helps (never hurts).
+        assert sp1 <= sp0 * 1.01
+        assert sp2 <= sp1 * 1.02
+
+        # (4) monotone in SQ size for the no-prefetch configuration.
+        for sb in (8, 16, 32):
+            epi_by_sq = [series[f"Sp0/sb{sb}/sq{sq}"]
+                         for sq in (16, 32, 64, 256)]
+            for small, large in zip(epi_by_sq, epi_by_sq[1:]):
+                assert large <= small * 1.03
+
+        # (3) store buffer size is not the limiter at the default SQ.
+        sb8 = series["Sp1/sb8/sq32"]
+        sb32 = series["Sp1/sb32/sq32"]
+        assert abs(sb8 - sb32) <= 0.15 * sb8 + 0.05
+
+    # (1)/(2) split: prefetching recovers most of the store cost for the
+    # database workload, but SPECjbb/SPECweb stay serialization-bound.
+    for workload in ("specjbb", "specweb"):
+        series = results[workload]
+        assert series["Sp2/sb16/sq256"] > series["perfect"] * 1.05
+
+    db = results["database"]
+    db_gap_sp0 = db["Sp0/sb16/sq32"] - db["perfect"]
+    db_gap_sp1 = db["Sp1/sb16/sq32"] - db["perfect"]
+    assert db_gap_sp1 < 0.5 * db_gap_sp0

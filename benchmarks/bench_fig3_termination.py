@@ -1,0 +1,65 @@
+"""Figure 3: window termination conditions, default config (A) and
+SLE + prefetch-past-serializing (B).
+
+Paper claims asserted: store-serialize dominates epochs with store MLP >= 1
+for TPC-W/SPECjbb/SPECweb in (A); after SLE it collapses and becomes
+negligible for SPECjbb/SPECweb in (B).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.epoch import TerminationCondition
+from repro.harness.figures import figure3
+
+from conftest import ALL_WORKLOADS, once
+
+
+def _print(results, label):
+    print(f"-- Figure 3{label}: fraction of epochs (store MLP >= 1) --")
+    for workload, fractions in results.items():
+        ranked = sorted(fractions.items(), key=lambda kv: -kv[1])
+        row = " ".join(f"{cond.value}={frac:.3f}" for cond, frac in ranked)
+        print(f"  {workload}: {row}")
+
+
+@pytest.mark.benchmark(group="figure3")
+def test_figure3a_default_terminations(benchmark, bench_default):
+    results = once(benchmark, figure3, bench_default, ALL_WORKLOADS, sle=False)
+    print()
+    _print(results, "A")
+
+    for workload in ("tpcw", "specjbb", "specweb"):
+        fractions = results[workload]
+        serialize = fractions.get(TerminationCondition.STORE_SERIALIZE, 0.0)
+        assert serialize == max(fractions.values()), (
+            f"{workload}: store serialize must dominate Figure 3A"
+        )
+
+    # The database workload is not serialize-dominated: its store misses
+    # overlap with window-full and other conditions.
+    db = results["database"]
+    db_serialize = db.get(TerminationCondition.STORE_SERIALIZE, 0.0)
+    assert db_serialize < 0.5 * sum(db.values())
+
+
+@pytest.mark.benchmark(group="figure3")
+def test_figure3b_sle_terminations(benchmark, bench_default):
+    results_a = figure3(bench_default, ALL_WORKLOADS, sle=False)
+    results_b = once(
+        benchmark, figure3, bench_default, ALL_WORKLOADS, sle=True
+    )
+    print()
+    _print(results_b, "B")
+
+    for workload in ("specjbb", "specweb"):
+        before = results_a[workload].get(
+            TerminationCondition.STORE_SERIALIZE, 0.0
+        )
+        after = results_b[workload].get(
+            TerminationCondition.STORE_SERIALIZE, 0.0
+        )
+        assert after < 0.25 * before + 0.01, (
+            f"{workload}: SLE must collapse store-serialize terminations"
+        )

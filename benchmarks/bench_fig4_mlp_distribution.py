@@ -1,0 +1,59 @@
+"""Figure 4: store MLP distributions segmented by load+instruction MLP.
+
+Paper claims asserted: the database workload has few *expensive* missing
+stores (lone store miss overlapped with nothing), while for SPECjbb2000 and
+SPECweb99 the majority of store-miss epochs are expensive — those stores
+precede serializing instructions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.figures import figure4
+
+from conftest import ALL_WORKLOADS, once
+
+
+@pytest.mark.benchmark(group="figure4")
+def test_figure4_mlp_distributions(benchmark, bench_default):
+    results = once(benchmark, figure4, bench_default, ALL_WORKLOADS)
+    print()
+    for workload, cells in results.items():
+        print(f"== {workload}: fraction of epochs by (storeMLP, load+instMLP) ==")
+        bars = {}
+        for (store_mlp, load_mlp), fraction in sorted(cells.items()):
+            if store_mlp == 0:
+                continue
+            bars.setdefault(store_mlp, []).append((load_mlp, fraction))
+        for store_mlp, segments in bars.items():
+            body = " ".join(f"li{l}={f:.4f}" for l, f in segments)
+            print(f"  storeMLP={store_mlp}: {body}")
+
+    def expensive_fraction(cells):
+        """Lone missing store, no other misses, over store-MLP>=1 epochs."""
+        store_epochs = sum(
+            fraction for (s, _), fraction in cells.items() if s >= 1
+        )
+        lone = cells.get((1, 0), 0.0)
+        return lone / store_epochs if store_epochs else 0.0
+
+    fractions = {
+        workload: expensive_fraction(cells)
+        for workload, cells in results.items()
+    }
+    print("expensive store-miss epochs:", {
+        k: round(v, 3) for k, v in fractions.items()
+    })
+
+    # SPECjbb/SPECweb: the majority of store-miss epochs are expensive.
+    assert fractions["specjbb"] > 0.5
+    assert fractions["specweb"] > 0.5
+    # Database: relatively few expensive missing stores.
+    assert fractions["database"] < fractions["specjbb"]
+    assert fractions["database"] < fractions["specweb"]
+
+    # Database achieves high store MLP (bursts overlap): some epochs with
+    # storeMLP >= 3 exist.
+    db = results["database"]
+    assert any(s >= 3 and f > 0 for (s, _), f in db.items())

@@ -1,0 +1,80 @@
+"""Figure 5: Store Miss Accelerator effectiveness.
+
+Runs on the scaled SMAC geometry (see DESIGN.md: SMAC entry counts and
+workload store-miss footprints are both scaled 1:128 from the paper, which
+warmed its SMAC for 1G instructions).  Paper claims asserted:
+
+1. the SMAC improves store performance at every prefetch setting,
+2. EPI is monotonically non-increasing in SMAC size,
+3. a sufficiently large SMAC approaches prefetch-at-execute's EPI without
+   issuing any prefetch requests (bandwidth conservation),
+4. saturation order follows footprints: SPECweb saturates with a smaller
+   SMAC than the database workload.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.figures import SMAC_ENTRY_SWEEP, figure5
+from repro.harness.formatting import format_series
+
+from conftest import ALL_WORKLOADS, once
+
+
+@pytest.mark.benchmark(group="figure5")
+def test_figure5_smac(benchmark, bench_smac):
+    results = once(benchmark, figure5, bench_smac, ALL_WORKLOADS)
+    print()
+    for workload, series in results.items():
+        print(f"== {workload} (epochs per 1000 instructions) ==")
+        for mode in ("Sp0", "Sp1", "Sp2"):
+            points = {
+                key.split("/", 1)[1]: value
+                for key, value in series.items()
+                if key.startswith(mode + "/")
+            }
+            print(" ", format_series(mode, points))
+
+    for workload, series in results.items():
+        for mode in ("Sp0", "Sp1", "Sp2"):
+            none = series[f"{mode}/none"]
+            biggest = series[f"{mode}/smac{SMAC_ENTRY_SWEEP[-1]}"]
+            perfect = series[f"{mode}/perfect"]
+            # (1) the SMAC helps.
+            assert biggest <= none * 1.01
+            # (2) monotone in SMAC capacity.
+            sweep = [series[f"{mode}/smac{entries}"]
+                     for entries in SMAC_ENTRY_SWEEP]
+            for small, large in zip(sweep, sweep[1:]):
+                assert large <= small * 1.04
+            # Sanity: nothing beats perfect stores.
+            assert biggest >= perfect * 0.98
+
+    # (3) without any prefetching, a big SMAC recovers most of the gap that
+    # prefetch-at-execute recovers.
+    for workload in ("database", "specweb"):
+        series = results[workload]
+        sp0_none = series["Sp0/none"]
+        sp2_none = series["Sp2/none"]
+        sp0_big = series[f"Sp0/smac{SMAC_ENTRY_SWEEP[-1]}"]
+        prefetch_gain = sp0_none - sp2_none
+        smac_gain = sp0_none - sp0_big
+        if prefetch_gain > 0.05:
+            assert smac_gain >= 0.5 * prefetch_gain
+
+    # (4) saturation ordering: the SMAC size at which each workload reaches
+    # within 5% of its large-SMAC EPI grows with its footprint.
+    def saturation_entries(series, mode="Sp0"):
+        floor = series[f"{mode}/smac{SMAC_ENTRY_SWEEP[-1]}"]
+        span = series[f"{mode}/none"] - floor
+        if span <= 0.02:
+            return SMAC_ENTRY_SWEEP[0]
+        for entries in SMAC_ENTRY_SWEEP:
+            if series[f"{mode}/smac{entries}"] <= floor + 0.1 * span:
+                return entries
+        return SMAC_ENTRY_SWEEP[-1]
+
+    assert saturation_entries(results["specweb"]) <= saturation_entries(
+        results["database"]
+    )

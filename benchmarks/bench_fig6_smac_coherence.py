@@ -1,0 +1,43 @@
+"""Figure 6: impact of cross-chip coherence on the SMAC.
+
+Left graph: SMAC coherence invalidates per 1000 instructions; right graph:
+percentage of missing stores that hit an invalidated SMAC entry.  Paper
+claims asserted: invalidate traffic and invalid-hit rates grow when moving
+from a 2-node to a 4-node system, and the SMAC still performs well (hit
+rates remain useful) as nodes scale.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.figures import SMAC_ENTRY_SWEEP, figure6
+from repro.harness.formatting import format_series
+
+from conftest import once
+
+WORKLOADS = ("database", "tpcw", "specjbb", "specweb")
+
+
+@pytest.mark.benchmark(group="figure6")
+def test_figure6_smac_coherence(benchmark, bench_smac):
+    results = once(benchmark, figure6, bench_smac, WORKLOADS)
+    print()
+    for workload, series in results.items():
+        print(f"== {workload} ==")
+        for metric in ("invalidates_per_1000", "invalid_hit_percent"):
+            for nodes, by_entries in series[metric].items():
+                print(" ", format_series(f"{metric}/{nodes}-node", by_entries))
+
+    for workload, series in results.items():
+        invalidates = series["invalidates_per_1000"]
+        invalid_hits = series["invalid_hit_percent"]
+        big = SMAC_ENTRY_SWEEP[-1]
+        # More nodes -> more remote traffic -> more stolen ownership.
+        assert invalidates[4][big] >= invalidates[2][big]
+        assert invalid_hits[4][big] >= invalid_hits[2][big] * 0.8
+        # Invalid-hit percentages stay in the paper's regime (< ~30%):
+        # the SMAC keeps performing as the system scales.
+        for nodes in (2, 4):
+            for entries in SMAC_ENTRY_SWEEP:
+                assert 0 <= invalid_hits[nodes][entries] <= 35

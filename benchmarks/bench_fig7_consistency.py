@@ -1,0 +1,63 @@
+"""Figure 7: memory consistency model optimizations (PC1-3 vs WC1-3).
+
+Paper claims asserted:
+
+1. a large store-performance gap separates PC1 from WC1,
+2. SLE (PC3/WC3) is effective at reducing that gap for TPC-W, SPECjbb and
+   SPECweb, and strongly mitigates store impact under PC,
+3. prefetch past serializing instructions (PC2) improves the database
+   workload and SPECjbb moderately,
+4. even with SLE and prefetch-past, store prefetching still matters.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.figures import figure7
+
+from conftest import ALL_WORKLOADS, once
+
+
+@pytest.mark.benchmark(group="figure7")
+def test_figure7_consistency_models(benchmark, bench_default):
+    results = once(benchmark, figure7, bench_default, ALL_WORKLOADS)
+    print()
+    for workload, series in results.items():
+        print(f"== {workload} (epochs per 1000 instructions) ==")
+        for key, pair in series.items():
+            print(
+                f"  {key:10s} with_stores={pair['with_stores']:.3f} "
+                f"perfect={pair['perfect']:.3f}"
+            )
+
+    for workload, series in results.items():
+        pc1 = series["Sp1/PC1"]["with_stores"]
+        wc1 = series["Sp1/WC1"]["with_stores"]
+        pc3 = series["Sp1/PC3"]["with_stores"]
+        wc3 = series["Sp1/WC3"]["with_stores"]
+
+        # (1) WC beats PC out of the box.
+        assert wc1 < pc1
+
+        # (2) SLE narrows the gap: PC3 recovers most of PC1-WC1.
+        gap = pc1 - wc1
+        if gap > 0.05:
+            remaining = pc3 - wc3
+            assert remaining < 0.6 * gap, (
+                f"{workload}: SLE left {remaining:.3f} of a {gap:.3f} gap"
+            )
+
+    # (3) prefetch past serializing helps the serialize-bound workloads.
+    for workload in ("database", "specjbb"):
+        series = results[workload]
+        assert series["Sp1/PC2"]["with_stores"] <= (
+            series["Sp1/PC1"]["with_stores"] * 1.005
+        )
+
+    # (4) store prefetching still matters with SLE under PC: Sp0 vs Sp2.
+    for workload in ("database", "tpcw"):
+        series = results[workload]
+        assert series["Sp2/PC3"]["with_stores"] <= (
+            series["Sp0/PC3"]["with_stores"] * 1.01
+        )

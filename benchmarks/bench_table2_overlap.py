@@ -1,0 +1,33 @@
+"""Table 2: fraction of missing stores fully overlapped with computation.
+
+Paper values: database 0.09, TPC-W 0.12, SPECjbb 0.06, SPECweb 0.22 — i.e.
+most missing stores CANNOT be hidden under computation, which motivates the
+whole study.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.tables import PAPER_TABLE2, format_table2, table2
+
+from conftest import ALL_WORKLOADS, once
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_store_overlap(benchmark, bench_default):
+    measured = once(benchmark, table2, bench_default, ALL_WORKLOADS)
+    print()
+    print(format_table2(measured))
+
+    # Headline claim: the majority of missing stores are NOT overlappable
+    # with computation, for every workload.
+    for workload, fraction in measured.items():
+        assert fraction < 0.5, f"{workload}: overlap {fraction} too high"
+
+    # Shape: SPECweb overlaps the most, SPECjbb the least (paper ordering).
+    assert measured["specweb"] == max(measured.values())
+    assert measured["specjbb"] <= measured["tpcw"]
+    # Magnitudes within a factor of ~2.5 of the paper's Table 2.
+    for workload, fraction in measured.items():
+        assert fraction <= PAPER_TABLE2[workload] * 2.5 + 0.02

@@ -1,0 +1,27 @@
+"""Table 3: CPI_on-chip for the default processor configuration.
+
+The epoch model takes CPI_on-chip as an input (the paper measured it with a
+perfect-L2 cycle simulator); here it is estimated from trace properties and
+compared against the paper's published values.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cpi import PAPER_CPI_ON_CHIP
+from repro.harness.tables import format_table3, table3
+
+from conftest import ALL_WORKLOADS, once
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_on_chip_cpi(benchmark, bench_default):
+    measured = once(benchmark, table3, bench_default, ALL_WORKLOADS)
+    print()
+    print(format_table3(measured))
+
+    for workload, cpi in measured.items():
+        # Same regime as the paper's 0.95-1.38 band.
+        assert 0.7 < cpi < 2.0
+        assert cpi == pytest.approx(PAPER_CPI_ON_CHIP[workload], rel=0.45)

@@ -1,0 +1,57 @@
+"""Shared workbenches for the table/figure reproduction benches.
+
+Sizing: the paper measured 100M instructions after 50M of warmup per core.
+Pure Python cannot do that per configuration sweep, so benches default to a
+60K-instruction measurement window after 25K of warmup — large enough for
+stable EPI ordering — and honour two environment variables for bigger runs::
+
+    REPRO_BENCH_MEASURE=200000 REPRO_BENCH_WARMUP=80000 \
+        pytest benchmarks/ --benchmark-only
+
+The SMAC benches (Figures 5 and 6) use their own longer-warmup workbench
+because the accelerator needs warm ownership state (the paper used 1G
+instructions of warming there).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.harness import ExperimentSettings, Workbench
+from repro.harness.figures import smac_scaled_profile
+
+MEASURE = int(os.environ.get("REPRO_BENCH_MEASURE", 60_000))
+WARMUP = int(os.environ.get("REPRO_BENCH_WARMUP", 25_000))
+SEED = int(os.environ.get("REPRO_BENCH_SEED", 7))
+
+ALL_WORKLOADS = ("database", "tpcw", "specjbb", "specweb")
+
+
+@pytest.fixture(scope="session")
+def bench_default() -> Workbench:
+    """Workbench with the paper's default memory system, calibrated."""
+    return Workbench(ExperimentSettings(
+        warmup=WARMUP, measure=MEASURE, seed=SEED, calibrate=True,
+    ))
+
+
+@pytest.fixture(scope="session")
+def bench_smac() -> Workbench:
+    """Workbench with SMAC-scaled profiles and longer warming."""
+    bench = Workbench(ExperimentSettings(
+        warmup=max(WARMUP, 60_000),
+        measure=max(MEASURE, 90_000),
+        seed=SEED,
+        calibrate=False,
+    ))
+    for name in ALL_WORKLOADS:
+        bench.set_profile(name, smac_scaled_profile(name))
+    return bench
+
+
+def once(benchmark, func, *args, **kwargs):
+    """Run *func* exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Quickstart: simulate the paper's default processor on one workload.
+
+Pipeline walked through explicitly (the Workbench automates all of this):
+
+1. take a commercial workload profile and generate a synthetic trace,
+2. classify every access through the cache hierarchy and branch predictor,
+3. run the epoch MLP simulator under the default core configuration,
+4. translate epochs per instruction into off-chip and overall CPI.
+
+Run:  python examples/quickstart.py [workload] [instructions]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import (
+    MemorySystem,
+    MlpSimulator,
+    SimulationConfig,
+    WORKLOADS,
+    WorkloadGenerator,
+    annotate_trace,
+)
+from repro.core.cpi import CpiModel, PAPER_CPI_ON_CHIP
+from repro.frontend import BranchPredictor
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "database"
+    total = int(sys.argv[2]) if len(sys.argv) > 2 else 150_000
+    warmup = total // 3
+    profile = WORKLOADS[workload]
+
+    print(f"workload: {workload}")
+    print(f"  store frequency target: {100 * profile.store_fraction:.2f}/100")
+    print(f"  trace: {total} instructions ({warmup} warmup)")
+
+    # 1. generate the instruction trace.
+    generator = WorkloadGenerator(profile, seed=1)
+    trace = generator.generate(total)
+
+    # 2. classify misses through the real cache hierarchy.
+    config = SimulationConfig()
+    memory = MemorySystem(config.memory)
+    predictor = BranchPredictor(config.core.branch)
+    annotated = annotate_trace(trace, memory, predictor=predictor,
+                               warmup=warmup)
+    stats = memory.stats
+    print(f"  off-chip misses per 100 insts: "
+          f"store={stats.store_miss_rate:.3f} "
+          f"load={stats.load_miss_rate:.3f} "
+          f"inst={stats.inst_miss_rate:.3f}")
+
+    # 3. run the epoch MLP simulator.
+    result = MlpSimulator(config).run(annotated)
+    print(f"  {result.summary()}")
+
+    # 4. translate to CPI (paper Section 3.4).
+    cpi = CpiModel(
+        cpi_on_chip=PAPER_CPI_ON_CHIP[workload],
+        miss_penalty=config.memory.memory_latency,
+    )
+    print(f"  off-chip CPI: {cpi.off_chip(result.epi):.3f}")
+    print(f"  overall CPI:  {cpi.overall(result.epi):.3f} "
+          f"({100 * cpi.off_chip_share(result.epi):.0f}% off chip)")
+
+    # Bonus: how much of that is stores?  Re-run with perfect stores.
+    perfect = MlpSimulator(
+        config.with_core(perfect_stores=True)
+    ).run(annotated)
+    store_share = 1 - perfect.epi / result.epi if result.epi else 0.0
+    print(f"  missing stores cause {100 * store_share:.0f}% of off-chip CPI")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Hardware Scout study: the HWS0 -> HWS1 -> HWS2 ladder.
+
+Shows, per workload and consistency model, how much of the store-miss cost
+each scout refinement recovers, and where the remaining epochs come from
+(the termination mix after HWS2).
+
+Run:  python examples/scout_study.py [instructions]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import ExperimentSettings, ScoutMode, Workbench
+from repro.harness.formatting import format_table
+
+
+def main() -> None:
+    measure = int(sys.argv[1]) if len(sys.argv) > 1 else 80_000
+    bench = Workbench(ExperimentSettings(
+        warmup=measure // 3, measure=measure, seed=3, calibrate=False,
+    ))
+    workloads = ("database", "tpcw", "specjbb", "specweb")
+    modes = (
+        ("no HWS", ScoutMode.NONE),
+        ("HWS0 (loads+insts)", ScoutMode.HWS0),
+        ("HWS1 (+stores)", ScoutMode.HWS1),
+        ("HWS2 (+store-stall entry)", ScoutMode.HWS2),
+    )
+
+    rows = []
+    for label, mode in modes:
+        row: list[object] = [label]
+        for workload in workloads:
+            result = bench.run(workload, scout=mode)
+            row.append(result.epi_per_1000)
+        rows.append(row)
+    print(format_table(
+        ["PC configuration (EPI per 1000)", *workloads],
+        rows,
+        title="Hardware Scout ladder under processor consistency",
+    ))
+
+    print()
+    for workload in workloads:
+        base = bench.run(workload)
+        base_perfect = bench.run(workload, perfect_stores=True)
+        hws2 = bench.run(workload, scout=ScoutMode.HWS2)
+        hws2_perfect = bench.run(
+            workload, scout=ScoutMode.HWS2, perfect_stores=True
+        )
+        cost_before = base.epi - base_perfect.epi
+        cost_after = hws2.epi - hws2_perfect.epi
+        eliminated = 1 - cost_after / cost_before if cost_before else 1.0
+        print(f"{workload}: HWS2 eliminates {100 * eliminated:.0f}% of the "
+              f"store-miss cost "
+              f"({1000 * cost_before:.2f} -> {1000 * cost_after:.2f} "
+              f"EPI/1000); scout episodes: {hws2.scout_episodes}")
+
+    print()
+    result = bench.run("specweb", scout=ScoutMode.HWS2)
+    print("specweb residual termination mix under HWS2:")
+    for condition, count in sorted(
+        result.termination_histogram().items(), key=lambda kv: -kv[1]
+    ):
+        print(f"  {condition.value:32s} {count}")
+
+
+if __name__ == "__main__":
+    main()

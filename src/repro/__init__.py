@@ -1,0 +1,96 @@
+"""repro: Store Memory-Level Parallelism Optimizations for Commercial
+Applications (MICRO 2005) — a full reproduction.
+
+The package implements the paper's epoch MLP model and its evaluation
+vehicle MLPsim, together with every substrate the study depends on:
+
+- an abstract SPARC/PowerPC-flavoured trace ISA (:mod:`repro.isa`) with
+  binary trace IO (:mod:`repro.trace`),
+- a cache hierarchy with MESI coherence and the Store Miss Accelerator
+  (:mod:`repro.memory`),
+- a gshare/BTB/RAS front end (:mod:`repro.frontend`),
+- lock detection, PC->WC lock-idiom rewriting and Speculative Lock Elision
+  (:mod:`repro.locks`),
+- synthetic commercial-workload generators calibrated to the paper's
+  Table 1 (:mod:`repro.workloads`),
+- cross-chip sharing traffic (:mod:`repro.multiproc`),
+- the epoch MLP simulator with store buffer/queue modelling, store
+  prefetching, consistency models and Hardware Scout (:mod:`repro.core`),
+- result analysis (:mod:`repro.analysis`) and the table/figure
+  reproduction harness (:mod:`repro.harness`).
+
+Quickstart::
+
+    from repro import Workbench
+
+    bench = Workbench()
+    result = bench.run("database")           # default paper configuration
+    print(result.summary())
+    print(result.epi_per_1000)               # the paper's figure unit
+"""
+
+from .config import (
+    BranchPredictorConfig,
+    CacheConfig,
+    ConsistencyModel,
+    CoreConfig,
+    MemoryConfig,
+    ScoutMode,
+    SimulationConfig,
+    SmacConfig,
+    StorePrefetchMode,
+    SystemConfig,
+)
+from .core import (
+    MlpSimulator,
+    SimulationResult,
+    TerminationCondition,
+    TriggerKind,
+    simulate,
+)
+from .errors import (
+    CalibrationError,
+    ConfigError,
+    ReproError,
+    SimulationError,
+    TraceError,
+)
+from .harness import ExperimentSettings, Workbench
+from .isa import Instruction, InstructionClass
+from .memory import MemorySystem, StoreMissAccelerator, annotate_trace
+from .workloads import WORKLOADS, WorkloadGenerator, WorkloadProfile
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BranchPredictorConfig",
+    "CacheConfig",
+    "CalibrationError",
+    "ConfigError",
+    "ConsistencyModel",
+    "CoreConfig",
+    "ExperimentSettings",
+    "Instruction",
+    "InstructionClass",
+    "MemoryConfig",
+    "MemorySystem",
+    "MlpSimulator",
+    "ReproError",
+    "ScoutMode",
+    "SimulationConfig",
+    "SimulationError",
+    "SimulationResult",
+    "SmacConfig",
+    "StoreMissAccelerator",
+    "StorePrefetchMode",
+    "SystemConfig",
+    "TerminationCondition",
+    "TraceError",
+    "TriggerKind",
+    "WORKLOADS",
+    "Workbench",
+    "WorkloadGenerator",
+    "WorkloadProfile",
+    "annotate_trace",
+    "simulate",
+]

@@ -1,0 +1,35 @@
+"""Result post-processing for the paper's analyses.
+
+These helpers turn :class:`~repro.core.SimulationResult` objects into the
+specific views the paper's figures present: the Figure 3 termination
+histograms (:mod:`~repro.analysis.termination`), the Figure 4 MLP
+distributions (:mod:`~repro.analysis.mlp_stats`), and the Table 2 overlap
+accounting (:mod:`~repro.analysis.overlap`).
+"""
+
+from .mlp_stats import (
+    ExpensiveStoreStats,
+    expensive_store_stats,
+    mlp_profile,
+    store_mlp_histogram,
+)
+from .overlap import OverlapBreakdown, overlap_breakdown
+from .termination import (
+    TERMINATION_ORDER,
+    dominant_condition,
+    store_caused_fraction,
+    termination_stack,
+)
+
+__all__ = [
+    "ExpensiveStoreStats",
+    "OverlapBreakdown",
+    "TERMINATION_ORDER",
+    "dominant_condition",
+    "expensive_store_stats",
+    "mlp_profile",
+    "overlap_breakdown",
+    "store_caused_fraction",
+    "store_mlp_histogram",
+    "termination_stack",
+]

@@ -1,0 +1,75 @@
+"""MLP distribution analysis (the paper's Figure 4)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..core.results import SimulationResult
+
+
+def store_mlp_histogram(
+    result: SimulationResult, cap: int = 10
+) -> Dict[int, float]:
+    """Fraction of epochs by store MLP (bucket *cap* = ">= cap").
+
+    The zero-store-MLP bucket is included (the paper omits its bar but its
+    mass explains why the plotted bars do not sum to one).
+    """
+    if not result.epochs:
+        return {}
+    counts: Dict[int, int] = {}
+    for epoch in result.epochs:
+        key = min(epoch.store_misses, cap)
+        counts[key] = counts.get(key, 0) + 1
+    total = len(result.epochs)
+    return {key: count / total for key, count in sorted(counts.items())}
+
+
+def mlp_profile(
+    result: SimulationResult,
+    store_cap: int = 10,
+    load_cap: int = 5,
+) -> List[Tuple[int, List[Tuple[int, float]]]]:
+    """Figure 4 bars: for each store MLP >= 1, the (load+inst MLP, fraction)
+    segments, both axes capped like the paper's buckets."""
+    cells = result.mlp_distribution().bucketed(store_cap, load_cap)
+    bars: Dict[int, Dict[int, float]] = {}
+    for (store_mlp, load_mlp), fraction in cells.items():
+        if store_mlp == 0:
+            continue
+        bars.setdefault(store_mlp, {})[load_mlp] = fraction
+    return [
+        (store_mlp, sorted(segments.items()))
+        for store_mlp, segments in sorted(bars.items())
+    ]
+
+
+@dataclass(frozen=True)
+class ExpensiveStoreStats:
+    """Epochs containing a missing store overlapped with nothing else.
+
+    These are the paper's "most expensive" missing stores: store MLP == 1
+    and no missing loads or instructions in the epoch.
+    """
+
+    expensive_epochs: int
+    total_epochs: int
+
+    @property
+    def fraction(self) -> float:
+        if self.total_epochs == 0:
+            return 0.0
+        return self.expensive_epochs / self.total_epochs
+
+
+def expensive_store_stats(result: SimulationResult) -> ExpensiveStoreStats:
+    """Count epochs where a lone missing store is the only off-chip access."""
+    expensive = sum(
+        1
+        for epoch in result.epochs
+        if epoch.store_misses == 1 and epoch.load_inst_mlp == 0
+    )
+    return ExpensiveStoreStats(
+        expensive_epochs=expensive, total_epochs=len(result.epochs)
+    )

@@ -1,0 +1,48 @@
+"""Store-overlap accounting (the paper's Table 2).
+
+Missing stores end up in one of three buckets:
+
+- *fully overlapped with computation* — the processor never stalled while
+  the store's miss was outstanding (no epoch charged),
+- *accelerated* — the SMAC (or a perfect-store model) hid the latency,
+- *epoch-overlapped* — the miss participated in an epoch, i.e. its latency
+  was exposed (possibly shared with other misses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.results import SimulationResult
+
+
+@dataclass(frozen=True)
+class OverlapBreakdown:
+    """Where every missing store's latency went."""
+
+    fully_overlapped: int
+    accelerated: int
+    epoch_overlapped: int
+
+    @property
+    def total(self) -> int:
+        return self.fully_overlapped + self.accelerated + self.epoch_overlapped
+
+    @property
+    def overlap_fraction(self) -> float:
+        """Table 2's metric: fully-overlapped share of all missing stores."""
+        return self.fully_overlapped / self.total if self.total else 0.0
+
+    @property
+    def exposed_fraction(self) -> float:
+        """Share of missing stores whose latency reached an epoch."""
+        return self.epoch_overlapped / self.total if self.total else 0.0
+
+
+def overlap_breakdown(result: SimulationResult) -> OverlapBreakdown:
+    """Classify every missing store the simulation saw."""
+    return OverlapBreakdown(
+        fully_overlapped=result.fully_overlapped_stores,
+        accelerated=result.accelerated_stores,
+        epoch_overlapped=result.store_miss_count,
+    )

@@ -1,0 +1,52 @@
+"""Window-termination analysis (the paper's Figure 3)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..core.epoch import TerminationCondition
+from ..core.results import SimulationResult
+
+#: Figure 3 legend order, top to bottom.
+TERMINATION_ORDER: Tuple[TerminationCondition, ...] = (
+    TerminationCondition.STORE_BUFFER_FULL,
+    TerminationCondition.STORE_QUEUE_STORE_BUFFER_FULL,
+    TerminationCondition.STORE_QUEUE_WINDOW_FULL,
+    TerminationCondition.STORE_SERIALIZE,
+    TerminationCondition.OTHER_SERIALIZE,
+    TerminationCondition.MISPRED_BRANCH,
+    TerminationCondition.INSTRUCTION_MISS,
+    TerminationCondition.WINDOW_FULL,
+)
+
+
+def termination_stack(
+    result: SimulationResult, store_mlp_at_least: int = 1
+) -> List[Tuple[TerminationCondition, float]]:
+    """Stacked-bar data in the paper's legend order.
+
+    Fractions are of *all* epochs, restricted to epochs whose store MLP is
+    at least *store_mlp_at_least* (Figure 3 plots epochs where store MLP
+    >= 1); conditions with zero weight are included so stacks align across
+    workloads.
+    """
+    fractions = result.termination_fractions(store_mlp_at_least)
+    return [(cond, fractions.get(cond, 0.0)) for cond in TERMINATION_ORDER]
+
+
+def store_caused_fraction(result: SimulationResult) -> float:
+    """Fraction of all epochs ended by a store-handling condition."""
+    if not result.epochs:
+        return 0.0
+    caused = sum(1 for e in result.epochs if e.termination.store_caused)
+    return caused / len(result.epochs)
+
+
+def dominant_condition(
+    result: SimulationResult, store_mlp_at_least: int = 1
+) -> TerminationCondition | None:
+    """The most frequent termination among qualifying epochs."""
+    fractions = result.termination_fractions(store_mlp_at_least)
+    if not fractions:
+        return None
+    return max(fractions.items(), key=lambda item: item[1])[0]

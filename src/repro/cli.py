@@ -1,0 +1,220 @@
+"""Command-line entry point: ``mlpsim`` / ``python -m repro``.
+
+Reproduces any of the paper's tables and figures from the terminal::
+
+    mlpsim table1
+    mlpsim figure2 --workloads database tpcw
+    mlpsim figure7 --measure 60000
+    mlpsim run --workload specjbb --prefetch sp2 --consistency wc
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .config import ConsistencyModel, ScoutMode, StorePrefetchMode
+from .harness import (
+    ExperimentSettings,
+    Workbench,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    format_series,
+    table1,
+    table2,
+    table3,
+)
+from .harness.figures import ALL_WORKLOADS
+from .harness.tables import format_table1, format_table2, format_table3
+
+_PREFETCH = {
+    "sp0": StorePrefetchMode.NONE,
+    "sp1": StorePrefetchMode.AT_RETIRE,
+    "sp2": StorePrefetchMode.AT_EXECUTE,
+}
+_SCOUT = {mode.value: mode for mode in ScoutMode}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="mlpsim",
+        description=(
+            "Epoch MLP model reproduction of 'Store Memory-Level Parallelism "
+            "Optimizations for Commercial Applications' (MICRO 2005)"
+        ),
+    )
+    parser.add_argument(
+        "--warmup", type=int, default=40_000,
+        help="cache/predictor warmup instructions (default 40000)",
+    )
+    parser.add_argument(
+        "--measure", type=int, default=120_000,
+        help="measured instructions (default 120000)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=7, help="workload generator seed"
+    )
+    parser.add_argument(
+        "--no-calibrate", action="store_true",
+        help="skip Table 1 calibration of the workload profiles",
+    )
+    parser.add_argument(
+        "--workloads", default=",".join(ALL_WORKLOADS),
+        help="comma-separated subset of workloads to run "
+             f"(default: {','.join(ALL_WORKLOADS)})",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    for name in ("table1", "table2", "table3", "figure2", "figure4",
+                 "figure5", "figure6", "figure7", "figure8"):
+        sub.add_parser(name, help=f"reproduce {name}")
+    report = sub.add_parser(
+        "report", help="emit the full paper-vs-measured markdown report"
+    )
+    report.add_argument(
+        "--sections", nargs="*", default=None,
+        help="subset of sections (default: all tables and figures)",
+    )
+    fig3 = sub.add_parser("figure3", help="reproduce figure3")
+    fig3.add_argument(
+        "--sle", action="store_true",
+        help="Figure 3B: SLE + prefetch past serializing",
+    )
+    run = sub.add_parser("run", help="one simulation with explicit knobs")
+    run.add_argument("--workload", default="database", choices=list(ALL_WORKLOADS))
+    run.add_argument("--prefetch", default="sp1", choices=sorted(_PREFETCH))
+    run.add_argument(
+        "--consistency", default="pc", choices=["pc", "wc"],
+    )
+    run.add_argument("--scout", default="none", choices=sorted(_SCOUT))
+    run.add_argument("--sle", action="store_true")
+    run.add_argument("--store-buffer", type=int, default=16)
+    run.add_argument("--store-queue", type=int, default=32)
+    run.add_argument("--perfect-stores", action="store_true")
+    return parser
+
+
+def _print_nested(results: dict, precision: int = 3) -> None:
+    for workload, series in results.items():
+        print(f"== {workload} ==")
+        if all(isinstance(v, dict) for v in series.values()):
+            for key, value in series.items():
+                if isinstance(value, dict) and all(
+                    isinstance(v, (int, float)) for v in value.values()
+                ):
+                    print(" ", format_series(str(key), value, precision))
+                else:
+                    print(f"  {key}: {value}")
+        else:
+            numeric = {
+                k: v for k, v in series.items() if isinstance(v, (int, float))
+            }
+            print(" ", format_series("EPI/1000", numeric, precision))
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    settings = ExperimentSettings(
+        warmup=args.warmup,
+        measure=args.measure,
+        seed=args.seed,
+        calibrate=not args.no_calibrate,
+    )
+    bench = Workbench(settings)
+    workloads = tuple(
+        name.strip() for name in args.workloads.split(",") if name.strip()
+    )
+    unknown = set(workloads) - set(ALL_WORKLOADS)
+    if unknown:
+        print(f"unknown workloads: {sorted(unknown)}", file=sys.stderr)
+        return 2
+
+    if args.command == "table1":
+        print(format_table1(table1(bench, workloads)))
+    elif args.command == "table2":
+        print(format_table2(table2(bench, workloads)))
+    elif args.command == "table3":
+        print(format_table3(table3(bench, workloads)))
+    elif args.command == "figure2":
+        _print_nested(figure2(bench, workloads))
+    elif args.command == "figure3":
+        results = figure3(bench, workloads, sle=args.sle)
+        for workload, fractions in results.items():
+            print(f"== {workload} ==")
+            for cond, fraction in sorted(
+                fractions.items(), key=lambda kv: -kv[1]
+            ):
+                print(f"  {cond.value:32s} {fraction:.3f}")
+    elif args.command == "figure4":
+        results = figure4(bench, workloads)
+        for workload, cells in results.items():
+            print(f"== {workload} ==")
+            for (store_mlp, load_mlp), fraction in sorted(cells.items()):
+                if store_mlp == 0:
+                    continue
+                print(
+                    f"  storeMLP={store_mlp:2d} load+instMLP={load_mlp:2d} "
+                    f"fraction={fraction:.4f}"
+                )
+    elif args.command == "figure5":
+        _print_nested(figure5(bench, workloads))
+    elif args.command == "figure6":
+        results = figure6(bench, workloads)
+        for workload, series in results.items():
+            print(f"== {workload} ==")
+            for metric, by_nodes in series.items():
+                for nodes, by_entries in by_nodes.items():
+                    print(
+                        " ",
+                        format_series(
+                            f"{metric}/{nodes}-node", by_entries
+                        ),
+                    )
+    elif args.command == "figure7":
+        results = figure7(bench, workloads)
+        for workload, series in results.items():
+            print(f"== {workload} ==")
+            for key, pair in series.items():
+                print(
+                    f"  {key:10s} with_stores={pair['with_stores']:.3f} "
+                    f"perfect={pair['perfect']:.3f}"
+                )
+    elif args.command == "figure8":
+        results = figure8(bench, workloads)
+        for workload, series in results.items():
+            print(f"== {workload} ==")
+            for key, pair in series.items():
+                print(
+                    f"  {key:10s} with_stores={pair['with_stores']:.3f} "
+                    f"perfect={pair['perfect']:.3f}"
+                )
+    elif args.command == "report":
+        from .harness.report import ALL_SECTIONS, generate_report
+        sections = args.sections or list(ALL_SECTIONS)
+        sys.stdout.write(generate_report(bench, sections))
+    elif args.command == "run":
+        result = bench.run(
+            args.workload,
+            variant=("wc" if args.consistency == "wc" else "pc")
+            + ("_sle" if args.sle else ""),
+            store_prefetch=_PREFETCH[args.prefetch],
+            consistency=(
+                ConsistencyModel.WC if args.consistency == "wc"
+                else ConsistencyModel.PC
+            ),
+            scout=_SCOUT[args.scout],
+            store_buffer=args.store_buffer,
+            store_queue=args.store_queue,
+            perfect_stores=args.perfect_stores,
+        )
+        print(result.summary())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,33 @@
+"""The epoch MLP model and MLPsim (the paper's primary contribution).
+
+Execution is partitioned into *epochs*: stretches of on-chip computation
+followed by a batch of overlapping off-chip accesses.  The simulator
+(:mod:`~repro.core.mlpsim`) walks an annotated trace, applies the window
+termination conditions implied by the configured microarchitecture and
+memory consistency model, and reports Epochs Per Instruction (EPI) and MLP
+statistics (:mod:`~repro.core.results`).  EPI translates linearly to
+off-chip CPI (:mod:`~repro.core.cpi`).
+"""
+
+from .cpi import CpiModel, off_chip_cpi, overall_cpi
+from .epoch import EpochRecord, TerminationCondition, TriggerKind
+from .mlpsim import MlpSimulator, simulate
+from .results import MlpDistribution, SimulationResult
+from .scoreboard import RegisterScoreboard
+from .store_unit import StoreEntry, StoreUnit
+
+__all__ = [
+    "CpiModel",
+    "EpochRecord",
+    "MlpDistribution",
+    "MlpSimulator",
+    "RegisterScoreboard",
+    "SimulationResult",
+    "StoreEntry",
+    "StoreUnit",
+    "TerminationCondition",
+    "TriggerKind",
+    "off_chip_cpi",
+    "overall_cpi",
+    "simulate",
+]

@@ -1,0 +1,78 @@
+"""EPI -> CPI translation (paper Section 3.4).
+
+The paper's performance decomposition::
+
+    CPI_overall = CPI_on-chip x (1 - Overlap) + EPI x MissPenalty
+
+``CPI_on-chip`` is what a cycle simulator measures with a perfect outermost
+on-chip cache; ``Overlap`` is the (small, roughly mechanism-independent)
+fraction of on-chip cycles hidden under off-chip accesses; the second term
+is the off-chip CPI that the epoch model predicts.  Table 3 of the paper
+gives CPI_on-chip for the four commercial workloads under the default core,
+reproduced here as :data:`PAPER_CPI_ON_CHIP`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+#: Paper Table 3: CPI_on-chip for the default processor configuration.
+PAPER_CPI_ON_CHIP = {
+    "database": 1.11,
+    "tpcw": 1.12,
+    "specjbb": 0.95,
+    "specweb": 1.38,
+}
+
+
+def off_chip_cpi(epi: float, miss_penalty: int) -> float:
+    """Off-chip CPI contributed by epochs: ``EPI x MissPenalty``."""
+    if epi < 0:
+        raise ConfigError("EPI must be non-negative")
+    if miss_penalty <= 0:
+        raise ConfigError("miss penalty must be positive")
+    return epi * miss_penalty
+
+
+def overall_cpi(
+    cpi_on_chip: float,
+    epi: float,
+    miss_penalty: int,
+    overlap: float = 0.0,
+) -> float:
+    """Total CPI per the paper's decomposition."""
+    if not 0.0 <= overlap <= 1.0:
+        raise ConfigError("overlap must be a fraction in [0, 1]")
+    if cpi_on_chip <= 0:
+        raise ConfigError("CPI_on-chip must be positive")
+    return cpi_on_chip * (1.0 - overlap) + off_chip_cpi(epi, miss_penalty)
+
+
+@dataclass(frozen=True)
+class CpiModel:
+    """A bound CPI decomposition for one workload/machine pair."""
+
+    cpi_on_chip: float
+    miss_penalty: int
+    overlap: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.cpi_on_chip <= 0:
+            raise ConfigError("CPI_on-chip must be positive")
+        if self.miss_penalty <= 0:
+            raise ConfigError("miss penalty must be positive")
+        if not 0.0 <= self.overlap <= 1.0:
+            raise ConfigError("overlap must be a fraction in [0, 1]")
+
+    def off_chip(self, epi: float) -> float:
+        return off_chip_cpi(epi, self.miss_penalty)
+
+    def overall(self, epi: float) -> float:
+        return overall_cpi(self.cpi_on_chip, epi, self.miss_penalty, self.overlap)
+
+    def off_chip_share(self, epi: float) -> float:
+        """Fraction of total CPI spent off chip."""
+        total = self.overall(epi)
+        return self.off_chip(epi) / total if total else 0.0

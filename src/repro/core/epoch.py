@@ -1,0 +1,89 @@
+"""Epoch records, trigger kinds and the window-termination taxonomy.
+
+The termination taxonomy reproduces the legend of the paper's Figure 3
+exactly; every epoch the simulator closes is labelled with the condition
+that ended its window and with the kind of off-chip access that triggered
+it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class TriggerKind(enum.Enum):
+    """What kind of off-chip access opened the epoch."""
+
+    LOAD = "load"
+    STORE = "store"
+    INSTRUCTION = "instruction"
+
+
+class TerminationCondition(enum.Enum):
+    """Why the epoch's window stopped growing (Figure 3 legend).
+
+    The store-related conditions distinguish whether the store queue had
+    backed up first, because that identifies missing stores as the root
+    cause of the stall.
+    """
+
+    #: Store buffer full, store queue NOT full first ("Store buffer full").
+    STORE_BUFFER_FULL = "store_buffer_full"
+    #: Store buffer full preceded by store queue full ("StQ + StBuf full").
+    STORE_QUEUE_STORE_BUFFER_FULL = "store_queue_store_buffer_full"
+    #: ROB or issue window full preceded by store queue full ("StQ + window full").
+    STORE_QUEUE_WINDOW_FULL = "store_queue_window_full"
+    #: Serializing instruction preceded by missing stores but no missing loads.
+    STORE_SERIALIZE = "store_serialize"
+    #: Serializing instruction preceded by at least one missing load.
+    OTHER_SERIALIZE = "other_serialize"
+    #: Mispredicted branch dependent on a missing load.
+    MISPRED_BRANCH = "mispred_branch"
+    #: Instruction fetch missed the L2.
+    INSTRUCTION_MISS = "instruction_miss"
+    #: ROB or issue window full, store queue not implicated.
+    WINDOW_FULL = "window_full"
+    #: The trace ran out while misses were outstanding.
+    END_OF_TRACE = "end_of_trace"
+
+    @property
+    def store_caused(self) -> bool:
+        """True when the stall is attributable to store handling."""
+        return self in _STORE_CAUSED
+
+
+_STORE_CAUSED = frozenset({
+    TerminationCondition.STORE_BUFFER_FULL,
+    TerminationCondition.STORE_QUEUE_STORE_BUFFER_FULL,
+    TerminationCondition.STORE_QUEUE_WINDOW_FULL,
+    TerminationCondition.STORE_SERIALIZE,
+})
+
+
+@dataclass(slots=True)
+class EpochRecord:
+    """Statistics of one closed epoch."""
+
+    index: int
+    trigger: TriggerKind
+    termination: TerminationCondition
+    store_misses: int = 0
+    load_misses: int = 0
+    inst_misses: int = 0
+    instructions: int = 0
+    scouted: bool = False
+
+    @property
+    def total_misses(self) -> int:
+        return self.store_misses + self.load_misses + self.inst_misses
+
+    @property
+    def store_mlp(self) -> int:
+        """Missing stores overlapped in this epoch (Figure 4 x-axis)."""
+        return self.store_misses
+
+    @property
+    def load_inst_mlp(self) -> int:
+        """Missing loads + instructions overlapped (Figure 4 segments)."""
+        return self.load_misses + self.inst_misses

@@ -1,0 +1,537 @@
+"""MLPsim: the trace-driven epoch MLP simulator (paper Section 4.1).
+
+The simulator consumes an *annotated* trace — instructions paired with the
+core-configuration-independent miss classification produced by
+:func:`repro.memory.annotate.annotate_trace` — and partitions execution into
+epochs by applying the window termination conditions implied by the core
+configuration and memory consistency model.
+
+Model of time: on-chip latencies are ignored.  Every off-chip access issued
+inside an epoch completes when the epoch ends.  A register written by a
+missing load issued in epoch *e* is usable from epoch *e+1*; instructions
+that need it occupy issue-window entries until then.  The sole place where
+real time enters is the *overlap depth*: a store miss whose request has been
+outstanding for a full memory latency of instructions (IPC ~ 1) with no
+intervening stall completes silently — this is the paper's "missing store
+fully overlapped with computation" (Table 2).
+
+The scan enforces, in priority order per instruction:
+
+1. ROB / issue-window / load-buffer limits (bind only while something
+   blocks retirement),
+2. instruction-fetch misses (stop fetch; the miss overlaps this epoch),
+3. per-class semantics: stores flow through the store unit (store buffer /
+   store queue / coalescing / prefetch / consistency model), serializing
+   instructions drain according to the consistency model, mispredicted
+   branches dependent on missing loads stop the window, loads issue or
+   defer on register dependences.
+
+Hardware Scout episodes and prefetch-past-serializing are layered on top as
+speculative look-ahead passes (:mod:`repro.core.scout`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Set
+
+from ..config import (
+    ConsistencyModel,
+    CoreConfig,
+    ScoutMode,
+    SimulationConfig,
+)
+from ..errors import SimulationError
+from ..isa import Instruction, InstructionClass
+from ..isa.opcodes import is_control
+from ..memory.annotate import AccessInfo, AnnotatedTrace
+from .epoch import EpochRecord, TerminationCondition, TriggerKind
+from .results import SimulationResult
+from .scoreboard import RegisterScoreboard
+from .scout import run_scout
+from .store_unit import StoreEntry, StoreUnit
+
+_SCOUTABLE = frozenset({
+    TerminationCondition.WINDOW_FULL,
+    TerminationCondition.STORE_QUEUE_WINDOW_FULL,
+    TerminationCondition.STORE_BUFFER_FULL,
+    TerminationCondition.STORE_QUEUE_STORE_BUFFER_FULL,
+    TerminationCondition.STORE_SERIALIZE,
+    TerminationCondition.OTHER_SERIALIZE,
+})
+
+_LOAD_KINDS = (InstructionClass.LOAD, InstructionClass.LOAD_LOCKED)
+_STORE_KINDS = (InstructionClass.STORE, InstructionClass.STORE_COND)
+
+
+@dataclass(slots=True)
+class _DeferredLoad:
+    """A load consumed into the window whose address depends on an
+    outstanding miss; it executes (and may issue its own miss) later."""
+
+    exec_epoch: int
+    index: int
+    dest: int
+    missing: bool
+
+
+class MlpSimulator:
+    """Epoch MLP simulator bound to one configuration."""
+
+    def __init__(self, config: SimulationConfig) -> None:
+        self.config = config
+        self.core: CoreConfig = config.core
+        #: Instructions of computation that fully hide one off-chip latency.
+        self.overlap_depth: int = config.latency_instructions
+        #: Instructions one Hardware Scout episode can cover.
+        self.scout_depth: int = config.scout_depth
+
+    # ------------------------------------------------------------------ run --
+
+    def run(self, trace: AnnotatedTrace) -> SimulationResult:
+        """Partition *trace* into epochs and return the measurements."""
+        core = self.core
+        model = core.consistency
+        n = len(trace)
+        result = SimulationResult(instructions=n)
+
+        resolved: Set[int] = set()
+        scoreboard = RegisterScoreboard()
+        store_unit = StoreUnit(core)
+        replay: List[_DeferredLoad] = []
+        deferred_other: List[int] = []
+        pos = 0
+        cur = 0
+        stagnation = 0
+        stagnation_limit = core.store_queue + core.store_buffer + 8
+
+        while True:
+            # ---------------- epoch begin ----------------
+            progress_key = (pos, len(replay), store_unit.occupancy)
+            deferred_other = [e for e in deferred_other if e > cur]
+            issued, _ = store_unit.pump(cur)
+            store_events: List[StoreEntry] = []
+            for entry in issued:
+                entry.issue_position = pos
+                store_events.append(entry)
+            out_loads = 0
+            out_insts = 0
+            pf_loads = pf_stores = pf_insts = 0
+            trigger: Optional[TriggerKind] = (
+                TriggerKind.STORE if store_events else None
+            )
+            blocking = False
+            sq_full_seen = store_unit.sq_full
+            still: List[_DeferredLoad] = []
+            for deferred in replay:
+                if deferred.exec_epoch <= cur:
+                    if deferred.missing:
+                        out_loads += 1
+                        blocking = True
+                        if trigger is None:
+                            trigger = TriggerKind.LOAD
+                else:
+                    still.append(deferred)
+            replay = still
+            rob_occ = len(replay) + len(deferred_other) + len(store_unit.sb)
+            iw_occ = len(replay) + len(deferred_other)
+            loads_inflight = out_loads
+            epoch_start_pos = pos
+            first_issue_pos = pos if (store_events or out_loads) else -1
+            termination: Optional[TerminationCondition] = None
+
+            # ---------------- window scan ----------------
+            while termination is None:
+                # Silent completion: store misses outstanding long enough,
+                # with nothing blocking, drain without costing an epoch.
+                if store_events and not blocking and out_loads == 0:
+                    ripe = [
+                        e for e in store_events
+                        if pos - e.issue_position >= self.overlap_depth
+                    ]
+                    if ripe:
+                        store_unit.complete_silently(ripe)
+                        result.fully_overlapped_stores += len(ripe)
+                        ripe_ids = {id(e) for e in ripe}
+                        store_events = [
+                            e for e in store_events if id(e) not in ripe_ids
+                        ]
+                        more, _ = store_unit.pump(cur)
+                        for entry in more:
+                            entry.issue_position = pos
+                            store_events.append(entry)
+                        if not store_events:
+                            trigger = None
+                            first_issue_pos = -1
+                        elif trigger is None:
+                            trigger = TriggerKind.STORE
+                            first_issue_pos = pos
+
+                if pos >= n:
+                    termination = TerminationCondition.END_OF_TRACE
+                    break
+
+                if iw_occ >= core.issue_window or (
+                    blocking and (
+                        rob_occ >= core.rob
+                        or loads_inflight >= core.load_buffer
+                    )
+                ):
+                    termination = (
+                        TerminationCondition.STORE_QUEUE_WINDOW_FULL
+                        if sq_full_seen
+                        else TerminationCondition.WINDOW_FULL
+                    )
+                    break
+
+                inst, info = trace[pos]
+
+                if info.inst_miss and pos not in resolved:
+                    resolved.add(pos)
+                    out_insts += 1
+                    if trigger is None:
+                        trigger = TriggerKind.INSTRUCTION
+                        first_issue_pos = pos
+                    termination = TerminationCondition.INSTRUCTION_MISS
+                    break  # pos stays: the instruction executes next epoch
+
+                kind = inst.kind
+                advance = True
+
+                if kind in _STORE_KINDS:
+                    missing = (
+                        info.data_miss
+                        and not info.smac_hit
+                        and pos not in resolved
+                        and not core.perfect_stores
+                    )
+                    accelerated = info.data_miss and (
+                        info.smac_hit or core.perfect_stores
+                    )
+                    entry = StoreEntry(
+                        granule=store_unit.granule_of(inst.address),
+                        missing=missing,
+                        accelerated=accelerated,
+                        release=inst.lock_release,
+                    )
+                    outcome = store_unit.dispatch(
+                        entry, retirable=not blocking, epoch=cur
+                    )
+                    if not outcome.accepted:
+                        termination = (
+                            TerminationCondition.STORE_QUEUE_STORE_BUFFER_FULL
+                            if sq_full_seen or store_unit.sq_full
+                            else TerminationCondition.STORE_BUFFER_FULL
+                        )
+                        break  # pos stays: re-dispatch next epoch
+                    if missing:
+                        resolved.add(pos)
+                    if accelerated:
+                        result.accelerated_stores += 1
+                    for issued_entry in outcome.issued:
+                        issued_entry.issue_position = pos
+                        store_events.append(issued_entry)
+                    if store_events and trigger is None:
+                        trigger = TriggerKind.STORE
+                        first_issue_pos = pos
+                    if outcome.retire_stalled_sq_full:
+                        blocking = True
+                        sq_full_seen = True
+
+                elif kind is InstructionClass.CAS or (
+                    kind is InstructionClass.MEMBAR
+                    and model is ConsistencyModel.PC
+                ):
+                    if model is ConsistencyModel.PC:
+                        handled, termination = self._serializer_pc(
+                            inst, info, trace, pos, cur,
+                            store_unit, scoreboard, resolved,
+                            store_events, out_loads, out_insts,
+                            replay, deferred_other,
+                        )
+                        if termination is not None:
+                            pf = self._prefetch_past(
+                                trace, pos, cur, scoreboard, resolved
+                            )
+                            pf_loads += pf[0]
+                            pf_stores += pf[1]
+                            break  # pos stays until the drain completes
+                        if handled == "load_miss":
+                            out_loads += 1
+                            loads_inflight += 1
+                            blocking = True
+                            if trigger is None:
+                                trigger = TriggerKind.LOAD
+                                first_issue_pos = pos
+                    else:
+                        # CAS in a WC-configured run of a TSO trace: an
+                        # atomic load+store without TSO's drain semantics.
+                        advance, extra = self._memory_access_wc_cas(
+                            inst, info, pos, cur, store_unit,
+                            scoreboard, resolved, blocking,
+                        )
+                        if extra == "load_miss":
+                            out_loads += 1
+                            loads_inflight += 1
+                            blocking = True
+                            if trigger is None:
+                                trigger = TriggerKind.LOAD
+                                first_issue_pos = pos
+
+                elif kind is InstructionClass.ISYNC:
+                    waiting = (
+                        out_loads > 0 or out_insts > 0
+                        or bool(replay) or bool(deferred_other)
+                    )
+                    if model is ConsistencyModel.WC and waiting:
+                        termination = TerminationCondition.OTHER_SERIALIZE
+                        pf = self._prefetch_past(
+                            trace, pos, cur, scoreboard, resolved
+                        )
+                        pf_loads += pf[0]
+                        pf_stores += pf[1]
+                        break  # isync waits for older instructions only
+                    # Under PC (foreign trace) or with nothing pending:
+                    # executes freely.  Crucially it never waits for the
+                    # store queue to drain.
+
+                elif kind in (InstructionClass.LWSYNC, InstructionClass.MEMBAR):
+                    # WC ordering barrier: orders store commits, does not
+                    # stall the pipeline.
+                    store_unit.add_barrier()
+
+                elif kind in _LOAD_KINDS:
+                    ready = scoreboard.ready_epoch(inst.reads())
+                    will_miss = info.data_miss and pos not in resolved
+                    if ready > cur:
+                        resolved.add(pos)
+                        replay.append(_DeferredLoad(
+                            exec_epoch=ready,
+                            index=pos,
+                            dest=inst.dest,
+                            missing=will_miss,
+                        ))
+                        if inst.dest >= 0:
+                            if will_miss:
+                                scoreboard.produce_off_chip(inst.dest, ready)
+                            else:
+                                scoreboard.produce_on_chip(inst.dest, ready)
+                        iw_occ += 1
+                    elif will_miss:
+                        resolved.add(pos)
+                        out_loads += 1
+                        loads_inflight += 1
+                        scoreboard.produce_off_chip(inst.dest, cur)
+                        blocking = True
+                        if trigger is None:
+                            trigger = TriggerKind.LOAD
+                            first_issue_pos = pos
+                    else:
+                        scoreboard.produce_on_chip(inst.dest, cur)
+                        if blocking:
+                            loads_inflight += 1
+
+                elif is_control(kind):
+                    if info.mispredicted:
+                        depends = scoreboard.ready_epoch(inst.reads()) > cur
+                        if depends and out_loads > 0:
+                            termination = TerminationCondition.MISPRED_BRANCH
+                            pos += 1  # resolves at epoch end; resume after it
+                            break
+                    # Mispredictions resolvable on chip cost no epoch.
+
+                else:  # ALU / NOP / PREFETCH
+                    ready = scoreboard.ready_epoch(inst.reads())
+                    if inst.dest >= 0:
+                        scoreboard.produce_on_chip(inst.dest, max(ready, cur))
+                    if ready > cur:
+                        iw_occ += 1
+                        deferred_other.append(ready)
+
+                if advance:
+                    pos += 1
+                    if blocking:
+                        rob_occ += 1
+
+            # ---------------- epoch close ----------------
+            misses = (
+                len(store_events) + out_loads + out_insts
+                + pf_loads + pf_stores + pf_insts
+            )
+            if misses > 0:
+                record = EpochRecord(
+                    index=len(result.epochs),
+                    trigger=trigger or TriggerKind.STORE,
+                    termination=termination,
+                    store_misses=len(store_events) + pf_stores,
+                    load_misses=out_loads + pf_loads,
+                    inst_misses=out_insts + pf_insts,
+                    instructions=pos - epoch_start_pos,
+                )
+                if self._scout_eligible(termination, out_loads):
+                    elapsed = pos - first_issue_pos if first_issue_pos >= 0 else 0
+                    budget = self.scout_depth - elapsed
+                    outcome = run_scout(
+                        trace, pos, budget, scoreboard, cur, resolved,
+                        prefetch_loads=True,
+                        prefetch_stores=core.scout in (
+                            ScoutMode.HWS1, ScoutMode.HWS2
+                        ),
+                        prefetch_insts=True,
+                    )
+                    if outcome.total:
+                        resolved |= outcome.resolved
+                        record.load_misses += outcome.loads
+                        record.store_misses += outcome.stores
+                        record.inst_misses += outcome.insts
+                        record.scouted = True
+                        result.scout_episodes += 1
+                result.epochs.append(record)
+            cur += 1
+
+            if pos >= n and not replay and store_unit.all_completed(cur):
+                break
+            if (pos, len(replay), store_unit.occupancy) == progress_key and misses == 0:
+                stagnation += 1
+                if stagnation > stagnation_limit:
+                    raise SimulationError(
+                        f"no forward progress at position {pos} "
+                        f"(epoch clock {cur}); simulator state is wedged"
+                    )
+            else:
+                stagnation = 0
+
+        # Final drain: entries whose misses completed in the last epoch are
+        # committed here so the bandwidth accounting covers every store.
+        store_unit.pump(cur + 1)
+        result.stores_committed = store_unit.stats.committed
+        result.store_prefetch_requests = store_unit.stats.prefetch_requests
+        result.stores_coalesced = store_unit.stats.coalesced
+        return result
+
+    # --------------------------------------------------------------- helpers --
+
+    def _serializer_pc(
+        self,
+        inst: Instruction,
+        info: AccessInfo,
+        trace: AnnotatedTrace,
+        pos: int,
+        cur: int,
+        store_unit: StoreUnit,
+        scoreboard: RegisterScoreboard,
+        resolved: Set[int],
+        store_events: List[StoreEntry],
+        out_loads: int,
+        out_insts: int,
+        replay: List[_DeferredLoad],
+        deferred_other: List[int],
+    ) -> tuple[str, Optional[TerminationCondition]]:
+        """Handle ``casa``/``membar`` under PC.
+
+        Returns ``(handled, termination)``: termination is set when the
+        serializer must wait (the window ends here), otherwise the
+        instruction executed and ``handled`` says whether the CAS issued an
+        off-chip access ("load_miss") or completed on chip ("done").
+        """
+        stores_pending = bool(store_events) or not store_unit.all_completed(cur)
+        others_pending = (
+            out_loads > 0 or out_insts > 0
+            or bool(replay) or bool(deferred_other)
+        )
+        if stores_pending or others_pending:
+            if out_loads > 0:
+                return "", TerminationCondition.OTHER_SERIALIZE
+            if stores_pending:
+                return "", TerminationCondition.STORE_SERIALIZE
+            return "", TerminationCondition.OTHER_SERIALIZE
+        # Drained: the serializer executes this epoch.
+        if inst.kind is InstructionClass.CAS:
+            if info.data_miss and pos not in resolved:
+                resolved.add(pos)
+                scoreboard.produce_off_chip(inst.dest, cur)
+                return "load_miss", None
+            scoreboard.produce_on_chip(inst.dest, cur)
+            # The atomic's store half writes an owned line: a plain hit.
+            store_unit.dispatch(
+                StoreEntry(granule=store_unit.granule_of(inst.address)),
+                retirable=True,
+                epoch=cur,
+            )
+        return "done", None
+
+    def _memory_access_wc_cas(
+        self,
+        inst: Instruction,
+        info: AccessInfo,
+        pos: int,
+        cur: int,
+        store_unit: StoreUnit,
+        scoreboard: RegisterScoreboard,
+        resolved: Set[int],
+        blocking: bool,
+    ) -> tuple[bool, str]:
+        """CAS executed under a WC core: atomic load+store, no drain."""
+        if info.data_miss and pos not in resolved:
+            resolved.add(pos)
+            scoreboard.produce_off_chip(inst.dest, cur)
+            return True, "load_miss"
+        scoreboard.produce_on_chip(inst.dest, cur)
+        outcome = store_unit.dispatch(
+            StoreEntry(granule=store_unit.granule_of(inst.address)),
+            retirable=not blocking,
+            epoch=cur,
+        )
+        if not outcome.accepted:
+            # Extremely rare (atomic with SB full): treat as on-chip retry.
+            pass
+        return True, "done"
+
+    def _prefetch_past(
+        self,
+        trace: AnnotatedTrace,
+        pos: int,
+        cur: int,
+        scoreboard: RegisterScoreboard,
+        resolved: Set[int],
+    ) -> tuple[int, int]:
+        """Prefetch loads and stores beyond a stalled serializer (PC2/WC2).
+
+        Bounded by the reorder buffer, since the serializer holds up
+        retirement (paper Section 3.3.4).  Returns (loads, stores) counts;
+        resolved indices are merged into the caller's set.
+        """
+        if not self.core.prefetch_past_serializing:
+            return (0, 0)
+        outcome = run_scout(
+            trace,
+            pos + 1,
+            self.core.rob,
+            scoreboard,
+            cur,
+            resolved,
+            prefetch_loads=True,
+            prefetch_stores=True,
+            prefetch_insts=False,
+        )
+        resolved |= outcome.resolved
+        return (outcome.loads, outcome.stores)
+
+    def _scout_eligible(
+        self,
+        termination: Optional[TerminationCondition],
+        out_loads: int,
+    ) -> bool:
+        mode = self.core.scout
+        if mode is ScoutMode.NONE or termination not in _SCOUTABLE:
+            return False
+        if mode is ScoutMode.HWS2:
+            return True
+        return out_loads > 0
+
+
+def simulate(
+    trace: AnnotatedTrace, config: SimulationConfig | None = None
+) -> SimulationResult:
+    """One-shot convenience wrapper around :class:`MlpSimulator`."""
+    return MlpSimulator(config or SimulationConfig()).run(trace)

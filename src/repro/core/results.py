@@ -1,0 +1,188 @@
+"""Simulation results: EPI, MLP and the distributions behind the figures."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from .epoch import EpochRecord, TerminationCondition, TriggerKind
+
+
+@dataclass(frozen=True)
+class MlpDistribution:
+    """Joint distribution of (store MLP, load+instruction MLP) over epochs.
+
+    This is the paper's Figure 4: each bar is the fraction of epochs with a
+    given store MLP; segments within a bar split by combined load +
+    instruction MLP.  Fractions are over *all* epochs, so the bars for
+    store MLP >= 1 need not sum to one.
+    """
+
+    total_epochs: int
+    cells: Dict[Tuple[int, int], int]
+
+    def fraction(self, store_mlp: int, load_inst_mlp: int) -> float:
+        """Fraction of epochs with exactly this (store, load+inst) MLP pair."""
+        if self.total_epochs == 0:
+            return 0.0
+        return self.cells.get((store_mlp, load_inst_mlp), 0) / self.total_epochs
+
+    def store_mlp_fraction(self, store_mlp: int) -> float:
+        """Fraction of epochs with exactly *store_mlp* missing stores."""
+        if self.total_epochs == 0:
+            return 0.0
+        count = sum(
+            n for (s, _), n in self.cells.items() if s == store_mlp
+        )
+        return count / self.total_epochs
+
+    def bucketed(
+        self, store_cap: int = 10, load_cap: int = 5
+    ) -> Dict[Tuple[int, int], float]:
+        """Fractions with the top buckets capped (">= cap"), figure style."""
+        out: Counter[Tuple[int, int]] = Counter()
+        for (s, li), n in self.cells.items():
+            out[(min(s, store_cap), min(li, load_cap))] += n
+        if self.total_epochs == 0:
+            return {}
+        return {key: n / self.total_epochs for key, n in out.items()}
+
+
+@dataclass
+class SimulationResult:
+    """Everything MLPsim measured over one annotated trace."""
+
+    instructions: int
+    epochs: List[EpochRecord] = field(default_factory=list)
+    fully_overlapped_stores: int = 0
+    accelerated_stores: int = 0
+    scout_episodes: int = 0
+    # L2 write-path bandwidth (paper Sections 3.3.2-3.3.3): every committed
+    # store is one request; prefetch-for-write requests come on top.
+    stores_committed: int = 0
+    store_prefetch_requests: int = 0
+    stores_coalesced: int = 0
+
+    # -- headline metrics --------------------------------------------------
+
+    @property
+    def epoch_count(self) -> int:
+        return len(self.epochs)
+
+    @property
+    def epi(self) -> float:
+        """Epochs per instruction (linear in off-chip CPI)."""
+        if self.instructions == 0:
+            return 0.0
+        return self.epoch_count / self.instructions
+
+    @property
+    def epi_per_1000(self) -> float:
+        """Epochs per 1000 instructions (the paper's figure unit)."""
+        return 1000.0 * self.epi
+
+    @property
+    def total_misses(self) -> int:
+        return sum(e.total_misses for e in self.epochs)
+
+    @property
+    def mlp(self) -> float:
+        """Overall MLP: off-chip accesses per epoch."""
+        if not self.epochs:
+            return 0.0
+        return self.total_misses / self.epoch_count
+
+    @property
+    def store_mlp(self) -> float:
+        """Average missing stores outstanding when at least one is."""
+        store_epochs = [e for e in self.epochs if e.store_misses > 0]
+        if not store_epochs:
+            return 0.0
+        return sum(e.store_misses for e in store_epochs) / len(store_epochs)
+
+    @property
+    def store_miss_count(self) -> int:
+        """Store misses that participated in epochs (excludes silent/SMAC)."""
+        return sum(e.store_misses for e in self.epochs)
+
+    @property
+    def store_overlap_fraction(self) -> float:
+        """Fraction of missing stores fully overlapped with computation
+        (the paper's Table 2)."""
+        total = (
+            self.store_miss_count
+            + self.fully_overlapped_stores
+            + self.accelerated_stores
+        )
+        if total == 0:
+            return 0.0
+        return self.fully_overlapped_stores / total
+
+    @property
+    def l2_store_requests(self) -> int:
+        """Core-to-L2 write-path requests (commits + prefetches)."""
+        return self.stores_committed + self.store_prefetch_requests
+
+    @property
+    def store_bandwidth_overhead(self) -> float:
+        """Extra L2 write requests per committed store due to prefetching.
+
+        This is the cost store prefetching pays and the SMAC avoids: an
+        overhead of 1.0 means every store consumed two write-path slots.
+        """
+        if self.stores_committed == 0:
+            return 0.0
+        return self.store_prefetch_requests / self.stores_committed
+
+    # -- distributions ------------------------------------------------------------
+
+    def termination_histogram(self) -> Dict[TerminationCondition, int]:
+        counts: Counter[TerminationCondition] = Counter()
+        for epoch in self.epochs:
+            counts[epoch.termination] += 1
+        return dict(counts)
+
+    def termination_fractions(
+        self, store_mlp_at_least: int = 0
+    ) -> Dict[TerminationCondition, float]:
+        """Termination mix, optionally restricted to epochs with store MLP >= k
+        (Figure 3 normalizes over epochs where store MLP >= 1)."""
+        selected = [
+            e for e in self.epochs if e.store_misses >= store_mlp_at_least
+        ]
+        if not selected:
+            return {}
+        counts: Counter[TerminationCondition] = Counter()
+        for epoch in selected:
+            counts[epoch.termination] += 1
+        denominator = len(self.epochs) if store_mlp_at_least else len(selected)
+        return {cond: n / denominator for cond, n in counts.items()}
+
+    def trigger_histogram(self) -> Dict[TriggerKind, int]:
+        counts: Counter[TriggerKind] = Counter()
+        for epoch in self.epochs:
+            counts[epoch.trigger] += 1
+        return dict(counts)
+
+    def mlp_distribution(self) -> MlpDistribution:
+        cells: Counter[Tuple[int, int]] = Counter()
+        for epoch in self.epochs:
+            cells[(epoch.store_mlp, epoch.load_inst_mlp)] += 1
+        return MlpDistribution(total_epochs=self.epoch_count, cells=dict(cells))
+
+    # -- convenience ----------------------------------------------------------------
+
+    def off_chip_cpi(self, miss_penalty: int) -> float:
+        """Off-chip CPI = EPI x miss penalty (paper Section 3.4)."""
+        return self.epi * miss_penalty
+
+    def summary(self) -> str:
+        """One-line human-readable digest."""
+        return (
+            f"epochs={self.epoch_count} over {self.instructions} insts "
+            f"(EPI/1000={self.epi_per_1000:.3f}, MLP={self.mlp:.2f}, "
+            f"storeMLP={self.store_mlp:.2f}, "
+            f"overlapped stores={self.fully_overlapped_stores}, "
+            f"accelerated={self.accelerated_stores})"
+        )

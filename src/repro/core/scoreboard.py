@@ -1,0 +1,64 @@
+"""Register dependence tracking in epoch time.
+
+The epoch model ignores on-chip latencies, so the only dependence that
+matters is *which epoch* a value becomes usable in: values produced on chip
+are usable in the producing epoch; values produced by an off-chip missing
+load are usable in the epoch **after** the one in which the miss issued
+(the miss completes at epoch end).
+
+The scoreboard maps each architectural register to the first epoch in which
+its value can be consumed.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..isa.registers import NUM_REGISTERS, REG_NONE, REG_ZERO
+
+
+class RegisterScoreboard:
+    """Per-register earliest-consumable-epoch tracking."""
+
+    def __init__(self, num_registers: int = NUM_REGISTERS) -> None:
+        if num_registers <= 0:
+            raise ValueError("register file must be non-empty")
+        self._ready = [0] * num_registers
+
+    def ready_epoch(self, srcs: Iterable[int]) -> int:
+        """Earliest epoch in which all of *srcs* are available.
+
+        The zero register and the "no register" sentinel never delay.
+        """
+        latest = 0
+        ready = self._ready
+        for reg in srcs:
+            if reg == REG_NONE or reg == REG_ZERO:
+                continue
+            epoch = ready[reg]
+            if epoch > latest:
+                latest = epoch
+        return latest
+
+    def is_ready(self, srcs: Iterable[int], epoch: int) -> bool:
+        """True when every source register is usable in *epoch*."""
+        return self.ready_epoch(srcs) <= epoch
+
+    def produce_on_chip(self, dest: int, epoch: int) -> None:
+        """Record an on-chip producer: value usable within the same epoch."""
+        if dest > REG_ZERO:
+            self._ready[dest] = max(self._ready[dest], epoch)
+
+    def produce_off_chip(self, dest: int, epoch: int) -> None:
+        """Record a missing-load producer: usable only after *epoch* ends."""
+        if dest > REG_ZERO:
+            self._ready[dest] = max(self._ready[dest], epoch + 1)
+
+    def depends_on_epoch_miss(self, srcs: Iterable[int], epoch: int) -> bool:
+        """True when some source was produced by a miss of *epoch* or later.
+
+        This is the "dependent on missing load" predicate used for the
+        mispredicted-branch window termination condition and for deciding
+        which instructions defer to the next epoch.
+        """
+        return self.ready_epoch(srcs) > epoch

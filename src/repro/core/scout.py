@@ -1,0 +1,135 @@
+"""Speculative look-ahead passes: Hardware Scout and prefetch-past-serializing.
+
+Both mechanisms walk the dynamic instruction stream beyond the point where
+architectural execution is stalled, issuing prefetches for the off-chip
+misses they encounter, then throw the speculative work away.  They share
+runahead semantics:
+
+- registers produced by unresolved missing loads are *poisoned*; any
+  instruction reading a poisoned register is skipped and poisons its own
+  destination,
+- loads with poisoned address registers cannot prefetch,
+- serializing instructions are ignored (scout is purely speculative),
+- a mispredicted branch whose operands are poisoned ends the pass: the
+  hardware would fetch down the wrong path from there.
+
+Hardware Scout (paper Section 3.3.5) uses a budget of roughly
+``miss latency x on-chip IPC`` instructions (the scout episode lasts until
+the trigger's data returns).  Prefetch-past-serializing (Section 3.3.4) is
+bounded by the reorder buffer, since the serializing instruction holds up
+retirement.  The caller controls which miss kinds may be prefetched:
+HWS0 prefetches loads and instructions, HWS1/HWS2 add stores, and the
+serializer prefetch covers loads and stores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Set
+
+from ..isa import InstructionClass
+from ..isa.opcodes import is_control
+from ..memory.annotate import AnnotatedTrace
+from .scoreboard import RegisterScoreboard
+
+
+@dataclass
+class ScoutOutcome:
+    """Prefetches issued by one speculative pass."""
+
+    loads: int = 0
+    stores: int = 0
+    insts: int = 0
+    scanned: int = 0
+    resolved: Set[int] = field(default_factory=set)
+
+    @property
+    def total(self) -> int:
+        return self.loads + self.stores + self.insts
+
+
+def run_scout(
+    trace: AnnotatedTrace,
+    start: int,
+    budget: int,
+    scoreboard: RegisterScoreboard,
+    current_epoch: int,
+    resolved: Set[int],
+    prefetch_loads: bool = True,
+    prefetch_stores: bool = False,
+    prefetch_insts: bool = True,
+) -> ScoutOutcome:
+    """Speculatively scan ``trace[start:start+budget]`` issuing prefetches.
+
+    *resolved* is the simulator's set of already-serviced trace indices; the
+    pass reads it (never prefetching twice) and reports its own additions in
+    ``ScoutOutcome.resolved`` for the caller to merge.
+    """
+    outcome = ScoutOutcome()
+    if budget <= 0:
+        return outcome
+    poisoned: Set[int] = set()
+
+    def sources_poisoned(srcs: tuple[int, ...]) -> bool:
+        for reg in srcs:
+            if reg in poisoned:
+                return True
+        # Values still in flight architecturally are equally unavailable.
+        return not scoreboard.is_ready(srcs, current_epoch)
+
+    index = start
+    end = min(len(trace), start + budget)
+    while index < end:
+        inst, info = trace[index]
+        outcome.scanned += 1
+        kind = inst.kind
+        if (
+            prefetch_insts
+            and info.inst_miss
+            and index not in resolved
+            and index not in outcome.resolved
+        ):
+            outcome.resolved.add(index)
+            outcome.insts += 1
+        if kind in (InstructionClass.LOAD, InstructionClass.LOAD_LOCKED,
+                    InstructionClass.CAS):
+            if sources_poisoned(inst.reads()):
+                if inst.dest >= 0:
+                    poisoned.add(inst.dest)
+            elif (
+                prefetch_loads
+                and info.data_miss
+                and index not in resolved
+                and index not in outcome.resolved
+            ):
+                outcome.resolved.add(index)
+                outcome.loads += 1
+                if inst.dest >= 0:
+                    poisoned.add(inst.dest)  # data not available in scout
+            else:
+                poisoned.discard(inst.dest)
+        elif kind in (InstructionClass.STORE, InstructionClass.STORE_COND):
+            if (
+                prefetch_stores
+                and not sources_poisoned(inst.address_reads())
+                and info.data_miss
+                and not info.smac_hit
+                and index not in resolved
+                and index not in outcome.resolved
+            ):
+                outcome.resolved.add(index)
+                outcome.stores += 1
+        elif is_control(kind):
+            if info.mispredicted and sources_poisoned(inst.reads()):
+                break  # scout would fetch the wrong path from here
+        elif kind in (InstructionClass.MEMBAR, InstructionClass.ISYNC,
+                      InstructionClass.LWSYNC):
+            pass  # scout is purely speculative: serialization is ignored
+        else:
+            if inst.dest >= 0:
+                if sources_poisoned(inst.reads()):
+                    poisoned.add(inst.dest)
+                else:
+                    poisoned.discard(inst.dest)
+        index += 1
+    return outcome

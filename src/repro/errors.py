@@ -1,0 +1,36 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the package derives from :class:`ReproError` so callers
+can catch package-level failures with a single ``except`` clause while still
+letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is invalid or inconsistent with another value."""
+
+
+class TraceError(ReproError):
+    """A trace stream is malformed or used incorrectly."""
+
+
+class TraceFormatError(TraceError):
+    """A serialized trace file could not be decoded."""
+
+
+class CacheGeometryError(ConfigError):
+    """A cache was configured with an impossible geometry."""
+
+
+class SimulationError(ReproError):
+    """The simulator reached an internal inconsistency."""
+
+
+class CalibrationError(ReproError):
+    """A workload generator could not be calibrated to its targets."""

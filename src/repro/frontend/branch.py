@@ -1,0 +1,160 @@
+"""gshare direction prediction, branch target buffer and return address stack.
+
+The paper's configuration: 64K-entry gshare, 16K-entry BTB, 16-entry RAS.
+The predictor is consulted once per dynamic control transfer during trace
+annotation; the resulting per-branch mispredict flags are core-configuration
+independent and are reused across every simulator sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import BranchPredictorConfig
+from ..isa import Instruction, InstructionClass
+
+
+class GshareTable:
+    """Global-history XOR-indexed table of 2-bit saturating counters."""
+
+    def __init__(self, entries: int, history_bits: int) -> None:
+        if entries & (entries - 1):
+            raise ValueError("gshare entries must be a power of two")
+        self._mask = entries - 1
+        self._history_mask = (1 << history_bits) - 1
+        self._history = 0
+        # 2-bit counters initialised weakly taken: commercial code branches
+        # are taken-biased (loops, error checks).
+        self._counters = bytearray([2] * entries)
+
+    def _index(self, pc: int) -> int:
+        return ((pc >> 2) ^ self._history) & self._mask
+
+    def predict(self, pc: int) -> bool:
+        """Predict taken/not-taken for the branch at *pc*."""
+        return self._counters[self._index(pc)] >= 2
+
+    def update(self, pc: int, taken: bool) -> None:
+        """Train the counter and shift the global history."""
+        index = self._index(pc)
+        counter = self._counters[index]
+        if taken:
+            if counter < 3:
+                self._counters[index] = counter + 1
+        else:
+            if counter > 0:
+                self._counters[index] = counter - 1
+        self._history = ((self._history << 1) | int(taken)) & self._history_mask
+
+
+class BranchTargetBuffer:
+    """Direct-mapped tag/target store.
+
+    A taken branch whose target is absent (or stale) in the BTB redirects
+    fetch late; we count that as a misprediction, matching how trace-driven
+    front-end models treat BTB misses.
+    """
+
+    def __init__(self, entries: int) -> None:
+        if entries & (entries - 1):
+            raise ValueError("BTB entries must be a power of two")
+        self._mask = entries - 1
+        self._tags: list[int] = [-1] * entries
+        self._targets: list[int] = [0] * entries
+
+    def lookup(self, pc: int) -> int | None:
+        """Return the predicted target, or None on BTB miss."""
+        index = (pc >> 2) & self._mask
+        if self._tags[index] == pc:
+            return self._targets[index]
+        return None
+
+    def update(self, pc: int, target: int) -> None:
+        index = (pc >> 2) & self._mask
+        self._tags[index] = pc
+        self._targets[index] = target
+
+
+class ReturnAddressStack:
+    """Fixed-depth return address predictor with wrap-around overwrite."""
+
+    def __init__(self, entries: int) -> None:
+        if entries <= 0:
+            raise ValueError("RAS needs at least one entry")
+        self._stack: list[int] = []
+        self._entries = entries
+
+    def push(self, return_pc: int) -> None:
+        if len(self._stack) >= self._entries:
+            del self._stack[0]
+        self._stack.append(return_pc)
+
+    def pop(self) -> int | None:
+        if self._stack:
+            return self._stack.pop()
+        return None
+
+    @property
+    def depth(self) -> int:
+        return len(self._stack)
+
+
+@dataclass
+class BranchStats:
+    branches: int = 0
+    mispredictions: int = 0
+    btb_misses: int = 0
+    ras_mispredictions: int = 0
+
+    @property
+    def mispredict_ratio(self) -> float:
+        return self.mispredictions / self.branches if self.branches else 0.0
+
+    def reset(self) -> None:
+        self.branches = self.mispredictions = 0
+        self.btb_misses = self.ras_mispredictions = 0
+
+
+class BranchPredictor:
+    """Combined gshare + BTB + RAS front-end predictor."""
+
+    def __init__(self, config: BranchPredictorConfig) -> None:
+        self.config = config
+        self.gshare = GshareTable(config.gshare_entries, config.history_bits)
+        self.btb = BranchTargetBuffer(config.btb_entries)
+        self.ras = ReturnAddressStack(config.ras_entries)
+        self.stats = BranchStats()
+
+    def observe(self, inst: Instruction) -> bool:
+        """Predict then train on one dynamic control transfer.
+
+        Returns True when the dynamic instance was mispredicted (wrong
+        direction, missing BTB target for a taken branch, or wrong RAS top
+        for a return).
+        """
+        self.stats.branches += 1
+        if inst.kind is InstructionClass.CALL:
+            self.ras.push(inst.pc + 4)
+            self.btb.update(inst.pc, inst.target)
+            return False  # unconditional, target in instruction
+        if inst.kind is InstructionClass.RETURN:
+            predicted = self.ras.pop()
+            if predicted != inst.target:
+                self.stats.mispredictions += 1
+                self.stats.ras_mispredictions += 1
+                return False if predicted is None else True
+            return False
+        # Conditional branch: direction via gshare, target via BTB.
+        predicted_taken = self.gshare.predict(inst.pc)
+        mispredicted = predicted_taken != inst.taken
+        if inst.taken and not mispredicted:
+            target = self.btb.lookup(inst.pc)
+            if target != inst.target:
+                mispredicted = True
+                self.stats.btb_misses += 1
+        self.gshare.update(inst.pc, inst.taken)
+        if inst.taken:
+            self.btb.update(inst.pc, inst.target)
+        if mispredicted:
+            self.stats.mispredictions += 1
+        return mispredicted

@@ -1,0 +1,52 @@
+"""Fetch buffer occupancy model.
+
+The fetch buffer decouples the front end from rename.  In the epoch MLP
+model it matters as a window resource: when the pipeline stalls (e.g. behind
+a full store queue), fetch can run ahead by at most ``capacity`` further
+instructions, extending the pool from which overlappable misses can be
+discovered by prefetch-past-serializing and similar mechanisms.
+"""
+
+from __future__ import annotations
+
+
+class FetchBuffer:
+    """Counter-based occupancy model of the fetch buffer."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("fetch buffer needs at least one entry")
+        self.capacity = capacity
+        self._occupied = 0
+
+    @property
+    def occupied(self) -> int:
+        return self._occupied
+
+    @property
+    def free(self) -> int:
+        return self.capacity - self._occupied
+
+    @property
+    def full(self) -> bool:
+        return self._occupied >= self.capacity
+
+    def push(self, count: int = 1) -> int:
+        """Insert up to *count* fetched instructions; return how many fit."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        accepted = min(count, self.free)
+        self._occupied += accepted
+        return accepted
+
+    def pop(self, count: int = 1) -> int:
+        """Remove up to *count* instructions into rename; return how many."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        drained = min(count, self._occupied)
+        self._occupied -= drained
+        return drained
+
+    def flush(self) -> None:
+        """Empty the buffer (pipeline flush / scout exit)."""
+        self._occupied = 0

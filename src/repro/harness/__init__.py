@@ -1,0 +1,48 @@
+"""Experiment harness: reproduce every table and figure of the paper.
+
+:mod:`~repro.harness.experiment` provides the :class:`Workbench`, which
+caches calibrated profiles, generated traces and annotated variants so that
+figure-level sweeps (dozens of core configurations) pay the expensive
+memory-side simulation only once per variant.
+:mod:`~repro.harness.tables` and :mod:`~repro.harness.figures` are the
+drivers, one function per paper exhibit; each returns structured data and
+has a matching formatter in :mod:`~repro.harness.formatting`.
+"""
+
+from .experiment import ExperimentSettings, Workbench
+from .figures import (
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+)
+from .formatting import format_table, format_series
+from .report import generate_report
+from .sweeps import SweepRecord, best_point, pareto_front, sweep, sweep_workloads
+from .tables import table1, table2, table3
+
+__all__ = [
+    "ExperimentSettings",
+    "SweepRecord",
+    "Workbench",
+    "best_point",
+    "figure2",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "format_series",
+    "format_table",
+    "generate_report",
+    "pareto_front",
+    "sweep",
+    "sweep_workloads",
+    "table1",
+    "table2",
+    "table3",
+]

@@ -1,0 +1,240 @@
+"""The Workbench: cached end-to-end experiment plumbing.
+
+Pipeline per (workload, variant):
+
+1. calibrate the profile against Table 1 (cached per workload),
+2. generate the instruction trace (cached),
+3. apply trace transformations — WC lock rewriting and/or SLE (cached),
+4. annotate through the memory hierarchy, branch predictor and sharing
+   model (cached per memory-side configuration),
+5. run MLPsim for each core configuration (cheap; not cached).
+
+Figure sweeps re-run step 5 dozens of times against one cached annotation,
+mirroring the paper's methodology where cache behaviour is independent of
+the core parameters being swept.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..config import (
+    ConsistencyModel,
+    MemoryConfig,
+    SimulationConfig,
+    SystemConfig,
+)
+from ..core import MlpSimulator, SimulationResult
+from ..core.cpi import PAPER_CPI_ON_CHIP
+from ..frontend import BranchPredictor
+from ..isa import Instruction
+from ..locks import apply_sle, apply_transactional_memory, rewrite_pc_to_wc
+from ..memory import AnnotatedTrace, MemorySystem, annotate_trace
+from ..multiproc import MultiChipSystem, SharingModel
+from ..workloads import WORKLOADS, WorkloadProfile, calibrate_profile
+from ..workloads.generator import WorkloadGenerator
+
+
+@dataclass(frozen=True)
+class ExperimentSettings:
+    """Trace sizing and seeding shared by all experiments."""
+
+    warmup: int = 40_000
+    measure: int = 120_000
+    seed: int = 7
+    calibrate: bool = True
+
+    @property
+    def total(self) -> int:
+        return self.warmup + self.measure
+
+
+@dataclass(frozen=True)
+class SharingSettings:
+    """Remote-traffic model parameters for multi-chip experiments."""
+
+    nodes: int = 2
+    write_rate_per_1000: float = 1.2
+    read_rate_per_1000: float = 0.4
+
+
+class Workbench:
+    """Caches every expensive stage of the experiment pipeline."""
+
+    def __init__(self, settings: ExperimentSettings | None = None) -> None:
+        self.settings = settings or ExperimentSettings()
+        self._profiles: Dict[str, WorkloadProfile] = {}
+        self._traces: Dict[Tuple[str, str], List[Instruction]] = {}
+        self._annotations: Dict[tuple, AnnotatedTrace] = {}
+        self._memories: Dict[tuple, MemorySystem] = {}
+
+    # -- profiles / traces ----------------------------------------------------
+
+    def profile(self, workload: str) -> WorkloadProfile:
+        """The (calibrated) profile for *workload*."""
+        if workload not in self._profiles:
+            base = WORKLOADS[workload]
+            if self.settings.calibrate:
+                base = calibrate_profile(
+                    base,
+                    instructions=min(150_000, self.settings.total),
+                    warmup=min(50_000, self.settings.warmup + 10_000),
+                    seed=self.settings.seed,
+                )
+            self._profiles[workload] = base
+        return self._profiles[workload]
+
+    def set_profile(self, workload: str, profile: WorkloadProfile) -> None:
+        """Install a custom profile (e.g. the scaled SMAC variant) and drop
+        any cached downstream state for the workload."""
+        self._profiles[workload] = profile
+        self._traces = {
+            key: value for key, value in self._traces.items()
+            if key[0] != workload
+        }
+        self._annotations = {
+            key: value for key, value in self._annotations.items()
+            if key[0] != workload
+        }
+        self._memories = {
+            key: value for key, value in self._memories.items()
+            if key[0] != workload
+        }
+
+    def trace(self, workload: str, variant: str = "pc") -> List[Instruction]:
+        """The instruction trace for a workload under a lock-idiom variant.
+
+        Variants: ``pc`` (native TSO), ``wc`` (lock idioms rewritten to
+        lwarx/stwcx/isync + lwsync), ``pc_sle``/``wc_sle`` (locks elided),
+        ``pc_tm``/``wc_tm`` (critical sections run as transactions).
+        """
+        key = (workload, variant)
+        if key not in self._traces:
+            base_key = (workload, "pc")
+            if base_key not in self._traces:
+                generator = WorkloadGenerator(
+                    self.profile(workload), seed=self.settings.seed
+                )
+                self._traces[base_key] = generator.generate(self.settings.total)
+            trace = self._traces[base_key]
+            if variant == "pc":
+                pass
+            elif variant == "wc":
+                trace = rewrite_pc_to_wc(trace)
+            elif variant == "pc_sle":
+                trace = apply_sle(trace)
+            elif variant == "wc_sle":
+                trace = apply_sle(rewrite_pc_to_wc(trace))
+            elif variant == "pc_tm":
+                trace = apply_transactional_memory(trace)
+            elif variant == "wc_tm":
+                trace = apply_transactional_memory(rewrite_pc_to_wc(trace))
+            else:
+                raise ValueError(f"unknown trace variant {variant!r}")
+            self._traces[key] = trace
+        return self._traces[key]
+
+    # -- annotation ------------------------------------------------------------
+
+    def annotated(
+        self,
+        workload: str,
+        variant: str = "pc",
+        memory_config: MemoryConfig | None = None,
+        sharing: SharingSettings | None = None,
+        tag: str = "",
+    ) -> AnnotatedTrace:
+        """Miss-classified measurement window for a workload variant.
+
+        The cache key includes the (frozen, hashable) memory configuration
+        itself, so different SMAC geometries never collide; *tag* remains
+        as a human-readable discriminator used by :meth:`memory_for`.
+        """
+        key = (workload, variant, memory_config, tag, sharing)
+        if key not in self._annotations:
+            config = memory_config or MemoryConfig()
+            profile = self.profile(workload)
+            system = None
+            nodes = sharing.nodes if sharing is not None else 2
+            memory = MemorySystem(config, single_chip=(nodes == 1))
+            if sharing is not None and sharing.nodes > 1:
+                generator = WorkloadGenerator(profile, seed=self.settings.seed)
+                shared_region = generator.space["shared"]
+                model = SharingModel(
+                    shared_base=shared_region.base,
+                    shared_bytes=shared_region.size,
+                    write_rate_per_1000=sharing.write_rate_per_1000,
+                    read_rate_per_1000=sharing.read_rate_per_1000,
+                    remote_nodes=sharing.nodes - 1,
+                    seed=self.settings.seed + 1,
+                )
+                system = MultiChipSystem(
+                    config, SystemConfig(nodes=sharing.nodes), sharing=model
+                )
+                memory = system.memory
+            predictor = BranchPredictor(SimulationConfig().core.branch)
+            annotated = annotate_trace(
+                self.trace(workload, variant),
+                memory,
+                predictor=predictor,
+                system=system,
+                warmup=self.settings.warmup,
+            )
+            self._annotations[key] = annotated
+            # memory_for looks up without the memory_config (tags carry the
+            # human-readable discrimination there).
+            self._memories[(workload, variant, tag, sharing)] = memory
+        return self._annotations[key]
+
+    def memory_for(
+        self,
+        workload: str,
+        variant: str = "pc",
+        sharing: SharingSettings | None = None,
+        tag: str = "",
+    ) -> MemorySystem:
+        """The memory system that produced an annotation (for its counters)."""
+        key = (workload, variant, tag, sharing)
+        if key not in self._memories:
+            raise KeyError(
+                f"annotate {key} first via Workbench.annotated(...)"
+            )
+        return self._memories[key]
+
+    # -- simulation ---------------------------------------------------------------
+
+    def simulation_config(self, workload: str, **core_changes) -> SimulationConfig:
+        """Default simulation config with the workload's Table 3 CPI."""
+        config = dataclasses.replace(
+            SimulationConfig(),
+            cpi_on_chip=PAPER_CPI_ON_CHIP.get(workload, 1.0),
+            warmup_instructions=self.settings.warmup,
+            measure_instructions=self.settings.measure,
+        )
+        if core_changes:
+            config = config.with_core(**core_changes)
+        return config
+
+    def run(
+        self,
+        workload: str,
+        variant: str = "pc",
+        memory_config: MemoryConfig | None = None,
+        sharing: SharingSettings | None = None,
+        tag: str = "",
+        config: Optional[SimulationConfig] = None,
+        **core_changes,
+    ) -> SimulationResult:
+        """Annotate (cached) and simulate one configuration."""
+        annotated = self.annotated(workload, variant, memory_config, sharing, tag)
+        if config is None:
+            config = self.simulation_config(workload, **core_changes)
+        elif core_changes:
+            config = config.with_core(**core_changes)
+        if variant.startswith("wc") and (
+            config.core.consistency is not ConsistencyModel.WC
+        ):
+            config = config.with_core(consistency=ConsistencyModel.WC)
+        return MlpSimulator(config).run(annotated)

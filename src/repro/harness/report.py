@@ -1,0 +1,304 @@
+"""Markdown report generation: paper-vs-measured for every exhibit.
+
+``generate_report`` runs any subset of the paper's tables and figures on a
+workbench and renders a self-contained markdown document.  The repository's
+``EXPERIMENTS.md`` is produced by this module (see the header it emits), so
+the recorded numbers can always be regenerated::
+
+    python -m repro.harness.report --measure 120000 > EXPERIMENTS.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Sequence
+
+from ..core.cpi import PAPER_CPI_ON_CHIP
+from ..core.epoch import TerminationCondition
+from .experiment import ExperimentSettings, Workbench
+from .figures import (
+    ALL_WORKLOADS,
+    SMAC_ENTRY_SWEEP,
+    SMAC_SCALE,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    smac_scaled_profile,
+)
+from .tables import PAPER_TABLE1, PAPER_TABLE2, table1, table2, table3
+
+ALL_SECTIONS = (
+    "table1", "table2", "table3",
+    "figure2", "figure3", "figure4",
+    "figure5", "figure6", "figure7", "figure8",
+)
+
+
+def _md_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    def fmt(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.3f}"
+        return str(value)
+
+    lines = [
+        "| " + " | ".join(headers) + " |",
+        "|" + "|".join("---" for _ in headers) + "|",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(fmt(v) for v in row) + " |")
+    return "\n".join(lines)
+
+
+def _section_table1(bench: Workbench) -> str:
+    rows = table1(bench, ALL_WORKLOADS)
+    body = _md_table(
+        ["per 100 insts", *(r.workload for r in rows)],
+        [
+            ["store frequency (measured)", *(r.store_frequency for r in rows)],
+            ["L2 store miss (measured)", *(r.store_miss_per_100 for r in rows)],
+            ["L2 store miss (paper)",
+             *(PAPER_TABLE1[r.workload]["store"] for r in rows)],
+            ["L2 load miss (measured)", *(r.load_miss_per_100 for r in rows)],
+            ["L2 load miss (paper)",
+             *(PAPER_TABLE1[r.workload]["load"] for r in rows)],
+            ["L2 inst miss (measured)", *(r.inst_miss_per_100 for r in rows)],
+            ["L2 inst miss (paper)",
+             *(PAPER_TABLE1[r.workload]["inst"] for r in rows)],
+        ],
+    )
+    return "## Table 1 — store and miss rate statistics\n\n" + body
+
+
+def _section_table2(bench: Workbench) -> str:
+    measured = table2(bench, ALL_WORKLOADS)
+    body = _md_table(
+        ["fully overlapped stores", *measured.keys()],
+        [
+            ["measured", *measured.values()],
+            ["paper", *(PAPER_TABLE2[w] for w in measured)],
+        ],
+    )
+    return "## Table 2 — missing stores fully overlapped with computation\n\n" + body
+
+
+def _section_table3(bench: Workbench) -> str:
+    measured = table3(bench, ALL_WORKLOADS)
+    body = _md_table(
+        ["CPI on-chip", *measured.keys()],
+        [
+            ["estimated", *measured.values()],
+            ["paper", *(PAPER_CPI_ON_CHIP[w] for w in measured)],
+        ],
+    )
+    return "## Table 3 — CPI_on-chip (default configuration)\n\n" + body
+
+
+def _section_figure2(bench: Workbench) -> str:
+    results = figure2(bench, ALL_WORKLOADS)
+    parts = ["## Figure 2 — store prefetching, SB and SQ sizing (EPI/1000)"]
+    for workload, series in results.items():
+        rows = []
+        for mode in ("Sp0", "Sp1", "Sp2"):
+            for sb in (8, 16, 32):
+                row: List[object] = [f"{mode}/sb{sb}"]
+                for sq in (16, 32, 64, 256):
+                    row.append(series[f"{mode}/sb{sb}/sq{sq}"])
+                rows.append(row)
+        rows.append(["perfect stores", series["perfect"], "", "", ""])
+        parts.append(f"### {workload}\n\n" + _md_table(
+            ["config", "sq16", "sq32", "sq64", "sq256"], rows,
+        ))
+    return "\n\n".join(parts)
+
+
+def _section_figure3(bench: Workbench) -> str:
+    parts = ["## Figure 3 — window termination conditions "
+             "(fraction of epochs, store MLP >= 1)"]
+    for label, sle in (("A: default", False), ("B: SLE + prefetch past", True)):
+        results = figure3(bench, ALL_WORKLOADS, sle=sle)
+        conditions = [c for c in TerminationCondition
+                      if c is not TerminationCondition.END_OF_TRACE]
+        rows = []
+        for condition in conditions:
+            row: List[object] = [condition.value]
+            for workload in ALL_WORKLOADS:
+                row.append(results[workload].get(condition, 0.0))
+            rows.append(row)
+        parts.append(f"### {label}\n\n" + _md_table(
+            ["condition", *ALL_WORKLOADS], rows,
+        ))
+    return "\n\n".join(parts)
+
+
+def _section_figure4(bench: Workbench) -> str:
+    results = figure4(bench, ALL_WORKLOADS)
+    parts = ["## Figure 4 — MLP distributions "
+             "(fraction of epochs; rows: store MLP, columns: load+inst MLP)"]
+    for workload, cells in results.items():
+        store_values = sorted({s for (s, _), f in cells.items() if s >= 1})
+        rows = []
+        for store_mlp in store_values:
+            row: List[object] = [store_mlp]
+            for load_mlp in range(6):
+                row.append(cells.get((store_mlp, load_mlp), 0.0))
+            rows.append(row)
+        parts.append(f"### {workload}\n\n" + _md_table(
+            ["store MLP", *(f"li{l}" for l in range(6))], rows,
+        ))
+    return "\n\n".join(parts)
+
+
+def _smac_bench(bench: Workbench) -> Workbench:
+    smac = Workbench(ExperimentSettings(
+        warmup=max(bench.settings.warmup, 60_000),
+        measure=max(bench.settings.measure, 90_000),
+        seed=bench.settings.seed,
+        calibrate=False,
+    ))
+    for name in ALL_WORKLOADS:
+        smac.set_profile(name, smac_scaled_profile(name))
+    return smac
+
+
+def _section_figure5(bench: Workbench) -> str:
+    smac = _smac_bench(bench)
+    results = figure5(smac, ALL_WORKLOADS)
+    parts = [
+        "## Figure 5 — Store Miss Accelerator (EPI/1000)\n\n"
+        f"SMAC entries scaled 1:{SMAC_SCALE} from the paper's 8K-128K; "
+        "see DESIGN.md for the scaling argument."
+    ]
+    for workload, series in results.items():
+        rows = []
+        for mode in ("Sp0", "Sp1", "Sp2"):
+            row: List[object] = [mode, series[f"{mode}/none"]]
+            for entries in SMAC_ENTRY_SWEEP:
+                row.append(series[f"{mode}/smac{entries}"])
+            row.append(series[f"{mode}/perfect"])
+            rows.append(row)
+        headers = ["mode", "no SMAC",
+                   *(f"{e} ({e * SMAC_SCALE // 1024}K)" for e in SMAC_ENTRY_SWEEP),
+                   "perfect"]
+        parts.append(f"### {workload}\n\n" + _md_table(headers, rows))
+    return "\n\n".join(parts)
+
+
+def _section_figure6(bench: Workbench) -> str:
+    smac = _smac_bench(bench)
+    results = figure6(smac, ALL_WORKLOADS)
+    parts = ["## Figure 6 — coherence impact on the SMAC"]
+    for metric, title in (
+        ("invalidates_per_1000", "SMAC coherence invalidates per 1000 insts"),
+        ("invalid_hit_percent", "% of missing stores hitting invalidated entries"),
+    ):
+        rows = []
+        for workload in ALL_WORKLOADS:
+            for nodes in (2, 4):
+                row: List[object] = [f"{workload}/{nodes}-node"]
+                for entries in SMAC_ENTRY_SWEEP:
+                    row.append(results[workload][metric][nodes][entries])
+                rows.append(row)
+        parts.append(f"### {title}\n\n" + _md_table(
+            ["workload/nodes", *(str(e) for e in SMAC_ENTRY_SWEEP)], rows,
+        ))
+    return "\n\n".join(parts)
+
+
+def _section_figure7(bench: Workbench) -> str:
+    results = figure7(bench, ALL_WORKLOADS)
+    parts = ["## Figure 7 — consistency model optimizations (EPI/1000, Sp1)"]
+    rows = []
+    for workload in ALL_WORKLOADS:
+        series = results[workload]
+        for label in ("PC1", "PC2", "PC3", "WC1", "WC2", "WC3"):
+            pair = series[f"Sp1/{label}"]
+            rows.append([
+                f"{workload}/{label}", pair["with_stores"], pair["perfect"],
+            ])
+    parts.append(_md_table(
+        ["configuration", "with stores", "perfect stores"], rows,
+    ))
+    return "\n\n".join(parts)
+
+
+def _section_figure8(bench: Workbench) -> str:
+    results = figure8(bench, ALL_WORKLOADS)
+    parts = ["## Figure 8 — Hardware Scout (EPI/1000)"]
+    rows = []
+    for workload in ALL_WORKLOADS:
+        series = results[workload]
+        for key in ("PC/NoHWS", "PC/HWS0", "PC/HWS1", "PC/HWS2",
+                    "WC/NoHWS", "WC/HWS0", "WC/HWS1", "WC/HWS2"):
+            pair = series[key]
+            rows.append([
+                f"{workload}/{key}", pair["with_stores"], pair["perfect"],
+            ])
+    parts.append(_md_table(
+        ["configuration", "with stores", "perfect stores"], rows,
+    ))
+    return "\n\n".join(parts)
+
+
+_SECTIONS: Dict[str, Callable[[Workbench], str]] = {
+    "table1": _section_table1,
+    "table2": _section_table2,
+    "table3": _section_table3,
+    "figure2": _section_figure2,
+    "figure3": _section_figure3,
+    "figure4": _section_figure4,
+    "figure5": _section_figure5,
+    "figure6": _section_figure6,
+    "figure7": _section_figure7,
+    "figure8": _section_figure8,
+}
+
+
+def generate_report(
+    bench: Workbench,
+    sections: Sequence[str] = ALL_SECTIONS,
+) -> str:
+    """Render the paper-vs-measured report for the requested sections."""
+    unknown = set(sections) - set(_SECTIONS)
+    if unknown:
+        raise ValueError(f"unknown report sections: {sorted(unknown)}")
+    settings = bench.settings
+    header = (
+        "# Experiments — paper vs. measured\n\n"
+        "Reproduction of *Store Memory-Level Parallelism Optimizations for "
+        "Commercial Applications* (MICRO 2005).\n\n"
+        f"Generated by `repro.harness.report` with "
+        f"measure={settings.measure}, warmup={settings.warmup}, "
+        f"seed={settings.seed}, calibrate={settings.calibrate}. "
+        "Absolute EPI values depend on the synthetic trace substitution "
+        "(see DESIGN.md); the comparisons target shape: orderings, rough "
+        "factors and crossovers.\n"
+    )
+    body = [header]
+    for name in sections:
+        body.append(_SECTIONS[name](bench))
+    return "\n\n".join(body) + "\n"
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Generate the paper-vs-measured markdown report",
+    )
+    parser.add_argument("--measure", type=int, default=120_000)
+    parser.add_argument("--warmup", type=int, default=40_000)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--sections", nargs="*", default=list(ALL_SECTIONS))
+    args = parser.parse_args(argv)
+    bench = Workbench(ExperimentSettings(
+        warmup=args.warmup, measure=args.measure, seed=args.seed,
+    ))
+    sys.stdout.write(generate_report(bench, args.sections))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

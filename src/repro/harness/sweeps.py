@@ -1,0 +1,142 @@
+"""Generic parameter sweeps over MLPsim configurations.
+
+The figure drivers hard-code the paper's sweeps; this module provides the
+general tool for new studies: give it a workbench, a workload and a grid of
+core-configuration axes, get back one record per point with the headline
+metrics, ready for tabulation or plotting.
+
+Example::
+
+    from repro.harness import Workbench
+    from repro.harness.sweeps import sweep
+
+    bench = Workbench()
+    records = sweep(
+        bench, "database",
+        store_queue=[16, 32, 64],
+        store_prefetch=list(StorePrefetchMode),
+    )
+    best = min(records, key=lambda r: r.epi_per_1000)
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Sequence, Tuple
+
+from ..core.results import SimulationResult
+from .experiment import Workbench
+
+
+@dataclass(frozen=True)
+class SweepRecord:
+    """One point of a sweep: the knob values and the measured metrics."""
+
+    workload: str
+    variant: str
+    point: Tuple[Tuple[str, Any], ...]
+    epi_per_1000: float
+    mlp: float
+    store_mlp: float
+    store_overlap_fraction: float
+    store_bandwidth_overhead: float
+
+    @property
+    def knobs(self) -> Dict[str, Any]:
+        return dict(self.point)
+
+    def label(self) -> str:
+        """Compact ``knob=value`` rendering for table rows."""
+        return " ".join(
+            f"{name}={getattr(value, 'value', value)}"
+            for name, value in self.point
+        )
+
+
+def _record(
+    workload: str,
+    variant: str,
+    point: Tuple[Tuple[str, Any], ...],
+    result: SimulationResult,
+) -> SweepRecord:
+    return SweepRecord(
+        workload=workload,
+        variant=variant,
+        point=point,
+        epi_per_1000=result.epi_per_1000,
+        mlp=result.mlp,
+        store_mlp=result.store_mlp,
+        store_overlap_fraction=result.store_overlap_fraction,
+        store_bandwidth_overhead=result.store_bandwidth_overhead,
+    )
+
+
+def sweep(
+    bench: Workbench,
+    workload: str,
+    variant: str = "pc",
+    **axes: Sequence[Any],
+) -> List[SweepRecord]:
+    """Run the cartesian product of *axes* (core-config fields) and return
+    one record per point, in grid order."""
+    if not axes:
+        raise ValueError("a sweep needs at least one axis")
+    names = list(axes)
+    records: List[SweepRecord] = []
+    for values in itertools.product(*(axes[name] for name in names)):
+        point = tuple(zip(names, values))
+        result = bench.run(workload, variant=variant, **dict(point))
+        records.append(_record(workload, variant, point, result))
+    return records
+
+
+def sweep_workloads(
+    bench: Workbench,
+    workloads: Iterable[str],
+    variant: str = "pc",
+    **axes: Sequence[Any],
+) -> Dict[str, List[SweepRecord]]:
+    """:func:`sweep` across several workloads."""
+    return {
+        workload: sweep(bench, workload, variant, **axes)
+        for workload in workloads
+    }
+
+
+def best_point(
+    records: Sequence[SweepRecord],
+    metric: str = "epi_per_1000",
+    minimize: bool = True,
+) -> SweepRecord:
+    """The record optimizing *metric* (ties go to the earliest grid point)."""
+    if not records:
+        raise ValueError("no records to choose from")
+    chooser = min if minimize else max
+    return chooser(records, key=lambda r: getattr(r, metric))
+
+
+def pareto_front(
+    records: Sequence[SweepRecord],
+    metrics: Sequence[str] = ("epi_per_1000", "store_bandwidth_overhead"),
+) -> List[SweepRecord]:
+    """Records not dominated on all of *metrics* (all minimized).
+
+    Useful for cost/performance trade-offs such as EPI vs prefetch
+    bandwidth — the axis along which the paper positions the SMAC.
+    """
+    front: List[SweepRecord] = []
+    for candidate in records:
+        candidate_values = [getattr(candidate, m) for m in metrics]
+        dominated = False
+        for other in records:
+            if other is candidate:
+                continue
+            other_values = [getattr(other, m) for m in metrics]
+            if all(o <= c for o, c in zip(other_values, candidate_values)) \
+                    and any(o < c for o, c in zip(other_values, candidate_values)):
+                dominated = True
+                break
+        if not dominated:
+            front.append(candidate)
+    return front

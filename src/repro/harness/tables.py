@@ -1,0 +1,144 @@
+"""Reproduction of the paper's Tables 1-3."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..core.cpi import PAPER_CPI_ON_CHIP
+from ..trace import collect_statistics
+from .experiment import Workbench
+from .formatting import format_table
+
+#: Paper Table 1 (for side-by-side comparison in benches/EXPERIMENTS.md).
+PAPER_TABLE1 = {
+    "database": {"store_freq": 10.09, "store": 0.36, "load": 0.57, "inst": 0.09},
+    "tpcw": {"store_freq": 7.28, "store": 0.12, "load": 0.06, "inst": 0.06},
+    "specjbb": {"store_freq": 7.52, "store": 0.07, "load": 0.25, "inst": 0.00},
+    "specweb": {"store_freq": 7.20, "store": 0.13, "load": 0.14, "inst": 0.01},
+}
+
+#: Paper Table 2: fraction of missing stores fully overlapped with computation.
+PAPER_TABLE2 = {
+    "database": 0.09,
+    "tpcw": 0.12,
+    "specjbb": 0.06,
+    "specweb": 0.22,
+}
+
+#: Paper Table 3 is PAPER_CPI_ON_CHIP in :mod:`repro.core.cpi`.
+
+# On-chip CPI estimator coefficients (documented model, Section "Table 3"
+# of EXPERIMENTS.md): a superscalar base CPI plus branch-misprediction and
+# on-chip cache-hit stall components.
+_BASE_CPI = 0.70
+_MISPREDICT_PENALTY = 12.0
+_L1_MISS_L2_HIT_STALL = 2.0
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    workload: str
+    store_frequency: float
+    store_miss_per_100: float
+    load_miss_per_100: float
+    inst_miss_per_100: float
+
+
+def table1(
+    bench: Workbench, workloads: Sequence[str] = ("database", "tpcw", "specjbb", "specweb")
+) -> List[Table1Row]:
+    """Store and miss-rate statistics (2MB 4-way 64B-line L2)."""
+    rows = []
+    for name in workloads:
+        annotated = bench.annotated(name)
+        stats = bench.memory_for(name).stats
+        mix = collect_statistics(inst for inst, _ in annotated).mix
+        rows.append(Table1Row(
+            workload=name,
+            store_frequency=mix.store_frequency,
+            store_miss_per_100=stats.store_miss_rate,
+            load_miss_per_100=stats.load_miss_rate,
+            inst_miss_per_100=stats.inst_miss_rate,
+        ))
+    return rows
+
+
+def format_table1(rows: Sequence[Table1Row]) -> str:
+    return format_table(
+        ["per 100 insts", *(r.workload for r in rows)],
+        [
+            ["store frequency", *(r.store_frequency for r in rows)],
+            ["L2 store miss rate", *(r.store_miss_per_100 for r in rows)],
+            ["L2 load miss rate", *(r.load_miss_per_100 for r in rows)],
+            ["L2 inst miss rate", *(r.inst_miss_per_100 for r in rows)],
+            ["paper store miss", *(PAPER_TABLE1[r.workload]["store"] for r in rows)],
+            ["paper load miss", *(PAPER_TABLE1[r.workload]["load"] for r in rows)],
+            ["paper inst miss", *(PAPER_TABLE1[r.workload]["inst"] for r in rows)],
+        ],
+        title="Table 1: store and miss rate statistics (2MB 4-way L2, 64B lines)",
+    )
+
+
+def table2(
+    bench: Workbench, workloads: Sequence[str] = ("database", "tpcw", "specjbb", "specweb")
+) -> Dict[str, float]:
+    """Fraction of missing stores fully overlapped with computation."""
+    out: Dict[str, float] = {}
+    for name in workloads:
+        result = bench.run(name)
+        out[name] = result.store_overlap_fraction
+    return out
+
+
+def format_table2(measured: Dict[str, float]) -> str:
+    rows = [
+        ["measured", *(measured[w] for w in measured)],
+        ["paper", *(PAPER_TABLE2[w] for w in measured)],
+    ]
+    return format_table(
+        ["fully overlapped", *measured.keys()],
+        rows,
+        title="Table 2: fraction of missing stores fully overlapped with computation",
+    )
+
+
+def table3(
+    bench: Workbench, workloads: Sequence[str] = ("database", "tpcw", "specjbb", "specweb")
+) -> Dict[str, float]:
+    """Estimated CPI_on-chip per workload.
+
+    The epoch model takes CPI_on-chip as an input (the paper measured it on
+    a cycle simulator with a perfect L2).  We *estimate* it from trace
+    properties with a documented linear model: a superscalar base CPI plus
+    branch-misprediction and L1-miss/L2-hit stall components, then compare
+    against the paper's Table 3.
+    """
+    out: Dict[str, float] = {}
+    for name in workloads:
+        annotated = bench.annotated(name)
+        memory = bench.memory_for(name)
+        instructions = max(1, len(annotated))
+        mispredicts = sum(1 for _, info in annotated if info.mispredicted)
+        l1d = memory.l1d.stats
+        l1_miss_l2_hit = max(
+            0, l1d.read_misses - memory.stats.load_l2_misses
+        ) / instructions
+        out[name] = (
+            _BASE_CPI
+            + _MISPREDICT_PENALTY * mispredicts / instructions
+            + _L1_MISS_L2_HIT_STALL * l1_miss_l2_hit
+        )
+    return out
+
+
+def format_table3(measured: Dict[str, float]) -> str:
+    rows = [
+        ["estimated", *(measured[w] for w in measured)],
+        ["paper", *(PAPER_CPI_ON_CHIP[w] for w in measured)],
+    ]
+    return format_table(
+        ["CPI on-chip", *measured.keys()],
+        rows,
+        title="Table 3: CPI_on-chip for the default processor configuration",
+    )

@@ -1,0 +1,90 @@
+"""The dynamic trace instruction record.
+
+A trace is a sequence of :class:`Instruction` values.  The record is
+deliberately small (slots, no dict) because simulations stream hundreds of
+thousands of them; it carries exactly what the epoch MLP model needs:
+
+- the instruction class and PC (for the I-cache and branch predictor),
+- the effective address and size (for the data caches),
+- source/destination registers (for dependence tracking),
+- branch outcome (for misprediction modelling), and
+- lock-role annotations produced by the lock detector / workload generator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .opcodes import InstructionClass, is_load_like, is_memory_access, is_store_like
+from .registers import REG_NONE
+
+
+@dataclass(slots=True)
+class Instruction:
+    """One dynamic instruction in a trace.
+
+    ``address`` is the data effective address for memory instructions and
+    zero otherwise.  ``taken``/``target`` are meaningful only for control
+    transfers.  ``lock_acquire``/``lock_release`` mark the instructions a
+    lock detector identified as the acquire (``casa``/``stwcx``) and release
+    (plain store) of a critical section; Speculative Lock Elision keys off
+    these flags.
+    """
+
+    kind: InstructionClass
+    pc: int
+    address: int = 0
+    size: int = 0
+    dest: int = REG_NONE
+    srcs: tuple[int, ...] = field(default=())
+    taken: bool = False
+    target: int = 0
+    lock_acquire: bool = False
+    lock_release: bool = False
+
+    @property
+    def is_load(self) -> bool:
+        """True when this instruction reads data memory."""
+        return is_load_like(self.kind)
+
+    @property
+    def is_store(self) -> bool:
+        """True when this instruction writes data memory."""
+        return is_store_like(self.kind)
+
+    @property
+    def is_memory(self) -> bool:
+        """True when this instruction touches data memory."""
+        return is_memory_access(self.kind)
+
+    def reads(self) -> tuple[int, ...]:
+        """Source registers that create dependences (zero register excluded)."""
+        return tuple(r for r in self.srcs if r > 0)
+
+    def address_reads(self) -> tuple[int, ...]:
+        """Source registers feeding the *address* computation.
+
+        Convention: for stores the first source is the address base and any
+        further sources carry data; loads and atomics use all sources for
+        the address.  Prefetch-for-write only needs the address, so scout
+        passes use this narrower set for stores.
+        """
+        if self.kind in (InstructionClass.STORE, InstructionClass.STORE_COND):
+            return tuple(r for r in self.srcs[:1] if r > 0)
+        return self.reads()
+
+    def line_address(self, line_bytes: int) -> int:
+        """Data address truncated to a cache-line boundary."""
+        return self.address & ~(line_bytes - 1)
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        parts = [f"{self.kind.value}@{self.pc:#x}"]
+        if self.is_memory:
+            parts.append(f"[{self.address:#x}+{self.size}]")
+        if self.dest != REG_NONE:
+            parts.append(f"->r{self.dest}")
+        if self.lock_acquire:
+            parts.append("(acq)")
+        if self.lock_release:
+            parts.append("(rel)")
+        return " ".join(parts)

@@ -1,0 +1,44 @@
+"""Register name space for trace instructions.
+
+The trace ISA exposes a flat file of integer registers.  Register 0 is the
+hard-wired zero register (SPARC ``%g0``): writes to it are discarded and
+reads from it carry no dependence, mirroring how real traces use it.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+#: Number of architectural registers in the trace ISA.
+NUM_REGISTERS = 64
+
+#: Sentinel meaning "no register" (e.g. a store has no destination).
+REG_NONE = -1
+
+#: The hard-wired zero register; never creates a dependence.
+REG_ZERO = 0
+
+
+class RegisterAllocator:
+    """Round-robin allocator of scratch registers for trace generators.
+
+    Workload generators need plausible register dependences without tracking
+    real live ranges.  This allocator hands out registers ``1..NUM_REGISTERS-1``
+    in rotation, which yields short dependence chains similar to compiled
+    code, while guaranteeing the zero register is never allocated.
+    """
+
+    def __init__(self, reserve: int = 8) -> None:
+        if not 0 <= reserve < NUM_REGISTERS - 1:
+            raise ValueError(f"cannot reserve {reserve} of {NUM_REGISTERS} registers")
+        self._reserved = range(1, 1 + reserve)
+        self._rotation = itertools.cycle(range(1 + reserve, NUM_REGISTERS))
+
+    @property
+    def reserved(self) -> range:
+        """Registers excluded from rotation (for long-lived values like locks)."""
+        return self._reserved
+
+    def fresh(self) -> int:
+        """Return the next scratch register in rotation."""
+        return next(self._rotation)

@@ -1,0 +1,28 @@
+"""Lock detection, consistency-model rewriting and Speculative Lock Elision.
+
+The paper's traces were captured on SPARC TSO binaries whose critical
+sections use ``casa`` for lock acquire and a plain store for lock release.
+To evaluate weak consistency, the authors built a lock detection tool that
+finds those sequences and replaces them with the PowerPC
+``lwarx``/``stwcx``/``isync`` ... ``lwsync``/store idiom.  This package
+reimplements that tool chain:
+
+- :mod:`~repro.locks.detector` finds acquire/release pairs in a raw trace,
+- :mod:`~repro.locks.rewriter` converts TSO lock idioms to WC idioms,
+- :mod:`~repro.locks.elision` applies Speculative Lock Elision (acquire
+  becomes an ordinary load, release becomes a NOP; all elisions are assumed
+  to succeed, as in the paper's experiments).
+"""
+
+from .detector import LockDetector, detect_locks
+from .elision import apply_sle
+from .rewriter import rewrite_pc_to_wc
+from .transactional import apply_transactional_memory
+
+__all__ = [
+    "LockDetector",
+    "apply_sle",
+    "apply_transactional_memory",
+    "detect_locks",
+    "rewrite_pc_to_wc",
+]

@@ -1,0 +1,76 @@
+"""Speculative Lock Elision as a trace transformation.
+
+SLE (Rajwar & Goodman) executes critical sections without acquiring the
+lock: the acquire is issued as an ordinary load of the lock word and the
+release is elided entirely.  The paper applies SLE to *store* performance:
+eliding the acquire removes the serializing ``casa`` (PC) or the
+``stwcx``/``isync`` pair (WC), so missing stores ahead of the critical
+section no longer have to drain, and eliding the release removes a store.
+
+As in the paper's experiments, every elision is assumed to succeed (no data
+conflicts), so the transformation is unconditional on annotated lock pairs.
+Non-lock atomics and barriers are untouched.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..isa import Instruction, InstructionClass
+from ..isa.registers import REG_NONE
+
+
+def apply_sle(trace: Sequence[Instruction]) -> List[Instruction]:
+    """Return a copy of *trace* with annotated lock pairs elided.
+
+    Works on both TSO and WC-rewritten traces:
+
+    - TSO: ``casa`` (acquire) -> plain load of the lock word;
+      release store -> NOP.
+    - WC: ``stwcx`` (acquire) -> NOP, its guarding ``isync`` -> NOP, the
+      preceding ``lwarx`` already behaves as the required plain load;
+      ``lwsync`` + release store -> NOP.
+    """
+    out: List[Instruction] = []
+    elide_next_isync = False
+    elide_next_lwsync_release = False
+    for inst in trace:
+        kind = inst.kind
+        if kind is InstructionClass.CAS and inst.lock_acquire:
+            out.append(
+                Instruction(
+                    kind=InstructionClass.LOAD,
+                    pc=inst.pc,
+                    address=inst.address,
+                    size=inst.size or 8,
+                    dest=inst.dest,
+                    srcs=inst.srcs,
+                )
+            )
+            continue
+        if kind is InstructionClass.STORE_COND and inst.lock_acquire:
+            out.append(Instruction(kind=InstructionClass.NOP, pc=inst.pc))
+            elide_next_isync = True
+            continue
+        if kind is InstructionClass.ISYNC and elide_next_isync:
+            out.append(Instruction(kind=InstructionClass.NOP, pc=inst.pc))
+            elide_next_isync = False
+            continue
+        if kind is InstructionClass.LWSYNC:
+            # Only elide the lwsync that guards a lock release; peek is not
+            # possible in a streaming pass, so mark and fix on the release.
+            out.append(inst)
+            elide_next_lwsync_release = True
+            continue
+        if kind is InstructionClass.STORE and inst.lock_release:
+            if elide_next_lwsync_release and out and (
+                out[-1].kind is InstructionClass.LWSYNC
+            ):
+                out[-1] = Instruction(kind=InstructionClass.NOP, pc=out[-1].pc)
+            out.append(Instruction(kind=InstructionClass.NOP, pc=inst.pc))
+            elide_next_lwsync_release = False
+            continue
+        if kind is not InstructionClass.LWSYNC:
+            elide_next_lwsync_release = False
+        out.append(inst)
+    return out

@@ -1,0 +1,87 @@
+"""Rewrite TSO lock idioms into their weak-consistency equivalents.
+
+Following the paper's Examples 5 and 6:
+
+TSO (processor consistency)::
+
+    casa   [lock]      ; atomic acquire — serializing, drains SB/SQ
+    ...critical section...
+    store  [lock]      ; release
+
+PowerPC (weak consistency)::
+
+    lwarx  [lock]      ; load-locked
+    stwcx  [lock]      ; store-conditional
+    isync              ; acquisition complete before body executes
+    ...critical section...
+    lwsync             ; body performed before release
+    store  [lock]      ; release
+
+Any free-standing ``membar`` is mapped to ``lwsync`` (an ordering barrier
+that does not drain the store queue).  The rewrite operates on traces whose
+lock roles are annotated (by the generator or by
+:func:`repro.locks.detector.detect_locks`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace as dc_replace
+from typing import List, Sequence
+
+from ..isa import Instruction, InstructionClass
+from ..isa.registers import REG_NONE
+
+
+def _acquire_sequence(casa: Instruction) -> List[Instruction]:
+    lwarx = Instruction(
+        kind=InstructionClass.LOAD_LOCKED,
+        pc=casa.pc,
+        address=casa.address,
+        size=casa.size or 8,
+        dest=casa.dest,
+        srcs=casa.srcs,
+        lock_acquire=False,
+    )
+    stwcx = Instruction(
+        kind=InstructionClass.STORE_COND,
+        pc=casa.pc + 4,
+        address=casa.address,
+        size=casa.size or 8,
+        dest=REG_NONE,
+        srcs=casa.srcs,
+        lock_acquire=True,
+    )
+    isync = Instruction(kind=InstructionClass.ISYNC, pc=casa.pc + 8)
+    return [lwarx, stwcx, isync]
+
+
+def _release_sequence(store: Instruction) -> List[Instruction]:
+    lwsync = Instruction(kind=InstructionClass.LWSYNC, pc=store.pc)
+    release = dc_replace(store, pc=store.pc + 4)
+    return [lwsync, release]
+
+
+def rewrite_pc_to_wc(trace: Sequence[Instruction]) -> List[Instruction]:
+    """Return a WC-idiom version of an annotated TSO trace.
+
+    - ``casa`` flagged ``lock_acquire`` becomes lwarx/stwcx/isync,
+    - a store flagged ``lock_release`` gains a preceding lwsync,
+    - other ``casa`` (non-lock atomics) become lwarx/stwcx pairs without the
+      isync (WC programs need no implicit ordering there),
+    - ``membar`` becomes ``lwsync``.
+    """
+    out: List[Instruction] = []
+    for inst in trace:
+        if inst.kind is InstructionClass.CAS:
+            sequence = _acquire_sequence(inst)
+            if not inst.lock_acquire:
+                sequence = sequence[:2]  # plain atomic: no isync
+                sequence[1] = dc_replace(sequence[1], lock_acquire=False)
+            out.extend(sequence)
+        elif inst.kind is InstructionClass.STORE and inst.lock_release:
+            out.extend(_release_sequence(inst))
+        elif inst.kind is InstructionClass.MEMBAR:
+            out.append(Instruction(kind=InstructionClass.LWSYNC, pc=inst.pc))
+        else:
+            out.append(inst)
+    return out

@@ -1,0 +1,38 @@
+"""Cache-hierarchy substrate.
+
+Implements the paper's memory system: private write-through no-write-allocate
+L1 instruction/data caches, a shared write-back L2, a TLB, MESI line states
+for cross-chip coherence, and the Store Miss Accelerator (SMAC).
+
+The hierarchy's job in this reproduction is *miss classification*: given an
+instruction stream it decides which fetches, loads and stores go off chip.
+:func:`~repro.memory.annotate.annotate_trace` performs that classification
+once per (trace, memory configuration) pair so that the epoch simulator can
+re-run cheaply across core configurations.
+"""
+
+from .annotate import AccessInfo, AnnotatedTrace, annotate_trace
+from .cache import CacheLine, SetAssociativeCache
+from .coherence import MesiState
+from .hierarchy import AccessOutcome, HitLevel, MemorySystem
+from .replacement import LruPolicy, RandomPolicy, make_policy
+from .smac import SmacProbe, StoreMissAccelerator
+from .tlb import Tlb
+
+__all__ = [
+    "AccessInfo",
+    "AccessOutcome",
+    "AnnotatedTrace",
+    "CacheLine",
+    "HitLevel",
+    "LruPolicy",
+    "MemorySystem",
+    "MesiState",
+    "RandomPolicy",
+    "SetAssociativeCache",
+    "SmacProbe",
+    "StoreMissAccelerator",
+    "Tlb",
+    "annotate_trace",
+    "make_policy",
+]

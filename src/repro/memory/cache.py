@@ -1,0 +1,190 @@
+"""A generic set-associative cache with pluggable replacement.
+
+Addresses are mapped line -> set -> way in the usual way.  Lines carry a
+MESI state so the same structure serves the coherent L2 and the (stateless,
+always-Exclusive-or-Invalid) L1s.  The cache never models data contents —
+only presence and state — which is all miss classification needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from ..config import CacheConfig
+from .coherence import MesiState
+from .replacement import ReplacementPolicy, make_policy
+
+
+@dataclass(slots=True)
+class CacheLine:
+    """Presence/state record for one cached line."""
+
+    tag: int = 0
+    valid: bool = False
+    dirty: bool = False
+    state: MesiState = MesiState.INVALID
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters, split by access intent."""
+
+    read_hits: int = 0
+    read_misses: int = 0
+    write_hits: int = 0
+    write_misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+    snoop_invalidates: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return (self.read_hits + self.read_misses
+                + self.write_hits + self.write_misses)
+
+    @property
+    def misses(self) -> int:
+        return self.read_misses + self.write_misses
+
+    @property
+    def miss_ratio(self) -> float:
+        total = self.accesses
+        return self.misses / total if total else 0.0
+
+    def reset(self) -> None:
+        self.read_hits = self.read_misses = 0
+        self.write_hits = self.write_misses = 0
+        self.evictions = self.writebacks = self.snoop_invalidates = 0
+
+
+class SetAssociativeCache:
+    """Set-associative cache tracking line presence and MESI state."""
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        self._line_shift = config.line_bytes.bit_length() - 1
+        self._set_mask = config.num_sets - 1
+        self._sets: List[List[CacheLine]] = [
+            [CacheLine() for _ in range(config.associativity)]
+            for _ in range(config.num_sets)
+        ]
+        self._policies: List[ReplacementPolicy] = [
+            make_policy(config.replacement, config.associativity)
+            for _ in range(config.num_sets)
+        ]
+        self.stats = CacheStats()
+
+    # -- address mapping ---------------------------------------------------
+
+    def line_address(self, address: int) -> int:
+        """Truncate *address* to its line base."""
+        return address & ~(self.config.line_bytes - 1)
+
+    def _index(self, address: int) -> Tuple[int, int]:
+        line_number = address >> self._line_shift
+        return line_number & self._set_mask, line_number >> (
+            self._set_mask.bit_length()
+        )
+
+    # -- core operations ----------------------------------------------------
+
+    def lookup(self, address: int, write: bool = False) -> Optional[CacheLine]:
+        """Access the cache; return the line on hit (recency updated)."""
+        set_index, tag = self._index(address)
+        ways = self._sets[set_index]
+        for way, line in enumerate(ways):
+            if line.valid and line.tag == tag:
+                self._policies[set_index].touch(way)
+                if write:
+                    line.dirty = True
+                    line.state = MesiState.MODIFIED
+                    self.stats.write_hits += 1
+                else:
+                    self.stats.read_hits += 1
+                return line
+        if write:
+            self.stats.write_misses += 1
+        else:
+            self.stats.read_misses += 1
+        return None
+
+    def probe(self, address: int) -> Optional[CacheLine]:
+        """Check presence without recency or counter updates (for snoops)."""
+        set_index, tag = self._index(address)
+        for line in self._sets[set_index]:
+            if line.valid and line.tag == tag:
+                return line
+        return None
+
+    def fill(
+        self,
+        address: int,
+        state: MesiState = MesiState.EXCLUSIVE,
+        dirty: bool = False,
+    ) -> Optional[Tuple[int, CacheLine]]:
+        """Install a line; return ``(evicted_line_address, line_copy)`` if a
+        valid line had to be displaced (for writeback / SMAC hand-off)."""
+        set_index, tag = self._index(address)
+        ways = self._sets[set_index]
+        policy = self._policies[set_index]
+        # Re-fill of an already-present line just updates state.
+        for way, line in enumerate(ways):
+            if line.valid and line.tag == tag:
+                line.state = state
+                line.dirty = line.dirty or dirty
+                policy.touch(way)
+                return None
+        # Prefer an invalid way.
+        victim_way = next(
+            (way for way, line in enumerate(ways) if not line.valid), None
+        )
+        evicted: Optional[Tuple[int, CacheLine]] = None
+        if victim_way is None:
+            victim_way = policy.victim()
+            victim = ways[victim_way]
+            self.stats.evictions += 1
+            if victim.dirty:
+                self.stats.writebacks += 1
+            evicted_address = self._rebuild_address(set_index, victim.tag)
+            evicted = (
+                evicted_address,
+                CacheLine(victim.tag, True, victim.dirty, victim.state),
+            )
+        line = ways[victim_way]
+        line.tag = tag
+        line.valid = True
+        line.dirty = dirty
+        line.state = state
+        policy.reset(victim_way)
+        return evicted
+
+    def invalidate(self, address: int) -> Optional[CacheLine]:
+        """Drop a line (snoop); return a copy of what was there, if valid."""
+        set_index, tag = self._index(address)
+        for line in self._sets[set_index]:
+            if line.valid and line.tag == tag:
+                copy = CacheLine(line.tag, True, line.dirty, line.state)
+                line.valid = False
+                line.dirty = False
+                line.state = MesiState.INVALID
+                self.stats.snoop_invalidates += 1
+                return copy
+        return None
+
+    def _rebuild_address(self, set_index: int, tag: int) -> int:
+        line_number = (tag << self._set_mask.bit_length()) | set_index
+        return line_number << self._line_shift
+
+    # -- introspection -------------------------------------------------------
+
+    def resident_lines(self) -> Iterator[int]:
+        """Yield line addresses of every valid line (testing/diagnostics)."""
+        for set_index, ways in enumerate(self._sets):
+            for line in ways:
+                if line.valid:
+                    yield self._rebuild_address(set_index, line.tag)
+
+    def occupancy(self) -> int:
+        """Number of valid lines."""
+        return sum(1 for _ in self.resident_lines())

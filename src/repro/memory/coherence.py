@@ -1,0 +1,126 @@
+"""MESI line states and transitions.
+
+The reproduction models a multi-chip system in which each chip's L2 keeps
+MESI state per line.  Remote activity arrives as *snoops* injected by the
+sharing model (:mod:`repro.multiproc.sharing`); the transitions here decide
+whether a snoop invalidates or downgrades a locally cached line and whether
+a writeback is required.  The paper assumes MESI and notes the SMAC extends
+trivially to MOESI; we implement MESI.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class MesiState(enum.Enum):
+    """Classic MESI stable states."""
+
+    MODIFIED = "M"
+    EXCLUSIVE = "E"
+    SHARED = "S"
+    INVALID = "I"
+
+
+@dataclass(frozen=True)
+class SnoopResult:
+    """Outcome of applying a snoop to a line in a given state."""
+
+    next_state: MesiState
+    writeback: bool
+
+
+def on_local_read_fill(shared_elsewhere: bool) -> MesiState:
+    """State for a line filled by a local load miss."""
+    return MesiState.SHARED if shared_elsewhere else MesiState.EXCLUSIVE
+
+
+def on_local_write(state: MesiState) -> MesiState:
+    """State after a local store writes a cached line.
+
+    A store to an S line requires an upgrade (invalidate others) first; the
+    caller accounts for that latency.  The resulting state is always M.
+    """
+    if state is MesiState.INVALID:
+        raise ValueError("cannot write an invalid line; fill it first")
+    return MesiState.MODIFIED
+
+
+def on_snoop_read(state: MesiState) -> SnoopResult:
+    """Remote load observed for a locally cached line."""
+    if state is MesiState.MODIFIED:
+        return SnoopResult(MesiState.SHARED, writeback=True)
+    if state in (MesiState.EXCLUSIVE, MesiState.SHARED):
+        return SnoopResult(MesiState.SHARED, writeback=False)
+    return SnoopResult(MesiState.INVALID, writeback=False)
+
+
+def on_snoop_write(state: MesiState) -> SnoopResult:
+    """Remote store (request-to-own) observed for a locally cached line."""
+    if state is MesiState.MODIFIED:
+        return SnoopResult(MesiState.INVALID, writeback=True)
+    return SnoopResult(MesiState.INVALID, writeback=False)
+
+
+# ---------------------------------------------------------------------------
+# MOESI extension
+# ---------------------------------------------------------------------------
+#
+# The paper notes the SMAC "can be easily extended to the MOESI protocol".
+# The Owned state lets a modified line be shared without an eager memory
+# writeback: the owner supplies data to readers and writes back only on
+# eviction.  The MOESI transitions below are provided for protocol studies;
+# the default hierarchy runs MESI.
+
+class MoesiState(enum.Enum):
+    """MOESI stable states."""
+
+    MODIFIED = "M"
+    OWNED = "O"
+    EXCLUSIVE = "E"
+    SHARED = "S"
+    INVALID = "I"
+
+
+@dataclass(frozen=True)
+class MoesiSnoopResult:
+    next_state: MoesiState
+    writeback: bool
+    supplies_data: bool
+
+
+def moesi_on_snoop_read(state: MoesiState) -> MoesiSnoopResult:
+    """Remote load under MOESI: a dirty owner supplies data and keeps it
+    dirty in Owned state — no memory writeback."""
+    if state is MoesiState.MODIFIED:
+        return MoesiSnoopResult(MoesiState.OWNED, writeback=False,
+                                supplies_data=True)
+    if state is MoesiState.OWNED:
+        return MoesiSnoopResult(MoesiState.OWNED, writeback=False,
+                                supplies_data=True)
+    if state in (MoesiState.EXCLUSIVE, MoesiState.SHARED):
+        return MoesiSnoopResult(MoesiState.SHARED, writeback=False,
+                                supplies_data=False)
+    return MoesiSnoopResult(MoesiState.INVALID, writeback=False,
+                            supplies_data=False)
+
+
+def moesi_on_snoop_write(state: MoesiState) -> MoesiSnoopResult:
+    """Remote request-to-own under MOESI: dirty holders supply data and
+    invalidate; memory is written only if nobody adopts the line."""
+    if state in (MoesiState.MODIFIED, MoesiState.OWNED):
+        return MoesiSnoopResult(MoesiState.INVALID, writeback=False,
+                                supplies_data=True)
+    return MoesiSnoopResult(MoesiState.INVALID, writeback=False,
+                            supplies_data=False)
+
+
+def moesi_on_eviction(state: MoesiState) -> bool:
+    """True when evicting a line in *state* requires a memory writeback.
+
+    Both M and O lines hold the only valid copy of the data.  This is the
+    hand-off point to the SMAC: the writeback surrenders the data while the
+    accelerator retains the ownership bit.
+    """
+    return state in (MoesiState.MODIFIED, MoesiState.OWNED)

@@ -1,0 +1,236 @@
+"""The per-core memory system: L1I + L1D + shared L2 (+ optional SMAC).
+
+Write policies follow the paper's Section 2: the L1 data cache is
+write-through and no-write-allocate, so a store's performance is determined
+entirely by the shared L2; the L2 is write-back and write-allocate with MESI
+state per line.  Cross-chip coherence arrives through :meth:`snoop_store` /
+:meth:`snoop_load`, injected by the sharing model.
+
+A store that misses the L2 (or hits it in Shared state and therefore needs a
+cross-chip upgrade) is an *off-chip store miss*.  If a SMAC is configured and
+owns the line, the store is accelerated: it still fetches data in the
+background but commits without exposing the off-chip latency.  A single-chip
+system (``single_chip=True``) behaves as if every store miss hits the SMAC,
+because the lone L2 implicitly owns all of memory (paper Section 3.3.3).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..config import MemoryConfig
+from .cache import SetAssociativeCache
+from .coherence import MesiState
+from .smac import SmacProbe, StoreMissAccelerator
+from .tlb import Tlb
+
+
+class HitLevel(enum.Enum):
+    """Where an access was satisfied."""
+
+    L1 = "l1"
+    L2 = "l2"
+    MEMORY = "memory"
+
+
+@dataclass(frozen=True)
+class AccessOutcome:
+    """Classification of one memory access.
+
+    ``off_chip`` is the property the epoch MLP model consumes.  ``smac_hit``
+    marks an off-chip store miss whose invalidation penalty was hidden by the
+    Store Miss Accelerator: it does not stall the store queue even though the
+    data comes from memory.  ``upgrade`` marks a store that hit the L2 in
+    Shared state and went off chip only for ownership.
+    """
+
+    level: HitLevel
+    latency: int
+    smac_hit: bool = False
+    upgrade: bool = False
+
+    @property
+    def off_chip(self) -> bool:
+        return self.level is HitLevel.MEMORY
+
+
+@dataclass
+class HierarchyStats:
+    """Counts for the paper's Table 1 (per-100-instruction miss rates)."""
+
+    instructions: int = 0
+    fetches: int = 0
+    fetch_l2_misses: int = 0
+    loads: int = 0
+    load_l2_misses: int = 0
+    stores: int = 0
+    store_l2_misses: int = 0
+    store_upgrades: int = 0
+    smac_hits: int = 0
+    smac_invalidated_hits: int = 0
+    smac_coherence_invalidates: int = 0
+
+    def per_100_instructions(self, count: int) -> float:
+        if self.instructions == 0:
+            return 0.0
+        return 100.0 * count / self.instructions
+
+    @property
+    def store_miss_rate(self) -> float:
+        """Off-chip store misses per 100 instructions (Table 1 row 2)."""
+        return self.per_100_instructions(self.store_l2_misses)
+
+    @property
+    def load_miss_rate(self) -> float:
+        """Off-chip load misses per 100 instructions (Table 1 row 3)."""
+        return self.per_100_instructions(self.load_l2_misses)
+
+    @property
+    def inst_miss_rate(self) -> float:
+        """Off-chip instruction misses per 100 instructions (Table 1 row 4)."""
+        return self.per_100_instructions(self.fetch_l2_misses)
+
+    def reset(self) -> None:
+        for name in vars(self):
+            setattr(self, name, 0)
+
+
+class MemorySystem:
+    """One core's view of the cache hierarchy."""
+
+    def __init__(
+        self,
+        config: MemoryConfig,
+        single_chip: bool = False,
+    ) -> None:
+        self.config = config
+        self.single_chip = single_chip
+        self.l1i = SetAssociativeCache(config.l1i)
+        self.l1d = SetAssociativeCache(config.l1d)
+        self.l2 = SetAssociativeCache(config.l2)
+        self.tlb = Tlb(config.tlb_entries, config.page_bytes)
+        self.smac = (
+            StoreMissAccelerator(config.smac) if config.smac is not None else None
+        )
+        self.stats = HierarchyStats()
+        self._last_fetch_line = -1
+
+    # -- instruction side ------------------------------------------------------
+
+    def fetch(self, pc: int) -> AccessOutcome:
+        """Fetch the instruction at *pc*; sequential same-line fetches hit
+        the fetch buffer and never re-access the caches."""
+        self.stats.instructions += 1
+        line = self.l1i.line_address(pc)
+        if line == self._last_fetch_line:
+            return AccessOutcome(HitLevel.L1, 0)
+        self._last_fetch_line = line
+        self.stats.fetches += 1
+        if self.l1i.lookup(line) is not None:
+            return AccessOutcome(HitLevel.L1, self.config.l1_latency)
+        if self.l2.lookup(line) is not None:
+            self.l1i.fill(line, MesiState.EXCLUSIVE)
+            return AccessOutcome(HitLevel.L2, self.config.l2_latency)
+        self.stats.fetch_l2_misses += 1
+        self._fill_l2(line, MesiState.EXCLUSIVE)
+        self.l1i.fill(line, MesiState.EXCLUSIVE)
+        return AccessOutcome(HitLevel.MEMORY, self.config.memory_latency)
+
+    # -- data side ----------------------------------------------------------------
+
+    def load(self, address: int) -> AccessOutcome:
+        """Classify a data load."""
+        self.stats.loads += 1
+        self.tlb.access(address)
+        line = self.l1d.line_address(address)
+        if self.l1d.lookup(line) is not None:
+            return AccessOutcome(HitLevel.L1, self.config.l1_latency)
+        if self.l2.lookup(line) is not None:
+            self.l1d.fill(line, MesiState.EXCLUSIVE)
+            return AccessOutcome(HitLevel.L2, self.config.l2_latency)
+        self.stats.load_l2_misses += 1
+        self._fill_l2(line, MesiState.EXCLUSIVE)
+        self.l1d.fill(line, MesiState.EXCLUSIVE)
+        return AccessOutcome(HitLevel.MEMORY, self.config.memory_latency)
+
+    def store(self, address: int) -> AccessOutcome:
+        """Classify a data store (write-through L1, write-allocate L2)."""
+        self.stats.stores += 1
+        self.tlb.access(address)
+        line = self.l2.line_address(address)
+        # Write-through, no-write-allocate L1: update on hit, never fill.
+        self.l1d.lookup(line, write=True)
+        existing = self.l2.probe(line)
+        if existing is not None and existing.state in (
+            MesiState.MODIFIED, MesiState.EXCLUSIVE,
+        ):
+            self.l2.lookup(line, write=True)
+            return AccessOutcome(HitLevel.L2, self.config.l2_latency)
+        if existing is not None:
+            # Hit in Shared state: ownership upgrade goes off chip.
+            self.stats.store_l2_misses += 1
+            self.stats.store_upgrades += 1
+            self.l2.lookup(line, write=True)
+            return AccessOutcome(
+                HitLevel.MEMORY, self.config.memory_latency, upgrade=True
+            )
+        # True L2 store miss.
+        self.stats.store_l2_misses += 1
+        smac_hit = self.single_chip
+        if not smac_hit and self.smac is not None:
+            probe = self.smac.probe_store(address)
+            smac_hit = probe.hit
+            if probe.invalidated_hit:
+                self.stats.smac_invalidated_hits += 1
+        if smac_hit:
+            self.stats.smac_hits += 1
+        self._fill_l2(line, MesiState.MODIFIED, dirty=True)
+        return AccessOutcome(
+            HitLevel.MEMORY, self.config.memory_latency, smac_hit=smac_hit
+        )
+
+    # -- coherence side -----------------------------------------------------------
+
+    def snoop_store(self, address: int) -> None:
+        """A remote chip wrote *address*: invalidate everywhere."""
+        line = self.l2.line_address(address)
+        self.l2.invalidate(line)
+        self.l1d.invalidate(line)
+        self.l1i.invalidate(line)
+        if self.smac is not None and self.smac.snoop(address):
+            self.stats.smac_coherence_invalidates += 1
+
+    def snoop_load(self, address: int) -> None:
+        """A remote chip read *address*: downgrade, surrender SMAC ownership."""
+        line = self.l2.line_address(address)
+        cached = self.l2.probe(line)
+        if cached is not None:
+            cached.state = MesiState.SHARED
+            cached.dirty = False  # writeback implied on M->S
+        if self.smac is not None and self.smac.snoop(address):
+            self.stats.smac_coherence_invalidates += 1
+
+    # -- helpers --------------------------------------------------------------------
+
+    def _fill_l2(self, line: int, state: MesiState, dirty: bool = False) -> None:
+        evicted = self.l2.fill(line, state, dirty)
+        if evicted is None:
+            return
+        evicted_address, victim = evicted
+        # An L1 copy of an evicted L2 line violates inclusion; drop it.
+        self.l1d.invalidate(evicted_address)
+        self.l1i.invalidate(evicted_address)
+        if victim.state is MesiState.MODIFIED and self.smac is not None:
+            # Data goes to memory; ownership is retained in the SMAC.
+            self.smac.on_modified_evict(evicted_address)
+
+    def reset_stats(self) -> None:
+        """Clear all counters (end of warmup)."""
+        self.stats.reset()
+        self.l1i.stats.reset()
+        self.l1d.stats.reset()
+        self.l2.stats.reset()
+        self.tlb.stats.reset()
+        if self.smac is not None:
+            self.smac.stats.reset()

@@ -1,0 +1,128 @@
+"""Replacement policies for set-associative structures.
+
+A policy manages one set's recency state.  The cache tells the policy when a
+way is touched, filled or invalidated; the policy answers victim queries.
+All policies are deterministic given their construction arguments so that
+simulations are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+
+from ..errors import ConfigError
+
+
+class ReplacementPolicy(ABC):
+    """Recency bookkeeping for one cache set of ``ways`` ways."""
+
+    def __init__(self, ways: int) -> None:
+        if ways <= 0:
+            raise ConfigError("a set needs at least one way")
+        self.ways = ways
+
+    @abstractmethod
+    def touch(self, way: int) -> None:
+        """Record a hit on *way*."""
+
+    @abstractmethod
+    def victim(self) -> int:
+        """Return the way to evict next."""
+
+    @abstractmethod
+    def reset(self, way: int) -> None:
+        """Record that *way* was filled with a new line (most recent)."""
+
+
+class LruPolicy(ReplacementPolicy):
+    """True least-recently-used ordering (the paper's policy)."""
+
+    def __init__(self, ways: int) -> None:
+        super().__init__(ways)
+        # Recency order: index 0 is LRU, last is MRU.
+        self._order = list(range(ways))
+
+    def touch(self, way: int) -> None:
+        self._order.remove(way)
+        self._order.append(way)
+
+    def victim(self) -> int:
+        return self._order[0]
+
+    def reset(self, way: int) -> None:
+        self.touch(way)
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Seeded pseudo-random victim selection (ablation baseline)."""
+
+    def __init__(self, ways: int, seed: int = 0) -> None:
+        super().__init__(ways)
+        self._rng = random.Random(seed)
+
+    def touch(self, way: int) -> None:
+        pass
+
+    def victim(self) -> int:
+        return self._rng.randrange(self.ways)
+
+    def reset(self, way: int) -> None:
+        pass
+
+
+class TreePlruPolicy(ReplacementPolicy):
+    """Tree pseudo-LRU: the common hardware approximation of LRU.
+
+    Requires a power-of-two way count.  Included for ablations comparing the
+    paper's true-LRU assumption against realizable hardware.
+    """
+
+    def __init__(self, ways: int) -> None:
+        super().__init__(ways)
+        if ways & (ways - 1):
+            raise ConfigError("tree PLRU requires a power-of-two way count")
+        self._bits = [False] * max(ways - 1, 1)
+
+    def touch(self, way: int) -> None:
+        node = 0
+        span = self.ways
+        while span > 1:
+            span //= 2
+            go_right = way % (span * 2) >= span
+            self._bits[node] = not go_right  # point away from the touched half
+            node = 2 * node + (2 if go_right else 1)
+
+    def victim(self) -> int:
+        node = 0
+        way = 0
+        span = self.ways
+        while span > 1:
+            span //= 2
+            if self._bits[node]:
+                way += span
+                node = 2 * node + 2
+            else:
+                node = 2 * node + 1
+        return way
+
+    def reset(self, way: int) -> None:
+        self.touch(way)
+
+
+_POLICIES = {
+    "lru": LruPolicy,
+    "random": RandomPolicy,
+    "plru": TreePlruPolicy,
+}
+
+
+def make_policy(name: str, ways: int) -> ReplacementPolicy:
+    """Instantiate a policy by configuration name."""
+    try:
+        factory = _POLICIES[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown replacement policy {name!r}; choose from {sorted(_POLICIES)}"
+        ) from None
+    return factory(ways)

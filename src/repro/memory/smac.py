@@ -1,0 +1,190 @@
+"""The Store Miss Accelerator (paper Section 3.3.3).
+
+The SMAC decouples *ownership* of a memory line from its *data*.  When the
+L2 evicts a Modified line, the data goes to memory but the exclusive-ownership
+state is retained in the SMAC at a cost of roughly one bit per L2 line.  A
+later store that misses the L2 but hits the SMAC already owns the line, so it
+can be made globally visible immediately — the store commits without paying
+the cross-chip invalidation penalty, exactly as in a single-chip system.
+
+Geometry: a heavily sub-blocked set-associative cache.  Each entry tags one
+large region (default 2048 bytes) and holds one E-state bit per L2-line-sized
+sub-block (default 64 bytes, i.e. 32 bits per entry).  A snoop from another
+chip that hits the SMAC invalidates the sub-block (ownership has moved).
+
+For the paper's Figure 6 the SMAC additionally tracks *tombstones*: when a
+sub-block's E bit is cleared by a remote snoop, the bit position is remembered
+so a later missing store to it can be counted as "hit an invalidated line" —
+a store that would have been accelerated had another node not intervened.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..config import SmacConfig
+
+
+@dataclass(slots=True)
+class _SmacEntry:
+    tag: int = 0
+    valid: bool = False
+    owned: int = 0        # bitmap: sub-blocks held in E state
+    tombstone: int = 0    # bitmap: sub-blocks invalidated by remote snoops
+
+
+@dataclass(frozen=True)
+class SmacProbe:
+    """Result of probing the SMAC for a missing store.
+
+    ``hit`` means the store owns its line and skips the invalidation penalty.
+    ``invalidated_hit`` means the tag matched but the specific sub-block had
+    been invalidated by a remote coherence event (Figure 6's right graph).
+    """
+
+    hit: bool
+    invalidated_hit: bool
+
+
+@dataclass
+class SmacStats:
+    probes: int = 0
+    hits: int = 0
+    invalidated_hits: int = 0
+    inserts: int = 0
+    entry_evictions: int = 0
+    snoop_invalidates: int = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.hits / self.probes if self.probes else 0.0
+
+    def reset(self) -> None:
+        self.probes = self.hits = self.invalidated_hits = 0
+        self.inserts = self.entry_evictions = self.snoop_invalidates = 0
+
+
+class StoreMissAccelerator:
+    """Sub-blocked E-state cache accelerating off-chip store misses."""
+
+    def __init__(self, config: SmacConfig) -> None:
+        self.config = config
+        self._region_shift = config.line_bytes.bit_length() - 1
+        self._sub_shift = config.sub_block_bytes.bit_length() - 1
+        num_sets = config.entries // config.associativity
+        if num_sets & (num_sets - 1):
+            # Round down to a power of two so indexing stays a mask; the
+            # config validator guarantees divisibility but not power-of-two.
+            num_sets = 1 << (num_sets.bit_length() - 1)
+        self._set_mask = num_sets - 1
+        self._sets: List[List[_SmacEntry]] = [
+            [_SmacEntry() for _ in range(config.associativity)]
+            for _ in range(num_sets)
+        ]
+        # Per-set recency: list of way indices, LRU first.
+        self._recency: List[List[int]] = [
+            list(range(config.associativity)) for _ in range(num_sets)
+        ]
+        self.stats = SmacStats()
+
+    # -- address mapping ------------------------------------------------------
+
+    def _locate(self, address: int) -> tuple[int, int, int]:
+        region = address >> self._region_shift
+        set_index = region & self._set_mask
+        tag = region >> self._set_mask.bit_length()
+        sub_block = (address >> self._sub_shift) & (
+            self.config.sub_blocks_per_line - 1
+        )
+        return set_index, tag, sub_block
+
+    def _find(self, set_index: int, tag: int) -> Optional[int]:
+        for way, entry in enumerate(self._sets[set_index]):
+            if entry.valid and entry.tag == tag:
+                return way
+        return None
+
+    def _touch(self, set_index: int, way: int) -> None:
+        order = self._recency[set_index]
+        order.remove(way)
+        order.append(way)
+
+    # -- operations -------------------------------------------------------------
+
+    def probe_store(self, address: int) -> SmacProbe:
+        """Query ownership for a store that missed the L2."""
+        self.stats.probes += 1
+        set_index, tag, sub_block = self._locate(address)
+        way = self._find(set_index, tag)
+        if way is None:
+            return SmacProbe(hit=False, invalidated_hit=False)
+        entry = self._sets[set_index][way]
+        bit = 1 << sub_block
+        if entry.owned & bit:
+            self.stats.hits += 1
+            self._touch(set_index, way)
+            # Ownership is consumed: the line moves back into the L2 in M
+            # state; the SMAC bit is cleared so state is never duplicated.
+            entry.owned &= ~bit
+            return SmacProbe(hit=True, invalidated_hit=False)
+        if entry.tombstone & bit:
+            self.stats.invalidated_hits += 1
+            return SmacProbe(hit=False, invalidated_hit=True)
+        return SmacProbe(hit=False, invalidated_hit=False)
+
+    def on_modified_evict(self, address: int) -> None:
+        """Retain ownership of an L2 line evicted in Modified state."""
+        self.stats.inserts += 1
+        set_index, tag, sub_block = self._locate(address)
+        way = self._find(set_index, tag)
+        bit = 1 << sub_block
+        if way is not None:
+            entry = self._sets[set_index][way]
+            entry.owned |= bit
+            entry.tombstone &= ~bit
+            self._touch(set_index, way)
+            return
+        # Allocate: reuse an invalid way or evict the set's LRU entry,
+        # losing all of its retained ownership bits.
+        ways = self._sets[set_index]
+        way = next((w for w, e in enumerate(ways) if not e.valid), None)
+        if way is None:
+            way = self._recency[set_index][0]
+            self.stats.entry_evictions += 1
+        entry = ways[way]
+        entry.tag = tag
+        entry.valid = True
+        entry.owned = bit
+        entry.tombstone = 0
+        self._touch(set_index, way)
+
+    def snoop(self, address: int) -> bool:
+        """Remote access to *address*: surrender ownership of its sub-block.
+
+        Returns True when the snoop actually invalidated a held sub-block
+        (these are the coherence-invalidate events of Figure 6's left graph).
+        """
+        set_index, tag, sub_block = self._locate(address)
+        way = self._find(set_index, tag)
+        if way is None:
+            return False
+        entry = self._sets[set_index][way]
+        bit = 1 << sub_block
+        if not entry.owned & bit:
+            return False
+        entry.owned &= ~bit
+        entry.tombstone |= bit
+        self.stats.snoop_invalidates += 1
+        return True
+
+    # -- introspection ------------------------------------------------------------
+
+    def owned_sub_blocks(self) -> int:
+        """Total sub-blocks currently held in E state."""
+        return sum(
+            bin(entry.owned).count("1")
+            for ways in self._sets
+            for entry in ways
+            if entry.valid
+        )

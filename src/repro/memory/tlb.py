@@ -1,0 +1,67 @@
+"""A fully associative translation lookaside buffer.
+
+The paper's configuration includes a 2K-entry shared TLB.  TLB misses do not
+participate in the epoch MLP model (they are serviced on chip by the
+hardware table walker in the modelled machine), so the TLB here exists for
+completeness of the substrate and for workload diagnostics: a synthetic
+workload whose footprint blows the TLB would not be credible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class TlbStats:
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_ratio(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+
+class Tlb:
+    """Fully associative, LRU-replaced page translation cache."""
+
+    def __init__(self, entries: int, page_bytes: int) -> None:
+        if entries <= 0:
+            raise ValueError("TLB needs at least one entry")
+        if page_bytes & (page_bytes - 1):
+            raise ValueError("page size must be a power of two")
+        self._entries = entries
+        self._page_shift = page_bytes.bit_length() - 1
+        # Python dicts preserve insertion order; reinsertion = move-to-MRU.
+        self._pages: dict[int, None] = {}
+        self.stats = TlbStats()
+
+    @property
+    def capacity(self) -> int:
+        return self._entries
+
+    def access(self, address: int) -> bool:
+        """Translate *address*; return True on TLB hit."""
+        page = address >> self._page_shift
+        if page in self._pages:
+            del self._pages[page]
+            self._pages[page] = None
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        if len(self._pages) >= self._entries:
+            oldest = next(iter(self._pages))
+            del self._pages[oldest]
+        self._pages[page] = None
+        return False
+
+    def occupancy(self) -> int:
+        return len(self._pages)

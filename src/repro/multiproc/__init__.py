@@ -1,0 +1,13 @@
+"""Multi-chip coherence traffic modelling.
+
+The paper's simulations accurately model cross-chip coherence traffic for a
+2-way (and, for Figure 6, 4-way) multiprocessor.  We reproduce that with a
+*sharing model*: a seeded stochastic process standing in for the other
+chips' accesses to shared data.  Remote writes invalidate lines in the home
+chip's L2 and surrender ownership held in its SMAC; remote reads downgrade.
+"""
+
+from .sharing import RemoteAccess, SharingModel
+from .system import MultiChipSystem
+
+__all__ = ["MultiChipSystem", "RemoteAccess", "SharingModel"]

@@ -1,0 +1,91 @@
+"""Stochastic remote-access generator for cross-chip coherence.
+
+Each remote node issues writes (request-to-own) and reads into the workload's
+shared region at a configured per-1000-instruction rate.  The process is
+deterministic given its seed.  Remote traffic scales linearly with the number
+of remote nodes, which is what drives Figure 6's 2-node vs 4-node contrast.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+
+@dataclass(frozen=True)
+class RemoteAccess:
+    """One coherence event from another chip."""
+
+    address: int
+    is_write: bool
+
+
+class SharingModel:
+    """Generates remote accesses into a shared address region.
+
+    Parameters
+    ----------
+    shared_base, shared_bytes:
+        The address region that other chips read and write.
+    write_rate_per_1000:
+        Remote *writes* per 1000 local instructions **per remote node**.
+    read_rate_per_1000:
+        Remote reads per 1000 local instructions per remote node.
+    remote_nodes:
+        Number of other chips in the system (``system.nodes - 1``).
+    line_bytes:
+        Coherence granularity.
+    """
+
+    def __init__(
+        self,
+        shared_base: int,
+        shared_bytes: int,
+        write_rate_per_1000: float,
+        read_rate_per_1000: float = 0.0,
+        remote_nodes: int = 1,
+        line_bytes: int = 64,
+        seed: int = 0,
+    ) -> None:
+        if shared_bytes <= 0:
+            raise ValueError("shared region must be non-empty")
+        if write_rate_per_1000 < 0 or read_rate_per_1000 < 0:
+            raise ValueError("rates must be non-negative")
+        if remote_nodes < 0:
+            raise ValueError("remote node count must be non-negative")
+        self.shared_base = shared_base
+        self.shared_bytes = shared_bytes
+        self.remote_nodes = remote_nodes
+        self.line_bytes = line_bytes
+        self._write_prob = write_rate_per_1000 * remote_nodes / 1000.0
+        self._read_prob = read_rate_per_1000 * remote_nodes / 1000.0
+        self._rng = random.Random(seed)
+        self._lines = max(1, shared_bytes // line_bytes)
+        self.total_writes = 0
+        self.total_reads = 0
+
+    def _pick_line(self) -> int:
+        index = self._rng.randrange(self._lines)
+        return self.shared_base + index * self.line_bytes
+
+    def step(self) -> List[RemoteAccess]:
+        """Remote accesses occurring during one local instruction."""
+        if self.remote_nodes == 0:
+            return []
+        events: List[RemoteAccess] = []
+        # Bernoulli approximation of a Poisson process; rates are << 1 per
+        # instruction so at most a couple of events fire per step.
+        if self._rng.random() < self._write_prob:
+            events.append(RemoteAccess(self._pick_line(), is_write=True))
+            self.total_writes += 1
+        if self._read_prob and self._rng.random() < self._read_prob:
+            events.append(RemoteAccess(self._pick_line(), is_write=False))
+            self.total_reads += 1
+        return events
+
+    def stream(self, instructions: int) -> Iterator[Tuple[int, RemoteAccess]]:
+        """Yield ``(instruction_index, access)`` pairs over a window."""
+        for index in range(instructions):
+            for event in self.step():
+                yield index, event

@@ -1,0 +1,46 @@
+"""Home-node view of a multi-chip system.
+
+``MultiChipSystem`` couples one chip's :class:`~repro.memory.MemorySystem`
+(the "home" node whose trace we simulate) with a :class:`SharingModel` that
+stands in for the other chips.  Between local instructions the sharing model
+may emit remote reads/writes, which are applied to the home node's L2 and
+SMAC as snoops.  This is the structure behind Figure 6: as nodes are added,
+remote traffic grows and more SMAC-held ownership is stolen.
+"""
+
+from __future__ import annotations
+
+from ..config import MemoryConfig, SystemConfig
+from ..memory import MemorySystem
+from .sharing import SharingModel
+
+
+class MultiChipSystem:
+    """One simulated home chip plus modelled remote coherence traffic."""
+
+    def __init__(
+        self,
+        memory_config: MemoryConfig,
+        system_config: SystemConfig,
+        sharing: SharingModel | None = None,
+    ) -> None:
+        self.system_config = system_config
+        self.memory = MemorySystem(
+            memory_config, single_chip=(system_config.nodes == 1)
+        )
+        self.sharing = sharing
+        if sharing is not None and sharing.remote_nodes != system_config.nodes - 1:
+            raise ValueError(
+                f"sharing model assumes {sharing.remote_nodes} remote nodes but "
+                f"the system has {system_config.nodes - 1}"
+            )
+
+    def tick(self) -> None:
+        """Advance remote chips by one local instruction slot."""
+        if self.sharing is None:
+            return
+        for event in self.sharing.step():
+            if event.is_write:
+                self.memory.snoop_store(event.address)
+            else:
+                self.memory.snoop_load(event.address)

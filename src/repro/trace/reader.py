@@ -1,0 +1,64 @@
+"""Binary trace deserialization (see :mod:`~repro.trace.writer` for the format)."""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from os import PathLike
+from typing import BinaryIO, Union
+
+from ..errors import TraceFormatError
+from ..isa import Instruction
+from .writer import HEADER, MAGIC, ORDINAL_TO_KIND, RECORD, VERSION
+
+_FLAG_TAKEN = 1
+_FLAG_ACQUIRE = 2
+_FLAG_RELEASE = 4
+
+
+def _read_header(stream: BinaryIO) -> int:
+    raw = stream.read(HEADER.size)
+    if len(raw) != HEADER.size:
+        raise TraceFormatError("truncated trace header")
+    magic, version, _, count = HEADER.unpack(raw)
+    if magic != MAGIC:
+        raise TraceFormatError(f"bad magic {magic!r}, expected {MAGIC!r}")
+    if version != VERSION:
+        raise TraceFormatError(f"unsupported trace version {version}")
+    return count
+
+
+def read_trace(stream: BinaryIO) -> Iterator[Instruction]:
+    """Yield instructions from a binary stream, validating the header."""
+    count = _read_header(stream)
+    for index in range(count):
+        raw = stream.read(RECORD.size)
+        if len(raw) != RECORD.size:
+            raise TraceFormatError(
+                f"trace truncated at record {index} of {count}"
+            )
+        (kind_ord, flags, size, dest, s0, s1, s2, nsrcs,
+         pc, address, target) = RECORD.unpack(raw)
+        try:
+            kind = ORDINAL_TO_KIND[kind_ord]
+        except KeyError:
+            raise TraceFormatError(f"unknown instruction class {kind_ord}") from None
+        if nsrcs > 3:
+            raise TraceFormatError(f"record {index} claims {nsrcs} sources")
+        yield Instruction(
+            kind=kind,
+            pc=pc,
+            address=address,
+            size=size,
+            dest=dest,
+            srcs=(s0, s1, s2)[:nsrcs],
+            taken=bool(flags & _FLAG_TAKEN),
+            target=target,
+            lock_acquire=bool(flags & _FLAG_ACQUIRE),
+            lock_release=bool(flags & _FLAG_RELEASE),
+        )
+
+
+def read_trace_file(path: Union[str, PathLike]) -> list[Instruction]:
+    """Read a whole trace file into memory."""
+    with open(path, "rb") as stream:
+        return list(read_trace(stream))

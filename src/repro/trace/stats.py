@@ -1,0 +1,96 @@
+"""Whole-trace instruction-mix statistics.
+
+These drive the reproduction of the paper's Table 1 (store frequency) and
+feed the workload calibration loop.  Cache miss rates require a memory
+hierarchy and live in :mod:`repro.harness.tables`, which combines this
+module with :mod:`repro.memory`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from ..isa import Instruction, InstructionClass
+from ..isa.opcodes import is_control, is_load_like, is_store_like
+
+
+@dataclass(frozen=True)
+class InstructionMix:
+    """Counts of dynamic instruction behaviour in a trace window."""
+
+    total: int
+    loads: int
+    stores: int
+    branches: int
+    atomics: int
+    barriers: int
+    lock_acquires: int
+    lock_releases: int
+
+    def per_100(self, count: int) -> float:
+        """Express *count* per 100 instructions (the paper's Table 1 unit)."""
+        if self.total == 0:
+            return 0.0
+        return 100.0 * count / self.total
+
+    @property
+    def store_frequency(self) -> float:
+        """Stores per 100 instructions (Table 1 row 1)."""
+        return self.per_100(self.stores)
+
+    @property
+    def load_frequency(self) -> float:
+        """Loads per 100 instructions."""
+        return self.per_100(self.loads)
+
+
+@dataclass(frozen=True)
+class TraceStatistics:
+    """Instruction mix plus per-class dynamic counts."""
+
+    mix: InstructionMix
+    kind_counts: dict[InstructionClass, int]
+
+    @property
+    def total(self) -> int:
+        return self.mix.total
+
+
+def collect_statistics(trace: Iterable[Instruction]) -> TraceStatistics:
+    """Scan *trace* once and summarize its instruction mix."""
+    kind_counts: Counter[InstructionClass] = Counter()
+    loads = stores = branches = atomics = barriers = 0
+    acquires = releases = 0
+    total = 0
+    for inst in trace:
+        total += 1
+        kind_counts[inst.kind] += 1
+        if is_load_like(inst.kind):
+            loads += 1
+        if is_store_like(inst.kind):
+            stores += 1
+        if is_control(inst.kind):
+            branches += 1
+        if inst.kind in (InstructionClass.CAS, InstructionClass.STORE_COND,
+                         InstructionClass.LOAD_LOCKED):
+            atomics += 1
+        if inst.kind in (InstructionClass.MEMBAR, InstructionClass.ISYNC,
+                         InstructionClass.LWSYNC):
+            barriers += 1
+        if inst.lock_acquire:
+            acquires += 1
+        if inst.lock_release:
+            releases += 1
+    mix = InstructionMix(
+        total=total,
+        loads=loads,
+        stores=stores,
+        branches=branches,
+        atomics=atomics,
+        barriers=barriers,
+        lock_acquires=acquires,
+        lock_releases=releases,
+    )
+    return TraceStatistics(mix=mix, kind_counts=dict(kind_counts))

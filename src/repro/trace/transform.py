@@ -1,0 +1,64 @@
+"""Generic trace rewriting.
+
+The lock rewriter (PC -> WC lock idioms) and Speculative Lock Elision are
+expressed as *subsequence replacements*: a matcher recognizes a run of
+instructions and a builder emits its replacement.  This module provides the
+replacement engine; the domain-specific matchers live in :mod:`repro.locks`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Iterator, Sequence
+from typing import List, Optional
+
+from ..isa import Instruction
+
+#: A matcher inspects the stream starting at ``window[0]`` and returns the
+#: number of instructions it consumes (0 = no match).
+Matcher = Callable[[Sequence[Instruction]], int]
+
+#: A builder maps the matched run to its replacement instructions.
+Builder = Callable[[Sequence[Instruction]], Sequence[Instruction]]
+
+
+def map_trace(
+    trace: Iterable[Instruction],
+    transform: Callable[[Instruction], Optional[Instruction]],
+) -> Iterator[Instruction]:
+    """Apply a per-instruction transform; ``None`` drops the instruction."""
+    for inst in trace:
+        result = transform(inst)
+        if result is not None:
+            yield result
+
+
+def replace_subsequences(
+    trace: Sequence[Instruction],
+    matcher: Matcher,
+    builder: Builder,
+    lookahead: int = 64,
+) -> List[Instruction]:
+    """Replace every run recognised by *matcher* with *builder*'s output.
+
+    The matcher sees a window of at most *lookahead* upcoming instructions.
+    Matches never overlap: scanning resumes after the consumed run.
+    """
+    if lookahead <= 0:
+        raise ValueError("lookahead must be positive")
+    out: List[Instruction] = []
+    i = 0
+    n = len(trace)
+    while i < n:
+        window = trace[i : i + lookahead]
+        consumed = matcher(window)
+        if consumed < 0 or consumed > len(window):
+            raise ValueError(
+                f"matcher returned invalid consumption {consumed} at index {i}"
+            )
+        if consumed:
+            out.extend(builder(window[:consumed]))
+            i += consumed
+        else:
+            out.append(trace[i])
+            i += 1
+    return out

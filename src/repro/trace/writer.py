@@ -1,0 +1,100 @@
+"""Binary trace serialization.
+
+Format ``MLPT`` version 1: a 16-byte header followed by fixed 32-byte
+records.
+
+Header::
+
+    magic   4s   b"MLPT"
+    version u16  1
+    pad     u16
+    count   u64  number of records
+
+Record::
+
+    kind    u8   InstructionClass ordinal
+    flags   u8   bit0 taken, bit1 lock_acquire, bit2 lock_release
+    size    u8   access size in bytes
+    dest    i8   destination register (-1 = none)
+    srcs    3*i8 source registers (-1 = unused slot)
+    nsrcs   u8   number of valid source slots
+    pc      u64
+    address u64
+    target  u64
+
+Traces with more than three source registers per instruction cannot be
+serialized losslessly; the writer raises :class:`TraceError` rather than
+silently truncating dependences.
+"""
+
+from __future__ import annotations
+
+import struct
+from collections.abc import Iterable
+from os import PathLike
+from typing import BinaryIO, Union
+
+from ..errors import TraceError
+from ..isa import Instruction
+from ..isa.opcodes import InstructionClass
+
+MAGIC = b"MLPT"
+VERSION = 1
+HEADER = struct.Struct("<4sHHQ")
+RECORD = struct.Struct("<BBBb3bBQQQ")
+
+_FLAG_TAKEN = 1
+_FLAG_ACQUIRE = 2
+_FLAG_RELEASE = 4
+
+#: Stable ordinal for each instruction class (do not reorder: on-disk format).
+KIND_TO_ORDINAL = {kind: i for i, kind in enumerate(InstructionClass)}
+ORDINAL_TO_KIND = {i: kind for kind, i in KIND_TO_ORDINAL.items()}
+
+
+def _pack(inst: Instruction) -> bytes:
+    srcs = inst.srcs
+    if len(srcs) > 3:
+        raise TraceError(
+            f"cannot serialize instruction with {len(srcs)} sources (max 3)"
+        )
+    padded = tuple(srcs) + (-1,) * (3 - len(srcs))
+    flags = (
+        (_FLAG_TAKEN if inst.taken else 0)
+        | (_FLAG_ACQUIRE if inst.lock_acquire else 0)
+        | (_FLAG_RELEASE if inst.lock_release else 0)
+    )
+    return RECORD.pack(
+        KIND_TO_ORDINAL[inst.kind],
+        flags,
+        inst.size,
+        inst.dest,
+        *padded,
+        len(srcs),
+        inst.pc,
+        inst.address,
+        inst.target,
+    )
+
+
+def write_trace(stream: BinaryIO, trace: Iterable[Instruction]) -> int:
+    """Write *trace* to a seekable binary stream; return the record count."""
+    start = stream.tell()
+    stream.write(HEADER.pack(MAGIC, VERSION, 0, 0))
+    count = 0
+    for inst in trace:
+        stream.write(_pack(inst))
+        count += 1
+    end = stream.tell()
+    stream.seek(start)
+    stream.write(HEADER.pack(MAGIC, VERSION, 0, count))
+    stream.seek(end)
+    return count
+
+
+def write_trace_file(
+    path: Union[str, PathLike], trace: Iterable[Instruction]
+) -> int:
+    """Write *trace* to *path*; return the record count."""
+    with open(path, "wb") as stream:
+        return write_trace(stream, trace)

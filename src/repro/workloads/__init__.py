@@ -1,0 +1,44 @@
+"""Synthetic commercial-workload trace generators.
+
+The paper's traces (a full-scale database workload, TPC-W, SPECjbb2000 and
+SPECweb99, captured on Sun's in-house full-system simulator) are
+proprietary.  These generators produce SPARC-TSO-flavoured instruction
+streams whose *structure* matches the published characteristics of those
+workloads: instruction mix and Table 1 miss rates, store-miss burstiness,
+critical-section density (the serializing-instruction pressure behind
+Figure 3), private store-miss reuse footprints (what sizes the SMAC,
+Figure 5) and cross-chip sharing (what invalidates it, Figure 6).
+
+Each workload is described by a :class:`~repro.workloads.profiles.WorkloadProfile`
+of structural knobs; :class:`~repro.workloads.generator.WorkloadGenerator`
+turns a profile into a deterministic instruction stream;
+:mod:`~repro.workloads.calibration` verifies/adjusts profiles against the
+paper's Table 1 through the real cache simulation.
+"""
+
+from .calibration import calibrate_profile, measure_profile
+from .generator import WorkloadGenerator, generate_trace
+from .profiles import (
+    DATABASE,
+    SPECJBB,
+    SPECWEB,
+    TPCW,
+    WORKLOADS,
+    WorkloadProfile,
+)
+from .regions import AddressMap, Region
+
+__all__ = [
+    "AddressMap",
+    "DATABASE",
+    "Region",
+    "SPECJBB",
+    "SPECWEB",
+    "TPCW",
+    "WORKLOADS",
+    "WorkloadGenerator",
+    "WorkloadProfile",
+    "calibrate_profile",
+    "generate_trace",
+    "measure_profile",
+]

@@ -1,0 +1,111 @@
+"""Analysis helpers: termination stacks, MLP profiles, overlap breakdowns."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    TERMINATION_ORDER,
+    dominant_condition,
+    expensive_store_stats,
+    mlp_profile,
+    overlap_breakdown,
+    store_caused_fraction,
+    store_mlp_histogram,
+    termination_stack,
+)
+from repro.core import SimulationResult
+from repro.core.epoch import EpochRecord, TerminationCondition, TriggerKind
+
+
+def epoch(index, stores=0, loads=0, insts=0,
+          term=TerminationCondition.WINDOW_FULL):
+    return EpochRecord(
+        index=index, trigger=TriggerKind.LOAD, termination=term,
+        store_misses=stores, load_misses=loads, inst_misses=insts,
+        instructions=50,
+    )
+
+
+@pytest.fixture
+def result():
+    return SimulationResult(
+        instructions=5000,
+        epochs=[
+            epoch(0, stores=1, term=TerminationCondition.STORE_SERIALIZE),
+            epoch(1, stores=2, loads=1),
+            epoch(2, loads=3),
+            epoch(3, stores=1,
+                  term=TerminationCondition.STORE_QUEUE_STORE_BUFFER_FULL),
+        ],
+        fully_overlapped_stores=4,
+        accelerated_stores=2,
+    )
+
+
+class TestTermination:
+    def test_order_matches_figure3_legend(self):
+        assert TERMINATION_ORDER[0] is TerminationCondition.STORE_BUFFER_FULL
+        assert TERMINATION_ORDER[-1] is TerminationCondition.WINDOW_FULL
+        assert len(TERMINATION_ORDER) == 8
+
+    def test_stack_covers_all_conditions(self, result):
+        stack = termination_stack(result)
+        assert len(stack) == len(TERMINATION_ORDER)
+        total = sum(fraction for _, fraction in stack)
+        # 3 of 4 epochs have store MLP >= 1; fractions are of all epochs.
+        assert total == pytest.approx(0.75)
+
+    def test_store_caused_fraction(self, result):
+        assert store_caused_fraction(result) == pytest.approx(0.5)
+
+    def test_dominant_condition(self, result):
+        # Among store-MLP>=1 epochs: serialize, window-full, sq+sb-full.
+        assert dominant_condition(result) in {
+            TerminationCondition.STORE_SERIALIZE,
+            TerminationCondition.WINDOW_FULL,
+            TerminationCondition.STORE_QUEUE_STORE_BUFFER_FULL,
+        }
+
+    def test_empty_result(self):
+        empty = SimulationResult(instructions=0)
+        assert dominant_condition(empty) is None
+        assert store_caused_fraction(empty) == 0.0
+
+
+class TestMlpStats:
+    def test_histogram_includes_zero_bucket(self, result):
+        histogram = store_mlp_histogram(result)
+        assert histogram[0] == pytest.approx(0.25)
+        assert histogram[1] == pytest.approx(0.5)
+        assert histogram[2] == pytest.approx(0.25)
+
+    def test_histogram_caps(self):
+        result = SimulationResult(instructions=100, epochs=[epoch(0, stores=99)])
+        histogram = store_mlp_histogram(result, cap=10)
+        assert histogram == {10: 1.0}
+
+    def test_profile_excludes_zero_store_bars(self, result):
+        bars = mlp_profile(result)
+        assert all(store_mlp >= 1 for store_mlp, _ in bars)
+
+    def test_expensive_stores(self, result):
+        stats = expensive_store_stats(result)
+        # Epochs 0 and 3: one missing store, nothing else.
+        assert stats.expensive_epochs == 2
+        assert stats.fraction == pytest.approx(0.5)
+
+
+class TestOverlap:
+    def test_breakdown_totals(self, result):
+        breakdown = overlap_breakdown(result)
+        assert breakdown.fully_overlapped == 4
+        assert breakdown.accelerated == 2
+        assert breakdown.epoch_overlapped == 4
+        assert breakdown.total == 10
+        assert breakdown.overlap_fraction == pytest.approx(0.4)
+        assert breakdown.exposed_fraction == pytest.approx(0.4)
+
+    def test_empty_breakdown(self):
+        breakdown = overlap_breakdown(SimulationResult(instructions=0))
+        assert breakdown.overlap_fraction == 0.0

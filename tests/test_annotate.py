@@ -1,0 +1,112 @@
+"""Trace annotation: one-pass miss classification."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import MemoryConfig, SimulationConfig, SystemConfig
+from repro.frontend import BranchPredictor
+from repro.isa import Instruction, InstructionClass as IC
+from repro.memory import MemorySystem, annotate_trace
+from repro.multiproc import MultiChipSystem, SharingModel
+
+from conftest import make_inst
+
+
+@pytest.fixture
+def memory():
+    return MemorySystem(MemoryConfig())
+
+
+class TestClassification:
+    def test_cold_load_annotated_as_miss(self, memory):
+        trace = [make_inst(IC.LOAD, address=0x40000, dest=5)]
+        [(inst, info)] = annotate_trace(trace, memory)
+        assert info.data_miss
+
+    def test_warm_load_annotated_as_hit(self, memory):
+        trace = [
+            make_inst(IC.LOAD, address=0x40000, dest=5),
+            make_inst(IC.LOAD, pc=0x1004, address=0x40000, dest=6),
+        ]
+        annotated = annotate_trace(trace, memory)
+        assert annotated[0][1].data_miss
+        assert not annotated[1][1].data_miss
+
+    def test_instruction_miss_flag(self, memory):
+        trace = [make_inst(IC.ALU, pc=0x5000, dest=5)]
+        [(inst, info)] = annotate_trace(trace, memory)
+        assert info.inst_miss
+
+    def test_cas_classified_as_data_access(self, memory):
+        trace = [make_inst(IC.CAS, address=0x40000, dest=5)]
+        [(inst, info)] = annotate_trace(trace, memory)
+        assert info.data_miss
+
+    def test_store_smac_flag_propagates(self):
+        from repro.config import SmacConfig
+        memory = MemorySystem(MemoryConfig(smac=SmacConfig(entries=64,
+                                                           associativity=2)))
+        memory.store(0x100000)
+        stride = memory.config.l2.num_sets * 64
+        evict = [
+            make_inst(IC.LOAD, pc=0x1000 + 4 * i,
+                      address=0x100000 + (i + 1) * stride, dest=5)
+            for i in range(6)
+        ]
+        trace = evict + [make_inst(IC.STORE, pc=0x2000, address=0x100000)]
+        annotated = annotate_trace(trace, memory)
+        store_info = annotated[-1][1]
+        assert store_info.data_miss and store_info.smac_hit
+
+
+class TestWarmup:
+    def test_warmup_discarded_and_stats_reset(self, memory):
+        trace = [
+            make_inst(IC.LOAD, pc=0x1000 + 4 * i, address=0x40000 + 64 * i,
+                      dest=5)
+            for i in range(100)
+        ]
+        annotated = annotate_trace(trace, memory, warmup=60)
+        assert len(annotated) == 40
+        assert memory.stats.loads == 40
+
+    def test_zero_warmup_keeps_everything(self, memory):
+        trace = [make_inst(IC.ALU, dest=5)] * 10
+        assert len(annotate_trace(trace, memory)) == 10
+
+    def test_negative_warmup_rejected(self, memory):
+        with pytest.raises(ValueError):
+            annotate_trace([], memory, warmup=-1)
+
+
+class TestPredictorIntegration:
+    def test_mispredict_flags_settle_after_training(self, memory):
+        predictor = BranchPredictor(SimulationConfig().core.branch)
+        branch = make_inst(IC.BRANCH, taken=True, target=0x2000)
+        trace = [branch] * 50
+        annotated = annotate_trace(trace, memory, predictor=predictor)
+        assert not annotated[-1][1].mispredicted
+
+
+class TestSharingIntegration:
+    def test_remote_writes_invalidate_between_instructions(self):
+        memory_config = MemoryConfig()
+        sharing = SharingModel(
+            0x100000, 4096, write_rate_per_1000=1000, remote_nodes=1, seed=1
+        )
+        system = MultiChipSystem(memory_config, SystemConfig(nodes=2), sharing)
+        trace = [
+            make_inst(IC.LOAD, pc=0x1000 + 4 * i, address=0x100000, dest=5)
+            for i in range(2000)
+        ]
+        annotated = annotate_trace(trace, system.memory, system=system)
+        # The line is repeatedly stolen by remote writers, so some re-loads
+        # miss even though the address never changes.
+        remisses = sum(1 for _, info in annotated[1:] if info.data_miss)
+        assert remisses > 0
+
+    def test_system_must_wrap_same_memory(self, memory):
+        other = MultiChipSystem(MemoryConfig(), SystemConfig(nodes=1))
+        with pytest.raises(ValueError):
+            annotate_trace([], memory, system=other)

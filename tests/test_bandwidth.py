@@ -1,0 +1,106 @@
+"""L2 write-path bandwidth accounting (paper Sections 3.3.2-3.3.3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import (
+    CoreConfig,
+    SimulationConfig,
+    StorePrefetchMode,
+)
+from repro.core import MlpSimulator, StoreEntry, StoreUnit
+from repro.isa import InstructionClass as IC
+
+from conftest import annotated
+
+
+def unit(**kwargs):
+    defaults = dict(store_buffer=4, store_queue=4,
+                    store_prefetch=StorePrefetchMode.NONE, coalesce_bytes=0)
+    defaults.update(kwargs)
+    return StoreUnit(CoreConfig(**defaults))
+
+
+class TestStoreUnitBandwidth:
+    def test_hit_store_costs_one_request(self):
+        su = unit()
+        su.dispatch(StoreEntry(granule=0x1000), retirable=True, epoch=0)
+        assert su.stats.l2_store_requests == 1
+        assert su.stats.prefetch_requests == 0
+
+    def test_sp0_missing_store_costs_one_request(self):
+        """Without prefetching the head's write request IS the commit."""
+        su = unit()
+        su.dispatch(StoreEntry(granule=0x1000, missing=True),
+                    retirable=True, epoch=0)
+        su.pump(epoch=1)
+        assert su.stats.committed == 1
+        assert su.stats.prefetch_requests == 0
+
+    def test_sp1_missing_store_costs_two_requests(self):
+        su = unit(store_prefetch=StorePrefetchMode.AT_RETIRE)
+        su.dispatch(StoreEntry(granule=0x1000, missing=True),
+                    retirable=True, epoch=0)
+        su.pump(epoch=1)
+        assert su.stats.committed == 1
+        assert su.stats.prefetch_requests == 1
+        assert su.stats.l2_store_requests == 2
+
+    def test_accelerated_store_never_prefetches(self):
+        su = unit(store_prefetch=StorePrefetchMode.AT_EXECUTE)
+        su.dispatch(
+            StoreEntry(granule=0x1000, missing=True, accelerated=True),
+            retirable=True, epoch=0,
+        )
+        assert su.stats.prefetch_requests == 0
+
+    def test_overhead_ratio(self):
+        su = unit(store_prefetch=StorePrefetchMode.AT_RETIRE)
+        su.dispatch(StoreEntry(granule=0x1000, missing=True),
+                    retirable=True, epoch=0)
+        su.dispatch(StoreEntry(granule=0x2000), retirable=True, epoch=0)
+        su.pump(epoch=1)
+        assert su.stats.bandwidth_overhead == pytest.approx(0.5)
+
+
+class TestSimulatorBandwidth:
+    def _trace(self):
+        return [
+            annotated(IC.STORE, miss=True, address=0x1000 + 64 * i)
+            for i in range(10)
+        ] + [annotated(IC.ALU, dest=5)] * 50
+
+    def _run(self, smac=False, **core):
+        trace = self._trace()
+        if smac:
+            trace = [
+                (inst, info if not info.data_miss else type(info)(
+                    inst_miss=info.inst_miss, data_miss=True, smac_hit=True,
+                ))
+                for inst, info in trace
+            ]
+        return MlpSimulator(
+            SimulationConfig(core=CoreConfig(**core))
+        ).run(trace)
+
+    def test_prefetching_pays_bandwidth(self):
+        sp0 = self._run(store_prefetch=StorePrefetchMode.NONE)
+        sp2 = self._run(store_prefetch=StorePrefetchMode.AT_EXECUTE)
+        assert sp0.store_prefetch_requests == 0
+        assert sp2.store_prefetch_requests == 10
+        assert sp2.l2_store_requests > sp0.l2_store_requests
+
+    def test_smac_conserves_bandwidth(self):
+        """The paper's SMAC claim: similar gains to prefetching with no
+        extra write-path requests."""
+        sp2 = self._run(store_prefetch=StorePrefetchMode.AT_EXECUTE)
+        smac = self._run(smac=True, store_prefetch=StorePrefetchMode.AT_EXECUTE)
+        assert smac.epi <= sp2.epi
+        assert smac.store_prefetch_requests == 0
+        assert smac.store_bandwidth_overhead == 0.0
+        assert sp2.store_bandwidth_overhead > 0.0
+
+    def test_committed_counts_match_stores(self):
+        result = self._run(store_prefetch=StorePrefetchMode.NONE)
+        assert result.stores_committed == 10

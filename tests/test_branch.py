@@ -1,0 +1,130 @@
+"""Branch prediction: gshare, BTB, RAS and the combined predictor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import BranchPredictorConfig
+from repro.frontend import (
+    BranchPredictor,
+    BranchTargetBuffer,
+    GshareTable,
+    ReturnAddressStack,
+)
+from repro.isa import Instruction, InstructionClass
+
+
+def branch(pc, taken, target=0x2000, srcs=()):
+    return Instruction(
+        InstructionClass.BRANCH, pc=pc, taken=taken, target=target, srcs=srcs
+    )
+
+
+class TestGshare:
+    def test_learns_always_taken(self):
+        table = GshareTable(1024, history_bits=4)
+        for _ in range(8):
+            table.update(0x100, True)
+        assert table.predict(0x100)
+
+    def test_learns_never_taken(self):
+        table = GshareTable(1024, history_bits=4)
+        for _ in range(8):
+            table.update(0x100, False)
+        assert not table.predict(0x100)
+
+    def test_counters_saturate(self):
+        table = GshareTable(1024, history_bits=0)
+        for _ in range(100):
+            table.update(0x100, True)
+        table.update(0x100, False)  # one not-taken shouldn't flip it
+        assert table.predict(0x100)
+
+    def test_rejects_non_pow2(self):
+        with pytest.raises(ValueError):
+            GshareTable(1000, history_bits=4)
+
+
+class TestBtb:
+    def test_miss_then_hit(self):
+        btb = BranchTargetBuffer(256)
+        assert btb.lookup(0x100) is None
+        btb.update(0x100, 0x2000)
+        assert btb.lookup(0x100) == 0x2000
+
+    def test_conflicting_pcs_replace(self):
+        btb = BranchTargetBuffer(16)
+        btb.update(0x100, 0x2000)
+        btb.update(0x100 + 16 * 4, 0x3000)  # same direct-mapped slot
+        assert btb.lookup(0x100) is None
+
+
+class TestRas:
+    def test_push_pop_order(self):
+        ras = ReturnAddressStack(4)
+        ras.push(0x10)
+        ras.push(0x20)
+        assert ras.pop() == 0x20
+        assert ras.pop() == 0x10
+        assert ras.pop() is None
+
+    def test_overflow_drops_oldest(self):
+        ras = ReturnAddressStack(2)
+        for value in (1, 2, 3):
+            ras.push(value)
+        assert ras.pop() == 3
+        assert ras.pop() == 2
+        assert ras.pop() is None
+
+
+class TestCombinedPredictor:
+    @pytest.fixture
+    def predictor(self):
+        return BranchPredictor(BranchPredictorConfig(
+            gshare_entries=4096, btb_entries=256, history_bits=2,
+        ))
+
+    def test_biased_branch_becomes_predictable(self, predictor):
+        for _ in range(20):
+            predictor.observe(branch(0x100, taken=True, target=0x500))
+        predictor.stats.reset()
+        for _ in range(20):
+            predictor.observe(branch(0x100, taken=True, target=0x500))
+        assert predictor.stats.mispredictions == 0
+
+    def test_calls_and_returns_pair_through_ras(self, predictor):
+        call = Instruction(
+            InstructionClass.CALL, pc=0x100, taken=True, target=0x800
+        )
+        ret = Instruction(
+            InstructionClass.RETURN, pc=0x800, taken=True, target=0x104
+        )
+        predictor.observe(call)
+        assert predictor.observe(ret) is False  # RAS top matches
+
+    def test_corrupted_ras_mispredicts_return(self, predictor):
+        ret = Instruction(
+            InstructionClass.RETURN, pc=0x800, taken=True, target=0x104
+        )
+        predictor.observe(Instruction(
+            InstructionClass.CALL, pc=0x100, taken=True, target=0x800
+        ))
+        predictor.observe(Instruction(
+            InstructionClass.CALL, pc=0x200, taken=True, target=0x900
+        ))
+        assert predictor.observe(ret) is True  # wrong return address on top
+        assert predictor.stats.ras_mispredictions == 1
+
+    def test_btb_miss_counts_as_mispredict_for_taken_branch(self, predictor):
+        # Train direction as taken with one target, then change the target:
+        # the stale BTB entry redirects fetch to the wrong place.
+        for _ in range(10):
+            predictor.observe(branch(0x100, taken=True, target=0x500))
+        predictor.stats.reset()
+        predictor.observe(branch(0x100, taken=True, target=0x900))
+        assert predictor.stats.mispredictions == 1
+        assert predictor.stats.btb_misses == 1
+
+    def test_mispredict_ratio_accounting(self, predictor):
+        predictor.observe(branch(0x100, taken=True))
+        assert 0.0 <= predictor.stats.mispredict_ratio <= 1.0

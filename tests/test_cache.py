@@ -1,0 +1,123 @@
+"""Set-associative cache behaviour: hits, LRU, eviction, invalidation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import CacheConfig
+from repro.memory import CacheLine, MesiState, SetAssociativeCache
+
+
+@pytest.fixture
+def tiny_cache():
+    """2 sets x 2 ways x 64B lines."""
+    return SetAssociativeCache(CacheConfig(256, 2, 64))
+
+
+def same_set_addresses(cache, count, set_index=0):
+    """Addresses mapping to one set of *cache*."""
+    stride = cache.config.num_sets * cache.config.line_bytes
+    return [set_index * cache.config.line_bytes + i * stride
+            for i in range(count)]
+
+
+class TestBasics:
+    def test_miss_then_hit(self, tiny_cache):
+        assert tiny_cache.lookup(0x0) is None
+        tiny_cache.fill(0x0)
+        assert tiny_cache.lookup(0x0) is not None
+        assert tiny_cache.stats.read_misses == 1
+        assert tiny_cache.stats.read_hits == 1
+
+    def test_same_line_offsets_hit(self, tiny_cache):
+        tiny_cache.fill(0x40)
+        assert tiny_cache.lookup(0x40) is not None
+        assert tiny_cache.lookup(0x78) is not None  # same 64B line
+
+    def test_write_hit_marks_dirty_and_modified(self, tiny_cache):
+        tiny_cache.fill(0x0, MesiState.EXCLUSIVE)
+        line = tiny_cache.lookup(0x0, write=True)
+        assert line.dirty
+        assert line.state is MesiState.MODIFIED
+
+    def test_probe_does_not_touch_counters_or_recency(self, tiny_cache):
+        tiny_cache.fill(0x0)
+        before = tiny_cache.stats.accesses
+        assert tiny_cache.probe(0x0) is not None
+        assert tiny_cache.probe(0x40) is None
+        assert tiny_cache.stats.accesses == before
+
+    def test_occupancy_and_resident_lines(self, tiny_cache):
+        tiny_cache.fill(0x0)
+        tiny_cache.fill(0x40)
+        assert tiny_cache.occupancy() == 2
+        assert set(tiny_cache.resident_lines()) == {0x0, 0x40}
+
+
+class TestLru:
+    def test_lru_victim_is_least_recent(self, tiny_cache):
+        a, b, c = same_set_addresses(tiny_cache, 3)
+        tiny_cache.fill(a)
+        tiny_cache.fill(b)
+        tiny_cache.lookup(a)            # a is now MRU
+        evicted = tiny_cache.fill(c)    # b must be the victim
+        assert evicted is not None
+        assert evicted[0] == b
+
+    def test_fill_of_resident_line_updates_state_not_duplicates(self, tiny_cache):
+        tiny_cache.fill(0x0, MesiState.EXCLUSIVE)
+        assert tiny_cache.fill(0x0, MesiState.MODIFIED, dirty=True) is None
+        line = tiny_cache.probe(0x0)
+        assert line.state is MesiState.MODIFIED
+        assert line.dirty
+
+    def test_eviction_reports_dirty_line_for_writeback(self, tiny_cache):
+        a, b, c = same_set_addresses(tiny_cache, 3)
+        tiny_cache.fill(a, MesiState.MODIFIED, dirty=True)
+        tiny_cache.fill(b)
+        evicted_address, victim = tiny_cache.fill(c)
+        assert evicted_address == a
+        assert victim.dirty
+        assert tiny_cache.stats.writebacks == 1
+
+
+class TestInvalidate:
+    def test_invalidate_removes_line(self, tiny_cache):
+        tiny_cache.fill(0x0)
+        assert tiny_cache.invalidate(0x0) is not None
+        assert tiny_cache.probe(0x0) is None
+        assert tiny_cache.stats.snoop_invalidates == 1
+
+    def test_invalidate_absent_line_is_noop(self, tiny_cache):
+        assert tiny_cache.invalidate(0x1234) is None
+        assert tiny_cache.stats.snoop_invalidates == 0
+
+    def test_invalid_way_preferred_over_eviction(self, tiny_cache):
+        a, b, c = same_set_addresses(tiny_cache, 3)
+        tiny_cache.fill(a)
+        tiny_cache.fill(b)
+        tiny_cache.invalidate(a)
+        assert tiny_cache.fill(c) is None  # reused the invalid way
+        assert tiny_cache.stats.evictions == 0
+
+
+class TestStats:
+    def test_miss_ratio(self, tiny_cache):
+        tiny_cache.lookup(0x0)
+        tiny_cache.fill(0x0)
+        tiny_cache.lookup(0x0)
+        assert tiny_cache.stats.miss_ratio == pytest.approx(0.5)
+
+    def test_reset(self, tiny_cache):
+        tiny_cache.lookup(0x0)
+        tiny_cache.stats.reset()
+        assert tiny_cache.stats.accesses == 0
+
+
+class TestAddressReconstruction:
+    def test_resident_lines_round_trip(self):
+        cache = SetAssociativeCache(CacheConfig(64 * 1024, 4, 64))
+        addresses = {0x0, 0x10000, 0xABC00, 0x7FFFFC0}
+        for address in addresses:
+            cache.fill(address)
+        assert set(cache.resident_lines()) == addresses

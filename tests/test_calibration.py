@@ -1,0 +1,60 @@
+"""Profile calibration against Table 1 through the real cache simulation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CalibrationError
+from repro.workloads import (
+    DATABASE,
+    TPCW,
+    calibrate_profile,
+    measure_profile,
+)
+from repro.workloads.calibration import MeasuredRates, _within
+
+
+class TestMeasure:
+    def test_measures_plausible_rates(self):
+        rates = measure_profile(DATABASE, instructions=60_000, warmup=20_000)
+        assert 8 < rates.store_frequency < 13
+        assert 0 < rates.store_miss_per_100 < 2
+        assert 0 < rates.load_miss_per_100 < 2
+
+    def test_rejects_degenerate_window(self):
+        with pytest.raises(CalibrationError):
+            measure_profile(DATABASE, instructions=100, warmup=100)
+
+
+class TestCalibrate:
+    @pytest.mark.slow
+    def test_database_converges(self):
+        calibrated = calibrate_profile(
+            DATABASE, instructions=120_000, warmup=40_000, tolerance=0.25
+        )
+        rates = measure_profile(calibrated, instructions=120_000, warmup=40_000)
+        assert rates.store_miss_per_100 == pytest.approx(
+            DATABASE.store_miss_per_100, rel=0.25
+        )
+        assert rates.load_miss_per_100 == pytest.approx(
+            DATABASE.load_miss_per_100, rel=0.25
+        )
+
+    def test_tolerance_check_skips_tiny_targets(self):
+        profile = TPCW.with_(inst_miss_per_100=0.001)
+        measured = MeasuredRates(
+            store_frequency=7.0,
+            store_miss_per_100=profile.store_miss_per_100,
+            load_miss_per_100=profile.load_miss_per_100,
+            inst_miss_per_100=0.01,  # 10x off but below measurement floor
+        )
+        assert _within(profile, measured, tolerance=0.2, window=80_000)
+
+    def test_impossible_target_raises(self):
+        # A target far beyond what the generator's structure can produce
+        # within the clamped steering range must fail loudly.
+        profile = DATABASE.with_(load_miss_per_100=60.0)
+        with pytest.raises(CalibrationError):
+            calibrate_profile(
+                profile, instructions=30_000, warmup=10_000, iterations=2,
+            )

@@ -1,0 +1,59 @@
+"""Command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+SMALL = ["--measure", "12000", "--warmup", "6000", "--no-calibrate"]
+
+
+class TestCli:
+    def test_table1(self, capsys):
+        code, out, _ = run_cli(
+            capsys, *SMALL, "--workloads", "tpcw", "table1"
+        )
+        assert code == 0
+        assert "Table 1" in out
+        assert "store frequency" in out
+
+    def test_table2(self, capsys):
+        code, out, _ = run_cli(
+            capsys, *SMALL, "--workloads", "specweb", "table2"
+        )
+        assert code == 0
+        assert "fully overlapped" in out
+
+    def test_figure3(self, capsys):
+        code, out, _ = run_cli(
+            capsys, *SMALL, "--workloads", "specjbb", "figure3"
+        )
+        assert code == 0
+        assert "specjbb" in out
+
+    def test_run_command(self, capsys):
+        code, out, _ = run_cli(
+            capsys, *SMALL, "run", "--workload", "tpcw",
+            "--prefetch", "sp2", "--consistency", "wc",
+        )
+        assert code == 0
+        assert "epochs=" in out
+
+    def test_unknown_workload_rejected(self, capsys):
+        code, _, err = run_cli(
+            capsys, *SMALL, "--workloads", "mysql", "table1"
+        )
+        assert code == 2
+        assert "unknown workloads" in err
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,64 @@
+"""CLI figure commands at miniature sizes (smoke coverage of every path)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+TINY = ["--measure", "8000", "--warmup", "4000", "--no-calibrate",
+        "--workloads", "specweb"]
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+class TestFigureCommands:
+    def test_figure2(self, capsys):
+        code, out = run_cli(capsys, *TINY, "figure2")
+        assert code == 0
+        assert "Sp1" in out and "perfect" in out
+
+    def test_figure3_sle(self, capsys):
+        code, out = run_cli(capsys, *TINY, "figure3", "--sle")
+        assert code == 0
+        assert "specweb" in out
+
+    def test_figure4(self, capsys):
+        code, out = run_cli(capsys, *TINY, "figure4")
+        assert code == 0
+        assert "storeMLP=" in out
+
+    def test_figure7(self, capsys):
+        code, out = run_cli(capsys, *TINY, "figure7")
+        assert code == 0
+        assert "PC1" in out and "WC3" in out
+
+    def test_figure8(self, capsys):
+        code, out = run_cli(capsys, *TINY, "figure8")
+        assert code == 0
+        assert "HWS2" in out
+
+    def test_table3(self, capsys):
+        code, out = run_cli(capsys, *TINY, "table3")
+        assert code == 0
+        assert "CPI on-chip" in out
+
+
+@pytest.mark.slow
+class TestSmacCommands:
+    """Figure 5/6 re-annotate per SMAC size; kept separate and marked slow."""
+
+    def test_figure5(self, capsys):
+        code, out = run_cli(capsys, *TINY, "figure5")
+        assert code == 0
+        assert "smac" in out
+
+    def test_figure6(self, capsys):
+        code, out = run_cli(capsys, *TINY, "figure6")
+        assert code == 0
+        assert "invalidates_per_1000" in out

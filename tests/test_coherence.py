@@ -1,0 +1,62 @@
+"""MESI transition rules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.memory.coherence import (
+    MesiState,
+    on_local_read_fill,
+    on_local_write,
+    on_snoop_read,
+    on_snoop_write,
+)
+
+
+class TestLocal:
+    def test_read_fill_exclusive_when_private(self):
+        assert on_local_read_fill(shared_elsewhere=False) is MesiState.EXCLUSIVE
+
+    def test_read_fill_shared_when_shared(self):
+        assert on_local_read_fill(shared_elsewhere=True) is MesiState.SHARED
+
+    @pytest.mark.parametrize("state", [
+        MesiState.MODIFIED, MesiState.EXCLUSIVE, MesiState.SHARED,
+    ])
+    def test_write_always_yields_modified(self, state):
+        assert on_local_write(state) is MesiState.MODIFIED
+
+    def test_write_to_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            on_local_write(MesiState.INVALID)
+
+
+class TestSnoopRead:
+    def test_modified_writes_back_and_shares(self):
+        result = on_snoop_read(MesiState.MODIFIED)
+        assert result.next_state is MesiState.SHARED
+        assert result.writeback
+
+    @pytest.mark.parametrize("state", [MesiState.EXCLUSIVE, MesiState.SHARED])
+    def test_clean_states_downgrade_silently(self, state):
+        result = on_snoop_read(state)
+        assert result.next_state is MesiState.SHARED
+        assert not result.writeback
+
+    def test_invalid_stays_invalid(self):
+        assert on_snoop_read(MesiState.INVALID).next_state is MesiState.INVALID
+
+
+class TestSnoopWrite:
+    def test_modified_writes_back_then_invalidates(self):
+        result = on_snoop_write(MesiState.MODIFIED)
+        assert result.next_state is MesiState.INVALID
+        assert result.writeback
+
+    @pytest.mark.parametrize("state", [
+        MesiState.EXCLUSIVE, MesiState.SHARED, MesiState.INVALID,
+    ])
+    def test_others_invalidate_without_writeback(self, state):
+        result = on_snoop_write(state)
+        assert result.next_state is MesiState.INVALID
+        assert not result.writeback

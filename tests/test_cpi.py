@@ -1,0 +1,65 @@
+"""EPI -> CPI translation (paper Section 3.4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cpi import (
+    CpiModel,
+    PAPER_CPI_ON_CHIP,
+    off_chip_cpi,
+    overall_cpi,
+)
+from repro.errors import ConfigError
+
+
+class TestFunctions:
+    def test_off_chip_cpi_is_linear_in_epi(self):
+        """5 epochs per 1000 instructions at 500 cycles -> 2.5 CPI, the
+        paper's own worked conversion."""
+        assert off_chip_cpi(5 / 1000, 500) == pytest.approx(2.5)
+
+    def test_overall_cpi_composition(self):
+        assert overall_cpi(1.0, 0.002, 500, overlap=0.0) == pytest.approx(2.0)
+
+    def test_overlap_discounts_on_chip_time(self):
+        assert overall_cpi(1.0, 0.0, 500, overlap=0.25) == pytest.approx(0.75)
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(epi=-0.1, miss_penalty=500),
+        dict(epi=0.1, miss_penalty=0),
+    ])
+    def test_off_chip_validation(self, kwargs):
+        with pytest.raises(ConfigError):
+            off_chip_cpi(**kwargs)
+
+    def test_overall_validation(self):
+        with pytest.raises(ConfigError):
+            overall_cpi(1.0, 0.1, 500, overlap=1.5)
+        with pytest.raises(ConfigError):
+            overall_cpi(0.0, 0.1, 500)
+
+
+class TestCpiModel:
+    def test_bound_model(self):
+        model = CpiModel(cpi_on_chip=1.11, miss_penalty=500)
+        assert model.off_chip(0.002) == pytest.approx(1.0)
+        assert model.overall(0.002) == pytest.approx(2.11)
+        assert model.off_chip_share(0.002) == pytest.approx(1.0 / 2.11)
+
+    def test_paper_table3_constants(self):
+        assert PAPER_CPI_ON_CHIP["database"] == 1.11
+        assert PAPER_CPI_ON_CHIP["specjbb"] == 0.95
+        assert set(PAPER_CPI_ON_CHIP) == {
+            "database", "tpcw", "specjbb", "specweb",
+        }
+
+    def test_model_validation(self):
+        with pytest.raises(ConfigError):
+            CpiModel(cpi_on_chip=0, miss_penalty=500)
+        with pytest.raises(ConfigError):
+            CpiModel(cpi_on_chip=1, miss_penalty=500, overlap=2.0)
+
+    def test_zero_epi_share(self):
+        model = CpiModel(cpi_on_chip=1.0, miss_penalty=500)
+        assert model.off_chip_share(0.0) == 0.0

@@ -1,0 +1,42 @@
+"""Epoch records and the termination taxonomy."""
+
+from __future__ import annotations
+
+from repro.core.epoch import EpochRecord, TerminationCondition, TriggerKind
+
+
+class TestTerminationTaxonomy:
+    def test_store_caused_conditions(self):
+        store_caused = {
+            TerminationCondition.STORE_BUFFER_FULL,
+            TerminationCondition.STORE_QUEUE_STORE_BUFFER_FULL,
+            TerminationCondition.STORE_QUEUE_WINDOW_FULL,
+            TerminationCondition.STORE_SERIALIZE,
+        }
+        for condition in TerminationCondition:
+            assert condition.store_caused == (condition in store_caused)
+
+    def test_nine_conditions_total(self):
+        # Eight from the Figure 3 legend plus end-of-trace.
+        assert len(TerminationCondition) == 9
+
+
+class TestEpochRecord:
+    def test_mlp_accessors(self):
+        record = EpochRecord(
+            index=0,
+            trigger=TriggerKind.STORE,
+            termination=TerminationCondition.STORE_SERIALIZE,
+            store_misses=3,
+            load_misses=2,
+            inst_misses=1,
+            instructions=120,
+        )
+        assert record.total_misses == 6
+        assert record.store_mlp == 3
+        assert record.load_inst_mlp == 3
+
+    def test_trigger_kinds(self):
+        assert {t.value for t in TriggerKind} == {
+            "load", "store", "instruction",
+        }

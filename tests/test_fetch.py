@@ -1,0 +1,47 @@
+"""Fetch buffer occupancy model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.frontend import FetchBuffer
+
+
+class TestFetchBuffer:
+    def test_push_within_capacity(self):
+        fb = FetchBuffer(8)
+        assert fb.push(5) == 5
+        assert fb.occupied == 5
+        assert fb.free == 3
+
+    def test_push_clips_at_capacity(self):
+        fb = FetchBuffer(8)
+        assert fb.push(10) == 8
+        assert fb.full
+
+    def test_pop_drains(self):
+        fb = FetchBuffer(8)
+        fb.push(6)
+        assert fb.pop(4) == 4
+        assert fb.occupied == 2
+
+    def test_pop_clips_at_occupancy(self):
+        fb = FetchBuffer(8)
+        fb.push(2)
+        assert fb.pop(5) == 2
+        assert fb.occupied == 0
+
+    def test_flush(self):
+        fb = FetchBuffer(8)
+        fb.push(8)
+        fb.flush()
+        assert fb.occupied == 0 and not fb.full
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FetchBuffer(0)
+        fb = FetchBuffer(4)
+        with pytest.raises(ValueError):
+            fb.push(-1)
+        with pytest.raises(ValueError):
+            fb.pop(-1)

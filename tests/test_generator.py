@@ -1,0 +1,135 @@
+"""Workload generator: determinism, mix, structure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isa import InstructionClass as IC
+from repro.trace import collect_statistics
+from repro.workloads import DATABASE, SPECJBB, WorkloadGenerator, generate_trace
+
+
+@pytest.fixture(scope="module")
+def db_trace():
+    return generate_trace(DATABASE, 60_000, seed=3)
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        a = generate_trace(DATABASE, 5000, seed=42)
+        b = generate_trace(DATABASE, 5000, seed=42)
+        assert a == b
+
+    def test_different_seed_different_trace(self):
+        a = generate_trace(DATABASE, 5000, seed=1)
+        b = generate_trace(DATABASE, 5000, seed=2)
+        assert a != b
+
+    def test_exact_length(self):
+        assert len(generate_trace(DATABASE, 12_345)) == 12_345
+
+    def test_stream_matches_generate(self):
+        gen_a = WorkloadGenerator(DATABASE, seed=5)
+        gen_b = WorkloadGenerator(DATABASE, seed=5)
+        assert list(gen_b.stream(1000)) == gen_a.generate(1000)
+
+    def test_rejects_nonpositive_count(self):
+        with pytest.raises(ValueError):
+            generate_trace(DATABASE, 0)
+
+
+class TestInstructionMix:
+    def test_store_frequency_near_target(self, db_trace):
+        stats = collect_statistics(db_trace[5000:])  # skip priming sweep
+        target = 100 * DATABASE.store_fraction
+        assert stats.mix.store_frequency == pytest.approx(target, rel=0.1)
+
+    def test_load_frequency_near_target(self, db_trace):
+        stats = collect_statistics(db_trace[5000:])  # skip priming sweep
+        target = 100 * DATABASE.load_fraction
+        assert stats.mix.load_frequency == pytest.approx(target, rel=0.1)
+
+    def test_lock_rate_near_target(self, db_trace):
+        stats = collect_statistics(db_trace)
+        acquires_per_1000 = 1000 * stats.mix.lock_acquires / stats.total
+        # Independent locks plus burst-attracted ones: at least the base
+        # rate, and not wildly more.
+        assert acquires_per_1000 >= 0.7 * DATABASE.locks_per_1000
+        assert acquires_per_1000 <= 3.0 * DATABASE.locks_per_1000
+
+    def test_acquires_balance_releases(self, db_trace):
+        stats = collect_statistics(db_trace)
+        assert abs(stats.mix.lock_acquires - stats.mix.lock_releases) <= 1
+
+
+class TestStructure:
+    def test_lock_addresses_come_from_lock_region(self, db_trace):
+        generator = WorkloadGenerator(DATABASE, seed=3)
+        lock_region = generator.space["locks"]
+        for inst in db_trace:
+            if inst.lock_acquire:
+                assert lock_region.contains(inst.address)
+
+    def test_release_follows_acquire_on_same_address(self, db_trace):
+        pending = None
+        violations = 0
+        for inst in db_trace:
+            if inst.lock_acquire:
+                pending = inst.address
+            elif inst.lock_release:
+                if pending != inst.address:
+                    violations += 1
+                pending = None
+        assert violations == 0
+
+    def test_cold_store_addresses_in_pool_or_shared(self):
+        generator = WorkloadGenerator(DATABASE, seed=3)
+        trace = generator.generate(60_000)
+        pool = generator.space["store_pool"]
+        shared = generator.space["shared"]
+        hot = generator.space["hot_data"]
+        locks = generator.space["locks"]
+        for inst in trace:
+            if inst.kind is IC.STORE:
+                assert (
+                    pool.contains(inst.address)
+                    or shared.contains(inst.address)
+                    or hot.contains(inst.address)
+                    or locks.contains(inst.address)
+                )
+
+    def test_store_pool_revisits_lines(self):
+        """SMAC food: cold stores rotate over a bounded set of lines."""
+        profile = DATABASE.with_(store_regions=8, store_region_lines_used=1,
+                                 shared_store_fraction=0.0)
+        generator = WorkloadGenerator(profile, seed=3)
+        trace = generator.generate(60_000)
+        pool = generator.space["store_pool"]
+        lines = {
+            inst.address & ~63
+            for inst in trace
+            if inst.kind is IC.STORE and pool.contains(inst.address)
+        }
+        assert len(lines) <= 8  # one line per region
+
+    def test_pc_stays_in_code_regions(self, db_trace):
+        generator = WorkloadGenerator(DATABASE, seed=3)
+        hot = generator.space["hot_code"]
+        cold = generator.space["cold_code"]
+        for inst in db_trace[:10_000]:
+            assert hot.contains(inst.pc) or cold.contains(inst.pc)
+
+    def test_critical_section_bodies_bounded(self):
+        trace = generate_trace(SPECJBB, 60_000, seed=9)
+        open_at = None
+        for index, inst in enumerate(trace):
+            if inst.lock_acquire:
+                open_at = index
+            elif inst.lock_release and open_at is not None:
+                assert index - open_at <= 130
+                open_at = None
+
+    def test_branches_have_targets(self, db_trace):
+        for inst in db_trace:
+            if inst.kind in (IC.BRANCH, IC.CALL, IC.RETURN) and inst.taken:
+                assert inst.target != 0

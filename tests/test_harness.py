@@ -1,0 +1,117 @@
+"""The Workbench and experiment plumbing (small trace sizes)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import ConsistencyModel, StorePrefetchMode
+from repro.harness import ExperimentSettings, Workbench
+from repro.harness.experiment import SharingSettings
+from repro.harness.figures import smac_memory_config, smac_scaled_profile
+from repro.harness.formatting import format_series, format_table
+from repro.isa import InstructionClass as IC
+
+
+@pytest.fixture(scope="module")
+def bench():
+    return Workbench(ExperimentSettings(
+        warmup=15_000, measure=30_000, seed=3, calibrate=False,
+    ))
+
+
+class TestWorkbench:
+    def test_profile_cached(self, bench):
+        assert bench.profile("database") is bench.profile("database")
+
+    def test_trace_cached_per_variant(self, bench):
+        assert bench.trace("tpcw") is bench.trace("tpcw")
+        assert bench.trace("tpcw", "wc") is not bench.trace("tpcw")
+
+    def test_wc_variant_has_wc_idioms(self, bench):
+        kinds = {inst.kind for inst in bench.trace("tpcw", "wc")}
+        assert IC.LOAD_LOCKED in kinds
+        assert IC.ISYNC in kinds
+        assert IC.CAS not in kinds
+
+    def test_sle_variant_drops_lock_serializers(self, bench):
+        trace = bench.trace("tpcw", "pc_sle")
+        assert not any(inst.lock_acquire for inst in trace)
+
+    def test_unknown_variant_rejected(self, bench):
+        with pytest.raises(ValueError):
+            bench.trace("tpcw", "rc")
+
+    def test_annotation_cached(self, bench):
+        a = bench.annotated("tpcw")
+        b = bench.annotated("tpcw")
+        assert a is b
+        assert len(a) == 30_000
+
+    def test_memory_for_requires_prior_annotation(self, bench):
+        with pytest.raises(KeyError):
+            bench.memory_for("tpcw", tag="never-run")
+
+    def test_run_returns_result(self, bench):
+        result = bench.run("tpcw")
+        assert result.instructions == 30_000
+        assert result.epoch_count > 0
+
+    def test_run_wc_variant_forces_wc_model(self, bench):
+        result = bench.run("tpcw", variant="wc")
+        assert result.epoch_count > 0
+
+    def test_core_knob_overrides(self, bench):
+        base = bench.run("tpcw", store_prefetch=StorePrefetchMode.NONE)
+        pf = bench.run("tpcw", store_prefetch=StorePrefetchMode.AT_EXECUTE)
+        assert pf.epi <= base.epi
+
+    def test_simulation_config_uses_workload_cpi(self, bench):
+        config = bench.simulation_config("specjbb")
+        assert config.cpi_on_chip == pytest.approx(0.95)
+
+    def test_set_profile_invalidates_caches(self, bench):
+        local = Workbench(ExperimentSettings(
+            warmup=5_000, measure=10_000, calibrate=False,
+        ))
+        first = local.trace("specweb")
+        local.set_profile("specweb", smac_scaled_profile("specweb"))
+        second = local.trace("specweb")
+        assert first is not second
+
+    def test_sharing_settings_key_caches_separately(self, bench):
+        plain = bench.annotated("specweb")
+        shared = bench.annotated(
+            "specweb", sharing=SharingSettings(nodes=2)
+        )
+        assert plain is not shared
+
+
+class TestSmacHelpers:
+    def test_scaled_profile_shrinks_footprints(self):
+        scaled = smac_scaled_profile("database")
+        assert scaled.store_regions == 256
+        assert scaled.store_region_lines_used == 1
+        assert scaled.hot_data_bytes < 128 * 1024
+
+    def test_memory_config_smac_sizes(self):
+        config = smac_memory_config(256)
+        assert config.smac is not None
+        assert config.smac.entries == 256
+        assert smac_memory_config(None).smac is None
+
+
+class TestFormatting:
+    def test_format_table_alignment(self):
+        text = format_table(
+            ["name", "value"],
+            [["epi", 1.23456], ["mlp", 2]],
+            title="demo",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "1.235" in text
+        assert all(len(line) == len(lines[1]) for line in lines[2:])
+
+    def test_format_series(self):
+        text = format_series("EPI", {"a": 1.0, "b": 2.5}, precision=1)
+        assert text == "EPI: a=1.0 b=2.5"

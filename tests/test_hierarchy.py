@@ -1,0 +1,160 @@
+"""The memory system: write policies, miss classification, SMAC wiring."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import CacheConfig, MemoryConfig, SmacConfig
+from repro.memory import HitLevel, MemorySystem
+
+
+@pytest.fixture
+def memory():
+    return MemorySystem(MemoryConfig())
+
+
+@pytest.fixture
+def smac_memory():
+    return MemorySystem(MemoryConfig(smac=SmacConfig(entries=64, associativity=2)))
+
+
+class TestFetch:
+    def test_cold_fetch_goes_to_memory(self, memory):
+        assert memory.fetch(0x1000).level is HitLevel.MEMORY
+
+    def test_refetch_hits_l1(self, memory):
+        memory.fetch(0x1000)
+        memory.fetch(0x9999000)  # move to another line
+        assert memory.fetch(0x1004).level is HitLevel.L1
+
+    def test_sequential_same_line_fetches_use_fetch_buffer(self, memory):
+        memory.fetch(0x1000)
+        outcome = memory.fetch(0x1004)
+        assert outcome.latency == 0  # no cache access at all
+        assert memory.stats.fetches == 1
+
+    def test_instruction_counter(self, memory):
+        for i in range(10):
+            memory.fetch(0x1000 + 4 * i)
+        assert memory.stats.instructions == 10
+
+
+class TestLoad:
+    def test_cold_load_misses_to_memory(self, memory):
+        outcome = memory.load(0x40000)
+        assert outcome.level is HitLevel.MEMORY
+        assert outcome.off_chip
+        assert memory.stats.load_l2_misses == 1
+
+    def test_second_load_hits_l1(self, memory):
+        memory.load(0x40000)
+        assert memory.load(0x40008).level is HitLevel.L1
+
+    def test_l1_victim_still_hits_l2(self, memory):
+        memory.load(0x40000)
+        # Evict from 32KB 4-way L1 with 4 conflicting lines (same L1 set,
+        # different L2 sets would need bigger strides; use L1-set stride).
+        l1_span = 32 * 1024 // 4  # way span: 8KB
+        for i in range(1, 5):
+            memory.load(0x40000 + i * l1_span)
+        outcome = memory.load(0x40000)
+        assert outcome.level in (HitLevel.L1, HitLevel.L2)
+
+
+class TestStore:
+    def test_store_miss_is_off_chip(self, memory):
+        outcome = memory.store(0x80000)
+        assert outcome.off_chip
+        assert memory.stats.store_l2_misses == 1
+
+    def test_store_after_fill_hits_l2(self, memory):
+        memory.store(0x80000)
+        outcome = memory.store(0x80008)
+        assert outcome.level is HitLevel.L2
+
+    def test_l1_is_no_write_allocate(self, memory):
+        memory.store(0x80000)
+        # The store allocated in L2 but not in the L1D.
+        assert memory.l1d.probe(0x80000) is None
+
+    def test_load_after_store_hits(self, memory):
+        memory.store(0x80000)
+        outcome = memory.load(0x80000)
+        assert outcome.level in (HitLevel.L1, HitLevel.L2)
+
+    def test_store_upgrade_from_shared_goes_off_chip(self, memory):
+        memory.load(0x80000)               # E
+        memory.snoop_load(0x80000)         # downgrade to S
+        outcome = memory.store(0x80000)
+        assert outcome.off_chip
+        assert outcome.upgrade
+        assert memory.stats.store_upgrades == 1
+
+
+class TestSnoops:
+    def test_snoop_store_invalidates_everywhere(self, memory):
+        memory.load(0x80000)
+        memory.snoop_store(0x80000)
+        assert memory.l2.probe(0x80000) is None
+        assert memory.load(0x80000).off_chip
+
+    def test_snoop_load_downgrades(self, memory):
+        memory.load(0x80000)
+        memory.snoop_load(0x80000)
+        line = memory.l2.probe(0x80000)
+        assert line is not None
+        from repro.memory import MesiState
+        assert line.state is MesiState.SHARED
+
+
+class TestSmacIntegration:
+    def _evict_line(self, memory, address):
+        """Force *address* out of the L2 by filling its set."""
+        config = memory.config.l2
+        stride = config.num_sets * config.line_bytes
+        for i in range(1, config.associativity + 2):
+            memory.load(address + i * stride)
+
+    def test_modified_eviction_feeds_smac(self, smac_memory):
+        smac_memory.store(0x100000)         # M line in L2
+        self._evict_line(smac_memory, 0x100000)
+        assert smac_memory.smac.owned_sub_blocks() >= 1
+
+    def test_restore_hits_smac(self, smac_memory):
+        smac_memory.store(0x100000)
+        self._evict_line(smac_memory, 0x100000)
+        outcome = smac_memory.store(0x100000)
+        assert outcome.off_chip          # data still comes from memory
+        assert outcome.smac_hit          # but ownership is already held
+        assert smac_memory.stats.smac_hits == 1
+
+    def test_clean_eviction_does_not_feed_smac(self, smac_memory):
+        smac_memory.load(0x100000)          # E line, never written
+        self._evict_line(smac_memory, 0x100000)
+        outcome = smac_memory.store(0x100000)
+        assert not outcome.smac_hit
+
+    def test_single_chip_accelerates_every_store_miss(self):
+        memory = MemorySystem(MemoryConfig(), single_chip=True)
+        outcome = memory.store(0x100000)
+        assert outcome.off_chip and outcome.smac_hit
+
+    def test_remote_write_invalidates_smac_ownership(self, smac_memory):
+        smac_memory.store(0x100000)
+        self._evict_line(smac_memory, 0x100000)
+        smac_memory.snoop_store(0x100000)
+        outcome = smac_memory.store(0x100000)
+        assert not outcome.smac_hit
+        assert smac_memory.stats.smac_invalidated_hits == 1
+        assert smac_memory.stats.smac_coherence_invalidates == 1
+
+
+class TestStatsReset:
+    def test_reset_clears_all_counters(self, memory):
+        memory.fetch(0x1000)
+        memory.load(0x2000)
+        memory.store(0x3000)
+        memory.reset_stats()
+        assert memory.stats.instructions == 0
+        assert memory.stats.load_l2_misses == 0
+        assert memory.l2.stats.accesses == 0

@@ -1,0 +1,158 @@
+"""Lock detection, PC->WC rewriting and Speculative Lock Elision."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isa import Instruction, InstructionClass as IC
+from repro.locks import LockDetector, apply_sle, detect_locks, rewrite_pc_to_wc
+from repro.workloads import SPECJBB, WorkloadGenerator
+
+
+LOCK = 0x9000
+
+
+def pc_section(body=()):
+    """casa-acquire ... store-release around *body*, unannotated."""
+    return [
+        Instruction(IC.CAS, pc=0x100, address=LOCK, size=8, dest=5),
+        *body,
+        Instruction(IC.STORE, pc=0x200, address=LOCK, size=8),
+    ]
+
+
+class TestDetector:
+    def test_detects_simple_section(self):
+        body = [Instruction(IC.ALU, pc=0x104, dest=6)]
+        locks = LockDetector().find(pc_section(body))
+        assert len(locks) == 1
+        assert locks[0].acquire_index == 0
+        assert locks[0].release_index == 2
+        assert locks[0].lock_address == LOCK
+        assert locks[0].length == 1
+
+    def test_ignores_unpaired_casa(self):
+        trace = [Instruction(IC.CAS, pc=0x100, address=LOCK, size=8)]
+        assert LockDetector().find(trace) == []
+
+    def test_release_must_match_lock_address(self):
+        trace = [
+            Instruction(IC.CAS, pc=0x100, address=LOCK, size=8),
+            Instruction(IC.STORE, pc=0x104, address=0x5000, size=8),
+        ]
+        assert LockDetector().find(trace) == []
+
+    def test_window_limit(self):
+        body = [Instruction(IC.ALU, pc=0x104 + 4 * i) for i in range(50)]
+        assert LockDetector(max_critical_section=10).find(pc_section(body)) == []
+        assert len(LockDetector(max_critical_section=64).find(pc_section(body))) == 1
+
+    def test_reacquire_before_release_aborts_match(self):
+        trace = [
+            Instruction(IC.CAS, pc=0x100, address=LOCK, size=8),
+            Instruction(IC.CAS, pc=0x104, address=LOCK, size=8),
+            Instruction(IC.STORE, pc=0x108, address=LOCK, size=8),
+        ]
+        locks = LockDetector().find(trace)
+        # The first casa cannot pair; the second one can.
+        assert len(locks) == 1
+        assert locks[0].acquire_index == 1
+
+    def test_detect_locks_sets_flags(self):
+        marked = detect_locks(pc_section([Instruction(IC.ALU, pc=0x104)]))
+        assert marked[0].lock_acquire
+        assert marked[2].lock_release
+
+    def test_detector_agrees_with_generator_ground_truth(self):
+        """The generator annotates its critical sections; stripping the
+        flags and re-detecting must find the same acquire sites."""
+        trace = WorkloadGenerator(SPECJBB, seed=11).generate(30_000)
+        truth = [
+            i for i, inst in enumerate(trace)
+            if inst.lock_acquire and inst.kind is IC.CAS
+        ]
+        from dataclasses import replace
+        stripped = [
+            replace(inst, lock_acquire=False, lock_release=False)
+            for inst in trace
+        ]
+        detected = {
+            lock.acquire_index for lock in LockDetector().find(stripped)
+        }
+        found = sum(1 for i in truth if i in detected)
+        assert found >= 0.9 * len(truth)
+
+
+class TestRewriter:
+    def test_acquire_becomes_lwarx_stwcx_isync(self):
+        trace = detect_locks(pc_section())
+        rewritten = rewrite_pc_to_wc(trace)
+        kinds = [inst.kind for inst in rewritten]
+        assert kinds[:3] == [IC.LOAD_LOCKED, IC.STORE_COND, IC.ISYNC]
+        assert rewritten[1].lock_acquire
+
+    def test_release_gains_lwsync(self):
+        trace = detect_locks(pc_section())
+        rewritten = rewrite_pc_to_wc(trace)
+        kinds = [inst.kind for inst in rewritten]
+        assert kinds[-2:] == [IC.LWSYNC, IC.STORE]
+        assert rewritten[-1].lock_release
+
+    def test_membar_becomes_lwsync(self):
+        rewritten = rewrite_pc_to_wc([Instruction(IC.MEMBAR, pc=0)])
+        assert rewritten[0].kind is IC.LWSYNC
+
+    def test_non_lock_atomic_gets_no_isync(self):
+        trace = [Instruction(IC.CAS, pc=0, address=0x40, size=8)]
+        rewritten = rewrite_pc_to_wc(trace)
+        kinds = [inst.kind for inst in rewritten]
+        assert kinds == [IC.LOAD_LOCKED, IC.STORE_COND]
+        assert not rewritten[1].lock_acquire
+
+    def test_other_instructions_pass_through(self):
+        alu = Instruction(IC.ALU, pc=0, dest=3)
+        assert rewrite_pc_to_wc([alu]) == [alu]
+
+    def test_addresses_preserved(self):
+        trace = detect_locks(pc_section())
+        rewritten = rewrite_pc_to_wc(trace)
+        assert rewritten[0].address == LOCK
+        assert rewritten[1].address == LOCK
+        assert rewritten[-1].address == LOCK
+
+
+class TestSle:
+    def test_pc_acquire_becomes_plain_load(self):
+        trace = detect_locks(pc_section())
+        elided = apply_sle(trace)
+        assert elided[0].kind is IC.LOAD
+        assert elided[0].address == LOCK
+        assert not elided[0].lock_acquire
+
+    def test_pc_release_becomes_nop(self):
+        trace = detect_locks(pc_section())
+        elided = apply_sle(trace)
+        assert elided[-1].kind is IC.NOP
+
+    def test_wc_sequence_fully_elided(self):
+        wc = rewrite_pc_to_wc(detect_locks(pc_section()))
+        elided = apply_sle(wc)
+        kinds = [inst.kind for inst in elided]
+        # lwarx survives as the required plain load; everything else that
+        # serialized is gone.
+        assert IC.STORE_COND not in kinds
+        assert IC.ISYNC not in kinds
+        assert IC.LWSYNC not in kinds
+        assert kinds[0] is IC.LOAD_LOCKED
+
+    def test_non_lock_barriers_survive_sle(self):
+        trace = [Instruction(IC.MEMBAR, pc=0)]
+        assert apply_sle(trace)[0].kind is IC.MEMBAR
+
+    def test_non_lock_atomics_survive_sle(self):
+        trace = [Instruction(IC.CAS, pc=0, address=0x40, size=8)]
+        assert apply_sle(trace)[0].kind is IC.CAS
+
+    def test_length_preserved(self):
+        trace = detect_locks(pc_section([Instruction(IC.ALU, pc=0x104)]))
+        assert len(apply_sle(trace)) == len(trace)

@@ -1,0 +1,281 @@
+"""MLPsim mechanism tests beyond the paper's worked examples:
+silent overlap, SMAC acceleration, scout modes, prefetch-past-serializing,
+window limits, mispredicted branches, perfect stores."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import (
+    ConsistencyModel,
+    CoreConfig,
+    ScoutMode,
+    SimulationConfig,
+    StorePrefetchMode,
+)
+from repro.core import MlpSimulator, TerminationCondition, TriggerKind
+from repro.errors import SimulationError
+from repro.isa import InstructionClass as IC
+
+from conftest import annotated
+
+
+def run(trace, config=None, **core_kwargs):
+    if config is None:
+        config = SimulationConfig()
+    if core_kwargs:
+        config = config.with_core(**core_kwargs)
+    return MlpSimulator(config).run(trace)
+
+
+def alus(n):
+    return [annotated(IC.ALU, dest=5) for _ in range(n)]
+
+
+class TestSilentOverlap:
+    def test_lone_store_miss_fully_overlaps(self):
+        trace = [annotated(IC.STORE, miss=True, address=0x1000)] + alus(600)
+        result = run(trace)
+        assert result.epoch_count == 0
+        assert result.fully_overlapped_stores == 1
+        assert result.store_overlap_fraction == 1.0
+
+    def test_store_miss_with_nearby_serializer_is_exposed(self):
+        trace = (
+            [annotated(IC.STORE, miss=True, address=0x1000)]
+            + alus(50)
+            + [annotated(IC.MEMBAR)]
+            + alus(600)
+        )
+        result = run(trace)
+        assert result.fully_overlapped_stores == 0
+        assert result.epoch_count == 1
+        assert result.epochs[0].termination is (
+            TerminationCondition.STORE_SERIALIZE
+        )
+
+    def test_overlap_window_scales_with_latency(self):
+        trace = [annotated(IC.STORE, miss=True, address=0x1000)] + alus(300)
+        near = run(trace, SimulationConfig().with_memory(memory_latency=200))
+        far = run(trace, SimulationConfig().with_memory(memory_latency=499))
+        assert near.fully_overlapped_stores == 1
+        assert far.fully_overlapped_stores == 0  # trace too short to hide it
+
+    def test_load_miss_is_never_silently_overlapped(self):
+        trace = [annotated(IC.LOAD, miss=True, dest=5, address=0x1000)] + alus(600)
+        result = run(trace)
+        assert result.epoch_count == 1
+        assert result.epochs[0].trigger is TriggerKind.LOAD
+
+
+class TestWindowLimits:
+    def test_rob_full_behind_missing_load(self):
+        trace = [annotated(IC.LOAD, miss=True, dest=5, address=0x1000)] + alus(200)
+        result = run(trace, rob=64, issue_window=64)
+        assert result.epochs[0].termination is TerminationCondition.WINDOW_FULL
+        # The window covered at most the ROB.
+        assert result.epochs[0].instructions <= 64 + 1
+
+    def test_issue_window_binds_before_rob_for_dependent_code(self):
+        dependent = [annotated(IC.ALU, dest=6, srcs=(5,)) for _ in range(200)]
+        trace = [annotated(IC.LOAD, miss=True, dest=5, address=0x1000)] + dependent
+        result = run(trace, rob=64, issue_window=16)
+        assert result.epochs[0].instructions <= 17 + 1
+
+    def test_load_buffer_limit(self):
+        loads = [
+            annotated(IC.LOAD, address=0x40000 + 64 * i, dest=6)
+            for i in range(100)
+        ]
+        trace = [annotated(IC.LOAD, miss=True, dest=5, address=0x1000)] + loads
+        result = run(trace, load_buffer=8, rob=256, issue_window=128)
+        assert result.epochs[0].termination is TerminationCondition.WINDOW_FULL
+
+    def test_independent_loads_overlap_up_to_window(self):
+        trace = [
+            annotated(IC.LOAD, miss=True, dest=5, address=0x1000 + 64 * i)
+            for i in range(8)
+        ] + alus(100)
+        result = run(trace)
+        assert result.epochs[0].load_misses == 8
+
+    def test_dependent_load_chain_serializes(self):
+        trace = [
+            annotated(IC.LOAD, miss=True, dest=5, address=0x1000),
+            annotated(IC.LOAD, miss=True, dest=6, srcs=(5,), address=0x2000),
+            annotated(IC.LOAD, miss=True, dest=7, srcs=(6,), address=0x3000),
+        ] + alus(100)
+        result = run(trace)
+        assert result.epoch_count == 3
+        assert all(e.load_misses == 1 for e in result.epochs)
+
+
+class TestMispredictedBranches:
+    def test_mispredict_dependent_on_missing_load_terminates(self):
+        trace = [
+            annotated(IC.LOAD, miss=True, dest=5, address=0x1000),
+            annotated(IC.BRANCH, mispred=True, srcs=(5,)),
+        ] + alus(100)
+        result = run(trace)
+        assert result.epochs[0].termination is (
+            TerminationCondition.MISPRED_BRANCH
+        )
+
+    def test_mispredict_with_ready_operands_is_free(self):
+        trace = [
+            annotated(IC.LOAD, miss=True, dest=5, address=0x1000),
+            annotated(IC.BRANCH, mispred=True, srcs=(1,)),  # r1 is clean
+        ] + alus(100)
+        result = run(trace)
+        assert result.epochs[0].termination is TerminationCondition.WINDOW_FULL
+
+    def test_correct_prediction_never_terminates(self):
+        trace = [
+            annotated(IC.LOAD, miss=True, dest=5, address=0x1000),
+            annotated(IC.BRANCH, srcs=(5,)),
+        ] + alus(100)
+        result = run(trace)
+        assert result.epochs[0].termination is TerminationCondition.WINDOW_FULL
+
+
+class TestSmacAcceleration:
+    def test_smac_hit_store_does_not_stall(self):
+        trace = (
+            [annotated(IC.STORE, smac=True, address=0x1000)]
+            + [annotated(IC.MEMBAR)]
+            + alus(50)
+        )
+        result = run(trace)
+        assert result.epoch_count == 0
+        assert result.accelerated_stores == 1
+
+    def test_smac_hit_conserves_issue_bandwidth(self):
+        trace = [annotated(IC.STORE, smac=True, address=0x1000)] + alus(10)
+        result = run(trace, store_prefetch=StorePrefetchMode.AT_EXECUTE)
+        assert result.epoch_count == 0
+        assert result.store_miss_count == 0
+
+    def test_perfect_stores_suppress_all_store_stalls(self):
+        trace = (
+            [annotated(IC.STORE, miss=True, address=0x1000 + 64 * i)
+             for i in range(40)]
+            + [annotated(IC.MEMBAR)]
+            + alus(50)
+        )
+        result = run(trace, perfect_stores=True)
+        assert result.epoch_count == 0
+        assert result.accelerated_stores == 40
+
+
+class TestPrefetchPastSerializing:
+    def _trace(self):
+        return (
+            [annotated(IC.STORE, miss=True, address=0x1000)]
+            + [annotated(IC.MEMBAR)]
+            + [annotated(IC.LOAD, miss=True, dest=5, address=0x2000)]
+            + [annotated(IC.STORE, miss=True, address=0x3000)]
+            + alus(100)
+        )
+
+    def test_disabled_baseline_serial(self):
+        result = run(self._trace())
+        assert result.epoch_count >= 2
+        assert result.epochs[0].load_misses == 0
+
+    def test_enabled_overlaps_misses_beyond_serializer(self):
+        result = run(self._trace(), prefetch_past_serializing=True)
+        first = result.epochs[0]
+        assert first.load_misses == 1   # prefetched past the membar
+        assert first.store_misses == 2  # the blocked store + the one beyond
+        assert result.epoch_count < run(self._trace()).epoch_count
+
+    def test_improves_epi(self):
+        base = run(self._trace())
+        optimized = run(self._trace(), prefetch_past_serializing=True)
+        assert optimized.epi < base.epi
+
+
+class TestHardwareScout:
+    def _load_trigger_trace(self):
+        """Missing load, a full ROB of filler, then more misses only scout
+        can reach."""
+        return (
+            [annotated(IC.LOAD, miss=True, dest=5, address=0x1000)]
+            + alus(100)
+            + [annotated(IC.LOAD, miss=True, dest=6, address=0x2000)]
+            + [annotated(IC.STORE, miss=True, address=0x3000)]
+            + alus(300)
+        )
+
+    def test_hws0_prefetches_distant_loads(self):
+        base = run(self._load_trigger_trace())
+        scouted = run(self._load_trigger_trace(), scout=ScoutMode.HWS0)
+        assert scouted.scout_episodes >= 1
+        assert scouted.epochs[0].load_misses == 2
+        assert scouted.epi < base.epi
+
+    def test_hws0_does_not_prefetch_stores(self):
+        scouted = run(self._load_trigger_trace(), scout=ScoutMode.HWS0)
+        assert scouted.epochs[0].store_misses == 0
+
+    def test_hws1_adds_store_prefetch(self):
+        scouted = run(self._load_trigger_trace(), scout=ScoutMode.HWS1)
+        assert scouted.epochs[0].store_misses == 1
+
+    def _store_stall_trace(self):
+        """A store-queue-full stall with misses beyond the architectural
+        window: only HWS2 scouts them."""
+        stores = [
+            annotated(IC.STORE, miss=True, address=0x1000 + 64 * i)
+            for i in range(40)
+        ]
+        return (
+            stores
+            + alus(100)
+            + [annotated(IC.LOAD, miss=True, dest=5, address=0x9000)]
+            + [annotated(IC.STORE, miss=True, address=0xA000)]
+            + alus(400)
+        )
+
+    def test_hws1_ignores_store_stalls(self):
+        base = run(self._store_stall_trace())
+        scouted = run(self._store_stall_trace(), scout=ScoutMode.HWS1)
+        assert scouted.scout_episodes == 0
+        assert scouted.epoch_count == base.epoch_count
+
+    def test_hws2_scouts_store_stalls(self):
+        base = run(self._store_stall_trace())
+        scouted = run(self._store_stall_trace(), scout=ScoutMode.HWS2)
+        assert scouted.scout_episodes >= 1
+        assert scouted.epi < base.epi
+
+    def test_hws2_store_serialize_scouting(self):
+        trace = (
+            [annotated(IC.STORE, miss=True, address=0x1000)]
+            + [annotated(IC.MEMBAR)]
+            + [annotated(IC.STORE, miss=True, address=0x2000)]
+            + [annotated(IC.LOAD, miss=True, dest=5, address=0x3000)]
+            + alus(200)
+        )
+        base = run(trace)
+        scouted = run(trace, scout=ScoutMode.HWS2)
+        assert scouted.epi < base.epi
+        assert scouted.epochs[0].scouted
+
+
+class TestEndOfTrace:
+    def test_pending_stores_drain_at_end(self):
+        trace = [annotated(IC.STORE, miss=True, address=0x1000)]
+        result = run(trace)
+        assert result.epoch_count == 1
+        assert result.epochs[0].termination is TerminationCondition.END_OF_TRACE
+
+    def test_empty_tail_alus_ok(self):
+        result = run(alus(50))
+        assert result.epoch_count == 0
+        assert result.instructions == 50
+
+    def test_epi_metrics_of_empty_trace_section(self):
+        result = run(alus(10))
+        assert result.epi == 0.0
+        assert result.mlp == 0.0

@@ -1,0 +1,144 @@
+"""Weak-consistency semantics in MLPsim, end to end.
+
+These tests pin down the behaviours behind the paper's PC-vs-WC gap:
+out-of-order commit, execute-time ownership requests, isync's refusal to
+drain the store queue, and lwsync's commit-only ordering.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import (
+    ConsistencyModel,
+    CoreConfig,
+    SimulationConfig,
+    StorePrefetchMode,
+)
+from repro.core import MlpSimulator, TerminationCondition
+from repro.isa import InstructionClass as IC
+
+from conftest import annotated
+
+
+def run(trace, **core_kwargs):
+    defaults = dict(
+        consistency=ConsistencyModel.WC,
+        store_prefetch=StorePrefetchMode.NONE,
+        coalesce_bytes=0,
+    )
+    defaults.update(core_kwargs)
+    return MlpSimulator(SimulationConfig(core=CoreConfig(**defaults))).run(trace)
+
+
+def alus(n):
+    return [annotated(IC.ALU, dest=5) for _ in range(n)]
+
+
+class TestOutOfOrderCommit:
+    def test_missing_store_does_not_back_up_the_queue(self):
+        """Under WC, dozens of hit stores drain past one blocked miss."""
+        trace = (
+            [annotated(IC.STORE, miss=True, address=0x1000)]
+            + [annotated(IC.STORE, address=0x2000 + 64 * i) for i in range(60)]
+            + [annotated(IC.MEMBAR)]  # treated as lwsync under WC
+            + alus(20)
+        )
+        result = run(trace, store_queue=8, store_buffer=4)
+        # PC would hit SQ/SB-full; WC never does.
+        assert not any(
+            e.termination.store_caused for e in result.epochs
+        )
+
+    def test_pc_same_trace_backs_up(self):
+        trace = (
+            [annotated(IC.STORE, miss=True, address=0x1000)]
+            + [annotated(IC.STORE, address=0x2000 + 64 * i) for i in range(60)]
+            + alus(20)
+        )
+        result = run(trace, consistency=ConsistencyModel.PC,
+                     store_queue=8, store_buffer=4)
+        assert any(e.termination.store_caused for e in result.epochs)
+
+
+class TestClusteredMisses:
+    def test_wc_overlaps_missing_store_cluster(self):
+        """All clustered missing stores issue at execute and share one epoch."""
+        trace = [
+            annotated(IC.STORE, miss=True, address=0x1000 + 64 * i)
+            for i in range(12)
+        ] + alus(20)
+        result = run(trace, store_queue=8, store_buffer=4)
+        assert result.epoch_count == 1
+        assert result.epochs[0].store_misses == 12
+
+    def test_pc_sp0_serializes_the_same_cluster(self):
+        trace = [
+            annotated(IC.STORE, miss=True, address=0x1000 + 64 * i)
+            for i in range(12)
+        ] + alus(20)
+        result = run(trace, consistency=ConsistencyModel.PC,
+                     store_queue=8, store_buffer=4)
+        assert result.epoch_count > 1
+
+
+class TestIsync:
+    def test_isync_ignores_pending_store_misses(self):
+        trace = (
+            [annotated(IC.STORE, miss=True, address=0x1000)]
+            + [annotated(IC.ISYNC)]
+            + [annotated(IC.LOAD, miss=True, dest=6, address=0x2000)]
+            + alus(20)
+        )
+        result = run(trace)
+        # One epoch: the store miss and the load miss overlap across the
+        # isync because it does not drain the store queue.
+        assert result.epoch_count == 1
+        assert result.epochs[0].store_misses == 1
+        assert result.epochs[0].load_misses == 1
+
+    def test_isync_waits_for_missing_loads(self):
+        trace = (
+            [annotated(IC.LOAD, miss=True, dest=6, address=0x2000)]
+            + [annotated(IC.ISYNC)]
+            + [annotated(IC.LOAD, miss=True, dest=7, address=0x3000)]
+            + alus(20)
+        )
+        result = run(trace)
+        assert result.epochs[0].termination is (
+            TerminationCondition.OTHER_SERIALIZE
+        )
+        assert result.epoch_count == 2
+
+
+class TestLwsync:
+    def test_lwsync_orders_commits_without_stalling(self):
+        trace = (
+            [annotated(IC.STORE, miss=True, address=0x1000)]
+            + [annotated(IC.LWSYNC)]
+            + [annotated(IC.STORE, address=0x2000)]
+            + [annotated(IC.LOAD, miss=True, dest=6, address=0x3000)]
+            + alus(20)
+        )
+        result = run(trace)
+        # Execution flows: one epoch holds both misses.  The post-barrier
+        # store merely commits late.
+        assert result.epoch_count == 1
+        assert result.epochs[0].load_misses == 1
+
+
+class TestWcCoalescing:
+    def test_wc_coalescing_with_any_entry_saves_capacity(self):
+        # Alternating addresses: PC (adjacent-only) cannot merge them,
+        # WC folds every repeat into the resident entries.
+        trace = []
+        for i in range(20):
+            trace.append(annotated(
+                IC.STORE, miss=(i < 2),
+                address=0x1000 if i % 2 == 0 else 0x2000,
+            ))
+        trace += alus(20)
+        wc = run(trace, store_queue=4, store_buffer=2, coalesce_bytes=8)
+        pc = run(trace, consistency=ConsistencyModel.PC,
+                 store_queue=4, store_buffer=2, coalesce_bytes=8)
+        assert wc.stores_coalesced > pc.stores_coalesced

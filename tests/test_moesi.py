@@ -1,0 +1,65 @@
+"""MOESI protocol extension (paper: the SMAC 'can be easily extended to
+the MOESI protocol')."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.memory.coherence import (
+    MoesiState,
+    moesi_on_eviction,
+    moesi_on_snoop_read,
+    moesi_on_snoop_write,
+)
+
+
+class TestSnoopRead:
+    def test_modified_becomes_owned_without_writeback(self):
+        result = moesi_on_snoop_read(MoesiState.MODIFIED)
+        assert result.next_state is MoesiState.OWNED
+        assert not result.writeback
+        assert result.supplies_data
+
+    def test_owned_stays_owned_and_supplies(self):
+        result = moesi_on_snoop_read(MoesiState.OWNED)
+        assert result.next_state is MoesiState.OWNED
+        assert result.supplies_data
+
+    @pytest.mark.parametrize("state", [MoesiState.EXCLUSIVE, MoesiState.SHARED])
+    def test_clean_states_share_silently(self, state):
+        result = moesi_on_snoop_read(state)
+        assert result.next_state is MoesiState.SHARED
+        assert not result.supplies_data
+
+    def test_invalid_is_noop(self):
+        result = moesi_on_snoop_read(MoesiState.INVALID)
+        assert result.next_state is MoesiState.INVALID
+
+
+class TestSnoopWrite:
+    @pytest.mark.parametrize("state", [MoesiState.MODIFIED, MoesiState.OWNED])
+    def test_dirty_holders_supply_and_invalidate(self, state):
+        result = moesi_on_snoop_write(state)
+        assert result.next_state is MoesiState.INVALID
+        assert result.supplies_data
+        assert not result.writeback  # data moves chip-to-chip, not to memory
+
+    @pytest.mark.parametrize("state", [
+        MoesiState.EXCLUSIVE, MoesiState.SHARED, MoesiState.INVALID,
+    ])
+    def test_clean_holders_just_invalidate(self, state):
+        result = moesi_on_snoop_write(state)
+        assert result.next_state is MoesiState.INVALID
+        assert not result.supplies_data
+
+
+class TestEviction:
+    def test_dirty_states_write_back(self):
+        assert moesi_on_eviction(MoesiState.MODIFIED)
+        assert moesi_on_eviction(MoesiState.OWNED)
+
+    @pytest.mark.parametrize("state", [
+        MoesiState.EXCLUSIVE, MoesiState.SHARED, MoesiState.INVALID,
+    ])
+    def test_clean_states_do_not(self, state):
+        assert not moesi_on_eviction(state)

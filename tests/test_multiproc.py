@@ -1,0 +1,86 @@
+"""Sharing model and multi-chip coupling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import MemoryConfig, SystemConfig
+from repro.multiproc import MultiChipSystem, RemoteAccess, SharingModel
+
+
+class TestSharingModel:
+    def test_deterministic_given_seed(self):
+        a = SharingModel(0x1000, 64 * 1024, write_rate_per_1000=50, seed=3)
+        b = SharingModel(0x1000, 64 * 1024, write_rate_per_1000=50, seed=3)
+        ea = [event for _, event in a.stream(2000)]
+        eb = [event for _, event in b.stream(2000)]
+        assert ea == eb
+
+    def test_rate_scales_with_remote_nodes(self):
+        one = SharingModel(0, 64 * 1024, write_rate_per_1000=10,
+                           remote_nodes=1, seed=1)
+        three = SharingModel(0, 64 * 1024, write_rate_per_1000=10,
+                             remote_nodes=3, seed=1)
+        list(one.stream(20_000))
+        list(three.stream(20_000))
+        assert three.total_writes > 2 * one.total_writes
+
+    def test_rate_approximates_target(self):
+        model = SharingModel(0, 64 * 1024, write_rate_per_1000=20,
+                             remote_nodes=1, seed=5)
+        list(model.stream(50_000))
+        achieved = 1000 * model.total_writes / 50_000
+        assert achieved == pytest.approx(20, rel=0.2)
+
+    def test_addresses_stay_in_region(self):
+        base, size = 0x40000, 16 * 1024
+        model = SharingModel(base, size, write_rate_per_1000=100, seed=2)
+        for _, event in model.stream(5000):
+            assert base <= event.address < base + size
+            assert event.address % 64 == 0
+
+    def test_zero_remote_nodes_is_silent(self):
+        model = SharingModel(0, 1024, write_rate_per_1000=1000, remote_nodes=0)
+        assert list(model.stream(1000)) == []
+
+    def test_reads_and_writes_mixed(self):
+        model = SharingModel(0, 64 * 1024, write_rate_per_1000=30,
+                             read_rate_per_1000=30, seed=7)
+        events = [event for _, event in model.stream(20_000)]
+        assert any(e.is_write for e in events)
+        assert any(not e.is_write for e in events)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SharingModel(0, 0, write_rate_per_1000=1)
+        with pytest.raises(ValueError):
+            SharingModel(0, 64, write_rate_per_1000=-1)
+
+
+class TestMultiChipSystem:
+    def test_tick_applies_remote_writes(self):
+        sharing = SharingModel(0x100000, 4096, write_rate_per_1000=1000,
+                               remote_nodes=1, seed=1)
+        system = MultiChipSystem(
+            MemoryConfig(), SystemConfig(nodes=2), sharing=sharing
+        )
+        system.memory.store(0x100000)  # own the line
+        for _ in range(2000):
+            system.tick()
+        # With ~2 writes/instruction expected over 4KB, the line was hit.
+        assert system.memory.l2.stats.snoop_invalidates > 0
+
+    def test_single_chip_has_implicit_ownership(self):
+        system = MultiChipSystem(MemoryConfig(), SystemConfig(nodes=1))
+        outcome = system.memory.store(0x500000)
+        assert outcome.smac_hit  # single chip: no invalidation penalty
+
+    def test_node_count_mismatch_rejected(self):
+        sharing = SharingModel(0, 4096, write_rate_per_1000=1,
+                               remote_nodes=3, seed=1)
+        with pytest.raises(ValueError):
+            MultiChipSystem(MemoryConfig(), SystemConfig(nodes=2), sharing)
+
+    def test_tick_without_sharing_is_noop(self):
+        system = MultiChipSystem(MemoryConfig(), SystemConfig(nodes=2))
+        system.tick()  # must not raise

@@ -1,0 +1,100 @@
+"""Workload profiles: derived probabilities and paper-derived values."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads import DATABASE, SPECJBB, SPECWEB, TPCW, WORKLOADS
+
+
+class TestPresets:
+    def test_all_four_paper_workloads_present(self):
+        assert set(WORKLOADS) == {"database", "tpcw", "specjbb", "specweb"}
+
+    def test_table1_store_frequencies(self):
+        assert DATABASE.store_fraction == pytest.approx(0.1009)
+        assert TPCW.store_fraction == pytest.approx(0.0728)
+        assert SPECJBB.store_fraction == pytest.approx(0.0752)
+        assert SPECWEB.store_fraction == pytest.approx(0.0720)
+
+    def test_table1_miss_targets(self):
+        assert DATABASE.store_miss_per_100 == 0.36
+        assert DATABASE.load_miss_per_100 == 0.57
+        assert SPECJBB.load_miss_per_100 == 0.25
+        assert SPECWEB.store_miss_per_100 == 0.13
+
+    def test_database_has_largest_store_footprint(self):
+        """Figure 5's saturation ordering: database > tpcw/jbb > web."""
+        assert DATABASE.store_regions > TPCW.store_regions
+        assert DATABASE.store_regions > SPECJBB.store_regions
+        assert SPECJBB.store_regions > SPECWEB.store_regions
+
+    def test_database_has_largest_store_bursts(self):
+        """Figure 4: the database workload achieves the highest store MLP."""
+        for other in (TPCW, SPECJBB, SPECWEB):
+            assert DATABASE.store_burst_mean > other.store_burst_mean
+
+    def test_serialization_pressure_ordering(self):
+        """SPECjbb/SPECweb/TPC-W are serialize-dominated (Figure 3)."""
+        for profile in (TPCW, SPECJBB, SPECWEB):
+            assert profile.lock_after_store_miss > DATABASE.lock_after_store_miss
+
+
+class TestDerivedProbabilities:
+    def test_store_miss_prob_accounts_for_bursts(self):
+        base = DATABASE.with_(store_burst_mean=1.0)
+        bursty = DATABASE.with_(store_burst_mean=4.0)
+        assert bursty.store_miss_prob == pytest.approx(base.store_miss_prob / 4)
+
+    def test_store_miss_prob_tracks_target(self):
+        doubled = DATABASE.with_(store_miss_per_100=0.72)
+        assert doubled.store_miss_prob == pytest.approx(
+            2 * DATABASE.store_miss_prob
+        )
+
+    def test_scales_multiply(self):
+        scaled = DATABASE.with_(load_miss_scale=0.5)
+        assert scaled.load_miss_prob == pytest.approx(
+            DATABASE.load_miss_prob * 0.5
+        )
+
+    def test_footprint_bytes(self):
+        assert DATABASE.store_footprint_bytes == (
+            DATABASE.store_regions * DATABASE.store_region_bytes
+        )
+
+    def test_busy_scale_preserves_aggregate(self):
+        profile = DATABASE
+        quiet = profile.quiet_fraction
+        scale = 0.2
+        aggregate = (
+            quiet * scale + (1 - quiet) * profile.busy_scale(scale)
+        )
+        assert aggregate == pytest.approx(1.0)
+
+    def test_busy_scale_identity_without_phases(self):
+        profile = DATABASE.with_(quiet_fraction=0.0)
+        assert profile.busy_scale(0.2) == 1.0
+
+
+class TestValidation:
+    def test_mix_must_leave_alu_room(self):
+        with pytest.raises(ValueError):
+            DATABASE.with_(load_fraction=0.9)
+
+    def test_negative_rates_rejected(self):
+        with pytest.raises(ValueError):
+            DATABASE.with_(store_miss_per_100=-1)
+
+    def test_burst_mean_at_least_one(self):
+        with pytest.raises(ValueError):
+            DATABASE.with_(store_burst_mean=0.5)
+
+    def test_quiet_fraction_range(self):
+        with pytest.raises(ValueError):
+            DATABASE.with_(quiet_fraction=1.0)
+
+    def test_with_returns_new_value(self):
+        changed = DATABASE.with_(locks_per_1000=9.0)
+        assert changed.locks_per_1000 == 9.0
+        assert DATABASE.locks_per_1000 != 9.0

@@ -1,0 +1,265 @@
+"""Property-based tests (hypothesis) on core data structures and the
+simulator's invariants."""
+
+from __future__ import annotations
+
+import io
+
+from hypothesis import given, settings, strategies as st
+
+from repro.config import (
+    CacheConfig,
+    ConsistencyModel,
+    CoreConfig,
+    SimulationConfig,
+    StorePrefetchMode,
+)
+from repro.core import MlpSimulator, RegisterScoreboard, StoreEntry, StoreUnit
+from repro.isa import Instruction, InstructionClass as IC
+from repro.memory import SetAssociativeCache
+from repro.memory.annotate import AccessInfo
+from repro.trace import read_trace, write_trace
+
+# ---------------------------------------------------------------------------
+# strategies
+# ---------------------------------------------------------------------------
+
+instructions = st.builds(
+    Instruction,
+    kind=st.sampled_from([
+        IC.ALU, IC.NOP, IC.LOAD, IC.STORE, IC.BRANCH, IC.CAS,
+        IC.MEMBAR, IC.LOAD_LOCKED, IC.STORE_COND, IC.ISYNC, IC.LWSYNC,
+    ]),
+    pc=st.integers(min_value=0, max_value=2**40),
+    address=st.integers(min_value=0, max_value=2**40),
+    size=st.sampled_from([1, 2, 4, 8]),
+    dest=st.integers(min_value=-1, max_value=63),
+    srcs=st.lists(
+        st.integers(min_value=0, max_value=63), max_size=3
+    ).map(tuple),
+    taken=st.booleans(),
+    target=st.integers(min_value=0, max_value=2**40),
+    lock_acquire=st.booleans(),
+    lock_release=st.booleans(),
+)
+
+
+def annotated_traces(max_size=60):
+    infos = st.builds(
+        AccessInfo,
+        inst_miss=st.booleans(),
+        data_miss=st.booleans(),
+        smac_hit=st.just(False),
+        upgrade=st.just(False),
+        mispredicted=st.booleans(),
+    )
+    return st.lists(st.tuples(instructions, infos), max_size=max_size)
+
+
+# ---------------------------------------------------------------------------
+# trace serialization
+# ---------------------------------------------------------------------------
+
+@given(st.lists(instructions, max_size=50))
+def test_trace_serialization_round_trips(trace):
+    buffer = io.BytesIO()
+    write_trace(buffer, trace)
+    buffer.seek(0)
+    assert list(read_trace(buffer)) == trace
+
+
+# ---------------------------------------------------------------------------
+# cache invariants
+# ---------------------------------------------------------------------------
+
+@given(st.lists(st.integers(min_value=0, max_value=2**20), max_size=200))
+def test_cache_occupancy_never_exceeds_capacity(addresses):
+    cache = SetAssociativeCache(CacheConfig(1024, 2, 64))
+    for address in addresses:
+        if cache.lookup(address) is None:
+            cache.fill(address)
+    assert cache.occupancy() <= cache.config.num_lines
+
+
+@given(st.lists(st.integers(min_value=0, max_value=2**20), min_size=1,
+                max_size=100))
+def test_cache_fill_makes_line_resident(addresses):
+    cache = SetAssociativeCache(CacheConfig(4096, 4, 64))
+    for address in addresses:
+        cache.fill(address)
+        assert cache.probe(address) is not None
+
+
+@given(st.lists(st.integers(min_value=0, max_value=2**16), max_size=150))
+def test_cache_accounting_balances(addresses):
+    cache = SetAssociativeCache(CacheConfig(512, 2, 64))
+    for address in addresses:
+        if cache.lookup(address) is None:
+            cache.fill(address)
+    stats = cache.stats
+    assert stats.read_hits + stats.read_misses == len(addresses)
+
+
+# ---------------------------------------------------------------------------
+# scoreboard invariants
+# ---------------------------------------------------------------------------
+
+@given(st.lists(st.tuples(
+    st.integers(min_value=1, max_value=63),   # register
+    st.integers(min_value=0, max_value=50),   # epoch
+    st.booleans(),                            # off-chip producer?
+), max_size=100))
+def test_scoreboard_readiness_is_monotonic(events):
+    board = RegisterScoreboard()
+    floor = {}
+    for reg, epoch, off_chip in events:
+        if off_chip:
+            board.produce_off_chip(reg, epoch)
+        else:
+            board.produce_on_chip(reg, epoch)
+        ready = board.ready_epoch((reg,))
+        assert ready >= floor.get(reg, 0)
+        floor[reg] = ready
+
+
+# ---------------------------------------------------------------------------
+# store unit invariants
+# ---------------------------------------------------------------------------
+
+@given(
+    st.lists(st.tuples(
+        st.integers(min_value=0, max_value=15),  # granule selector
+        st.booleans(),                           # missing?
+        st.booleans(),                           # retirable?
+    ), max_size=120),
+    st.sampled_from(list(ConsistencyModel)),
+    st.sampled_from(list(StorePrefetchMode)),
+)
+@settings(deadline=None)
+def test_store_unit_capacity_invariants(events, model, prefetch):
+    unit = StoreUnit(CoreConfig(
+        store_buffer=4, store_queue=4,
+        consistency=model, store_prefetch=prefetch,
+    ))
+    epoch = 0
+    for granule, missing, retirable in events:
+        result = unit.dispatch(
+            StoreEntry(granule=granule * 8, missing=missing),
+            retirable=retirable,
+            epoch=epoch,
+        )
+        assert len(unit.sb) <= 4
+        assert len(unit.sq) <= 4
+        if not result.accepted:
+            # A rejected dispatch frees nothing: drain one epoch.
+            epoch += 1
+            unit.pump(epoch)
+    # Everything drains within a bounded number of epochs.
+    for _ in range(20):
+        epoch += 1
+        unit.pump(epoch)
+        if unit.drained:
+            break
+    assert unit.drained
+
+
+# ---------------------------------------------------------------------------
+# simulator invariants
+# ---------------------------------------------------------------------------
+
+@given(annotated_traces())
+@settings(deadline=None, max_examples=60)
+def test_simulator_terminates_and_counts_sanely(trace):
+    config = SimulationConfig(core=CoreConfig(
+        store_buffer=2, store_queue=2, rob=8, issue_window=8,
+        load_buffer=8, coalesce_bytes=0,
+    ))
+    result = MlpSimulator(config).run(trace)
+    assert result.instructions == len(trace)
+    assert result.epoch_count >= 0
+    for epoch in result.epochs:
+        assert epoch.total_misses >= 1  # recorded epochs contain misses
+    # Epoch count can never exceed total off-chip events plus a small
+    # serialization factor (each epoch needs at least one miss).
+    total_misses = sum(e.total_misses for e in result.epochs)
+    assert result.epoch_count <= max(1, total_misses)
+
+
+@given(annotated_traces(max_size=40))
+@settings(deadline=None, max_examples=40)
+def test_wc_never_needs_more_epochs_for_stores(trace):
+    """Weak consistency is never worse than PC on the same trace: a central
+    qualitative claim of the paper.
+
+    The comparison only holds for TSO-idiom traces, so WC-only serializers
+    (isync, which is a no-op under PC) are filtered out.
+    """
+    trace = [
+        (inst, info) for inst, info in trace
+        if inst.kind is not IC.ISYNC
+    ]
+    pc = MlpSimulator(SimulationConfig(core=CoreConfig(
+        store_buffer=2, store_queue=2, rob=8, issue_window=8,
+        load_buffer=8, coalesce_bytes=0,
+    ))).run(trace)
+    wc = MlpSimulator(SimulationConfig(core=CoreConfig(
+        store_buffer=2, store_queue=2, rob=8, issue_window=8,
+        load_buffer=8, coalesce_bytes=0, consistency=ConsistencyModel.WC,
+    ))).run(trace)
+    assert wc.epoch_count <= pc.epoch_count + 1
+
+
+# ---------------------------------------------------------------------------
+# optimization monotonicity
+# ---------------------------------------------------------------------------
+#
+# Each store optimization can only add overlap, so on any trace it may not
+# cost more than a boundary epoch.  These are the strongest global
+# invariants of the model: a bug in prefetch/scout bookkeeping almost
+# always breaks one of them.
+
+def _core(**kwargs):
+    base = dict(
+        store_buffer=2, store_queue=2, rob=8, issue_window=8,
+        load_buffer=8, coalesce_bytes=0,
+    )
+    base.update(kwargs)
+    return CoreConfig(**base)
+
+
+def _epochs(trace, **core_kwargs):
+    result = MlpSimulator(SimulationConfig(core=_core(**core_kwargs))).run(trace)
+    return result.epoch_count
+
+
+@given(annotated_traces(max_size=50))
+@settings(deadline=None, max_examples=50)
+def test_perfect_stores_never_worse(trace):
+    assert _epochs(trace, perfect_stores=True) <= _epochs(trace)
+
+
+@given(annotated_traces(max_size=50))
+@settings(deadline=None, max_examples=50)
+def test_store_prefetching_never_worse(trace):
+    baseline = _epochs(trace, store_prefetch=StorePrefetchMode.NONE)
+    retire = _epochs(trace, store_prefetch=StorePrefetchMode.AT_RETIRE)
+    execute = _epochs(trace, store_prefetch=StorePrefetchMode.AT_EXECUTE)
+    assert retire <= baseline + 1
+    assert execute <= retire + 1
+
+
+@given(annotated_traces(max_size=50))
+@settings(deadline=None, max_examples=40)
+def test_scout_never_worse(trace):
+    from repro.config import ScoutMode
+    baseline = _epochs(trace)
+    for mode in (ScoutMode.HWS0, ScoutMode.HWS1, ScoutMode.HWS2):
+        assert _epochs(trace, scout=mode) <= baseline + 1
+
+
+@given(annotated_traces(max_size=50))
+@settings(deadline=None, max_examples=40)
+def test_larger_queues_never_worse(trace):
+    small = _epochs(trace, store_queue=2, store_buffer=2)
+    large = _epochs(trace, store_queue=16, store_buffer=8)
+    assert large <= small + 1

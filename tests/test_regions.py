@@ -1,0 +1,76 @@
+"""Address-space regions."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.workloads import AddressMap, Region
+
+
+class TestRegion:
+    def test_bounds(self):
+        region = Region("r", 0x1000, 0x100)
+        assert region.end == 0x1100
+        assert region.contains(0x1000)
+        assert region.contains(0x10FF)
+        assert not region.contains(0x1100)
+
+    def test_line_wraps(self):
+        region = Region("r", 0x1000, 256)  # 4 lines
+        assert region.line(0) == 0x1000
+        assert region.line(4) == 0x1000
+        assert region.line(5) == 0x1040
+
+    def test_random_address_alignment_and_bounds(self):
+        region = Region("r", 0x1000, 4096)
+        rng = random.Random(0)
+        for _ in range(200):
+            address = region.random_address(rng, align=8)
+            assert region.contains(address)
+            assert address % 8 == 0
+
+    def test_random_line_is_line_aligned(self):
+        region = Region("r", 0x1000, 4096)
+        rng = random.Random(0)
+        for _ in range(100):
+            assert region.random_line(rng) % 64 == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Region("bad", 0, 0)
+        with pytest.raises(ValueError):
+            Region("bad", -1, 64)
+
+
+class TestAddressMap:
+    def test_regions_disjoint(self):
+        space = AddressMap()
+        a = space.add("a", 1024 * 1024)
+        b = space.add("b", 4 * 1024 * 1024)
+        c = space.add("c", 64)
+        for first in (a, b, c):
+            for second in (a, b, c):
+                if first is second:
+                    continue
+                assert first.end <= second.base or second.end <= first.base
+
+    def test_lookup_by_name(self):
+        space = AddressMap()
+        space.add("data", 4096)
+        assert space["data"].size == 4096
+        assert "data" in space
+        assert "nothing" not in space
+
+    def test_region_of(self):
+        space = AddressMap()
+        region = space.add("data", 4096)
+        assert space.region_of(region.base + 100) is region
+        assert space.region_of(0) is None
+
+    def test_duplicate_name_rejected(self):
+        space = AddressMap()
+        space.add("x", 64)
+        with pytest.raises(ValueError):
+            space.add("x", 64)

@@ -1,0 +1,85 @@
+"""Replacement policies: LRU, random, tree-PLRU."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.memory.replacement import (
+    LruPolicy,
+    RandomPolicy,
+    TreePlruPolicy,
+    make_policy,
+)
+
+
+class TestLru:
+    def test_victim_is_oldest_untouched(self):
+        policy = LruPolicy(4)
+        for way in (0, 1, 2, 3):
+            policy.touch(way)
+        assert policy.victim() == 0
+
+    def test_touch_moves_to_mru(self):
+        policy = LruPolicy(4)
+        for way in (0, 1, 2, 3):
+            policy.touch(way)
+        policy.touch(0)
+        assert policy.victim() == 1
+
+    def test_reset_behaves_like_touch(self):
+        policy = LruPolicy(2)
+        policy.touch(0)
+        policy.reset(1)
+        assert policy.victim() == 0
+
+    def test_single_way(self):
+        policy = LruPolicy(1)
+        policy.touch(0)
+        assert policy.victim() == 0
+
+
+class TestRandom:
+    def test_victims_in_range_and_deterministic(self):
+        a = RandomPolicy(8, seed=3)
+        b = RandomPolicy(8, seed=3)
+        va = [a.victim() for _ in range(50)]
+        vb = [b.victim() for _ in range(50)]
+        assert va == vb
+        assert all(0 <= v < 8 for v in va)
+
+
+class TestTreePlru:
+    def test_requires_power_of_two(self):
+        with pytest.raises(ConfigError):
+            TreePlruPolicy(6)
+
+    def test_victim_avoids_recent_touch(self):
+        policy = TreePlruPolicy(4)
+        policy.touch(2)
+        assert policy.victim() != 2
+
+    def test_full_rotation_touches_every_way(self):
+        policy = TreePlruPolicy(4)
+        victims = []
+        for _ in range(4):
+            way = policy.victim()
+            victims.append(way)
+            policy.touch(way)
+        assert sorted(victims) == [0, 1, 2, 3]
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name,cls", [
+        ("lru", LruPolicy), ("random", RandomPolicy), ("plru", TreePlruPolicy),
+    ])
+    def test_known_policies(self, name, cls):
+        assert isinstance(make_policy(name, 4), cls)
+
+    def test_unknown_policy(self):
+        with pytest.raises(ConfigError, match="unknown replacement"):
+            make_policy("belady", 4)
+
+    def test_zero_ways_rejected(self):
+        with pytest.raises(ConfigError):
+            make_policy("lru", 0)

@@ -1,0 +1,44 @@
+"""Markdown report generation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import ExperimentSettings, Workbench
+from repro.harness.report import ALL_SECTIONS, generate_report
+
+
+@pytest.fixture(scope="module")
+def bench():
+    return Workbench(ExperimentSettings(
+        warmup=8_000, measure=16_000, seed=3, calibrate=False,
+    ))
+
+
+class TestReport:
+    def test_table_sections_render(self, bench):
+        report = generate_report(bench, sections=("table1", "table2"))
+        assert "# Experiments" in report
+        assert "## Table 1" in report
+        assert "## Table 2" in report
+        assert "| per 100 insts |" in report
+
+    def test_figure3_section(self, bench):
+        report = generate_report(bench, sections=("figure3",))
+        assert "store_serialize" in report
+        assert "SLE + prefetch past" in report
+
+    def test_settings_recorded_in_header(self, bench):
+        report = generate_report(bench, sections=("table2",))
+        assert "measure=16000" in report
+        assert "seed=3" in report
+
+    def test_unknown_section_rejected(self, bench):
+        with pytest.raises(ValueError, match="unknown report sections"):
+            generate_report(bench, sections=("figure99",))
+
+    def test_all_sections_list_complete(self):
+        assert set(ALL_SECTIONS) == {
+            "table1", "table2", "table3", "figure2", "figure3",
+            "figure4", "figure5", "figure6", "figure7", "figure8",
+        }

@@ -1,0 +1,111 @@
+"""SimulationResult metrics and distributions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import MlpDistribution, SimulationResult
+from repro.core.epoch import EpochRecord, TerminationCondition, TriggerKind
+
+
+def epoch(index, stores=0, loads=0, insts=0,
+          term=TerminationCondition.WINDOW_FULL,
+          trigger=TriggerKind.LOAD):
+    return EpochRecord(
+        index=index, trigger=trigger, termination=term,
+        store_misses=stores, load_misses=loads, inst_misses=insts,
+        instructions=100,
+    )
+
+
+@pytest.fixture
+def result():
+    return SimulationResult(
+        instructions=10_000,
+        epochs=[
+            epoch(0, loads=2),
+            epoch(1, stores=3, term=TerminationCondition.STORE_SERIALIZE,
+                  trigger=TriggerKind.STORE),
+            epoch(2, stores=1, loads=1,
+                  term=TerminationCondition.STORE_QUEUE_WINDOW_FULL),
+            epoch(3, insts=1, term=TerminationCondition.INSTRUCTION_MISS,
+                  trigger=TriggerKind.INSTRUCTION),
+        ],
+        fully_overlapped_stores=2,
+        accelerated_stores=1,
+    )
+
+
+class TestHeadlineMetrics:
+    def test_epi(self, result):
+        assert result.epi == pytest.approx(4 / 10_000)
+        assert result.epi_per_1000 == pytest.approx(0.4)
+
+    def test_mlp(self, result):
+        assert result.total_misses == 8
+        assert result.mlp == pytest.approx(2.0)
+
+    def test_store_mlp_over_store_epochs_only(self, result):
+        assert result.store_mlp == pytest.approx(2.0)  # (3 + 1) / 2
+
+    def test_store_overlap_fraction(self, result):
+        # 4 epoch stores + 2 fully overlapped + 1 accelerated = 7 total.
+        assert result.store_overlap_fraction == pytest.approx(2 / 7)
+
+    def test_off_chip_cpi(self, result):
+        assert result.off_chip_cpi(500) == pytest.approx(0.2)
+
+    def test_empty_result(self):
+        empty = SimulationResult(instructions=0)
+        assert empty.epi == 0.0
+        assert empty.mlp == 0.0
+        assert empty.store_mlp == 0.0
+        assert empty.store_overlap_fraction == 0.0
+
+
+class TestDistributions:
+    def test_termination_histogram(self, result):
+        histogram = result.termination_histogram()
+        assert histogram[TerminationCondition.STORE_SERIALIZE] == 1
+        assert histogram[TerminationCondition.WINDOW_FULL] == 1
+
+    def test_termination_fractions_filtered_by_store_mlp(self, result):
+        fractions = result.termination_fractions(store_mlp_at_least=1)
+        # Two epochs qualify; fractions are over ALL epochs (figure style).
+        assert fractions[TerminationCondition.STORE_SERIALIZE] == pytest.approx(0.25)
+        assert fractions[TerminationCondition.STORE_QUEUE_WINDOW_FULL] == (
+            pytest.approx(0.25)
+        )
+
+    def test_trigger_histogram(self, result):
+        triggers = result.trigger_histogram()
+        assert triggers[TriggerKind.LOAD] == 2
+        assert triggers[TriggerKind.STORE] == 1
+        assert triggers[TriggerKind.INSTRUCTION] == 1
+
+    def test_mlp_distribution_cells(self, result):
+        dist = result.mlp_distribution()
+        assert dist.fraction(3, 0) == pytest.approx(0.25)
+        assert dist.fraction(1, 1) == pytest.approx(0.25)
+        assert dist.store_mlp_fraction(0) == pytest.approx(0.5)
+
+    def test_bucketing_caps(self):
+        result = SimulationResult(
+            instructions=100,
+            epochs=[epoch(0, stores=50, loads=20)],
+        )
+        cells = result.mlp_distribution().bucketed(store_cap=10, load_cap=5)
+        assert cells[(10, 5)] == pytest.approx(1.0)
+
+    def test_summary_mentions_key_numbers(self, result):
+        text = result.summary()
+        assert "epochs=4" in text
+        assert "MLP=2.00" in text
+
+
+class TestMlpDistribution:
+    def test_empty_distribution(self):
+        dist = MlpDistribution(total_epochs=0, cells={})
+        assert dist.fraction(1, 0) == 0.0
+        assert dist.store_mlp_fraction(1) == 0.0
+        assert dist.bucketed() == {}

@@ -1,0 +1,55 @@
+"""Register scoreboard: epoch-time dependence tracking."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import RegisterScoreboard
+from repro.isa.registers import REG_NONE, REG_ZERO
+
+
+class TestScoreboard:
+    def test_fresh_registers_ready_in_epoch_zero(self):
+        board = RegisterScoreboard()
+        assert board.ready_epoch((1, 2, 3)) == 0
+        assert board.is_ready((1, 2, 3), 0)
+
+    def test_on_chip_producer_same_epoch(self):
+        board = RegisterScoreboard()
+        board.produce_on_chip(5, 3)
+        assert board.ready_epoch((5,)) == 3
+        assert board.is_ready((5,), 3)
+
+    def test_off_chip_producer_next_epoch(self):
+        board = RegisterScoreboard()
+        board.produce_off_chip(5, 3)
+        assert board.ready_epoch((5,)) == 4
+        assert not board.is_ready((5,), 3)
+        assert board.is_ready((5,), 4)
+
+    def test_latest_source_dominates(self):
+        board = RegisterScoreboard()
+        board.produce_on_chip(1, 2)
+        board.produce_off_chip(2, 5)
+        assert board.ready_epoch((1, 2)) == 6
+
+    def test_zero_and_none_registers_never_delay(self):
+        board = RegisterScoreboard()
+        board.produce_off_chip(REG_ZERO, 9)    # ignored
+        assert board.ready_epoch((REG_ZERO, REG_NONE)) == 0
+
+    def test_depends_on_epoch_miss(self):
+        board = RegisterScoreboard()
+        board.produce_off_chip(7, 2)
+        assert board.depends_on_epoch_miss((7,), 2)
+        assert not board.depends_on_epoch_miss((7,), 3)
+
+    def test_monotonic_updates_only(self):
+        board = RegisterScoreboard()
+        board.produce_off_chip(4, 5)
+        board.produce_on_chip(4, 1)  # older producer cannot rewind readiness
+        assert board.ready_epoch((4,)) == 6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RegisterScoreboard(0)

@@ -1,0 +1,126 @@
+"""The speculative look-ahead pass shared by Hardware Scout and
+prefetch-past-serializing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import RegisterScoreboard
+from repro.core.scout import run_scout
+from repro.isa import InstructionClass as IC
+
+from conftest import annotated
+
+
+def scout(trace, start=0, budget=100, board=None, epoch=0, resolved=None,
+          **kwargs):
+    return run_scout(
+        trace,
+        start,
+        budget,
+        board or RegisterScoreboard(),
+        epoch,
+        resolved if resolved is not None else set(),
+        **kwargs,
+    )
+
+
+class TestPrefetching:
+    def test_prefetches_independent_load_misses(self):
+        trace = [
+            annotated(IC.LOAD, miss=True, dest=5, address=0x1000),
+            annotated(IC.LOAD, miss=True, dest=6, address=0x2000),
+        ]
+        outcome = scout(trace)
+        assert outcome.loads == 2
+        assert outcome.resolved == {0, 1}
+
+    def test_prefetches_instruction_misses(self):
+        trace = [annotated(IC.ALU, imiss=True, dest=5)]
+        assert scout(trace).insts == 1
+
+    def test_stores_only_when_enabled(self):
+        trace = [annotated(IC.STORE, miss=True, address=0x1000)]
+        assert scout(trace).stores == 0
+        assert scout(trace, prefetch_stores=True).stores == 1
+
+    def test_smac_hit_stores_not_prefetched(self):
+        trace = [annotated(IC.STORE, smac=True, address=0x1000)]
+        assert scout(trace, prefetch_stores=True).stores == 0
+
+    def test_already_resolved_indices_skipped(self):
+        trace = [annotated(IC.LOAD, miss=True, dest=5, address=0x1000)]
+        assert scout(trace, resolved={0}).loads == 0
+
+    def test_budget_limits_scan(self):
+        trace = [
+            annotated(IC.LOAD, miss=True, dest=5, address=0x1000 + i * 64)
+            for i in range(10)
+        ]
+        outcome = scout(trace, budget=3)
+        assert outcome.loads == 3
+        assert outcome.scanned == 3
+
+    def test_zero_budget_is_empty(self):
+        trace = [annotated(IC.LOAD, miss=True, dest=5)]
+        assert scout(trace, budget=0).total == 0
+
+
+class TestPoisoning:
+    def test_dependent_load_cannot_prefetch(self):
+        trace = [
+            annotated(IC.LOAD, miss=True, dest=5, address=0x1000),
+            annotated(IC.LOAD, miss=True, dest=6, srcs=(5,), address=0x2000),
+        ]
+        outcome = scout(trace)
+        assert outcome.loads == 1  # the pointer-chase target is unknown
+
+    def test_poison_propagates_through_alu(self):
+        trace = [
+            annotated(IC.LOAD, miss=True, dest=5, address=0x1000),
+            annotated(IC.ALU, dest=6, srcs=(5,)),
+            annotated(IC.LOAD, miss=True, dest=7, srcs=(6,), address=0x2000),
+        ]
+        assert scout(trace).loads == 1
+
+    def test_clean_alu_clears_poison(self):
+        trace = [
+            annotated(IC.LOAD, miss=True, dest=5, address=0x1000),
+            annotated(IC.ALU, dest=5, srcs=(1,)),  # rewrites r5 from clean r1
+            annotated(IC.LOAD, miss=True, dest=7, srcs=(5,), address=0x2000),
+        ]
+        assert scout(trace).loads == 2
+
+    def test_architecturally_inflight_values_poison(self):
+        board = RegisterScoreboard()
+        board.produce_off_chip(5, 0)  # outstanding in epoch 0
+        trace = [
+            annotated(IC.LOAD, miss=True, dest=6, srcs=(5,), address=0x2000),
+        ]
+        assert scout(trace, board=board, epoch=0).loads == 0
+
+
+class TestControl:
+    def test_serializers_are_ignored(self):
+        trace = [
+            annotated(IC.MEMBAR),
+            annotated(IC.CAS, address=0x40, dest=5),
+            annotated(IC.LOAD, miss=True, dest=6, address=0x2000),
+        ]
+        assert scout(trace).loads >= 1
+
+    def test_mispredicted_poisoned_branch_stops_scout(self):
+        trace = [
+            annotated(IC.LOAD, miss=True, dest=5, address=0x1000),
+            annotated(IC.BRANCH, mispred=True, srcs=(5,)),
+            annotated(IC.LOAD, miss=True, dest=6, address=0x2000),
+        ]
+        outcome = scout(trace)
+        assert outcome.loads == 1  # nothing beyond the unresolvable branch
+
+    def test_mispredicted_clean_branch_continues(self):
+        trace = [
+            annotated(IC.BRANCH, mispred=True, srcs=(1,)),
+            annotated(IC.LOAD, miss=True, dest=6, address=0x2000),
+        ]
+        assert scout(trace).loads == 1

@@ -1,0 +1,124 @@
+"""The Store Miss Accelerator: ownership retention, capacity, snoops."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import SmacConfig
+from repro.memory import StoreMissAccelerator
+
+
+@pytest.fixture
+def smac():
+    """Small SMAC: 16 entries, 2-way, 2048B regions, 64B sub-blocks."""
+    return StoreMissAccelerator(SmacConfig(entries=16, associativity=2))
+
+
+REGION = 2048
+
+
+class TestOwnershipLifecycle:
+    def test_cold_probe_misses(self, smac):
+        probe = smac.probe_store(0x10000)
+        assert not probe.hit and not probe.invalidated_hit
+
+    def test_evicted_modified_line_is_retained(self, smac):
+        smac.on_modified_evict(0x10000)
+        assert smac.probe_store(0x10000).hit
+
+    def test_hit_consumes_ownership(self, smac):
+        """The line moves back into the L2 in M state, so the SMAC's E bit
+        is cleared; state is never held in two places."""
+        smac.on_modified_evict(0x10000)
+        assert smac.probe_store(0x10000).hit
+        assert not smac.probe_store(0x10000).hit
+
+    def test_sub_block_granularity(self, smac):
+        smac.on_modified_evict(0x10000)
+        # Different 64B sub-block of the same 2KB region: not owned.
+        assert not smac.probe_store(0x10000 + 64).hit
+        # Same sub-block, different byte: owned.
+        smac.on_modified_evict(0x10000)
+        assert smac.probe_store(0x10000 + 8).hit
+
+    def test_multiple_sub_blocks_accumulate(self, smac):
+        base = 0x20000
+        for i in range(4):
+            smac.on_modified_evict(base + 64 * i)
+        for i in range(4):
+            assert smac.probe_store(base + 64 * i).hit
+
+
+class TestSnoops:
+    def test_snoop_steals_ownership(self, smac):
+        smac.on_modified_evict(0x10000)
+        assert smac.snoop(0x10000)
+        assert not smac.probe_store(0x10000).hit
+
+    def test_snoop_miss_reports_false(self, smac):
+        assert not smac.snoop(0x999000)
+
+    def test_snoop_of_unowned_sub_block_reports_false(self, smac):
+        smac.on_modified_evict(0x10000)
+        assert not smac.snoop(0x10000 + 64)
+
+    def test_invalidated_hit_tracked_for_figure6(self, smac):
+        """A store that would have been accelerated but for a remote snoop
+        is counted as an invalidated hit (Figure 6, right graph)."""
+        smac.on_modified_evict(0x10000)
+        smac.snoop(0x10000)
+        probe = smac.probe_store(0x10000)
+        assert not probe.hit
+        assert probe.invalidated_hit
+        assert smac.stats.invalidated_hits == 1
+
+    def test_reinsert_clears_tombstone(self, smac):
+        smac.on_modified_evict(0x10000)
+        smac.snoop(0x10000)
+        smac.on_modified_evict(0x10000)
+        probe = smac.probe_store(0x10000)
+        assert probe.hit and not probe.invalidated_hit
+
+
+class TestCapacity:
+    def test_set_overflow_evicts_lru_entry(self, smac):
+        # 16 entries 2-way -> 8 sets; regions spaced by 8*2048 collide.
+        stride = 8 * REGION
+        base = 0x100000
+        smac.on_modified_evict(base)
+        smac.on_modified_evict(base + stride)
+        smac.on_modified_evict(base + 2 * stride)  # evicts the first
+        assert smac.stats.entry_evictions == 1
+        assert not smac.probe_store(base).hit
+        assert smac.probe_store(base + 2 * stride).hit
+
+    def test_touch_order_protects_recent_entries(self, smac):
+        stride = 8 * REGION
+        base = 0x100000
+        smac.on_modified_evict(base)
+        smac.on_modified_evict(base + stride)
+        smac.on_modified_evict(base)            # refresh first entry
+        smac.on_modified_evict(base + 2 * stride)
+        assert smac.probe_store(base).hit       # survived
+        assert not smac.probe_store(base + stride).hit
+
+    def test_owned_sub_blocks_accounting(self, smac):
+        smac.on_modified_evict(0x10000)
+        smac.on_modified_evict(0x10000 + 64)
+        smac.on_modified_evict(0x30000)
+        assert smac.owned_sub_blocks() == 3
+
+
+class TestStats:
+    def test_hit_ratio(self, smac):
+        smac.on_modified_evict(0x10000)
+        smac.probe_store(0x10000)
+        smac.probe_store(0x50000)
+        assert smac.stats.hit_ratio == pytest.approx(0.5)
+
+    def test_reset(self, smac):
+        smac.on_modified_evict(0x10000)
+        smac.probe_store(0x10000)
+        smac.stats.reset()
+        assert smac.stats.probes == 0
+        assert smac.stats.hits == 0

@@ -1,0 +1,207 @@
+"""Store buffer / store queue: coalescing, prefetch and commit rules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import ConsistencyModel, CoreConfig, StorePrefetchMode
+from repro.core import StoreEntry, StoreUnit
+
+
+def unit(**kwargs):
+    defaults = dict(
+        store_buffer=4,
+        store_queue=4,
+        store_prefetch=StorePrefetchMode.NONE,
+        coalesce_bytes=8,
+    )
+    defaults.update(kwargs)
+    return StoreUnit(CoreConfig(**defaults))
+
+
+def entry(granule=0x1000, missing=False, **kwargs):
+    return StoreEntry(granule=granule, missing=missing, **kwargs)
+
+
+class TestDispatchRetire:
+    def test_hit_store_flows_through(self):
+        su = unit()
+        result = su.dispatch(entry(), retirable=True, epoch=0)
+        assert result.accepted
+        assert su.drained  # committed immediately by the pump
+
+    def test_unretirable_store_parks_in_buffer(self):
+        su = unit()
+        su.dispatch(entry(), retirable=False, epoch=0)
+        assert len(su.sb) == 1 and not su.sq
+
+    def test_store_buffer_full_rejects(self):
+        su = unit(store_buffer=2)
+        su.dispatch(entry(0x1000), retirable=False, epoch=0)
+        su.dispatch(entry(0x2000), retirable=False, epoch=0)
+        result = su.dispatch(entry(0x3000), retirable=False, epoch=0)
+        assert not result.accepted
+        assert len(su.sb) == 2
+
+    def test_sq_full_of_pending_misses_stalls_retire(self):
+        su = unit(store_queue=2)
+        issued = []
+        for granule in (0x1000, 0x2000):
+            result = su.dispatch(
+                entry(granule, missing=True), retirable=True, epoch=0
+            )
+            issued.extend(result.issued)
+        result = su.dispatch(entry(0x3000), retirable=True, epoch=0)
+        assert result.retire_stalled_sq_full
+        assert su.sq_full
+
+
+class TestPrefetchModes:
+    def test_sp0_issues_only_at_head(self):
+        su = unit()
+        r1 = su.dispatch(entry(0x1000, missing=True), retirable=True, epoch=0)
+        r2 = su.dispatch(entry(0x2000, missing=True), retirable=True, epoch=0)
+        assert len(r1.issued) == 1   # head store's request
+        assert len(r2.issued) == 0   # second waits behind the head
+
+    def test_sp1_issues_at_retire(self):
+        su = unit(store_prefetch=StorePrefetchMode.AT_RETIRE)
+        r1 = su.dispatch(entry(0x1000, missing=True), retirable=True, epoch=0)
+        r2 = su.dispatch(entry(0x2000, missing=True), retirable=True, epoch=0)
+        assert len(r1.issued) == 1
+        assert len(r2.issued) == 1
+
+    def test_sp1_does_not_issue_for_parked_stores(self):
+        su = unit(store_prefetch=StorePrefetchMode.AT_RETIRE)
+        result = su.dispatch(
+            entry(0x1000, missing=True), retirable=False, epoch=0
+        )
+        assert result.issued == []
+
+    def test_sp2_issues_at_dispatch_even_when_parked(self):
+        su = unit(store_prefetch=StorePrefetchMode.AT_EXECUTE)
+        result = su.dispatch(
+            entry(0x1000, missing=True), retirable=False, epoch=0
+        )
+        assert len(result.issued) == 1
+
+    def test_wc_issues_at_dispatch(self):
+        su = unit(consistency=ConsistencyModel.WC)
+        result = su.dispatch(
+            entry(0x1000, missing=True), retirable=False, epoch=0
+        )
+        assert len(result.issued) == 1
+
+    def test_accelerated_stores_never_issue(self):
+        su = unit(store_prefetch=StorePrefetchMode.AT_EXECUTE)
+        result = su.dispatch(
+            entry(0x1000, missing=True, accelerated=True),
+            retirable=True, epoch=0,
+        )
+        assert result.issued == []
+        assert su.drained  # committed instantly
+
+
+class TestCommitPc:
+    def test_missing_head_blocks_younger_hits(self):
+        su = unit()
+        su.dispatch(entry(0x1000, missing=True), retirable=True, epoch=0)
+        su.dispatch(entry(0x2000), retirable=True, epoch=0)
+        assert len(su.sq) == 2  # the hit store cannot pass the miss
+
+    def test_completed_miss_commits_next_epoch(self):
+        su = unit()
+        su.dispatch(entry(0x1000, missing=True), retirable=True, epoch=0)
+        su.dispatch(entry(0x2000), retirable=True, epoch=0)
+        su.pump(epoch=1)  # the miss issued in epoch 0 has now returned
+        assert su.drained
+
+    def test_all_completed_predicate(self):
+        su = unit()
+        su.dispatch(entry(0x1000, missing=True), retirable=True, epoch=0)
+        assert not su.all_completed(0)
+        assert su.all_completed(1)
+
+
+class TestCommitWc:
+    def test_hits_commit_past_blocked_miss(self):
+        su = unit(consistency=ConsistencyModel.WC)
+        su.dispatch(entry(0x1000, missing=True), retirable=True, epoch=0)
+        su.dispatch(entry(0x2000), retirable=True, epoch=0)
+        assert len(su.sq) == 1  # only the miss remains
+
+    def test_barrier_orders_commits(self):
+        su = unit(consistency=ConsistencyModel.WC)
+        su.dispatch(entry(0x1000, missing=True), retirable=True, epoch=0)
+        su.add_barrier()
+        su.dispatch(entry(0x2000), retirable=True, epoch=0)
+        # The hit store after the lwsync may not commit before the miss.
+        assert len(su.sq) == 2
+        su.pump(epoch=1)
+        assert su.drained
+
+    def test_barrier_blocks_coalescing_across_it(self):
+        su = unit(consistency=ConsistencyModel.WC, store_queue=8)
+        su.dispatch(entry(0x1000, missing=True), retirable=True, epoch=0)
+        su.dispatch(entry(0x2000, missing=True), retirable=True, epoch=0)
+        su.add_barrier()
+        su.dispatch(entry(0x2000, missing=True), retirable=True, epoch=0)
+        # Without the barrier this would coalesce into the second entry.
+        assert len(su.sq) == 3
+
+
+class TestCoalescing:
+    def test_pc_coalesces_consecutive_same_granule(self):
+        su = unit()
+        su.dispatch(entry(0x1000, missing=True), retirable=True, epoch=0)
+        su.dispatch(entry(0x2000), retirable=True, epoch=0)
+        su.dispatch(entry(0x2000), retirable=True, epoch=0)
+        assert su.stats.coalesced == 1
+        assert len(su.sq) == 2
+
+    def test_pc_does_not_coalesce_non_adjacent(self):
+        su = unit()
+        su.dispatch(entry(0x1000, missing=True), retirable=True, epoch=0)
+        su.dispatch(entry(0x2000), retirable=True, epoch=0)
+        su.dispatch(entry(0x1000), retirable=True, epoch=0)  # not youngest
+        assert su.stats.coalesced == 0
+        assert len(su.sq) == 3
+
+    def test_wc_coalesces_with_any_eligible_entry(self):
+        su = unit(consistency=ConsistencyModel.WC)
+        su.dispatch(entry(0x1000, missing=True), retirable=True, epoch=0)
+        su.dispatch(entry(0x2000, missing=True), retirable=True, epoch=0)
+        su.dispatch(entry(0x1000, missing=True), retirable=True, epoch=0)
+        assert su.stats.coalesced == 1
+
+    def test_coalescing_disabled(self):
+        su = unit(coalesce_bytes=0)
+        su.dispatch(entry(0x1000, missing=True), retirable=True, epoch=0)
+        su.dispatch(entry(0x1000), retirable=True, epoch=0)
+        assert su.stats.coalesced == 0
+
+    def test_coalescing_extends_effective_capacity(self):
+        """The paper's point: coalescing reduces the SQ-full frequency."""
+        su = unit(store_queue=2)
+        su.dispatch(entry(0x1000, missing=True), retirable=True, epoch=0)
+        for _ in range(5):
+            result = su.dispatch(entry(0x2000), retirable=True, epoch=0)
+            assert result.accepted
+            assert not result.retire_stalled_sq_full
+
+
+class TestSilentCompletion:
+    def test_silent_completion_drains(self):
+        su = unit()
+        result = su.dispatch(
+            entry(0x1000, missing=True), retirable=True, epoch=0
+        )
+        su.complete_silently(result.issued)
+        assert su.drained
+        assert su.stats.silently_completed == 1
+
+    def test_granule_mapping_uses_coalesce_size(self):
+        su = unit(coalesce_bytes=8)
+        assert su.granule_of(0x1237) == 0x1230
+        su64 = unit(coalesce_bytes=64)
+        assert su64.granule_of(0x1237) == 0x1200

@@ -1,0 +1,79 @@
+"""Parameter-sweep utility."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import StorePrefetchMode
+from repro.harness import ExperimentSettings, Workbench
+from repro.harness.sweeps import best_point, pareto_front, sweep, sweep_workloads
+
+
+@pytest.fixture(scope="module")
+def bench():
+    return Workbench(ExperimentSettings(
+        warmup=8_000, measure=20_000, seed=3, calibrate=False,
+    ))
+
+
+class TestSweep:
+    def test_grid_order_and_size(self, bench):
+        records = sweep(
+            bench, "tpcw",
+            store_queue=[16, 32],
+            store_buffer=[8, 16],
+        )
+        assert len(records) == 4
+        assert records[0].knobs == {"store_queue": 16, "store_buffer": 8}
+        assert records[-1].knobs == {"store_queue": 32, "store_buffer": 16}
+
+    def test_metrics_populated(self, bench):
+        [record] = sweep(bench, "tpcw", store_queue=[32])
+        assert record.epi_per_1000 > 0
+        assert record.mlp >= 1.0
+        assert 0 <= record.store_overlap_fraction <= 1
+
+    def test_variant_passthrough(self, bench):
+        [pc] = sweep(bench, "tpcw", store_queue=[32])
+        [wc] = sweep(bench, "tpcw", variant="wc", store_queue=[32])
+        assert wc.epi_per_1000 <= pc.epi_per_1000
+
+    def test_label_renders_enums(self, bench):
+        [record] = sweep(
+            bench, "tpcw", store_prefetch=[StorePrefetchMode.AT_EXECUTE]
+        )
+        assert record.label() == "store_prefetch=sp2"
+
+    def test_empty_axes_rejected(self, bench):
+        with pytest.raises(ValueError):
+            sweep(bench, "tpcw")
+
+    def test_sweep_workloads(self, bench):
+        results = sweep_workloads(
+            bench, ("tpcw", "specweb"), store_queue=[32]
+        )
+        assert set(results) == {"tpcw", "specweb"}
+
+
+class TestSelection:
+    def test_best_point_minimizes(self, bench):
+        records = sweep(bench, "specweb", store_queue=[8, 32, 256])
+        best = best_point(records)
+        assert best.epi_per_1000 == min(r.epi_per_1000 for r in records)
+
+    def test_best_point_empty_rejected(self):
+        with pytest.raises(ValueError):
+            best_point([])
+
+    def test_pareto_front_epi_vs_bandwidth(self, bench):
+        records = sweep(
+            bench, "database",
+            store_prefetch=list(StorePrefetchMode),
+        )
+        front = pareto_front(records)
+        assert 1 <= len(front) <= len(records)
+        # Sp0 has zero bandwidth overhead: it is never dominated on that
+        # axis, so it must be on the front.
+        sp0 = next(r for r in records
+                   if r.knobs["store_prefetch"] is StorePrefetchMode.NONE)
+        assert sp0 in front

@@ -1,0 +1,54 @@
+"""TLB behaviour: LRU replacement over pages."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.memory import Tlb
+
+PAGE = 8192
+
+
+@pytest.fixture
+def tlb():
+    return Tlb(entries=4, page_bytes=PAGE)
+
+
+class TestTlb:
+    def test_first_access_misses(self, tlb):
+        assert not tlb.access(0x0)
+        assert tlb.stats.misses == 1
+
+    def test_same_page_hits(self, tlb):
+        tlb.access(0x0)
+        assert tlb.access(PAGE - 8)
+        assert tlb.stats.hits == 1
+
+    def test_capacity_eviction_is_lru(self, tlb):
+        for i in range(4):
+            tlb.access(i * PAGE)
+        tlb.access(0)               # page 0 now MRU
+        tlb.access(4 * PAGE)        # evicts page 1
+        assert tlb.access(0)        # still resident
+        assert not tlb.access(PAGE)  # evicted
+
+    def test_occupancy_capped(self, tlb):
+        for i in range(10):
+            tlb.access(i * PAGE)
+        assert tlb.occupancy() == 4
+
+    def test_miss_ratio(self, tlb):
+        tlb.access(0)
+        tlb.access(0)
+        assert tlb.stats.miss_ratio == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Tlb(entries=0, page_bytes=PAGE)
+        with pytest.raises(ValueError):
+            Tlb(entries=4, page_bytes=1000)
+
+    def test_reset(self, tlb):
+        tlb.access(0)
+        tlb.stats.reset()
+        assert tlb.stats.accesses == 0

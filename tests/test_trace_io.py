@@ -1,0 +1,104 @@
+"""Binary trace serialization round-trips and error handling."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.errors import TraceError, TraceFormatError
+from repro.isa import Instruction, InstructionClass
+from repro.trace import (
+    read_trace,
+    read_trace_file,
+    write_trace,
+    write_trace_file,
+)
+from repro.trace.writer import HEADER, MAGIC
+
+
+def sample_trace():
+    return [
+        Instruction(InstructionClass.LOAD, pc=0x1000, address=0xABC0,
+                    size=8, dest=5, srcs=(1,)),
+        Instruction(InstructionClass.STORE, pc=0x1004, address=0xDEF8,
+                    size=4, srcs=(1, 5)),
+        Instruction(InstructionClass.BRANCH, pc=0x1008, taken=True,
+                    target=0x2000, srcs=(5,)),
+        Instruction(InstructionClass.CAS, pc=0x100C, address=0x40,
+                    size=8, dest=6, srcs=(2,), lock_acquire=True),
+        Instruction(InstructionClass.STORE, pc=0x1010, address=0x40,
+                    size=8, srcs=(2,), lock_release=True),
+        Instruction(InstructionClass.MEMBAR, pc=0x1014),
+        Instruction(InstructionClass.NOP, pc=0x1018),
+    ]
+
+
+class TestRoundTrip:
+    def test_memory_round_trip_preserves_everything(self):
+        trace = sample_trace()
+        buffer = io.BytesIO()
+        count = write_trace(buffer, trace)
+        assert count == len(trace)
+        buffer.seek(0)
+        assert list(read_trace(buffer)) == trace
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "sample.mlpt"
+        trace = sample_trace()
+        write_trace_file(path, trace)
+        assert read_trace_file(path) == trace
+
+    def test_empty_trace(self):
+        buffer = io.BytesIO()
+        assert write_trace(buffer, []) == 0
+        buffer.seek(0)
+        assert list(read_trace(buffer)) == []
+
+    def test_generator_input(self):
+        buffer = io.BytesIO()
+        count = write_trace(
+            buffer,
+            (Instruction(InstructionClass.NOP, pc=i * 4) for i in range(100)),
+        )
+        assert count == 100
+        buffer.seek(0)
+        assert len(list(read_trace(buffer))) == 100
+
+    def test_large_addresses_survive(self):
+        inst = Instruction(
+            InstructionClass.LOAD, pc=2**63 - 8, address=2**40 + 64,
+            size=8, dest=1,
+        )
+        buffer = io.BytesIO()
+        write_trace(buffer, [inst])
+        buffer.seek(0)
+        assert list(read_trace(buffer)) == [inst]
+
+
+class TestErrors:
+    def test_too_many_sources_rejected(self):
+        inst = Instruction(InstructionClass.ALU, pc=0, srcs=(1, 2, 3, 4))
+        with pytest.raises(TraceError):
+            write_trace(io.BytesIO(), [inst])
+
+    def test_bad_magic(self):
+        buffer = io.BytesIO(HEADER.pack(b"XXXX", 1, 0, 0))
+        with pytest.raises(TraceFormatError, match="magic"):
+            list(read_trace(buffer))
+
+    def test_bad_version(self):
+        buffer = io.BytesIO(HEADER.pack(MAGIC, 99, 0, 0))
+        with pytest.raises(TraceFormatError, match="version"):
+            list(read_trace(buffer))
+
+    def test_truncated_header(self):
+        with pytest.raises(TraceFormatError, match="header"):
+            list(read_trace(io.BytesIO(b"ML")))
+
+    def test_truncated_records(self):
+        buffer = io.BytesIO()
+        write_trace(buffer, sample_trace())
+        data = buffer.getvalue()[:-10]
+        with pytest.raises(TraceFormatError, match="truncated"):
+            list(read_trace(io.BytesIO(data)))

@@ -1,0 +1,95 @@
+"""Trace stream utilities and statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isa import Instruction, InstructionClass
+from repro.trace import collect_statistics, materialize, split_warmup, take
+from repro.trace.stream import concatenate, interleave
+
+
+def nops(n, pc_base=0):
+    return [Instruction(InstructionClass.NOP, pc=pc_base + 4 * i) for i in range(n)]
+
+
+class TestStream:
+    def test_take_limits(self):
+        assert len(list(take(nops(10), 3))) == 3
+
+    def test_take_short_input(self):
+        assert len(list(take(nops(2), 10))) == 2
+
+    def test_materialize_is_identity_for_lists(self):
+        trace = nops(5)
+        assert materialize(trace) is trace
+
+    def test_materialize_realizes_iterators(self):
+        assert len(materialize(iter(nops(5)))) == 5
+
+    def test_split_warmup(self):
+        warm, measure = split_warmup(nops(100), warmup=30, measure=50)
+        assert len(warm) == 30
+        assert len(measure) == 50
+
+    def test_split_warmup_short_stream(self):
+        warm, measure = split_warmup(nops(40), warmup=30, measure=50)
+        assert len(warm) == 30
+        assert len(measure) == 10
+
+    def test_split_warmup_validates(self):
+        with pytest.raises(ValueError):
+            split_warmup(nops(10), warmup=-1, measure=5)
+
+    def test_concatenate(self):
+        combined = list(concatenate(nops(3), nops(2, pc_base=100)))
+        assert len(combined) == 5
+        assert combined[3].pc == 100
+
+    def test_interleave_round_robin(self):
+        a = nops(4, pc_base=0)
+        b = nops(4, pc_base=1000)
+        merged = list(interleave([a, b], quantum=2))
+        assert len(merged) == 8
+        assert [inst.pc for inst in merged[:4]] == [0, 4, 1000, 1004]
+
+    def test_interleave_uneven_lengths(self):
+        merged = list(interleave([nops(5), nops(2, pc_base=1000)], quantum=2))
+        assert len(merged) == 7
+
+    def test_interleave_validates_quantum(self):
+        with pytest.raises(ValueError):
+            list(interleave([nops(2)], quantum=0))
+
+
+class TestStatistics:
+    def test_mix_counts(self):
+        trace = [
+            Instruction(InstructionClass.LOAD, pc=0, address=8, dest=1),
+            Instruction(InstructionClass.STORE, pc=4, address=16),
+            Instruction(InstructionClass.BRANCH, pc=8, taken=True),
+            Instruction(InstructionClass.CAS, pc=12, address=0,
+                        lock_acquire=True),
+            Instruction(InstructionClass.MEMBAR, pc=16),
+            Instruction(InstructionClass.ALU, pc=20, dest=2),
+        ]
+        stats = collect_statistics(trace)
+        assert stats.total == 6
+        assert stats.mix.loads == 2      # LOAD + CAS
+        assert stats.mix.stores == 2     # STORE + CAS
+        assert stats.mix.branches == 1
+        assert stats.mix.atomics == 1
+        assert stats.mix.barriers == 1
+        assert stats.mix.lock_acquires == 1
+
+    def test_store_frequency_per_100(self):
+        trace = nops(90) + [
+            Instruction(InstructionClass.STORE, pc=0, address=8)
+        ] * 10
+        stats = collect_statistics(trace)
+        assert stats.mix.store_frequency == pytest.approx(10.0)
+
+    def test_empty_trace(self):
+        stats = collect_statistics([])
+        assert stats.total == 0
+        assert stats.mix.store_frequency == 0.0

@@ -1,0 +1,80 @@
+"""Transactional-memory critical sections."""
+
+from __future__ import annotations
+
+from repro.isa import Instruction, InstructionClass as IC
+from repro.locks import (
+    apply_transactional_memory,
+    detect_locks,
+    rewrite_pc_to_wc,
+)
+
+LOCK = 0x9000
+
+
+def pc_section():
+    return detect_locks([
+        Instruction(IC.CAS, pc=0x100, address=LOCK, size=8, dest=5),
+        Instruction(IC.ALU, pc=0x104, dest=6),
+        Instruction(IC.STORE, pc=0x108, address=LOCK, size=8),
+    ])
+
+
+class TestPcTransactions:
+    def test_acquire_and_release_become_nops(self):
+        transacted = apply_transactional_memory(pc_section())
+        kinds = [inst.kind for inst in transacted]
+        assert kinds == [IC.NOP, IC.ALU, IC.NOP]
+
+    def test_body_untouched(self):
+        transacted = apply_transactional_memory(pc_section())
+        assert transacted[1] == pc_section()[1]
+
+    def test_no_lock_word_access_remains(self):
+        transacted = apply_transactional_memory(pc_section())
+        assert not any(
+            inst.is_memory and inst.address == LOCK for inst in transacted
+        )
+
+    def test_tm_removes_more_than_sle(self):
+        """SLE keeps the acquire as a plain load; TM removes even that."""
+        from repro.locks import apply_sle
+        sle = apply_sle(pc_section())
+        tm = apply_transactional_memory(pc_section())
+        sle_loads = sum(1 for inst in sle if inst.is_load)
+        tm_loads = sum(1 for inst in tm if inst.is_load)
+        assert tm_loads < sle_loads
+
+
+class TestWcTransactions:
+    def test_whole_wc_idiom_elided(self):
+        wc = rewrite_pc_to_wc(pc_section())
+        transacted = apply_transactional_memory(wc)
+        kinds = {inst.kind for inst in transacted}
+        assert IC.LOAD_LOCKED not in kinds
+        assert IC.STORE_COND not in kinds
+        assert IC.ISYNC not in kinds
+        assert IC.LWSYNC not in kinds
+
+    def test_non_lock_lwarx_survives(self):
+        trace = [Instruction(IC.LOAD_LOCKED, pc=0, address=0x40, dest=3)]
+        assert apply_transactional_memory(trace)[0].kind is IC.LOAD_LOCKED
+
+    def test_non_lock_atomics_survive(self):
+        trace = [Instruction(IC.CAS, pc=0, address=0x40, size=8)]
+        assert apply_transactional_memory(trace)[0].kind is IC.CAS
+
+    def test_length_preserved(self):
+        wc = rewrite_pc_to_wc(pc_section())
+        assert len(apply_transactional_memory(wc)) == len(wc)
+
+
+class TestEndToEnd:
+    def test_tm_variant_at_least_as_good_as_sle(self):
+        from repro.harness import ExperimentSettings, Workbench
+        bench = Workbench(ExperimentSettings(
+            warmup=10_000, measure=25_000, calibrate=False,
+        ))
+        sle = bench.run("specjbb", variant="pc_sle").epi
+        tm = bench.run("specjbb", variant="pc_tm").epi
+        assert tm <= sle * 1.05

@@ -1,0 +1,93 @@
+"""Generic trace rewriting engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isa import Instruction, InstructionClass as IC
+from repro.trace import map_trace, replace_subsequences
+
+
+def nop(pc):
+    return Instruction(IC.NOP, pc=pc)
+
+
+def alu(pc):
+    return Instruction(IC.ALU, pc=pc, dest=5)
+
+
+class TestMapTrace:
+    def test_identity(self):
+        trace = [nop(0), alu(4)]
+        assert list(map_trace(trace, lambda inst: inst)) == trace
+
+    def test_dropping_with_none(self):
+        trace = [nop(0), alu(4), nop(8)]
+        kept = list(map_trace(
+            trace, lambda inst: inst if inst.kind is IC.ALU else None
+        ))
+        assert kept == [alu(4)]
+
+    def test_rewrite(self):
+        trace = [nop(0)]
+        out = list(map_trace(trace, lambda inst: alu(inst.pc)))
+        assert out[0].kind is IC.ALU
+
+
+class TestReplaceSubsequences:
+    @staticmethod
+    def pair_matcher(window):
+        """Match [NOP, ALU] runs."""
+        if (len(window) >= 2 and window[0].kind is IC.NOP
+                and window[1].kind is IC.ALU):
+            return 2
+        return 0
+
+    @staticmethod
+    def single_builder(matched):
+        return [Instruction(IC.MEMBAR, pc=matched[0].pc)]
+
+    def test_basic_replacement(self):
+        trace = [nop(0), alu(4), nop(8)]
+        out = replace_subsequences(trace, self.pair_matcher, self.single_builder)
+        assert [inst.kind for inst in out] == [IC.MEMBAR, IC.NOP]
+
+    def test_matches_do_not_overlap(self):
+        # NOP ALU NOP ALU: the second pair starts after the first consumed.
+        trace = [nop(0), alu(4), nop(8), alu(12)]
+        out = replace_subsequences(trace, self.pair_matcher, self.single_builder)
+        assert [inst.kind for inst in out] == [IC.MEMBAR, IC.MEMBAR]
+
+    def test_no_match_passthrough(self):
+        trace = [alu(0), alu(4)]
+        out = replace_subsequences(trace, self.pair_matcher, self.single_builder)
+        assert out == trace
+
+    def test_builder_can_expand(self):
+        def expander(matched):
+            return [matched[0]] * 3
+        trace = [nop(0), alu(4)]
+        out = replace_subsequences(trace, self.pair_matcher, expander)
+        assert len(out) == 3
+
+    def test_lookahead_limits_matcher_window(self):
+        seen_lengths = []
+
+        def probe(window):
+            seen_lengths.append(len(window))
+            return 0
+
+        replace_subsequences([nop(i * 4) for i in range(10)], probe,
+                             self.single_builder, lookahead=3)
+        assert max(seen_lengths) == 3
+
+    def test_invalid_consumption_rejected(self):
+        def bad(window):
+            return len(window) + 5
+        with pytest.raises(ValueError, match="invalid consumption"):
+            replace_subsequences([nop(0)], bad, self.single_builder)
+
+    def test_invalid_lookahead_rejected(self):
+        with pytest.raises(ValueError):
+            replace_subsequences([], self.pair_matcher, self.single_builder,
+                                 lookahead=0)

@@ -1,0 +1,50 @@
+"""Engine runner: parallel sweep throughput and serial equivalence.
+
+Runs the Figure 2 store-queue x prefetch-mode grid for one workload through
+:class:`~repro.engine.runner.EngineRunner` and checks the engine-layer
+contract: the parallel batch returns bit-identical numbers to the serial
+workbench path, and the shared artifact cache means the batch pays for at
+most one annotation per (workload, variant).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import StorePrefetchMode
+from repro.harness.sweeps import sweep
+
+from conftest import once
+
+
+@pytest.mark.benchmark(group="engine")
+def test_parallel_sweep_matches_serial(benchmark, bench_default,
+                                       runner_default):
+    axes = dict(
+        store_prefetch=[StorePrefetchMode.NONE, StorePrefetchMode.AT_RETIRE,
+                        StorePrefetchMode.AT_EXECUTE],
+        store_queue=[16, 32, 64],
+    )
+    parallel = once(
+        benchmark, sweep, bench_default, "database",
+        runner=runner_default, **axes,
+    )
+    serial = sweep(bench_default, "database", **axes)
+    assert [r.epi_per_1000 for r in parallel] == \
+        [r.epi_per_1000 for r in serial]
+    assert [r.store_mlp for r in parallel] == \
+        [r.store_mlp for r in serial]
+    print()
+    for record in parallel:
+        print(f"  {record.label():42s} EPI/1000={record.epi_per_1000:.3f}")
+
+
+@pytest.mark.benchmark(group="engine")
+def test_parallel_smac_sweep(benchmark, runner_smac):
+    """SMAC profiles reach the workers via the runner's profiles argument."""
+    records = once(
+        benchmark, sweep, None, "database",
+        runner=runner_smac, store_queue=[32, 64],
+    )
+    assert len(records) == 2
+    assert all(r.epi_per_1000 > 0 for r in records)

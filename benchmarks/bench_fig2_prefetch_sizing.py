@@ -15,7 +15,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.config import StorePrefetchMode
 from repro.harness.figures import figure2
 from repro.harness.formatting import format_series
 
@@ -42,7 +41,6 @@ def test_figure2_prefetch_and_sizing(benchmark, bench_default):
         sp0 = series[f"Sp0/{default_key}"]
         sp1 = series[f"Sp1/{default_key}"]
         sp2 = series[f"Sp2/{default_key}"]
-        perfect = series["perfect"]
 
         # (1) prefetching helps (never hurts).
         assert sp1 <= sp0 * 1.01

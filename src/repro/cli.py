@@ -6,15 +6,27 @@ Reproduces any of the paper's tables and figures from the terminal::
     mlpsim figure2 --workloads database tpcw
     mlpsim figure7 --measure 60000
     mlpsim run --workload specjbb --prefetch sp2 --consistency wc
+
+and drives the engine layer for parallel work::
+
+    mlpsim sweep --workload database --axis store_queue=16,32,64 \\
+        --axis store_prefetch=sp0,sp1,sp2 --workers 4
+    mlpsim figures --names figure2,figure3 --workers 4
+    mlpsim bench --smoke
+
+Artifacts (traces, annotations) persist under ``--cache-dir`` (default:
+``$REPRO_CACHE_DIR`` or ``.repro-cache``), so a repeated invocation starts
+from a warm cache; pass ``--cache-dir none`` to disable persistence.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Sequence
+from typing import Any, Dict, List, Sequence, Tuple
 
 from .config import ConsistencyModel, ScoutMode, StorePrefetchMode
+from .engine import EngineRunner, JobSpec
 from .harness import (
     ExperimentSettings,
     Workbench,
@@ -26,11 +38,13 @@ from .harness import (
     figure7,
     figure8,
     format_series,
+    sweep,
     table1,
     table2,
     table3,
 )
 from .harness.figures import ALL_WORKLOADS
+from .harness.formatting import format_table
 from .harness.tables import format_table1, format_table2, format_table3
 
 _PREFETCH = {
@@ -39,6 +53,15 @@ _PREFETCH = {
     "sp2": StorePrefetchMode.AT_EXECUTE,
 }
 _SCOUT = {mode.value: mode for mode in ScoutMode}
+_FIGURES = ("figure2", "figure3", "figure4", "figure5", "figure6",
+            "figure7", "figure8")
+
+#: Axis-value parsers for ``mlpsim sweep --axis name=v1,v2``.
+_AXIS_ENUMS: Dict[str, Dict[str, Any]] = {
+    "store_prefetch": _PREFETCH,
+    "scout": _SCOUT,
+    "consistency": {"pc": ConsistencyModel.PC, "wc": ConsistencyModel.WC},
+}
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -69,6 +92,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="comma-separated subset of workloads to run "
              f"(default: {','.join(ALL_WORKLOADS)})",
     )
+    parser.add_argument(
+        "--cache-dir", default="auto",
+        help="artifact cache directory; 'auto' (default) uses "
+             "$REPRO_CACHE_DIR or .repro-cache, 'none' disables persistence",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
     for name in ("table1", "table2", "table3", "figure2", "figure4",
                  "figure5", "figure6", "figure7", "figure8"):
@@ -96,7 +124,82 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--store-buffer", type=int, default=16)
     run.add_argument("--store-queue", type=int, default=32)
     run.add_argument("--perfect-stores", action="store_true")
+
+    sw = sub.add_parser(
+        "sweep",
+        help="parallel sweep over core-configuration axes via the engine "
+             "runner",
+    )
+    sw.add_argument("--workload", default="database",
+                    choices=list(ALL_WORKLOADS))
+    sw.add_argument("--variant", default="pc")
+    sw.add_argument(
+        "--axis", action="append", default=[], metavar="NAME=V1,V2",
+        help="one sweep axis, e.g. store_queue=16,32,64 or "
+             "store_prefetch=sp0,sp1,sp2 (repeatable)",
+    )
+    sw.add_argument("--workers", type=int, default=None,
+                    help="worker processes (default: min(4, cpus))")
+    sw.add_argument("--timeout", type=float, default=600.0,
+                    help="per-job timeout in seconds")
+
+    figs = sub.add_parser(
+        "figures",
+        help="reproduce several figures, pre-warming the artifact cache in "
+             "parallel",
+    )
+    figs.add_argument(
+        "--names", default=",".join(_FIGURES),
+        help=f"comma-separated figures (default: {','.join(_FIGURES)})",
+    )
+    figs.add_argument("--workers", type=int, default=None)
+
+    bench_cmd = sub.add_parser(
+        "bench", help="engine smoke benchmarks",
+    )
+    bench_cmd.add_argument(
+        "--smoke", action="store_true",
+        help="run one tiny parallel sweep end-to-end as a smoke test",
+    )
+    bench_cmd.add_argument("--workers", type=int, default=2)
     return parser
+
+
+def _cache_dir(args: argparse.Namespace) -> Any:
+    return None if args.cache_dir == "none" else args.cache_dir
+
+
+def _parse_axis(spec: str) -> Tuple[str, List[Any]]:
+    """``store_queue=16,32`` -> ("store_queue", [16, 32])."""
+    name, _, raw = spec.partition("=")
+    name = name.strip()
+    if not name or not raw:
+        raise SystemExit(f"bad --axis {spec!r}: expected NAME=V1,V2,...")
+    values: List[Any] = []
+    mapping = _AXIS_ENUMS.get(name)
+    for token in raw.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        if mapping is not None:
+            try:
+                values.append(mapping[token.lower()])
+                continue
+            except KeyError:
+                raise SystemExit(
+                    f"bad value {token!r} for axis {name}: "
+                    f"expected one of {sorted(mapping)}"
+                )
+        if token.lower() in ("true", "false"):
+            values.append(token.lower() == "true")
+        else:
+            try:
+                values.append(int(token))
+            except ValueError:
+                values.append(token)
+    if not values:
+        raise SystemExit(f"axis {name} has no values")
+    return name, values
 
 
 def _print_nested(results: dict, precision: int = 3) -> None:
@@ -117,6 +220,169 @@ def _print_nested(results: dict, precision: int = 3) -> None:
             print(" ", format_series("EPI/1000", numeric, precision))
 
 
+def _print_figure3(bench: Workbench, workloads, sle: bool = False) -> None:
+    results = figure3(bench, workloads, sle=sle)
+    for workload, fractions in results.items():
+        print(f"== {workload} ==")
+        for cond, fraction in sorted(
+            fractions.items(), key=lambda kv: -kv[1]
+        ):
+            print(f"  {cond.value:32s} {fraction:.3f}")
+
+
+def _print_figure4(bench: Workbench, workloads) -> None:
+    results = figure4(bench, workloads)
+    for workload, cells in results.items():
+        print(f"== {workload} ==")
+        for (store_mlp, load_mlp), fraction in sorted(cells.items()):
+            if store_mlp == 0:
+                continue
+            print(
+                f"  storeMLP={store_mlp:2d} load+instMLP={load_mlp:2d} "
+                f"fraction={fraction:.4f}"
+            )
+
+
+def _print_figure6(bench: Workbench, workloads) -> None:
+    results = figure6(bench, workloads)
+    for workload, series in results.items():
+        print(f"== {workload} ==")
+        for metric, by_nodes in series.items():
+            for nodes, by_entries in by_nodes.items():
+                print(
+                    " ",
+                    format_series(f"{metric}/{nodes}-node", by_entries),
+                )
+
+
+def _print_with_perfect(results: dict) -> None:
+    for workload, series in results.items():
+        print(f"== {workload} ==")
+        for key, pair in series.items():
+            print(
+                f"  {key:10s} with_stores={pair['with_stores']:.3f} "
+                f"perfect={pair['perfect']:.3f}"
+            )
+
+
+def _render_figure(name: str, bench: Workbench, workloads,
+                   sle: bool = False) -> None:
+    if name == "figure2":
+        _print_nested(figure2(bench, workloads))
+    elif name == "figure3":
+        _print_figure3(bench, workloads, sle=sle)
+    elif name == "figure4":
+        _print_figure4(bench, workloads)
+    elif name == "figure5":
+        _print_nested(figure5(bench, workloads))
+    elif name == "figure6":
+        _print_figure6(bench, workloads)
+    elif name == "figure7":
+        _print_with_perfect(figure7(bench, workloads))
+    elif name == "figure8":
+        _print_with_perfect(figure8(bench, workloads))
+    else:
+        raise SystemExit(f"unknown figure {name!r}")
+
+
+def _cmd_sweep(args, settings: ExperimentSettings, workloads) -> int:
+    axes = dict(_parse_axis(spec) for spec in args.axis)
+    if not axes:
+        print("sweep needs at least one --axis", file=sys.stderr)
+        return 2
+    runner = EngineRunner(
+        settings=settings,
+        cache_dir=_cache_dir(args),
+        workers=args.workers,
+        job_timeout=args.timeout,
+    )
+    bench = Workbench(settings, cache_dir=_cache_dir(args))
+    records = sweep(
+        bench, args.workload, args.variant, runner=runner, **axes,
+    )
+    rows = [
+        [record.label(), record.epi_per_1000, record.mlp,
+         record.store_mlp, record.store_bandwidth_overhead]
+        for record in records
+    ]
+    print(format_table(
+        ["point", "EPI/1000", "MLP", "storeMLP", "bw overhead"],
+        rows,
+        title=f"{args.workload}/{args.variant} sweep",
+    ))
+    best = min(records, key=lambda r: r.epi_per_1000)
+    print(f"best point: {best.label()} (EPI/1000={best.epi_per_1000:.3f})")
+    return 0
+
+
+def _cmd_figures(args, settings: ExperimentSettings, workloads) -> int:
+    names = [n.strip() for n in args.names.split(",") if n.strip()]
+    unknown = set(names) - set(_FIGURES)
+    if unknown:
+        print(f"unknown figures: {sorted(unknown)}", file=sys.stderr)
+        return 2
+    cache_dir = _cache_dir(args)
+    # Warm phase: fan annotation jobs out across workers; the figure
+    # drivers then run serially against a warm (persistent) cache.
+    variants = ["pc"]
+    if any(name in ("figure7", "figure8") for name in names):
+        variants.append("wc")
+    runner = EngineRunner(
+        settings=settings, cache_dir=cache_dir, workers=args.workers,
+    )
+    warm_jobs = [
+        JobSpec(workload=workload, variant=variant, action="annotate")
+        for workload in workloads for variant in variants
+    ]
+    if cache_dir is not None:
+        report = runner.run(warm_jobs)
+        print(f"# warm: {report.summary()}", file=sys.stderr)
+    bench = Workbench(settings, cache_dir=cache_dir)
+    for name in names:
+        print(f"# {name}")
+        _render_figure(name, bench, workloads)
+    return 0
+
+
+def _cmd_bench_smoke(args, settings: ExperimentSettings) -> int:
+    """A tiny end-to-end parallel sweep: pipeline + cache + pool."""
+    smoke_settings = ExperimentSettings(
+        warmup=min(settings.warmup, 3000),
+        measure=min(settings.measure, 9000),
+        seed=settings.seed,
+        calibrate=False,
+    )
+    runner = EngineRunner(
+        settings=smoke_settings,
+        cache_dir=_cache_dir(args),
+        workers=args.workers,
+        job_timeout=300.0,
+    )
+    jobs = [
+        JobSpec(
+            workload="database",
+            core_changes=(
+                ("store_prefetch", prefetch), ("store_queue", queue),
+            ),
+        )
+        for prefetch in (StorePrefetchMode.NONE, StorePrefetchMode.AT_RETIRE)
+        for queue in (16, 32)
+    ]
+    report = runner.run(jobs)
+    print(report.summary())
+    for job in report.jobs:
+        line = f"  {job.spec.describe():48s} [{job.status}]"
+        if job.ok:
+            line += f" EPI/1000={job.result.epi_per_1000:.3f}"
+        else:
+            line += f" {job.error}"
+        print(line)
+    if report.failed:
+        return 1
+    print("smoke ok")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     settings = ExperimentSettings(
@@ -125,7 +391,6 @@ def main(argv: Sequence[str] | None = None) -> int:
         seed=args.seed,
         calibrate=not args.no_calibrate,
     )
-    bench = Workbench(settings)
     workloads = tuple(
         name.strip() for name in args.workloads.split(",") if name.strip()
     )
@@ -134,65 +399,27 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(f"unknown workloads: {sorted(unknown)}", file=sys.stderr)
         return 2
 
+    if args.command == "sweep":
+        return _cmd_sweep(args, settings, workloads)
+    if args.command == "figures":
+        return _cmd_figures(args, settings, workloads)
+    if args.command == "bench":
+        if not args.smoke:
+            print("bench requires --smoke", file=sys.stderr)
+            return 2
+        return _cmd_bench_smoke(args, settings)
+
+    bench = Workbench(settings, cache_dir=_cache_dir(args))
     if args.command == "table1":
         print(format_table1(table1(bench, workloads)))
     elif args.command == "table2":
         print(format_table2(table2(bench, workloads)))
     elif args.command == "table3":
         print(format_table3(table3(bench, workloads)))
-    elif args.command == "figure2":
-        _print_nested(figure2(bench, workloads))
     elif args.command == "figure3":
-        results = figure3(bench, workloads, sle=args.sle)
-        for workload, fractions in results.items():
-            print(f"== {workload} ==")
-            for cond, fraction in sorted(
-                fractions.items(), key=lambda kv: -kv[1]
-            ):
-                print(f"  {cond.value:32s} {fraction:.3f}")
-    elif args.command == "figure4":
-        results = figure4(bench, workloads)
-        for workload, cells in results.items():
-            print(f"== {workload} ==")
-            for (store_mlp, load_mlp), fraction in sorted(cells.items()):
-                if store_mlp == 0:
-                    continue
-                print(
-                    f"  storeMLP={store_mlp:2d} load+instMLP={load_mlp:2d} "
-                    f"fraction={fraction:.4f}"
-                )
-    elif args.command == "figure5":
-        _print_nested(figure5(bench, workloads))
-    elif args.command == "figure6":
-        results = figure6(bench, workloads)
-        for workload, series in results.items():
-            print(f"== {workload} ==")
-            for metric, by_nodes in series.items():
-                for nodes, by_entries in by_nodes.items():
-                    print(
-                        " ",
-                        format_series(
-                            f"{metric}/{nodes}-node", by_entries
-                        ),
-                    )
-    elif args.command == "figure7":
-        results = figure7(bench, workloads)
-        for workload, series in results.items():
-            print(f"== {workload} ==")
-            for key, pair in series.items():
-                print(
-                    f"  {key:10s} with_stores={pair['with_stores']:.3f} "
-                    f"perfect={pair['perfect']:.3f}"
-                )
-    elif args.command == "figure8":
-        results = figure8(bench, workloads)
-        for workload, series in results.items():
-            print(f"== {workload} ==")
-            for key, pair in series.items():
-                print(
-                    f"  {key:10s} with_stores={pair['with_stores']:.3f} "
-                    f"perfect={pair['perfect']:.3f}"
-                )
+        _render_figure("figure3", bench, workloads, sle=args.sle)
+    elif args.command in _FIGURES:
+        _render_figure(args.command, bench, workloads)
     elif args.command == "report":
         from .harness.report import ALL_SECTIONS, generate_report
         sections = args.sections or list(ALL_SECTIONS)

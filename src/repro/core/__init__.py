@@ -15,9 +15,12 @@ from .mlpsim import MlpSimulator, simulate
 from .results import MlpDistribution, SimulationResult
 from .scoreboard import RegisterScoreboard
 from .store_unit import StoreEntry, StoreUnit
+from .window import DeferredLoad, EpochAccountant, WindowObserver, WindowState
 
 __all__ = [
     "CpiModel",
+    "DeferredLoad",
+    "EpochAccountant",
     "EpochRecord",
     "MlpDistribution",
     "MlpSimulator",
@@ -27,6 +30,8 @@ __all__ = [
     "StoreUnit",
     "TerminationCondition",
     "TriggerKind",
+    "WindowObserver",
+    "WindowState",
     "off_chip_cpi",
     "overall_cpi",
     "simulate",

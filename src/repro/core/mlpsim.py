@@ -28,12 +28,17 @@ The scan enforces, in priority order per instruction:
 
 Hardware Scout episodes and prefetch-past-serializing are layered on top as
 speculative look-ahead passes (:mod:`repro.core.scout`).
+
+Structure: all mutable state lives in :class:`~repro.core.window.WindowState`,
+result accounting in :class:`~repro.core.window.EpochAccountant`, and each
+instruction class has its own ``_handle_*`` method — see
+:mod:`repro.core.window` for the decomposition rationale and the observer
+hooks that let instrumentation attach without touching this hot path.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Set
+from typing import Optional
 
 from ..config import (
     ConsistencyModel,
@@ -41,15 +46,15 @@ from ..config import (
     ScoutMode,
     SimulationConfig,
 )
-from ..errors import SimulationError
 from ..isa import Instruction, InstructionClass
 from ..isa.opcodes import is_control
 from ..memory.annotate import AccessInfo, AnnotatedTrace
-from .epoch import EpochRecord, TerminationCondition, TriggerKind
+from .epoch import TerminationCondition, TriggerKind
 from .results import SimulationResult
 from .scoreboard import RegisterScoreboard
 from .scout import run_scout
 from .store_unit import StoreEntry, StoreUnit
+from .window import DeferredLoad, EpochAccountant, WindowObserver, WindowState
 
 _SCOUTABLE = frozenset({
     TerminationCondition.WINDOW_FULL,
@@ -64,458 +69,417 @@ _LOAD_KINDS = (InstructionClass.LOAD, InstructionClass.LOAD_LOCKED)
 _STORE_KINDS = (InstructionClass.STORE, InstructionClass.STORE_COND)
 
 
-@dataclass(slots=True)
-class _DeferredLoad:
-    """A load consumed into the window whose address depends on an
-    outstanding miss; it executes (and may issue its own miss) later."""
-
-    exec_epoch: int
-    index: int
-    dest: int
-    missing: bool
-
-
 class MlpSimulator:
     """Epoch MLP simulator bound to one configuration."""
 
-    def __init__(self, config: SimulationConfig) -> None:
+    def __init__(
+        self,
+        config: SimulationConfig,
+        observer: WindowObserver | None = None,
+    ) -> None:
         self.config = config
         self.core: CoreConfig = config.core
         #: Instructions of computation that fully hide one off-chip latency.
         self.overlap_depth: int = config.latency_instructions
         #: Instructions one Hardware Scout episode can cover.
         self.scout_depth: int = config.scout_depth
+        self.observer = observer
 
     # ------------------------------------------------------------------ run --
 
-    def run(self, trace: AnnotatedTrace) -> SimulationResult:
+    def run(
+        self,
+        trace: AnnotatedTrace,
+        observer: WindowObserver | None = None,
+    ) -> SimulationResult:
         """Partition *trace* into epochs and return the measurements."""
         core = self.core
-        model = core.consistency
         n = len(trace)
-        result = SimulationResult(instructions=n)
-
-        resolved: Set[int] = set()
-        scoreboard = RegisterScoreboard()
-        store_unit = StoreUnit(core)
-        replay: List[_DeferredLoad] = []
-        deferred_other: List[int] = []
-        pos = 0
-        cur = 0
-        stagnation = 0
-        stagnation_limit = core.store_queue + core.store_buffer + 8
+        accountant = EpochAccountant(instructions=n)
+        state = WindowState(
+            scoreboard=RegisterScoreboard(),
+            store_unit=StoreUnit(core),
+            stagnation_limit=core.store_queue + core.store_buffer + 8,
+            observer=observer if observer is not None else self.observer,
+        )
 
         while True:
-            # ---------------- epoch begin ----------------
-            progress_key = (pos, len(replay), store_unit.occupancy)
-            deferred_other = [e for e in deferred_other if e > cur]
-            issued, _ = store_unit.pump(cur)
-            store_events: List[StoreEntry] = []
-            for entry in issued:
-                entry.issue_position = pos
-                store_events.append(entry)
-            out_loads = 0
-            out_insts = 0
-            pf_loads = pf_stores = pf_insts = 0
-            trigger: Optional[TriggerKind] = (
-                TriggerKind.STORE if store_events else None
-            )
-            blocking = False
-            sq_full_seen = store_unit.sq_full
-            still: List[_DeferredLoad] = []
-            for deferred in replay:
-                if deferred.exec_epoch <= cur:
-                    if deferred.missing:
-                        out_loads += 1
-                        blocking = True
-                        if trigger is None:
-                            trigger = TriggerKind.LOAD
-                else:
-                    still.append(deferred)
-            replay = still
-            rob_occ = len(replay) + len(deferred_other) + len(store_unit.sb)
-            iw_occ = len(replay) + len(deferred_other)
-            loads_inflight = out_loads
-            epoch_start_pos = pos
-            first_issue_pos = pos if (store_events or out_loads) else -1
-            termination: Optional[TerminationCondition] = None
-
-            # ---------------- window scan ----------------
-            while termination is None:
-                # Silent completion: store misses outstanding long enough,
-                # with nothing blocking, drain without costing an epoch.
-                if store_events and not blocking and out_loads == 0:
-                    ripe = [
-                        e for e in store_events
-                        if pos - e.issue_position >= self.overlap_depth
-                    ]
-                    if ripe:
-                        store_unit.complete_silently(ripe)
-                        result.fully_overlapped_stores += len(ripe)
-                        ripe_ids = {id(e) for e in ripe}
-                        store_events = [
-                            e for e in store_events if id(e) not in ripe_ids
-                        ]
-                        more, _ = store_unit.pump(cur)
-                        for entry in more:
-                            entry.issue_position = pos
-                            store_events.append(entry)
-                        if not store_events:
-                            trigger = None
-                            first_issue_pos = -1
-                        elif trigger is None:
-                            trigger = TriggerKind.STORE
-                            first_issue_pos = pos
-
-                if pos >= n:
-                    termination = TerminationCondition.END_OF_TRACE
-                    break
-
-                if iw_occ >= core.issue_window or (
-                    blocking and (
-                        rob_occ >= core.rob
-                        or loads_inflight >= core.load_buffer
-                    )
-                ):
-                    termination = (
-                        TerminationCondition.STORE_QUEUE_WINDOW_FULL
-                        if sq_full_seen
-                        else TerminationCondition.WINDOW_FULL
-                    )
-                    break
-
-                inst, info = trace[pos]
-
-                if info.inst_miss and pos not in resolved:
-                    resolved.add(pos)
-                    out_insts += 1
-                    if trigger is None:
-                        trigger = TriggerKind.INSTRUCTION
-                        first_issue_pos = pos
-                    termination = TerminationCondition.INSTRUCTION_MISS
-                    break  # pos stays: the instruction executes next epoch
-
-                kind = inst.kind
-                advance = True
-
-                if kind in _STORE_KINDS:
-                    missing = (
-                        info.data_miss
-                        and not info.smac_hit
-                        and pos not in resolved
-                        and not core.perfect_stores
-                    )
-                    accelerated = info.data_miss and (
-                        info.smac_hit or core.perfect_stores
-                    )
-                    entry = StoreEntry(
-                        granule=store_unit.granule_of(inst.address),
-                        missing=missing,
-                        accelerated=accelerated,
-                        release=inst.lock_release,
-                    )
-                    outcome = store_unit.dispatch(
-                        entry, retirable=not blocking, epoch=cur
-                    )
-                    if not outcome.accepted:
-                        termination = (
-                            TerminationCondition.STORE_QUEUE_STORE_BUFFER_FULL
-                            if sq_full_seen or store_unit.sq_full
-                            else TerminationCondition.STORE_BUFFER_FULL
-                        )
-                        break  # pos stays: re-dispatch next epoch
-                    if missing:
-                        resolved.add(pos)
-                    if accelerated:
-                        result.accelerated_stores += 1
-                    for issued_entry in outcome.issued:
-                        issued_entry.issue_position = pos
-                        store_events.append(issued_entry)
-                    if store_events and trigger is None:
-                        trigger = TriggerKind.STORE
-                        first_issue_pos = pos
-                    if outcome.retire_stalled_sq_full:
-                        blocking = True
-                        sq_full_seen = True
-
-                elif kind is InstructionClass.CAS or (
-                    kind is InstructionClass.MEMBAR
-                    and model is ConsistencyModel.PC
-                ):
-                    if model is ConsistencyModel.PC:
-                        handled, termination = self._serializer_pc(
-                            inst, info, trace, pos, cur,
-                            store_unit, scoreboard, resolved,
-                            store_events, out_loads, out_insts,
-                            replay, deferred_other,
-                        )
-                        if termination is not None:
-                            pf = self._prefetch_past(
-                                trace, pos, cur, scoreboard, resolved
-                            )
-                            pf_loads += pf[0]
-                            pf_stores += pf[1]
-                            break  # pos stays until the drain completes
-                        if handled == "load_miss":
-                            out_loads += 1
-                            loads_inflight += 1
-                            blocking = True
-                            if trigger is None:
-                                trigger = TriggerKind.LOAD
-                                first_issue_pos = pos
-                    else:
-                        # CAS in a WC-configured run of a TSO trace: an
-                        # atomic load+store without TSO's drain semantics.
-                        advance, extra = self._memory_access_wc_cas(
-                            inst, info, pos, cur, store_unit,
-                            scoreboard, resolved, blocking,
-                        )
-                        if extra == "load_miss":
-                            out_loads += 1
-                            loads_inflight += 1
-                            blocking = True
-                            if trigger is None:
-                                trigger = TriggerKind.LOAD
-                                first_issue_pos = pos
-
-                elif kind is InstructionClass.ISYNC:
-                    waiting = (
-                        out_loads > 0 or out_insts > 0
-                        or bool(replay) or bool(deferred_other)
-                    )
-                    if model is ConsistencyModel.WC and waiting:
-                        termination = TerminationCondition.OTHER_SERIALIZE
-                        pf = self._prefetch_past(
-                            trace, pos, cur, scoreboard, resolved
-                        )
-                        pf_loads += pf[0]
-                        pf_stores += pf[1]
-                        break  # isync waits for older instructions only
-                    # Under PC (foreign trace) or with nothing pending:
-                    # executes freely.  Crucially it never waits for the
-                    # store queue to drain.
-
-                elif kind in (InstructionClass.LWSYNC, InstructionClass.MEMBAR):
-                    # WC ordering barrier: orders store commits, does not
-                    # stall the pipeline.
-                    store_unit.add_barrier()
-
-                elif kind in _LOAD_KINDS:
-                    ready = scoreboard.ready_epoch(inst.reads())
-                    will_miss = info.data_miss and pos not in resolved
-                    if ready > cur:
-                        resolved.add(pos)
-                        replay.append(_DeferredLoad(
-                            exec_epoch=ready,
-                            index=pos,
-                            dest=inst.dest,
-                            missing=will_miss,
-                        ))
-                        if inst.dest >= 0:
-                            if will_miss:
-                                scoreboard.produce_off_chip(inst.dest, ready)
-                            else:
-                                scoreboard.produce_on_chip(inst.dest, ready)
-                        iw_occ += 1
-                    elif will_miss:
-                        resolved.add(pos)
-                        out_loads += 1
-                        loads_inflight += 1
-                        scoreboard.produce_off_chip(inst.dest, cur)
-                        blocking = True
-                        if trigger is None:
-                            trigger = TriggerKind.LOAD
-                            first_issue_pos = pos
-                    else:
-                        scoreboard.produce_on_chip(inst.dest, cur)
-                        if blocking:
-                            loads_inflight += 1
-
-                elif is_control(kind):
-                    if info.mispredicted:
-                        depends = scoreboard.ready_epoch(inst.reads()) > cur
-                        if depends and out_loads > 0:
-                            termination = TerminationCondition.MISPRED_BRANCH
-                            pos += 1  # resolves at epoch end; resume after it
-                            break
-                    # Mispredictions resolvable on chip cost no epoch.
-
-                else:  # ALU / NOP / PREFETCH
-                    ready = scoreboard.ready_epoch(inst.reads())
-                    if inst.dest >= 0:
-                        scoreboard.produce_on_chip(inst.dest, max(ready, cur))
-                    if ready > cur:
-                        iw_occ += 1
-                        deferred_other.append(ready)
-
-                if advance:
-                    pos += 1
-                    if blocking:
-                        rob_occ += 1
-
-            # ---------------- epoch close ----------------
-            misses = (
-                len(store_events) + out_loads + out_insts
-                + pf_loads + pf_stores + pf_insts
-            )
-            if misses > 0:
-                record = EpochRecord(
-                    index=len(result.epochs),
-                    trigger=trigger or TriggerKind.STORE,
-                    termination=termination,
-                    store_misses=len(store_events) + pf_stores,
-                    load_misses=out_loads + pf_loads,
-                    inst_misses=out_insts + pf_insts,
-                    instructions=pos - epoch_start_pos,
-                )
-                if self._scout_eligible(termination, out_loads):
-                    elapsed = pos - first_issue_pos if first_issue_pos >= 0 else 0
-                    budget = self.scout_depth - elapsed
-                    outcome = run_scout(
-                        trace, pos, budget, scoreboard, cur, resolved,
-                        prefetch_loads=True,
-                        prefetch_stores=core.scout in (
-                            ScoutMode.HWS1, ScoutMode.HWS2
-                        ),
-                        prefetch_insts=True,
-                    )
-                    if outcome.total:
-                        resolved |= outcome.resolved
-                        record.load_misses += outcome.loads
-                        record.store_misses += outcome.stores
-                        record.inst_misses += outcome.insts
-                        record.scouted = True
-                        result.scout_episodes += 1
-                result.epochs.append(record)
-            cur += 1
-
-            if pos >= n and not replay and store_unit.all_completed(cur):
+            state.begin_epoch()
+            self._scan_window(trace, state, accountant)
+            misses = self._close_epoch(trace, state, accountant)
+            state.advance_epoch()
+            if (
+                state.pos >= n
+                and not state.replay
+                and state.store_unit.all_completed(state.cur)
+            ):
                 break
-            if (pos, len(replay), store_unit.occupancy) == progress_key and misses == 0:
-                stagnation += 1
-                if stagnation > stagnation_limit:
-                    raise SimulationError(
-                        f"no forward progress at position {pos} "
-                        f"(epoch clock {cur}); simulator state is wedged"
-                    )
-            else:
-                stagnation = 0
+            state.check_progress(misses)
 
         # Final drain: entries whose misses completed in the last epoch are
         # committed here so the bandwidth accounting covers every store.
-        store_unit.pump(cur + 1)
-        result.stores_committed = store_unit.stats.committed
-        result.store_prefetch_requests = store_unit.stats.prefetch_requests
-        result.stores_coalesced = store_unit.stats.coalesced
-        return result
+        state.store_unit.pump(state.cur + 1)
+        return accountant.finalize(state.store_unit)
+
+    # -------------------------------------------------------- window scan --
+
+    def _scan_window(
+        self,
+        trace: AnnotatedTrace,
+        state: WindowState,
+        accountant: EpochAccountant,
+    ) -> None:
+        """Grow the instruction window until a termination condition fires."""
+        core = self.core
+        n = len(trace)
+        while state.termination is None:
+            self._drain_overlapped_stores(state, accountant)
+
+            if state.pos >= n:
+                state.termination = TerminationCondition.END_OF_TRACE
+                break
+
+            if state.iw_occ >= core.issue_window or (
+                state.blocking and (
+                    state.rob_occ >= core.rob
+                    or state.loads_inflight >= core.load_buffer
+                )
+            ):
+                state.termination = (
+                    TerminationCondition.STORE_QUEUE_WINDOW_FULL
+                    if state.sq_full_seen
+                    else TerminationCondition.WINDOW_FULL
+                )
+                break
+
+            inst, info = trace[state.pos]
+
+            if info.inst_miss and state.pos not in state.resolved:
+                state.resolved.add(state.pos)
+                state.out_insts += 1
+                if state.trigger is None:
+                    state.trigger = TriggerKind.INSTRUCTION
+                    state.first_issue_pos = state.pos
+                state.termination = TerminationCondition.INSTRUCTION_MISS
+                break  # pos stays: the instruction executes next epoch
+
+            state.advance = True
+            self._dispatch(trace, state, accountant, inst, info)
+            if state.termination is not None:
+                break  # pos stays: the stalled instruction retries next epoch
+
+            if state.advance:
+                state.pos += 1
+                if state.blocking:
+                    state.rob_occ += 1
+
+        if state.observer is not None and state.termination is not None:
+            state.observer.on_termination(state.termination, state.pos, state.cur)
+
+    def _dispatch(
+        self,
+        trace: AnnotatedTrace,
+        state: WindowState,
+        accountant: EpochAccountant,
+        inst: Instruction,
+        info: AccessInfo,
+    ) -> None:
+        """Route one instruction to its class handler."""
+        kind = inst.kind
+        model = self.core.consistency
+        if kind in _STORE_KINDS:
+            self._handle_store(state, accountant, inst, info)
+        elif kind is InstructionClass.CAS or (
+            kind is InstructionClass.MEMBAR
+            and model is ConsistencyModel.PC
+        ):
+            if model is ConsistencyModel.PC:
+                self._handle_serializer_pc(trace, state, inst, info)
+            else:
+                # CAS in a WC-configured run of a TSO trace: an atomic
+                # load+store without TSO's drain semantics.
+                self._handle_wc_cas(state, inst, info)
+        elif kind is InstructionClass.ISYNC:
+            self._handle_isync(trace, state)
+        elif kind in (InstructionClass.LWSYNC, InstructionClass.MEMBAR):
+            # WC ordering barrier: orders store commits, does not stall
+            # the pipeline.
+            state.store_unit.add_barrier()
+        elif kind in _LOAD_KINDS:
+            self._handle_load(state, inst, info)
+        elif is_control(kind):
+            self._handle_control(state, inst, info)
+        else:
+            self._handle_alu(state, inst)
+
+    def _drain_overlapped_stores(
+        self, state: WindowState, accountant: EpochAccountant
+    ) -> None:
+        """Silent completion: store misses outstanding long enough, with
+        nothing blocking, drain without costing an epoch."""
+        if not state.store_events or state.blocking or state.out_loads > 0:
+            return
+        ripe = [
+            e for e in state.store_events
+            if state.pos - e.issue_position >= self.overlap_depth
+        ]
+        if not ripe:
+            return
+        state.store_unit.complete_silently(ripe)
+        accountant.note_fully_overlapped(len(ripe))
+        ripe_ids = {id(e) for e in ripe}
+        state.store_events = [
+            e for e in state.store_events if id(e) not in ripe_ids
+        ]
+        more, _ = state.store_unit.pump(state.cur)
+        state.add_store_events(more)
+        if not state.store_events:
+            state.trigger = None
+            state.first_issue_pos = -1
+        elif state.trigger is None:
+            state.trigger = TriggerKind.STORE
+            state.first_issue_pos = state.pos
+
+    # ----------------------------------------------------- class handlers --
+
+    def _handle_store(
+        self,
+        state: WindowState,
+        accountant: EpochAccountant,
+        inst: Instruction,
+        info: AccessInfo,
+    ) -> None:
+        """A store (or store-conditional) flows through the store unit."""
+        core = self.core
+        missing = (
+            info.data_miss
+            and not info.smac_hit
+            and state.pos not in state.resolved
+            and not core.perfect_stores
+        )
+        accelerated = info.data_miss and (info.smac_hit or core.perfect_stores)
+        entry = StoreEntry(
+            granule=state.store_unit.granule_of(inst.address),
+            missing=missing,
+            accelerated=accelerated,
+            release=inst.lock_release,
+        )
+        outcome = state.store_unit.dispatch(
+            entry, retirable=not state.blocking, epoch=state.cur
+        )
+        if not outcome.accepted:
+            state.termination = state.store_full_termination()
+            return  # pos stays: re-dispatch next epoch
+        if missing:
+            state.resolved.add(state.pos)
+        if accelerated:
+            accountant.note_accelerated_store()
+        state.add_store_events(outcome.issued)
+        state.note_store_trigger()
+        if outcome.retire_stalled_sq_full:
+            state.blocking = True
+            state.sq_full_seen = True
+
+    def _handle_serializer_pc(
+        self,
+        trace: AnnotatedTrace,
+        state: WindowState,
+        inst: Instruction,
+        info: AccessInfo,
+    ) -> None:
+        """``casa``/``membar`` under PC: drain, then execute.
+
+        When older work is still pending the serializer must wait — the
+        window ends here and (with PC2) loads and stores beyond it are
+        prefetched.  Otherwise the instruction executes this epoch, and a
+        CAS may issue its own off-chip access for the load half.
+        """
+        stores_pending = (
+            bool(state.store_events)
+            or not state.store_unit.all_completed(state.cur)
+        )
+        if stores_pending or state.others_pending():
+            if state.out_loads > 0:
+                state.termination = TerminationCondition.OTHER_SERIALIZE
+            elif stores_pending:
+                state.termination = TerminationCondition.STORE_SERIALIZE
+            else:
+                state.termination = TerminationCondition.OTHER_SERIALIZE
+            self._prefetch_past(trace, state)
+            return  # pos stays until the drain completes
+        # Drained: the serializer executes this epoch.
+        if inst.kind is InstructionClass.CAS:
+            if info.data_miss and state.pos not in state.resolved:
+                state.resolved.add(state.pos)
+                state.note_load_miss(inst.dest)
+                return
+            state.scoreboard.produce_on_chip(inst.dest, state.cur)
+            # The atomic's store half writes an owned line: a plain hit.
+            state.store_unit.dispatch(
+                StoreEntry(
+                    granule=state.store_unit.granule_of(inst.address)
+                ),
+                retirable=True,
+                epoch=state.cur,
+            )
+
+    def _handle_wc_cas(
+        self,
+        state: WindowState,
+        inst: Instruction,
+        info: AccessInfo,
+    ) -> None:
+        """CAS executed under a WC core: atomic load+store, no drain."""
+        if info.data_miss and state.pos not in state.resolved:
+            state.resolved.add(state.pos)
+            state.note_load_miss(inst.dest)
+            return
+        outcome = state.store_unit.dispatch(
+            StoreEntry(granule=state.store_unit.granule_of(inst.address)),
+            retirable=not state.blocking,
+            epoch=state.cur,
+        )
+        if not outcome.accepted:
+            # Store buffer full: end the window and re-execute the CAS next
+            # epoch, exactly like a rejected plain store.  (Dropping the
+            # dispatch here used to lose the atomic's store half from the
+            # commit/bandwidth accounting.)
+            state.termination = state.store_full_termination()
+            return  # pos stays: re-dispatch next epoch
+        state.scoreboard.produce_on_chip(inst.dest, state.cur)
+
+    def _handle_isync(self, trace: AnnotatedTrace, state: WindowState) -> None:
+        """``isync`` waits for older instructions only — never for the
+        store queue to drain.  Under PC (foreign trace) or with nothing
+        pending it executes freely."""
+        if (
+            self.core.consistency is ConsistencyModel.WC
+            and state.others_pending()
+        ):
+            state.termination = TerminationCondition.OTHER_SERIALIZE
+            self._prefetch_past(trace, state)
+
+    def _handle_load(
+        self,
+        state: WindowState,
+        inst: Instruction,
+        info: AccessInfo,
+    ) -> None:
+        """A load issues, defers on a register dependence, or misses."""
+        ready = state.scoreboard.ready_epoch(inst.reads())
+        will_miss = info.data_miss and state.pos not in state.resolved
+        if ready > state.cur:
+            state.resolved.add(state.pos)
+            state.replay.append(DeferredLoad(
+                exec_epoch=ready,
+                index=state.pos,
+                dest=inst.dest,
+                missing=will_miss,
+            ))
+            if inst.dest >= 0:
+                if will_miss:
+                    state.scoreboard.produce_off_chip(inst.dest, ready)
+                else:
+                    state.scoreboard.produce_on_chip(inst.dest, ready)
+            state.iw_occ += 1
+        elif will_miss:
+            state.resolved.add(state.pos)
+            state.note_load_miss(inst.dest)
+        else:
+            state.scoreboard.produce_on_chip(inst.dest, state.cur)
+            if state.blocking:
+                state.loads_inflight += 1
+
+    def _handle_control(
+        self,
+        state: WindowState,
+        inst: Instruction,
+        info: AccessInfo,
+    ) -> None:
+        """A mispredicted branch dependent on a missing load stops the
+        window; mispredictions resolvable on chip cost no epoch."""
+        if info.mispredicted:
+            depends = state.scoreboard.ready_epoch(inst.reads()) > state.cur
+            if depends and state.out_loads > 0:
+                state.termination = TerminationCondition.MISPRED_BRANCH
+                state.pos += 1  # resolves at epoch end; resume after it
+
+    def _handle_alu(self, state: WindowState, inst: Instruction) -> None:
+        """ALU / NOP / PREFETCH: executes now or occupies a window slot
+        until its off-chip input returns."""
+        ready = state.scoreboard.ready_epoch(inst.reads())
+        if inst.dest >= 0:
+            state.scoreboard.produce_on_chip(
+                inst.dest, max(ready, state.cur)
+            )
+        if ready > state.cur:
+            state.iw_occ += 1
+            state.deferred_other.append(ready)
+
+    # ---------------------------------------------------------- epoch close --
+
+    def _close_epoch(
+        self,
+        trace: AnnotatedTrace,
+        state: WindowState,
+        accountant: EpochAccountant,
+    ) -> int:
+        """Record the closed epoch (running a scout episode if eligible)
+        and return the number of misses it overlapped."""
+        misses, record = accountant.close_epoch(state)
+        if record is not None:
+            if self._scout_eligible(state.termination, state.out_loads):
+                elapsed = (
+                    state.pos - state.first_issue_pos
+                    if state.first_issue_pos >= 0 else 0
+                )
+                outcome = run_scout(
+                    trace,
+                    state.pos,
+                    self.scout_depth - elapsed,
+                    state.scoreboard,
+                    state.cur,
+                    state.resolved,
+                    prefetch_loads=True,
+                    prefetch_stores=self.core.scout in (
+                        ScoutMode.HWS1, ScoutMode.HWS2
+                    ),
+                    prefetch_insts=True,
+                )
+                if outcome.total:
+                    state.resolved |= outcome.resolved
+                    accountant.apply_scout(record, outcome)
+            accountant.commit_epoch(record)
+            if state.observer is not None:
+                state.observer.on_epoch(record)
+        return misses
 
     # --------------------------------------------------------------- helpers --
 
-    def _serializer_pc(
-        self,
-        inst: Instruction,
-        info: AccessInfo,
-        trace: AnnotatedTrace,
-        pos: int,
-        cur: int,
-        store_unit: StoreUnit,
-        scoreboard: RegisterScoreboard,
-        resolved: Set[int],
-        store_events: List[StoreEntry],
-        out_loads: int,
-        out_insts: int,
-        replay: List[_DeferredLoad],
-        deferred_other: List[int],
-    ) -> tuple[str, Optional[TerminationCondition]]:
-        """Handle ``casa``/``membar`` under PC.
-
-        Returns ``(handled, termination)``: termination is set when the
-        serializer must wait (the window ends here), otherwise the
-        instruction executed and ``handled`` says whether the CAS issued an
-        off-chip access ("load_miss") or completed on chip ("done").
-        """
-        stores_pending = bool(store_events) or not store_unit.all_completed(cur)
-        others_pending = (
-            out_loads > 0 or out_insts > 0
-            or bool(replay) or bool(deferred_other)
-        )
-        if stores_pending or others_pending:
-            if out_loads > 0:
-                return "", TerminationCondition.OTHER_SERIALIZE
-            if stores_pending:
-                return "", TerminationCondition.STORE_SERIALIZE
-            return "", TerminationCondition.OTHER_SERIALIZE
-        # Drained: the serializer executes this epoch.
-        if inst.kind is InstructionClass.CAS:
-            if info.data_miss and pos not in resolved:
-                resolved.add(pos)
-                scoreboard.produce_off_chip(inst.dest, cur)
-                return "load_miss", None
-            scoreboard.produce_on_chip(inst.dest, cur)
-            # The atomic's store half writes an owned line: a plain hit.
-            store_unit.dispatch(
-                StoreEntry(granule=store_unit.granule_of(inst.address)),
-                retirable=True,
-                epoch=cur,
-            )
-        return "done", None
-
-    def _memory_access_wc_cas(
-        self,
-        inst: Instruction,
-        info: AccessInfo,
-        pos: int,
-        cur: int,
-        store_unit: StoreUnit,
-        scoreboard: RegisterScoreboard,
-        resolved: Set[int],
-        blocking: bool,
-    ) -> tuple[bool, str]:
-        """CAS executed under a WC core: atomic load+store, no drain."""
-        if info.data_miss and pos not in resolved:
-            resolved.add(pos)
-            scoreboard.produce_off_chip(inst.dest, cur)
-            return True, "load_miss"
-        scoreboard.produce_on_chip(inst.dest, cur)
-        outcome = store_unit.dispatch(
-            StoreEntry(granule=store_unit.granule_of(inst.address)),
-            retirable=not blocking,
-            epoch=cur,
-        )
-        if not outcome.accepted:
-            # Extremely rare (atomic with SB full): treat as on-chip retry.
-            pass
-        return True, "done"
-
-    def _prefetch_past(
-        self,
-        trace: AnnotatedTrace,
-        pos: int,
-        cur: int,
-        scoreboard: RegisterScoreboard,
-        resolved: Set[int],
-    ) -> tuple[int, int]:
+    def _prefetch_past(self, trace: AnnotatedTrace, state: WindowState) -> None:
         """Prefetch loads and stores beyond a stalled serializer (PC2/WC2).
 
         Bounded by the reorder buffer, since the serializer holds up
-        retirement (paper Section 3.3.4).  Returns (loads, stores) counts;
-        resolved indices are merged into the caller's set.
+        retirement (paper Section 3.3.4).  The prefetched miss counts are
+        charged to the closing epoch; resolved indices merge into the run's
+        set.
         """
         if not self.core.prefetch_past_serializing:
-            return (0, 0)
+            return
         outcome = run_scout(
             trace,
-            pos + 1,
+            state.pos + 1,
             self.core.rob,
-            scoreboard,
-            cur,
-            resolved,
+            state.scoreboard,
+            state.cur,
+            state.resolved,
             prefetch_loads=True,
             prefetch_stores=True,
             prefetch_insts=False,
         )
-        resolved |= outcome.resolved
-        return (outcome.loads, outcome.stores)
+        state.resolved |= outcome.resolved
+        state.pf_loads += outcome.loads
+        state.pf_stores += outcome.stores
 
     def _scout_eligible(
         self,

@@ -1,0 +1,37 @@
+"""The engine layer: persistent artifact caching and parallel execution.
+
+Sits between the core simulator and the experiment harness:
+
+- :mod:`repro.engine.cache` — a content-addressed artifact cache (traces,
+  annotations, calibrated profiles) with an in-memory LRU over an atomic
+  on-disk pickle store, safe to share between worker processes.
+- :mod:`repro.engine.runner` — :class:`EngineRunner`, which fans a batch of
+  ``(workload, variant, config)`` jobs across a process pool with per-job
+  timeout, retry-once and a structured :class:`RunReport`.
+
+The Workbench (:mod:`repro.harness.experiment`) builds on the cache; the
+sweep helpers (:mod:`repro.harness.sweeps`), the CLI and the figure benches
+build on the runner.
+"""
+
+from .cache import (
+    ArtifactCache,
+    CacheStats,
+    content_key,
+    resolve_cache_dir,
+    stable_token,
+)
+from .runner import EngineRunner, JobResult, JobSpec, RunReport, execute_job
+
+__all__ = [
+    "ArtifactCache",
+    "CacheStats",
+    "EngineRunner",
+    "JobResult",
+    "JobSpec",
+    "RunReport",
+    "content_key",
+    "execute_job",
+    "resolve_cache_dir",
+    "stable_token",
+]

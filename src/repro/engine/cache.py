@@ -1,0 +1,223 @@
+"""Content-addressed artifact cache: in-memory LRU over a pickle store.
+
+Every expensive pipeline stage (calibrated profiles, generated traces,
+annotated traces) is keyed by a SHA-256 hash of the *content* that produced
+it — the workload profile, experiment settings, trace variant and
+memory-side configuration — so a key can never serve a stale artifact: any
+input change changes the key.  Values flow through two tiers:
+
+1. an in-memory LRU (object identity preserved within a process), and
+2. an optional on-disk pickle store (shared between processes and runs).
+
+Disk writes are atomic (temp file + ``os.replace``), so parallel workers
+racing to fill the same key are safe: last writer wins and every reader
+sees either nothing or a complete artifact.  Unreadable or truncated
+entries are treated as misses and deleted.
+
+``SCHEMA_SALT`` versions the key space; bump it whenever the pipeline's
+semantics change so old cache directories are ignored rather than trusted.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import os
+import pickle
+import tempfile
+from collections import OrderedDict
+from dataclasses import dataclass, fields, is_dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, Optional, Tuple
+
+#: Bump when trace generation / annotation semantics change incompatibly.
+SCHEMA_SALT = "repro-artifacts-v1"
+
+
+def stable_token(obj: Any) -> str:
+    """A canonical, process-independent string rendering of *obj*.
+
+    Supports the value types configuration objects are made of: scalars,
+    strings, enums, (frozen) dataclasses and the standard containers.
+    Anything else raises ``TypeError`` — an unstable ``repr`` silently
+    corrupting cache keys is far worse than a loud failure.
+    """
+    if obj is None or isinstance(obj, (bool, int, str, bytes)):
+        return repr(obj)
+    if isinstance(obj, float):
+        return repr(obj)  # repr round-trips floats exactly
+    if isinstance(obj, enum.Enum):
+        return f"{type(obj).__name__}.{obj.name}"
+    if is_dataclass(obj) and not isinstance(obj, type):
+        inner = ",".join(
+            f"{f.name}={stable_token(getattr(obj, f.name))}"
+            for f in fields(obj)
+        )
+        return f"{type(obj).__name__}({inner})"
+    if isinstance(obj, (list, tuple)):
+        return "[" + ",".join(stable_token(item) for item in obj) + "]"
+    if isinstance(obj, (set, frozenset)):
+        return "{" + ",".join(sorted(stable_token(item) for item in obj)) + "}"
+    if isinstance(obj, dict):
+        items = sorted(
+            (stable_token(key), stable_token(value))
+            for key, value in obj.items()
+        )
+        return "{" + ",".join(f"{k}:{v}" for k, v in items) + "}"
+    raise TypeError(
+        f"cannot build a stable cache token for {type(obj).__name__}"
+    )
+
+
+def content_key(kind: str, *parts: Any) -> str:
+    """SHA-256 content hash identifying one artifact."""
+    token = stable_token((SCHEMA_SALT, kind) + parts)
+    return hashlib.sha256(token.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting, split by tier."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    evictions: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.memory_hits + self.disk_hits
+
+    def snapshot(self) -> Tuple[int, int]:
+        """(hits, misses) — for computing per-job deltas."""
+        return (self.hits, self.misses)
+
+
+class ArtifactCache:
+    """Two-tier content-addressed cache for pipeline artifacts.
+
+    ``directory=None`` disables the persistent tier: the cache degrades to a
+    plain in-memory LRU, which is exactly the old Workbench behaviour.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path | None,
+        memory_entries: int = 128,
+    ) -> None:
+        if memory_entries < 1:
+            raise ValueError("memory_entries must be positive")
+        self.directory: Optional[Path] = (
+            Path(directory) if directory is not None else None
+        )
+        self.memory_entries = memory_entries
+        self.stats = CacheStats()
+        self._memory: "OrderedDict[Tuple[str, str], Any]" = OrderedDict()
+
+    # ------------------------------------------------------------ lookup --
+
+    def get(self, kind: str, key: str, default: Any = None) -> Any:
+        """The cached value, consulting memory then disk."""
+        mem_key = (kind, key)
+        if mem_key in self._memory:
+            self._memory.move_to_end(mem_key)
+            self.stats.memory_hits += 1
+            return self._memory[mem_key]
+        value = self._read_disk(kind, key)
+        if value is not None:
+            self._remember(mem_key, value)
+            self.stats.disk_hits += 1
+            return value
+        self.stats.misses += 1
+        return default
+
+    def get_or_create(
+        self, kind: str, key: str, factory: Callable[[], Any]
+    ) -> Any:
+        """The cached value, computing and storing it on a miss."""
+        sentinel = object()
+        value = self.get(kind, key, default=sentinel)
+        if value is not sentinel:
+            return value
+        value = factory()
+        self.put(kind, key, value)
+        return value
+
+    def put(self, kind: str, key: str, value: Any) -> None:
+        """Insert into the LRU and (when persistent) write through to disk."""
+        self._remember((kind, key), value)
+        self.stats.writes += 1
+        if self.directory is None:
+            return
+        path = self._path(kind, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # Atomic publish: writers never expose a partial pickle.
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".pkl"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    # ---------------------------------------------------------- internals --
+
+    def _remember(self, mem_key: Tuple[str, str], value: Any) -> None:
+        self._memory[mem_key] = value
+        self._memory.move_to_end(mem_key)
+        while len(self._memory) > self.memory_entries:
+            self._memory.popitem(last=False)
+            self.stats.evictions += 1
+
+    def _read_disk(self, kind: str, key: str) -> Any:
+        if self.directory is None:
+            return None
+        path = self._path(kind, key)
+        try:
+            with open(path, "rb") as handle:
+                return pickle.load(handle)
+        except FileNotFoundError:
+            return None
+        except (OSError, pickle.UnpicklingError, EOFError,
+                AttributeError, ImportError):
+            # Truncated or stale entry: drop it and treat as a miss.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+
+    def _path(self, kind: str, key: str) -> Path:
+        assert self.directory is not None
+        return self.directory / kind / key[:2] / f"{key}.pkl"
+
+    # -------------------------------------------------------------- admin --
+
+    def clear_memory(self) -> None:
+        """Drop the in-memory tier (persistent artifacts survive)."""
+        self._memory.clear()
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+
+def resolve_cache_dir(cache_dir: str | Path | None) -> Optional[Path]:
+    """Resolve the Workbench/runner ``cache_dir`` convention.
+
+    ``"auto"`` means: honour the ``REPRO_CACHE_DIR`` environment variable,
+    defaulting to ``.repro-cache`` under the current directory (covered by
+    ``.gitignore``).  ``None`` disables persistence; anything else is used
+    as given.
+    """
+    if cache_dir is None:
+        return None
+    if cache_dir == "auto":
+        return Path(os.environ.get("REPRO_CACHE_DIR", ".repro-cache"))
+    return Path(cache_dir)

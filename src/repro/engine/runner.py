@@ -1,0 +1,369 @@
+"""Parallel job runner for simulation batches.
+
+A figure sweep is a batch of independent ``(workload, variant, core
+configuration)`` jobs.  :class:`EngineRunner` executes such a batch across
+worker processes (``concurrent.futures.ProcessPoolExecutor``) with a
+per-job timeout and retry-once-on-failure, and returns a structured
+:class:`RunReport` (per-job status, wall time, cache hit/miss counts).
+
+Each worker process owns one :class:`~repro.harness.experiment.Workbench`
+built from the same :class:`ExperimentSettings` and pointing at the same
+persistent :class:`~repro.engine.cache.ArtifactCache` directory, so the
+expensive calibrate → generate → annotate stages are computed once per
+content key *across the whole pool* — the first worker to annotate a
+variant publishes it; everyone else gets disk hits.  Simulation results are
+deterministic functions of the (seeded) artifacts, so a parallel run
+returns bit-identical numbers to a serial one.
+
+``workers <= 1`` runs the batch serially in-process — same jobs, same
+report shape — which is both the comparison baseline and the fallback on
+platforms where process pools are unavailable.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback
+from concurrent.futures import (
+    Future,
+    ProcessPoolExecutor,
+    TimeoutError as FutureTimeoutError,
+)
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
+
+from ..config import MemoryConfig, SimulationConfig
+from ..core.results import SimulationResult
+from ..workloads import WorkloadProfile
+
+if TYPE_CHECKING:  # break the harness <-> engine import cycle: the
+    # harness builds on engine.cache, so the runner (which builds
+    # Workbenches) resolves the harness lazily at call time.
+    from ..harness.experiment import (
+        ExperimentSettings,
+        SharingSettings,
+        Workbench,
+    )
+
+__all__ = [
+    "EngineRunner",
+    "JobResult",
+    "JobSpec",
+    "RunReport",
+    "execute_job",
+]
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One unit of work: annotate and/or simulate one configuration.
+
+    ``action`` is ``"simulate"`` (annotate through the cache, then run
+    MLPsim, returning a :class:`SimulationResult`) or ``"annotate"`` (warm
+    the artifact cache only, returning ``None``).  ``core_changes`` is a
+    tuple of ``(field, value)`` pairs applied to the core configuration —
+    the hashable form of a sweep grid point.
+    """
+
+    workload: str
+    variant: str = "pc"
+    action: str = "simulate"
+    memory_config: Optional[MemoryConfig] = None
+    sharing: Optional[SharingSettings] = None
+    tag: str = ""
+    config: Optional[SimulationConfig] = None
+    core_changes: Tuple[Tuple[str, Any], ...] = ()
+    label: str = ""
+
+    def describe(self) -> str:
+        if self.label:
+            return self.label
+        knobs = " ".join(
+            f"{name}={getattr(value, 'value', value)}"
+            for name, value in self.core_changes
+        )
+        head = f"{self.action}:{self.workload}/{self.variant}"
+        return f"{head} {knobs}".strip()
+
+
+@dataclass
+class JobResult:
+    """Outcome of one job."""
+
+    spec: JobSpec
+    status: str  # "ok" | "failed" | "timeout"
+    result: Optional[SimulationResult] = None
+    error: str = ""
+    attempts: int = 1
+    wall_time: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+@dataclass
+class RunReport:
+    """Structured account of one batch execution."""
+
+    jobs: List[JobResult] = field(default_factory=list)
+    wall_time: float = 0.0
+    workers: int = 1
+
+    @property
+    def ok_count(self) -> int:
+        return sum(1 for job in self.jobs if job.ok)
+
+    @property
+    def failed(self) -> List[JobResult]:
+        return [job for job in self.jobs if not job.ok]
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(job.cache_hits for job in self.jobs)
+
+    @property
+    def cache_misses(self) -> int:
+        return sum(job.cache_misses for job in self.jobs)
+
+    def results(self) -> List[Optional[SimulationResult]]:
+        """Per-job simulation results, in submission order."""
+        return [job.result for job in self.jobs]
+
+    def raise_on_failure(self) -> None:
+        bad = self.failed
+        if bad:
+            details = "; ".join(
+                f"{job.spec.describe()}: [{job.status}] {job.error}"
+                for job in bad[:3]
+            )
+            raise RuntimeError(
+                f"{len(bad)}/{len(self.jobs)} jobs failed: {details}"
+            )
+
+    def summary(self) -> str:
+        return (
+            f"{self.ok_count}/{len(self.jobs)} jobs ok "
+            f"({len(self.failed)} failed) in {self.wall_time:.2f}s "
+            f"across {self.workers} worker(s); "
+            f"artifact cache: {self.cache_hits} hits / "
+            f"{self.cache_misses} misses"
+        )
+
+
+# ---------------------------------------------------------------- worker --
+
+#: One Workbench per worker process, built by the pool initializer.
+_WORKER_BENCH: Optional[Workbench] = None
+
+
+def _build_bench(
+    settings: "ExperimentSettings",
+    cache_dir: Any,
+    profiles: Dict[str, WorkloadProfile],
+) -> "Workbench":
+    from ..harness.experiment import Workbench
+
+    bench = Workbench(settings, cache_dir=cache_dir)
+    for name, profile in profiles.items():
+        bench.set_profile(name, profile)
+    return bench
+
+
+def _init_worker(
+    settings: ExperimentSettings,
+    cache_dir: Any,
+    profiles: Dict[str, WorkloadProfile],
+) -> None:
+    global _WORKER_BENCH
+    _WORKER_BENCH = _build_bench(settings, cache_dir, profiles)
+
+
+def execute_job(bench: Workbench, spec: JobSpec) -> Optional[SimulationResult]:
+    """Run one job against *bench* (shared by the serial and worker paths)."""
+    if spec.action == "annotate":
+        bench.annotated(
+            spec.workload, spec.variant, spec.memory_config,
+            spec.sharing, spec.tag,
+        )
+        return None
+    if spec.action == "simulate":
+        return bench.run(
+            spec.workload,
+            variant=spec.variant,
+            memory_config=spec.memory_config,
+            sharing=spec.sharing,
+            tag=spec.tag,
+            config=spec.config,
+            **dict(spec.core_changes),
+        )
+    raise ValueError(f"unknown job action {spec.action!r}")
+
+
+def _run_job(bench: Workbench, spec: JobSpec) -> Dict[str, Any]:
+    """Execute one job, capturing status, timing and cache deltas."""
+    start = time.perf_counter()
+    hits_before, misses_before = bench.artifacts.stats.snapshot()
+    try:
+        result = execute_job(bench, spec)
+        status, error = "ok", ""
+    except Exception as exc:  # reported per-job, never crashes the batch
+        result = None
+        status = "failed"
+        error = "".join(
+            traceback.format_exception_only(type(exc), exc)
+        ).strip()
+    hits_after, misses_after = bench.artifacts.stats.snapshot()
+    return {
+        "status": status,
+        "result": result,
+        "error": error,
+        "wall_time": time.perf_counter() - start,
+        "cache_hits": hits_after - hits_before,
+        "cache_misses": misses_after - misses_before,
+    }
+
+
+def _run_job_in_worker(spec: JobSpec) -> Dict[str, Any]:
+    assert _WORKER_BENCH is not None, "worker initializer did not run"
+    return _run_job(_WORKER_BENCH, spec)
+
+
+# ---------------------------------------------------------------- runner --
+
+
+class EngineRunner:
+    """Executes batches of :class:`JobSpec` with caching and parallelism.
+
+    Parameters
+    ----------
+    settings:
+        Trace sizing/seeding shared by every job's Workbench.
+    cache_dir:
+        Artifact cache directory convention (see
+        :func:`repro.engine.cache.resolve_cache_dir`).  Workers share it;
+        ``None`` still works but each process recomputes its artifacts.
+    profiles:
+        Custom workload profiles (e.g. the SMAC-scaled variants) installed
+        into every worker's Workbench via ``set_profile``.
+    workers:
+        Process count.  ``None`` picks ``min(4, cpu_count)``; ``<= 1`` runs
+        serially in-process.
+    job_timeout:
+        Seconds allowed per job once the collector starts waiting on it.
+        Timed-out jobs are reported as ``"timeout"`` and not retried (the
+        worker cannot be interrupted mid-simulation).
+    retries:
+        How many times a *failed* job is resubmitted (default once).
+    """
+
+    def __init__(
+        self,
+        settings: ExperimentSettings | None = None,
+        cache_dir: Any = "auto",
+        profiles: Dict[str, WorkloadProfile] | None = None,
+        workers: int | None = None,
+        job_timeout: float = 600.0,
+        retries: int = 1,
+    ) -> None:
+        if workers is None:
+            workers = min(4, os.cpu_count() or 1)
+        if job_timeout <= 0:
+            raise ValueError("job_timeout must be positive")
+        if retries < 0:
+            raise ValueError("retries must be non-negative")
+        from ..harness.experiment import ExperimentSettings
+
+        self.settings = settings or ExperimentSettings()
+        self.cache_dir = cache_dir
+        self.profiles = dict(profiles or {})
+        self.workers = workers
+        self.job_timeout = job_timeout
+        self.retries = retries
+
+    def run(self, jobs: Sequence[JobSpec]) -> RunReport:
+        """Execute *jobs*, returning per-job results in submission order."""
+        specs = list(jobs)
+        start = time.perf_counter()
+        if self.workers <= 1 or len(specs) <= 1:
+            results = self._run_serial(specs)
+            workers = 1
+        else:
+            results = self._run_parallel(specs)
+            workers = min(self.workers, len(specs))
+        return RunReport(
+            jobs=results,
+            wall_time=time.perf_counter() - start,
+            workers=workers,
+        )
+
+    # -------------------------------------------------------------- serial --
+
+    def _run_serial(self, specs: List[JobSpec]) -> List[JobResult]:
+        bench = _build_bench(self.settings, self.cache_dir, self.profiles)
+        out: List[JobResult] = []
+        for spec in specs:
+            attempts = 0
+            while True:
+                attempts += 1
+                payload = _run_job(bench, spec)
+                if payload["status"] == "ok" or attempts > self.retries:
+                    break
+            out.append(JobResult(spec=spec, attempts=attempts, **payload))
+        return out
+
+    # ------------------------------------------------------------ parallel --
+
+    def _run_parallel(self, specs: List[JobSpec]) -> List[JobResult]:
+        initargs = (self.settings, self.cache_dir, self.profiles)
+        with ProcessPoolExecutor(
+            max_workers=min(self.workers, len(specs)),
+            initializer=_init_worker,
+            initargs=initargs,
+        ) as pool:
+            futures = [pool.submit(_run_job_in_worker, spec) for spec in specs]
+            return [
+                self._collect(pool, spec, future)
+                for spec, future in zip(specs, futures)
+            ]
+
+    def _collect(
+        self,
+        pool: ProcessPoolExecutor,
+        spec: JobSpec,
+        future: "Future[Dict[str, Any]]",
+    ) -> JobResult:
+        """Await one job, retrying failures up to ``retries`` times."""
+        attempts = 1
+        while True:
+            try:
+                payload = future.result(timeout=self.job_timeout)
+            except FutureTimeoutError:
+                future.cancel()
+                return JobResult(
+                    spec=spec,
+                    status="timeout",
+                    error=f"no result within {self.job_timeout:.0f}s",
+                    attempts=attempts,
+                    wall_time=self.job_timeout,
+                )
+            except Exception as exc:  # e.g. BrokenProcessPool
+                payload = {
+                    "status": "failed",
+                    "result": None,
+                    "error": f"{type(exc).__name__}: {exc}",
+                    "wall_time": 0.0,
+                    "cache_hits": 0,
+                    "cache_misses": 0,
+                }
+            if payload["status"] == "ok" or attempts > self.retries:
+                return JobResult(spec=spec, attempts=attempts, **payload)
+            attempts += 1
+            try:
+                future = pool.submit(_run_job_in_worker, spec)
+            except Exception as exc:  # pool already broken: give up
+                payload["error"] += f" (retry unavailable: {exc})"
+                return JobResult(spec=spec, attempts=attempts, **payload)

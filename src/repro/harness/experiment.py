@@ -12,13 +12,22 @@ Pipeline per (workload, variant):
 Figure sweeps re-run step 5 dozens of times against one cached annotation,
 mirroring the paper's methodology where cache behaviour is independent of
 the core parameters being swept.
+
+Caching is delegated to :class:`repro.engine.cache.ArtifactCache`: every
+artifact is keyed by a content hash of the inputs that produced it (profile
++ settings + variant + memory configuration), held in an in-memory LRU and
+— unless disabled with ``cache_dir=None`` — written through to a persistent
+cache directory shared between processes and invocations.  That is what
+lets :class:`repro.engine.runner.EngineRunner` worker processes reuse one
+calibration/generation/annotation across a whole parallel sweep, and what
+makes the second invocation of a figure sweep start warm.
 """
 
 from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from ..config import (
     ConsistencyModel,
@@ -28,6 +37,7 @@ from ..config import (
 )
 from ..core import MlpSimulator, SimulationResult
 from ..core.cpi import PAPER_CPI_ON_CHIP
+from ..engine.cache import ArtifactCache, content_key, resolve_cache_dir
 from ..frontend import BranchPredictor
 from ..isa import Instruction
 from ..locks import apply_sle, apply_transactional_memory, rewrite_pc_to_wc
@@ -61,13 +71,27 @@ class SharingSettings:
 
 
 class Workbench:
-    """Caches every expensive stage of the experiment pipeline."""
+    """Caches every expensive stage of the experiment pipeline.
 
-    def __init__(self, settings: ExperimentSettings | None = None) -> None:
+    *cache_dir* follows :func:`repro.engine.cache.resolve_cache_dir`:
+    ``"auto"`` (the default) persists artifacts under ``$REPRO_CACHE_DIR``
+    or ``.repro-cache``; ``None`` keeps the cache in-memory only; any other
+    value is used as the cache directory.  Pass an existing *artifacts*
+    cache to share one between workbenches.
+    """
+
+    def __init__(
+        self,
+        settings: ExperimentSettings | None = None,
+        cache_dir: object = "auto",
+        artifacts: ArtifactCache | None = None,
+        memory_entries: int = 128,
+    ) -> None:
         self.settings = settings or ExperimentSettings()
+        self.artifacts = artifacts if artifacts is not None else ArtifactCache(
+            resolve_cache_dir(cache_dir), memory_entries=memory_entries,
+        )
         self._profiles: Dict[str, WorkloadProfile] = {}
-        self._traces: Dict[Tuple[str, str], List[Instruction]] = {}
-        self._annotations: Dict[tuple, AnnotatedTrace] = {}
         self._memories: Dict[tuple, MemorySystem] = {}
 
     # -- profiles / traces ----------------------------------------------------
@@ -77,27 +101,32 @@ class Workbench:
         if workload not in self._profiles:
             base = WORKLOADS[workload]
             if self.settings.calibrate:
-                base = calibrate_profile(
-                    base,
-                    instructions=min(150_000, self.settings.total),
-                    warmup=min(50_000, self.settings.warmup + 10_000),
-                    seed=self.settings.seed,
+                instructions = min(150_000, self.settings.total)
+                warmup = min(50_000, self.settings.warmup + 10_000)
+                key = content_key(
+                    "profile", base, instructions, warmup, self.settings.seed,
+                )
+                base = self.artifacts.get_or_create(
+                    "profile", key,
+                    lambda: calibrate_profile(
+                        base,
+                        instructions=instructions,
+                        warmup=warmup,
+                        seed=self.settings.seed,
+                    ),
                 )
             self._profiles[workload] = base
         return self._profiles[workload]
 
     def set_profile(self, workload: str, profile: WorkloadProfile) -> None:
-        """Install a custom profile (e.g. the scaled SMAC variant) and drop
-        any cached downstream state for the workload."""
+        """Install a custom profile (e.g. the scaled SMAC variant).
+
+        Content addressing makes downstream artifacts self-invalidating —
+        the new profile hashes to new trace/annotation keys — so only the
+        memory-system lookaside (which is keyed by name for
+        :meth:`memory_for`) needs explicit dropping.
+        """
         self._profiles[workload] = profile
-        self._traces = {
-            key: value for key, value in self._traces.items()
-            if key[0] != workload
-        }
-        self._annotations = {
-            key: value for key, value in self._annotations.items()
-            if key[0] != workload
-        }
         self._memories = {
             key: value for key, value in self._memories.items()
             if key[0] != workload
@@ -110,31 +139,32 @@ class Workbench:
         lwarx/stwcx/isync + lwsync), ``pc_sle``/``wc_sle`` (locks elided),
         ``pc_tm``/``wc_tm`` (critical sections run as transactions).
         """
-        key = (workload, variant)
-        if key not in self._traces:
-            base_key = (workload, "pc")
-            if base_key not in self._traces:
-                generator = WorkloadGenerator(
-                    self.profile(workload), seed=self.settings.seed
-                )
-                self._traces[base_key] = generator.generate(self.settings.total)
-            trace = self._traces[base_key]
-            if variant == "pc":
-                pass
-            elif variant == "wc":
-                trace = rewrite_pc_to_wc(trace)
-            elif variant == "pc_sle":
-                trace = apply_sle(trace)
-            elif variant == "wc_sle":
-                trace = apply_sle(rewrite_pc_to_wc(trace))
-            elif variant == "pc_tm":
-                trace = apply_transactional_memory(trace)
-            elif variant == "wc_tm":
-                trace = apply_transactional_memory(rewrite_pc_to_wc(trace))
-            else:
-                raise ValueError(f"unknown trace variant {variant!r}")
-            self._traces[key] = trace
-        return self._traces[key]
+        profile = self.profile(workload)
+        key = content_key(
+            "trace", profile, self.settings.total, self.settings.seed, variant,
+        )
+        return self.artifacts.get_or_create(
+            "trace", key, lambda: self._build_trace(workload, profile, variant),
+        )
+
+    def _build_trace(
+        self, workload: str, profile: WorkloadProfile, variant: str
+    ) -> List[Instruction]:
+        if variant == "pc":
+            generator = WorkloadGenerator(profile, seed=self.settings.seed)
+            return generator.generate(self.settings.total)
+        base = self.trace(workload, "pc")
+        if variant == "wc":
+            return rewrite_pc_to_wc(base)
+        if variant == "pc_sle":
+            return apply_sle(base)
+        if variant == "wc_sle":
+            return apply_sle(rewrite_pc_to_wc(base))
+        if variant == "pc_tm":
+            return apply_transactional_memory(base)
+        if variant == "wc_tm":
+            return apply_transactional_memory(rewrite_pc_to_wc(base))
+        raise ValueError(f"unknown trace variant {variant!r}")
 
     # -- annotation ------------------------------------------------------------
 
@@ -148,45 +178,65 @@ class Workbench:
     ) -> AnnotatedTrace:
         """Miss-classified measurement window for a workload variant.
 
-        The cache key includes the (frozen, hashable) memory configuration
-        itself, so different SMAC geometries never collide; *tag* remains
-        as a human-readable discriminator used by :meth:`memory_for`.
+        The cache key hashes the profile, trace sizing, variant, memory
+        configuration and sharing model, so different SMAC geometries never
+        collide; *tag* remains a human-readable discriminator used by
+        :meth:`memory_for`.
         """
-        key = (workload, variant, memory_config, tag, sharing)
-        if key not in self._annotations:
-            config = memory_config or MemoryConfig()
-            profile = self.profile(workload)
-            system = None
-            nodes = sharing.nodes if sharing is not None else 2
-            memory = MemorySystem(config, single_chip=(nodes == 1))
-            if sharing is not None and sharing.nodes > 1:
-                generator = WorkloadGenerator(profile, seed=self.settings.seed)
-                shared_region = generator.space["shared"]
-                model = SharingModel(
-                    shared_base=shared_region.base,
-                    shared_bytes=shared_region.size,
-                    write_rate_per_1000=sharing.write_rate_per_1000,
-                    read_rate_per_1000=sharing.read_rate_per_1000,
-                    remote_nodes=sharing.nodes - 1,
-                    seed=self.settings.seed + 1,
-                )
-                system = MultiChipSystem(
-                    config, SystemConfig(nodes=sharing.nodes), sharing=model
-                )
-                memory = system.memory
-            predictor = BranchPredictor(SimulationConfig().core.branch)
-            annotated = annotate_trace(
-                self.trace(workload, variant),
-                memory,
-                predictor=predictor,
-                system=system,
-                warmup=self.settings.warmup,
+        config = memory_config or MemoryConfig()
+        profile = self.profile(workload)
+        predictor_config = SimulationConfig().core.branch
+        key = content_key(
+            "annotation", profile, self.settings.total, self.settings.warmup,
+            self.settings.seed, variant, config, sharing, tag,
+            predictor_config,
+        )
+        annotated, memory = self.artifacts.get_or_create(
+            "annotation", key,
+            lambda: self._build_annotation(
+                workload, variant, config, sharing, profile,
+            ),
+        )
+        # memory_for looks up by name (tags carry the human-readable
+        # discrimination there); repopulated even on a persistent hit.
+        self._memories[(workload, variant, tag, sharing)] = memory
+        return annotated
+
+    def _build_annotation(
+        self,
+        workload: str,
+        variant: str,
+        config: MemoryConfig,
+        sharing: SharingSettings | None,
+        profile: WorkloadProfile,
+    ) -> tuple:
+        system = None
+        nodes = sharing.nodes if sharing is not None else 2
+        memory = MemorySystem(config, single_chip=(nodes == 1))
+        if sharing is not None and sharing.nodes > 1:
+            generator = WorkloadGenerator(profile, seed=self.settings.seed)
+            shared_region = generator.space["shared"]
+            model = SharingModel(
+                shared_base=shared_region.base,
+                shared_bytes=shared_region.size,
+                write_rate_per_1000=sharing.write_rate_per_1000,
+                read_rate_per_1000=sharing.read_rate_per_1000,
+                remote_nodes=sharing.nodes - 1,
+                seed=self.settings.seed + 1,
             )
-            self._annotations[key] = annotated
-            # memory_for looks up without the memory_config (tags carry the
-            # human-readable discrimination there).
-            self._memories[(workload, variant, tag, sharing)] = memory
-        return self._annotations[key]
+            system = MultiChipSystem(
+                config, SystemConfig(nodes=sharing.nodes), sharing=model
+            )
+            memory = system.memory
+        predictor = BranchPredictor(SimulationConfig().core.branch)
+        annotated = annotate_trace(
+            self.trace(workload, variant),
+            memory,
+            predictor=predictor,
+            system=system,
+            warmup=self.settings.warmup,
+        )
+        return annotated, memory
 
     def memory_for(
         self,

@@ -11,7 +11,7 @@ capacities, hence the figures' shapes.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Sequence, Tuple
 
 from ..config import (
     CacheConfig,

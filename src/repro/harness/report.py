@@ -148,7 +148,7 @@ def _section_figure4(bench: Workbench) -> str:
                 row.append(cells.get((store_mlp, load_mlp), 0.0))
             rows.append(row)
         parts.append(f"### {workload}\n\n" + _md_table(
-            ["store MLP", *(f"li{l}" for l in range(6))], rows,
+            ["store MLP", *(f"li{col}" for col in range(6))], rows,
         ))
     return "\n\n".join(parts)
 

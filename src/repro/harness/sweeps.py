@@ -17,16 +17,30 @@ Example::
         store_prefetch=list(StorePrefetchMode),
     )
     best = min(records, key=lambda r: r.epi_per_1000)
+
+Pass ``runner=EngineRunner(...)`` to fan the grid out across worker
+processes instead of simulating serially; records come back in the same
+grid order with identical numbers (the pipeline is deterministic and the
+workers share the workbench's artifact cache)::
+
+    from repro.engine import EngineRunner
+
+    runner = EngineRunner(settings=bench.settings, workers=4)
+    records = sweep(bench, "database", runner=runner,
+                    store_queue=[16, 32, 64])
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Mapping, Sequence, Tuple
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Sequence, Tuple
 
 from ..core.results import SimulationResult
 from .experiment import Workbench
+
+if TYPE_CHECKING:
+    from ..engine.runner import EngineRunner
 
 
 @dataclass(frozen=True)
@@ -72,20 +86,39 @@ def _record(
     )
 
 
+def grid_points(
+    axes: Dict[str, Sequence[Any]],
+) -> List[Tuple[Tuple[str, Any], ...]]:
+    """The cartesian product of *axes* as ``((name, value), ...)`` points."""
+    if not axes:
+        raise ValueError("a sweep needs at least one axis")
+    names = list(axes)
+    return [
+        tuple(zip(names, values))
+        for values in itertools.product(*(axes[name] for name in names))
+    ]
+
+
 def sweep(
     bench: Workbench,
     workload: str,
     variant: str = "pc",
+    *,
+    runner: "EngineRunner | None" = None,
     **axes: Sequence[Any],
 ) -> List[SweepRecord]:
     """Run the cartesian product of *axes* (core-config fields) and return
-    one record per point, in grid order."""
-    if not axes:
-        raise ValueError("a sweep needs at least one axis")
-    names = list(axes)
+    one record per point, in grid order.
+
+    With *runner*, the grid is executed as a parallel job batch (see
+    :class:`repro.engine.runner.EngineRunner`); without it, points are
+    simulated serially on *bench*.
+    """
+    points = grid_points(axes)
+    if runner is not None:
+        return _sweep_jobs(runner, [(workload, variant, p) for p in points])
     records: List[SweepRecord] = []
-    for values in itertools.product(*(axes[name] for name in names)):
-        point = tuple(zip(names, values))
+    for point in points:
         result = bench.run(workload, variant=variant, **dict(point))
         records.append(_record(workload, variant, point, result))
     return records
@@ -95,13 +128,51 @@ def sweep_workloads(
     bench: Workbench,
     workloads: Iterable[str],
     variant: str = "pc",
+    *,
+    runner: "EngineRunner | None" = None,
     **axes: Sequence[Any],
 ) -> Dict[str, List[SweepRecord]]:
-    """:func:`sweep` across several workloads."""
+    """:func:`sweep` across several workloads.
+
+    With *runner*, the grids of all workloads are submitted as one batch so
+    parallelism spans workloads too.
+    """
+    names = list(workloads)
+    if runner is not None:
+        points = grid_points(axes)
+        work = [
+            (workload, variant, point)
+            for workload in names for point in points
+        ]
+        records = _sweep_jobs(runner, work)
+        per_point = len(points)
+        return {
+            workload: records[i * per_point:(i + 1) * per_point]
+            for i, workload in enumerate(names)
+        }
     return {
         workload: sweep(bench, workload, variant, **axes)
-        for workload in workloads
+        for workload in names
     }
+
+
+def _sweep_jobs(
+    runner: "EngineRunner",
+    work: List[Tuple[str, str, Tuple[Tuple[str, Any], ...]]],
+) -> List[SweepRecord]:
+    """Execute (workload, variant, point) triples as one runner batch."""
+    from ..engine.runner import JobSpec
+
+    jobs = [
+        JobSpec(workload=workload, variant=variant, core_changes=point)
+        for workload, variant, point in work
+    ]
+    report = runner.run(jobs)
+    report.raise_on_failure()
+    return [
+        _record(workload, variant, point, job.result)
+        for (workload, variant, point), job in zip(work, report.jobs)
+    ]
 
 
 def best_point(

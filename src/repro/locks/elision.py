@@ -17,7 +17,6 @@ from __future__ import annotations
 from typing import List, Sequence
 
 from ..isa import Instruction, InstructionClass
-from ..isa.registers import REG_NONE
 
 
 def apply_sle(trace: Sequence[Instruction]) -> List[Instruction]:

@@ -17,12 +17,12 @@ because the lone L2 implicitly owns all of memory (paper Section 3.3.3).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..config import MemoryConfig
 from .cache import SetAssociativeCache
 from .coherence import MesiState
-from .smac import SmacProbe, StoreMissAccelerator
+from .smac import StoreMissAccelerator
 from .tlb import Tlb
 
 

@@ -31,7 +31,7 @@ from typing import Iterator, List
 from ..isa import Instruction, InstructionClass
 from ..isa.registers import RegisterAllocator, REG_NONE
 from .profiles import WorkloadProfile
-from .regions import AddressMap, Region
+from .regions import AddressMap
 
 _LINE = 64
 _PC_STEP = 4

@@ -6,7 +6,7 @@ import pytest
 
 from repro.config import MemoryConfig, SimulationConfig, SystemConfig
 from repro.frontend import BranchPredictor
-from repro.isa import Instruction, InstructionClass as IC
+from repro.isa import InstructionClass as IC
 from repro.memory import MemorySystem, annotate_trace
 from repro.multiproc import MultiChipSystem, SharingModel
 

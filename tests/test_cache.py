@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.config import CacheConfig
-from repro.memory import CacheLine, MesiState, SetAssociativeCache
+from repro.memory import MesiState, SetAssociativeCache
 
 
 @pytest.fixture

@@ -1,0 +1,197 @@
+"""The content-addressed artifact cache (repro.engine.cache)."""
+
+from __future__ import annotations
+
+import enum
+import pickle
+from dataclasses import dataclass
+
+import pytest
+
+from repro.config import MemoryConfig, SimulationConfig, StorePrefetchMode
+from repro.engine.cache import (
+    ArtifactCache,
+    content_key,
+    resolve_cache_dir,
+    stable_token,
+)
+
+
+@dataclass(frozen=True)
+class _Point:
+    x: int
+    y: float
+
+
+class _Color(enum.Enum):
+    RED = "red"
+    BLUE = "blue"
+
+
+class TestStableToken:
+    def test_scalars_round_trip(self):
+        assert stable_token(None) == "None"
+        assert stable_token(True) == "True"
+        assert stable_token(42) == "42"
+        assert stable_token("abc") == "'abc'"
+        assert stable_token(0.1) == repr(0.1)
+
+    def test_bool_and_int_do_not_collide(self):
+        assert stable_token(True) != stable_token(1)
+        assert stable_token(False) != stable_token(0)
+
+    def test_enum_uses_name_not_value(self):
+        assert stable_token(_Color.RED) == "_Color.RED"
+        assert stable_token(StorePrefetchMode.AT_RETIRE) != stable_token(
+            StorePrefetchMode.AT_EXECUTE
+        )
+
+    def test_dataclass_includes_every_field(self):
+        token = stable_token(_Point(x=3, y=0.5))
+        assert token == "_Point(x=3,y=0.5)"
+
+    def test_dict_is_order_independent(self):
+        assert stable_token({"a": 1, "b": 2}) == stable_token({"b": 2, "a": 1})
+
+    def test_set_is_order_independent(self):
+        assert stable_token({3, 1, 2}) == stable_token({2, 3, 1})
+
+    def test_nested_config_objects_tokenize(self):
+        # The real key inputs: frozen config dataclasses with enum fields.
+        token = stable_token(SimulationConfig())
+        assert "CoreConfig" in token
+        assert stable_token(MemoryConfig()) != token
+
+    def test_unstable_types_raise(self):
+        with pytest.raises(TypeError):
+            stable_token(object())
+
+    def test_lambda_raises(self):
+        with pytest.raises(TypeError):
+            stable_token(lambda: None)
+
+
+class TestContentKey:
+    def test_deterministic(self):
+        assert content_key("trace", 1, "pc") == content_key("trace", 1, "pc")
+
+    def test_any_part_changes_key(self):
+        base = content_key("trace", SimulationConfig(), 120_000, 7)
+        assert content_key("trace", SimulationConfig(), 120_000, 8) != base
+        assert content_key("annotation", SimulationConfig(), 120_000, 7) != base
+        changed = SimulationConfig().with_core(store_queue=64)
+        assert content_key("trace", changed, 120_000, 7) != base
+
+    def test_key_is_hex_sha256(self):
+        key = content_key("profile", 1)
+        assert len(key) == 64
+        int(key, 16)
+
+
+class TestMemoryTier:
+    def test_get_or_create_calls_factory_once(self):
+        cache = ArtifactCache(None)
+        calls = []
+        for _ in range(3):
+            value = cache.get_or_create("t", "k", lambda: calls.append(1) or [7])
+        assert calls == [1]
+        assert value == [7]
+        assert cache.stats.memory_hits == 2
+        assert cache.stats.misses == 1
+
+    def test_preserves_object_identity_in_memory(self):
+        cache = ArtifactCache(None)
+        first = cache.get_or_create("t", "k", lambda: [1, 2])
+        assert cache.get("t", "k") is first
+
+    def test_lru_evicts_oldest(self):
+        cache = ArtifactCache(None, memory_entries=2)
+        cache.put("t", "a", 1)
+        cache.put("t", "b", 2)
+        cache.get("t", "a")  # refresh "a"; "b" is now oldest
+        cache.put("t", "c", 3)
+        assert cache.get("t", "b") is None
+        assert cache.get("t", "a") == 1
+        assert cache.stats.evictions == 1
+
+    def test_kinds_are_separate_namespaces(self):
+        cache = ArtifactCache(None)
+        cache.put("trace", "k", "trace-value")
+        cache.put("annotation", "k", "annotation-value")
+        assert cache.get("trace", "k") == "trace-value"
+        assert cache.get("annotation", "k") == "annotation-value"
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            ArtifactCache(None, memory_entries=0)
+
+
+class TestPersistentTier:
+    def test_survives_a_new_cache_instance(self, tmp_path):
+        first = ArtifactCache(tmp_path)
+        first.put("trace", "deadbeef", {"payload": list(range(10))})
+        second = ArtifactCache(tmp_path)
+        assert second.get("trace", "deadbeef") == {"payload": list(range(10))}
+        assert second.stats.disk_hits == 1
+
+    def test_disk_hit_promotes_to_memory(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.put("t", "k", [1])
+        cache.clear_memory()
+        cache.get("t", "k")
+        cache.get("t", "k")
+        assert cache.stats.disk_hits == 1
+        assert cache.stats.memory_hits == 1
+
+    def test_layout_shards_by_key_prefix(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.put("trace", "abcd1234", 1)
+        assert (tmp_path / "trace" / "ab" / "abcd1234.pkl").exists()
+
+    def test_corrupt_entry_is_dropped_and_recomputed(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.put("t", "k", [1])
+        path = tmp_path / "t" / "k"[:2] / "k.pkl"
+        path.write_bytes(b"not a pickle")
+        cache.clear_memory()
+        assert cache.get_or_create("t", "k", lambda: "fresh") == "fresh"
+        assert not path.read_bytes() == b"not a pickle"  # rewritten
+        assert pickle.loads(path.read_bytes()) == "fresh"
+
+    def test_truncated_entry_is_a_miss(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.put("t", "k", list(range(1000)))
+        path = tmp_path / "t" / "k"[:2] / "k.pkl"
+        path.write_bytes(path.read_bytes()[:10])
+        cache.clear_memory()
+        assert cache.get("t", "k") is None
+        assert cache.stats.misses == 1
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        for i in range(5):
+            cache.put("t", f"key{i}", i)
+        leftovers = list(tmp_path.rglob(".tmp-*"))
+        assert leftovers == []
+
+    def test_unpicklable_value_does_not_publish_partial_entry(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        with pytest.raises(Exception):
+            cache.put("t", "k", lambda: None)  # lambdas don't pickle
+        assert list(tmp_path.rglob("*.pkl")) == []
+
+
+class TestResolveCacheDir:
+    def test_none_disables(self):
+        assert resolve_cache_dir(None) is None
+
+    def test_auto_uses_env_var(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env-cache"))
+        assert resolve_cache_dir("auto") == tmp_path / "env-cache"
+
+    def test_auto_defaults_to_dot_repro_cache(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert str(resolve_cache_dir("auto")) == ".repro-cache"
+
+    def test_explicit_path_passes_through(self, tmp_path):
+        assert resolve_cache_dir(tmp_path) == tmp_path

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.config import ConsistencyModel, StorePrefetchMode
+from repro.config import StorePrefetchMode
 from repro.harness import ExperimentSettings, Workbench
 from repro.harness.experiment import SharingSettings
 from repro.harness.figures import smac_memory_config, smac_scaled_profile

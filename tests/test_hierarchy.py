@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.config import CacheConfig, MemoryConfig, SmacConfig
+from repro.config import MemoryConfig, SmacConfig
 from repro.memory import HitLevel, MemorySystem
 
 

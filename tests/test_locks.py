@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.isa import Instruction, InstructionClass as IC
 from repro.locks import LockDetector, apply_sle, detect_locks, rewrite_pc_to_wc
 from repro.workloads import SPECJBB, WorkloadGenerator

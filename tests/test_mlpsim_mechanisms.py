@@ -4,17 +4,12 @@ window limits, mispredicted branches, perfect stores."""
 
 from __future__ import annotations
 
-import pytest
-
 from repro.config import (
-    ConsistencyModel,
-    CoreConfig,
     ScoutMode,
     SimulationConfig,
     StorePrefetchMode,
 )
 from repro.core import MlpSimulator, TerminationCondition, TriggerKind
-from repro.errors import SimulationError
 from repro.isa import InstructionClass as IC
 
 from conftest import annotated

@@ -7,8 +7,6 @@ drain the store queue, and lwsync's commit-only ordering.
 
 from __future__ import annotations
 
-import pytest
-
 from repro.config import (
     ConsistencyModel,
     CoreConfig,
@@ -125,6 +123,38 @@ class TestLwsync:
         # store merely commits late.
         assert result.epoch_count == 1
         assert result.epochs[0].load_misses == 1
+
+
+class TestWcCasStoreBufferFull:
+    def test_rejected_cas_store_half_is_retried_not_dropped(self):
+        """A CAS hitting a full store buffer re-dispatches next epoch.
+
+        Regression test: the store half of the atomic used to vanish from
+        the commit accounting when the dispatch was rejected.
+        """
+        trace = (
+            # Missing load blocks retirement, so the store parks in the
+            # (single-entry) store buffer and the CAS finds it full.
+            [annotated(IC.LOAD, miss=True, dest=6, address=0x3000)]
+            + [annotated(IC.STORE, address=0x1000)]
+            + [annotated(IC.CAS, dest=7, address=0x2000)]
+            + alus(20)
+        )
+        result = run(trace, store_buffer=1, store_queue=1)
+        # Both the plain store and the CAS's store half must commit.
+        assert result.stores_committed == 2
+        assert result.epochs[0].termination is (
+            TerminationCondition.STORE_BUFFER_FULL
+        )
+
+    def test_accepted_cas_store_half_still_commits(self):
+        trace = (
+            [annotated(IC.CAS, dest=7, address=0x2000)]
+            + [annotated(IC.LOAD, miss=True, dest=6, address=0x3000)]
+            + alus(20)
+        )
+        result = run(trace, store_buffer=1, store_queue=1)
+        assert result.stores_committed == 1
 
 
 class TestWcCoalescing:

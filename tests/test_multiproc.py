@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.config import MemoryConfig, SystemConfig
-from repro.multiproc import MultiChipSystem, RemoteAccess, SharingModel
+from repro.multiproc import MultiChipSystem, SharingModel
 
 
 class TestSharingModel:

@@ -3,8 +3,6 @@ prefetch-past-serializing."""
 
 from __future__ import annotations
 
-import pytest
-
 from repro.core import RegisterScoreboard
 from repro.core.scout import run_scout
 from repro.isa import InstructionClass as IC

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.config import ConsistencyModel, CoreConfig, StorePrefetchMode
 from repro.core import StoreEntry, StoreUnit
 

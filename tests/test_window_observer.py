@@ -1,0 +1,111 @@
+"""WindowObserver hooks: they fire, and they don't perturb the simulation."""
+
+from __future__ import annotations
+
+from repro.config import CoreConfig, SimulationConfig
+from repro.core import (
+    MlpSimulator,
+    TerminationCondition,
+    WindowObserver,
+)
+from repro.isa import InstructionClass
+
+from conftest import annotated
+
+
+class RecordingObserver(WindowObserver):
+    def __init__(self):
+        self.epochs = []
+        self.terminations = []
+        self.store_events = []
+
+    def on_epoch(self, record):
+        self.epochs.append(record)
+
+    def on_termination(self, condition, pos, epoch):
+        self.terminations.append((condition, pos, epoch))
+
+    def on_store_event(self, entry, pos, epoch):
+        self.store_events.append((entry, pos, epoch))
+
+
+def _trace():
+    """Two epochs: a load miss window, then a store-miss epoch."""
+    return [
+        annotated(InstructionClass.ALU),
+        annotated(InstructionClass.LOAD, miss=True, dest=1, address=0x100),
+        annotated(InstructionClass.ALU),
+        annotated(InstructionClass.STORE, miss=True, address=0x2000),
+        annotated(InstructionClass.ALU, srcs=(1,)),
+        annotated(InstructionClass.LOAD, miss=True, dest=2, address=0x300,
+                  srcs=(1,)),
+        annotated(InstructionClass.ALU),
+    ]
+
+
+def _config(**core):
+    defaults = dict(store_buffer=4, store_queue=4)
+    defaults.update(core)
+    return SimulationConfig(core=CoreConfig(**defaults))
+
+
+class TestObserverHooks:
+    def test_on_termination_fires_once_per_epoch(self):
+        observer = RecordingObserver()
+        result = MlpSimulator(_config()).run(_trace(), observer=observer)
+        assert len(observer.terminations) == result.epoch_count
+        assert observer.terminations[-1][0] is \
+            TerminationCondition.END_OF_TRACE
+        # epochs are reported in order
+        epochs = [epoch for _, _, epoch in observer.terminations]
+        assert epochs == sorted(epochs)
+
+    def test_on_epoch_fires_for_miss_epochs(self):
+        observer = RecordingObserver()
+        result = MlpSimulator(_config()).run(_trace(), observer=observer)
+        assert len(observer.epochs) == len(result.epochs)
+        assert [r.index for r in observer.epochs] == \
+            [r.index for r in result.epochs]
+
+    def test_on_store_event_fires_for_store_misses(self):
+        observer = RecordingObserver()
+        MlpSimulator(_config()).run(_trace(), observer=observer)
+        assert len(observer.store_events) == 1
+        entry, pos, epoch = observer.store_events[0]
+        assert epoch >= 0
+
+    def test_constructor_attached_observer(self):
+        observer = RecordingObserver()
+        MlpSimulator(_config(), observer=observer).run(_trace())
+        assert observer.terminations
+
+    def test_run_argument_overrides_constructor_observer(self):
+        constructor_obs = RecordingObserver()
+        run_obs = RecordingObserver()
+        MlpSimulator(_config(), observer=constructor_obs).run(
+            _trace(), observer=run_obs,
+        )
+        assert run_obs.terminations
+        assert not constructor_obs.terminations
+
+
+class TestObserverNeutrality:
+    def test_observed_run_is_bit_identical_to_unobserved(self):
+        config = _config()
+        plain = MlpSimulator(config).run(_trace())
+        observed = MlpSimulator(config).run(
+            _trace(), observer=RecordingObserver(),
+        )
+        assert observed.epoch_count == plain.epoch_count
+        assert observed.epi_per_1000 == plain.epi_per_1000
+        assert observed.stores_committed == plain.stores_committed
+        assert observed.termination_histogram() == \
+            plain.termination_histogram()
+
+    def test_base_observer_is_a_no_op(self):
+        config = _config()
+        plain = MlpSimulator(config).run(_trace())
+        observed = MlpSimulator(config).run(
+            _trace(), observer=WindowObserver(),
+        )
+        assert observed.epoch_count == plain.epoch_count

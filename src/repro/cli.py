@@ -14,14 +14,24 @@ and drives the engine layer for parallel work::
     mlpsim figures --names figure2,figure3 --workers 4
     mlpsim bench --smoke
 
+or runs as / talks to a long-lived simulation service::
+
+    mlpsim serve --port 8137 --workers 4
+    mlpsim submit --url http://127.0.0.1:8137 --workload database \\
+        --axis store_prefetch=sp0,sp1,sp2
+    mlpsim status JOB_ID --url http://127.0.0.1:8137
+
 Artifacts (traces, annotations) persist under ``--cache-dir`` (default:
 ``$REPRO_CACHE_DIR`` or ``.repro-cache``), so a repeated invocation starts
 from a warm cache; pass ``--cache-dir none`` to disable persistence.
+Inspect or bound that store with ``mlpsim cache stats`` and
+``mlpsim cache prune --max-bytes 500M --older-than 7d``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Any, Dict, List, Sequence, Tuple
 
@@ -30,6 +40,7 @@ from .engine import EngineRunner, JobSpec
 from .harness import (
     ExperimentSettings,
     Workbench,
+    coerce_axis_value,
     figure2,
     figure3,
     figure4,
@@ -55,13 +66,6 @@ _PREFETCH = {
 _SCOUT = {mode.value: mode for mode in ScoutMode}
 _FIGURES = ("figure2", "figure3", "figure4", "figure5", "figure6",
             "figure7", "figure8")
-
-#: Axis-value parsers for ``mlpsim sweep --axis name=v1,v2``.
-_AXIS_ENUMS: Dict[str, Dict[str, Any]] = {
-    "store_prefetch": _PREFETCH,
-    "scout": _SCOUT,
-    "consistency": {"pc": ConsistencyModel.PC, "wc": ConsistencyModel.WC},
-}
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -162,6 +166,59 @@ def _build_parser() -> argparse.ArgumentParser:
         help="run one tiny parallel sweep end-to-end as a smoke test",
     )
     bench_cmd.add_argument("--workers", type=int, default=2)
+
+    srv = sub.add_parser(
+        "serve",
+        help="run the simulation service daemon (JSON HTTP API)",
+    )
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument("--port", type=int, default=8137,
+                     help="listen port (0 binds an ephemeral port)")
+    srv.add_argument("--workers", type=int, default=None,
+                     help="engine worker processes (default: min(4, cpus))")
+    srv.add_argument("--queue-capacity", type=int, default=256,
+                     help="max queued (pending) jobs before 429")
+    srv.add_argument("--job-timeout", type=float, default=600.0,
+                     help="per-simulation timeout in seconds")
+
+    sb = sub.add_parser(
+        "submit", help="submit a sweep to a running service and wait",
+    )
+    sb.add_argument("--url", default="http://127.0.0.1:8137",
+                    help="service base URL")
+    sb.add_argument("--workload", default="database",
+                    choices=list(ALL_WORKLOADS))
+    sb.add_argument("--variant", default="pc")
+    sb.add_argument(
+        "--axis", action="append", default=[], metavar="NAME=V1,V2",
+        help="one sweep axis (repeatable), e.g. store_queue=16,32",
+    )
+    sb.add_argument("--priority", type=int, default=0)
+    sb.add_argument("--no-wait", action="store_true",
+                    help="print the job id and return without polling")
+    sb.add_argument("--poll-timeout", type=float, default=600.0,
+                    help="seconds to wait for completion")
+
+    st = sub.add_parser("status", help="query one job on a running service")
+    st.add_argument("job_id")
+    st.add_argument("--url", default="http://127.0.0.1:8137")
+
+    cache_cmd = sub.add_parser(
+        "cache", help="inspect or prune the persistent artifact cache",
+    )
+    cache_sub = cache_cmd.add_subparsers(dest="cache_command", required=True)
+    cache_sub.add_parser("stats", help="entry count and bytes by kind")
+    prune = cache_sub.add_parser(
+        "prune", help="evict persistent artifacts, oldest first",
+    )
+    prune.add_argument(
+        "--max-bytes", default=None, metavar="BYTES",
+        help="shrink the store to at most this size (suffixes K/M/G)",
+    )
+    prune.add_argument(
+        "--older-than", default=None, metavar="AGE",
+        help="drop entries older than this (suffixes s/m/h/d, default s)",
+    )
     return parser
 
 
@@ -175,31 +232,44 @@ def _parse_axis(spec: str) -> Tuple[str, List[Any]]:
     name = name.strip()
     if not name or not raw:
         raise SystemExit(f"bad --axis {spec!r}: expected NAME=V1,V2,...")
-    values: List[Any] = []
-    mapping = _AXIS_ENUMS.get(name)
-    for token in raw.split(","):
-        token = token.strip()
-        if not token:
-            continue
-        if mapping is not None:
-            try:
-                values.append(mapping[token.lower()])
-                continue
-            except KeyError:
-                raise SystemExit(
-                    f"bad value {token!r} for axis {name}: "
-                    f"expected one of {sorted(mapping)}"
-                )
-        if token.lower() in ("true", "false"):
-            values.append(token.lower() == "true")
-        else:
-            try:
-                values.append(int(token))
-            except ValueError:
-                values.append(token)
+    try:
+        values = [
+            coerce_axis_value(name, token.strip())
+            for token in raw.split(",") if token.strip()
+        ]
+    except ValueError as exc:
+        raise SystemExit(str(exc))
     if not values:
         raise SystemExit(f"axis {name} has no values")
     return name, values
+
+
+_SIZE_SUFFIXES = {"k": 1024, "m": 1024 ** 2, "g": 1024 ** 3}
+_AGE_SUFFIXES = {"s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0}
+
+
+def _parse_size(text: str) -> int:
+    """``"500M"`` -> bytes."""
+    value = text.strip().lower()
+    scale = _SIZE_SUFFIXES.get(value[-1:], None)
+    if scale is not None:
+        value = value[:-1]
+    try:
+        return int(float(value) * (scale or 1))
+    except ValueError:
+        raise SystemExit(f"bad size {text!r}: expected e.g. 1000000 or 500M")
+
+
+def _parse_age(text: str) -> float:
+    """``"7d"`` -> seconds."""
+    value = text.strip().lower()
+    scale = _AGE_SUFFIXES.get(value[-1:], None)
+    if scale is not None:
+        value = value[:-1]
+    try:
+        return float(value) * (scale or 1.0)
+    except ValueError:
+        raise SystemExit(f"bad age {text!r}: expected e.g. 3600 or 7d")
 
 
 def _print_nested(results: dict, precision: int = 3) -> None:
@@ -383,6 +453,116 @@ def _cmd_bench_smoke(args, settings: ExperimentSettings) -> int:
     return 0
 
 
+def _cmd_serve(args, settings: ExperimentSettings) -> int:
+    from .service import serve
+
+    serve(
+        host=args.host,
+        port=args.port,
+        settings=settings,
+        cache_dir=_cache_dir(args),
+        workers=args.workers,
+        job_timeout=args.job_timeout,
+        queue_capacity=args.queue_capacity,
+    )
+    return 0
+
+
+def _print_job_status(status: Dict[str, Any]) -> None:
+    from .service import ServiceClient
+
+    print(f"job {status['id']}: {status['state']} "
+          f"({status['description']})")
+    if status["state"] == "failed":
+        print(f"  error: {status.get('error', '')}")
+    result = status.get("result") or {}
+    if status["state"] == "done" and "report" in result:
+        report = ServiceClient.decode_report(status)
+        print(f"  {report.summary()}")
+        for row in result.get("records", []):
+            print(
+                f"  {row['workload']:10s} {row['point']:42s} "
+                f"EPI/1000={row['epi_per_1000']:.3f}"
+            )
+    elif status["state"] == "done" and result.get("kind") == "figure":
+        print(json.dumps(result["data"], indent=2))
+
+
+def _cmd_submit(args) -> int:
+    from .service import ServiceClient, ServiceError
+
+    axes = dict(_parse_axis(spec) for spec in args.axis)
+    if not axes:
+        print("submit needs at least one --axis", file=sys.stderr)
+        return 2
+    client = ServiceClient(args.url)
+    try:
+        receipt = client.submit_sweep(
+            args.workload, variant=args.variant, priority=args.priority,
+            **{
+                name: [getattr(v, "value", v) for v in values]
+                for name, values in axes.items()
+            },
+        )
+    except ServiceError as exc:
+        print(f"submit failed: {exc}", file=sys.stderr)
+        return 1
+    dedup = " (deduplicated against an in-flight job)" \
+        if receipt["deduped"] else ""
+    print(f"submitted {receipt['id']}{dedup}")
+    if args.no_wait:
+        return 0
+    status = client.wait(receipt["id"], timeout=args.poll_timeout)
+    _print_job_status(status)
+    return 0 if status["state"] == "done" else 1
+
+
+def _cmd_status(args) -> int:
+    from .service import ServiceClient, ServiceError
+
+    try:
+        status = ServiceClient(args.url).status(args.job_id)
+    except ServiceError as exc:
+        print(f"status failed: {exc}", file=sys.stderr)
+        return 1
+    _print_job_status(status)
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    from .engine.cache import ArtifactCache, resolve_cache_dir
+
+    directory = resolve_cache_dir(_cache_dir(args))
+    if directory is None:
+        print("persistent cache disabled (--cache-dir none)",
+              file=sys.stderr)
+        return 2
+    cache = ArtifactCache(directory)
+    if args.cache_command == "stats":
+        stats = cache.disk_stats()
+        print(f"cache directory: {directory}")
+        print(f"{stats.entries} entries, {stats.total_bytes} bytes")
+        for kind, (entries, size) in sorted(stats.by_kind.items()):
+            print(f"  {kind:12s} {entries:6d} entries {size:12d} bytes")
+        return 0
+    max_bytes = _parse_size(args.max_bytes) \
+        if args.max_bytes is not None else None
+    older_than = _parse_age(args.older_than) \
+        if args.older_than is not None else None
+    if max_bytes is None and older_than is None:
+        print("prune needs --max-bytes and/or --older-than",
+              file=sys.stderr)
+        return 2
+    result = cache.prune(max_bytes=max_bytes, older_than=older_than)
+    print(
+        f"pruned {result.removed_entries} entries "
+        f"({result.removed_bytes} bytes); "
+        f"{result.remaining_entries} entries "
+        f"({result.remaining_bytes} bytes) remain"
+    )
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     settings = ExperimentSettings(
@@ -399,6 +579,14 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(f"unknown workloads: {sorted(unknown)}", file=sys.stderr)
         return 2
 
+    if args.command == "serve":
+        return _cmd_serve(args, settings)
+    if args.command == "submit":
+        return _cmd_submit(args)
+    if args.command == "status":
+        return _cmd_status(args)
+    if args.command == "cache":
+        return _cmd_cache(args)
     if args.command == "sweep":
         return _cmd_sweep(args, settings, workloads)
     if args.command == "figures":

@@ -17,21 +17,36 @@ build on the runner.
 from .cache import (
     ArtifactCache,
     CacheStats,
+    DiskTierStats,
+    PruneResult,
     content_key,
     resolve_cache_dir,
     stable_token,
 )
-from .runner import EngineRunner, JobResult, JobSpec, RunReport, execute_job
+from .runner import (
+    BatchHandle,
+    EngineRunner,
+    JobResult,
+    JobSpec,
+    RunReport,
+    execute_job,
+)
+from .serialize import from_jsonable, to_jsonable
 
 __all__ = [
     "ArtifactCache",
+    "BatchHandle",
     "CacheStats",
+    "DiskTierStats",
     "EngineRunner",
     "JobResult",
     "JobSpec",
+    "PruneResult",
     "RunReport",
     "content_key",
     "execute_job",
+    "from_jsonable",
     "resolve_cache_dir",
     "stable_token",
+    "to_jsonable",
 ]

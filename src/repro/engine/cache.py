@@ -25,13 +25,19 @@ import hashlib
 import os
 import pickle
 import tempfile
+import time
 from collections import OrderedDict
-from dataclasses import dataclass, fields, is_dataclass
+from dataclasses import dataclass, field, fields, is_dataclass
 from pathlib import Path
-from typing import Any, Callable, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 #: Bump when trace generation / annotation semantics change incompatibly.
 SCHEMA_SALT = "repro-artifacts-v1"
+
+#: Internal miss marker: distinguishes "no entry" from a cached ``None``
+#: (a ``None``-returning factory is a legitimate artifact and must not be
+#: recomputed on every lookup).
+_MISS = object()
 
 
 def stable_token(obj: Any) -> str:
@@ -125,7 +131,7 @@ class ArtifactCache:
             self.stats.memory_hits += 1
             return self._memory[mem_key]
         value = self._read_disk(kind, key)
-        if value is not None:
+        if value is not _MISS:
             self._remember(mem_key, value)
             self.stats.disk_hits += 1
             return value
@@ -177,14 +183,15 @@ class ArtifactCache:
             self.stats.evictions += 1
 
     def _read_disk(self, kind: str, key: str) -> Any:
+        """The stored value, or the ``_MISS`` marker — never conflated."""
         if self.directory is None:
-            return None
+            return _MISS
         path = self._path(kind, key)
         try:
             with open(path, "rb") as handle:
                 return pickle.load(handle)
         except FileNotFoundError:
-            return None
+            return _MISS
         except (OSError, pickle.UnpicklingError, EOFError,
                 AttributeError, ImportError):
             # Truncated or stale entry: drop it and treat as a miss.
@@ -192,7 +199,7 @@ class ArtifactCache:
                 path.unlink()
             except OSError:
                 pass
-            return None
+            return _MISS
 
     def _path(self, kind: str, key: str) -> Path:
         assert self.directory is not None
@@ -206,6 +213,128 @@ class ArtifactCache:
 
     def __len__(self) -> int:
         return len(self._memory)
+
+    # ---------------------------------------------------- disk-tier admin --
+
+    def _disk_entries(self) -> List["DiskEntry"]:
+        """Every persisted artifact, with its size and mtime.
+
+        Temp files mid-publish (``.tmp-*``) are skipped; entries that vanish
+        while being statted (a concurrent prune or replace) are skipped too.
+        """
+        if self.directory is None or not self.directory.is_dir():
+            return []
+        entries: List[DiskEntry] = []
+        for kind_dir in sorted(self.directory.iterdir()):
+            if not kind_dir.is_dir():
+                continue
+            for path in sorted(kind_dir.glob("*/*.pkl")):
+                if path.name.startswith(".tmp-"):
+                    continue
+                try:
+                    stat = path.stat()
+                except OSError:
+                    continue
+                entries.append(DiskEntry(
+                    kind=kind_dir.name,
+                    key=path.stem,
+                    path=path,
+                    bytes=stat.st_size,
+                    mtime=stat.st_mtime,
+                ))
+        return entries
+
+    def disk_stats(self) -> "DiskTierStats":
+        """Entry count and footprint of the persistent tier, by kind."""
+        stats = DiskTierStats()
+        for entry in self._disk_entries():
+            stats.entries += 1
+            stats.total_bytes += entry.bytes
+            kind_entries, kind_bytes = stats.by_kind.get(entry.kind, (0, 0))
+            stats.by_kind[entry.kind] = (
+                kind_entries + 1, kind_bytes + entry.bytes,
+            )
+        return stats
+
+    def prune(
+        self,
+        max_bytes: Optional[int] = None,
+        older_than: Optional[float] = None,
+        now: Optional[float] = None,
+    ) -> "PruneResult":
+        """Evict persistent entries, oldest-mtime first.
+
+        ``older_than`` removes every entry whose mtime is more than that many
+        seconds in the past; ``max_bytes`` then evicts the oldest remaining
+        entries (LRU by mtime — reads do not touch mtime, so this is really
+        least-recently-*written*) until the tier fits.  Both criteria may be
+        combined; with neither, nothing is removed.  The in-memory tier is
+        untouched: evicted artifacts may survive there until process exit.
+        """
+        if max_bytes is not None and max_bytes < 0:
+            raise ValueError("max_bytes must be non-negative")
+        if older_than is not None and older_than < 0:
+            raise ValueError("older_than must be non-negative")
+        entries = sorted(self._disk_entries(), key=lambda e: e.mtime)
+        total = sum(entry.bytes for entry in entries)
+        cutoff = (
+            (now if now is not None else time.time()) - older_than
+            if older_than is not None else None
+        )
+        result = PruneResult(
+            remaining_entries=len(entries), remaining_bytes=total,
+        )
+        for index, entry in enumerate(entries):
+            stale = cutoff is not None and entry.mtime < cutoff
+            over = (
+                max_bytes is not None and result.remaining_bytes > max_bytes
+            )
+            if not stale and not over:
+                if max_bytes is None:
+                    break  # mtime-sorted: nothing later is stale either
+                continue
+            try:
+                entry.path.unlink()
+            except FileNotFoundError:
+                pass  # concurrent removal: already gone, still count it out
+            except OSError:
+                continue  # unremovable entry stays in the remaining totals
+            result.removed_entries += 1
+            result.removed_bytes += entry.bytes
+            result.remaining_entries -= 1
+            result.remaining_bytes -= entry.bytes
+        return result
+
+
+@dataclass(frozen=True)
+class DiskEntry:
+    """One persisted artifact on disk."""
+
+    kind: str
+    key: str
+    path: Path
+    bytes: int
+    mtime: float
+
+
+@dataclass
+class DiskTierStats:
+    """Footprint of the persistent tier."""
+
+    entries: int = 0
+    total_bytes: int = 0
+    #: kind -> (entry count, bytes)
+    by_kind: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+
+
+@dataclass
+class PruneResult:
+    """Outcome of one :meth:`ArtifactCache.prune` pass."""
+
+    removed_entries: int = 0
+    removed_bytes: int = 0
+    remaining_entries: int = 0
+    remaining_bytes: int = 0
 
 
 def resolve_cache_dir(cache_dir: str | Path | None) -> Optional[Path]:

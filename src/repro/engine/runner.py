@@ -23,6 +23,7 @@ platforms where process pools are unavailable.
 from __future__ import annotations
 
 import os
+import threading
 import time
 import traceback
 from concurrent.futures import (
@@ -31,11 +32,21 @@ from concurrent.futures import (
     TimeoutError as FutureTimeoutError,
 )
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from ..config import MemoryConfig, SimulationConfig
 from ..core.results import SimulationResult
 from ..workloads import WorkloadProfile
+from . import serialize
 
 if TYPE_CHECKING:  # break the harness <-> engine import cycle: the
     # harness builds on engine.cache, so the runner (which builds
@@ -47,12 +58,20 @@ if TYPE_CHECKING:  # break the harness <-> engine import cycle: the
     )
 
 __all__ = [
+    "BatchHandle",
     "EngineRunner",
     "JobResult",
     "JobSpec",
     "RunReport",
     "execute_job",
 ]
+
+
+def _ensure_wire_types() -> None:
+    """Importing the harness registers its wire-visible dataclasses
+    (ExperimentSettings, SharingSettings) — needed before decoding specs
+    that embed them."""
+    from ..harness import experiment  # noqa: F401
 
 
 @dataclass(frozen=True)
@@ -86,6 +105,20 @@ class JobSpec:
         head = f"{self.action}:{self.workload}/{self.variant}"
         return f"{head} {knobs}".strip()
 
+    def to_dict(self) -> Dict[str, Any]:
+        """A plain-JSON rendering (see :mod:`repro.engine.serialize`)."""
+        return serialize.to_jsonable(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "JobSpec":
+        _ensure_wire_types()
+        spec = serialize.from_jsonable(data)
+        if not isinstance(spec, cls):
+            raise serialize.SerializeError(
+                f"expected a JobSpec payload, decoded {type(spec).__name__}"
+            )
+        return spec
+
 
 @dataclass
 class JobResult:
@@ -103,6 +136,20 @@ class JobResult:
     @property
     def ok(self) -> bool:
         return self.status == "ok"
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A plain-JSON rendering, simulation result included."""
+        return serialize.to_jsonable(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "JobResult":
+        _ensure_wire_types()
+        result = serialize.from_jsonable(data)
+        if not isinstance(result, cls):
+            raise serialize.SerializeError(
+                f"expected a JobResult payload, decoded {type(result).__name__}"
+            )
+        return result
 
 
 @dataclass
@@ -152,6 +199,20 @@ class RunReport:
             f"artifact cache: {self.cache_hits} hits / "
             f"{self.cache_misses} misses"
         )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A plain-JSON rendering of the whole batch outcome."""
+        return serialize.to_jsonable(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RunReport":
+        _ensure_wire_types()
+        report = serialize.from_jsonable(data)
+        if not isinstance(report, cls):
+            raise serialize.SerializeError(
+                f"expected a RunReport payload, decoded {type(report).__name__}"
+            )
+        return report
 
 
 # ---------------------------------------------------------------- worker --
@@ -235,6 +296,49 @@ def _run_job_in_worker(spec: JobSpec) -> Dict[str, Any]:
 # ---------------------------------------------------------------- runner --
 
 
+class BatchHandle:
+    """A non-blocking handle on one in-flight :meth:`EngineRunner.submit_batch`.
+
+    The batch runs on a daemon thread; ``result()`` blocks until the report
+    is ready (re-raising any batch-level failure), ``done()`` polls.  An
+    optional callback fires with the resolved handle on the batch thread
+    once it completes — the hook the service dispatcher builds on.
+    """
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._report: Optional[RunReport] = None
+        self._error: Optional[BaseException] = None
+
+    def _finish(
+        self,
+        report: Optional[RunReport],
+        error: Optional[BaseException],
+        callback: Optional[Callable[["BatchHandle"], None]],
+    ) -> None:
+        self._report = report
+        self._error = error
+        self._event.set()
+        if callback is not None:
+            callback(self)
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        return self._event.wait(timeout)
+
+    def result(self, timeout: Optional[float] = None) -> RunReport:
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"batch did not complete within {timeout}s"
+            )
+        if self._error is not None:
+            raise self._error
+        assert self._report is not None
+        return self._report
+
+
 class EngineRunner:
     """Executes batches of :class:`JobSpec` with caching and parallelism.
 
@@ -283,6 +387,9 @@ class EngineRunner:
         self.workers = workers
         self.job_timeout = job_timeout
         self.retries = retries
+        #: Reused across serial batches so a long-lived caller (the service
+        #: dispatcher) keeps its in-memory artifact tier warm between jobs.
+        self._serial_bench: Optional[Workbench] = None
 
     def run(self, jobs: Sequence[JobSpec]) -> RunReport:
         """Execute *jobs*, returning per-job results in submission order."""
@@ -300,10 +407,43 @@ class EngineRunner:
             workers=workers,
         )
 
+    def submit_batch(
+        self,
+        jobs: Sequence[JobSpec],
+        callback: Optional[Callable[[BatchHandle], None]] = None,
+    ) -> BatchHandle:
+        """Start *jobs* on a background thread and return immediately.
+
+        The returned :class:`BatchHandle` resolves to the same
+        :class:`RunReport` a blocking :meth:`run` would produce; *callback*
+        (if given) is invoked with the handle when the batch finishes, on
+        the batch thread.
+        """
+        specs = list(jobs)
+        handle = BatchHandle()
+
+        def _drive() -> None:
+            try:
+                report = self.run(specs)
+            except BaseException as exc:  # surfaced via handle.result()
+                handle._finish(None, exc, callback)
+            else:
+                handle._finish(report, None, callback)
+
+        thread = threading.Thread(
+            target=_drive, name="engine-batch", daemon=True,
+        )
+        thread.start()
+        return handle
+
     # -------------------------------------------------------------- serial --
 
     def _run_serial(self, specs: List[JobSpec]) -> List[JobResult]:
-        bench = _build_bench(self.settings, self.cache_dir, self.profiles)
+        if self._serial_bench is None:
+            self._serial_bench = _build_bench(
+                self.settings, self.cache_dir, self.profiles,
+            )
+        bench = self._serial_bench
         out: List[JobResult] = []
         for spec in specs:
             attempts = 0
@@ -367,3 +507,6 @@ class EngineRunner:
             except Exception as exc:  # pool already broken: give up
                 payload["error"] += f" (retry unavailable: {exc})"
                 return JobResult(spec=spec, attempts=attempts, **payload)
+
+
+serialize.register(JobSpec, JobResult, RunReport)

@@ -1,0 +1,187 @@
+"""JSON-safe encoding of the engine's dataclasses and enums.
+
+The service layer moves job specifications and simulation results over
+HTTP, so everything crossing that boundary must round-trip through plain
+JSON — no pickles of simulator objects on the wire.  This module provides
+one tagged encoding shared by every such type:
+
+- dataclasses  -> ``{"$dc": "ClassName", "fields": {...}}``
+- enums        -> ``{"$enum": "ClassName", "value": <enum value>}``
+- tuples       -> ``{"$tuple": [...]}`` (distinguished from lists so frozen
+  dataclass fields rebuild hashable)
+- dicts        -> ``{"$map": [[key, value], ...]}`` (keys need not be
+  strings, and plain payload dicts can never collide with the tags)
+
+Only *registered* classes decode: :func:`register` maps a class name to its
+type, and every module that defines a wire-visible dataclass registers it at
+import time.  Decoding an unregistered name raises :class:`SerializeError`
+with the offending tag — a loud failure beats silently instantiating the
+wrong thing from untrusted input.
+
+The encoding is pure data: ``json.dumps(to_jsonable(x))`` always succeeds
+for registered types, and ``from_jsonable(json.loads(s))`` rebuilds equal
+objects (floats round-trip exactly through ``repr``-based JSON).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import fields, is_dataclass
+from typing import Any, Dict, Type
+
+__all__ = [
+    "SerializeError",
+    "from_jsonable",
+    "register",
+    "to_jsonable",
+]
+
+
+class SerializeError(TypeError):
+    """An object cannot be encoded, or a payload cannot be decoded."""
+
+
+_DATACLASSES: Dict[str, Type[Any]] = {}
+_ENUMS: Dict[str, Type[enum.Enum]] = {}
+
+
+def register(*types: type) -> None:
+    """Make *types* (dataclasses or enums) decodable by name.
+
+    Registration is idempotent; re-registering the same class is a no-op,
+    but two distinct classes sharing a name is a bug and raises.
+    """
+    for cls in types:
+        table: Dict[str, type]
+        if isinstance(cls, type) and issubclass(cls, enum.Enum):
+            table = _ENUMS
+        elif is_dataclass(cls) and isinstance(cls, type):
+            table = _DATACLASSES
+        else:
+            raise SerializeError(
+                f"can only register dataclasses and enums, got {cls!r}"
+            )
+        existing = table.get(cls.__name__)
+        if existing is not None and existing is not cls:
+            raise SerializeError(
+                f"serialization name collision: {cls.__name__} already "
+                f"registered as {existing!r}"
+            )
+        table[cls.__name__] = cls
+
+
+def to_jsonable(obj: Any) -> Any:
+    """Encode *obj* into JSON-compatible plain data (tagged form)."""
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, enum.Enum):
+        return {"$enum": type(obj).__name__, "value": obj.value}
+    if is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            "$dc": type(obj).__name__,
+            "fields": {
+                f.name: to_jsonable(getattr(obj, f.name))
+                for f in fields(obj)
+            },
+        }
+    if isinstance(obj, tuple):
+        return {"$tuple": [to_jsonable(item) for item in obj]}
+    if isinstance(obj, list):
+        return [to_jsonable(item) for item in obj]
+    if isinstance(obj, dict):
+        return {
+            "$map": [
+                [to_jsonable(key), to_jsonable(value)]
+                for key, value in obj.items()
+            ]
+        }
+    raise SerializeError(
+        f"cannot JSON-encode {type(obj).__name__}: not a registered "
+        f"dataclass, enum, or plain container"
+    )
+
+
+def from_jsonable(data: Any) -> Any:
+    """Decode tagged plain data produced by :func:`to_jsonable`."""
+    if data is None or isinstance(data, (bool, int, float, str)):
+        return data
+    if isinstance(data, list):
+        return [from_jsonable(item) for item in data]
+    if isinstance(data, dict):
+        if "$enum" in data:
+            cls = _ENUMS.get(data["$enum"])
+            if cls is None:
+                raise SerializeError(
+                    f"unknown enum type {data['$enum']!r} in payload"
+                )
+            return cls(data["value"])
+        if "$dc" in data:
+            cls = _DATACLASSES.get(data["$dc"])
+            if cls is None:
+                raise SerializeError(
+                    f"unknown dataclass type {data['$dc']!r} in payload"
+                )
+            raw = data.get("fields", {})
+            known = {f.name for f in fields(cls)}
+            unknown = set(raw) - known
+            if unknown:
+                raise SerializeError(
+                    f"{data['$dc']} payload has unknown fields "
+                    f"{sorted(unknown)}"
+                )
+            return cls(**{
+                name: from_jsonable(value) for name, value in raw.items()
+            })
+        if "$tuple" in data:
+            return tuple(from_jsonable(item) for item in data["$tuple"])
+        if "$map" in data:
+            return {
+                _hashable(from_jsonable(key)): from_jsonable(value)
+                for key, value in data["$map"]
+            }
+        raise SerializeError(
+            f"untagged dict in payload (keys {sorted(data)[:4]}); "
+            f"dicts must be encoded as $map"
+        )
+    raise SerializeError(f"cannot decode {type(data).__name__}")
+
+
+def _hashable(key: Any) -> Any:
+    try:
+        hash(key)
+    except TypeError:
+        raise SerializeError(
+            f"decoded map key {key!r} is not hashable"
+        ) from None
+    return key
+
+
+def _register_builtin_types() -> None:
+    # The config/enums every JobSpec and SimulationResult payload touches.
+    # Harness-level types (ExperimentSettings, SweepSpec, ...) register
+    # themselves at import to keep this module free of import cycles.
+    from ..config import (
+        BranchPredictorConfig,
+        CacheConfig,
+        ConsistencyModel,
+        CoreConfig,
+        MemoryConfig,
+        ScoutMode,
+        SimulationConfig,
+        SmacConfig,
+        StorePrefetchMode,
+        SystemConfig,
+    )
+    from ..core.epoch import EpochRecord, TerminationCondition, TriggerKind
+    from ..core.results import SimulationResult
+
+    register(
+        ConsistencyModel, StorePrefetchMode, ScoutMode,
+        TriggerKind, TerminationCondition,
+        CacheConfig, SmacConfig, BranchPredictorConfig, MemoryConfig,
+        CoreConfig, SystemConfig, SimulationConfig,
+        EpochRecord, SimulationResult,
+    )
+
+
+_register_builtin_types()

@@ -21,12 +21,21 @@ from .figures import (
 )
 from .formatting import format_table, format_series
 from .report import generate_report
-from .sweeps import SweepRecord, best_point, pareto_front, sweep, sweep_workloads
+from .sweeps import (
+    SweepRecord,
+    SweepSpec,
+    best_point,
+    coerce_axis_value,
+    pareto_front,
+    sweep,
+    sweep_workloads,
+)
 from .tables import table1, table2, table3
 
 __all__ = [
     "ExperimentSettings",
     "SweepRecord",
+    "SweepSpec",
     "Workbench",
     "best_point",
     "figure2",
@@ -40,6 +49,7 @@ __all__ = [
     "format_table",
     "generate_report",
     "pareto_front",
+    "coerce_axis_value",
     "sweep",
     "sweep_workloads",
     "table1",

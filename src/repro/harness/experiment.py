@@ -37,6 +37,7 @@ from ..config import (
 )
 from ..core import MlpSimulator, SimulationResult
 from ..core.cpi import PAPER_CPI_ON_CHIP
+from ..engine import serialize
 from ..engine.cache import ArtifactCache, content_key, resolve_cache_dir
 from ..frontend import BranchPredictor
 from ..isa import Instruction
@@ -288,3 +289,6 @@ class Workbench:
         ):
             config = config.with_core(consistency=ConsistencyModel.WC)
         return MlpSimulator(config).run(annotated)
+
+
+serialize.register(ExperimentSettings, SharingSettings)

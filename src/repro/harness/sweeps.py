@@ -36,11 +36,56 @@ import itertools
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Sequence, Tuple
 
+from ..config import ConsistencyModel, ScoutMode, StorePrefetchMode
 from ..core.results import SimulationResult
+from ..engine import serialize
 from .experiment import Workbench
 
 if TYPE_CHECKING:
-    from ..engine.runner import EngineRunner
+    from ..engine.runner import EngineRunner, JobSpec, RunReport
+
+#: Named-value axes: the string spellings accepted on the CLI and over the
+#: service protocol for enum-typed core-configuration fields.
+AXIS_ENUMS: Dict[str, Dict[str, Any]] = {
+    "store_prefetch": {mode.value: mode for mode in StorePrefetchMode},
+    "scout": {mode.value: mode for mode in ScoutMode},
+    "consistency": {model.value: model for model in ConsistencyModel},
+}
+
+
+def coerce_axis_value(name: str, value: Any) -> Any:
+    """Turn one externally-supplied axis value into its typed form.
+
+    Strings naming enum members (``"sp1"``, ``"hws2"``, ``"wc"``) become the
+    enum; ``"true"``/``"false"`` become booleans; integer-looking strings
+    become ints; everything else passes through.  Raises ``ValueError`` for
+    an unknown member of an enum axis.
+    """
+    mapping = AXIS_ENUMS.get(name)
+    if mapping is not None:
+        if isinstance(value, str):
+            try:
+                return mapping[value.lower()]
+            except KeyError:
+                raise ValueError(
+                    f"bad value {value!r} for axis {name}: expected one of "
+                    f"{sorted(mapping)}"
+                ) from None
+        if value in mapping.values():
+            return value
+        raise ValueError(
+            f"bad value {value!r} for axis {name}: expected one of "
+            f"{sorted(mapping)}"
+        )
+    if isinstance(value, str):
+        lowered = value.lower()
+        if lowered in ("true", "false"):
+            return lowered == "true"
+        try:
+            return int(value)
+        except ValueError:
+            return value
+    return value
 
 
 @dataclass(frozen=True)
@@ -66,6 +111,93 @@ class SweepRecord:
             f"{name}={getattr(value, 'value', value)}"
             for name, value in self.point
         )
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A serializable sweep request: workloads x a grid of axes.
+
+    This is the wire form of a sweep — what ``mlpsim submit`` posts to the
+    service and what the service hashes for in-flight deduplication.  Axes
+    are stored as ``((name, (value, ...)), ...)`` so the spec is hashable
+    and tokenizes stably for :func:`repro.engine.cache.content_key`.
+    """
+
+    workloads: Tuple[str, ...]
+    variant: str = "pc"
+    axes: Tuple[Tuple[str, Tuple[Any, ...]], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.workloads:
+            raise ValueError("a sweep spec needs at least one workload")
+        if not self.axes:
+            raise ValueError("a sweep spec needs at least one axis")
+
+    @classmethod
+    def build(
+        cls,
+        workloads: str | Sequence[str],
+        variant: str = "pc",
+        **axes: Sequence[Any],
+    ) -> "SweepSpec":
+        """The ergonomic constructor: coerces axis values (enum names,
+        ``"true"``/``"false"``, numeric strings) into their typed form."""
+        if isinstance(workloads, str):
+            workloads = (workloads,)
+        return cls(
+            workloads=tuple(workloads),
+            variant=variant,
+            axes=tuple(
+                (name, tuple(coerce_axis_value(name, v) for v in values))
+                for name, values in axes.items()
+            ),
+        )
+
+    @property
+    def axes_dict(self) -> Dict[str, List[Any]]:
+        return {name: list(values) for name, values in self.axes}
+
+    def points(self) -> List[Tuple[Tuple[str, Any], ...]]:
+        return grid_points(self.axes_dict)
+
+    def to_jobs(self) -> "List[JobSpec]":
+        """The grid as runner jobs: workload-major, grid order within."""
+        from ..engine.runner import JobSpec
+
+        return [
+            JobSpec(workload=workload, variant=self.variant,
+                    core_changes=point)
+            for workload in self.workloads
+            for point in self.points()
+        ]
+
+    def records(self, report: "RunReport") -> List[SweepRecord]:
+        """Pair this spec's grid with a report from :meth:`to_jobs` jobs."""
+        report.raise_on_failure()
+        points = self.points()
+        expected = len(self.workloads) * len(points)
+        if len(report.jobs) != expected:
+            raise ValueError(
+                f"report has {len(report.jobs)} jobs, spec expects {expected}"
+            )
+        jobs = iter(report.jobs)
+        return [
+            _record(workload, self.variant, point, next(jobs).result)
+            for workload in self.workloads
+            for point in points
+        ]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return serialize.to_jsonable(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SweepSpec":
+        spec = serialize.from_jsonable(data)
+        if not isinstance(spec, cls):
+            raise serialize.SerializeError(
+                f"expected a SweepSpec payload, decoded {type(spec).__name__}"
+            )
+        return spec
 
 
 def _record(
@@ -211,3 +343,6 @@ def pareto_front(
         if not dominated:
             front.append(candidate)
     return front
+
+
+serialize.register(SweepSpec, SweepRecord)

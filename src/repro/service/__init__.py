@@ -1,0 +1,42 @@
+"""repro.service: the simulation-as-a-service daemon.
+
+Exposes the engine layer (persistent artifact cache + parallel runner)
+over a zero-dependency JSON HTTP API, so many consumers share one
+long-lived process — one warm cache, one job queue, and in-flight
+deduplication of identical requests.
+
+- :mod:`repro.service.protocol` — typed request validation and the wire
+  encoding of results,
+- :mod:`repro.service.jobqueue` — bounded priority queue, the
+  ``queued -> running -> done/failed/cancelled`` lifecycle, and in-flight
+  dedup keyed by request content hash,
+- :mod:`repro.service.executor` — bridges requests onto
+  :class:`~repro.engine.runner.EngineRunner` batches and figure drivers,
+- :mod:`repro.service.server` — the ``ThreadingHTTPServer`` front end,
+- :mod:`repro.service.metrics` — counters/gauges/latency summaries behind
+  ``/metrics`` (JSON and Prometheus text),
+- :mod:`repro.service.client` — the blocking Python client used by the
+  CLI (``mlpsim submit`` / ``mlpsim status``) and the tests.
+"""
+
+from .client import ServiceClient, ServiceError
+from .jobqueue import Dispatcher, Job, JobQueue, JobState, QueueFullError
+from .metrics import MetricsRegistry
+from .protocol import JobRequest, ProtocolError, parse_job_request
+from .server import ReproService, serve
+
+__all__ = [
+    "Dispatcher",
+    "Job",
+    "JobQueue",
+    "JobRequest",
+    "JobState",
+    "MetricsRegistry",
+    "ProtocolError",
+    "QueueFullError",
+    "ReproService",
+    "ServiceClient",
+    "ServiceError",
+    "parse_job_request",
+    "serve",
+]

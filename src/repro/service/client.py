@@ -1,0 +1,228 @@
+"""A thin blocking client for the simulation service.
+
+Pure stdlib (``urllib.request``): connection-level failures retry with
+exponential backoff (a just-started daemon may not be accepting yet); HTTP
+error statuses do *not* retry — they carry the server's JSON error document
+and raise :class:`ServiceError` immediately.
+
+Typical use::
+
+    client = ServiceClient("http://127.0.0.1:8137")
+    receipt = client.submit_sweep(
+        "database", store_queue=[16, 32], store_prefetch=["sp0", "sp1"],
+    )
+    status = client.wait(receipt["id"], timeout=600)
+    report = client.decode_report(status)       # a real RunReport
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from ..engine import serialize
+from ..engine.runner import RunReport
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+_TERMINAL_STATES = frozenset({"done", "failed", "cancelled"})
+
+
+class ServiceError(Exception):
+    """An HTTP-level error answer from the service."""
+
+    def __init__(self, status: int, message: str,
+                 payload: Optional[Dict[str, Any]] = None) -> None:
+        super().__init__(f"[{status}] {message}")
+        self.status = status
+        self.payload = payload or {}
+
+
+class ServiceClient:
+    """Blocking JSON client with timeout and retry-with-backoff."""
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 30.0,
+        retries: int = 3,
+        backoff: float = 0.1,
+    ) -> None:
+        if retries < 0:
+            raise ValueError("retries must be non-negative")
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+
+    # ------------------------------------------------------------- plumbing --
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+    ) -> Any:
+        data = (
+            json.dumps(body).encode("utf-8") if body is not None else None
+        )
+        headers = {"Content-Type": "application/json"} if body else {}
+        attempt = 0
+        while True:
+            request = urllib.request.Request(
+                self.base_url + path, data=data, headers=headers,
+                method=method,
+            )
+            try:
+                with urllib.request.urlopen(
+                    request, timeout=self.timeout,
+                ) as response:
+                    raw = response.read()
+                    content_type = response.headers.get("Content-Type", "")
+                    if "json" in content_type:
+                        return json.loads(raw)
+                    return raw.decode("utf-8")
+            except urllib.error.HTTPError as exc:
+                # The server answered: no retry, surface its error document.
+                raw = exc.read()
+                try:
+                    payload = json.loads(raw)
+                    message = payload.get("error", raw.decode("utf-8"))
+                except (json.JSONDecodeError, UnicodeDecodeError):
+                    payload, message = {}, repr(raw[:200])
+                raise ServiceError(exc.code, message, payload) from None
+            except (urllib.error.URLError, ConnectionError, OSError) as exc:
+                if attempt >= self.retries:
+                    raise ServiceError(
+                        0, f"cannot reach {self.base_url}: {exc}",
+                    ) from None
+                time.sleep(self.backoff * (2 ** attempt))
+                attempt += 1
+
+    # ------------------------------------------------------------ endpoints --
+
+    def health(self) -> Dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def metrics(self, format: str = "json") -> Any:
+        if format == "json":
+            return self._request("GET", "/metrics?format=json")
+        return self._request("GET", "/metrics")
+
+    def submit(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Submit a raw protocol body; returns ``{"id", "deduped", ...}``."""
+        return self._request("POST", "/v1/jobs", body=payload)
+
+    def submit_sweep(
+        self,
+        workloads: Union[str, Sequence[str]],
+        variant: str = "pc",
+        priority: int = 0,
+        **axes: Sequence[Any],
+    ) -> Dict[str, Any]:
+        if isinstance(workloads, str):
+            workloads = [workloads]
+        return self.submit({
+            "kind": "sweep",
+            "priority": priority,
+            "sweep": {
+                "workloads": list(workloads),
+                "variant": variant,
+                "axes": {
+                    name: [getattr(v, "value", v) for v in values]
+                    for name, values in axes.items()
+                },
+            },
+        })
+
+    def submit_simulate(
+        self,
+        workload: str,
+        variant: str = "pc",
+        priority: int = 0,
+        **core_changes: Any,
+    ) -> Dict[str, Any]:
+        return self.submit({
+            "kind": "simulate",
+            "priority": priority,
+            "job": {
+                "workload": workload,
+                "variant": variant,
+                "core_changes": {
+                    name: getattr(value, "value", value)
+                    for name, value in core_changes.items()
+                },
+            },
+        })
+
+    def submit_figure(
+        self,
+        figure: str,
+        workloads: Optional[Sequence[str]] = None,
+        priority: int = 0,
+    ) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "kind": "figure", "figure": figure, "priority": priority,
+        }
+        if workloads is not None:
+            payload["workloads"] = list(workloads)
+        return self.submit(payload)
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        return self._request("GET", "/v1/jobs")["jobs"]
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        return self._request("DELETE", f"/v1/jobs/{job_id}")
+
+    # ------------------------------------------------------------- helpers --
+
+    def wait(
+        self,
+        job_id: str,
+        timeout: float = 600.0,
+        poll: float = 0.05,
+    ) -> Dict[str, Any]:
+        """Poll until the job is terminal; returns its final status payload.
+
+        The poll interval backs off 1.5x per round (capped at 2s) so a long
+        simulation isn't hammered; raises ``TimeoutError`` past *timeout*.
+        """
+        deadline = time.monotonic() + timeout
+        interval = poll
+        while True:
+            status = self.status(job_id)
+            if status["state"] in _TERMINAL_STATES:
+                return status
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {status['state']} after {timeout}s"
+                )
+            time.sleep(interval)
+            interval = min(interval * 1.5, 2.0)
+
+    @staticmethod
+    def decode_report(status: Dict[str, Any]) -> RunReport:
+        """The real :class:`RunReport` inside a terminal sweep/simulate
+        status payload — simulation results and all."""
+        if status.get("state") != "done":
+            raise ValueError(
+                f"job is {status.get('state')!r}, not done: "
+                f"{status.get('error', '')}"
+            )
+        result = status.get("result") or {}
+        if "report" not in result:
+            raise ValueError(
+                f"{result.get('kind', 'unknown')!r} payload has no report"
+            )
+        return RunReport.from_dict(result["report"])
+
+    @staticmethod
+    def decode(payload: Any) -> Any:
+        """Decode any :mod:`repro.engine.serialize` tagged payload."""
+        return serialize.from_jsonable(payload)

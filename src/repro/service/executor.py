@@ -1,0 +1,155 @@
+"""Executes validated job requests against the engine layer.
+
+One :class:`ServiceEngine` lives for the whole daemon.  It owns:
+
+- one persistent :class:`~repro.engine.cache.ArtifactCache` (the shared
+  memoization layer across every job the service ever runs),
+- one :class:`~repro.engine.runner.EngineRunner` configured with the
+  daemon's worker count and per-job timeout/retry policy — sweep and
+  simulate requests become runner batches via
+  :meth:`~repro.engine.runner.EngineRunner.submit_batch`, inheriting the
+  runner's bit-identical-to-serial guarantee, and
+- one :class:`~repro.harness.experiment.Workbench` sharing the same cache,
+  on which figure requests run their (serial) drivers against artifacts the
+  runner pre-warmed in parallel.
+
+Results are returned as plain-JSON payloads: sweep/simulate results carry
+the exact :mod:`repro.engine.serialize` encoding of the
+:class:`~repro.engine.runner.RunReport` (decodable back into real objects
+by the client), figures carry a human-readable nested dict.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from ..engine.cache import ArtifactCache, resolve_cache_dir
+from ..engine.runner import EngineRunner, JobSpec, RunReport
+from ..harness.experiment import ExperimentSettings, Workbench
+from ..harness.figures import (
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+)
+from .protocol import JobRequest, ProtocolError, jsonify
+
+__all__ = ["ServiceEngine"]
+
+_FIGURE_DRIVERS = {
+    "figure2": figure2,
+    "figure3": figure3,
+    "figure4": figure4,
+    "figure5": figure5,
+    "figure6": figure6,
+    "figure7": figure7,
+    "figure8": figure8,
+}
+
+#: Figures that also need the weak-consistency trace variant warmed.
+_WC_FIGURES = frozenset({"figure7", "figure8"})
+
+
+class ServiceEngine:
+    """One long-lived engine shared by every job the service executes."""
+
+    def __init__(
+        self,
+        settings: Optional[ExperimentSettings] = None,
+        cache_dir: Any = "auto",
+        workers: Optional[int] = None,
+        job_timeout: float = 600.0,
+        retries: int = 1,
+    ) -> None:
+        self.settings = settings or ExperimentSettings()
+        self.artifacts = ArtifactCache(resolve_cache_dir(cache_dir))
+        self.runner = EngineRunner(
+            settings=self.settings,
+            cache_dir=cache_dir,
+            workers=workers,
+            job_timeout=job_timeout,
+            retries=retries,
+        )
+        # Figure drivers (and their in-process annotations) share the
+        # service-wide artifact cache object, so a figure run right after a
+        # sweep starts from warm memory, not just warm disk.
+        self.bench = Workbench(self.settings, artifacts=self.artifacts)
+
+    # ------------------------------------------------------------ execute --
+
+    def execute(self, request: JobRequest) -> Dict[str, Any]:
+        """Run one request to completion, returning its JSON payload."""
+        if request.kind == "sweep":
+            return self._execute_sweep(request)
+        if request.kind == "simulate":
+            return self._execute_simulate(request)
+        if request.kind == "figure":
+            return self._execute_figure(request)
+        raise ProtocolError(f"unknown job kind {request.kind!r}")
+
+    def _run_batch(self, jobs: list) -> RunReport:
+        handle = self.runner.submit_batch(jobs)
+        return handle.result()
+
+    def _execute_sweep(self, request: JobRequest) -> Dict[str, Any]:
+        assert request.sweep is not None
+        report = self._run_batch(request.sweep.to_jobs())
+        payload: Dict[str, Any] = {
+            "kind": "sweep",
+            "spec": request.sweep.to_dict(),
+            "report": report.to_dict(),
+            "summary": report.summary(),
+        }
+        if not report.failed:
+            records = request.sweep.records(report)
+            payload["records"] = [
+                {
+                    "workload": record.workload,
+                    "point": record.label(),
+                    "epi_per_1000": record.epi_per_1000,
+                    "mlp": record.mlp,
+                    "store_mlp": record.store_mlp,
+                    "store_bandwidth_overhead":
+                        record.store_bandwidth_overhead,
+                }
+                for record in records
+            ]
+        return payload
+
+    def _execute_simulate(self, request: JobRequest) -> Dict[str, Any]:
+        assert request.job is not None
+        report = self._run_batch([request.job])
+        payload: Dict[str, Any] = {
+            "kind": "simulate",
+            "report": report.to_dict(),
+            "summary": report.summary(),
+        }
+        job = report.jobs[0]
+        if job.ok and job.result is not None:
+            payload["summary"] = job.result.summary()
+        return payload
+
+    def _execute_figure(self, request: JobRequest) -> Dict[str, Any]:
+        driver = _FIGURE_DRIVERS[request.figure]
+        variants = ["pc"]
+        if request.figure in _WC_FIGURES:
+            variants.append("wc")
+        # Warm phase: fan the expensive annotations across the runner's
+        # workers; the driver then runs serially against a warm cache.
+        warm = [
+            JobSpec(workload=workload, variant=variant, action="annotate")
+            for workload in request.workloads
+            for variant in variants
+        ]
+        warm_report = self._run_batch(warm)
+        data = driver(self.bench, list(request.workloads))
+        return {
+            "kind": "figure",
+            "figure": request.figure,
+            "workloads": list(request.workloads),
+            "warm_summary": warm_report.summary(),
+            "data": jsonify(data),
+        }

@@ -1,0 +1,325 @@
+"""Bounded priority job queue with in-flight deduplication.
+
+Lifecycle of a job::
+
+    queued ──> running ──> done | failed
+       └────────────────> cancelled        (only while still queued)
+
+Submissions are deduplicated while in flight: a request whose content
+signature (:meth:`repro.service.protocol.JobRequest.signature`) matches a
+*queued or running* job attaches to that job instead of enqueueing new
+work — N identical concurrent submissions execute once and fan the result
+out to every poller.  Completed jobs leave the dedup index immediately (a
+re-submission after completion is new work; the artifact cache, not the
+queue, is the cross-run memoization layer).
+
+Scheduling is highest-priority-first, FIFO within a priority.  The queue is
+bounded: submissions beyond ``capacity`` *pending* jobs raise
+:class:`QueueFullError` (the server answers 429).  Terminal jobs are kept
+for status polling, bounded by ``history`` — the oldest terminal jobs are
+forgotten first.
+
+:class:`Dispatcher` is the single background thread that drains the queue,
+handing each job to an executor callable; an executor exception marks the
+job ``failed`` with the traceback in its status payload and the dispatcher
+keeps draining — one poisonous request never wedges the service.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+import time
+import traceback
+import uuid
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from .protocol import JobRequest
+
+__all__ = ["Dispatcher", "Job", "JobQueue", "JobState", "QueueFullError"]
+
+
+class JobState(Enum):
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    @property
+    def terminal(self) -> bool:
+        return self in (JobState.DONE, JobState.FAILED, JobState.CANCELLED)
+
+
+class QueueFullError(Exception):
+    """The bounded queue rejected a submission."""
+
+
+@dataclass
+class Job:
+    """One tracked job and everything ``GET /v1/jobs/<id>`` reports."""
+
+    id: str
+    request: JobRequest
+    key: str
+    priority: int = 0
+    state: JobState = JobState.QUEUED
+    submitted_at: float = 0.0
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    result: Any = None
+    error: str = ""
+    traceback: str = ""
+    #: Submissions that folded into this one while it was in flight.
+    dedup_count: int = 0
+    done_event: threading.Event = field(default_factory=threading.Event)
+
+    def status_payload(self) -> Dict[str, Any]:
+        """The JSON status document (result included once terminal)."""
+        payload: Dict[str, Any] = {
+            "id": self.id,
+            "kind": self.request.kind,
+            "description": self.request.describe(),
+            "state": self.state.value,
+            "priority": self.priority,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "dedup_count": self.dedup_count,
+        }
+        if self.state is JobState.FAILED:
+            payload["error"] = self.error
+            payload["traceback"] = self.traceback
+        if self.state is JobState.DONE:
+            payload["result"] = self.result
+        return payload
+
+
+class JobQueue:
+    """Thread-safe bounded priority queue with an in-flight dedup index."""
+
+    def __init__(self, capacity: int = 256, history: int = 1024) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        if history < 1:
+            raise ValueError("history must be positive")
+        self.capacity = capacity
+        self.history = history
+        self._lock = threading.Lock()
+        self._ready = threading.Condition(self._lock)
+        self._jobs: Dict[str, Job] = {}
+        self._inflight: Dict[str, str] = {}  # signature -> job id
+        self._heap: List[Tuple[int, int, str]] = []  # (-priority, seq, id)
+        self._seq = itertools.count()
+        self._terminal_order: List[str] = []
+        self._closed = False
+
+    # ---------------------------------------------------------- submission --
+
+    def submit(self, request: JobRequest) -> Tuple[Job, bool]:
+        """Enqueue *request*, or attach to an identical in-flight job.
+
+        Returns ``(job, deduped)``.  Raises :class:`QueueFullError` when the
+        pending backlog is at capacity, ``RuntimeError`` once closed.
+        """
+        key = request.signature()
+        with self._ready:
+            if self._closed:
+                raise RuntimeError("job queue is closed")
+            existing_id = self._inflight.get(key)
+            if existing_id is not None:
+                job = self._jobs[existing_id]
+                job.dedup_count += 1
+                return job, True
+            pending = sum(
+                1 for job in self._jobs.values()
+                if job.state is JobState.QUEUED
+            )
+            if pending >= self.capacity:
+                raise QueueFullError(
+                    f"queue is full ({self.capacity} jobs pending)"
+                )
+            job = Job(
+                id=uuid.uuid4().hex[:12],
+                request=request,
+                key=key,
+                priority=request.priority,
+                submitted_at=time.time(),
+            )
+            self._jobs[job.id] = job
+            self._inflight[key] = job.id
+            heapq.heappush(
+                self._heap, (-job.priority, next(self._seq), job.id),
+            )
+            self._ready.notify()
+            return job, False
+
+    # ---------------------------------------------------------- dispatcher --
+
+    def next_job(self, timeout: Optional[float] = None) -> Optional[Job]:
+        """Claim the next queued job, marking it running.
+
+        Blocks up to *timeout* (forever when ``None``) and returns ``None``
+        on timeout or once the queue is closed and drained.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._ready:
+            while True:
+                while self._heap:
+                    _, _, job_id = heapq.heappop(self._heap)
+                    job = self._jobs.get(job_id)
+                    if job is None or job.state is not JobState.QUEUED:
+                        continue  # cancelled (or forgotten) while queued
+                    job.state = JobState.RUNNING
+                    job.started_at = time.time()
+                    return job
+                if self._closed:
+                    return None
+                remaining = (
+                    None if deadline is None
+                    else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    return None
+                self._ready.wait(remaining)
+
+    def finish(
+        self,
+        job: Job,
+        result: Any = None,
+        error: str = "",
+        tb: str = "",
+    ) -> None:
+        """Resolve a running job to ``done`` (no error) or ``failed``."""
+        with self._ready:
+            if job.state is not JobState.RUNNING:
+                return
+            job.state = JobState.FAILED if error else JobState.DONE
+            job.result = result
+            job.error = error
+            job.traceback = tb
+            self._retire(job)
+
+    # ------------------------------------------------------------- clients --
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a *queued* job.  A cancelled job is never executed.
+
+        Returns ``False`` when the job is unknown, already running, or
+        already terminal — the service cannot interrupt a simulation in
+        flight.
+        """
+        with self._ready:
+            job = self._jobs.get(job_id)
+            if job is None or job.state is not JobState.QUEUED:
+                return False
+            job.state = JobState.CANCELLED
+            self._retire(job)
+            return True
+
+    def get(self, job_id: str) -> Optional[Job]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def list_jobs(self) -> List[Job]:
+        """Every tracked job, oldest submission first."""
+        with self._lock:
+            return sorted(
+                self._jobs.values(), key=lambda job: job.submitted_at,
+            )
+
+    def wait(self, job_id: str, timeout: Optional[float] = None) -> bool:
+        """Block until the job reaches a terminal state."""
+        job = self.get(job_id)
+        if job is None:
+            raise KeyError(job_id)
+        return job.done_event.wait(timeout)
+
+    # -------------------------------------------------------------- stats --
+
+    def depth(self) -> int:
+        """Jobs waiting to run."""
+        with self._lock:
+            return sum(
+                1 for job in self._jobs.values()
+                if job.state is JobState.QUEUED
+            )
+
+    def counts_by_state(self) -> Dict[str, int]:
+        counts = {state.value: 0 for state in JobState}
+        with self._lock:
+            for job in self._jobs.values():
+                counts[job.state.value] += 1
+        return counts
+
+    def close(self) -> None:
+        """Stop accepting work and wake any blocked dispatcher."""
+        with self._ready:
+            self._closed = True
+            self._ready.notify_all()
+
+    # ----------------------------------------------------------- internals --
+
+    def _retire(self, job: Job) -> None:
+        """Terminal bookkeeping; caller holds the lock."""
+        job.finished_at = time.time()
+        if self._inflight.get(job.key) == job.id:
+            del self._inflight[job.key]
+        job.done_event.set()
+        self._terminal_order.append(job.id)
+        while len(self._terminal_order) > self.history:
+            forgotten = self._terminal_order.pop(0)
+            self._jobs.pop(forgotten, None)
+
+
+class Dispatcher(threading.Thread):
+    """The background thread that drains a :class:`JobQueue`.
+
+    *executor* maps a :class:`JobRequest` to a JSON-compatible result
+    payload; its exceptions mark the job failed (traceback preserved in the
+    status payload) without stopping the drain loop.  *on_finish*, when
+    given, observes every retired job — the server uses it to record
+    latency metrics.
+    """
+
+    def __init__(
+        self,
+        queue: JobQueue,
+        executor: Callable[[JobRequest], Any],
+        on_finish: Optional[Callable[[Job], None]] = None,
+    ) -> None:
+        super().__init__(name="repro-dispatcher", daemon=True)
+        self.queue = queue
+        self.executor = executor
+        self.on_finish = on_finish
+        self._stop_requested = threading.Event()
+
+    def run(self) -> None:
+        while not self._stop_requested.is_set():
+            job = self.queue.next_job(timeout=0.1)
+            if job is None:
+                continue
+            try:
+                result = self.executor(job.request)
+            except Exception as exc:
+                self.queue.finish(
+                    job,
+                    error=f"{type(exc).__name__}: {exc}",
+                    tb=traceback.format_exc(),
+                )
+            else:
+                self.queue.finish(job, result=result)
+            if self.on_finish is not None:
+                try:
+                    self.on_finish(job)
+                except Exception:  # metrics must never kill the drain loop
+                    pass
+
+    def stop(self, timeout: float = 5.0) -> None:
+        self._stop_requested.set()
+        self.queue.close()
+        if self.is_alive():
+            self.join(timeout)

@@ -1,0 +1,254 @@
+"""Typed request/response schemas for the simulation service.
+
+The wire protocol is plain JSON.  A job submission looks like::
+
+    {"kind": "sweep", "priority": 0,
+     "sweep": {"workloads": ["database"], "variant": "pc",
+               "axes": {"store_queue": [16, 32],
+                        "store_prefetch": ["sp0", "sp1"]}}}
+
+    {"kind": "simulate",
+     "job": {"workload": "database", "variant": "pc",
+             "core_changes": {"store_queue": 16, "store_prefetch": "sp1"}}}
+
+    {"kind": "figure", "figure": "figure2", "workloads": ["database"]}
+
+:func:`parse_job_request` validates such payloads into a frozen
+:class:`JobRequest`, coercing enum spellings (``"sp1"``, ``"wc"``, ...)
+through :func:`repro.harness.sweeps.coerce_axis_value` and raising
+:class:`ProtocolError` — which carries the HTTP status to answer with — on
+anything malformed.
+
+``JobRequest.signature()`` is the request's content hash (via
+:func:`repro.engine.cache.content_key`), the key under which the job queue
+deduplicates identical in-flight work: two clients posting the same sweep
+share one execution.  ``priority`` is deliberately excluded from the
+signature — the work is the same regardless of how urgently it was asked
+for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..engine import serialize
+from ..engine.cache import content_key
+from ..engine.runner import JobSpec
+from ..harness.figures import ALL_WORKLOADS
+from ..harness.sweeps import SweepSpec, coerce_axis_value
+
+__all__ = [
+    "FIGURES",
+    "JOB_KINDS",
+    "JobRequest",
+    "ProtocolError",
+    "jsonify",
+    "parse_job_request",
+]
+
+JOB_KINDS = ("sweep", "simulate", "figure")
+FIGURES = ("figure2", "figure3", "figure4", "figure5", "figure6",
+           "figure7", "figure8")
+
+
+class ProtocolError(Exception):
+    """A malformed or unserviceable request, with its HTTP status."""
+
+    def __init__(self, message: str, status: int = 400) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass(frozen=True)
+class JobRequest:
+    """One validated job submission."""
+
+    kind: str
+    sweep: Optional[SweepSpec] = None
+    job: Optional[JobSpec] = None
+    figure: str = ""
+    workloads: Tuple[str, ...] = ()
+    priority: int = 0
+
+    def signature(self) -> str:
+        """Content hash identifying the *work* (priority excluded)."""
+        return content_key(
+            "service-job", self.kind, self.sweep, self.job,
+            self.figure, self.workloads,
+        )
+
+    def describe(self) -> str:
+        if self.kind == "sweep":
+            assert self.sweep is not None
+            axes = " ".join(
+                f"{name}[{len(values)}]" for name, values in self.sweep.axes
+            )
+            return (
+                f"sweep:{','.join(self.sweep.workloads)}/"
+                f"{self.sweep.variant} {axes}"
+            )
+        if self.kind == "simulate":
+            assert self.job is not None
+            return self.job.describe()
+        return f"{self.figure}:{','.join(self.workloads)}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return serialize.to_jsonable(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "JobRequest":
+        request = serialize.from_jsonable(data)
+        if not isinstance(request, cls):
+            raise serialize.SerializeError(
+                f"expected a JobRequest payload, "
+                f"decoded {type(request).__name__}"
+            )
+        return request
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ProtocolError(message)
+
+
+def _workloads(raw: Any, where: str) -> Tuple[str, ...]:
+    _require(
+        isinstance(raw, (list, tuple)) and raw
+        and all(isinstance(w, str) for w in raw),
+        f"{where} must be a non-empty list of workload names",
+    )
+    unknown = set(raw) - set(ALL_WORKLOADS)
+    _require(
+        not unknown,
+        f"unknown workloads {sorted(unknown)}; "
+        f"expected a subset of {list(ALL_WORKLOADS)}",
+    )
+    return tuple(raw)
+
+
+def _parse_sweep(payload: Dict[str, Any]) -> SweepSpec:
+    raw = payload.get("sweep")
+    _require(isinstance(raw, dict), "sweep jobs need a 'sweep' object")
+    workloads_raw = raw.get("workloads")
+    if workloads_raw is None and isinstance(raw.get("workload"), str):
+        workloads_raw = [raw["workload"]]
+    workloads = _workloads(workloads_raw, "'sweep.workloads'")
+    variant = raw.get("variant", "pc")
+    _require(isinstance(variant, str), "'sweep.variant' must be a string")
+    axes = raw.get("axes")
+    _require(
+        isinstance(axes, dict) and axes,
+        "sweep jobs need a non-empty 'sweep.axes' object",
+    )
+    coerced: Dict[str, List[Any]] = {}
+    for name, values in axes.items():
+        _require(
+            isinstance(name, str) and isinstance(values, (list, tuple))
+            and len(values) > 0,
+            f"axis {name!r} must map to a non-empty list of values",
+        )
+        try:
+            coerced[name] = [coerce_axis_value(name, v) for v in values]
+        except ValueError as exc:
+            raise ProtocolError(str(exc)) from None
+    try:
+        return SweepSpec.build(workloads, variant, **coerced)
+    except ValueError as exc:
+        raise ProtocolError(str(exc)) from None
+
+
+def _parse_simulate(payload: Dict[str, Any]) -> JobSpec:
+    raw = payload.get("job")
+    _require(isinstance(raw, dict), "simulate jobs need a 'job' object")
+    workload = raw.get("workload")
+    _require(
+        isinstance(workload, str) and workload in ALL_WORKLOADS,
+        f"'job.workload' must be one of {list(ALL_WORKLOADS)}",
+    )
+    variant = raw.get("variant", "pc")
+    _require(isinstance(variant, str), "'job.variant' must be a string")
+    changes = raw.get("core_changes", {})
+    _require(
+        isinstance(changes, dict),
+        "'job.core_changes' must be an object of field -> value",
+    )
+    try:
+        core_changes = tuple(
+            (name, coerce_axis_value(name, value))
+            for name, value in changes.items()
+        )
+    except ValueError as exc:
+        raise ProtocolError(str(exc)) from None
+    return JobSpec(
+        workload=workload, variant=variant, core_changes=core_changes,
+    )
+
+
+def _parse_figure(payload: Dict[str, Any]) -> Tuple[str, Tuple[str, ...]]:
+    figure = payload.get("figure")
+    _require(
+        isinstance(figure, str) and figure in FIGURES,
+        f"'figure' must be one of {list(FIGURES)}",
+    )
+    workloads_raw = payload.get("workloads", list(ALL_WORKLOADS))
+    return figure, _workloads(workloads_raw, "'workloads'")
+
+
+def parse_job_request(payload: Any) -> JobRequest:
+    """Validate one raw submission body into a :class:`JobRequest`."""
+    _require(isinstance(payload, dict), "request body must be a JSON object")
+    kind = payload.get("kind")
+    _require(
+        isinstance(kind, str) and kind in JOB_KINDS,
+        f"'kind' must be one of {list(JOB_KINDS)}",
+    )
+    priority = payload.get("priority", 0)
+    _require(
+        isinstance(priority, int) and not isinstance(priority, bool),
+        "'priority' must be an integer",
+    )
+    if kind == "sweep":
+        return JobRequest(
+            kind=kind, sweep=_parse_sweep(payload), priority=priority,
+        )
+    if kind == "simulate":
+        return JobRequest(
+            kind=kind, job=_parse_simulate(payload), priority=priority,
+        )
+    figure, workloads = _parse_figure(payload)
+    return JobRequest(
+        kind=kind, figure=figure, workloads=workloads, priority=priority,
+    )
+
+
+def jsonify(obj: Any) -> Any:
+    """A lossy, human-readable JSON rendering for figure payloads.
+
+    Figure drivers return nested dicts keyed by enums and tuples; this
+    flattens keys to strings and enums to their values so the payload reads
+    naturally in a browser or ``curl`` output.  (Sweep and simulate results
+    use the exact :mod:`repro.engine.serialize` encoding instead.)
+    """
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if hasattr(obj, "value") and not isinstance(obj, type):  # enum member
+        return jsonify(obj.value)
+    if isinstance(obj, dict):
+        return {_key_str(key): jsonify(value) for key, value in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [jsonify(item) for item in obj]
+    return str(obj)
+
+
+def _key_str(key: Any) -> str:
+    if isinstance(key, str):
+        return key
+    if hasattr(key, "value") and not isinstance(key, type):
+        return str(key.value)
+    if isinstance(key, tuple):
+        return ",".join(_key_str(item) for item in key)
+    return str(key)
+
+
+serialize.register(JobRequest)

@@ -1,0 +1,367 @@
+"""The simulation-as-a-service HTTP daemon.
+
+Pure stdlib (``http.server.ThreadingHTTPServer`` + ``json``), no
+dependencies.  Endpoints:
+
+==============================  ==============================================
+``POST   /v1/jobs``             submit a sweep / simulate / figure job
+``GET    /v1/jobs``             summary list of known jobs
+``GET    /v1/jobs/<id>``        job status; result payload once ``done``
+``DELETE /v1/jobs/<id>``        cancel a still-queued job
+``GET    /healthz``             liveness + queue/settings snapshot
+``GET    /metrics``             Prometheus text (``?format=json`` for JSON)
+==============================  ==============================================
+
+Request handling threads only validate, enqueue and read; all simulation
+work happens on the single dispatcher thread, which delegates batches to
+the shared :class:`~repro.service.executor.ServiceEngine`.  Identical
+in-flight submissions are deduplicated by the queue (see
+:mod:`repro.service.jobqueue`) — the submit response carries
+``"deduped": true`` and the *original* job's id, so every duplicate client
+polls the same execution.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+
+from ..harness.experiment import ExperimentSettings
+from .executor import ServiceEngine
+from .jobqueue import Dispatcher, Job, JobQueue, JobState, QueueFullError
+from .metrics import MetricsRegistry
+from .protocol import ProtocolError, parse_job_request
+
+__all__ = ["ReproService", "serve"]
+
+#: Submission bodies larger than this are rejected outright (64 KiB is
+#: orders of magnitude above any legitimate sweep spec).
+MAX_BODY_BYTES = 64 * 1024
+
+
+class ReproService:
+    """One daemon instance: queue + dispatcher + engine + HTTP front end.
+
+    ``port=0`` binds an ephemeral port (read it back from ``.port`` — the
+    tests and the CI smoke step rely on this).  ``start_dispatcher=False``
+    leaves the drain thread stopped so tests can stage a deterministic
+    backlog before any job runs.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        settings: Optional[ExperimentSettings] = None,
+        cache_dir: Any = "auto",
+        workers: Optional[int] = None,
+        job_timeout: float = 600.0,
+        retries: int = 1,
+        queue_capacity: int = 256,
+        start_dispatcher: bool = True,
+    ) -> None:
+        self.engine = ServiceEngine(
+            settings=settings,
+            cache_dir=cache_dir,
+            workers=workers,
+            job_timeout=job_timeout,
+            retries=retries,
+        )
+        self.queue = JobQueue(capacity=queue_capacity)
+        self.metrics = MetricsRegistry()
+        self.dispatcher = Dispatcher(
+            self.queue, self.engine.execute, on_finish=self._record_finish,
+        )
+        self._start_dispatcher = start_dispatcher
+        self._started_at: Optional[float] = None
+        self._serve_thread: Optional[threading.Thread] = None
+
+        handler = _make_handler(self)
+        self.httpd = ThreadingHTTPServer((host, port), handler)
+        self.httpd.daemon_threads = True
+
+        self.metrics.gauge("queue_depth", self.queue.depth)
+        for state in JobState:
+            self.metrics.gauge(
+                f"jobs_{state.value}",
+                lambda s=state.value: self.queue.counts_by_state()[s],
+            )
+        stats = self.engine.artifacts.stats
+        self.metrics.gauge("cache_memory_hits", lambda: stats.memory_hits)
+        self.metrics.gauge("cache_disk_hits", lambda: stats.disk_hits)
+        self.metrics.gauge("cache_misses", lambda: stats.misses)
+        self.metrics.gauge("cache_writes", lambda: stats.writes)
+
+    # ----------------------------------------------------------- lifecycle --
+
+    @property
+    def host(self) -> str:
+        return self.httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self.httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "ReproService":
+        """Start serving (and, unless deferred, dispatching) in background
+        threads; returns self for ``service = ReproService(...).start()``."""
+        self._started_at = time.time()
+        if self._start_dispatcher:
+            self.dispatcher.start()
+        self._serve_thread = threading.Thread(
+            target=self.httpd.serve_forever,
+            name="repro-http",
+            daemon=True,
+        )
+        self._serve_thread.start()
+        return self
+
+    def start_dispatcher(self) -> None:
+        """Start the (deferred) drain thread."""
+        if not self.dispatcher.is_alive():
+            self.dispatcher.start()
+
+    def stop(self) -> None:
+        """Shut down the HTTP front end and the dispatcher cleanly."""
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        if self.dispatcher.is_alive():
+            self.dispatcher.stop()
+        else:
+            self.queue.close()
+        if self._serve_thread is not None:
+            self._serve_thread.join(timeout=5.0)
+
+    def serve_forever(self) -> None:
+        """Blocking entry point used by ``mlpsim serve``."""
+        self._started_at = time.time()
+        if self._start_dispatcher:
+            self.dispatcher.start()
+        try:
+            self.httpd.serve_forever()
+        finally:
+            self.httpd.server_close()
+            self.dispatcher.stop()
+
+    # ------------------------------------------------------------ requests --
+
+    def submit(self, payload: Any) -> Tuple[Job, bool]:
+        request = parse_job_request(payload)
+        job, deduped = self.queue.submit(request)
+        self.metrics.inc("jobs_submitted_total")
+        if deduped:
+            self.metrics.inc("jobs_deduped_total")
+        return job, deduped
+
+    def health_payload(self) -> Dict[str, Any]:
+        settings = self.engine.settings
+        return {
+            "status": "ok",
+            "uptime_seconds": (
+                time.time() - self._started_at if self._started_at else 0.0
+            ),
+            "queue_depth": self.queue.depth(),
+            "jobs": self.queue.counts_by_state(),
+            "dispatcher_alive": self.dispatcher.is_alive(),
+            "settings": {
+                "warmup": settings.warmup,
+                "measure": settings.measure,
+                "seed": settings.seed,
+                "calibrate": settings.calibrate,
+            },
+            "workers": self.engine.runner.workers,
+        }
+
+    def _record_finish(self, job: Job) -> None:
+        self.metrics.inc(f"jobs_{job.state.value}_total")
+        if job.finished_at is None:
+            return
+        if job.started_at is not None:
+            self.metrics.observe(
+                "job_exec", job.finished_at - job.started_at,
+            )
+            self.metrics.observe(
+                "job_queue_wait", job.started_at - job.submitted_at,
+            )
+        self.metrics.observe(
+            "job_latency", job.finished_at - job.submitted_at,
+        )
+
+
+def _make_handler(service: ReproService) -> type:
+    """A handler class closed over *service* (BaseHTTPRequestHandler is
+    instantiated per request by the server, so state rides on the class)."""
+
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+        server_version = "repro-service/1.0"
+
+        # ------------------------------------------------------- plumbing --
+
+        def log_message(self, format: str, *args: Any) -> None:
+            pass  # request logging is the metrics' job, not stderr's
+
+        def _send_json(self, status: int, payload: Any) -> None:
+            body = json.dumps(payload, indent=2).encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def _send_text(self, status: int, text: str) -> None:
+            body = text.encode("utf-8")
+            self.send_response(status)
+            self.send_header(
+                "Content-Type", "text/plain; version=0.0.4; charset=utf-8",
+            )
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def _error(self, status: int, message: str) -> None:
+            self._send_json(status, {"error": message})
+
+        def _read_body(self) -> Any:
+            length = int(self.headers.get("Content-Length") or 0)
+            if length > MAX_BODY_BYTES:
+                raise ProtocolError(
+                    f"request body exceeds {MAX_BODY_BYTES} bytes",
+                    status=413,
+                )
+            raw = self.rfile.read(length) if length else b""
+            if not raw:
+                raise ProtocolError("request body must be JSON")
+            try:
+                return json.loads(raw)
+            except json.JSONDecodeError as exc:
+                raise ProtocolError(f"invalid JSON: {exc}") from None
+
+        def _route(self) -> Tuple[str, str]:
+            path, _, query = self.path.partition("?")
+            return path.rstrip("/") or "/", query
+
+        # -------------------------------------------------------- methods --
+
+        def do_GET(self) -> None:
+            service.metrics.inc("http_requests_total")
+            path, query = self._route()
+            if path == "/healthz":
+                self._send_json(200, service.health_payload())
+            elif path == "/metrics":
+                if "format=json" in query:
+                    self._send_json(200, service.metrics.to_dict())
+                else:
+                    self._send_text(
+                        200, service.metrics.render_prometheus(),
+                    )
+            elif path == "/v1/jobs":
+                jobs = [
+                    {
+                        "id": job.id,
+                        "kind": job.request.kind,
+                        "description": job.request.describe(),
+                        "state": job.state.value,
+                        "priority": job.priority,
+                    }
+                    for job in service.queue.list_jobs()
+                ]
+                self._send_json(200, {"jobs": jobs})
+            elif path.startswith("/v1/jobs/"):
+                job = service.queue.get(path.rsplit("/", 1)[1])
+                if job is None:
+                    self._error(404, "unknown job id")
+                else:
+                    self._send_json(200, job.status_payload())
+            else:
+                self._error(404, f"unknown path {path}")
+
+        def do_POST(self) -> None:
+            service.metrics.inc("http_requests_total")
+            path, _ = self._route()
+            if path != "/v1/jobs":
+                self._error(404, f"unknown path {path}")
+                return
+            try:
+                payload = self._read_body()
+                job, deduped = service.submit(payload)
+            except ProtocolError as exc:
+                self._error(exc.status, str(exc))
+            except QueueFullError as exc:
+                self._error(429, str(exc))
+            except Exception as exc:  # never leak a traceback as HTML
+                self._error(500, f"{type(exc).__name__}: {exc}")
+            else:
+                self._send_json(202, {
+                    "id": job.id,
+                    "state": job.state.value,
+                    "deduped": deduped,
+                    "description": job.request.describe(),
+                })
+
+        def do_DELETE(self) -> None:
+            service.metrics.inc("http_requests_total")
+            path, _ = self._route()
+            if not path.startswith("/v1/jobs/"):
+                self._error(404, f"unknown path {path}")
+                return
+            job_id = path.rsplit("/", 1)[1]
+            job = service.queue.get(job_id)
+            if job is None:
+                self._error(404, "unknown job id")
+                return
+            if service.queue.cancel(job_id):
+                service.metrics.inc("jobs_cancelled_total")
+                self._send_json(200, {"id": job_id, "cancelled": True})
+            else:
+                self._error(
+                    409,
+                    f"job {job_id} is {job.state.value}; only queued jobs "
+                    f"can be cancelled",
+                )
+
+    return Handler
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 8137,
+    settings: Optional[ExperimentSettings] = None,
+    cache_dir: Any = "auto",
+    workers: Optional[int] = None,
+    job_timeout: float = 600.0,
+    queue_capacity: int = 256,
+) -> None:
+    """Run the daemon in the foreground until interrupted.
+
+    Stops cleanly on SIGTERM as well as Ctrl-C — shells start backgrounded
+    children with SIGINT ignored, so ``kill -TERM`` is how scripts (and the
+    CI smoke step) shut the daemon down.
+    """
+    service = ReproService(
+        host=host,
+        port=port,
+        settings=settings,
+        cache_dir=cache_dir,
+        workers=workers,
+        job_timeout=job_timeout,
+        queue_capacity=queue_capacity,
+    )
+
+    def _sigterm(signum: int, frame: Any) -> None:
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGTERM, _sigterm)
+    print(f"repro service listening on {service.url}", flush=True)
+    try:
+        service.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down", flush=True)

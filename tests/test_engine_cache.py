@@ -195,3 +195,102 @@ class TestResolveCacheDir:
 
     def test_explicit_path_passes_through(self, tmp_path):
         assert resolve_cache_dir(tmp_path) == tmp_path
+
+
+class TestCachedNoneRegression:
+    def test_cached_none_is_a_hit_not_a_miss(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        calls = []
+
+        def factory():
+            calls.append(1)
+            return None
+
+        assert cache.get_or_create("t", "k", factory) is None
+        assert cache.get_or_create("t", "k", factory) is None
+        assert len(calls) == 1
+        assert cache.stats.memory_hits == 1
+
+    def test_cached_none_survives_memory_eviction(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        calls = []
+
+        def factory():
+            calls.append(1)
+            return None
+
+        cache.get_or_create("t", "k", factory)
+        cache.clear_memory()
+        cache.get_or_create("t", "k", factory)
+        assert len(calls) == 1
+        assert cache.stats.disk_hits == 1
+
+
+class TestDiskTier:
+    def _filled(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        for i in range(4):
+            cache.put("trace", f"tkey{i}", list(range(200)))
+        for i in range(2):
+            cache.put("annotation", f"akey{i}", {"i": i})
+        return cache
+
+    def test_disk_stats_counts_entries_and_bytes(self, tmp_path):
+        cache = self._filled(tmp_path)
+        stats = cache.disk_stats()
+        assert stats.entries == 6
+        assert stats.total_bytes > 0
+        assert stats.by_kind["trace"][0] == 4
+        assert stats.by_kind["annotation"][0] == 2
+        assert sum(n for n, _ in stats.by_kind.values()) == stats.entries
+        assert sum(b for _, b in stats.by_kind.values()) == stats.total_bytes
+
+    def test_disk_stats_on_memory_only_cache(self):
+        cache = ArtifactCache(None)
+        cache.put("t", "k", 1)
+        stats = cache.disk_stats()
+        assert stats.entries == 0 and stats.total_bytes == 0
+
+    def test_prune_to_max_bytes_evicts_oldest_first(self, tmp_path):
+        import os
+
+        cache = ArtifactCache(tmp_path)
+        for i in range(4):
+            cache.put("t", f"key{i}", list(range(500)))
+            path = tmp_path / "t" / f"key{i}"[:2] / f"key{i}.pkl"
+            os.utime(path, (1000.0 + i, 1000.0 + i))
+        before = cache.disk_stats()
+        target = before.total_bytes - 1  # forces at least one eviction
+        result = cache.prune(max_bytes=target)
+        assert result.removed_entries >= 1
+        assert result.remaining_bytes <= target
+        # oldest mtime went first
+        assert not (tmp_path / "t" / "ke" / "key0.pkl").exists()
+        assert (tmp_path / "t" / "ke" / "key3.pkl").exists()
+        assert result.remaining_entries == cache.disk_stats().entries
+
+    def test_prune_older_than_removes_only_stale(self, tmp_path):
+        import os
+
+        cache = ArtifactCache(tmp_path)
+        cache.put("t", "old", 1)
+        cache.put("t", "new", 2)
+        old_path = tmp_path / "t" / "ol" / "old.pkl"
+        os.utime(old_path, (100.0, 100.0))
+        result = cache.prune(older_than=3600.0, now=100.0 + 7200.0)
+        assert result.removed_entries == 1
+        assert not old_path.exists()
+        assert (tmp_path / "t" / "ne" / "new.pkl").exists()
+
+    def test_prune_noop_when_under_budget(self, tmp_path):
+        cache = self._filled(tmp_path)
+        result = cache.prune(max_bytes=10**9)
+        assert result.removed_entries == 0
+        assert result.remaining_entries == 6
+
+    def test_pruned_entry_recomputes_cleanly(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.put("t", "k", "cold")
+        cache.clear_memory()
+        cache.prune(max_bytes=0)
+        assert cache.get_or_create("t", "k", lambda: "fresh") == "fresh"

@@ -1,0 +1,203 @@
+"""Request validation and wire serialization (repro.service.protocol)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.config import ScoutMode, StorePrefetchMode
+from repro.core.epoch import EpochRecord, TerminationCondition, TriggerKind
+from repro.core.results import SimulationResult
+from repro.engine import from_jsonable, to_jsonable
+from repro.engine.runner import JobResult, JobSpec, RunReport
+from repro.harness.sweeps import SweepSpec
+from repro.service.protocol import (
+    JobRequest,
+    ProtocolError,
+    jsonify,
+    parse_job_request,
+)
+
+
+def wire(payload):
+    """Force a real JSON round trip, as HTTP would."""
+    return json.loads(json.dumps(payload))
+
+
+class TestParseJobRequest:
+    def test_sweep_request_coerces_enum_axes(self):
+        request = parse_job_request({
+            "kind": "sweep",
+            "sweep": {
+                "workloads": ["database", "tpcw"],
+                "axes": {
+                    "store_prefetch": ["sp0", "sp2"],
+                    "store_queue": [16, 32],
+                },
+            },
+        })
+        assert request.kind == "sweep"
+        axes = request.sweep.axes_dict
+        assert axes["store_prefetch"] == [
+            StorePrefetchMode.NONE, StorePrefetchMode.AT_EXECUTE,
+        ]
+        assert axes["store_queue"] == [16, 32]
+        assert len(request.sweep.to_jobs()) == 2 * 4
+
+    def test_sweep_accepts_singular_workload(self):
+        request = parse_job_request({
+            "kind": "sweep",
+            "sweep": {"workload": "database",
+                      "axes": {"store_queue": [16]}},
+        })
+        assert request.sweep.workloads == ("database",)
+
+    def test_simulate_request(self):
+        request = parse_job_request({
+            "kind": "simulate",
+            "job": {
+                "workload": "specjbb",
+                "variant": "wc",
+                "core_changes": {"scout": "hws2", "store_buffer": 8},
+            },
+        })
+        assert request.job == JobSpec(
+            workload="specjbb", variant="wc",
+            core_changes=(("scout", ScoutMode.HWS2), ("store_buffer", 8)),
+        )
+
+    def test_figure_request_defaults_all_workloads(self):
+        request = parse_job_request({"kind": "figure", "figure": "figure2"})
+        assert request.figure == "figure2"
+        assert len(request.workloads) == 4
+
+    @pytest.mark.parametrize("payload,fragment", [
+        ("not a dict", "JSON object"),
+        ({}, "'kind'"),
+        ({"kind": "dance"}, "'kind'"),
+        ({"kind": "sweep"}, "'sweep'"),
+        ({"kind": "sweep", "sweep": {"workloads": [], "axes": {"a": [1]}}},
+         "workloads"),
+        ({"kind": "sweep",
+          "sweep": {"workloads": ["nosuch"], "axes": {"a": [1]}}},
+         "unknown workloads"),
+        ({"kind": "sweep",
+          "sweep": {"workloads": ["database"], "axes": {}}}, "axes"),
+        ({"kind": "sweep",
+          "sweep": {"workloads": ["database"],
+                    "axes": {"store_prefetch": ["sp9"]}}}, "sp9"),
+        ({"kind": "simulate"}, "'job'"),
+        ({"kind": "simulate", "job": {"workload": "nosuch"}},
+         "'job.workload'"),
+        ({"kind": "figure", "figure": "figure99"}, "'figure'"),
+        ({"kind": "sweep", "priority": "high",
+          "sweep": {"workloads": ["database"],
+                    "axes": {"store_queue": [16]}}}, "priority"),
+    ])
+    def test_bad_payloads_raise_protocol_error(self, payload, fragment):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_job_request(payload)
+        assert fragment.lower() in str(excinfo.value).lower()
+
+    def test_priority_excluded_from_signature(self):
+        body = {
+            "kind": "sweep",
+            "sweep": {"workloads": ["database"],
+                      "axes": {"store_queue": [16, 32]}},
+        }
+        low = parse_job_request({**body, "priority": 0})
+        high = parse_job_request({**body, "priority": 9})
+        assert low.signature() == high.signature()
+
+    def test_different_work_different_signature(self):
+        def build(queues):
+            return parse_job_request({
+                "kind": "sweep",
+                "sweep": {"workloads": ["database"],
+                          "axes": {"store_queue": queues}},
+            })
+        assert build([16, 32]).signature() != build([16, 64]).signature()
+
+
+class TestWireRoundTrips:
+    def test_job_request_round_trip(self):
+        request = parse_job_request({
+            "kind": "sweep",
+            "priority": 2,
+            "sweep": {"workloads": ["database"],
+                      "axes": {"store_prefetch": ["sp0", "sp1"]}},
+        })
+        assert JobRequest.from_dict(wire(request.to_dict())) == request
+
+    def test_sweep_spec_round_trip(self):
+        spec = SweepSpec.build(
+            ["database", "specweb"], variant="wc",
+            store_queue=[16, 32], scout=["none", "hws1"],
+        )
+        back = SweepSpec.from_dict(wire(spec.to_dict()))
+        assert back == spec
+        assert back.to_jobs() == spec.to_jobs()
+
+    def test_simulation_result_round_trip_is_exact(self):
+        result = SimulationResult(
+            instructions=1000,
+            epochs=[
+                EpochRecord(
+                    index=0, trigger=TriggerKind.STORE,
+                    termination=TerminationCondition.STORE_SERIALIZE,
+                    store_misses=3, load_misses=1, instructions=140,
+                ),
+                EpochRecord(
+                    index=1, trigger=TriggerKind.LOAD,
+                    termination=TerminationCondition.WINDOW_FULL,
+                    load_misses=2, instructions=77,
+                ),
+            ],
+            fully_overlapped_stores=4,
+            stores_committed=55,
+            store_prefetch_requests=13,
+        )
+        back = from_jsonable(wire(to_jsonable(result)))
+        assert back == result
+        assert back.epi_per_1000 == result.epi_per_1000
+        assert back.store_bandwidth_overhead == \
+            result.store_bandwidth_overhead
+
+    def test_run_report_round_trip(self):
+        spec = JobSpec(
+            workload="database",
+            core_changes=(("store_prefetch", StorePrefetchMode.AT_RETIRE),),
+        )
+        report = RunReport(
+            jobs=[JobResult(
+                spec=spec, status="ok", wall_time=0.25,
+                result=SimulationResult(instructions=10),
+                cache_hits=2, cache_misses=1,
+            )],
+            wall_time=0.5,
+            workers=2,
+        )
+        back = RunReport.from_dict(wire(report.to_dict()))
+        assert back == report
+        assert back.summary() == report.summary()
+
+    def test_failed_job_round_trip_keeps_error(self):
+        spec = JobSpec(workload="tpcw")
+        job = JobResult(
+            spec=spec, status="failed", error="ValueError: boom", attempts=2,
+        )
+        back = JobResult.from_dict(wire(job.to_dict()))
+        assert back == job and not back.ok
+
+
+class TestJsonify:
+    def test_enum_keys_and_values_become_strings(self):
+        data = {
+            TriggerKind.STORE: {(1, 2): 0.5},
+            "plain": [StorePrefetchMode.NONE, 3, None],
+        }
+        assert jsonify(data) == {
+            "store": {"1,2": 0.5},
+            "plain": ["sp0", 3, None],
+        }

@@ -1,0 +1,250 @@
+"""Queue lifecycle, dedup, cancellation and dispatcher resilience
+(repro.service.jobqueue + repro.service.metrics)."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.service.jobqueue import (
+    Dispatcher,
+    JobQueue,
+    JobState,
+    QueueFullError,
+)
+from repro.service.metrics import MetricsRegistry, percentile
+from repro.service.protocol import parse_job_request
+
+
+def sweep_request(queues=(16, 32), priority=0, workload="database"):
+    return parse_job_request({
+        "kind": "sweep",
+        "priority": priority,
+        "sweep": {"workloads": [workload],
+                  "axes": {"store_queue": list(queues)}},
+    })
+
+
+class TestJobQueue:
+    def test_lifecycle_queued_running_done(self):
+        queue = JobQueue()
+        job, deduped = queue.submit(sweep_request())
+        assert not deduped and job.state is JobState.QUEUED
+        claimed = queue.next_job(timeout=1.0)
+        assert claimed is job and job.state is JobState.RUNNING
+        queue.finish(job, result={"answer": 42})
+        assert job.state is JobState.DONE
+        assert job.status_payload()["result"] == {"answer": 42}
+        assert job.finished_at is not None
+
+    def test_identical_inflight_submissions_dedup(self):
+        queue = JobQueue()
+        first, deduped_first = queue.submit(sweep_request())
+        second, deduped_second = queue.submit(sweep_request())
+        assert not deduped_first and deduped_second
+        assert second is first
+        assert first.dedup_count == 1
+        assert queue.depth() == 1
+
+    def test_dedup_holds_while_running_but_not_after(self):
+        queue = JobQueue()
+        job, _ = queue.submit(sweep_request())
+        queue.next_job(timeout=1.0)  # now running
+        again, deduped = queue.submit(sweep_request())
+        assert deduped and again is job
+        queue.finish(job, result=None)
+        fresh, deduped = queue.submit(sweep_request())
+        assert not deduped and fresh is not job
+
+    def test_different_requests_do_not_dedup(self):
+        queue = JobQueue()
+        a, _ = queue.submit(sweep_request(queues=(16,)))
+        b, _ = queue.submit(sweep_request(queues=(32,)))
+        assert a is not b and queue.depth() == 2
+
+    def test_priority_order_then_fifo(self):
+        queue = JobQueue()
+        low, _ = queue.submit(sweep_request(queues=(1,), priority=0))
+        urgent, _ = queue.submit(sweep_request(queues=(2,), priority=5))
+        also_low, _ = queue.submit(sweep_request(queues=(3,), priority=0))
+        order = [queue.next_job(timeout=1.0) for _ in range(3)]
+        assert order == [urgent, low, also_low]
+
+    def test_bounded_capacity_rejects(self):
+        queue = JobQueue(capacity=2)
+        queue.submit(sweep_request(queues=(1,)))
+        queue.submit(sweep_request(queues=(2,)))
+        with pytest.raises(QueueFullError):
+            queue.submit(sweep_request(queues=(3,)))
+        # identical submissions still dedup even at capacity
+        _, deduped = queue.submit(sweep_request(queues=(1,)))
+        assert deduped
+
+    def test_cancelled_job_never_runs(self):
+        queue = JobQueue()
+        job, _ = queue.submit(sweep_request())
+        assert queue.cancel(job.id)
+        assert job.state is JobState.CANCELLED
+        assert queue.next_job(timeout=0.05) is None
+
+    def test_cancel_refuses_running_and_unknown(self):
+        queue = JobQueue()
+        job, _ = queue.submit(sweep_request())
+        queue.next_job(timeout=1.0)
+        assert not queue.cancel(job.id)
+        assert not queue.cancel("nope")
+        assert job.state is JobState.RUNNING
+
+    def test_cancelled_key_frees_dedup_slot(self):
+        queue = JobQueue()
+        job, _ = queue.submit(sweep_request())
+        queue.cancel(job.id)
+        fresh, deduped = queue.submit(sweep_request())
+        assert not deduped and fresh is not job
+
+    def test_history_bound_forgets_oldest_terminal(self):
+        queue = JobQueue(history=2)
+        ids = []
+        for n in range(4):
+            job, _ = queue.submit(sweep_request(queues=(n + 100,)))
+            ids.append(job.id)
+            queue.next_job(timeout=1.0)
+            queue.finish(job, result=None)
+        assert queue.get(ids[0]) is None and queue.get(ids[1]) is None
+        assert queue.get(ids[2]) is not None and queue.get(ids[3]) is not None
+
+    def test_concurrent_identical_submissions_run_once(self):
+        queue = JobQueue()
+        results = []
+        barrier = threading.Barrier(8)
+
+        def submit():
+            barrier.wait()
+            results.append(queue.submit(sweep_request()))
+
+        threads = [threading.Thread(target=submit) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        jobs = {job.id for job, _ in results}
+        deduped = [flag for _, flag in results]
+        assert len(jobs) == 1
+        assert sum(deduped) == 7
+        assert queue.depth() == 1
+
+
+class TestDispatcher:
+    def _drain(self, queue, executor):
+        dispatcher = Dispatcher(queue, executor)
+        dispatcher.start()
+        return dispatcher
+
+    def test_executes_and_fans_result_out(self):
+        queue = JobQueue()
+        dispatcher = self._drain(
+            queue, lambda request: {"echo": request.kind},
+        )
+        try:
+            job, _ = queue.submit(sweep_request())
+            assert queue.wait(job.id, timeout=5.0)
+            assert job.state is JobState.DONE
+            assert job.result == {"echo": "sweep"}
+        finally:
+            dispatcher.stop()
+
+    def test_executor_exception_marks_failed_not_wedged(self):
+        queue = JobQueue()
+        calls = []
+
+        def executor(request):
+            calls.append(request)
+            if len(calls) == 1:
+                raise ValueError("synthetic failure")
+            return {"ok": True}
+
+        dispatcher = self._drain(queue, executor)
+        try:
+            bad, _ = queue.submit(sweep_request(queues=(1,)))
+            assert queue.wait(bad.id, timeout=5.0)
+            assert bad.state is JobState.FAILED
+            payload = bad.status_payload()
+            assert "synthetic failure" in payload["error"]
+            assert "ValueError" in payload["traceback"]
+            # the queue keeps draining after a poisoned job
+            good, _ = queue.submit(sweep_request(queues=(2,)))
+            assert queue.wait(good.id, timeout=5.0)
+            assert good.state is JobState.DONE
+        finally:
+            dispatcher.stop()
+
+    def test_cancelled_job_is_skipped_by_drain(self):
+        queue = JobQueue()
+        executed = []
+        gate = threading.Event()
+
+        def executor(request):
+            gate.wait(5.0)
+            executed.append(request.signature())
+            return None
+
+        blocker, _ = queue.submit(sweep_request(queues=(1,)))
+        victim, _ = queue.submit(sweep_request(queues=(2,)))
+        dispatcher = self._drain(queue, executor)
+        try:
+            # let the dispatcher claim the blocker, then cancel the victim
+            deadline = time.monotonic() + 5.0
+            while blocker.state is JobState.QUEUED:
+                assert time.monotonic() < deadline
+                time.sleep(0.005)
+            assert queue.cancel(victim.id)
+            gate.set()
+            assert queue.wait(blocker.id, timeout=5.0)
+            assert queue.wait(victim.id, timeout=5.0)
+            assert victim.state is JobState.CANCELLED
+            assert len(executed) == 1
+        finally:
+            gate.set()
+            dispatcher.stop()
+
+
+class TestMetricsRegistry:
+    def test_counters_and_gauges(self):
+        metrics = MetricsRegistry()
+        metrics.inc("jobs_submitted_total")
+        metrics.inc("jobs_submitted_total", 2)
+        metrics.gauge("queue_depth", lambda: 7)
+        snapshot = metrics.to_dict()
+        assert snapshot["counters"]["jobs_submitted_total"] == 3
+        assert snapshot["gauges"]["queue_depth"] == 7.0
+
+    def test_latency_percentiles(self):
+        metrics = MetricsRegistry()
+        for ms in range(1, 101):
+            metrics.observe("job_exec", ms / 1000.0)
+        summary = metrics.latency_summary("job_exec")
+        assert summary["count"] == 100
+        assert summary["p50"] == pytest.approx(0.0505, abs=1e-3)
+        assert summary["p99"] == pytest.approx(0.099, abs=1e-3)
+        assert summary["mean"] == pytest.approx(0.0505, abs=1e-4)
+
+    def test_percentile_edge_cases(self):
+        assert percentile([], 0.5) == 0.0
+        assert percentile([3.0], 0.99) == 3.0
+        assert percentile([1.0, 2.0], 0.5) == pytest.approx(1.5)
+
+    def test_prometheus_rendering(self):
+        metrics = MetricsRegistry()
+        metrics.inc("jobs_submitted_total", 4)
+        metrics.gauge("queue_depth", lambda: 2)
+        metrics.observe("job_exec", 0.5)
+        text = metrics.render_prometheus()
+        assert "# TYPE repro_jobs_submitted_total counter" in text
+        assert "repro_jobs_submitted_total 4" in text
+        assert "repro_queue_depth 2" in text
+        assert "# TYPE repro_job_exec_seconds summary" in text
+        assert 'repro_job_exec_seconds{quantile="0.95"} 0.500000' in text
+        assert "repro_job_exec_seconds_count 1" in text
+        assert text.endswith("\n")

@@ -1,0 +1,178 @@
+"""End-to-end service tests over real HTTP (repro.service.server/client).
+
+The acceptance contract: four concurrent clients submitting the same
+figure-2-style sweep share ONE engine execution (dedup counter = 3), all
+four read bit-identical results matching a direct Workbench run, and
+``/metrics`` reports consistent queue/cache counters throughout.
+
+Kept fast with a deliberately tiny trace (the same sizing the engine
+runner tests use); the service is started in-process on an ephemeral port.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.config import StorePrefetchMode
+from repro.harness import ExperimentSettings, Workbench
+from repro.service import ReproService, ServiceClient, ServiceError
+
+SMALL = ExperimentSettings(warmup=1500, measure=4000, seed=11,
+                           calibrate=False)
+
+#: A miniature Figure 2 slice: the store-prefetch axis on one workload.
+FIG2_AXES = {"store_prefetch": ["sp0", "sp1", "sp2"]}
+
+
+@pytest.fixture()
+def service(tmp_path):
+    """An in-process daemon with the dispatcher held back, so tests can
+    stage a deterministic backlog before anything executes."""
+    svc = ReproService(
+        settings=SMALL,
+        cache_dir=tmp_path / "cache",
+        workers=1,
+        start_dispatcher=False,
+    ).start()
+    yield svc
+    svc.stop()
+
+
+@pytest.fixture()
+def client(service):
+    return ServiceClient(service.url, timeout=30.0)
+
+
+class TestEndToEnd:
+    def test_four_concurrent_clients_one_execution(self, service, client):
+        receipts = []
+        barrier = threading.Barrier(4)
+
+        def submit():
+            own = ServiceClient(service.url, timeout=30.0)
+            barrier.wait()
+            receipts.append(
+                own.submit_sweep("database", **FIG2_AXES)
+            )
+
+        threads = [threading.Thread(target=submit) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        # (a) all four submissions resolved to one job, three deduplicated
+        ids = {receipt["id"] for receipt in receipts}
+        assert len(ids) == 1
+        assert sum(receipt["deduped"] for receipt in receipts) == 3
+        assert service.metrics.counter("jobs_deduped_total") == 3
+        assert service.metrics.counter("jobs_submitted_total") == 4
+
+        service.start_dispatcher()
+        job_id = ids.pop()
+        statuses = [client.wait(job_id, timeout=240.0) for _ in range(4)]
+
+        # (b) every client reads the same bit-identical results, equal to
+        # a direct (service-free) Workbench run of the same points
+        reports = [ServiceClient.decode_report(s) for s in statuses]
+        bench = Workbench(SMALL, cache_dir=None)
+        for mode, job in zip(StorePrefetchMode, reports[0].jobs):
+            assert job.ok
+            direct = bench.run("database", store_prefetch=mode)
+            assert job.result == direct
+        for report in reports[1:]:
+            assert report == reports[0]
+        assert statuses[0]["dedup_count"] == 3
+
+        # (c) /metrics agrees with what actually happened
+        metrics = client.metrics()
+        counters = metrics["counters"]
+        assert counters["jobs_submitted_total"] == 4
+        assert counters["jobs_deduped_total"] == 3
+        assert counters["jobs_done_total"] == 1
+        assert counters.get("jobs_failed_total", 0) == 0
+        gauges = metrics["gauges"]
+        assert gauges["queue_depth"] == 0
+        assert gauges["jobs_done"] == 1
+        assert gauges["jobs_queued"] == gauges["jobs_running"] == 0
+        stats = service.engine.artifacts.stats
+        assert gauges["cache_misses"] == stats.misses
+        assert gauges["cache_memory_hits"] == stats.memory_hits
+        assert metrics["latency"]["job_exec"]["count"] == 1
+        prom = client.metrics(format="text")
+        assert "repro_jobs_deduped_total 3" in prom
+        assert "repro_queue_depth 0" in prom
+
+    def test_healthz(self, client):
+        health = client.health()
+        assert health["status"] == "ok"
+        assert health["settings"]["measure"] == SMALL.measure
+        assert health["jobs"]["queued"] == 0
+
+    def test_simulate_job_and_status_payload(self, service, client):
+        service.start_dispatcher()
+        receipt = client.submit_simulate(
+            "database", store_prefetch="sp1", store_queue=16,
+        )
+        status = client.wait(receipt["id"], timeout=240.0)
+        assert status["state"] == "done"
+        report = ServiceClient.decode_report(status)
+        direct = Workbench(SMALL, cache_dir=None).run(
+            "database",
+            store_prefetch=StorePrefetchMode.AT_RETIRE,
+            store_queue=16,
+        )
+        assert report.jobs[0].result == direct
+
+    def test_cancel_queued_job_via_http(self, service, client):
+        # dispatcher never started: the job stays queued
+        receipt = client.submit_sweep("tpcw", store_queue=[16])
+        cancelled = client.cancel(receipt["id"])
+        assert cancelled["cancelled"] is True
+        status = client.status(receipt["id"])
+        assert status["state"] == "cancelled"
+        # cancelling again conflicts
+        with pytest.raises(ServiceError) as excinfo:
+            client.cancel(receipt["id"])
+        assert excinfo.value.status == 409
+
+    def test_bad_requests_answer_400(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit({"kind": "sweep"})
+        assert excinfo.value.status == 400
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit({
+                "kind": "sweep",
+                "sweep": {"workloads": ["database"],
+                          "axes": {"store_prefetch": ["warp9"]}},
+            })
+        assert excinfo.value.status == 400
+        assert "warp9" in str(excinfo.value)
+
+    def test_unknown_job_404(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.status("doesnotexist")
+        assert excinfo.value.status == 404
+
+    def test_job_listing(self, service, client):
+        client.submit_sweep("database", store_queue=[16])
+        client.submit_sweep("tpcw", store_queue=[16])
+        listed = client.jobs()
+        assert len(listed) == 2
+        assert {job["state"] for job in listed} == {"queued"}
+
+    def test_failed_job_carries_traceback(self, service, client,
+                                          monkeypatch):
+        def boom(request):
+            raise RuntimeError("engine exploded")
+
+        monkeypatch.setattr(service.dispatcher, "executor", boom)
+        service.start_dispatcher()
+        receipt = client.submit_sweep("database", store_queue=[16])
+        status = client.wait(receipt["id"], timeout=30.0)
+        assert status["state"] == "failed"
+        assert "engine exploded" in status["error"]
+        assert "RuntimeError" in status["traceback"]
+        assert client.metrics()["counters"]["jobs_failed_total"] == 1

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Continuous perf benchmark of the MLPsim core loop.
+
+Thin driver over :mod:`repro.bench.perf` (same engine as
+``mlpsim bench --perf``) for running the harness straight from a checkout::
+
+    PYTHONPATH=src python benchmarks/perf/run_perf.py
+    PYTHONPATH=src python benchmarks/perf/run_perf.py \
+        --out BENCH_core.json --baseline BENCH_core.json
+
+The harness is deliberately separate from the pytest-benchmark files one
+directory up: those measure *model-level* quantities (EPI orderings across
+figures), this measures *implementation speed* — instructions simulated
+per wall-clock second over fixed, seeded traces — and gates regressions
+against the committed ``BENCH_core.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Measure MLPsim core-loop throughput "
+                    "(instructions/sec per workload profile)",
+    )
+    parser.add_argument(
+        "--reps", type=int, default=5,
+        help="timed repetitions per profile, median reported (default 5)",
+    )
+    parser.add_argument(
+        "--warmup-reps", type=int, default=2,
+        help="untimed repetitions before measuring (default 2)",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the report as JSON (a pre-existing 'baseline' section "
+             "in the target file is preserved)",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="fail (exit 1) if insts/sec regresses vs this report",
+    )
+    parser.add_argument(
+        "--max-regression", type=float, default=0.20,
+        help="tolerated fractional insts/sec drop (default 0.20)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.bench.perf import main as perf_main
+
+    return perf_main(
+        reps=args.reps,
+        warmup_reps=args.warmup_reps,
+        out=args.out,
+        baseline=args.baseline,
+        max_regression=args.max_regression,
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,13 +15,13 @@ from __future__ import annotations
 
 import sys
 
-from repro import ExperimentSettings, Workbench
+from repro import api
 from repro.harness.formatting import format_table
 
 
 def main() -> None:
     measure = int(sys.argv[1]) if len(sys.argv) > 1 else 80_000
-    bench = Workbench(ExperimentSettings(
+    bench = api.workbench(api.ExperimentSettings(
         warmup=measure // 3, measure=measure, seed=2, calibrate=False,
     ))
 

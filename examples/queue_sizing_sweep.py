@@ -13,23 +13,25 @@ from __future__ import annotations
 
 import sys
 
-from repro import ExperimentSettings, StorePrefetchMode, Workbench
+from repro import StorePrefetchMode, api
 from repro.harness.formatting import format_table
-from repro.harness.sweeps import best_point, pareto_front, sweep
+from repro.harness.sweeps import best_point, pareto_front
 
 
 def main() -> None:
     workload = sys.argv[1] if len(sys.argv) > 1 else "database"
-    bench = Workbench(ExperimentSettings(
-        warmup=25_000, measure=60_000, seed=6, calibrate=False,
-    ))
 
-    records = sweep(
-        bench,
+    spec = api.SweepSpec.build(
         workload,
         store_buffer=[8, 16, 32],
         store_queue=[16, 32, 64],
         store_prefetch=list(StorePrefetchMode),
+    )
+    records = api.sweep(
+        spec,
+        settings=api.ExperimentSettings(
+            warmup=25_000, measure=60_000, seed=6, calibrate=False,
+        ),
     )
 
     best = best_point(records)

@@ -1,7 +1,13 @@
 #!/usr/bin/env python
 """Quickstart: simulate the paper's default processor on one workload.
 
-Pipeline walked through explicitly (the Workbench automates all of this):
+The one-line version goes through the :mod:`repro.api` facade::
+
+    from repro import api
+    print(api.run("database").summary())
+
+Below, the same pipeline walked through explicitly (``api.run`` automates
+all of this):
 
 1. take a commercial workload profile and generate a synthetic trace,
 2. classify every access through the cache hierarchy and branch predictor,

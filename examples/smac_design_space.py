@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import sys
 
-from repro import ExperimentSettings, SmacConfig, Workbench
+from repro import SmacConfig, api
 from repro.config import StorePrefetchMode
 from repro.harness.figures import smac_memory_config, smac_scaled_profile
 from repro.harness.formatting import format_table
@@ -21,7 +21,7 @@ from repro.harness.formatting import format_table
 
 def main() -> None:
     workload = sys.argv[1] if len(sys.argv) > 1 else "database"
-    bench = Workbench(ExperimentSettings(
+    bench = api.workbench(api.ExperimentSettings(
         warmup=60_000, measure=90_000, seed=4, calibrate=False,
     ))
     bench.set_profile(workload, smac_scaled_profile(workload))

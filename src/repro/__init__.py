@@ -19,16 +19,16 @@ vehicle MLPsim, together with every substrate the study depends on:
 - result analysis (:mod:`repro.analysis`) and the table/figure
   reproduction harness (:mod:`repro.harness`).
 
-Quickstart::
+Quickstart (see :mod:`repro.api` for the full front door)::
 
-    from repro import Workbench
+    from repro import api
 
-    bench = Workbench()
-    result = bench.run("database")           # default paper configuration
+    result = api.run("database")             # default paper configuration
     print(result.summary())
     print(result.epi_per_1000)               # the paper's figure unit
 """
 
+from . import api
 from .config import (
     BranchPredictorConfig,
     CacheConfig,
@@ -92,5 +92,6 @@ __all__ = [
     "WorkloadGenerator",
     "WorkloadProfile",
     "annotate_trace",
+    "api",
     "simulate",
 ]

@@ -1,0 +1,162 @@
+"""The unified entry point for running, sweeping and remoting simulations.
+
+Three execution surfaces accreted as the codebase grew — the serial
+:class:`~repro.harness.experiment.Workbench`, the process-pool
+:class:`~repro.engine.runner.EngineRunner` and the HTTP
+:class:`~repro.service.client.ServiceClient` — each with its own
+construction ritual.  This module is the single documented front door over
+all three:
+
+- :func:`run` — one simulation, one result::
+
+      from repro import api
+
+      result = api.run("database", store_prefetch="sp2")
+      print(result.epi_per_1000)
+
+- :func:`sweep` — a configuration grid, executed in parallel through the
+  engine's worker pool with artifact caching::
+
+      spec = api.SweepSpec.build(
+          "database", store_queue=[16, 32, 64],
+          store_prefetch=["sp0", "sp1", "sp2"],
+      )
+      records = api.sweep(spec)
+      best = min(records, key=lambda r: r.epi_per_1000)
+
+- :func:`connect` — the same verbs against a running service daemon::
+
+      client = api.connect("http://127.0.0.1:8137")
+      receipt = client.submit_sweep("database", store_queue=[16, 32])
+      report = client.result(receipt["id"])
+
+:func:`workbench` constructs the underlying serial workbench for repeated
+interactive runs that should share one annotated-trace cache.  The old
+import paths (``repro.harness.experiment.Workbench``,
+``repro.engine.runner.EngineRunner``, ``repro.service.client
+.ServiceClient``) keep working but are deprecated as *entry points*; new
+code should start here.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Mapping, Optional, Union
+
+from .config import SimulationConfig
+from .core.results import SimulationResult
+from .engine.runner import EngineRunner, RunReport
+from .harness.experiment import ExperimentSettings, Workbench
+from .harness.sweeps import SweepRecord, SweepSpec, valid_axes
+from .service.client import ServiceClient
+
+__all__ = [
+    "EngineRunner",
+    "ExperimentSettings",
+    "RunReport",
+    "ServiceClient",
+    "SimulationConfig",
+    "SimulationResult",
+    "SweepRecord",
+    "SweepSpec",
+    "Workbench",
+    "connect",
+    "run",
+    "sweep",
+    "valid_axes",
+    "workbench",
+]
+
+
+def workbench(
+    settings: Optional[ExperimentSettings] = None,
+    cache_dir: Any = "auto",
+) -> Workbench:
+    """A serial workbench for repeated runs sharing one trace cache.
+
+    ``cache_dir="auto"`` persists artifacts under ``$REPRO_CACHE_DIR`` or
+    ``.repro-cache``; pass ``None`` for in-memory caching only.
+    """
+    return Workbench(settings or ExperimentSettings(), cache_dir=cache_dir)
+
+
+def run(
+    profile: str,
+    config: Optional[SimulationConfig] = None,
+    *,
+    variant: str = "pc",
+    settings: Optional[ExperimentSettings] = None,
+    cache_dir: Any = "auto",
+    bench: Optional[Workbench] = None,
+    **core_changes: Any,
+) -> SimulationResult:
+    """Simulate one workload *profile* under one configuration.
+
+    *profile* names a calibrated workload (``"database"``, ``"tpcw"``,
+    ``"specjbb"``, ``"specweb"``); *variant* selects the trace flavour
+    (``"pc"``, ``"wc"``, ``"pc_sle"``, ...).  *config* overrides the whole
+    :class:`SimulationConfig`; *core_changes* tweak individual core fields
+    (``store_prefetch="sp2"``, ``store_queue=64``, ...) — see
+    :func:`valid_axes` for the accepted names.  Pass *bench* (from
+    :func:`workbench`) to reuse an annotated trace across calls.
+    """
+    if bench is None:
+        bench = workbench(settings, cache_dir)
+    return bench.run(profile, variant=variant, config=config, **core_changes)
+
+
+def sweep(
+    spec: Union[SweepSpec, Mapping[str, Any]],
+    *,
+    settings: Optional[ExperimentSettings] = None,
+    cache_dir: Any = "auto",
+    workers: Optional[int] = None,
+    job_timeout: float = 600.0,
+    runner: Optional[EngineRunner] = None,
+) -> List[SweepRecord]:
+    """Execute a sweep *spec* and return one record per grid point.
+
+    *spec* is a :class:`SweepSpec` (build one with
+    :meth:`SweepSpec.build`) or an equivalent mapping with ``workloads``,
+    ``axes`` and optionally ``variant`` keys — the same shape the service
+    protocol accepts.  The grid fans out across *workers* processes
+    (default ``min(4, cpus)``) sharing the persistent artifact cache;
+    records come back workload-major in grid order, deterministically.
+    """
+    if not isinstance(spec, SweepSpec):
+        try:
+            workloads = spec["workloads"]
+            axes = dict(spec["axes"])
+        except (TypeError, KeyError) as exc:
+            raise TypeError(
+                "spec must be a SweepSpec or a mapping with 'workloads' "
+                "and 'axes' keys"
+            ) from exc
+        spec = SweepSpec.build(workloads, spec.get("variant", "pc"), **axes)
+    if runner is None:
+        runner = EngineRunner(
+            settings=settings or ExperimentSettings(),
+            cache_dir=cache_dir,
+            workers=workers,
+            job_timeout=job_timeout,
+        )
+    report = runner.run(spec.to_jobs())
+    return spec.records(report)
+
+
+def connect(
+    url: str,
+    *,
+    timeout: float = 30.0,
+    retries: int = 3,
+    backoff: float = 0.1,
+) -> ServiceClient:
+    """A client for a running simulation service daemon.
+
+    The returned :class:`ServiceClient` speaks the versioned wire protocol
+    and mirrors this module's verbs: ``submit`` (and the
+    ``submit_sweep``/``submit_simulate``/``submit_figure`` conveniences),
+    ``result`` and ``cancel``.
+    """
+    return ServiceClient(
+        url, timeout=timeout, retries=retries, backoff=backoff,
+    )

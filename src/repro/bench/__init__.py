@@ -1,0 +1,33 @@
+"""Performance measurement harnesses for the repro codebase.
+
+:mod:`repro.bench.perf` is the core-loop microbenchmark behind
+``mlpsim bench --perf`` and the committed ``BENCH_core.json`` baseline:
+fixed seeds, warmup reps, median-of-k timing, instructions/sec and
+epochs/sec per workload profile, plus the regression check the CI
+perf-smoke step runs.
+
+The methodology (and why it ships with the repo instead of living in a
+gist) follows the ECM-model paper's position that a performance claim is
+only as good as its measurement recipe: every number in ``BENCH_core.json``
+is reproducible by re-running the same harness at the same settings.
+"""
+
+from .perf import (
+    BENCH_FILENAME,
+    BenchProfile,
+    DEFAULT_PROFILES,
+    check_regression,
+    load_report,
+    run_core_bench,
+    write_report,
+)
+
+__all__ = [
+    "BENCH_FILENAME",
+    "BenchProfile",
+    "DEFAULT_PROFILES",
+    "check_regression",
+    "load_report",
+    "run_core_bench",
+    "write_report",
+]

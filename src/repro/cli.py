@@ -13,6 +13,11 @@ and drives the engine layer for parallel work::
         --axis store_prefetch=sp0,sp1,sp2 --workers 4
     mlpsim figures --names figure2,figure3 --workers 4
     mlpsim bench --smoke
+    mlpsim bench --perf --out BENCH_core.json --baseline BENCH_core.json
+
+Commands are thin wrappers over :mod:`repro.api` (the documented library
+facade) — anything the CLI does is a few lines of ``api.run`` /
+``api.sweep`` / ``api.connect`` away in a script.
 
 or runs as / talks to a long-lived simulation service::
 
@@ -35,10 +40,12 @@ import json
 import sys
 from typing import Any, Dict, List, Sequence, Tuple
 
+from . import api
 from .config import ConsistencyModel, ScoutMode, StorePrefetchMode
 from .engine import EngineRunner, JobSpec
 from .harness import (
     ExperimentSettings,
+    SweepSpec,
     Workbench,
     coerce_axis_value,
     figure2,
@@ -49,7 +56,6 @@ from .harness import (
     figure7,
     figure8,
     format_series,
-    sweep,
     table1,
     table2,
     table3,
@@ -159,13 +165,39 @@ def _build_parser() -> argparse.ArgumentParser:
     figs.add_argument("--workers", type=int, default=None)
 
     bench_cmd = sub.add_parser(
-        "bench", help="engine smoke benchmarks",
+        "bench", help="engine smoke test or core-loop perf benchmark",
     )
     bench_cmd.add_argument(
         "--smoke", action="store_true",
         help="run one tiny parallel sweep end-to-end as a smoke test",
     )
     bench_cmd.add_argument("--workers", type=int, default=2)
+    bench_cmd.add_argument(
+        "--perf", action="store_true",
+        help="measure the core simulation loop (instructions/sec per "
+             "profile, median of --reps)",
+    )
+    bench_cmd.add_argument(
+        "--reps", type=int, default=5,
+        help="timed repetitions per perf profile (default 5)",
+    )
+    bench_cmd.add_argument(
+        "--warmup-reps", type=int, default=2,
+        help="untimed repetitions before measuring (default 2)",
+    )
+    bench_cmd.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the perf report as JSON (e.g. BENCH_core.json)",
+    )
+    bench_cmd.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="regression-gate against this committed perf report",
+    )
+    bench_cmd.add_argument(
+        "--max-regression", type=float, default=0.20,
+        help="allowed insts/sec drop vs --baseline before failing "
+             "(default 0.20)",
+    )
 
     srv = sub.add_parser(
         "serve",
@@ -360,15 +392,16 @@ def _cmd_sweep(args, settings: ExperimentSettings, workloads) -> int:
     if not axes:
         print("sweep needs at least one --axis", file=sys.stderr)
         return 2
-    runner = EngineRunner(
+    try:
+        spec = SweepSpec.build(args.workload, args.variant, **axes)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    records = api.sweep(
+        spec,
         settings=settings,
         cache_dir=_cache_dir(args),
         workers=args.workers,
         job_timeout=args.timeout,
-    )
-    bench = Workbench(settings, cache_dir=_cache_dir(args))
-    records = sweep(
-        bench, args.workload, args.variant, runner=runner, **axes,
     )
     rows = [
         [record.label(), record.epi_per_1000, record.mlp,
@@ -489,13 +522,13 @@ def _print_job_status(status: Dict[str, Any]) -> None:
 
 
 def _cmd_submit(args) -> int:
-    from .service import ServiceClient, ServiceError
+    from .service import ServiceError
 
     axes = dict(_parse_axis(spec) for spec in args.axis)
     if not axes:
         print("submit needs at least one --axis", file=sys.stderr)
         return 2
-    client = ServiceClient(args.url)
+    client = api.connect(args.url)
     try:
         receipt = client.submit_sweep(
             args.workload, variant=args.variant, priority=args.priority,
@@ -518,10 +551,10 @@ def _cmd_submit(args) -> int:
 
 
 def _cmd_status(args) -> int:
-    from .service import ServiceClient, ServiceError
+    from .service import ServiceError
 
     try:
-        status = ServiceClient(args.url).status(args.job_id)
+        status = api.connect(args.url).status(args.job_id)
     except ServiceError as exc:
         print(f"status failed: {exc}", file=sys.stderr)
         return 1
@@ -592,8 +625,18 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "figures":
         return _cmd_figures(args, settings, workloads)
     if args.command == "bench":
+        if args.perf:
+            from .bench.perf import main as perf_main
+
+            return perf_main(
+                reps=args.reps,
+                warmup_reps=args.warmup_reps,
+                out=args.out,
+                baseline=args.baseline,
+                max_regression=args.max_regression,
+            )
         if not args.smoke:
-            print("bench requires --smoke", file=sys.stderr)
+            print("bench requires --smoke or --perf", file=sys.stderr)
             return 2
         return _cmd_bench_smoke(args, settings)
 
@@ -613,8 +656,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         sections = args.sections or list(ALL_SECTIONS)
         sys.stdout.write(generate_report(bench, sections))
     elif args.command == "run":
-        result = bench.run(
+        result = api.run(
             args.workload,
+            bench=bench,
             variant=("wc" if args.consistency == "wc" else "pc")
             + ("_sle" if args.sle else ""),
             store_prefetch=_PREFETCH[args.prefetch],

@@ -34,6 +34,16 @@ result accounting in :class:`~repro.core.window.EpochAccountant`, and each
 instruction class has its own ``_handle_*`` method — see
 :mod:`repro.core.window` for the decomposition rationale and the observer
 hooks that let instrumentation attach without touching this hot path.
+
+Hot path: the per-instruction scan is the throughput bottleneck of every
+paper-figure sweep, so :meth:`MlpSimulator._scan_window` trades a little
+handler symmetry for speed.  The four common classes (ALU-like, loads,
+stores, control) are recognized with identity tests ordered by dynamic
+frequency and the ALU/load/control bodies are inlined into the loop; only
+the rare serializing classes go through ``self._serial_handlers``, a
+dispatch table precomputed per consistency model at construction.  The
+golden-result tests pin the outputs to the pre-optimization values
+(``benchmarks/perf`` tracks the speed).
 """
 
 from __future__ import annotations
@@ -47,7 +57,6 @@ from ..config import (
     SimulationConfig,
 )
 from ..isa import Instruction, InstructionClass
-from ..isa.opcodes import is_control
 from ..memory.annotate import AccessInfo, AnnotatedTrace
 from .epoch import TerminationCondition, TriggerKind
 from .results import SimulationResult
@@ -65,12 +74,18 @@ _SCOUTABLE = frozenset({
     TerminationCondition.OTHER_SERIALIZE,
 })
 
-_LOAD_KINDS = (InstructionClass.LOAD, InstructionClass.LOAD_LOCKED)
-_STORE_KINDS = (InstructionClass.STORE, InstructionClass.STORE_COND)
-
 
 class MlpSimulator:
     """Epoch MLP simulator bound to one configuration."""
+
+    __slots__ = (
+        "config",
+        "core",
+        "overlap_depth",
+        "scout_depth",
+        "observer",
+        "_serial_handlers",
+    )
 
     def __init__(
         self,
@@ -84,6 +99,28 @@ class MlpSimulator:
         #: Instructions one Hardware Scout episode can cover.
         self.scout_depth: int = config.scout_depth
         self.observer = observer
+        # Precomputed dispatch for the serializing instruction classes.
+        # The consistency model decides each class's semantics once, here,
+        # instead of per instruction inside the scan loop.  All handlers
+        # share the (trace, state, inst, info) signature.
+        if self.core.consistency is ConsistencyModel.PC:
+            self._serial_handlers = {
+                InstructionClass.CAS: self._handle_serializer_pc,
+                InstructionClass.MEMBAR: self._handle_serializer_pc,
+                # isync waits on older instructions only under WC; in a
+                # PC-configured run it executes freely.
+                InstructionClass.ISYNC: self._handle_freely,
+                InstructionClass.LWSYNC: self._handle_barrier,
+            }
+        else:
+            self._serial_handlers = {
+                # CAS in a WC-configured run of a TSO trace: an atomic
+                # load+store without TSO's drain semantics.
+                InstructionClass.CAS: self._handle_wc_cas,
+                InstructionClass.MEMBAR: self._handle_barrier,
+                InstructionClass.ISYNC: self._handle_isync_wc,
+                InstructionClass.LWSYNC: self._handle_barrier,
+            }
 
     # ------------------------------------------------------------------ run --
 
@@ -129,20 +166,60 @@ class MlpSimulator:
         state: WindowState,
         accountant: EpochAccountant,
     ) -> None:
-        """Grow the instruction window until a termination condition fires."""
+        """Grow the instruction window until a termination condition fires.
+
+        The common instruction classes (ALU-like, loads, stores, control —
+        identity tests ordered by dynamic frequency) are handled inline
+        with every loop-invariant bound to a local; `state.pos` is carried
+        in the local ``pos`` and synced back whenever an out-of-line
+        handler (which may read it) runs, and once at loop exit.  The
+        inlined bodies are line-for-line equivalents of the former
+        ``_handle_alu`` / ``_handle_load`` / ``_handle_control`` methods.
+        """
         core = self.core
         n = len(trace)
-        while state.termination is None:
-            self._drain_overlapped_stores(state, accountant)
+        # `cur` is constant for the duration of one scan (the epoch clock
+        # only advances between scans), so the scoreboard comparisons can
+        # use locals throughout.
+        cur = state.cur
+        resolved = state.resolved
+        scoreboard = state.scoreboard
+        ready = scoreboard._ready
+        replay = state.replay
+        deferred_other = state.deferred_other
+        issue_window = core.issue_window
+        rob_limit = core.rob
+        load_buffer = core.load_buffer
+        serial_handlers = self._serial_handlers
+        handle_store = self._handle_store
+        kind_alu = InstructionClass.ALU
+        kind_nop = InstructionClass.NOP
+        kind_prefetch = InstructionClass.PREFETCH
+        kind_load = InstructionClass.LOAD
+        kind_load_locked = InstructionClass.LOAD_LOCKED
+        kind_store = InstructionClass.STORE
+        kind_store_cond = InstructionClass.STORE_COND
+        kind_branch = InstructionClass.BRANCH
+        kind_call = InstructionClass.CALL
+        kind_return = InstructionClass.RETURN
+        pos = state.pos
+        while True:
+            if (
+                state.store_events
+                and not state.blocking
+                and state.out_loads == 0
+            ):
+                state.pos = pos
+                self._drain_overlapped_stores(state, accountant)
 
-            if state.pos >= n:
+            if pos >= n:
                 state.termination = TerminationCondition.END_OF_TRACE
                 break
 
-            if state.iw_occ >= core.issue_window or (
+            if state.iw_occ >= issue_window or (
                 state.blocking and (
-                    state.rob_occ >= core.rob
-                    or state.loads_inflight >= core.load_buffer
+                    state.rob_occ >= rob_limit
+                    or state.loads_inflight >= load_buffer
                 )
             ):
                 state.termination = (
@@ -152,65 +229,123 @@ class MlpSimulator:
                 )
                 break
 
-            inst, info = trace[state.pos]
+            inst, info = trace[pos]
 
-            if info.inst_miss and state.pos not in state.resolved:
-                state.resolved.add(state.pos)
+            if info.inst_miss and pos not in resolved:
+                resolved.add(pos)
                 state.out_insts += 1
                 if state.trigger is None:
                     state.trigger = TriggerKind.INSTRUCTION
-                    state.first_issue_pos = state.pos
+                    state.first_issue_pos = pos
                 state.termination = TerminationCondition.INSTRUCTION_MISS
                 break  # pos stays: the instruction executes next epoch
 
-            state.advance = True
-            self._dispatch(trace, state, accountant, inst, info)
-            if state.termination is not None:
-                break  # pos stays: the stalled instruction retries next epoch
+            kind = inst.kind
 
-            if state.advance:
-                state.pos += 1
+            if kind is kind_alu or kind is kind_nop or kind is kind_prefetch:
+                # ALU / NOP / PREFETCH: executes now or occupies a window
+                # slot until its off-chip input returns.
+                latest = 0
+                for reg in inst.srcs:
+                    if reg > 0:
+                        epoch = ready[reg]
+                        if epoch > latest:
+                            latest = epoch
+                dest = inst.dest
+                if dest > 0:
+                    value = latest if latest > cur else cur
+                    if value > ready[dest]:
+                        ready[dest] = value
+                if latest > cur:
+                    state.iw_occ += 1
+                    deferred_other.append(latest)
+                pos += 1
                 if state.blocking:
                     state.rob_occ += 1
+                continue
 
+            if kind is kind_load or kind is kind_load_locked:
+                # A load issues, defers on a register dependence, or misses.
+                latest = 0
+                for reg in inst.srcs:
+                    if reg > 0:
+                        epoch = ready[reg]
+                        if epoch > latest:
+                            latest = epoch
+                will_miss = info.data_miss and pos not in resolved
+                if latest > cur:
+                    resolved.add(pos)
+                    replay.append(DeferredLoad(
+                        exec_epoch=latest,
+                        index=pos,
+                        dest=inst.dest,
+                        missing=will_miss,
+                    ))
+                    dest = inst.dest
+                    if dest > 0:
+                        value = latest + 1 if will_miss else latest
+                        if value > ready[dest]:
+                            ready[dest] = value
+                    state.iw_occ += 1
+                elif will_miss:
+                    resolved.add(pos)
+                    state.pos = pos
+                    state.note_load_miss(inst.dest)
+                else:
+                    dest = inst.dest
+                    if dest > 0 and cur > ready[dest]:
+                        ready[dest] = cur
+                    if state.blocking:
+                        state.loads_inflight += 1
+                pos += 1
+                if state.blocking:
+                    state.rob_occ += 1
+                continue
+
+            if kind is kind_branch or kind is kind_call or kind is kind_return:
+                # A mispredicted branch dependent on a missing load stops
+                # the window; mispredictions resolvable on chip are free.
+                if info.mispredicted:
+                    latest = 0
+                    for reg in inst.srcs:
+                        if reg > 0:
+                            epoch = ready[reg]
+                            if epoch > latest:
+                                latest = epoch
+                    if latest > cur and state.out_loads > 0:
+                        state.termination = (
+                            TerminationCondition.MISPRED_BRANCH
+                        )
+                        pos += 1  # resolves at epoch end; resume after it
+                        break
+                pos += 1
+                if state.blocking:
+                    state.rob_occ += 1
+                continue
+
+            if kind is kind_store or kind is kind_store_cond:
+                state.pos = pos
+                handle_store(state, accountant, inst, info)
+                if state.termination is not None:
+                    break  # pos stays: re-dispatch next epoch
+                pos += 1
+                if state.blocking:
+                    state.rob_occ += 1
+                continue
+
+            # Rare serializing classes (CAS/MEMBAR/ISYNC/LWSYNC) through the
+            # per-model dispatch table.
+            state.pos = pos
+            serial_handlers[kind](trace, state, inst, info)
+            if state.termination is not None:
+                break  # pos stays: the stalled instruction retries next epoch
+            pos += 1
+            if state.blocking:
+                state.rob_occ += 1
+
+        state.pos = pos
         if state.observer is not None and state.termination is not None:
-            state.observer.on_termination(state.termination, state.pos, state.cur)
-
-    def _dispatch(
-        self,
-        trace: AnnotatedTrace,
-        state: WindowState,
-        accountant: EpochAccountant,
-        inst: Instruction,
-        info: AccessInfo,
-    ) -> None:
-        """Route one instruction to its class handler."""
-        kind = inst.kind
-        model = self.core.consistency
-        if kind in _STORE_KINDS:
-            self._handle_store(state, accountant, inst, info)
-        elif kind is InstructionClass.CAS or (
-            kind is InstructionClass.MEMBAR
-            and model is ConsistencyModel.PC
-        ):
-            if model is ConsistencyModel.PC:
-                self._handle_serializer_pc(trace, state, inst, info)
-            else:
-                # CAS in a WC-configured run of a TSO trace: an atomic
-                # load+store without TSO's drain semantics.
-                self._handle_wc_cas(state, inst, info)
-        elif kind is InstructionClass.ISYNC:
-            self._handle_isync(trace, state)
-        elif kind in (InstructionClass.LWSYNC, InstructionClass.MEMBAR):
-            # WC ordering barrier: orders store commits, does not stall
-            # the pipeline.
-            state.store_unit.add_barrier()
-        elif kind in _LOAD_KINDS:
-            self._handle_load(state, inst, info)
-        elif is_control(kind):
-            self._handle_control(state, inst, info)
-        else:
-            self._handle_alu(state, inst)
+            state.observer.on_termination(state.termination, pos, cur)
 
     def _drain_overlapped_stores(
         self, state: WindowState, accountant: EpochAccountant
@@ -325,6 +460,7 @@ class MlpSimulator:
 
     def _handle_wc_cas(
         self,
+        trace: AnnotatedTrace,
         state: WindowState,
         inst: Instruction,
         info: AccessInfo,
@@ -348,73 +484,39 @@ class MlpSimulator:
             return  # pos stays: re-dispatch next epoch
         state.scoreboard.produce_on_chip(inst.dest, state.cur)
 
-    def _handle_isync(self, trace: AnnotatedTrace, state: WindowState) -> None:
-        """``isync`` waits for older instructions only — never for the
-        store queue to drain.  Under PC (foreign trace) or with nothing
-        pending it executes freely."""
-        if (
-            self.core.consistency is ConsistencyModel.WC
-            and state.others_pending()
-        ):
+    def _handle_isync_wc(
+        self,
+        trace: AnnotatedTrace,
+        state: WindowState,
+        inst: Instruction,
+        info: AccessInfo,
+    ) -> None:
+        """``isync`` under WC waits for older instructions only — never for
+        the store queue to drain.  With nothing pending it executes freely.
+        (A PC-configured run maps ``isync`` to :meth:`_handle_freely`.)"""
+        if state.others_pending():
             state.termination = TerminationCondition.OTHER_SERIALIZE
             self._prefetch_past(trace, state)
 
-    def _handle_load(
+    def _handle_barrier(
         self,
+        trace: AnnotatedTrace,
         state: WindowState,
         inst: Instruction,
         info: AccessInfo,
     ) -> None:
-        """A load issues, defers on a register dependence, or misses."""
-        ready = state.scoreboard.ready_epoch(inst.reads())
-        will_miss = info.data_miss and state.pos not in state.resolved
-        if ready > state.cur:
-            state.resolved.add(state.pos)
-            state.replay.append(DeferredLoad(
-                exec_epoch=ready,
-                index=state.pos,
-                dest=inst.dest,
-                missing=will_miss,
-            ))
-            if inst.dest >= 0:
-                if will_miss:
-                    state.scoreboard.produce_off_chip(inst.dest, ready)
-                else:
-                    state.scoreboard.produce_on_chip(inst.dest, ready)
-            state.iw_occ += 1
-        elif will_miss:
-            state.resolved.add(state.pos)
-            state.note_load_miss(inst.dest)
-        else:
-            state.scoreboard.produce_on_chip(inst.dest, state.cur)
-            if state.blocking:
-                state.loads_inflight += 1
+        """WC ordering barrier (``lwsync``, or ``membar`` under a WC core):
+        orders store commits, does not stall the pipeline."""
+        state.store_unit.add_barrier()
 
-    def _handle_control(
+    def _handle_freely(
         self,
+        trace: AnnotatedTrace,
         state: WindowState,
         inst: Instruction,
         info: AccessInfo,
     ) -> None:
-        """A mispredicted branch dependent on a missing load stops the
-        window; mispredictions resolvable on chip cost no epoch."""
-        if info.mispredicted:
-            depends = state.scoreboard.ready_epoch(inst.reads()) > state.cur
-            if depends and state.out_loads > 0:
-                state.termination = TerminationCondition.MISPRED_BRANCH
-                state.pos += 1  # resolves at epoch end; resume after it
-
-    def _handle_alu(self, state: WindowState, inst: Instruction) -> None:
-        """ALU / NOP / PREFETCH: executes now or occupies a window slot
-        until its off-chip input returns."""
-        ready = state.scoreboard.ready_epoch(inst.reads())
-        if inst.dest >= 0:
-            state.scoreboard.produce_on_chip(
-                inst.dest, max(ready, state.cur)
-            )
-        if ready > state.cur:
-            state.iw_occ += 1
-            state.deferred_other.append(ready)
+        """A serializing instruction with no semantics under this model."""
 
     # ---------------------------------------------------------- epoch close --
 

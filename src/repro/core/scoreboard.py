@@ -14,11 +14,13 @@ from __future__ import annotations
 
 from typing import Iterable
 
-from ..isa.registers import NUM_REGISTERS, REG_NONE, REG_ZERO
+from ..isa.registers import NUM_REGISTERS, REG_ZERO
 
 
 class RegisterScoreboard:
     """Per-register earliest-consumable-epoch tracking."""
+
+    __slots__ = ("_ready",)
 
     def __init__(self, num_registers: int = NUM_REGISTERS) -> None:
         if num_registers <= 0:
@@ -28,12 +30,15 @@ class RegisterScoreboard:
     def ready_epoch(self, srcs: Iterable[int]) -> int:
         """Earliest epoch in which all of *srcs* are available.
 
-        The zero register and the "no register" sentinel never delay.
+        The zero register and the "no register" sentinel never delay
+        (``REG_NONE`` is negative and ``REG_ZERO`` is 0, so both fall under
+        the single ``<= 0`` guard; architectural registers are 1..N-1).
+        Accepts raw ``Instruction.srcs`` as well as pre-filtered tuples.
         """
         latest = 0
         ready = self._ready
         for reg in srcs:
-            if reg == REG_NONE or reg == REG_ZERO:
+            if reg <= 0:
                 continue
             epoch = ready[reg]
             if epoch > latest:

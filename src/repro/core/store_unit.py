@@ -65,7 +65,7 @@ class StoreEntry:
         return self.issued and self.miss_issued_epoch < current_epoch
 
 
-@dataclass
+@dataclass(slots=True)
 class StoreUnitStats:
     """Store-path activity, including the L2 bandwidth accounting behind
     the paper's SMAC motivation (Section 3.3.2/3.3.3).
@@ -97,7 +97,7 @@ class StoreUnitStats:
         return self.prefetch_requests / self.committed
 
 
-@dataclass
+@dataclass(slots=True)
 class DispatchResult:
     """Outcome of pushing one store into the unit."""
 
@@ -106,8 +106,31 @@ class DispatchResult:
     retire_stalled_sq_full: bool = False
 
 
+#: Shared results for the two side-effect-free dispatch outcomes.  Callers
+#: treat DispatchResult as read-only, so the common cases (buffer full;
+#: hit store committed straight through an empty unit) reuse one object
+#: instead of allocating.
+_REJECTED = DispatchResult(accepted=False)
+_FAST_COMMITTED = DispatchResult(accepted=True)
+
+
 class StoreUnit:
     """Store buffer + store queue under one consistency model."""
+
+    __slots__ = (
+        "config",
+        "model",
+        "sb",
+        "sq",
+        "stats",
+        "_pending_barrier",
+        "_sb_limit",
+        "_sq_limit",
+        "_coalesce_bytes",
+        "_is_pc",
+        "_issue_at_execute",
+        "_issues_any_at_retire",
+    )
 
     def __init__(self, config: CoreConfig) -> None:
         self.config = config
@@ -116,16 +139,36 @@ class StoreUnit:
         self.sq: Deque[StoreEntry] = deque()
         self.stats = StoreUnitStats()
         self._pending_barrier = False
+        # The consistency model and prefetch mode are fixed per run, so the
+        # per-store policy questions are answered once here.
+        self._sb_limit = config.store_buffer
+        self._sq_limit = config.store_queue
+        self._coalesce_bytes = config.coalesce_bytes
+        self._is_pc = config.consistency is ConsistencyModel.PC
+        self._issue_at_execute = (
+            config.store_prefetch is StorePrefetchMode.AT_EXECUTE
+            # WC machines acquire ownership as soon as the store address is
+            # known: stores are fully overlappable (paper Example 6, and
+            # the epoch-model predecessor's WC assumption).
+            or config.consistency is ConsistencyModel.WC
+        )
+        self._issues_any_at_retire = (
+            config.store_prefetch is StorePrefetchMode.AT_RETIRE
+            # WC commits out of order: each retired store's write is
+            # attempted independently, so its off-chip request goes out at
+            # retire even without a prefetcher.
+            or config.consistency is ConsistencyModel.WC
+        )
 
     # -- capacity ----------------------------------------------------------
 
     @property
     def sb_full(self) -> bool:
-        return len(self.sb) >= self.config.store_buffer
+        return len(self.sb) >= self._sb_limit
 
     @property
     def sq_full(self) -> bool:
-        return len(self.sq) >= self.config.store_queue
+        return len(self.sq) >= self._sq_limit
 
     @property
     def drained(self) -> bool:
@@ -139,11 +182,14 @@ class StoreUnit:
         remaining entries are hits or already-returned misses that drain on
         the next commit pass without exposing any latency.
         """
-        return all(
-            entry.completed(epoch)
-            for queue in (self.sb, self.sq)
-            for entry in queue
-        )
+        for queue in (self.sb, self.sq):
+            for entry in queue:
+                if entry.missing and not entry.accelerated and not (
+                    entry.miss_issued_epoch != _NOT_ISSUED
+                    and entry.miss_issued_epoch < epoch
+                ):
+                    return False
+        return True
 
     @property
     def occupancy(self) -> int:
@@ -174,25 +220,35 @@ class StoreUnit:
         effects — when the store buffer is full: the caller terminates the
         epoch window and retries next epoch.
         """
-        if self.sb_full:
-            return DispatchResult(accepted=False)
-        self.stats.dispatched += 1
-        issued: List[StoreEntry] = []
-        issue_at_execute = (
-            self.config.store_prefetch is StorePrefetchMode.AT_EXECUTE
-            # WC machines acquire ownership as soon as the store address is
-            # known: stores are fully overlappable (paper Example 6, and
-            # the epoch-model predecessor's WC assumption).
-            or self.model is ConsistencyModel.WC
-        )
+        sb = self.sb
+        if len(sb) >= self._sb_limit:
+            return _REJECTED
+        stats = self.stats
+        # Fast path for the dominant case: a store needing no off-chip
+        # request dispatched into an empty, unblocked unit.  It retires and
+        # commits in the same pump with no issue, no coalescing candidate
+        # and no possible stall, so the full machinery below reduces to two
+        # counter bumps.
         if (
-            issue_at_execute
+            retirable
+            and not sb
+            and not self.sq
+            and not self._pending_barrier
+            and (entry.accelerated or not entry.missing)
+        ):
+            stats.dispatched += 1
+            stats.committed += 1
+            return _FAST_COMMITTED
+        stats.dispatched += 1
+        issued: List[StoreEntry] = []
+        if (
+            self._issue_at_execute
             and entry.missing
             and not entry.accelerated
-            and not entry.issued
+            and entry.miss_issued_epoch == _NOT_ISSUED
         ):
             self._issue(entry, epoch, issued, prefetch=True)
-        self.sb.append(entry)
+        sb.append(entry)
         stalled = False
         if retirable:
             stalled = self._pump(epoch, issued)
@@ -215,49 +271,52 @@ class StoreUnit:
 
     def _pump(self, epoch: int, issued: List[StoreEntry]) -> bool:
         stalled = False
+        if self._is_pc:
+            commit = self._commit_pc
+        else:
+            commit = self._commit_wc
         while True:
-            before = (len(self.sb), len(self.sq))
-            issued.extend(self.commit_pass(epoch))
+            before_sb = len(self.sb)
+            before_sq = len(self.sq)
+            commit(epoch, issued)
             stalled = self._retire_all(epoch, issued)
-            issued.extend(self.commit_pass(epoch))
-            if (len(self.sb), len(self.sq)) == before:
+            commit(epoch, issued)
+            if len(self.sb) == before_sb and len(self.sq) == before_sq:
                 return stalled
 
     def _retire_all(self, epoch: int, issued: List[StoreEntry]) -> bool:
         """Move SB entries into the SQ; returns True when blocked on SQ-full."""
-        while self.sb:
-            entry = self.sb[0]
+        sb = self.sb
+        sq = self.sq
+        sq_limit = self._sq_limit
+        while sb:
+            entry = sb[0]
             if self._pending_barrier:
                 entry.barrier_before = True
                 self._pending_barrier = False
             if self._try_coalesce(entry):
-                self.sb.popleft()
+                sb.popleft()
                 self.stats.coalesced += 1
                 continue
-            if self.sq_full:
+            if len(sq) >= sq_limit:
                 return True
-            self.sb.popleft()
-            self.sq.append(entry)
-            if self._issues_at_retire(entry):
+            sb.popleft()
+            sq.append(entry)
+            if (
+                self._issues_any_at_retire
+                and entry.missing
+                and not entry.accelerated
+                and entry.miss_issued_epoch == _NOT_ISSUED
+            ):
                 self._issue(entry, epoch, issued, prefetch=True)
         return False
 
-    def _issues_at_retire(self, entry: StoreEntry) -> bool:
-        if not entry.missing or entry.accelerated or entry.issued:
-            return False
-        if self.config.store_prefetch is StorePrefetchMode.AT_RETIRE:
-            return True
-        # WC commits out of order: each retired store's write is attempted
-        # independently, so its off-chip request goes out at retire even
-        # without a prefetcher.
-        return self.model is ConsistencyModel.WC
-
     def _try_coalesce(self, entry: StoreEntry) -> bool:
-        if not self.config.coalesce_bytes or not self.sq:
+        if not self._coalesce_bytes or not self.sq:
             return False
         if entry.barrier_before:
             return False  # ordering: may not merge into pre-barrier stores
-        if self.model is ConsistencyModel.PC:
+        if self._is_pc:
             target = self.sq[-1]
             if target.granule == entry.granule:
                 target.missing = target.missing or entry.missing
@@ -291,21 +350,32 @@ class StoreUnit:
         return issued
 
     def _commit_pc(self, epoch: int, issued: List[StoreEntry]) -> None:
-        while self.sq:
-            head = self.sq[0]
-            if head.completed(epoch):
-                self.sq.popleft()
-                self.stats.committed += 1
+        sq = self.sq
+        stats = self.stats
+        while sq:
+            head = sq[0]
+            # Inlined StoreEntry.completed(): visible when a hit, SMAC-hit,
+            # or a miss issued in an earlier (hence finished) epoch.
+            if not head.missing or head.accelerated or (
+                head.miss_issued_epoch != _NOT_ISSUED
+                and head.miss_issued_epoch < epoch
+            ):
+                sq.popleft()
+                stats.committed += 1
                 continue
-            if not head.issued:
+            if head.miss_issued_epoch == _NOT_ISSUED:
                 # Sp0: the head's write request goes off chip now.
                 self._issue(head, epoch, issued)
             return
 
     def _commit_wc(self, epoch: int, issued: List[StoreEntry]) -> None:
+        sq = self.sq
+        if not sq:
+            return
         survivors: List[StoreEntry] = []
         barrier_blocked = False
-        for entry in self.sq:
+        committed = 0
+        for entry in sq:
             if barrier_blocked:
                 survivors.append(entry)
                 continue
@@ -315,13 +385,20 @@ class StoreUnit:
                 barrier_blocked = True
                 survivors.append(entry)
                 continue
-            if entry.completed(epoch):
-                self.stats.committed += 1
+            if not entry.missing or entry.accelerated or (
+                entry.miss_issued_epoch != _NOT_ISSUED
+                and entry.miss_issued_epoch < epoch
+            ):
+                committed += 1
                 continue
-            if not entry.issued:
+            if entry.miss_issued_epoch == _NOT_ISSUED:
                 self._issue(entry, epoch, issued)
             survivors.append(entry)
-        self.sq = deque(survivors)
+        if committed:
+            self.stats.committed += committed
+            self.sq = deque(survivors)
+        # Nothing committed → the queue contents are unchanged (issue only
+        # mutates entries in place), so skip the deque rebuild.
 
     def _issue(
         self,

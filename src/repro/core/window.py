@@ -108,7 +108,6 @@ class WindowState:
     epoch_start_pos: int = 0
     first_issue_pos: int = -1
     termination: Optional[TerminationCondition] = None
-    advance: bool = True
 
     # ------------------------------------------------------------ epochs --
 
@@ -179,12 +178,25 @@ class WindowState:
     # ---------------------------------------------------------- bookkeeping --
 
     def add_store_events(self, entries: List[StoreEntry]) -> None:
-        """Record newly issued store misses as outstanding in this window."""
+        """Record newly issued store misses as outstanding in this window.
+
+        Called after every store dispatch and pump, almost always with an
+        empty list, so the empty case returns before touching anything and
+        the no-observer case hoists the ``is None`` test out of the loop.
+        """
+        if not entries:
+            return
+        pos = self.pos
+        observer = self.observer
+        if observer is None:
+            for entry in entries:
+                entry.issue_position = pos
+            self.store_events.extend(entries)
+            return
         for entry in entries:
-            entry.issue_position = self.pos
+            entry.issue_position = pos
             self.store_events.append(entry)
-            if self.observer is not None:
-                self.observer.on_store_event(entry, self.pos, self.cur)
+            observer.on_store_event(entry, pos, self.cur)
 
     def note_store_trigger(self) -> None:
         """A store miss opened the epoch at the current position."""
@@ -225,6 +237,8 @@ class EpochAccountant:
     (which misses were charged to which epoch, what was hidden by overlap
     or scouting) stays auditable.
     """
+
+    __slots__ = ("result",)
 
     def __init__(self, instructions: int) -> None:
         self.result = SimulationResult(instructions=instructions)

@@ -1,5 +1,10 @@
 """Parallel job runner for simulation batches.
 
+.. deprecated:: entry point
+   Constructing an :class:`EngineRunner` directly still works, but new
+   code should go through :func:`repro.api.sweep`, which builds the runner
+   and pairs the report back with its sweep grid.
+
 A figure sweep is a batch of independent ``(workload, variant, core
 configuration)`` jobs.  :class:`EngineRunner` executes such a batch across
 worker processes (``concurrent.futures.ProcessPoolExecutor``) with a

@@ -29,6 +29,7 @@ from .sweeps import (
     pareto_front,
     sweep,
     sweep_workloads,
+    valid_axes,
 )
 from .tables import table1, table2, table3
 
@@ -55,4 +56,5 @@ __all__ = [
     "table1",
     "table2",
     "table3",
+    "valid_axes",
 ]

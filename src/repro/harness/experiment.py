@@ -1,5 +1,11 @@
 """The Workbench: cached end-to-end experiment plumbing.
 
+.. deprecated:: entry point
+   Constructing a :class:`Workbench` directly still works, but new code
+   should go through :mod:`repro.api` (``api.run`` / ``api.workbench``),
+   which fronts this module, the parallel engine and the service client
+   with one surface.
+
 Pipeline per (workload, variant):
 
 1. calibrate the profile against Table 1 (cached per workload),

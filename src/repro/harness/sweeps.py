@@ -52,14 +52,47 @@ AXIS_ENUMS: Dict[str, Dict[str, Any]] = {
     "consistency": {model.value: model for model in ConsistencyModel},
 }
 
+#: Boolean policy knobs on :class:`repro.config.CoreConfig`.
+AXIS_BOOLS = ("sle", "prefetch_past_serializing", "perfect_stores")
+
+#: Integer sizing knobs on :class:`repro.config.CoreConfig`.
+AXIS_INTS = (
+    "fetch_buffer", "issue_window", "rob", "load_buffer",
+    "store_buffer", "store_queue", "coalesce_bytes",
+)
+
+
+def valid_axes() -> Dict[str, str]:
+    """Every sweepable axis name mapped to a description of its values.
+
+    These are the scalar fields of :class:`repro.config.CoreConfig` (the
+    nested ``branch`` predictor config is not sweepable through an axis).
+    """
+    axes = {name: "int" for name in AXIS_INTS}
+    axes.update({name: "bool ('true'/'false')" for name in AXIS_BOOLS})
+    axes.update({
+        name: f"one of {sorted(mapping)}"
+        for name, mapping in AXIS_ENUMS.items()
+    })
+    return dict(sorted(axes.items()))
+
+
+def _axis_error(name: str, value: Any, expected: str) -> ValueError:
+    return ValueError(
+        f"bad value {value!r} for axis {name!r}: expected {expected}"
+    )
+
 
 def coerce_axis_value(name: str, value: Any) -> Any:
     """Turn one externally-supplied axis value into its typed form.
 
     Strings naming enum members (``"sp1"``, ``"hws2"``, ``"wc"``) become the
     enum; ``"true"``/``"false"`` become booleans; integer-looking strings
-    become ints; everything else passes through.  Raises ``ValueError`` for
-    an unknown member of an enum axis.
+    become ints.  An unknown axis name, or a value the axis's type cannot
+    represent, raises ``ValueError`` spelling out the valid axis names and
+    the expected values — the message the CLI and the service return
+    verbatim, so a typo comes back actionable instead of as a bare
+    ``KeyError`` deep in config construction.
     """
     mapping = AXIS_ENUMS.get(name)
     if mapping is not None:
@@ -67,25 +100,35 @@ def coerce_axis_value(name: str, value: Any) -> Any:
             try:
                 return mapping[value.lower()]
             except KeyError:
-                raise ValueError(
-                    f"bad value {value!r} for axis {name}: expected one of "
-                    f"{sorted(mapping)}"
+                raise _axis_error(
+                    name, value, f"one of {sorted(mapping)}"
                 ) from None
         if value in mapping.values():
             return value
-        raise ValueError(
-            f"bad value {value!r} for axis {name}: expected one of "
-            f"{sorted(mapping)}"
-        )
-    if isinstance(value, str):
-        lowered = value.lower()
-        if lowered in ("true", "false"):
-            return lowered == "true"
-        try:
-            return int(value)
-        except ValueError:
+        raise _axis_error(name, value, f"one of {sorted(mapping)}")
+    if name in AXIS_BOOLS:
+        if isinstance(value, bool):
             return value
-    return value
+        if isinstance(value, str) and value.lower() in ("true", "false"):
+            return value.lower() == "true"
+        raise _axis_error(name, value, "a bool or 'true'/'false'")
+    if name in AXIS_INTS:
+        if isinstance(value, bool):
+            raise _axis_error(name, value, "an integer")
+        if isinstance(value, int):
+            return value
+        if isinstance(value, str):
+            try:
+                return int(value)
+            except ValueError:
+                raise _axis_error(name, value, "an integer") from None
+        raise _axis_error(name, value, "an integer")
+    lines = ", ".join(
+        f"{axis} ({expected})" for axis, expected in valid_axes().items()
+    )
+    raise ValueError(
+        f"unknown sweep axis {name!r}; valid axes: {lines}"
+    )
 
 
 @dataclass(frozen=True)

@@ -58,6 +58,13 @@ AnnotatedTrace = List[Tuple[Instruction, AccessInfo]]
 
 _NO_ACCESS = AccessInfo()
 
+#: Interning table for the ≤32 possible flag combinations.  Annotated
+#: traces are held for the lifetime of a sweep (and cached across sweep
+#: points by the harness/engine caches), so sharing one immutable record
+#: per classification keeps millions of per-instruction annotations from
+#: each carrying their own object.
+_INTERNED: dict = {}
+
 
 def annotate_trace(
     trace: Iterable[Instruction],
@@ -126,10 +133,15 @@ def _classify(
         mispredicted = predictor.observe(inst)
     if not (inst_miss or data_miss or smac_hit or upgrade or mispredicted):
         return _NO_ACCESS
-    return AccessInfo(
-        inst_miss=inst_miss,
-        data_miss=data_miss,
-        smac_hit=smac_hit,
-        upgrade=upgrade,
-        mispredicted=mispredicted,
-    )
+    key = (inst_miss, data_miss, smac_hit, upgrade, mispredicted)
+    info = _INTERNED.get(key)
+    if info is None:
+        info = AccessInfo(
+            inst_miss=inst_miss,
+            data_miss=data_miss,
+            smac_hit=smac_hit,
+            upgrade=upgrade,
+            mispredicted=mispredicted,
+        )
+        _INTERNED[key] = info
+    return info

@@ -5,14 +5,21 @@ exponential backoff (a just-started daemon may not be accepting yet); HTTP
 error statuses do *not* retry — they carry the server's JSON error document
 and raise :class:`ServiceError` immediately.
 
-Typical use::
+The verbs mirror :mod:`repro.api` — ``submit`` / ``result`` / ``cancel`` —
+so code reads identically against local and remote execution.  New code
+should obtain a client via :func:`repro.api.connect` (importing from here
+still works, but the facade is the documented entry point).  Typical
+use::
 
     client = ServiceClient("http://127.0.0.1:8137")
     receipt = client.submit_sweep(
         "database", store_queue=[16, 32], store_prefetch=["sp0", "sp1"],
     )
-    status = client.wait(receipt["id"], timeout=600)
-    report = client.decode_report(status)       # a real RunReport
+    report = client.result(receipt["id"], timeout=600)   # a real RunReport
+
+Every submission carries the wire protocol version (``"v"``); a server
+speaking a different version answers with a structured 400 rather than
+misreading the body.
 """
 
 from __future__ import annotations
@@ -25,6 +32,7 @@ from typing import Any, Dict, List, Optional, Sequence, Union
 
 from ..engine import serialize
 from ..engine.runner import RunReport
+from .protocol import PROTOCOL_VERSION
 
 __all__ = ["ServiceClient", "ServiceError"]
 
@@ -113,7 +121,13 @@ class ServiceClient:
         return self._request("GET", "/metrics")
 
     def submit(self, payload: Dict[str, Any]) -> Dict[str, Any]:
-        """Submit a raw protocol body; returns ``{"id", "deduped", ...}``."""
+        """Submit a raw protocol body; returns ``{"id", "deduped", ...}``.
+
+        The wire version is stamped into the envelope unless the caller
+        already set one (e.g. to probe a server's version handling).
+        """
+        if "v" not in payload:
+            payload = {"v": PROTOCOL_VERSION, **payload}
         return self._request("POST", "/v1/jobs", body=payload)
 
     def submit_sweep(
@@ -179,6 +193,34 @@ class ServiceClient:
 
     def cancel(self, job_id: str) -> Dict[str, Any]:
         return self._request("DELETE", f"/v1/jobs/{job_id}")
+
+    def result(
+        self,
+        job_id: str,
+        timeout: float = 600.0,
+        poll: float = 0.05,
+    ) -> Any:
+        """Block until *job_id* finishes and return its decoded result.
+
+        Sweep and simulate jobs return the real
+        :class:`~repro.engine.runner.RunReport`; figure jobs return the
+        figure's data dict.  A failed or cancelled job raises
+        :class:`ServiceError` carrying the server's error text.
+        """
+        status = self.wait(job_id, timeout=timeout, poll=poll)
+        if status["state"] != "done":
+            raise ServiceError(
+                0,
+                f"job {job_id} {status['state']}: "
+                f"{status.get('error', '')}",
+                status,
+            )
+        result = status.get("result") or {}
+        if "report" in result:
+            return RunReport.from_dict(result["report"])
+        if result.get("kind") == "figure":
+            return result.get("data")
+        return result
 
     # ------------------------------------------------------------- helpers --
 

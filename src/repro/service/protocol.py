@@ -41,11 +41,18 @@ from ..harness.sweeps import SweepSpec, coerce_axis_value
 __all__ = [
     "FIGURES",
     "JOB_KINDS",
+    "PROTOCOL_VERSION",
     "JobRequest",
     "ProtocolError",
     "jsonify",
     "parse_job_request",
 ]
+
+#: Wire protocol version.  Every request and response envelope carries it
+#: as ``"v"``; a request naming a different version is answered with a
+#: structured 400 instead of being misinterpreted.  Requests without ``"v"``
+#: are accepted as version 1 (the pre-versioning wire form).
+PROTOCOL_VERSION = 1
 
 JOB_KINDS = ("sweep", "simulate", "figure")
 FIGURES = ("figure2", "figure3", "figure4", "figure5", "figure6",
@@ -198,6 +205,12 @@ def _parse_figure(payload: Dict[str, Any]) -> Tuple[str, Tuple[str, ...]]:
 def parse_job_request(payload: Any) -> JobRequest:
     """Validate one raw submission body into a :class:`JobRequest`."""
     _require(isinstance(payload, dict), "request body must be a JSON object")
+    version = payload.get("v", PROTOCOL_VERSION)
+    _require(
+        version == PROTOCOL_VERSION,
+        f"unsupported protocol version {version!r}; "
+        f"this server speaks v{PROTOCOL_VERSION}",
+    )
     kind = payload.get("kind")
     _require(
         isinstance(kind, str) and kind in JOB_KINDS,

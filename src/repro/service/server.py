@@ -34,7 +34,7 @@ from ..harness.experiment import ExperimentSettings
 from .executor import ServiceEngine
 from .jobqueue import Dispatcher, Job, JobQueue, JobState, QueueFullError
 from .metrics import MetricsRegistry
-from .protocol import ProtocolError, parse_job_request
+from .protocol import PROTOCOL_VERSION, ProtocolError, parse_job_request
 
 __all__ = ["ReproService", "serve"]
 
@@ -210,6 +210,9 @@ def _make_handler(service: ReproService) -> type:
             pass  # request logging is the metrics' job, not stderr's
 
         def _send_json(self, status: int, payload: Any) -> None:
+            if isinstance(payload, dict):
+                # Every JSON response envelope carries the wire version.
+                payload = {"v": PROTOCOL_VERSION, **payload}
             body = json.dumps(payload, indent=2).encode("utf-8")
             self.send_response(status)
             self.send_header("Content-Type", "application/json")

@@ -1,0 +1,90 @@
+"""The repro.api facade: one front door over workbench, engine, service."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import api
+from repro.harness.experiment import Workbench
+
+SMALL = api.ExperimentSettings(
+    warmup=1500, measure=4000, seed=11, calibrate=False,
+)
+
+
+class TestRun:
+    def test_matches_a_direct_workbench_run(self):
+        via_api = api.run("database", settings=SMALL, cache_dir=None)
+        direct = Workbench(SMALL, cache_dir=None).run("database")
+        assert via_api == direct
+
+    def test_core_changes_reach_the_simulation(self):
+        base = api.run("database", settings=SMALL, cache_dir=None)
+        prefetched = api.run(
+            "database", settings=SMALL, cache_dir=None, store_prefetch="sp2",
+        )
+        assert prefetched.epi_per_1000 <= base.epi_per_1000
+
+    def test_shared_workbench_reuses_artifacts(self):
+        bench = api.workbench(SMALL, cache_dir=None)
+        first = api.run("database", bench=bench)
+        second = api.run("database", bench=bench, store_queue=16)
+        assert first.instructions == second.instructions
+        # one annotation served both runs
+        assert bench.artifacts.stats.memory_hits > 0
+
+
+class TestSweep:
+    def test_spec_object_and_mapping_agree(self):
+        spec = api.SweepSpec.build("database", store_queue=[16, 32])
+        from_spec = api.sweep(
+            spec, settings=SMALL, cache_dir=None, workers=1,
+        )
+        from_mapping = api.sweep(
+            {"workloads": ["database"], "axes": {"store_queue": [16, 32]}},
+            settings=SMALL, cache_dir=None, workers=1,
+        )
+        assert [r.epi_per_1000 for r in from_spec] == \
+            [r.epi_per_1000 for r in from_mapping]
+        assert [dict(r.point)["store_queue"] for r in from_spec] == [16, 32]
+
+    def test_records_match_serial_runs(self):
+        records = api.sweep(
+            api.SweepSpec.build("database", store_queue=[16, 32]),
+            settings=SMALL, cache_dir=None, workers=1,
+        )
+        bench = Workbench(SMALL, cache_dir=None)
+        for record in records:
+            direct = bench.run("database", **dict(record.point))
+            assert record.epi_per_1000 == direct.epi_per_1000
+
+    def test_malformed_mapping_is_a_type_error(self):
+        with pytest.raises(TypeError, match="SweepSpec"):
+            api.sweep({"axes": {"store_queue": [16]}})
+        with pytest.raises(TypeError, match="SweepSpec"):
+            api.sweep("database")
+
+
+class TestSurface:
+    def test_connect_builds_a_client(self):
+        client = api.connect(
+            "http://127.0.0.1:9/", timeout=1.0, retries=0,
+        )
+        assert client.base_url == "http://127.0.0.1:9"
+        assert client.retries == 0
+
+    def test_facade_is_exported_from_the_package_root(self):
+        import repro
+
+        assert repro.api is api
+        assert "api" in repro.__all__
+
+    def test_old_entry_points_still_importable(self):
+        # the deprecation is a docstring note, not a runtime break
+        from repro.engine.runner import EngineRunner
+        from repro.harness.experiment import Workbench
+        from repro.service.client import ServiceClient
+
+        assert api.EngineRunner is EngineRunner
+        assert api.Workbench is Workbench
+        assert api.ServiceClient is ServiceClient

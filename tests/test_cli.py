@@ -57,3 +57,33 @@ class TestCli:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
             main([])
+
+    def test_bench_needs_a_mode(self, capsys):
+        code, _, err = run_cli(capsys, "bench")
+        assert code == 2
+        assert "--smoke or --perf" in err
+
+    def test_bench_perf_writes_a_gateable_report(self, capsys, tmp_path):
+        out_path = tmp_path / "BENCH_core.json"
+        code, out, _ = run_cli(
+            capsys, "bench", "--perf", "--reps", "1",
+            "--warmup-reps", "0", "--out", str(out_path),
+        )
+        assert code == 0
+        assert "geomean" in out
+        # the fresh report gates cleanly against itself
+        code, out, _ = run_cli(
+            capsys, "bench", "--perf", "--reps", "1",
+            "--warmup-reps", "0", "--baseline", str(out_path),
+            "--max-regression", "0.99",
+        )
+        assert code == 0
+        assert "regression gate ok" in out
+
+    def test_sweep_reports_bad_axis_names(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            run_cli(
+                capsys, *SMALL, "sweep", "--workload", "database",
+                "--axis", "store_que=16,32",
+            )
+        assert "unknown sweep axis" in str(excinfo.value)

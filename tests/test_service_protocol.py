@@ -13,6 +13,7 @@ from repro.engine import from_jsonable, to_jsonable
 from repro.engine.runner import JobResult, JobSpec, RunReport
 from repro.harness.sweeps import SweepSpec
 from repro.service.protocol import (
+    PROTOCOL_VERSION,
     JobRequest,
     ProtocolError,
     jsonify,
@@ -99,6 +100,34 @@ class TestParseJobRequest:
         with pytest.raises(ProtocolError) as excinfo:
             parse_job_request(payload)
         assert fragment.lower() in str(excinfo.value).lower()
+
+    def test_current_protocol_version_accepted(self):
+        request = parse_job_request(wire({
+            "v": PROTOCOL_VERSION,
+            "kind": "simulate",
+            "job": {"workload": "database"},
+        }))
+        assert request.kind == "simulate"
+
+    def test_missing_version_accepted_as_v1(self):
+        # Pre-versioning clients send no "v"; they speak v1 by definition.
+        request = parse_job_request(wire({
+            "kind": "simulate", "job": {"workload": "database"},
+        }))
+        assert request.kind == "simulate"
+
+    @pytest.mark.parametrize("version", [2, 0, "1", None])
+    def test_unsupported_version_is_structured_400(self, version):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_job_request(wire({
+                "v": version,
+                "kind": "simulate",
+                "job": {"workload": "database"},
+            }))
+        assert excinfo.value.status == 400
+        message = str(excinfo.value)
+        assert "protocol version" in message
+        assert f"v{PROTOCOL_VERSION}" in message
 
     def test_priority_excluded_from_signature(self):
         body = {

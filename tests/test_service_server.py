@@ -156,6 +156,45 @@ class TestEndToEnd:
             client.status("doesnotexist")
         assert excinfo.value.status == 404
 
+
+class TestProtocolVersioning:
+    def test_responses_carry_wire_version(self, client):
+        from repro.service.protocol import PROTOCOL_VERSION
+
+        assert client.health()["v"] == PROTOCOL_VERSION
+        receipt = client.submit_sweep("database", store_queue=[16])
+        assert receipt["v"] == PROTOCOL_VERSION
+        assert client.status(receipt["id"])["v"] == PROTOCOL_VERSION
+
+    def test_version_mismatch_is_structured_400(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit({
+                "v": 2,
+                "kind": "sweep",
+                "sweep": {"workloads": ["database"],
+                          "axes": {"store_queue": [16]}},
+            })
+        assert excinfo.value.status == 400
+        assert "protocol version" in str(excinfo.value)
+        # even the error document names the version the server speaks
+        from repro.service.protocol import PROTOCOL_VERSION
+        assert excinfo.value.payload.get("v") == PROTOCOL_VERSION
+
+    def test_result_verb_returns_decoded_report(self, service, client):
+        service.start_dispatcher()
+        receipt = client.submit_simulate("database", store_queue=16)
+        report = client.result(receipt["id"], timeout=240.0)
+        assert report.jobs[0].ok
+        assert report.jobs[0].result.epoch_count > 0
+
+    def test_result_verb_raises_on_cancelled_job(self, service, client):
+        # dispatcher never started: the job stays queued until cancelled
+        receipt = client.submit_sweep("tpcw", store_queue=[16])
+        client.cancel(receipt["id"])
+        with pytest.raises(ServiceError) as excinfo:
+            client.result(receipt["id"], timeout=5.0)
+        assert "cancelled" in str(excinfo.value)
+
     def test_job_listing(self, service, client):
         client.submit_sweep("database", store_queue=[16])
         client.submit_sweep("tpcw", store_queue=[16])

@@ -1,0 +1,83 @@
+"""Axis-name/value validation for sweeps (repro.harness.sweeps)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import ConsistencyModel, ScoutMode, StorePrefetchMode
+from repro.harness.sweeps import (
+    AXIS_BOOLS,
+    AXIS_ENUMS,
+    AXIS_INTS,
+    SweepSpec,
+    coerce_axis_value,
+    valid_axes,
+)
+
+
+class TestValidAxes:
+    def test_covers_every_declared_axis(self):
+        axes = valid_axes()
+        for name in (*AXIS_INTS, *AXIS_BOOLS, *AXIS_ENUMS):
+            assert name in axes
+
+    def test_descriptions_name_the_enum_spellings(self):
+        axes = valid_axes()
+        assert "sp1" in axes["store_prefetch"]
+        assert "hws2" in axes["scout"]
+        assert "wc" in axes["consistency"]
+
+
+class TestCoercion:
+    def test_enum_spellings(self):
+        assert coerce_axis_value("store_prefetch", "sp2") is \
+            StorePrefetchMode.AT_EXECUTE
+        assert coerce_axis_value("scout", "hws1") is ScoutMode.HWS1
+        assert coerce_axis_value("consistency", "WC") is ConsistencyModel.WC
+
+    def test_enum_members_pass_through(self):
+        assert coerce_axis_value("scout", ScoutMode.NONE) is ScoutMode.NONE
+
+    def test_bool_and_int_spellings(self):
+        assert coerce_axis_value("sle", "true") is True
+        assert coerce_axis_value("perfect_stores", False) is False
+        assert coerce_axis_value("store_queue", "64") == 64
+        assert coerce_axis_value("rob", 128) == 128
+
+
+class TestActionableErrors:
+    def test_unknown_axis_lists_every_valid_axis(self):
+        with pytest.raises(ValueError) as excinfo:
+            coerce_axis_value("store_que", 16)
+        message = str(excinfo.value)
+        assert "unknown sweep axis 'store_que'" in message
+        for name in valid_axes():
+            assert name in message
+
+    def test_bad_enum_value_lists_the_spellings(self):
+        with pytest.raises(ValueError) as excinfo:
+            coerce_axis_value("store_prefetch", "sp9")
+        message = str(excinfo.value)
+        assert "'sp9'" in message
+        assert "sp0" in message and "sp1" in message and "sp2" in message
+
+    def test_wrong_typed_enum_value_rejected(self):
+        with pytest.raises(ValueError):
+            coerce_axis_value("store_prefetch", ScoutMode.HWS2)
+
+    @pytest.mark.parametrize("value", ["maybe", 3, None])
+    def test_untypeable_bool_rejected(self, value):
+        with pytest.raises(ValueError) as excinfo:
+            coerce_axis_value("sle", value)
+        assert "'true'/'false'" in str(excinfo.value)
+
+    @pytest.mark.parametrize("value", ["sixteen", True, 2.5, None])
+    def test_untypeable_int_rejected(self, value):
+        with pytest.raises(ValueError) as excinfo:
+            coerce_axis_value("store_queue", value)
+        assert "integer" in str(excinfo.value)
+
+    def test_sweep_spec_build_surfaces_the_same_message(self):
+        with pytest.raises(ValueError) as excinfo:
+            SweepSpec.build("database", store_que=[16, 32])
+        assert "unknown sweep axis" in str(excinfo.value)

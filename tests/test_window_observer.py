@@ -109,3 +109,69 @@ class TestObserverNeutrality:
             _trace(), observer=WindowObserver(),
         )
         assert observed.epoch_count == plain.epoch_count
+
+
+def _busy_trace():
+    """Many store misses interleaved with load misses across epochs."""
+    trace = []
+    for i in range(12):
+        reg = 1 + (i % 4)
+        trace.append(annotated(InstructionClass.ALU))
+        trace.append(annotated(
+            InstructionClass.STORE, miss=True, address=0x1000 * (i + 1),
+        ))
+        trace.append(annotated(
+            InstructionClass.LOAD, miss=(i % 3 == 0), dest=reg,
+            address=0x200 + 64 * i,
+        ))
+        trace.append(annotated(InstructionClass.ALU, srcs=(reg,)))
+    trace.append(annotated(InstructionClass.ALU))
+    return trace
+
+
+class TestObserverFastPath:
+    """``add_store_events`` takes a hoisted fast path when no observer is
+    attached; attaching one must only add the callbacks, never change what
+    is simulated."""
+
+    def test_every_store_event_reported_exactly_once_in_order(self):
+        observer = RecordingObserver()
+        MlpSimulator(_config()).run(_busy_trace(), observer=observer)
+        assert len(observer.store_events) >= 2
+        # no entry is reported twice
+        ids = [id(entry) for entry, _, _ in observer.store_events]
+        assert len(ids) == len(set(ids))
+        # epochs arrive in nondecreasing order
+        epochs = [epoch for _, _, epoch in observer.store_events]
+        assert epochs == sorted(epochs)
+        # the position passed to the hook is the one stamped on the entry
+        assert all(
+            entry.issue_position == pos
+            for entry, pos, _ in observer.store_events
+        )
+
+    def test_event_stream_is_deterministic(self):
+        first, second = RecordingObserver(), RecordingObserver()
+        MlpSimulator(_config()).run(_busy_trace(), observer=first)
+        MlpSimulator(_config()).run(_busy_trace(), observer=second)
+        assert [(pos, epoch) for _, pos, epoch in first.store_events] == \
+            [(pos, epoch) for _, pos, epoch in second.store_events]
+        assert first.terminations == second.terminations
+
+    def test_with_and_without_observer_bit_identical(self):
+        config = _config()
+        plain = MlpSimulator(config).run(_busy_trace())
+        observed = MlpSimulator(config).run(
+            _busy_trace(), observer=RecordingObserver(),
+        )
+        assert observed.epochs == plain.epochs
+        assert observed.instructions == plain.instructions
+        assert observed.fully_overlapped_stores == \
+            plain.fully_overlapped_stores
+        assert observed.accelerated_stores == plain.accelerated_stores
+        assert observed.stores_committed == plain.stores_committed
+        assert observed.store_prefetch_requests == \
+            plain.store_prefetch_requests
+        assert observed.stores_coalesced == plain.stores_coalesced
+        assert observed.termination_histogram() == \
+            plain.termination_histogram()

@@ -40,6 +40,7 @@ code should start here.
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import Any, List, Mapping, Optional, Union
 
 from .config import SimulationConfig
@@ -47,11 +48,14 @@ from .core.results import SimulationResult
 from .engine.runner import EngineRunner, RunReport
 from .harness.experiment import ExperimentSettings, Workbench
 from .harness.sweeps import SweepRecord, SweepSpec, valid_axes
+from .obs.options import ObsOptions
+from .obs.recorder import EpochTimelineRecorder
 from .service.client import ServiceClient
 
 __all__ = [
     "EngineRunner",
     "ExperimentSettings",
+    "ObsOptions",
     "RunReport",
     "ServiceClient",
     "SimulationConfig",
@@ -65,6 +69,20 @@ __all__ = [
     "valid_axes",
     "workbench",
 ]
+
+
+def _resolve_obs(
+    trace: Union[str, Path, None], obs: Optional[ObsOptions],
+) -> Optional[ObsOptions]:
+    """``trace=`` is sugar for ``obs=ObsOptions.for_trace(trace)``."""
+    if trace is not None and obs is not None:
+        raise ValueError(
+            "pass either trace= (a trace directory) or obs= "
+            "(full ObsOptions), not both"
+        )
+    if trace is not None:
+        return ObsOptions.for_trace(trace)
+    return obs
 
 
 def workbench(
@@ -87,6 +105,8 @@ def run(
     settings: Optional[ExperimentSettings] = None,
     cache_dir: Any = "auto",
     bench: Optional[Workbench] = None,
+    trace: Union[str, Path, None] = None,
+    obs: Optional[ObsOptions] = None,
     **core_changes: Any,
 ) -> SimulationResult:
     """Simulate one workload *profile* under one configuration.
@@ -98,10 +118,31 @@ def run(
     (``store_prefetch="sp2"``, ``store_queue=64``, ...) — see
     :func:`valid_axes` for the accepted names.  Pass *bench* (from
     :func:`workbench`) to reuse an annotated trace across calls.
+
+    *trace* names a directory to write a JSONL epoch trace into
+    (rendered by ``mlpsim trace`` / ``mlpsim obs report``); *obs* passes
+    full :class:`ObsOptions` instead.  They are mutually exclusive, and
+    neither perturbs the simulation result.
     """
     if bench is None:
         bench = workbench(settings, cache_dir)
-    return bench.run(profile, variant=variant, config=config, **core_changes)
+    options = _resolve_obs(trace, obs)
+    if options is None or options.trace_dir is None:
+        return bench.run(
+            profile, variant=variant, config=config, **core_changes,
+        )
+    tracer = options.open_tracer()
+    try:
+        observer = (
+            EpochTimelineRecorder(tracer, label=f"{profile}/{variant}")
+            if options.trace_epochs else None
+        )
+        return bench.run(
+            profile, variant=variant, config=config, observer=observer,
+            **core_changes,
+        )
+    finally:
+        tracer.close()
 
 
 def sweep(
@@ -112,6 +153,8 @@ def sweep(
     workers: Optional[int] = None,
     job_timeout: float = 600.0,
     runner: Optional[EngineRunner] = None,
+    trace: Union[str, Path, None] = None,
+    obs: Optional[ObsOptions] = None,
 ) -> List[SweepRecord]:
     """Execute a sweep *spec* and return one record per grid point.
 
@@ -121,7 +164,18 @@ def sweep(
     protocol accepts.  The grid fans out across *workers* processes
     (default ``min(4, cpus)``) sharing the persistent artifact cache;
     records come back workload-major in grid order, deterministically.
+
+    *trace* names a directory the engine (every worker process) writes
+    JSONL trace files into; *obs* passes full :class:`ObsOptions`.
+    Mutually exclusive; ignored if an explicit *runner* is supplied (the
+    runner already carries its own obs configuration).
     """
+    options = _resolve_obs(trace, obs)
+    if runner is not None and options is not None:
+        raise ValueError(
+            "trace=/obs= cannot be combined with an explicit runner; "
+            "configure EngineRunner(obs=...) instead"
+        )
     if not isinstance(spec, SweepSpec):
         try:
             workloads = spec["workloads"]
@@ -138,6 +192,7 @@ def sweep(
             cache_dir=cache_dir,
             workers=workers,
             job_timeout=job_timeout,
+            obs=options,
         )
     report = runner.run(spec.to_jobs())
     return spec.records(report)

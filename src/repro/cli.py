@@ -134,6 +134,11 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--store-buffer", type=int, default=16)
     run.add_argument("--store-queue", type=int, default=32)
     run.add_argument("--perfect-stores", action="store_true")
+    run.add_argument(
+        "--trace", default=None, metavar="DIR",
+        help="write a JSONL epoch trace into this directory "
+             "(render with 'mlpsim trace DIR')",
+    )
 
     sw = sub.add_parser(
         "sweep",
@@ -152,6 +157,10 @@ def _build_parser() -> argparse.ArgumentParser:
                     help="worker processes (default: min(4, cpus))")
     sw.add_argument("--timeout", type=float, default=600.0,
                     help="per-job timeout in seconds")
+    sw.add_argument(
+        "--trace-dir", default=None, metavar="DIR",
+        help="every worker writes a JSONL trace file into this directory",
+    )
 
     figs = sub.add_parser(
         "figures",
@@ -212,6 +221,19 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="max queued (pending) jobs before 429")
     srv.add_argument("--job-timeout", type=float, default=600.0,
                      help="per-simulation timeout in seconds")
+    srv.add_argument(
+        "--log-level", default="info",
+        choices=["debug", "info", "warning", "error", "critical"],
+        help="daemon log level (default info)",
+    )
+    srv.add_argument(
+        "--log-format", default="text", choices=["text", "json"],
+        help="log records as human-readable text or JSON lines",
+    )
+    srv.add_argument(
+        "--trace-dir", default=None, metavar="DIR",
+        help="trace every job's engine batches and epochs as JSONL here",
+    )
 
     sb = sub.add_parser(
         "submit", help="submit a sweep to a running service and wait",
@@ -250,6 +272,30 @@ def _build_parser() -> argparse.ArgumentParser:
     prune.add_argument(
         "--older-than", default=None, metavar="AGE",
         help="drop entries older than this (suffixes s/m/h/d, default s)",
+    )
+
+    tr = sub.add_parser(
+        "trace",
+        help="render the per-epoch timeline of a JSONL trace run",
+    )
+    tr.add_argument(
+        "path", help="trace file, or directory of trace-<pid>.jsonl files",
+    )
+    tr.add_argument(
+        "--limit", type=int, default=40,
+        help="max epoch rows before eliding the middle (0 = no limit)",
+    )
+
+    obs_cmd = sub.add_parser(
+        "obs", help="observability tooling over JSONL traces",
+    )
+    obs_sub = obs_cmd.add_subparsers(dest="obs_command", required=True)
+    obs_report = obs_sub.add_parser(
+        "report",
+        help="event counts, termination breakdown and span table of a trace",
+    )
+    obs_report.add_argument(
+        "path", help="trace file, or directory of trace-<pid>.jsonl files",
     )
     return parser
 
@@ -402,6 +448,7 @@ def _cmd_sweep(args, settings: ExperimentSettings, workloads) -> int:
         cache_dir=_cache_dir(args),
         workers=args.workers,
         job_timeout=args.timeout,
+        trace=args.trace_dir,
     )
     rows = [
         [record.label(), record.epi_per_1000, record.mlp,
@@ -487,8 +534,13 @@ def _cmd_bench_smoke(args, settings: ExperimentSettings) -> int:
 
 
 def _cmd_serve(args, settings: ExperimentSettings) -> int:
+    from .obs import ObsOptions
     from .service import serve
 
+    obs = (
+        ObsOptions.for_trace(args.trace_dir)
+        if args.trace_dir is not None else None
+    )
     serve(
         host=args.host,
         port=args.port,
@@ -497,7 +549,36 @@ def _cmd_serve(args, settings: ExperimentSettings) -> int:
         workers=args.workers,
         job_timeout=args.job_timeout,
         queue_capacity=args.queue_capacity,
+        log_level=args.log_level,
+        log_format=args.log_format,
+        obs=obs,
     )
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from .obs import read_events, render_timeline
+
+    try:
+        print(render_timeline(read_events(args.path), limit=args.limit),
+              end="")
+    except (OSError, ValueError) as exc:
+        print(f"trace failed: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_obs(args) -> int:
+    from .obs import read_events, render_report
+
+    if args.obs_command != "report":
+        print(f"unknown obs command {args.obs_command!r}", file=sys.stderr)
+        return 2
+    try:
+        print(render_report(read_events(args.path)), end="")
+    except (OSError, ValueError) as exc:
+        print(f"obs report failed: {exc}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -620,6 +701,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_status(args)
     if args.command == "cache":
         return _cmd_cache(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
+    if args.command == "obs":
+        return _cmd_obs(args)
     if args.command == "sweep":
         return _cmd_sweep(args, settings, workloads)
     if args.command == "figures":
@@ -659,6 +744,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         result = api.run(
             args.workload,
             bench=bench,
+            trace=args.trace,
             variant=("wc" if args.consistency == "wc" else "pc")
             + ("_sle" if args.sle else ""),
             store_prefetch=_PREFETCH[args.prefetch],

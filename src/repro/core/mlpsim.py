@@ -140,8 +140,11 @@ class MlpSimulator:
             observer=observer if observer is not None else self.observer,
         )
 
+        attached = state.observer
         while True:
             state.begin_epoch()
+            if attached is not None:
+                attached.on_epoch_begin(state)
             self._scan_window(trace, state, accountant)
             misses = self._close_epoch(trace, state, accountant)
             state.advance_epoch()

@@ -63,6 +63,10 @@ class SimulationResult:
     stores_committed: int = 0
     store_prefetch_requests: int = 0
     stores_coalesced: int = 0
+    # Occupancy high-water marks of the store buffer / store queue over the
+    # whole run (observability: /metrics gauges, `mlpsim obs report`).
+    sb_occupancy_hwm: int = 0
+    sq_occupancy_hwm: int = 0
 
     # -- headline metrics --------------------------------------------------
 

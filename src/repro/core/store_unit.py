@@ -83,6 +83,11 @@ class StoreUnitStats:
     misses_issued: int = 0
     prefetch_requests: int = 0
     silently_completed: int = 0
+    # Occupancy high-water marks: the deepest the store buffer / store
+    # queue ever got.  Maintained on the (slow-path) appends only — a
+    # fast-path committed store never occupies either structure.
+    sb_hwm: int = 0
+    sq_hwm: int = 0
 
     @property
     def l2_store_requests(self) -> int:
@@ -249,6 +254,8 @@ class StoreUnit:
         ):
             self._issue(entry, epoch, issued, prefetch=True)
         sb.append(entry)
+        if len(sb) > stats.sb_hwm:
+            stats.sb_hwm = len(sb)
         stalled = False
         if retirable:
             stalled = self._pump(epoch, issued)
@@ -302,6 +309,8 @@ class StoreUnit:
                 return True
             sb.popleft()
             sq.append(entry)
+            if len(sq) > self.stats.sq_hwm:
+                self.stats.sq_hwm = len(sq)
             if (
                 self._issues_any_at_retire
                 and entry.missing

@@ -54,6 +54,15 @@ class WindowObserver:
     observer is attached, keeping the unobserved hot path branch-free.
     """
 
+    def on_epoch_begin(self, state: "WindowState") -> None:
+        """A new epoch's window is opening; *state* is readable in place.
+
+        Called after :meth:`WindowState.begin_epoch` has pumped the store
+        unit and matured the replay queue, so occupancies reflect the
+        window's starting condition.  Observers must treat *state* as
+        read-only.
+        """
+
     def on_epoch(self, record: EpochRecord) -> None:
         """One epoch closed with at least one off-chip miss outstanding."""
 
@@ -296,4 +305,6 @@ class EpochAccountant:
         self.result.stores_committed = store_unit.stats.committed
         self.result.store_prefetch_requests = store_unit.stats.prefetch_requests
         self.result.stores_coalesced = store_unit.stats.coalesced
+        self.result.sb_occupancy_hwm = store_unit.stats.sb_hwm
+        self.result.sq_occupancy_hwm = store_unit.stats.sq_hwm
         return self.result

@@ -99,6 +99,30 @@ class CacheStats:
         """(hits, misses) — for computing per-job deltas."""
         return (self.hits, self.misses)
 
+    def register_metrics(self, registry: Any, prefix: str = "cache") -> None:
+        """Expose this cache's tiers as gauges on a
+        :class:`repro.obs.metrics.MetricsRegistry`."""
+        registry.gauge(
+            f"{prefix}_memory_hits", lambda: self.memory_hits,
+            help="artifact cache hits served from the in-memory LRU",
+        )
+        registry.gauge(
+            f"{prefix}_disk_hits", lambda: self.disk_hits,
+            help="artifact cache hits served from the on-disk store",
+        )
+        registry.gauge(
+            f"{prefix}_misses", lambda: self.misses,
+            help="artifact cache misses (artifact recomputed)",
+        )
+        registry.gauge(
+            f"{prefix}_writes", lambda: self.writes,
+            help="artifacts written to the on-disk store",
+        )
+        registry.gauge(
+            f"{prefix}_evictions", lambda: self.evictions,
+            help="in-memory LRU evictions",
+        )
+
 
 class ArtifactCache:
     """Two-tier content-addressed cache for pipeline artifacts.

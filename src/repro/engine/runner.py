@@ -27,10 +27,12 @@ platforms where process pools are unavailable.
 
 from __future__ import annotations
 
+import contextvars
 import os
 import threading
 import time
 import traceback
+from collections import Counter
 from concurrent.futures import (
     Future,
     ProcessPoolExecutor,
@@ -49,7 +51,15 @@ from typing import (
 )
 
 from ..config import MemoryConfig, SimulationConfig
+from ..core.epoch import TerminationCondition
 from ..core.results import SimulationResult
+from ..core.window import WindowObserver
+from ..obs.context import correlation_id, set_correlation_id
+from ..obs.metrics import MetricsRegistry
+from ..obs.options import ObsOptions
+from ..obs.profile import PhaseProfiler
+from ..obs.recorder import EpochTimelineRecorder
+from ..obs.trace import Tracer
 from ..workloads import WorkloadProfile
 from . import serialize
 
@@ -65,6 +75,7 @@ if TYPE_CHECKING:  # break the harness <-> engine import cycle: the
 __all__ = [
     "BatchHandle",
     "EngineRunner",
+    "EngineTelemetry",
     "JobResult",
     "JobSpec",
     "RunReport",
@@ -220,10 +231,137 @@ class RunReport:
         return report
 
 
+# ------------------------------------------------------------- telemetry --
+
+
+class EngineTelemetry:
+    """Cross-batch engine + simulation activity, for ``/metrics``.
+
+    One instance per :class:`EngineRunner`; :meth:`record_report` folds
+    every finished batch in (under a lock — batches resolve on their own
+    threads), :meth:`register_metrics` exposes the aggregates as gauges so
+    the service's ``/metrics`` endpoint reports the whole stack, not just
+    HTTP-level counters.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.batches = 0
+        self.jobs_ok = 0
+        self.jobs_failed = 0
+        self.jobs_timeout = 0
+        self.job_retries = 0
+        self.jobs_active = 0
+        self.sim_epochs = 0
+        self.sim_instructions = 0
+        self.sb_occupancy_hwm = 0
+        self.sq_occupancy_hwm = 0
+        self.termination_counts: Counter = Counter()
+
+    def batch_started(self, jobs: int) -> None:
+        with self._lock:
+            self.jobs_active += jobs
+
+    def record_report(self, report: "RunReport") -> None:
+        with self._lock:
+            self.batches += 1
+            self.jobs_active = max(0, self.jobs_active - len(report.jobs))
+            for job in report.jobs:
+                if job.status == "ok":
+                    self.jobs_ok += 1
+                elif job.status == "timeout":
+                    self.jobs_timeout += 1
+                else:
+                    self.jobs_failed += 1
+                self.job_retries += max(0, job.attempts - 1)
+                result = job.result
+                if result is None:
+                    continue
+                self.sim_epochs += result.epoch_count
+                self.sim_instructions += result.instructions
+                if result.sb_occupancy_hwm > self.sb_occupancy_hwm:
+                    self.sb_occupancy_hwm = result.sb_occupancy_hwm
+                if result.sq_occupancy_hwm > self.sq_occupancy_hwm:
+                    self.sq_occupancy_hwm = result.sq_occupancy_hwm
+                for cond, count in result.termination_histogram().items():
+                    if cond is not None:
+                        self.termination_counts[cond.value] += count
+
+    def epochs_per_1k_insts(self) -> float:
+        with self._lock:
+            if not self.sim_instructions:
+                return 0.0
+            return 1000.0 * self.sim_epochs / self.sim_instructions
+
+    def register_metrics(
+        self, registry: MetricsRegistry, workers: int = 1,
+    ) -> None:
+        """Expose engine-level and simulation-level gauges on *registry*."""
+        registry.gauge(
+            "engine_batches_total", lambda: self.batches,
+            help="engine batches executed",
+        )
+        registry.gauge(
+            "engine_jobs_ok_total", lambda: self.jobs_ok,
+            help="engine jobs that completed successfully",
+        )
+        registry.gauge(
+            "engine_jobs_failed_total", lambda: self.jobs_failed,
+            help="engine jobs that failed after retries",
+        )
+        registry.gauge(
+            "engine_jobs_timeout_total", lambda: self.jobs_timeout,
+            help="engine jobs abandoned on timeout",
+        )
+        registry.gauge(
+            "engine_job_retries_total", lambda: self.job_retries,
+            help="failed engine job attempts that were resubmitted",
+        )
+        registry.gauge(
+            "engine_jobs_active", lambda: self.jobs_active,
+            help="jobs currently submitted to in-flight batches",
+        )
+        registry.gauge(
+            "engine_worker_utilization",
+            lambda: min(1.0, self.jobs_active / workers) if workers else 0.0,
+            help="fraction of the worker pool busy with active jobs",
+        )
+        registry.gauge(
+            "sim_epochs_total", lambda: self.sim_epochs,
+            help="epochs committed across all simulator runs",
+        )
+        registry.gauge(
+            "sim_instructions_total", lambda: self.sim_instructions,
+            help="instructions simulated across all runs",
+        )
+        registry.gauge(
+            "sim_epochs_per_1k_insts", self.epochs_per_1k_insts,
+            help="aggregate epochs per 1000 simulated instructions",
+        )
+        registry.gauge(
+            "sim_sb_occupancy_hwm", lambda: self.sb_occupancy_hwm,
+            help="store-buffer occupancy high-water mark across runs",
+        )
+        registry.gauge(
+            "sim_sq_occupancy_hwm", lambda: self.sq_occupancy_hwm,
+            help="store-queue occupancy high-water mark across runs",
+        )
+        for cond in TerminationCondition:
+            registry.gauge(
+                f"sim_terminations_{cond.name.lower()}",
+                lambda c=cond.value: self.termination_counts.get(c, 0),
+                help=f"epochs terminated by {cond.value}",
+            )
+
+
 # ---------------------------------------------------------------- worker --
 
-#: One Workbench per worker process, built by the pool initializer.
+#: One Workbench per worker process, built by the pool initializer; the
+#: obs state (options, per-process tracer, phase profiler) rides along.
 _WORKER_BENCH: Optional[Workbench] = None
+_WORKER_OBS: Optional[ObsOptions] = None
+_WORKER_TRACER: Optional[Tracer] = None
+_WORKER_PROFILER: Optional[PhaseProfiler] = None
 
 
 def _build_bench(
@@ -243,20 +381,58 @@ def _init_worker(
     settings: ExperimentSettings,
     cache_dir: Any,
     profiles: Dict[str, WorkloadProfile],
+    obs: Optional[ObsOptions] = None,
+    corr: str = "",
 ) -> None:
-    global _WORKER_BENCH
+    global _WORKER_BENCH, _WORKER_OBS, _WORKER_TRACER, _WORKER_PROFILER
     _WORKER_BENCH = _build_bench(settings, cache_dir, profiles)
+    _WORKER_OBS = obs
+    if corr:
+        # Correlation IDs are contextvars and do not cross the process
+        # boundary on their own; the parent snapshots its value into the
+        # initargs so worker-side trace events still tie back to the job.
+        set_correlation_id(corr)
+    if obs is not None:
+        _WORKER_TRACER = obs.open_tracer()
+        if obs.profile_phases:
+            _WORKER_PROFILER = PhaseProfiler(
+                sample_rate=obs.sample_rate, tracer=_WORKER_TRACER,
+            )
 
 
-def execute_job(bench: Workbench, spec: JobSpec) -> Optional[SimulationResult]:
+def execute_job(
+    bench: Workbench,
+    spec: JobSpec,
+    observer: Optional[WindowObserver] = None,
+    profiler: Optional[PhaseProfiler] = None,
+) -> Optional[SimulationResult]:
     """Run one job against *bench* (shared by the serial and worker paths)."""
     if spec.action == "annotate":
-        bench.annotated(
-            spec.workload, spec.variant, spec.memory_config,
-            spec.sharing, spec.tag,
-        )
+        if profiler is not None:
+            with profiler.phase("annotate"):
+                bench.annotated(
+                    spec.workload, spec.variant, spec.memory_config,
+                    spec.sharing, spec.tag,
+                )
+        else:
+            bench.annotated(
+                spec.workload, spec.variant, spec.memory_config,
+                spec.sharing, spec.tag,
+            )
         return None
     if spec.action == "simulate":
+        if profiler is not None:
+            with profiler.phase("simulate"):
+                return bench.run(
+                    spec.workload,
+                    variant=spec.variant,
+                    memory_config=spec.memory_config,
+                    sharing=spec.sharing,
+                    tag=spec.tag,
+                    config=spec.config,
+                    observer=observer,
+                    **dict(spec.core_changes),
+                )
         return bench.run(
             spec.workload,
             variant=spec.variant,
@@ -264,17 +440,33 @@ def execute_job(bench: Workbench, spec: JobSpec) -> Optional[SimulationResult]:
             sharing=spec.sharing,
             tag=spec.tag,
             config=spec.config,
+            observer=observer,
             **dict(spec.core_changes),
         )
     raise ValueError(f"unknown job action {spec.action!r}")
 
 
-def _run_job(bench: Workbench, spec: JobSpec) -> Dict[str, Any]:
+def _run_job(
+    bench: Workbench,
+    spec: JobSpec,
+    obs: Optional[ObsOptions] = None,
+    tracer: Optional[Tracer] = None,
+    profiler: Optional[PhaseProfiler] = None,
+) -> Dict[str, Any]:
     """Execute one job, capturing status, timing and cache deltas."""
+    observer: Optional[WindowObserver] = None
+    if (
+        tracer is not None
+        and obs is not None
+        and obs.trace_epochs
+        and spec.action == "simulate"
+    ):
+        observer = EpochTimelineRecorder(tracer, label=spec.describe())
+    span = tracer.span("job", job=spec.describe()) if tracer is not None else None
     start = time.perf_counter()
     hits_before, misses_before = bench.artifacts.stats.snapshot()
     try:
-        result = execute_job(bench, spec)
+        result = execute_job(bench, spec, observer=observer, profiler=profiler)
         status, error = "ok", ""
     except Exception as exc:  # reported per-job, never crashes the batch
         result = None
@@ -282,6 +474,9 @@ def _run_job(bench: Workbench, spec: JobSpec) -> Dict[str, Any]:
         error = "".join(
             traceback.format_exception_only(type(exc), exc)
         ).strip()
+    finally:
+        if span is not None:
+            span.__exit__()
     hits_after, misses_after = bench.artifacts.stats.snapshot()
     return {
         "status": status,
@@ -295,7 +490,10 @@ def _run_job(bench: Workbench, spec: JobSpec) -> Dict[str, Any]:
 
 def _run_job_in_worker(spec: JobSpec) -> Dict[str, Any]:
     assert _WORKER_BENCH is not None, "worker initializer did not run"
-    return _run_job(_WORKER_BENCH, spec)
+    return _run_job(
+        _WORKER_BENCH, spec,
+        obs=_WORKER_OBS, tracer=_WORKER_TRACER, profiler=_WORKER_PROFILER,
+    )
 
 
 # ---------------------------------------------------------------- runner --
@@ -367,6 +565,13 @@ class EngineRunner:
         worker cannot be interrupted mid-simulation).
     retries:
         How many times a *failed* job is resubmitted (default once).
+    obs:
+        :class:`~repro.obs.options.ObsOptions` for the batch: when tracing
+        is enabled every process (this one on the serial path, each pool
+        worker on the parallel path) writes its own
+        ``trace-<pid>.jsonl`` under ``obs.trace_dir`` and every simulate
+        job runs with an :class:`~repro.obs.recorder.EpochTimelineRecorder`
+        attached.  ``None`` (the default) keeps the zero-overhead path.
     """
 
     def __init__(
@@ -377,6 +582,7 @@ class EngineRunner:
         workers: int | None = None,
         job_timeout: float = 600.0,
         retries: int = 1,
+        obs: Optional[ObsOptions] = None,
     ) -> None:
         if workers is None:
             workers = min(4, os.cpu_count() or 1)
@@ -392,25 +598,54 @@ class EngineRunner:
         self.workers = workers
         self.job_timeout = job_timeout
         self.retries = retries
+        self.obs = obs
+        self.telemetry = EngineTelemetry()
         #: Reused across serial batches so a long-lived caller (the service
         #: dispatcher) keeps its in-memory artifact tier warm between jobs.
         self._serial_bench: Optional[Workbench] = None
+        #: This process's tracer/profiler (serial batches and batch-level
+        #: spans); opened lazily so an obs-less runner never touches disk.
+        self._tracer: Optional[Tracer] = None
+        self._profiler: Optional[PhaseProfiler] = None
+
+    def _obs_tracer(self) -> Optional[Tracer]:
+        if self.obs is None:
+            return None
+        if self._tracer is None and self.obs.trace_dir is not None:
+            self._tracer = self.obs.open_tracer()
+            if self.obs.profile_phases:
+                self._profiler = PhaseProfiler(
+                    sample_rate=self.obs.sample_rate, tracer=self._tracer,
+                )
+        return self._tracer
 
     def run(self, jobs: Sequence[JobSpec]) -> RunReport:
         """Execute *jobs*, returning per-job results in submission order."""
         specs = list(jobs)
         start = time.perf_counter()
-        if self.workers <= 1 or len(specs) <= 1:
-            results = self._run_serial(specs)
-            workers = 1
-        else:
-            results = self._run_parallel(specs)
-            workers = min(self.workers, len(specs))
-        return RunReport(
+        self.telemetry.batch_started(len(specs))
+        tracer = self._obs_tracer()
+        span = (
+            tracer.span("engine_batch", jobs=len(specs))
+            if tracer is not None else None
+        )
+        try:
+            if self.workers <= 1 or len(specs) <= 1:
+                results = self._run_serial(specs)
+                workers = 1
+            else:
+                results = self._run_parallel(specs)
+                workers = min(self.workers, len(specs))
+        finally:
+            if span is not None:
+                span.__exit__()
+        report = RunReport(
             jobs=results,
             wall_time=time.perf_counter() - start,
             workers=workers,
         )
+        self.telemetry.record_report(report)
+        return report
 
     def submit_batch(
         self,
@@ -426,6 +661,10 @@ class EngineRunner:
         """
         specs = list(jobs)
         handle = BatchHandle()
+        # Snapshot the submitter's context so the batch thread (and, via
+        # pool initargs, the workers) inherit the correlation ID the
+        # dispatcher set for this job.
+        context = contextvars.copy_context()
 
         def _drive() -> None:
             try:
@@ -436,7 +675,8 @@ class EngineRunner:
                 handle._finish(report, None, callback)
 
         thread = threading.Thread(
-            target=_drive, name="engine-batch", daemon=True,
+            target=lambda: context.run(_drive),
+            name="engine-batch", daemon=True,
         )
         thread.start()
         return handle
@@ -449,12 +689,16 @@ class EngineRunner:
                 self.settings, self.cache_dir, self.profiles,
             )
         bench = self._serial_bench
+        tracer = self._obs_tracer()
         out: List[JobResult] = []
         for spec in specs:
             attempts = 0
             while True:
                 attempts += 1
-                payload = _run_job(bench, spec)
+                payload = _run_job(
+                    bench, spec,
+                    obs=self.obs, tracer=tracer, profiler=self._profiler,
+                )
                 if payload["status"] == "ok" or attempts > self.retries:
                     break
             out.append(JobResult(spec=spec, attempts=attempts, **payload))
@@ -463,7 +707,12 @@ class EngineRunner:
     # ------------------------------------------------------------ parallel --
 
     def _run_parallel(self, specs: List[JobSpec]) -> List[JobResult]:
-        initargs = (self.settings, self.cache_dir, self.profiles)
+        # A fresh pool is created per batch, so the initargs can carry the
+        # batch's correlation ID into every worker process.
+        initargs = (
+            self.settings, self.cache_dir, self.profiles,
+            self.obs, correlation_id(),
+        )
         with ProcessPoolExecutor(
             max_workers=min(self.workers, len(specs)),
             initializer=_init_worker,

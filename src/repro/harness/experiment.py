@@ -43,6 +43,7 @@ from ..config import (
 )
 from ..core import MlpSimulator, SimulationResult
 from ..core.cpi import PAPER_CPI_ON_CHIP
+from ..core.window import WindowObserver
 from ..engine import serialize
 from ..engine.cache import ArtifactCache, content_key, resolve_cache_dir
 from ..frontend import BranchPredictor
@@ -282,9 +283,15 @@ class Workbench:
         sharing: SharingSettings | None = None,
         tag: str = "",
         config: Optional[SimulationConfig] = None,
+        observer: Optional[WindowObserver] = None,
         **core_changes,
     ) -> SimulationResult:
-        """Annotate (cached) and simulate one configuration."""
+        """Annotate (cached) and simulate one configuration.
+
+        *observer* (e.g. an :class:`repro.obs.EpochTimelineRecorder`)
+        attaches to the simulator run; ``None`` keeps the unobserved hot
+        path.
+        """
         annotated = self.annotated(workload, variant, memory_config, sharing, tag)
         if config is None:
             config = self.simulation_config(workload, **core_changes)
@@ -294,7 +301,7 @@ class Workbench:
             config.core.consistency is not ConsistencyModel.WC
         ):
             config = config.with_core(consistency=ConsistencyModel.WC)
-        return MlpSimulator(config).run(annotated)
+        return MlpSimulator(config).run(annotated, observer=observer)
 
 
 serialize.register(ExperimentSettings, SharingSettings)

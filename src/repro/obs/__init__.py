@@ -1,0 +1,70 @@
+"""repro.obs — the unified observability layer.
+
+One package shared by the simulator core, the engine and the service:
+
+- :mod:`repro.obs.trace` — structured spans/events exported as JSONL,
+- :mod:`repro.obs.context` — correlation IDs threaded from a service job
+  through engine batches down to individual simulator runs,
+- :mod:`repro.obs.metrics` — the canonical counters/gauges/latency
+  registry behind ``/metrics`` (JSON and Prometheus),
+- :mod:`repro.obs.recorder` — :class:`EpochTimelineRecorder`, the
+  ``WindowObserver`` that streams per-epoch events,
+- :mod:`repro.obs.profile` — deterministic sampling profiler for engine
+  phases,
+- :mod:`repro.obs.report` — renderers behind ``mlpsim trace`` and
+  ``mlpsim obs report``,
+- :mod:`repro.obs.logging` — structured (text or JSON-lines) logging with
+  correlation IDs,
+- :mod:`repro.obs.options` — :class:`ObsOptions`, the knob bundle the
+  API/CLI thread down to worker processes.
+
+Everything is standard library only, and everything is pay-for-what-you-
+use: with no tracer, recorder or profiler attached the hot paths keep
+their existing ``is None`` fast checks and golden results stay
+bit-identical.
+"""
+
+from .context import (
+    correlation,
+    correlation_id,
+    new_correlation_id,
+    set_correlation_id,
+)
+from .logging import get_logger, setup_logging
+from .metrics import MetricsRegistry, percentile
+from .options import ObsOptions
+from .profile import PhaseProfiler
+from .recorder import STALL_CONDITIONS, EpochTimelineRecorder
+from .report import render_report, render_timeline, summarize
+from .trace import (
+    Span,
+    Tracer,
+    default_trace_file,
+    load_events,
+    read_events,
+    trace_files,
+)
+
+__all__ = [
+    "EpochTimelineRecorder",
+    "MetricsRegistry",
+    "ObsOptions",
+    "PhaseProfiler",
+    "STALL_CONDITIONS",
+    "Span",
+    "Tracer",
+    "correlation",
+    "correlation_id",
+    "default_trace_file",
+    "get_logger",
+    "load_events",
+    "new_correlation_id",
+    "percentile",
+    "read_events",
+    "render_report",
+    "render_timeline",
+    "set_correlation_id",
+    "setup_logging",
+    "summarize",
+    "trace_files",
+]

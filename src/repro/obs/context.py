@@ -1,0 +1,58 @@
+"""Correlation-ID propagation for cross-layer observability.
+
+A correlation ID names one logical unit of work end to end: the service
+stamps it when a job starts executing, the engine carries it into batch
+threads and worker processes, and every trace event and log record emitted
+while it is set carries it automatically.  That is what lets ``mlpsim obs
+report`` group a service job's epoch events with its HTTP lifecycle, and a
+``grep`` over JSON logs reconstruct one request's path through the stack.
+
+Implemented over :mod:`contextvars` so the ID follows the logical flow of
+control (threads started with a copied context, async tasks) rather than a
+global.  Worker processes do not inherit context; the engine passes the
+current ID explicitly through the pool initializer and re-installs it
+there.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import uuid
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = [
+    "correlation",
+    "correlation_id",
+    "new_correlation_id",
+    "set_correlation_id",
+]
+
+_CORRELATION: contextvars.ContextVar[str] = contextvars.ContextVar(
+    "repro_correlation_id", default="",
+)
+
+
+def correlation_id() -> str:
+    """The current correlation ID (empty string when none is set)."""
+    return _CORRELATION.get()
+
+
+def set_correlation_id(value: str) -> contextvars.Token:
+    """Install *value* as the current correlation ID; returns a reset token."""
+    return _CORRELATION.set(value)
+
+
+def new_correlation_id() -> str:
+    """A fresh 12-hex-digit correlation ID (same shape as service job IDs)."""
+    return uuid.uuid4().hex[:12]
+
+
+@contextmanager
+def correlation(value: str) -> Iterator[str]:
+    """Scope *value* (or a fresh ID when empty) as the correlation ID."""
+    token = _CORRELATION.set(value or new_correlation_id())
+    try:
+        yield _CORRELATION.get()
+    finally:
+        _CORRELATION.reset(token)

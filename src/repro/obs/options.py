@@ -1,0 +1,65 @@
+"""Observability options threaded from the API/CLI down to workers.
+
+:class:`ObsOptions` is the one knob bundle every layer understands: the
+API and CLI build it, :class:`~repro.engine.runner.EngineRunner` carries
+it, and — because it is a small frozen dataclass of plain values — it
+pickles straight through ``ProcessPoolExecutor`` initargs so each worker
+process can open its own per-process trace file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Optional, Union
+
+from .trace import Tracer, default_trace_file
+
+__all__ = ["ObsOptions"]
+
+
+@dataclass(frozen=True)
+class ObsOptions:
+    """What to observe and where to put it.
+
+    Attributes
+    ----------
+    trace_dir:
+        Directory for JSONL trace files (one ``trace-<pid>.jsonl`` per
+        process).  ``None`` disables tracing entirely — the zero-overhead
+        default.
+    trace_epochs:
+        Attach an :class:`~repro.obs.recorder.EpochTimelineRecorder` to
+        every simulator run so each epoch close / termination / store
+        stall becomes a trace event.
+    profile_phases:
+        Time engine phases with a sampling
+        :class:`~repro.obs.profile.PhaseProfiler`.
+    sample_rate:
+        Fraction of phase entries the profiler times (deterministic
+        every-N-th stride).
+    """
+
+    trace_dir: Optional[str] = None
+    trace_epochs: bool = True
+    profile_phases: bool = False
+    sample_rate: float = 1.0
+
+    @classmethod
+    def for_trace(cls, trace_dir: Union[str, Path], **kwargs: object) -> "ObsOptions":
+        """Options with tracing into *trace_dir* (the common case)."""
+        return cls(trace_dir=str(trace_dir), **kwargs)  # type: ignore[arg-type]
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any observation is requested at all."""
+        return self.trace_dir is not None or self.profile_phases
+
+    def with_trace_dir(self, trace_dir: Union[str, Path]) -> "ObsOptions":
+        return replace(self, trace_dir=str(trace_dir))
+
+    def open_tracer(self) -> Optional[Tracer]:
+        """A tracer on this process's per-PID file, or ``None`` if off."""
+        if self.trace_dir is None:
+            return None
+        return Tracer(default_trace_file(self.trace_dir))

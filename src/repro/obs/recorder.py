@@ -1,0 +1,174 @@
+"""Simulation instrumentation: the epoch-timeline recorder.
+
+:class:`EpochTimelineRecorder` is a :class:`~repro.core.window
+.WindowObserver` that turns the simulator's observer callbacks into the
+per-epoch record the paper's analysis needs — which termination condition
+closed each window, how many misses of each kind overlapped, and where the
+store buffer / store queue saturated — and, when given a
+:class:`~repro.obs.trace.Tracer`, streams the same data as JSONL trace
+events:
+
+- ``epoch`` — one per epoch close (exactly ``result.epoch_count`` of them
+  per run, the invariant the obs smoke test asserts),
+- ``termination`` — one per window termination, including zero-miss
+  windows,
+- ``store_stall`` — emitted when a store-buffer/store-queue saturation
+  condition terminated the window.
+
+Attaching a recorder never perturbs the simulation: the observer-neutrality
+tests pin bit-identical results across every mechanism (PC/WC, SMAC,
+scout, SLE) with and without a recorder attached, and the unobserved hot
+path still pays only ``is None`` checks.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
+
+from ..core.epoch import EpochRecord, TerminationCondition
+from ..core.window import WindowObserver
+from .trace import Tracer
+
+if TYPE_CHECKING:
+    from ..core.store_unit import StoreEntry
+    from ..core.window import WindowState
+
+__all__ = ["EpochTimelineRecorder", "STALL_CONDITIONS"]
+
+#: Termination conditions that mean the store path itself saturated.
+STALL_CONDITIONS = frozenset({
+    TerminationCondition.STORE_BUFFER_FULL,
+    TerminationCondition.STORE_QUEUE_STORE_BUFFER_FULL,
+    TerminationCondition.STORE_QUEUE_WINDOW_FULL,
+})
+
+
+class EpochTimelineRecorder(WindowObserver):
+    """Records the epoch timeline of one (or more) simulator runs.
+
+    Parameters
+    ----------
+    tracer:
+        Optional event sink; when given, every epoch close / termination /
+        store stall becomes one JSONL event.  Without it the recorder is a
+        pure in-memory accumulator (``rows``, ``termination_counts``, the
+        occupancy high-water marks).
+    label:
+        Stamped on every emitted event — callers use it to tell jobs of one
+        sweep apart inside a shared trace file.
+    """
+
+    def __init__(
+        self, tracer: Optional[Tracer] = None, label: str = "",
+    ) -> None:
+        self.tracer = tracer
+        self.label = label
+        #: One dict per closed epoch, in order (the timeline).
+        self.rows: List[Dict[str, Any]] = []
+        self.termination_counts: Counter = Counter()
+        self.trigger_counts: Counter = Counter()
+        self.store_stalls = 0
+        self.store_miss_events = 0
+        self.epochs_closed = 0
+        self.terminations_seen = 0
+        #: Occupancies sampled at each epoch begin (post-pump), and their
+        #: high-water marks across the run.
+        self.sb_occupancy_hwm = 0
+        self.sq_occupancy_hwm = 0
+        self.rob_occupancy_hwm = 0
+        self._sb_occ = 0
+        self._sq_occ = 0
+        self._rob_occ = 0
+
+    # ------------------------------------------------------------- hooks --
+
+    def on_epoch_begin(self, state: "WindowState") -> None:
+        """Sample SB/SQ/ROB occupancy as the new epoch's window opens."""
+        self._sb_occ = len(state.store_unit.sb)
+        self._sq_occ = len(state.store_unit.sq)
+        self._rob_occ = state.rob_occ
+        if self._sb_occ > self.sb_occupancy_hwm:
+            self.sb_occupancy_hwm = self._sb_occ
+        if self._sq_occ > self.sq_occupancy_hwm:
+            self.sq_occupancy_hwm = self._sq_occ
+        if self._rob_occ > self.rob_occupancy_hwm:
+            self.rob_occupancy_hwm = self._rob_occ
+
+    def on_epoch(self, record: EpochRecord) -> None:
+        self.epochs_closed += 1
+        self.termination_counts[record.termination] += 1
+        self.trigger_counts[record.trigger] += 1
+        row = {
+            "index": record.index,
+            "trigger": record.trigger.value,
+            "termination": (
+                record.termination.value if record.termination else ""
+            ),
+            "store_misses": record.store_misses,
+            "load_misses": record.load_misses,
+            "inst_misses": record.inst_misses,
+            "instructions": record.instructions,
+            "scouted": record.scouted,
+            "sb_occ": self._sb_occ,
+            "sq_occ": self._sq_occ,
+        }
+        self.rows.append(row)
+        if self.tracer is not None:
+            self.tracer.event("epoch", self.label, **row)
+
+    def on_termination(
+        self,
+        condition: TerminationCondition,
+        pos: int,
+        epoch: int,
+    ) -> None:
+        self.terminations_seen += 1
+        if self.tracer is not None:
+            self.tracer.event(
+                "termination", self.label,
+                condition=condition.value, pos=pos, epoch=epoch,
+            )
+        if condition in STALL_CONDITIONS:
+            self.store_stalls += 1
+            if self.tracer is not None:
+                self.tracer.event(
+                    "store_stall", self.label,
+                    condition=condition.value, pos=pos, epoch=epoch,
+                    sb_occ=self._sb_occ, sq_occ=self._sq_occ,
+                )
+
+    def on_store_event(
+        self, entry: "StoreEntry", pos: int, epoch: int
+    ) -> None:
+        self.store_miss_events += 1
+
+    # ----------------------------------------------------------- summary --
+
+    def termination_histogram(self) -> Dict[str, int]:
+        """Condition-name -> epochs closed under it (miss epochs only)."""
+        return {
+            cond.value: count
+            for cond, count in sorted(
+                self.termination_counts.items(), key=lambda kv: kv[0].value,
+            )
+        }
+
+    def summary(self) -> Dict[str, Any]:
+        """The run digest ``mlpsim obs report`` renders for live recorders."""
+        instructions = sum(row["instructions"] for row in self.rows)
+        return {
+            "epochs": self.epochs_closed,
+            "terminations": self.terminations_seen,
+            "store_stalls": self.store_stalls,
+            "store_miss_events": self.store_miss_events,
+            "instructions": instructions,
+            "epochs_per_1k_insts": (
+                1000.0 * self.epochs_closed / instructions
+                if instructions else 0.0
+            ),
+            "sb_occupancy_hwm": self.sb_occupancy_hwm,
+            "sq_occupancy_hwm": self.sq_occupancy_hwm,
+            "rob_occupancy_hwm": self.rob_occupancy_hwm,
+            "termination_histogram": self.termination_histogram(),
+        }

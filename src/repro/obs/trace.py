@@ -1,0 +1,254 @@
+"""Structured tracing: spans and events exported as JSONL.
+
+One :class:`Tracer` writes one stream of events, either to an append-mode
+JSONL file (one JSON object per line — greppable, streamable, safe to
+concatenate across worker processes) or to an in-memory buffer for tests
+and interactive use.
+
+Event schema (every event is one flat JSON object):
+
+========== ==============================================================
+``ts``     wall-clock seconds (``time.time``)
+``kind``   event kind: ``span_start`` / ``span_end``, or a domain kind —
+           ``epoch`` (one per epoch close), ``termination`` (one per
+           window termination), ``store_stall`` (store buffer/queue
+           saturation ended the window), ``phase`` (profiler sample), ...
+``name``   human-readable event/span name
+``corr``   correlation ID (from :mod:`repro.obs.context`; ties a service
+           job to its engine batches and simulator runs)
+``span``   ID of the enclosing span, or ``""`` outside any span
+``...``    kind-specific attributes, inlined
+========== ==============================================================
+
+``span_end`` events additionally carry ``dur`` — the span's wall time in
+seconds measured on a monotonic clock.  Span nesting is tracked per
+thread, so concurrent batch threads sharing one tracer attribute their
+events correctly.
+
+Readers: :func:`read_events` streams events back from a JSONL file, a
+directory of ``*.jsonl`` files, or an iterable of lines; it is the input
+side of ``mlpsim trace`` / ``mlpsim obs report``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+import uuid
+from pathlib import Path
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Union
+
+from .context import correlation_id
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "default_trace_file",
+    "load_events",
+    "read_events",
+    "trace_files",
+]
+
+
+class Span:
+    """One timed region of a :class:`Tracer` stream (context manager)."""
+
+    __slots__ = ("tracer", "name", "id", "parent", "_start", "attrs")
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        parent: str,
+        attrs: Dict[str, Any],
+    ) -> None:
+        self.tracer = tracer
+        self.name = name
+        self.id = uuid.uuid4().hex[:12]
+        self.parent = parent
+        self.attrs = attrs
+        self._start = time.perf_counter()
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.tracer._end_span(self, time.perf_counter() - self._start)
+
+
+class Tracer:
+    """Writes spans and events as JSONL (file, file-like, or in-memory).
+
+    *sink* is a path (opened in append mode, so many tracers — or many
+    processes — may share a directory of per-process files), an open
+    file-like object, or ``None`` for an in-memory buffer exposed as
+    :attr:`events` (already-decoded dicts).  All writes take a lock; one
+    event is one line, flushed immediately, so a crashed run still leaves
+    a parseable prefix.
+    """
+
+    def __init__(
+        self,
+        sink: Union[str, Path, Any, None] = None,
+        trace_id: Optional[str] = None,
+    ) -> None:
+        self.trace_id = trace_id or uuid.uuid4().hex[:12]
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._owns_file = False
+        self._file: Optional[Any] = None
+        self.path: Optional[Path] = None
+        self.events: List[Dict[str, Any]] = []
+        if sink is None:
+            pass
+        elif isinstance(sink, (str, Path)):
+            self.path = Path(sink)
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._file = open(self.path, "a", encoding="utf-8")
+            self._owns_file = True
+        else:
+            self._file = sink
+
+    # ------------------------------------------------------------- events --
+
+    def _current_span(self) -> str:
+        stack = getattr(self._local, "stack", None)
+        return stack[-1] if stack else ""
+
+    def event(self, kind: str, name: str = "", **attrs: Any) -> Dict[str, Any]:
+        """Emit one event; returns the written record."""
+        record: Dict[str, Any] = {
+            "ts": time.time(),
+            "kind": kind,
+            "name": name,
+            "corr": correlation_id() or self.trace_id,
+            "span": self._current_span(),
+        }
+        record.update(attrs)
+        self._write(record)
+        return record
+
+    def span(self, name: str, **attrs: Any) -> Span:
+        """Open a span: ``with tracer.span("simulate", job=...):``."""
+        span = Span(self, name, self._current_span(), attrs)
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        self.event("span_start", name, id=span.id, parent=span.parent, **attrs)
+        stack.append(span.id)
+        return span
+
+    def _end_span(self, span: Span, duration: float) -> None:
+        stack = getattr(self._local, "stack", None)
+        if stack and stack[-1] == span.id:
+            stack.pop()
+        record: Dict[str, Any] = {
+            "ts": time.time(),
+            "kind": "span_end",
+            "name": span.name,
+            "corr": correlation_id() or self.trace_id,
+            "span": self._current_span(),
+            "id": span.id,
+            "parent": span.parent,
+            "dur": duration,
+        }
+        record.update(span.attrs)
+        self._write(record)
+
+    def _write(self, record: Dict[str, Any]) -> None:
+        with self._lock:
+            if self._file is None:
+                self.events.append(record)
+                return
+            self._file.write(
+                json.dumps(record, separators=(",", ":"), sort_keys=True)
+                + "\n"
+            )
+            self._file.flush()
+
+    # ---------------------------------------------------------- lifecycle --
+
+    def flush(self) -> None:
+        with self._lock:
+            if self._file is not None:
+                self._file.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._owns_file and self._file is not None:
+                self._file.close()
+            self._file = None if self._owns_file else self._file
+            self._owns_file = False
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+# ------------------------------------------------------------------ reading --
+
+
+def trace_files(path: Union[str, Path]) -> List[Path]:
+    """The JSONL files behind *path* (a file, or a directory of traces)."""
+    root = Path(path)
+    if root.is_dir():
+        return sorted(root.glob("*.jsonl"))
+    return [root]
+
+
+def read_events(
+    source: Union[str, Path, Iterable[str]],
+    strict: bool = True,
+) -> Iterator[Dict[str, Any]]:
+    """Stream trace events back from a JSONL file, directory, or lines.
+
+    With ``strict=False`` undecodable lines are skipped (a process killed
+    mid-write can truncate its final line); by default they raise
+    ``ValueError`` naming the offending location.
+    """
+    if isinstance(source, (str, Path)):
+        for file in trace_files(source):
+            with open(file, "r", encoding="utf-8") as handle:
+                yield from _decode_lines(handle, str(file), strict)
+    else:
+        yield from _decode_lines(source, "<lines>", strict)
+
+
+def _decode_lines(
+    lines: Iterable[str], origin: str, strict: bool
+) -> Iterator[Dict[str, Any]]:
+    for number, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            if strict:
+                raise ValueError(
+                    f"{origin}:{number}: invalid trace event: {exc}"
+                ) from None
+            continue
+        if isinstance(record, dict):
+            yield record
+        elif strict:
+            raise ValueError(
+                f"{origin}:{number}: trace event is not an object"
+            )
+
+
+def load_events(
+    source: Union[str, Path, Iterable[str]],
+    strict: bool = True,
+) -> List[Dict[str, Any]]:
+    """:func:`read_events`, materialized."""
+    return list(read_events(source, strict=strict))
+
+
+def default_trace_file(directory: Union[str, Path]) -> Path:
+    """The per-process trace file convention: ``<dir>/trace-<pid>.jsonl``."""
+    return Path(directory) / f"trace-{os.getpid()}.jsonl"

@@ -26,6 +26,8 @@ from typing import Any, Dict, Optional
 from ..engine.cache import ArtifactCache, resolve_cache_dir
 from ..engine.runner import EngineRunner, JobSpec, RunReport
 from ..harness.experiment import ExperimentSettings, Workbench
+from ..obs.metrics import MetricsRegistry
+from ..obs.options import ObsOptions
 from ..harness.figures import (
     figure2,
     figure3,
@@ -63,6 +65,7 @@ class ServiceEngine:
         workers: Optional[int] = None,
         job_timeout: float = 600.0,
         retries: int = 1,
+        obs: Optional[ObsOptions] = None,
     ) -> None:
         self.settings = settings or ExperimentSettings()
         self.artifacts = ArtifactCache(resolve_cache_dir(cache_dir))
@@ -72,11 +75,20 @@ class ServiceEngine:
             workers=workers,
             job_timeout=job_timeout,
             retries=retries,
+            obs=obs,
         )
         # Figure drivers (and their in-process annotations) share the
         # service-wide artifact cache object, so a figure run right after a
         # sweep starts from warm memory, not just warm disk.
         self.bench = Workbench(self.settings, artifacts=self.artifacts)
+
+    def register_metrics(self, registry: MetricsRegistry) -> None:
+        """Expose the whole stack below the service on *registry*: artifact
+        cache tiers, engine batch/job activity and simulation aggregates."""
+        self.artifacts.stats.register_metrics(registry)
+        self.runner.telemetry.register_metrics(
+            registry, workers=self.runner.workers,
+        )
 
     # ------------------------------------------------------------ execute --
 

@@ -37,9 +37,13 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from ..obs.context import correlation
+from ..obs.logging import get_logger
 from .protocol import JobRequest
 
 __all__ = ["Dispatcher", "Job", "JobQueue", "JobState", "QueueFullError"]
+
+_log = get_logger("service")
 
 
 class JobState(Enum):
@@ -302,16 +306,31 @@ class Dispatcher(threading.Thread):
             job = self.queue.next_job(timeout=0.1)
             if job is None:
                 continue
-            try:
-                result = self.executor(job.request)
-            except Exception as exc:
-                self.queue.finish(
-                    job,
-                    error=f"{type(exc).__name__}: {exc}",
-                    tb=traceback.format_exc(),
+            # The job id becomes the correlation ID for everything this
+            # execution touches: dispatcher log records, engine batch
+            # spans, and (via pool initargs) worker-side trace events.
+            with correlation(job.id):
+                _log.info(
+                    "job %s started: %s", job.id, job.request.describe(),
                 )
-            else:
-                self.queue.finish(job, result=result)
+                try:
+                    result = self.executor(job.request)
+                except Exception as exc:
+                    self.queue.finish(
+                        job,
+                        error=f"{type(exc).__name__}: {exc}",
+                        tb=traceback.format_exc(),
+                    )
+                    _log.warning(
+                        "job %s failed: %s: %s",
+                        job.id, type(exc).__name__, exc,
+                    )
+                else:
+                    self.queue.finish(job, result=result)
+                    _log.info(
+                        "job %s done in %.3fs", job.id,
+                        (job.finished_at or 0.0) - (job.started_at or 0.0),
+                    )
             if self.on_finish is not None:
                 try:
                     self.on_finish(job)

@@ -1,144 +1,17 @@
-"""Thread-safe service metrics: counters, gauges and latency summaries.
+"""Back-compat shim over :mod:`repro.obs.metrics`.
 
-Everything the ``/metrics`` endpoint reports lives here:
-
-- **counters** — monotonic event counts (``jobs_submitted_total``,
-  ``jobs_deduped_total``, per-state completions, HTTP requests),
-- **gauges** — sampled-at-read callbacks (queue depth, jobs by state,
-  artifact-cache hit/miss counts from :class:`~repro.engine.cache.CacheStats`),
-- **latency summaries** — bounded reservoirs of observed durations with
-  p50/p95/p99 computed on demand (job queue wait, job execution, end-to-end
-  latency).
-
-Two export formats: :meth:`MetricsRegistry.to_dict` (JSON) and
-:meth:`MetricsRegistry.render_prometheus` (the Prometheus text exposition
-format, one ``summary`` per histogram with quantile-labelled samples).
-
-Every mutator takes the registry lock, so handler threads, the dispatcher
-and batch threads may all record concurrently.
+.. deprecated::
+   The metrics registry grew beyond the HTTP service — the engine and the
+   simulator now report through it too — so the canonical implementation
+   moved to :mod:`repro.obs.metrics`.  This module re-exports
+   :class:`MetricsRegistry` and :func:`percentile` so existing imports
+   (``from repro.service.metrics import MetricsRegistry``) keep working;
+   new code should import from :mod:`repro.obs.metrics` (or
+   :mod:`repro.obs`) directly.
 """
 
 from __future__ import annotations
 
-import threading
-from collections import deque
-from typing import Any, Callable, Deque, Dict, List, Tuple
+from ..obs.metrics import MetricsRegistry, percentile
 
 __all__ = ["MetricsRegistry", "percentile"]
-
-
-def percentile(samples: List[float], fraction: float) -> float:
-    """The *fraction*-quantile of *samples* by linear interpolation."""
-    if not samples:
-        return 0.0
-    if len(samples) == 1:
-        return samples[0]
-    ordered = sorted(samples)
-    position = fraction * (len(ordered) - 1)
-    low = int(position)
-    high = min(low + 1, len(ordered) - 1)
-    weight = position - low
-    return ordered[low] * (1.0 - weight) + ordered[high] * weight
-
-
-class MetricsRegistry:
-    """Counters + gauges + latency reservoirs behind one lock."""
-
-    #: Quantiles exported for every latency series, as
-    #: (prometheus label, summary key, fraction).
-    QUANTILES: Tuple[Tuple[str, str, float], ...] = (
-        ("0.5", "p50", 0.50), ("0.95", "p95", 0.95), ("0.99", "p99", 0.99),
-    )
-
-    def __init__(self, namespace: str = "repro", reservoir: int = 2048) -> None:
-        if reservoir < 1:
-            raise ValueError("reservoir must hold at least one sample")
-        self.namespace = namespace
-        self._lock = threading.Lock()
-        self._counters: Dict[str, int] = {}
-        self._gauges: Dict[str, Callable[[], float]] = {}
-        #: name -> (count, sum, bounded sample window)
-        self._latency: Dict[str, Tuple[int, float, Deque[float]]] = {}
-        self._reservoir = reservoir
-
-    # ------------------------------------------------------------ mutators --
-
-    def inc(self, name: str, delta: int = 1) -> None:
-        with self._lock:
-            self._counters[name] = self._counters.get(name, 0) + delta
-
-    def counter(self, name: str) -> int:
-        with self._lock:
-            return self._counters.get(name, 0)
-
-    def observe(self, name: str, seconds: float) -> None:
-        """Record one duration into the *name* latency series."""
-        with self._lock:
-            count, total, window = self._latency.get(
-                name, (0, 0.0, deque(maxlen=self._reservoir)),
-            )
-            window.append(seconds)
-            self._latency[name] = (count + 1, total + seconds, window)
-
-    def gauge(self, name: str, sample: Callable[[], float]) -> None:
-        """Register a gauge sampled at every export."""
-        with self._lock:
-            self._gauges[name] = sample
-
-    # ------------------------------------------------------------- exports --
-
-    def latency_summary(self, name: str) -> Dict[str, float]:
-        with self._lock:
-            count, total, window = self._latency.get(name, (0, 0.0, deque()))
-            samples = list(window)
-        summary: Dict[str, float] = {
-            "count": count,
-            "sum": total,
-            "mean": (total / count) if count else 0.0,
-        }
-        for _, key, fraction in self.QUANTILES:
-            summary[key] = percentile(samples, fraction)
-        return summary
-
-    def to_dict(self) -> Dict[str, Any]:
-        with self._lock:
-            counters = dict(self._counters)
-            gauges = list(self._gauges.items())
-            latency_names = list(self._latency)
-        return {
-            "counters": counters,
-            "gauges": {name: float(sample()) for name, sample in gauges},
-            "latency": {
-                name: self.latency_summary(name) for name in latency_names
-            },
-        }
-
-    def render_prometheus(self) -> str:
-        """The Prometheus text exposition format (version 0.0.4)."""
-        with self._lock:
-            counters = sorted(self._counters.items())
-            gauges = sorted(self._gauges.items())
-            latency: Dict[str, Tuple[int, float, List[float]]] = {
-                name: (count, total, list(window))
-                for name, (count, total, window) in self._latency.items()
-            }
-        lines: List[str] = []
-        for name, value in counters:
-            metric = f"{self.namespace}_{name}"
-            lines.append(f"# TYPE {metric} counter")
-            lines.append(f"{metric} {value}")
-        for name, sample in gauges:
-            metric = f"{self.namespace}_{name}"
-            lines.append(f"# TYPE {metric} gauge")
-            lines.append(f"{metric} {float(sample()):g}")
-        for name, (count, total, samples) in sorted(latency.items()):
-            metric = f"{self.namespace}_{name}_seconds"
-            lines.append(f"# TYPE {metric} summary")
-            for label, _, fraction in self.QUANTILES:
-                value = percentile(samples, fraction)
-                lines.append(
-                    f'{metric}{{quantile="{label}"}} {value:.6f}'
-                )
-            lines.append(f"{metric}_count {count}")
-            lines.append(f"{metric}_sum {total:.6f}")
-        return "\n".join(lines) + "\n"

@@ -31,6 +31,8 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 
 from ..harness.experiment import ExperimentSettings
+from ..obs.logging import get_logger, setup_logging
+from ..obs.options import ObsOptions
 from .executor import ServiceEngine
 from .jobqueue import Dispatcher, Job, JobQueue, JobState, QueueFullError
 from .metrics import MetricsRegistry
@@ -63,6 +65,7 @@ class ReproService:
         retries: int = 1,
         queue_capacity: int = 256,
         start_dispatcher: bool = True,
+        obs: Optional[ObsOptions] = None,
     ) -> None:
         self.engine = ServiceEngine(
             settings=settings,
@@ -70,6 +73,7 @@ class ReproService:
             workers=workers,
             job_timeout=job_timeout,
             retries=retries,
+            obs=obs,
         )
         self.queue = JobQueue(capacity=queue_capacity)
         self.metrics = MetricsRegistry()
@@ -84,17 +88,36 @@ class ReproService:
         self.httpd = ThreadingHTTPServer((host, port), handler)
         self.httpd.daemon_threads = True
 
-        self.metrics.gauge("queue_depth", self.queue.depth)
+        self.metrics.gauge(
+            "queue_depth", self.queue.depth,
+            help="jobs waiting to run",
+        )
         for state in JobState:
             self.metrics.gauge(
                 f"jobs_{state.value}",
                 lambda s=state.value: self.queue.counts_by_state()[s],
+                help=f"jobs currently in state {state.value}",
             )
-        stats = self.engine.artifacts.stats
-        self.metrics.gauge("cache_memory_hits", lambda: stats.memory_hits)
-        self.metrics.gauge("cache_disk_hits", lambda: stats.disk_hits)
-        self.metrics.gauge("cache_misses", lambda: stats.misses)
-        self.metrics.gauge("cache_writes", lambda: stats.writes)
+        # The layers below the service report through the same registry:
+        # artifact cache tiers, engine batches/jobs, simulation aggregates.
+        self.engine.register_metrics(self.metrics)
+        self.metrics.describe(
+            "jobs_submitted_total", "job submissions accepted",
+        )
+        self.metrics.describe(
+            "jobs_deduped_total",
+            "submissions attached to an identical in-flight job",
+        )
+        self.metrics.describe("http_requests_total", "HTTP requests served")
+        self.metrics.describe(
+            "job_exec", "job execution time (dispatch to finish)",
+        )
+        self.metrics.describe(
+            "job_queue_wait", "time jobs spent queued before dispatch",
+        )
+        self.metrics.describe(
+            "job_latency", "end-to-end job latency (submit to finish)",
+        )
 
     # ----------------------------------------------------------- lifecycle --
 
@@ -342,13 +365,23 @@ def serve(
     workers: Optional[int] = None,
     job_timeout: float = 600.0,
     queue_capacity: int = 256,
+    log_level: str = "info",
+    log_format: str = "text",
+    obs: Optional[ObsOptions] = None,
 ) -> None:
     """Run the daemon in the foreground until interrupted.
 
     Stops cleanly on SIGTERM as well as Ctrl-C — shells start backgrounded
     children with SIGINT ignored, so ``kill -TERM`` is how scripts (and the
     CI smoke step) shut the daemon down.
+
+    All daemon output goes through :mod:`repro.obs.logging` — *log_level*
+    and *log_format* (``text`` or ``json``) configure it; every record
+    carries the correlation ID of the job being dispatched.  *obs* enables
+    tracing/profiling of the engine below.
     """
+    setup_logging(level=log_level, fmt=log_format)
+    log = get_logger("service")
     service = ReproService(
         host=host,
         port=port,
@@ -357,14 +390,17 @@ def serve(
         workers=workers,
         job_timeout=job_timeout,
         queue_capacity=queue_capacity,
+        obs=obs,
     )
 
     def _sigterm(signum: int, frame: Any) -> None:
         raise KeyboardInterrupt
 
     signal.signal(signal.SIGTERM, _sigterm)
-    print(f"repro service listening on {service.url}", flush=True)
+    log.info("repro service listening on %s", service.url)
+    if obs is not None and obs.trace_dir is not None:
+        log.info("tracing to %s", obs.trace_dir)
     try:
         service.serve_forever()
     except KeyboardInterrupt:
-        print("shutting down", flush=True)
+        log.info("shutting down")

@@ -1,0 +1,78 @@
+"""Observer neutrality: attaching a recorder never perturbs simulation.
+
+Each parametrized case exercises a different mechanism path through the
+window scan — PC and WC consistency, SMAC, hardware scout, SLE, and a
+small store buffer/queue that saturates — and asserts the *entire*
+:class:`~repro.core.results.SimulationResult` (every counter, every
+per-epoch record) is equal with an :class:`EpochTimelineRecorder`
+attached versus ``observer=None``.  This is the guarantee that lets
+``--trace`` default on in sweeps without a results disclaimer.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import (
+    MemoryConfig,
+    ScoutMode,
+    SmacConfig,
+    StorePrefetchMode,
+)
+from repro.harness import ExperimentSettings, Workbench
+from repro.obs import EpochTimelineRecorder, Tracer
+
+SMALL = ExperimentSettings(warmup=2000, measure=6000, seed=13,
+                           calibrate=False)
+
+#: case -> Workbench.run(...) keyword arguments.
+CASES = {
+    "pc_default": dict(workload="database"),
+    "wc": dict(workload="database", variant="wc"),
+    "pc_small_store_path": dict(
+        workload="database",
+        store_prefetch=StorePrefetchMode.NONE,
+        store_buffer=8,
+        store_queue=16,
+    ),
+    "smac": dict(
+        workload="tpcw",
+        memory_config=MemoryConfig(
+            smac=SmacConfig(entries=256, associativity=8),
+        ),
+        tag="smac",
+    ),
+    "scout_hws2": dict(
+        workload="tpcw",
+        scout=ScoutMode.HWS2,
+        store_prefetch=StorePrefetchMode.NONE,
+    ),
+    "sle": dict(
+        workload="specjbb",
+        variant="pc_sle",
+        prefetch_past_serializing=True,
+    ),
+}
+
+
+@pytest.fixture(scope="module")
+def bench() -> Workbench:
+    return Workbench(SMALL)
+
+
+@pytest.mark.parametrize("case", sorted(CASES))
+def test_recorder_is_bit_neutral(bench, case):
+    kwargs = dict(CASES[case])
+    workload = kwargs.pop("workload")
+    baseline = bench.run(workload, **kwargs)
+    recorder = EpochTimelineRecorder(Tracer(), label=case)
+    observed = bench.run(workload, observer=recorder, **kwargs)
+
+    # Full dataclass equality: every counter and every EpochRecord.
+    assert observed == baseline
+    # And the recorder really saw the run it did not perturb.
+    assert recorder.epochs_closed == baseline.epoch_count
+    epoch_events = [
+        e for e in recorder.tracer.events if e["kind"] == "epoch"
+    ]
+    assert len(epoch_events) == baseline.epoch_count

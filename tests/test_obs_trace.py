@@ -1,0 +1,141 @@
+"""Tracer and JSONL round-trip tests for :mod:`repro.obs.trace`."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.obs import (
+    Tracer,
+    correlation,
+    correlation_id,
+    default_trace_file,
+    load_events,
+    new_correlation_id,
+    read_events,
+    set_correlation_id,
+    trace_files,
+)
+
+
+class TestTracerInMemory:
+    def test_event_records_schema_fields(self):
+        tracer = Tracer()
+        record = tracer.event("epoch", "db/pc", index=3, instructions=42)
+        assert record["kind"] == "epoch"
+        assert record["name"] == "db/pc"
+        assert record["index"] == 3
+        assert record["instructions"] == 42
+        assert record["span"] == ""
+        assert record["ts"] > 0
+        assert tracer.events == [record]
+
+    def test_events_carry_correlation_id(self):
+        tracer = Tracer(trace_id="t0")
+        with correlation("job-42"):
+            inside = tracer.event("epoch")
+        outside = tracer.event("epoch")
+        assert inside["corr"] == "job-42"
+        # Outside any correlation scope the trace id is the fallback.
+        assert outside["corr"] == "t0"
+
+    def test_span_nesting_and_duration(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                tracer.event("epoch")
+        kinds = [e["kind"] for e in tracer.events]
+        assert kinds == [
+            "span_start", "span_start", "epoch", "span_end", "span_end",
+        ]
+        outer_start, inner_start, epoch, inner_end, outer_end = tracer.events
+        assert inner_start["parent"] == outer_start["id"]
+        assert epoch["span"] == inner_start["id"]
+        assert inner_end["dur"] >= 0.0
+        assert outer_end["dur"] >= inner_end["dur"]
+        # After both spans closed, new events are unparented again.
+        assert tracer.event("epoch")["span"] == ""
+
+
+class TestTracerFileSink:
+    def test_writes_one_json_object_per_line(self, tmp_path):
+        path = tmp_path / "deep" / "trace.jsonl"
+        with Tracer(path) as tracer:
+            tracer.event("epoch", index=0)
+            with tracer.span("job"):
+                pass
+        lines = path.read_text().splitlines()
+        assert len(lines) == 3
+        for line in lines:
+            assert isinstance(json.loads(line), dict)
+
+    def test_append_mode_concatenates_runs(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        for index in range(2):
+            with Tracer(path) as tracer:
+                tracer.event("epoch", index=index)
+        events = load_events(path)
+        assert [e["index"] for e in events] == [0, 1]
+
+    def test_round_trip_through_read_events(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with Tracer(path) as tracer:
+            written = tracer.event("epoch", index=7, sb_occ=2)
+        [read] = load_events(path)
+        assert read == written
+
+
+class TestReaders:
+    def test_directory_reads_all_jsonl_sorted(self, tmp_path):
+        for name, index in [("b.jsonl", 1), ("a.jsonl", 0)]:
+            with Tracer(tmp_path / name) as tracer:
+                tracer.event("epoch", index=index)
+        (tmp_path / "notes.txt").write_text("not a trace\n")
+        assert [p.name for p in trace_files(tmp_path)] == [
+            "a.jsonl", "b.jsonl",
+        ]
+        assert [e["index"] for e in load_events(tmp_path)] == [0, 1]
+
+    def test_strict_raises_on_truncated_line(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"kind": "epoch"}\n{"kind": "trunc\n')
+        with pytest.raises(ValueError, match=r"trace\.jsonl:2"):
+            load_events(path)
+
+    def test_non_strict_skips_garbage(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(
+            '{"kind": "epoch"}\n'
+            "\n"
+            "not json\n"
+            "[1, 2]\n"
+            '{"kind": "termination"}\n'
+        )
+        events = load_events(path, strict=False)
+        assert [e["kind"] for e in events] == ["epoch", "termination"]
+
+    def test_strict_rejects_non_object_events(self):
+        with pytest.raises(ValueError, match="not an object"):
+            load_events(["[1, 2]"])
+
+    def test_reads_from_line_iterable(self):
+        events = list(read_events(['{"kind": "epoch"}']))
+        assert events == [{"kind": "epoch"}]
+
+
+class TestContext:
+    def test_default_trace_file_is_per_pid(self, tmp_path):
+        path = default_trace_file(tmp_path)
+        assert path == tmp_path / f"trace-{os.getpid()}.jsonl"
+
+    def test_correlation_scope_restores_previous(self):
+        set_correlation_id("outer")
+        with correlation("inner"):
+            assert correlation_id() == "inner"
+        assert correlation_id() == "outer"
+        set_correlation_id("")
+
+    def test_new_correlation_id_is_unique(self):
+        assert new_correlation_id() != new_correlation_id()

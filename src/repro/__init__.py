@@ -55,7 +55,7 @@ from .errors import (
     SimulationError,
     TraceError,
 )
-from .harness import ExperimentSettings, Workbench
+from .harness.experiment import ExperimentSettings
 from .isa import Instruction, InstructionClass
 from .memory import MemorySystem, StoreMissAccelerator, annotate_trace
 from .workloads import WORKLOADS, WorkloadGenerator, WorkloadProfile
@@ -95,3 +95,22 @@ __all__ = [
     "api",
     "simulate",
 ]
+
+
+def __getattr__(name: str):
+    # Deprecated entry-point aliases kept importable through one release;
+    # repro.api is the supported front door (timeline in DESIGN.md).
+    if name == "Workbench":
+        import warnings
+
+        warnings.warn(
+            "importing Workbench from repro is deprecated as an entry "
+            "point; construct one with repro.api.workbench() "
+            "(removal timeline in DESIGN.md)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from .harness.experiment import Workbench
+
+        return Workbench
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -45,26 +45,42 @@ from typing import Any, List, Mapping, Optional, Union
 
 from .config import SimulationConfig
 from .core.results import SimulationResult
-from .engine.runner import EngineRunner, RunReport
+from .engine.cache import ArtifactCache, resolve_cache_dir
+from .engine.runner import (
+    EngineRunner,
+    JobResult,
+    JobSpec,
+    RunReport,
+    ShardedReport,
+)
 from .harness.experiment import ExperimentSettings, Workbench
 from .harness.sweeps import SweepRecord, SweepSpec, valid_axes
 from .obs.options import ObsOptions
 from .obs.recorder import EpochTimelineRecorder
 from .service.client import ServiceClient
+from .shard.checkpoint import CheckpointStore
+from .shard.execute import shard_plan_for
+from .shard.plan import ShardPlan
 
 __all__ = [
     "EngineRunner",
     "ExperimentSettings",
+    "JobResult",
+    "JobSpec",
     "ObsOptions",
     "RunReport",
     "ServiceClient",
+    "ShardPlan",
+    "ShardedReport",
     "SimulationConfig",
     "SimulationResult",
     "SweepRecord",
     "SweepSpec",
     "Workbench",
     "connect",
+    "resume",
     "run",
+    "shard_plan",
     "sweep",
     "valid_axes",
     "workbench",
@@ -107,6 +123,9 @@ def run(
     bench: Optional[Workbench] = None,
     trace: Union[str, Path, None] = None,
     obs: Optional[ObsOptions] = None,
+    shards: int = 1,
+    checkpoint_every: int = 0,
+    workers: Optional[int] = None,
     **core_changes: Any,
 ) -> SimulationResult:
     """Simulate one workload *profile* under one configuration.
@@ -119,14 +138,45 @@ def run(
     :func:`valid_axes` for the accepted names.  Pass *bench* (from
     :func:`workbench`) to reuse an annotated trace across calls.
 
+    *shards* > 1 segments the trace at probed quiescent boundaries and fans
+    the segments across *workers* processes; *checkpoint_every* > 0
+    additionally snapshots progress every K instructions so interrupted
+    runs resume instead of restarting (``mlpsim resume`` /
+    :func:`resume`).  Either engages the fault-tolerant sharded execution
+    path; the returned result is bit-identical to an unsharded run.
+
     *trace* names a directory to write a JSONL epoch trace into
     (rendered by ``mlpsim trace`` / ``mlpsim obs report``); *obs* passes
     full :class:`ObsOptions` instead.  They are mutually exclusive, and
     neither perturbs the simulation result.
     """
+    options = _resolve_obs(trace, obs)
+    if shards > 1 or checkpoint_every > 0:
+        if bench is not None:
+            raise ValueError(
+                "bench= cannot be combined with shards=/checkpoint_every= "
+                "(sharded runs execute through an EngineRunner)"
+            )
+        runner = EngineRunner(
+            settings=settings or ExperimentSettings(),
+            cache_dir=cache_dir,
+            workers=workers,
+            obs=options,
+        )
+        spec = JobSpec(
+            workload=profile,
+            variant=variant,
+            config=config,
+            core_changes=tuple(sorted(core_changes.items())),
+        )
+        report = runner.run_sharded(
+            spec, shards, checkpoint_every=checkpoint_every,
+        )
+        report.raise_on_failure()
+        assert report.merged is not None
+        return report.merged
     if bench is None:
         bench = workbench(settings, cache_dir)
-    options = _resolve_obs(trace, obs)
     if options is None or options.trace_dir is None:
         return bench.run(
             profile, variant=variant, config=config, **core_changes,
@@ -196,6 +246,90 @@ def sweep(
         )
     report = runner.run(spec.to_jobs())
     return spec.records(report)
+
+
+def shard_plan(
+    profile: str,
+    shards: int = 4,
+    *,
+    variant: str = "pc",
+    config: Optional[SimulationConfig] = None,
+    settings: Optional[ExperimentSettings] = None,
+    cache_dir: Any = "auto",
+    bench: Optional[Workbench] = None,
+    **core_changes: Any,
+) -> ShardPlan:
+    """The deterministic shard plan a sharded :func:`run` would use.
+
+    Probes the simulation's quiescent epoch boundaries (cached per
+    configuration + trace) and returns the :class:`ShardPlan` — inspect
+    ``plan.shards`` for the spans, ``plan.shard_count`` for how many
+    shards the trace actually supports (boundary-starved traces yield
+    fewer than requested, never unsafe cuts).
+    """
+    if bench is None:
+        bench = workbench(settings, cache_dir)
+    spec = JobSpec(
+        workload=profile,
+        variant=variant,
+        config=config,
+        core_changes=tuple(sorted(core_changes.items())),
+    )
+    return shard_plan_for(bench, spec, shards)
+
+
+def resume(
+    job_or_token: Union[JobSpec, str],
+    *,
+    settings: Optional[ExperimentSettings] = None,
+    cache_dir: Any = "auto",
+    workers: Optional[int] = None,
+) -> JobResult:
+    """Resume a checkpointed job from its latest persisted checkpoint.
+
+    Accepts either the original :class:`JobSpec` (with *settings* matching
+    the original run) or the resume *token* a sharded/checkpointed run
+    reported — the token's stored record carries the spec and settings, so
+    ``api.resume(token)`` needs nothing else beyond the same *cache_dir*.
+
+    The job re-executes through the engine; if a verified checkpoint
+    exists it restarts from that snapshot (``JobResult.resumed_pos`` tells
+    you where), otherwise it runs from the beginning.  A corrupt
+    checkpoint raises :class:`repro.errors.CheckpointCorruptError` when
+    resuming by token, and is silently discarded (fresh start) when
+    resuming by spec.
+    """
+    if isinstance(job_or_token, JobSpec):
+        spec = job_or_token
+        if spec.checkpoint_every <= 0:
+            raise ValueError(
+                "the job spec was never checkpointed "
+                "(checkpoint_every == 0); there is nothing to resume from"
+            )
+    else:
+        directory = resolve_cache_dir(cache_dir)
+        if directory is None:
+            raise ValueError(
+                "resuming from a token requires a persistent cache_dir"
+            )
+        store = CheckpointStore(ArtifactCache(directory))
+        record = store.load_record(str(job_or_token))
+        if record is None:
+            raise KeyError(
+                f"no checkpoint stored under token "
+                f"{str(job_or_token)[:16]}... in {directory}"
+            )
+        record.verify()
+        spec = record.spec
+        settings = record.settings
+    runner = EngineRunner(
+        settings=settings or ExperimentSettings(),
+        cache_dir=cache_dir,
+        workers=workers if workers is not None else 1,
+    )
+    report = runner.run([spec])
+    report.raise_on_failure()
+    return report.jobs[0]
 
 
 def connect(

@@ -41,12 +41,15 @@ import sys
 from typing import Any, Dict, List, Sequence, Tuple
 
 from . import api
-from .config import ConsistencyModel, ScoutMode, StorePrefetchMode
-from .engine import EngineRunner, JobSpec
-from .harness import (
+from .api import (  # the documented facade re-exports the working types
+    EngineRunner,
     ExperimentSettings,
+    JobSpec,
     SweepSpec,
     Workbench,
+)
+from .config import ConsistencyModel, ScoutMode, StorePrefetchMode
+from .harness import (
     coerce_axis_value,
     figure2,
     figure3,
@@ -139,6 +142,31 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write a JSONL epoch trace into this directory "
              "(render with 'mlpsim trace DIR')",
     )
+    run.add_argument(
+        "--shards", type=int, default=1, metavar="N",
+        help="segment the trace at quiescent epoch boundaries and run the "
+             "shards in parallel (result is bit-identical to unsharded)",
+    )
+    run.add_argument(
+        "--checkpoint-every", type=int, default=0, metavar="K",
+        help="snapshot simulation state every K instructions so an "
+             "interrupted run resumes via 'mlpsim resume TOKEN'",
+    )
+    run.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes for a sharded run (default: min(4, cpus))",
+    )
+
+    rs = sub.add_parser(
+        "resume",
+        help="resume a checkpointed simulation from its resume token",
+    )
+    rs.add_argument(
+        "token",
+        help="resume token printed by 'mlpsim run --checkpoint-every K' "
+             "(the checkpoint's artifact-cache key)",
+    )
+    rs.add_argument("--workers", type=int, default=None)
 
     sw = sub.add_parser(
         "sweep",
@@ -487,7 +515,7 @@ def _cmd_figures(args, settings: ExperimentSettings, workloads) -> int:
     if cache_dir is not None:
         report = runner.run(warm_jobs)
         print(f"# warm: {report.summary()}", file=sys.stderr)
-    bench = Workbench(settings, cache_dir=cache_dir)
+    bench = api.workbench(settings, cache_dir)
     for name in names:
         print(f"# {name}")
         _render_figure(name, bench, workloads)
@@ -530,6 +558,84 @@ def _cmd_bench_smoke(args, settings: ExperimentSettings) -> int:
     if report.failed:
         return 1
     print("smoke ok")
+    return 0
+
+
+def _cmd_run(args, settings: ExperimentSettings) -> int:
+    variant = (
+        ("wc" if args.consistency == "wc" else "pc")
+        + ("_sle" if args.sle else "")
+    )
+    core_changes = dict(
+        store_prefetch=_PREFETCH[args.prefetch],
+        consistency=(
+            ConsistencyModel.WC if args.consistency == "wc"
+            else ConsistencyModel.PC
+        ),
+        scout=_SCOUT[args.scout],
+        store_buffer=args.store_buffer,
+        store_queue=args.store_queue,
+        perfect_stores=args.perfect_stores,
+    )
+    if args.shards > 1 or args.checkpoint_every > 0:
+        if args.trace is not None:
+            print("--trace is not supported with --shards/--checkpoint-every",
+                  file=sys.stderr)
+            return 2
+        runner = EngineRunner(
+            settings=settings, cache_dir=_cache_dir(args),
+            workers=args.workers,
+        )
+        spec = JobSpec(
+            workload=args.workload, variant=variant,
+            core_changes=tuple(sorted(core_changes.items())),
+        )
+        report = runner.run_sharded(
+            spec, args.shards, checkpoint_every=args.checkpoint_every,
+        )
+        print(f"# plan: {report.plan.describe()}", file=sys.stderr)
+        for job in report.jobs:
+            line = f"  {job.spec.describe():52s} [{job.status}]"
+            if job.resumed_pos >= 0:
+                line += f" resumed@{job.resumed_pos}"
+            print(line)
+            if job.checkpoint_token:
+                print(f"    resume token: {job.checkpoint_token}")
+        print(f"# {report.summary()}", file=sys.stderr)
+        if not report.ok:
+            return 1
+        print(report.merged.summary())
+        return 0
+    result = api.run(
+        args.workload,
+        settings=settings,
+        cache_dir=_cache_dir(args),
+        trace=args.trace,
+        variant=variant,
+        **core_changes,
+    )
+    print(result.summary())
+    return 0
+
+
+def _cmd_resume(args) -> int:
+    from .errors import ReproError
+
+    try:
+        job = api.resume(
+            args.token, cache_dir=_cache_dir(args), workers=args.workers,
+        )
+    except (KeyError, ValueError, ReproError) as exc:
+        print(f"resume failed: {exc}", file=sys.stderr)
+        return 1
+    line = f"{job.spec.describe()} [{job.status}]"
+    if job.resumed_pos >= 0:
+        line += f" resumed@{job.resumed_pos}"
+    print(line)
+    if not job.ok:
+        print(f"  error: {job.error}", file=sys.stderr)
+        return 1
+    print(job.result.summary())
     return 0
 
 
@@ -693,6 +799,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(f"unknown workloads: {sorted(unknown)}", file=sys.stderr)
         return 2
 
+    if args.command == "run":
+        return _cmd_run(args, settings)
+    if args.command == "resume":
+        return _cmd_resume(args)
     if args.command == "serve":
         return _cmd_serve(args, settings)
     if args.command == "submit":
@@ -725,7 +835,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             return 2
         return _cmd_bench_smoke(args, settings)
 
-    bench = Workbench(settings, cache_dir=_cache_dir(args))
+    bench = api.workbench(settings, _cache_dir(args))
     if args.command == "table1":
         print(format_table1(table1(bench, workloads)))
     elif args.command == "table2":
@@ -740,24 +850,6 @@ def main(argv: Sequence[str] | None = None) -> int:
         from .harness.report import ALL_SECTIONS, generate_report
         sections = args.sections or list(ALL_SECTIONS)
         sys.stdout.write(generate_report(bench, sections))
-    elif args.command == "run":
-        result = api.run(
-            args.workload,
-            bench=bench,
-            trace=args.trace,
-            variant=("wc" if args.consistency == "wc" else "pc")
-            + ("_sle" if args.sle else ""),
-            store_prefetch=_PREFETCH[args.prefetch],
-            consistency=(
-                ConsistencyModel.WC if args.consistency == "wc"
-                else ConsistencyModel.PC
-            ),
-            scout=_SCOUT[args.scout],
-            store_buffer=args.store_buffer,
-            store_queue=args.store_queue,
-            perfect_stores=args.perfect_stores,
-        )
-        print(result.summary())
     return 0
 
 

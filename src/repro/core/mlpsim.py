@@ -48,7 +48,7 @@ golden-result tests pin the outputs to the pre-optimization values
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Callable, List, Optional, Tuple
 
 from ..config import (
     ConsistencyModel,
@@ -56,12 +56,20 @@ from ..config import (
     ScoutMode,
     SimulationConfig,
 )
+from ..errors import CheckpointCorruptError, ShardBoundaryError
 from ..isa import Instruction, InstructionClass
 from ..memory.annotate import AccessInfo, AnnotatedTrace
 from .epoch import TerminationCondition, TriggerKind
 from .results import SimulationResult
 from .scoreboard import RegisterScoreboard
 from .scout import run_scout
+from .snapshot import (
+    SNAPSHOT_VERSION,
+    SimulatorSnapshot,
+    capture_snapshot,
+    is_quiescent,
+    restore_simulation,
+)
 from .store_unit import StoreEntry, StoreUnit
 from .window import DeferredLoad, EpochAccountant, WindowObserver, WindowState
 
@@ -128,17 +136,67 @@ class MlpSimulator:
         self,
         trace: AnnotatedTrace,
         observer: WindowObserver | None = None,
+        *,
+        resume: SimulatorSnapshot | None = None,
+        stop: int | None = None,
+        checkpoint_every: int = 0,
+        checkpoint_sink: Optional[
+            Callable[[SimulatorSnapshot], None]
+        ] = None,
+        quiescent_log: Optional[List[Tuple[int, int]]] = None,
     ) -> SimulationResult:
-        """Partition *trace* into epochs and return the measurements."""
+        """Partition *trace* into epochs and return the measurements.
+
+        The keyword-only parameters drive :mod:`repro.shard`:
+
+        - *resume* restarts from a :class:`SimulatorSnapshot` captured by an
+          earlier run over the same trace, bit-identically.
+        - *stop* ends the run at a planned shard boundary: the epoch-loop
+          bottom where the cursor reaches *stop*.  The boundary must be one
+          this simulation actually passes through quiescently (a position
+          from a shard plan), else :class:`ShardBoundaryError`.
+        - *checkpoint_every* = K calls *checkpoint_sink* with a snapshot at
+          the first epoch boundary at or past each multiple of K
+          instructions.  The mark sequence depends only on K, so a resumed
+          run checkpoints at the same positions as an uninterrupted one.
+        - *quiescent_log* collects ``(pos, cur)`` at every quiescent epoch
+          boundary — the probe behind shard planning.
+        """
         core = self.core
         n = len(trace)
-        accountant = EpochAccountant(instructions=n)
-        state = WindowState(
-            scoreboard=RegisterScoreboard(),
-            store_unit=StoreUnit(core),
-            stagnation_limit=core.store_queue + core.store_buffer + 8,
-            observer=observer if observer is not None else self.observer,
+        stagnation_limit = core.store_queue + core.store_buffer + 8
+        attached_observer = observer if observer is not None else self.observer
+        if resume is not None:
+            if resume.version != SNAPSHOT_VERSION:
+                raise CheckpointCorruptError(
+                    f"snapshot version {resume.version} != "
+                    f"{SNAPSHOT_VERSION}"
+                )
+            if resume.instructions != n:
+                raise CheckpointCorruptError(
+                    f"snapshot belongs to a {resume.instructions}-instruction "
+                    f"trace, got {n} instructions"
+                )
+            state, accountant = restore_simulation(
+                resume, core, stagnation_limit, observer=attached_observer,
+            )
+        else:
+            accountant = EpochAccountant(instructions=n)
+            state = WindowState(
+                scoreboard=RegisterScoreboard(),
+                store_unit=StoreUnit(core),
+                stagnation_limit=stagnation_limit,
+                observer=attached_observer,
+            )
+        # Epoch-boundary instrumentation is cold (once per epoch, not per
+        # instruction); a single flag keeps the plain path to one check.
+        instrumented = (
+            stop is not None or quiescent_log is not None
+            or (checkpoint_every > 0 and checkpoint_sink is not None)
         )
+        next_mark = 0
+        if checkpoint_every > 0:
+            next_mark = (state.pos // checkpoint_every + 1) * checkpoint_every
 
         attached = state.observer
         while True:
@@ -155,6 +213,34 @@ class MlpSimulator:
             ):
                 break
             state.check_progress(misses)
+            if instrumented:
+                pos = state.pos
+                if stop is not None and pos >= stop:
+                    if pos != stop or not is_quiescent(state):
+                        raise ShardBoundaryError(
+                            f"planned shard boundary {stop} was not reached "
+                            f"quiescently (cursor at {pos}); the shard plan "
+                            f"does not match this trace/configuration"
+                        )
+                    # The unit is drained at a quiescent boundary, so
+                    # finalize only copies the accumulated store statistics.
+                    accountant.result.instructions = stop
+                    return accountant.finalize(state.store_unit)
+                if (
+                    quiescent_log is not None
+                    and 0 < pos < n
+                    and is_quiescent(state)
+                ):
+                    quiescent_log.append((pos, state.cur))
+                if (
+                    checkpoint_every > 0
+                    and checkpoint_sink is not None
+                    and pos >= next_mark
+                ):
+                    checkpoint_sink(capture_snapshot(state, accountant, n))
+                    next_mark = (
+                        pos // checkpoint_every + 1
+                    ) * checkpoint_every
 
         # Final drain: entries whose misses completed in the last epoch are
         # committed here so the bandwidth accounting covers every store.

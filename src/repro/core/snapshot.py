@@ -1,0 +1,192 @@
+"""Snapshot/restore of a running MLPsim simulation.
+
+A simulation's complete machine state at an *epoch boundary* — the bottom
+of the :meth:`MlpSimulator.run <repro.core.mlpsim.MlpSimulator.run>` epoch
+loop, after the clock advanced and before the next window opens — is small
+and explicit: the trace cursor, the epoch clock, the register scoreboard,
+the replay/deferral queues, the store buffer and store queue, and the
+accumulated :class:`~repro.core.results.SimulationResult`.  Everything else
+(the per-epoch window bookkeeping) is rebuilt from scratch by
+``WindowState.begin_epoch``, so capturing at the loop bottom needs none of
+it.
+
+:func:`capture_snapshot` deep-copies that state into an immutable
+:class:`SimulatorSnapshot`; :func:`restore_simulation` rebuilds a live
+``(WindowState, EpochAccountant)`` pair from one.  Restoring and re-entering
+the epoch loop is bit-identical to never having stopped: every comparison
+the simulator makes is either positional (``pos``-relative) or epoch-relative
+(``ready > cur``, ``miss_issued_epoch < epoch``), and the snapshot preserves
+both coordinate systems exactly.
+
+:func:`is_quiescent` recognizes the stronger condition behind *shard*
+boundaries: an epoch boundary where the machine carries no state forward at
+all — store buffer and store queue drained, no pending ordering barrier, no
+deferred or replayed work still in flight, every register usable now, and no
+speculatively resolved (prefetched) trace position at or beyond the cursor.
+At such a point the remaining simulation depends only on relative
+comparisons, so a *fresh* simulator started on the trace suffix reproduces
+it exactly — that is what lets :mod:`repro.shard` cut a trace into
+independently runnable segments.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..config import CoreConfig
+from .results import SimulationResult
+from .scoreboard import RegisterScoreboard
+from .store_unit import StoreEntry, StoreUnit, StoreUnitStats
+from .window import DeferredLoad, EpochAccountant, WindowObserver, WindowState
+
+__all__ = [
+    "SNAPSHOT_VERSION",
+    "SimulatorSnapshot",
+    "capture_snapshot",
+    "is_quiescent",
+    "restore_simulation",
+]
+
+#: Bump when the captured state set changes incompatibly; restore refuses
+#: snapshots from a different version rather than misinterpreting them.
+SNAPSHOT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class SimulatorSnapshot:
+    """Complete cross-epoch machine state at one epoch boundary.
+
+    ``pos``/``cur`` are the trace cursor and epoch clock; ``resolved`` is
+    the set of already-prefetched trace positions (stored sorted for a
+    canonical wire form); ``replay``/``deferred_other`` are the dependent
+    loads and ALU deferrals still waiting on earlier misses; ``ready`` is
+    the scoreboard's per-register earliest-consumable epoch; ``sb``/``sq``
+    are the store buffer/queue contents in order.  ``result`` is the
+    accumulated measurement so far.  ``instructions`` records the length of
+    the trace the snapshot belongs to and ``config_key`` an (opaque)
+    identifier of the configuration — both are validated on restore paths
+    so a snapshot can never silently resume against the wrong run.
+    """
+
+    version: int
+    pos: int
+    cur: int
+    stagnation: int
+    resolved: Tuple[int, ...]
+    replay: Tuple[DeferredLoad, ...]
+    deferred_other: Tuple[int, ...]
+    ready: Tuple[int, ...]
+    sb: Tuple[StoreEntry, ...]
+    sq: Tuple[StoreEntry, ...]
+    pending_barrier: bool
+    store_stats: StoreUnitStats
+    result: SimulationResult
+    instructions: int
+    config_key: str = ""
+
+
+def capture_snapshot(
+    state: WindowState,
+    accountant: EpochAccountant,
+    instructions: int,
+    config_key: str = "",
+) -> SimulatorSnapshot:
+    """Deep-copy the live simulation state into an immutable snapshot.
+
+    Must be called at the bottom of the epoch loop (the simulator's
+    ``checkpoint_sink`` guarantees this).  Store entries and the result are
+    copied because the running simulation keeps mutating them.
+    """
+    result = accountant.result
+    return SimulatorSnapshot(
+        version=SNAPSHOT_VERSION,
+        pos=state.pos,
+        cur=state.cur,
+        stagnation=state.stagnation,
+        resolved=tuple(sorted(state.resolved)),
+        replay=tuple(dataclasses.replace(d) for d in state.replay),
+        deferred_other=tuple(state.deferred_other),
+        ready=tuple(state.scoreboard._ready),
+        sb=tuple(dataclasses.replace(e) for e in state.store_unit.sb),
+        sq=tuple(dataclasses.replace(e) for e in state.store_unit.sq),
+        pending_barrier=state.store_unit._pending_barrier,
+        store_stats=dataclasses.replace(state.store_unit.stats),
+        result=dataclasses.replace(result, epochs=list(result.epochs)),
+        instructions=instructions,
+        config_key=config_key,
+    )
+
+
+def restore_simulation(
+    snapshot: SimulatorSnapshot,
+    core: CoreConfig,
+    stagnation_limit: int,
+    observer: Optional[WindowObserver] = None,
+) -> Tuple[WindowState, EpochAccountant]:
+    """Rebuild a live ``(WindowState, EpochAccountant)`` from *snapshot*.
+
+    The store unit is reconstructed from *core* (its derived policy fields
+    — consistency model, prefetch timing, limits — are functions of the
+    configuration, not state) and then loaded with copies of the snapshot's
+    buffer/queue contents and statistics.
+    """
+    from collections import deque
+
+    scoreboard = RegisterScoreboard(num_registers=len(snapshot.ready))
+    scoreboard._ready = list(snapshot.ready)
+    unit = StoreUnit(core)
+    unit.sb = deque(dataclasses.replace(e) for e in snapshot.sb)
+    unit.sq = deque(dataclasses.replace(e) for e in snapshot.sq)
+    unit.stats = dataclasses.replace(snapshot.store_stats)
+    unit._pending_barrier = snapshot.pending_barrier
+    state = WindowState(
+        scoreboard=scoreboard,
+        store_unit=unit,
+        stagnation_limit=stagnation_limit,
+        observer=observer,
+        pos=snapshot.pos,
+        cur=snapshot.cur,
+        resolved=set(snapshot.resolved),
+        replay=[dataclasses.replace(d) for d in snapshot.replay],
+        deferred_other=list(snapshot.deferred_other),
+        stagnation=snapshot.stagnation,
+    )
+    accountant = EpochAccountant(instructions=snapshot.instructions)
+    accountant.result = dataclasses.replace(
+        snapshot.result, epochs=list(snapshot.result.epochs),
+    )
+    return state, accountant
+
+
+def is_quiescent(state: WindowState) -> bool:
+    """True when *state* (at an epoch boundary) carries nothing forward.
+
+    The predicate behind epoch-safe shard boundaries: store buffer and
+    store queue empty with no pending barrier, no *unmatured or missing*
+    deferred work (entries whose epoch already passed and that will not
+    miss are dropped untouched by the next ``begin_epoch``), every register
+    usable in the current epoch, and no resolved (prefetched) position at
+    or beyond the cursor.  A fresh simulator started on the remaining trace
+    suffix behaves identically from here: all the state the simulator
+    consults from now on compares equal in both coordinate systems.
+    """
+    unit = state.store_unit
+    if unit.sb or unit.sq or unit._pending_barrier:
+        return False
+    cur = state.cur
+    for deferred in state.replay:
+        if deferred.missing or deferred.exec_epoch > cur:
+            return False
+    for epoch in state.deferred_other:
+        if epoch > cur:
+            return False
+    for epoch in state.scoreboard._ready:
+        if epoch > cur:
+            return False
+    pos = state.pos
+    for index in state.resolved:
+        if index >= pos:
+            return False
+    return True

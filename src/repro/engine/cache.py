@@ -25,6 +25,7 @@ import hashlib
 import os
 import pickle
 import tempfile
+import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field, fields, is_dataclass
@@ -144,6 +145,16 @@ class ArtifactCache:
         self.memory_entries = memory_entries
         self.stats = CacheStats()
         self._memory: "OrderedDict[Tuple[str, str], Any]" = OrderedDict()
+        #: Per-key writer locks: publish (put) and eviction (prune) of the
+        #: same key serialize, so a prune working from a stale directory
+        #: listing can never unlink an entry a concurrent writer just
+        #: republished.
+        self._key_locks: Dict[Tuple[str, str], threading.Lock] = {}
+        self._key_locks_guard = threading.Lock()
+
+    def _lock_for(self, kind: str, key: str) -> threading.Lock:
+        with self._key_locks_guard:
+            return self._key_locks.setdefault((kind, key), threading.Lock())
 
     # ------------------------------------------------------------ lookup --
 
@@ -182,20 +193,25 @@ class ArtifactCache:
             return
         path = self._path(kind, key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        # Atomic publish: writers never expose a partial pickle.
-        fd, tmp_name = tempfile.mkstemp(
-            dir=path.parent, prefix=".tmp-", suffix=".pkl"
-        )
-        try:
-            with os.fdopen(fd, "wb") as handle:
-                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp_name, path)
-        except BaseException:
+        # Atomic publish: writers never expose a partial pickle.  The
+        # per-key lock additionally orders this publish against a
+        # concurrent prune of the same key.
+        with self._lock_for(kind, key):
+            fd, tmp_name = tempfile.mkstemp(
+                dir=path.parent, prefix=".tmp-", suffix=".pkl"
+            )
             try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
+                with os.fdopen(fd, "wb") as handle:
+                    pickle.dump(
+                        value, handle, protocol=pickle.HIGHEST_PROTOCOL,
+                    )
+                os.replace(tmp_name, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
 
     # ---------------------------------------------------------- internals --
 
@@ -317,12 +333,29 @@ class ArtifactCache:
                 if max_bytes is None:
                     break  # mtime-sorted: nothing later is stale either
                 continue
-            try:
-                entry.path.unlink()
-            except FileNotFoundError:
-                pass  # concurrent removal: already gone, still count it out
-            except OSError:
-                continue  # unremovable entry stays in the remaining totals
+            # Under the key's writer lock, re-stat before unlinking: the
+            # listing above may be stale, and a writer may have republished
+            # this key since — its fresh entry must survive the prune.
+            with self._lock_for(entry.kind, entry.key):
+                try:
+                    current_mtime = entry.path.stat().st_mtime
+                except FileNotFoundError:
+                    # Concurrent removal: already gone, still count it out.
+                    result.removed_entries += 1
+                    result.removed_bytes += entry.bytes
+                    result.remaining_entries -= 1
+                    result.remaining_bytes -= entry.bytes
+                    continue
+                except OSError:
+                    continue  # unstattable entry stays in remaining totals
+                if current_mtime != entry.mtime:
+                    continue  # republished since the listing: keep it
+                try:
+                    entry.path.unlink()
+                except FileNotFoundError:
+                    pass
+                except OSError:
+                    continue  # unremovable entry stays in remaining totals
             result.removed_entries += 1
             result.removed_bytes += entry.bytes
             result.remaining_entries -= 1

@@ -38,7 +38,7 @@ from concurrent.futures import (
     ProcessPoolExecutor,
     TimeoutError as FutureTimeoutError,
 )
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import (
     TYPE_CHECKING,
     Any,
@@ -54,6 +54,7 @@ from ..config import MemoryConfig, SimulationConfig
 from ..core.epoch import TerminationCondition
 from ..core.results import SimulationResult
 from ..core.window import WindowObserver
+from ..errors import BatchFailedError, EngineConfigError
 from ..obs.context import correlation_id, set_correlation_id
 from ..obs.metrics import MetricsRegistry
 from ..obs.options import ObsOptions
@@ -79,6 +80,7 @@ __all__ = [
     "JobResult",
     "JobSpec",
     "RunReport",
+    "ShardedReport",
     "execute_job",
 ]
 
@@ -99,6 +101,14 @@ class JobSpec:
     the artifact cache only, returning ``None``).  ``core_changes`` is a
     tuple of ``(field, value)`` pairs applied to the core configuration —
     the hashable form of a sweep grid point.
+
+    The shard fields turn a simulate job into one segment of a sharded run
+    (see :mod:`repro.shard`): ``shard_start``/``shard_stop`` bound the
+    half-open trace span (``-1`` means the natural end), ``checkpoint_every``
+    asks for a snapshot every K instructions so a failed attempt resumes
+    instead of restarting, and ``fault`` arms a test-only fault injection
+    (``"kill@M"``/``"corrupt@M"``).  All default to "off", keeping plain
+    jobs byte-compatible with previously serialized specs.
     """
 
     workload: str
@@ -110,6 +120,19 @@ class JobSpec:
     config: Optional[SimulationConfig] = None
     core_changes: Tuple[Tuple[str, Any], ...] = ()
     label: str = ""
+    shard_start: int = -1
+    shard_stop: int = -1
+    checkpoint_every: int = 0
+    fault: str = ""
+
+    @property
+    def sharded(self) -> bool:
+        """True when this spec runs through the shard execution path."""
+        return self.action == "simulate" and (
+            self.shard_start >= 0
+            or self.shard_stop >= 0
+            or self.checkpoint_every > 0
+        )
 
     def describe(self) -> str:
         if self.label:
@@ -119,6 +142,10 @@ class JobSpec:
             for name, value in self.core_changes
         )
         head = f"{self.action}:{self.workload}/{self.variant}"
+        if self.shard_start >= 0 or self.shard_stop >= 0:
+            lo = self.shard_start if self.shard_start >= 0 else 0
+            hi = self.shard_stop if self.shard_stop >= 0 else ""
+            head += f"[{lo}:{hi})"
         return f"{head} {knobs}".strip()
 
     def to_dict(self) -> Dict[str, Any]:
@@ -138,7 +165,14 @@ class JobSpec:
 
 @dataclass
 class JobResult:
-    """Outcome of one job."""
+    """Outcome of one job.
+
+    For sharded/checkpointed jobs the extra fields record recovery
+    behaviour: ``resumed_pos`` is the absolute trace position the attempt
+    restarted from (``-1`` = fresh start), ``checkpoints_written`` counts
+    snapshots persisted by this attempt, and ``checkpoint_token`` is the
+    cache key ``mlpsim resume`` accepts.
+    """
 
     spec: JobSpec
     status: str  # "ok" | "failed" | "timeout"
@@ -148,6 +182,9 @@ class JobResult:
     wall_time: float = 0.0
     cache_hits: int = 0
     cache_misses: int = 0
+    resumed_pos: int = -1
+    checkpoints_written: int = 0
+    checkpoint_token: str = ""
 
     @property
     def ok(self) -> bool:
@@ -203,7 +240,7 @@ class RunReport:
                 f"{job.spec.describe()}: [{job.status}] {job.error}"
                 for job in bad[:3]
             )
-            raise RuntimeError(
+            raise BatchFailedError(
                 f"{len(bad)}/{len(self.jobs)} jobs failed: {details}"
             )
 
@@ -231,6 +268,79 @@ class RunReport:
         return report
 
 
+@dataclass
+class ShardedReport:
+    """Outcome of one sharded execution (:meth:`EngineRunner.run_sharded`).
+
+    ``jobs`` holds the final :class:`JobResult` per shard in trace order
+    (the last attempt when a shard was retried); ``rounds`` counts
+    execution rounds (1 = no shard needed a retry); ``merged`` is the
+    exact whole-run :class:`SimulationResult` when every shard succeeded,
+    ``None`` otherwise.
+    """
+
+    spec: JobSpec
+    plan: Any  # repro.shard.plan.ShardPlan
+    jobs: List[JobResult] = field(default_factory=list)
+    rounds: int = 1
+    wall_time: float = 0.0
+    workers: int = 1
+    merged: Optional[SimulationResult] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.merged is not None
+
+    @property
+    def failed(self) -> List[JobResult]:
+        return [job for job in self.jobs if not job.ok]
+
+    @property
+    def resumed_shards(self) -> int:
+        return sum(1 for job in self.jobs if job.resumed_pos >= 0)
+
+    @property
+    def checkpoints_written(self) -> int:
+        return sum(job.checkpoints_written for job in self.jobs)
+
+    def raise_on_failure(self) -> None:
+        bad = self.failed
+        if bad:
+            details = "; ".join(
+                f"{job.spec.describe()}: [{job.status}] {job.error}"
+                for job in bad[:3]
+            )
+            raise BatchFailedError(
+                f"{len(bad)}/{len(self.jobs)} shards failed after "
+                f"{self.rounds} round(s): {details}"
+            )
+
+    def summary(self) -> str:
+        state = "merged ok" if self.ok else f"{len(self.failed)} shard(s) failed"
+        return (
+            f"{len(self.jobs)} shard(s) in {self.rounds} round(s), {state}; "
+            f"{self.resumed_shards} resumed from checkpoints, "
+            f"{self.checkpoints_written} checkpoint(s) written; "
+            f"{self.wall_time:.2f}s across {self.workers} worker(s)"
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A plain-JSON rendering of the sharded outcome."""
+        return serialize.to_jsonable(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ShardedReport":
+        _ensure_wire_types()
+        import repro.shard  # registers ShardPlan on the wire  # noqa: F401
+        report = serialize.from_jsonable(data)
+        if not isinstance(report, cls):
+            raise serialize.SerializeError(
+                f"expected a ShardedReport payload, decoded "
+                f"{type(report).__name__}"
+            )
+        return report
+
+
 # ------------------------------------------------------------- telemetry --
 
 
@@ -252,6 +362,10 @@ class EngineTelemetry:
         self.jobs_timeout = 0
         self.job_retries = 0
         self.jobs_active = 0
+        self.sharded_runs = 0
+        self.shard_rounds = 0
+        self.checkpoints_written = 0
+        self.shard_resumes = 0
         self.sim_epochs = 0
         self.sim_instructions = 0
         self.sb_occupancy_hwm = 0
@@ -274,6 +388,9 @@ class EngineTelemetry:
                 else:
                     self.jobs_failed += 1
                 self.job_retries += max(0, job.attempts - 1)
+                self.checkpoints_written += job.checkpoints_written
+                if job.resumed_pos >= 0:
+                    self.shard_resumes += 1
                 result = job.result
                 if result is None:
                     continue
@@ -325,6 +442,23 @@ class EngineTelemetry:
             "engine_worker_utilization",
             lambda: min(1.0, self.jobs_active / workers) if workers else 0.0,
             help="fraction of the worker pool busy with active jobs",
+        )
+        registry.gauge(
+            "engine_sharded_runs_total", lambda: self.sharded_runs,
+            help="sharded executions completed or abandoned",
+        )
+        registry.gauge(
+            "engine_shard_rounds_total", lambda: self.shard_rounds,
+            help="shard execution rounds (retries add rounds)",
+        )
+        registry.gauge(
+            "engine_checkpoints_written_total",
+            lambda: self.checkpoints_written,
+            help="simulator checkpoints persisted to the artifact cache",
+        )
+        registry.gauge(
+            "engine_shard_resumes_total", lambda: self.shard_resumes,
+            help="shard attempts that resumed from a checkpoint",
         )
         registry.gauge(
             "sim_epochs_total", lambda: self.sim_epochs,
@@ -405,8 +539,20 @@ def execute_job(
     spec: JobSpec,
     observer: Optional[WindowObserver] = None,
     profiler: Optional[PhaseProfiler] = None,
+    tracer: Optional[Tracer] = None,
 ) -> Optional[SimulationResult]:
-    """Run one job against *bench* (shared by the serial and worker paths)."""
+    """Run one job against *bench* (shared by the serial and worker paths).
+
+    Sharded/checkpointed simulate specs (``spec.sharded``) return a
+    :class:`repro.shard.execute.ShardOutcome` instead of a bare result —
+    :func:`_run_job` unpacks it into the job payload.
+    """
+    if spec.sharded:
+        from ..shard.execute import run_shard_job
+
+        return run_shard_job(
+            bench, spec, observer=observer, profiler=profiler, tracer=tracer,
+        )
     if spec.action == "annotate":
         if profiler is not None:
             with profiler.phase("annotate"):
@@ -443,7 +589,7 @@ def execute_job(
             observer=observer,
             **dict(spec.core_changes),
         )
-    raise ValueError(f"unknown job action {spec.action!r}")
+    raise EngineConfigError(f"unknown job action {spec.action!r}")
 
 
 def _run_job(
@@ -465,8 +611,19 @@ def _run_job(
     span = tracer.span("job", job=spec.describe()) if tracer is not None else None
     start = time.perf_counter()
     hits_before, misses_before = bench.artifacts.stats.snapshot()
+    shard_meta: Dict[str, Any] = {}
     try:
-        result = execute_job(bench, spec, observer=observer, profiler=profiler)
+        result = execute_job(
+            bench, spec, observer=observer, profiler=profiler, tracer=tracer,
+        )
+        if spec.sharded and result is not None:
+            outcome = result
+            result = outcome.result
+            shard_meta = {
+                "resumed_pos": outcome.resumed_pos,
+                "checkpoints_written": outcome.checkpoints_written,
+                "checkpoint_token": outcome.checkpoint_token,
+            }
         status, error = "ok", ""
     except Exception as exc:  # reported per-job, never crashes the batch
         result = None
@@ -485,6 +642,7 @@ def _run_job(
         "wall_time": time.perf_counter() - start,
         "cache_hits": hits_after - hits_before,
         "cache_misses": misses_after - misses_before,
+        **shard_meta,
     }
 
 
@@ -587,9 +745,9 @@ class EngineRunner:
         if workers is None:
             workers = min(4, os.cpu_count() or 1)
         if job_timeout <= 0:
-            raise ValueError("job_timeout must be positive")
+            raise EngineConfigError("job_timeout must be positive")
         if retries < 0:
-            raise ValueError("retries must be non-negative")
+            raise EngineConfigError("retries must be non-negative")
         from ..harness.experiment import ExperimentSettings
 
         self.settings = settings or ExperimentSettings()
@@ -681,14 +839,94 @@ class EngineRunner:
         thread.start()
         return handle
 
-    # -------------------------------------------------------------- serial --
+    # ------------------------------------------------------------- sharded --
 
-    def _run_serial(self, specs: List[JobSpec]) -> List[JobResult]:
+    def _planning_bench(self) -> "Workbench":
+        """The in-process Workbench used for planning (and serial runs)."""
         if self._serial_bench is None:
             self._serial_bench = _build_bench(
                 self.settings, self.cache_dir, self.profiles,
             )
-        bench = self._serial_bench
+        return self._serial_bench
+
+    def run_sharded(
+        self,
+        spec: JobSpec,
+        shards: int,
+        checkpoint_every: int = 0,
+        plan: Any = None,
+    ) -> "ShardedReport":
+        """Execute one simulate job as a fault-tolerant sharded run.
+
+        The trace is segmented at probed quiescent boundaries (*plan*, or
+        :func:`repro.shard.execute.shard_plan_for` if omitted), the shards
+        fan out across the worker pool as independent jobs, and the
+        per-shard results merge into a result bit-identical to an unsharded
+        run.  Failed shards are retried in follow-up rounds (up to
+        ``retries`` extra rounds) with a **fresh pool** — the recovery path
+        for a worker process dying mid-shard, which breaks the whole pool —
+        and, when ``checkpoint_every > 0``, each retry resumes from the
+        shard's last persisted checkpoint instead of recomputing.
+        Shards that already succeeded are never re-run.
+        """
+        from ..shard.execute import shard_plan_for
+        from ..shard.merge import merge_results
+
+        if spec.action != "simulate":
+            raise EngineConfigError(
+                f"only simulate jobs can be sharded, not {spec.action!r}"
+            )
+        if shards < 1:
+            raise EngineConfigError(f"shard count must be >= 1, got {shards}")
+        start_time = time.perf_counter()
+        if plan is None:
+            plan = shard_plan_for(self._planning_bench(), spec, shards)
+        base = spec.describe()
+        shard_specs = [
+            replace(
+                spec,
+                shard_start=lo,
+                shard_stop=hi,
+                checkpoint_every=checkpoint_every,
+                label=f"{base} shard[{lo}:{hi})",
+            )
+            for lo, hi in plan.shards
+        ]
+        final: Dict[int, JobResult] = {}
+        pending = list(range(len(shard_specs)))
+        rounds = 0
+        while pending:
+            rounds += 1
+            report = self.run([shard_specs[i] for i in pending])
+            still_failed = []
+            for index, job in zip(pending, report.jobs):
+                final[index] = job
+                if not job.ok:
+                    still_failed.append(index)
+            pending = still_failed
+            if pending and rounds > self.retries:
+                break
+        jobs = [final[i] for i in range(len(shard_specs))]
+        merged: Optional[SimulationResult] = None
+        if not pending:
+            merged = merge_results([job.result for job in jobs])
+        with self.telemetry._lock:
+            self.telemetry.sharded_runs += 1
+            self.telemetry.shard_rounds += rounds
+        return ShardedReport(
+            spec=spec,
+            plan=plan,
+            jobs=jobs,
+            rounds=rounds,
+            wall_time=time.perf_counter() - start_time,
+            workers=self.workers,
+            merged=merged,
+        )
+
+    # -------------------------------------------------------------- serial --
+
+    def _run_serial(self, specs: List[JobSpec]) -> List[JobResult]:
+        bench = self._planning_bench()
         tracer = self._obs_tracer()
         out: List[JobResult] = []
         for spec in specs:
@@ -763,4 +1001,4 @@ class EngineRunner:
                 return JobResult(spec=spec, attempts=attempts, **payload)
 
 
-serialize.register(JobSpec, JobResult, RunReport)
+serialize.register(JobSpec, JobResult, RunReport, ShardedReport)

@@ -9,7 +9,10 @@ drivers, one function per paper exhibit; each returns structured data and
 has a matching formatter in :mod:`~repro.harness.formatting`.
 """
 
-from .experiment import ExperimentSettings, Workbench
+import warnings
+from typing import Any
+
+from .experiment import ExperimentSettings
 from .figures import (
     figure2,
     figure3,
@@ -58,3 +61,21 @@ __all__ = [
     "table3",
     "valid_axes",
 ]
+
+
+def __getattr__(name: str) -> Any:
+    # ``Workbench`` stays importable here, but the facade is the supported
+    # entry point now; repro-internal code imports it from
+    # ``repro.harness.experiment`` and never pays this warning.
+    if name == "Workbench":
+        warnings.warn(
+            "importing Workbench from repro.harness is deprecated as an "
+            "entry point; construct one with repro.api.workbench() "
+            "(removal timeline in DESIGN.md)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from .experiment import Workbench
+
+        return Workbench
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

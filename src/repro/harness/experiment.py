@@ -275,6 +275,30 @@ class Workbench:
             config = config.with_core(**core_changes)
         return config
 
+    def resolved_config(
+        self,
+        workload: str,
+        variant: str = "pc",
+        config: Optional[SimulationConfig] = None,
+        **core_changes,
+    ) -> SimulationConfig:
+        """The effective simulation config for one (workload, variant) run.
+
+        Applies the same resolution :meth:`run` uses — workload defaults,
+        explicit overrides, and the forced WC consistency model for ``wc*``
+        variants — so callers that need the config *without* running (shard
+        planning, checkpoint keys) agree exactly with the simulation path.
+        """
+        if config is None:
+            config = self.simulation_config(workload, **core_changes)
+        elif core_changes:
+            config = config.with_core(**core_changes)
+        if variant.startswith("wc") and (
+            config.core.consistency is not ConsistencyModel.WC
+        ):
+            config = config.with_core(consistency=ConsistencyModel.WC)
+        return config
+
     def run(
         self,
         workload: str,
@@ -293,14 +317,7 @@ class Workbench:
         path.
         """
         annotated = self.annotated(workload, variant, memory_config, sharing, tag)
-        if config is None:
-            config = self.simulation_config(workload, **core_changes)
-        elif core_changes:
-            config = config.with_core(**core_changes)
-        if variant.startswith("wc") and (
-            config.core.consistency is not ConsistencyModel.WC
-        ):
-            config = config.with_core(consistency=ConsistencyModel.WC)
+        config = self.resolved_config(workload, variant, config, **core_changes)
         return MlpSimulator(config).run(annotated, observer=observer)
 
 

@@ -5,17 +5,18 @@ general tool for new studies: give it a workbench, a workload and a grid of
 core-configuration axes, get back one record per point with the headline
 metrics, ready for tabulation or plotting.
 
-Example::
+Example (new code should go through :func:`repro.api.sweep`; the
+module-level :func:`sweep` / :func:`sweep_workloads` entry points are
+deprecated and emit :class:`DeprecationWarning`)::
 
-    from repro.harness import Workbench
-    from repro.harness.sweeps import sweep
+    from repro import api
 
-    bench = Workbench()
-    records = sweep(
-        bench, "database",
+    spec = api.SweepSpec.build(
+        "database",
         store_queue=[16, 32, 64],
-        store_prefetch=list(StorePrefetchMode),
+        store_prefetch=["sp0", "sp1", "sp2"],
     )
+    records = api.sweep(spec)
     best = min(records, key=lambda r: r.epi_per_1000)
 
 Pass ``runner=EngineRunner(...)`` to fan the grid out across worker
@@ -33,6 +34,7 @@ workers share the workbench's artifact cache)::
 from __future__ import annotations
 
 import itertools
+import warnings
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Sequence, Tuple
 
@@ -274,6 +276,15 @@ def grid_points(
     ]
 
 
+def _warn_deprecated_entry(name: str) -> None:
+    warnings.warn(
+        f"repro.harness.sweeps.{name}() is deprecated as an entry point; "
+        f"use repro.api.sweep() (see DESIGN.md for the removal timeline)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
 def sweep(
     bench: Workbench,
     workload: str,
@@ -285,10 +296,26 @@ def sweep(
     """Run the cartesian product of *axes* (core-config fields) and return
     one record per point, in grid order.
 
+    .. deprecated::
+        Call :func:`repro.api.sweep` instead; this entry point will be
+        removed per the timeline in DESIGN.md.
+
     With *runner*, the grid is executed as a parallel job batch (see
     :class:`repro.engine.runner.EngineRunner`); without it, points are
     simulated serially on *bench*.
     """
+    _warn_deprecated_entry("sweep")
+    return _sweep(bench, workload, variant, runner=runner, **axes)
+
+
+def _sweep(
+    bench: Workbench,
+    workload: str,
+    variant: str = "pc",
+    *,
+    runner: "EngineRunner | None" = None,
+    **axes: Sequence[Any],
+) -> List[SweepRecord]:
     points = grid_points(axes)
     if runner is not None:
         return _sweep_jobs(runner, [(workload, variant, p) for p in points])
@@ -309,9 +336,15 @@ def sweep_workloads(
 ) -> Dict[str, List[SweepRecord]]:
     """:func:`sweep` across several workloads.
 
+    .. deprecated::
+        Call :func:`repro.api.sweep` with a multi-workload
+        :class:`SweepSpec` instead; this entry point will be removed per
+        the timeline in DESIGN.md.
+
     With *runner*, the grids of all workloads are submitted as one batch so
     parallelism spans workloads too.
     """
+    _warn_deprecated_entry("sweep_workloads")
     names = list(workloads)
     if runner is not None:
         points = grid_points(axes)
@@ -326,7 +359,7 @@ def sweep_workloads(
             for i, workload in enumerate(names)
         }
     return {
-        workload: sweep(bench, workload, variant, **axes)
+        workload: _sweep(bench, workload, variant, **axes)
         for workload in names
     }
 

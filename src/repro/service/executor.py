@@ -133,6 +133,8 @@ class ServiceEngine:
 
     def _execute_simulate(self, request: JobRequest) -> Dict[str, Any]:
         assert request.job is not None
+        if request.shards > 1 or request.checkpoint_every > 0:
+            return self._execute_sharded(request)
         report = self._run_batch([request.job])
         payload: Dict[str, Any] = {
             "kind": "simulate",
@@ -142,6 +144,32 @@ class ServiceEngine:
         job = report.jobs[0]
         if job.ok and job.result is not None:
             payload["summary"] = job.result.summary()
+        return payload
+
+    def _execute_sharded(self, request: JobRequest) -> Dict[str, Any]:
+        """A simulate request through the fault-tolerant sharded path."""
+        assert request.job is not None
+        report = self.runner.run_sharded(
+            request.job, request.shards,
+            checkpoint_every=request.checkpoint_every,
+        )
+        payload: Dict[str, Any] = {
+            "kind": "simulate",
+            "sharded": {
+                "requested": request.shards,
+                "shard_count": report.plan.shard_count,
+                "plan": report.plan.describe(),
+                "rounds": report.rounds,
+                "resumed_shards": report.resumed_shards,
+                "checkpoints_written": report.checkpoints_written,
+                "tokens": [job.checkpoint_token for job in report.jobs],
+            },
+            "report": report.to_dict(),
+            "summary": report.summary(),
+        }
+        if report.ok:
+            assert report.merged is not None
+            payload["summary"] = report.merged.summary()
         return payload
 
     def _execute_figure(self, request: JobRequest) -> Dict[str, Any]:

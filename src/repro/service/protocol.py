@@ -35,6 +35,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from ..engine import serialize
 from ..engine.cache import content_key
 from ..engine.runner import JobSpec
+from ..errors import ProtocolError
 from ..harness.figures import ALL_WORKLOADS
 from ..harness.sweeps import SweepSpec, coerce_axis_value
 
@@ -59,17 +60,21 @@ FIGURES = ("figure2", "figure3", "figure4", "figure5", "figure6",
            "figure7", "figure8")
 
 
-class ProtocolError(Exception):
-    """A malformed or unserviceable request, with its HTTP status."""
-
-    def __init__(self, message: str, status: int = 400) -> None:
-        super().__init__(message)
-        self.status = status
+# ProtocolError now lives in the unified repro.errors hierarchy (it carries
+# a stable ``.code`` alongside its HTTP ``.status``); re-exported here for
+# the pre-unification import path.
 
 
 @dataclass(frozen=True)
 class JobRequest:
-    """One validated job submission."""
+    """One validated job submission.
+
+    ``shards``/``checkpoint_every`` apply to simulate jobs only: they route
+    the simulation through the fault-tolerant sharded execution path
+    (:meth:`repro.engine.runner.EngineRunner.run_sharded`) — the result is
+    bit-identical to an unsharded run, so they *are* part of the work
+    signature only insofar as they change the execution request itself.
+    """
 
     kind: str
     sweep: Optional[SweepSpec] = None
@@ -77,12 +82,14 @@ class JobRequest:
     figure: str = ""
     workloads: Tuple[str, ...] = ()
     priority: int = 0
+    shards: int = 1
+    checkpoint_every: int = 0
 
     def signature(self) -> str:
         """Content hash identifying the *work* (priority excluded)."""
         return content_key(
             "service-job", self.kind, self.sweep, self.job,
-            self.figure, self.workloads,
+            self.figure, self.workloads, self.shards, self.checkpoint_every,
         )
 
     def describe(self) -> str:
@@ -226,8 +233,22 @@ def parse_job_request(payload: Any) -> JobRequest:
             kind=kind, sweep=_parse_sweep(payload), priority=priority,
         )
     if kind == "simulate":
+        shards = payload.get("shards", 1)
+        _require(
+            isinstance(shards, int) and not isinstance(shards, bool)
+            and shards >= 1,
+            "'shards' must be a positive integer",
+        )
+        checkpoint_every = payload.get("checkpoint_every", 0)
+        _require(
+            isinstance(checkpoint_every, int)
+            and not isinstance(checkpoint_every, bool)
+            and checkpoint_every >= 0,
+            "'checkpoint_every' must be a non-negative integer",
+        )
         return JobRequest(
             kind=kind, job=_parse_simulate(payload), priority=priority,
+            shards=shards, checkpoint_every=checkpoint_every,
         )
     figure, workloads = _parse_figure(payload)
     return JobRequest(

@@ -253,8 +253,16 @@ def _make_handler(service: ReproService) -> type:
             self.end_headers()
             self.wfile.write(body)
 
-        def _error(self, status: int, message: str) -> None:
-            self._send_json(status, {"error": message})
+        def _error(
+            self, status: int, message: str, code: str = "",
+        ) -> None:
+            # ``code`` mirrors the repro.errors machine-readable code of
+            # whatever exception produced the response, so clients branch
+            # on it instead of parsing messages.
+            body: Dict[str, Any] = {"error": message}
+            if code:
+                body["code"] = code
+            self._send_json(status, body)
 
         def _read_body(self) -> Any:
             length = int(self.headers.get("Content-Length") or 0)
@@ -320,11 +328,14 @@ def _make_handler(service: ReproService) -> type:
                 payload = self._read_body()
                 job, deduped = service.submit(payload)
             except ProtocolError as exc:
-                self._error(exc.status, str(exc))
+                self._error(exc.status, str(exc), code=exc.code)
             except QueueFullError as exc:
-                self._error(429, str(exc))
+                self._error(429, str(exc), code=getattr(exc, "code", ""))
             except Exception as exc:  # never leak a traceback as HTML
-                self._error(500, f"{type(exc).__name__}: {exc}")
+                self._error(
+                    500, f"{type(exc).__name__}: {exc}",
+                    code=getattr(exc, "code", "internal-error"),
+                )
             else:
                 self._send_json(202, {
                     "id": job.id,

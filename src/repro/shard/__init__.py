@@ -1,0 +1,45 @@
+"""Shardable, checkpointable simulation execution.
+
+The epoch MLP model is an additive accounting over a linear instruction
+stream, so a long MLPsim run can be cut into segments and merged exactly —
+provided the cuts land where the machine carries no state across them.
+This package supplies the three pieces:
+
+- :mod:`repro.shard.plan` — the deterministic segmenter.  A probe run
+  records every *quiescent* epoch boundary (store buffer/queue drained, no
+  in-flight serializer or deferred work, no speculative prefetch beyond the
+  cursor); :func:`~repro.shard.plan.build_plan` picks cuts nearest the
+  requested even split.  Probes are cached by (configuration, trace
+  fingerprint) in the artifact cache.
+- :mod:`repro.shard.checkpoint` — digest-verified persistence of
+  :class:`~repro.core.snapshot.SimulatorSnapshot` records in the
+  :class:`~repro.engine.cache.ArtifactCache`, plus the fault-injection
+  hooks (``kill@M``, ``corrupt@M``) the recovery tests drive.
+- :mod:`repro.shard.merge` — exact whole-run reconstruction from per-shard
+  :class:`~repro.core.results.SimulationResult` parts.
+- :mod:`repro.shard.execute` — one shard as an engine job: slice, resume
+  from the latest checkpoint if one exists, run to the planned boundary,
+  checkpoint every K instructions along the way.
+
+Reachable through the facade as :func:`repro.api.shard_plan`,
+``api.run(..., shards=N, checkpoint_every=K)`` and :func:`repro.api.resume`.
+"""
+
+from .checkpoint import CheckpointRecord, CheckpointStore, FaultInjector
+from .merge import merge_results
+from .plan import ShardPlan, build_plan, probe_quiescent_points, trace_fingerprint
+from .execute import ShardOutcome, run_shard_job, shard_plan_for
+
+__all__ = [
+    "CheckpointRecord",
+    "CheckpointStore",
+    "FaultInjector",
+    "ShardOutcome",
+    "ShardPlan",
+    "build_plan",
+    "merge_results",
+    "probe_quiescent_points",
+    "run_shard_job",
+    "shard_plan_for",
+    "trace_fingerprint",
+]

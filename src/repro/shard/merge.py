@@ -1,0 +1,63 @@
+"""Exact reconstruction of a whole-run result from per-shard parts.
+
+Each shard runs with a fresh accountant, so its
+:class:`~repro.core.results.SimulationResult` is a pure *delta* over its
+span: epoch records for the epochs it closed (indices restarting at zero),
+counter totals for the work it did, occupancy high-water marks over its own
+lifetime.  The epoch model makes the merge exact rather than approximate —
+epochs concatenate in shard order with indices renumbered, additive
+counters sum, and high-water marks take the max.  Every derived metric
+(EPI, MLP, distributions) is a function of those fields, so the merged
+result compares ``==`` to the unsharded run's, bit for bit.
+
+The one structural invariant worth guarding: only the *final* shard may
+contain an ``END_OF_TRACE`` epoch.  An earlier part ending that way means
+the shard ran off the end of the trace instead of stopping at its planned
+boundary — merging it would double-count the tail — so
+:func:`merge_results` raises :class:`~repro.errors.ShardBoundaryError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Sequence
+
+from ..core.epoch import TerminationCondition
+from ..core.results import SimulationResult
+from ..errors import ShardBoundaryError
+
+__all__ = ["merge_results"]
+
+
+def merge_results(parts: Sequence[SimulationResult]) -> SimulationResult:
+    """Merge per-shard result deltas (in shard order) into one whole-run
+    result."""
+    if not parts:
+        raise ShardBoundaryError("cannot merge zero shard results")
+    for i, part in enumerate(parts[:-1]):
+        stray = sum(
+            1 for e in part.epochs
+            if e.termination is TerminationCondition.END_OF_TRACE
+        )
+        if stray:
+            raise ShardBoundaryError(
+                f"shard {i} of {len(parts)} recorded {stray} END_OF_TRACE "
+                f"epoch(s) but is not the final shard; it overran its "
+                f"planned boundary"
+            )
+    merged = SimulationResult(instructions=0)
+    for part in parts:
+        offset = len(merged.epochs)
+        merged.epochs.extend(
+            replace(e, index=offset + j) for j, e in enumerate(part.epochs)
+        )
+        merged.instructions += part.instructions
+        merged.fully_overlapped_stores += part.fully_overlapped_stores
+        merged.accelerated_stores += part.accelerated_stores
+        merged.scout_episodes += part.scout_episodes
+        merged.stores_committed += part.stores_committed
+        merged.store_prefetch_requests += part.store_prefetch_requests
+        merged.stores_coalesced += part.stores_coalesced
+        merged.sb_occupancy_hwm = max(merged.sb_occupancy_hwm, part.sb_occupancy_hwm)
+        merged.sq_occupancy_hwm = max(merged.sq_occupancy_hwm, part.sq_occupancy_hwm)
+    return merged

@@ -1,0 +1,87 @@
+"""Property-style checkpoint/resume identity across random configurations.
+
+A seeded sample of the configuration space -- consistency variant (PC/WC),
+SMAC geometry, store prefetch mode, Hardware Scout mode, SLE, and queue
+sizing -- each checked for the subsystem's core invariant: interrupting at
+a checkpoint and resuming reproduces the straight-through run bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import MlpSimulator
+from repro.harness import ExperimentSettings
+from repro.harness.experiment import Workbench
+from repro.harness.figures import smac_memory_config
+
+TINY = ExperimentSettings(warmup=1000, measure=3000, seed=7,
+                          calibrate=False)
+
+#: Seeded so the sampled points are stable run to run; widen the sample by
+#: bumping COUNT, not by unseeding.
+SEED = 20250806
+COUNT = 6
+
+
+def _sample_space(rng: random.Random):
+    return {
+        "variant": rng.choice(["pc", "wc"]),
+        "smac_entries": rng.choice([None, 512]),
+        "core_changes": {
+            "store_prefetch": rng.choice(["sp0", "sp1", "sp2"]),
+            "scout": rng.choice(["none", "hws0", "hws1", "hws2"]),
+            "sle": rng.choice([True, False]),
+            "store_queue": rng.choice([16, 32, 64]),
+        },
+    }
+
+
+def _samples():
+    rng = random.Random(SEED)
+    return [_sample_space(rng) for _ in range(COUNT)]
+
+
+@pytest.fixture(scope="module")
+def bench():
+    return Workbench(TINY)
+
+
+@pytest.mark.parametrize(
+    "sample", _samples(),
+    ids=lambda s: "-".join(
+        [s["variant"], f"smac{s['smac_entries'] or 0}"]
+        + [str(v) for v in s["core_changes"].values()]
+    ),
+)
+def test_checkpoint_resume_is_bit_identical(bench, sample):
+    from repro.harness.sweeps import coerce_axis_value
+
+    memory = (
+        smac_memory_config(sample["smac_entries"])
+        if sample["smac_entries"] is not None else None
+    )
+    trace = bench.annotated("database", sample["variant"], memory)
+    core_changes = {
+        name: coerce_axis_value(name, value)
+        for name, value in sample["core_changes"].items()
+    }
+    config = bench.resolved_config(
+        "database", sample["variant"], **core_changes,
+    )
+
+    golden = MlpSimulator(config).run(trace)
+
+    snapshots = []
+    checkpointed = MlpSimulator(config).run(
+        trace, checkpoint_every=700, checkpoint_sink=snapshots.append,
+    )
+    assert checkpointed == golden, "the sink must not perturb the run"
+    assert snapshots, "a 4000-instruction run crosses several 700-marks"
+
+    for snapshot in (snapshots[0], snapshots[len(snapshots) // 2],
+                     snapshots[-1]):
+        resumed = MlpSimulator(config).run(trace, resume=snapshot)
+        assert resumed == golden

@@ -294,3 +294,79 @@ class TestDiskTier:
         cache.clear_memory()
         cache.prune(max_bytes=0)
         assert cache.get_or_create("t", "k", lambda: "fresh") == "fresh"
+
+
+class TestPruneWriterRace:
+    """Regression: prune raced a concurrent writer republishing a key.
+
+    The prune listing is a snapshot; before the per-key writer lock a
+    writer could republish an entry between the listing and the unlink,
+    and prune would delete the *fresh* artifact.  Now the deletion
+    re-stats under the key's lock and keeps any entry whose mtime moved.
+    """
+
+    def test_republished_entry_survives_stale_prune(self, tmp_path):
+        import os
+
+        cache = ArtifactCache(tmp_path)
+        cache.put("t", "k", "old")
+        stale_listing = cache._disk_entries()
+        assert len(stale_listing) == 1
+        path = stale_listing[0].path
+
+        # a concurrent writer republishes the key after the listing; give
+        # the fresh entry a visibly newer mtime than the listed one
+        cache.put("t", "k", "new")
+        os.utime(path, (stale_listing[0].mtime + 10,
+                        stale_listing[0].mtime + 10))
+
+        original = cache._disk_entries
+        cache._disk_entries = lambda: stale_listing  # freeze the snapshot
+        try:
+            result = cache.prune(
+                older_than=0.0, now=stale_listing[0].mtime + 5.0,
+            )
+        finally:
+            cache._disk_entries = original
+
+        assert result.removed_entries == 0
+        assert path.exists()
+        fresh = ArtifactCache(tmp_path)
+        assert fresh.get("t", "k") == "new"
+
+    def test_vanished_entry_counts_as_removed(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.put("t", "k", "old")
+        listing = cache._disk_entries()
+        listing[0].path.unlink()  # concurrent removal after the listing
+        original = cache._disk_entries
+        cache._disk_entries = lambda: listing
+        try:
+            result = cache.prune(older_than=0.0, now=listing[0].mtime + 5.0)
+        finally:
+            cache._disk_entries = original
+        assert result.removed_entries == 1
+
+    def test_concurrent_put_and_prune_never_lose_the_latest(self, tmp_path):
+        import threading
+
+        cache = ArtifactCache(tmp_path)
+        cache.put("t", "k", 0)
+        stop = threading.Event()
+
+        def writer():
+            value = 1
+            while not stop.is_set():
+                cache.put("t", "k", value)
+                value += 1
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        try:
+            for _ in range(50):
+                cache.prune(max_bytes=0)
+        finally:
+            stop.set()
+            thread.join()
+        cache.put("t", "k", "final")
+        assert ArtifactCache(tmp_path).get("t", "k") == "final"

@@ -1,0 +1,176 @@
+"""Deterministic trace sharding (repro.shard) and sharded execution.
+
+The acceptance contract of the subsystem: for N in {2, 4, 8}, on both
+consistency variants, running the shards independently and merging yields
+the *same object* a straight-through simulation produces — not statistics
+that agree, the identical epoch list and counters.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro import api
+from repro.core.epoch import (
+    EpochRecord,
+    TerminationCondition,
+    TriggerKind,
+)
+from repro.core.results import SimulationResult
+from repro.engine.runner import EngineRunner, JobSpec
+from repro.errors import ShardBoundaryError
+from repro.harness import ExperimentSettings
+from repro.harness.experiment import Workbench
+from repro.shard import merge_results, run_shard_job, shard_plan_for
+
+SMALL = ExperimentSettings(warmup=1500, measure=4000, seed=11,
+                           calibrate=False)
+
+
+@pytest.fixture(scope="module")
+def bench():
+    return Workbench(SMALL)
+
+
+@pytest.fixture(scope="module")
+def goldens(bench):
+    return {
+        variant: bench.run("database", variant=variant)
+        for variant in ("pc", "wc")
+    }
+
+
+def _runner(tmp_path, **kwargs):
+    kwargs.setdefault("settings", SMALL)
+    kwargs.setdefault("cache_dir", tmp_path / "cache")
+    kwargs.setdefault("workers", 1)
+    return EngineRunner(**kwargs)
+
+
+class TestShardPlan:
+    def test_plan_is_deterministic(self, bench):
+        spec = JobSpec(workload="database")
+        first = shard_plan_for(bench, spec, 4)
+        second = shard_plan_for(bench, spec, 4)
+        assert first == second
+
+    def test_plan_shape(self, bench):
+        spec = JobSpec(workload="database")
+        plan = shard_plan_for(bench, spec, 4)
+        plan.validate()
+        assert 1 <= plan.shard_count <= 4
+        bounds = plan.bounds
+        assert bounds[0] == 0 and bounds[-1] == plan.instructions
+        assert list(bounds) == sorted(set(bounds))
+
+    def test_boundary_starved_plan_degrades(self, bench):
+        spec = JobSpec(workload="database")
+        generous = shard_plan_for(bench, spec, 64)
+        assert generous.requested == 64
+        assert generous.shard_count <= 64
+        generous.validate()
+        # never an unsafe cut: every interior bound is a probed point
+        small = shard_plan_for(bench, spec, 2)
+        assert set(small.bounds) <= set(generous.bounds)
+
+    def test_api_shard_plan_facade(self, bench):
+        plan = api.shard_plan("database", 4, bench=bench)
+        assert plan == shard_plan_for(bench, JobSpec(workload="database"), 4)
+
+
+class TestShardedBitIdentity:
+    @pytest.mark.parametrize("variant", ["pc", "wc"])
+    @pytest.mark.parametrize("shards", [2, 4, 8])
+    def test_merged_equals_straight_through(
+        self, tmp_path, goldens, variant, shards,
+    ):
+        runner = _runner(tmp_path)
+        spec = JobSpec(workload="database", variant=variant)
+        report = runner.run_sharded(spec, shards)
+        report.raise_on_failure()
+        assert report.merged == goldens[variant]
+
+    def test_single_shard_with_checkpoints(self, tmp_path, goldens):
+        runner = _runner(tmp_path)
+        spec = JobSpec(workload="database")
+        report = runner.run_sharded(spec, 1, checkpoint_every=1000)
+        report.raise_on_failure()
+        assert report.merged == goldens["pc"]
+        assert report.checkpoints_written > 0
+
+    def test_run_shard_job_rejects_bad_bounds(self, bench):
+        trace_len = len(bench.annotated("database", "pc"))
+        bad = JobSpec(
+            workload="database", shard_start=10, shard_stop=trace_len + 10,
+        )
+        with pytest.raises(ShardBoundaryError):
+            run_shard_job(bench, bad)
+
+
+class TestApiRunSharded:
+    def test_api_run_routes_through_sharded_path(
+        self, tmp_path, goldens,
+    ):
+        result = api.run(
+            "database", settings=SMALL, cache_dir=tmp_path / "cache",
+            shards=4, checkpoint_every=2000, workers=1,
+        )
+        assert result == goldens["pc"]
+
+    def test_api_run_rejects_bench_with_shards(self, bench):
+        with pytest.raises(ValueError):
+            api.run("database", bench=bench, shards=2)
+
+
+def _result(*terminations):
+    epochs = [
+        EpochRecord(
+            index=i, trigger=TriggerKind.LOAD, termination=termination,
+            instructions=10,
+        )
+        for i, termination in enumerate(terminations)
+    ]
+    return SimulationResult(instructions=10 * len(epochs), epochs=epochs)
+
+
+class TestMerge:
+    def test_merge_renumbers_and_sums(self):
+        first = _result(TerminationCondition.WINDOW_FULL,
+                        TerminationCondition.WINDOW_FULL)
+        second = _result(TerminationCondition.END_OF_TRACE)
+        merged = merge_results([first, second])
+        assert merged.instructions == 30
+        assert [e.index for e in merged.epochs] == [0, 1, 2]
+        assert merged.epochs[2].termination == \
+            TerminationCondition.END_OF_TRACE
+
+    def test_merge_of_one_is_identity_modulo_copy(self):
+        only = _result(TerminationCondition.END_OF_TRACE)
+        merged = merge_results([only])
+        assert merged == only
+        assert merged is not only
+
+    def test_empty_parts_rejected(self):
+        with pytest.raises(ShardBoundaryError):
+            merge_results([])
+
+    def test_end_of_trace_in_interior_part_rejected(self):
+        first = _result(TerminationCondition.END_OF_TRACE)
+        second = _result(TerminationCondition.WINDOW_FULL)
+        with pytest.raises(ShardBoundaryError):
+            merge_results([first, second])
+
+    def test_hwms_take_the_max(self):
+        first = dataclasses.replace(
+            _result(TerminationCondition.WINDOW_FULL),
+            sb_occupancy_hwm=3, sq_occupancy_hwm=1,
+        )
+        second = dataclasses.replace(
+            _result(TerminationCondition.END_OF_TRACE),
+            sb_occupancy_hwm=2, sq_occupancy_hwm=5,
+        )
+        merged = merge_results([first, second])
+        assert merged.sb_occupancy_hwm == 3
+        assert merged.sq_occupancy_hwm == 5

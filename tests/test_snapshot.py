@@ -1,0 +1,166 @@
+"""Snapshot/restore of a running simulation (repro.core.snapshot).
+
+The contract under test is exact: resuming from any checkpoint a run
+emitted reproduces the straight-through result bit-for-bit, and the
+checkpoint positions themselves are a deterministic function of the
+interval alone (so a resumed run re-emits the same remaining marks).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core import MlpSimulator
+from repro.core.snapshot import (
+    SNAPSHOT_VERSION,
+    capture_snapshot,
+    is_quiescent,
+    restore_simulation,
+)
+from repro.engine import serialize
+from repro.harness import ExperimentSettings
+from repro.harness.experiment import Workbench
+
+SMALL = ExperimentSettings(warmup=1500, measure=4000, seed=11,
+                           calibrate=False)
+
+
+@pytest.fixture(scope="module")
+def bench():
+    return Workbench(SMALL)
+
+
+@pytest.fixture(scope="module")
+def trace(bench):
+    return bench.annotated("database", "pc")
+
+
+@pytest.fixture(scope="module")
+def config(bench):
+    return bench.resolved_config("database", "pc")
+
+
+@pytest.fixture(scope="module")
+def golden(config, trace):
+    return MlpSimulator(config).run(trace)
+
+
+def _stagnation_limit(core):
+    # mirrors MlpSimulator.run's derivation
+    return core.store_queue + core.store_buffer + 8
+
+
+def _checkpoints(config, trace, every):
+    snapshots = []
+    result = MlpSimulator(config).run(
+        trace, checkpoint_every=every, checkpoint_sink=snapshots.append,
+    )
+    return result, snapshots
+
+
+class TestCheckpointCapture:
+    def test_sink_does_not_perturb_the_run(self, config, trace, golden):
+        result, snapshots = _checkpoints(config, trace, 1000)
+        assert result == golden
+        assert snapshots
+
+    def test_marks_are_deterministic(self, config, trace):
+        _, first = _checkpoints(config, trace, 1000)
+        _, second = _checkpoints(config, trace, 1000)
+        assert [s.pos for s in first] == [s.pos for s in second]
+        # one checkpoint at the first boundary at or past each mark
+        for snapshot, mark in zip(first, range(1000, len(trace), 1000)):
+            assert snapshot.pos >= mark
+
+    def test_snapshot_identifies_its_run(self, config, trace):
+        _, snapshots = _checkpoints(config, trace, 1000)
+        for snapshot in snapshots:
+            assert snapshot.version == SNAPSHOT_VERSION
+            assert snapshot.instructions == len(trace)
+
+    def test_interval_longer_than_trace_emits_nothing(self, config, trace):
+        _, snapshots = _checkpoints(config, trace, len(trace) + 1)
+        assert snapshots == []
+
+
+class TestResume:
+    @pytest.mark.parametrize("pick", [0, "mid", -1])
+    def test_resume_matches_straight_through(
+        self, config, trace, golden, pick,
+    ):
+        _, snapshots = _checkpoints(config, trace, 1000)
+        index = len(snapshots) // 2 if pick == "mid" else pick
+        resumed = MlpSimulator(config).run(trace, resume=snapshots[index])
+        assert resumed == golden
+
+    def test_resumed_run_reemits_remaining_marks(self, config, trace):
+        _, snapshots = _checkpoints(config, trace, 1000)
+        start = snapshots[0]
+        remainder = []
+        MlpSimulator(config).run(
+            trace, resume=start,
+            checkpoint_every=1000, checkpoint_sink=remainder.append,
+        )
+        assert [s.pos for s in remainder] == \
+            [s.pos for s in snapshots[1:]]
+
+    def test_restore_capture_roundtrip(self, config, trace):
+        _, snapshots = _checkpoints(config, trace, 1000)
+        snapshot = snapshots[len(snapshots) // 2]
+        state, accountant = restore_simulation(
+            snapshot, config.core, _stagnation_limit(config.core),
+        )
+        again = capture_snapshot(
+            state, accountant, snapshot.instructions, snapshot.config_key,
+        )
+        assert again == snapshot
+
+    def test_serialize_roundtrip(self, config, trace):
+        _, snapshots = _checkpoints(config, trace, 2000)
+        snapshot = snapshots[0]
+        decoded = serialize.from_jsonable(serialize.to_jsonable(snapshot))
+        assert decoded == snapshot
+
+
+class TestQuiescence:
+    def test_probe_finds_quiescent_boundaries(self, config, trace, golden):
+        log = []
+        result = MlpSimulator(config).run(trace, quiescent_log=log)
+        assert result == golden  # probing does not perturb either
+        assert log, "a multi-thousand-instruction run passes quiescence"
+        positions = [pos for pos, _ in log]
+        assert positions == sorted(positions)
+        assert all(0 < pos < len(trace) for pos, _ in log)
+
+    def test_quiescent_state_carries_nothing_forward(self, config, trace):
+        # replay a checkpoint and verify the predicate agrees with a direct
+        # inspection of the restored machine state
+        _, snapshots = _checkpoints(config, trace, 1000)
+        log = []
+        MlpSimulator(config).run(trace, quiescent_log=log)
+        quiescent_positions = {pos for pos, _ in log}
+        for snapshot in snapshots:
+            state, _ = restore_simulation(
+                snapshot, config.core, _stagnation_limit(config.core),
+            )
+            if snapshot.pos in quiescent_positions:
+                assert is_quiescent(state)
+                assert not snapshot.sb and not snapshot.sq
+
+    def test_nonquiescent_when_stores_in_flight(self, config, trace):
+        _, snapshots = _checkpoints(config, trace, 1000)
+        busy = [s for s in snapshots if s.sb or s.sq]
+        for snapshot in busy:
+            state, _ = restore_simulation(
+                snapshot, config.core, _stagnation_limit(config.core),
+            )
+            assert not is_quiescent(state)
+
+
+class TestSnapshotImmutability:
+    def test_snapshot_is_frozen(self, config, trace):
+        _, snapshots = _checkpoints(config, trace, 2000)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            snapshots[0].pos = 0

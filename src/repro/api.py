@@ -126,6 +126,7 @@ def run(
     shards: int = 1,
     checkpoint_every: int = 0,
     workers: Optional[int] = None,
+    backend: Optional[str] = None,
     **core_changes: Any,
 ) -> SimulationResult:
     """Simulate one workload *profile* under one configuration.
@@ -137,6 +138,14 @@ def run(
     (``store_prefetch="sp2"``, ``store_queue=64``, ...) — see
     :func:`valid_axes` for the accepted names.  Pass *bench* (from
     :func:`workbench`) to reuse an annotated trace across calls.
+
+    *backend* selects the execution backend — ``"reference"`` (the golden
+    tick loop), ``"event"`` (event-driven epoch skipping) or ``"batch"``
+    (the numpy lockstep kernel; needs the ``fast`` extra).  ``None`` defers
+    to ``$REPRO_BACKEND`` and then ``"reference"``.  Backends are
+    bit-identical, so this only changes execution speed::
+
+        result = api.run("database", backend="event")
 
     *shards* > 1 segments the trace at probed quiescent boundaries and fans
     the segments across *workers* processes; *checkpoint_every* > 0
@@ -168,6 +177,7 @@ def run(
             variant=variant,
             config=config,
             core_changes=tuple(sorted(core_changes.items())),
+            backend=backend or "",
         )
         report = runner.run_sharded(
             spec, shards, checkpoint_every=checkpoint_every,
@@ -179,7 +189,8 @@ def run(
         bench = workbench(settings, cache_dir)
     if options is None or options.trace_dir is None:
         return bench.run(
-            profile, variant=variant, config=config, **core_changes,
+            profile, variant=variant, config=config, backend=backend,
+            **core_changes,
         )
     tracer = options.open_tracer()
     try:
@@ -189,7 +200,7 @@ def run(
         )
         return bench.run(
             profile, variant=variant, config=config, observer=observer,
-            **core_changes,
+            backend=backend, **core_changes,
         )
     finally:
         tracer.close()
@@ -205,6 +216,7 @@ def sweep(
     runner: Optional[EngineRunner] = None,
     trace: Union[str, Path, None] = None,
     obs: Optional[ObsOptions] = None,
+    backend: Optional[str] = None,
 ) -> List[SweepRecord]:
     """Execute a sweep *spec* and return one record per grid point.
 
@@ -214,6 +226,11 @@ def sweep(
     protocol accepts.  The grid fans out across *workers* processes
     (default ``min(4, cpus)``) sharing the persistent artifact cache;
     records come back workload-major in grid order, deterministically.
+
+    *backend* runs every grid point on the named execution backend;
+    ``backend="batch"`` additionally makes the engine advance the whole
+    grid as one in-process numpy lockstep batch instead of fanning out
+    across processes.  Results are bit-identical across backends.
 
     *trace* names a directory the engine (every worker process) writes
     JSONL trace files into; *obs* passes full :class:`ObsOptions`.
@@ -244,7 +261,12 @@ def sweep(
             job_timeout=job_timeout,
             obs=options,
         )
-    report = runner.run(spec.to_jobs())
+    jobs = spec.to_jobs()
+    if backend:
+        from dataclasses import replace
+
+        jobs = [replace(job, backend=backend) for job in jobs]
+    report = runner.run(jobs)
     return spec.records(report)
 
 

@@ -42,16 +42,24 @@ from ..harness.experiment import ExperimentSettings, Workbench
 
 __all__ = [
     "BENCH_FILENAME",
+    "BACKENDS_FILENAME",
     "BenchProfile",
     "DEFAULT_PROFILES",
+    "check_backends_regression",
     "check_regression",
     "load_report",
+    "run_backend_bench",
     "run_core_bench",
     "write_report",
 ]
 
 #: Canonical location of the committed baseline, relative to the repo root.
 BENCH_FILENAME = "BENCH_core.json"
+
+#: Committed per-backend comparison report (``mlpsim bench --perf
+#: --backend all``): the same profiles measured on every registered
+#: execution backend, with geomean speedups vs the reference loop.
+BACKENDS_FILENAME = "BENCH_backends.json"
 
 #: Report schema version (bump when the JSON layout changes).
 SCHEMA_VERSION = 1
@@ -134,11 +142,30 @@ def _geomean(values: Sequence[float]) -> float:
     return math.exp(sum(math.log(v) for v in values) / len(values))
 
 
+def _backend_runner(backend: str, config, annotated):
+    """A zero-arg callable executing one simulation on *backend*.
+
+    The empty name and ``"reference"`` keep the pre-backend measurement
+    loop byte-identical (one reused :class:`MlpSimulator`); other names go
+    through :func:`repro.core.backend.resolve_backend`, whose built-ins
+    cache per-trace skip tables so warmup repetitions absorb the one-time
+    table build exactly like a long-lived sweep does.
+    """
+    if not backend or backend == "reference":
+        simulator = MlpSimulator(config)
+        return lambda: simulator.run(annotated)
+    from ..core.backend import resolve_backend
+
+    chosen = resolve_backend(backend)
+    return lambda: chosen.simulate(config, annotated)
+
+
 def run_core_bench(
     reps: int = 5,
     warmup_reps: int = 2,
     profiles: Sequence[BenchProfile] = DEFAULT_PROFILES,
     verbose: bool = False,
+    backend: str = "",
 ) -> Dict[str, Any]:
     """Measure the core simulation loop and return the report dict.
 
@@ -146,6 +173,8 @@ def run_core_bench(
     *warmup_reps* untimed ones.  The annotated traces are built through a
     cache-less Workbench at the harness's fixed sizing, so the numbers are
     a pure function of the code under test and the host machine.
+    *backend* measures a specific execution backend; the default keeps the
+    historical reference-loop measurement.
     """
     if reps < 1:
         raise ValueError("reps must be at least 1")
@@ -171,9 +200,9 @@ def run_core_bench(
             from ..config import ConsistencyModel
 
             config = config.with_core(consistency=ConsistencyModel.WC)
-        simulator = MlpSimulator(config)
+        run_once = _backend_runner(backend, config, annotated)
         for _ in range(warmup_reps):
-            simulator.run(annotated)
+            run_once()
         measurement = _ProfileMeasurement(profile=profile)
         gc_was_enabled = gc.isenabled()
         gc.collect()
@@ -181,7 +210,7 @@ def run_core_bench(
         try:
             for _ in range(reps):
                 start = time.perf_counter()
-                result = simulator.run(annotated)
+                result = run_once()
                 measurement.seconds.append(time.perf_counter() - start)
         finally:
             if gc_was_enabled:
@@ -200,16 +229,19 @@ def run_core_bench(
             )
 
     per_profile = {m.profile.name: m.to_dict() for m in measurements}
+    settings: Dict[str, Any] = {
+        "warmup": BENCH_WARMUP,
+        "measure": BENCH_MEASURE,
+        "seed": BENCH_SEED,
+        "reps": reps,
+        "warmup_reps": warmup_reps,
+    }
+    if backend:
+        settings["backend"] = backend
     return {
         "schema": SCHEMA_VERSION,
         "benchmark": "mlpsim-core",
-        "settings": {
-            "warmup": BENCH_WARMUP,
-            "measure": BENCH_MEASURE,
-            "seed": BENCH_SEED,
-            "reps": reps,
-            "warmup_reps": warmup_reps,
-        },
+        "settings": settings,
         "python": platform.python_version(),
         "profiles": per_profile,
         "aggregate": {
@@ -223,6 +255,93 @@ def run_core_bench(
     }
 
 
+def run_backend_bench(
+    reps: int = 5,
+    warmup_reps: int = 2,
+    backends: Optional[Sequence[str]] = None,
+    profiles: Sequence[BenchProfile] = DEFAULT_PROFILES,
+    verbose: bool = False,
+) -> Dict[str, Any]:
+    """Measure every execution backend over the tracked profile set.
+
+    Runs :func:`run_core_bench` once per backend (defaulting to every
+    registered backend whose dependencies are importable — ``batch`` is
+    skipped, and recorded as skipped, when numpy is missing) and reports
+    per-backend profiles/aggregates plus geomean speedups relative to the
+    ``reference`` section.
+    """
+    from ..core.backend import backend_names
+    from ..core.backends.batch import numpy_available
+
+    if backends is None:
+        backends = sorted(backend_names(), key=lambda n: (n != "reference", n))
+    sections: Dict[str, Dict[str, Any]] = {}
+    skipped: List[str] = []
+    for name in backends:
+        if name == "batch" and not numpy_available():
+            skipped.append(name)
+            continue
+        if verbose:
+            print(f"backend {name}:")
+        report = run_core_bench(
+            reps=reps, warmup_reps=warmup_reps, profiles=profiles,
+            verbose=verbose, backend=name,
+        )
+        sections[name] = {
+            "profiles": report["profiles"],
+            "aggregate": report["aggregate"],
+        }
+    reference = sections.get("reference", {})
+    ref_geo = reference.get("aggregate", {}).get(
+        "instructions_per_sec_geomean"
+    )
+    speedups = {
+        name: section["aggregate"]["instructions_per_sec_geomean"] / ref_geo
+        for name, section in sections.items()
+    } if ref_geo else {}
+    return {
+        "schema": SCHEMA_VERSION,
+        "benchmark": "mlpsim-backends",
+        "settings": {
+            "warmup": BENCH_WARMUP,
+            "measure": BENCH_MEASURE,
+            "seed": BENCH_SEED,
+            "reps": reps,
+            "warmup_reps": warmup_reps,
+        },
+        "python": platform.python_version(),
+        "backends": sections,
+        "skipped": skipped,
+        "speedup_vs_reference_geomean": speedups,
+    }
+
+
+def check_backends_regression(
+    current: Dict[str, Any],
+    baseline: Dict[str, Any],
+    max_regression: float = 0.20,
+) -> List[str]:
+    """The per-backend analogue of :func:`check_regression`.
+
+    Each backend section carries the same ``profiles``/``aggregate`` shape
+    as a core-bench report, so the per-profile and geomean thresholds are
+    applied within every backend present in both reports.  Backends in only
+    one report are ignored (e.g. ``batch`` skipped where numpy is absent).
+    """
+    failures: List[str] = []
+    for name, base_section in baseline.get("backends", {}).items():
+        cur_section = current.get("backends", {}).get(name)
+        if cur_section is None:
+            continue
+        failures.extend(
+            f"{name}/{failure}"
+            for failure in check_regression(
+                cur_section, base_section, max_regression=max_regression,
+            )
+        )
+    return failures
+
+
 def write_report(report: Dict[str, Any], path: str | Path) -> Path:
     """Write *report* as stable, diff-friendly JSON; returns the path."""
     target = Path(path)
@@ -232,8 +351,10 @@ def write_report(report: Dict[str, Any], path: str | Path) -> Path:
 
 def load_report(path: str | Path) -> Dict[str, Any]:
     data = json.loads(Path(path).read_text())
-    if not isinstance(data, dict) or "profiles" not in data:
-        raise ValueError(f"{path} is not a core-bench report")
+    if not isinstance(data, dict) or (
+        "profiles" not in data and "backends" not in data
+    ):
+        raise ValueError(f"{path} is not a perf-bench report")
     return data
 
 
@@ -280,6 +401,54 @@ def check_regression(
     return failures
 
 
+def _backends_main(
+    reps: int,
+    warmup_reps: int,
+    out: Optional[str],
+    baseline: Optional[str],
+    max_regression: float,
+) -> int:
+    """``mlpsim bench --perf --backend all``: the backend matrix report."""
+    print(
+        f"mlpsim backend bench: {BENCH_MEASURE} measured instructions, "
+        f"seed {BENCH_SEED}, median of {reps} (+{warmup_reps} warmup)"
+    )
+    report = run_backend_bench(
+        reps=reps, warmup_reps=warmup_reps, verbose=True,
+    )
+    for name, speedup in sorted(
+        report["speedup_vs_reference_geomean"].items()
+    ):
+        geo = report["backends"][name]["aggregate"][
+            "instructions_per_sec_geomean"
+        ]
+        print(
+            f"  {name:12s} geomean {geo:12.0f} insts/s "
+            f"({speedup:.2f}x vs reference)"
+        )
+    for name in report["skipped"]:
+        print(f"  {name:12s} skipped (missing optional dependency)")
+
+    if baseline is not None:
+        committed = load_report(baseline)
+        failures = check_backends_regression(
+            report, committed, max_regression=max_regression,
+        )
+        if failures:
+            print("PERF REGRESSION:")
+            for failure in failures:
+                print(f"  {failure}")
+            return 1
+        print(
+            f"  regression gate ok (tolerance {100 * max_regression:.0f}%)"
+        )
+
+    if out is not None:
+        write_report(report, out)
+        print(f"  wrote {out}")
+    return 0
+
+
 def main(
     reps: int = 5,
     warmup_reps: int = 2,
@@ -287,6 +456,7 @@ def main(
     baseline: Optional[str] = None,
     max_regression: float = 0.20,
     keep_baseline: bool = True,
+    backend: Optional[str] = None,
 ) -> int:
     """Drive one measurement: print, optionally persist and gate.
 
@@ -295,13 +465,22 @@ def main(
     the rewritten file (*keep_baseline*) so the speedup trail survives
     re-measurement.  *baseline* enables the regression gate against a
     committed report; a failure returns exit status 1.
+
+    *backend* measures a single named execution backend, or ``"all"`` for
+    the full backend comparison (written/gated as ``BENCH_backends.json``).
     """
+    if backend == "all":
+        return _backends_main(
+            reps, warmup_reps, out, baseline, max_regression,
+        )
+    tag = f" [{backend}]" if backend else ""
     print(
-        f"mlpsim core bench: {BENCH_MEASURE} measured instructions, "
+        f"mlpsim core bench{tag}: {BENCH_MEASURE} measured instructions, "
         f"seed {BENCH_SEED}, median of {reps} (+{warmup_reps} warmup)"
     )
     report = run_core_bench(
-        reps=reps, warmup_reps=warmup_reps, verbose=True
+        reps=reps, warmup_reps=warmup_reps, verbose=True,
+        backend=backend or "",
     )
     geo = report["aggregate"]["instructions_per_sec_geomean"]
     print(f"  geomean: {geo:.0f} instructions/sec")

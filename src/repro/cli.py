@@ -49,6 +49,7 @@ from .api import (  # the documented facade re-exports the working types
     Workbench,
 )
 from .config import ConsistencyModel, ScoutMode, StorePrefetchMode
+from .core.backend import backend_names
 from .harness import (
     coerce_axis_value,
     figure2,
@@ -156,6 +157,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=None,
         help="worker processes for a sharded run (default: min(4, cpus))",
     )
+    run.add_argument(
+        "--backend", default=None, choices=list(backend_names()),
+        help="execution backend (default: $REPRO_BACKEND or 'reference'); "
+             "all backends return bit-identical results",
+    )
 
     rs = sub.add_parser(
         "resume",
@@ -188,6 +194,11 @@ def _build_parser() -> argparse.ArgumentParser:
     sw.add_argument(
         "--trace-dir", default=None, metavar="DIR",
         help="every worker writes a JSONL trace file into this directory",
+    )
+    sw.add_argument(
+        "--backend", default=None, choices=list(backend_names()),
+        help="execution backend for every grid point; 'batch' runs the "
+             "whole grid as one in-process numpy lockstep batch",
     )
 
     figs = sub.add_parser(
@@ -235,6 +246,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="allowed insts/sec drop vs --baseline before failing "
              "(default 0.20)",
     )
+    bench_cmd.add_argument(
+        "--backend", default=None,
+        choices=list(backend_names()) + ["all"],
+        help="perf-bench one execution backend, or 'all' for the full "
+             "backend comparison report (BENCH_backends.json)",
+    )
 
     srv = sub.add_parser(
         "serve",
@@ -276,6 +293,10 @@ def _build_parser() -> argparse.ArgumentParser:
         help="one sweep axis (repeatable), e.g. store_queue=16,32",
     )
     sb.add_argument("--priority", type=int, default=0)
+    sb.add_argument(
+        "--backend", default="", choices=["", *backend_names()],
+        help="execution backend the service should run the sweep on",
+    )
     sb.add_argument("--no-wait", action="store_true",
                     help="print the job id and return without polling")
     sb.add_argument("--poll-timeout", type=float, default=600.0,
@@ -477,6 +498,7 @@ def _cmd_sweep(args, settings: ExperimentSettings, workloads) -> int:
         workers=args.workers,
         job_timeout=args.timeout,
         trace=args.trace_dir,
+        backend=args.backend,
     )
     rows = [
         [record.label(), record.epi_per_1000, record.mlp,
@@ -589,6 +611,7 @@ def _cmd_run(args, settings: ExperimentSettings) -> int:
         spec = JobSpec(
             workload=args.workload, variant=variant,
             core_changes=tuple(sorted(core_changes.items())),
+            backend=args.backend or "",
         )
         report = runner.run_sharded(
             spec, args.shards, checkpoint_every=args.checkpoint_every,
@@ -612,6 +635,7 @@ def _cmd_run(args, settings: ExperimentSettings) -> int:
         cache_dir=_cache_dir(args),
         trace=args.trace,
         variant=variant,
+        backend=args.backend,
         **core_changes,
     )
     print(result.summary())
@@ -719,6 +743,7 @@ def _cmd_submit(args) -> int:
     try:
         receipt = client.submit_sweep(
             args.workload, variant=args.variant, priority=args.priority,
+            backend=args.backend,
             **{
                 name: [getattr(v, "value", v) for v in values]
                 for name, values in axes.items()
@@ -829,6 +854,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                 out=args.out,
                 baseline=args.baseline,
                 max_regression=args.max_regression,
+                backend=args.backend,
             )
         if not args.smoke:
             print("bench requires --smoke or --perf", file=sys.stderr)

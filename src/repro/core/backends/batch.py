@@ -1,0 +1,251 @@
+"""The ``batch`` backend: a numpy struct-of-arrays lockstep kernel.
+
+Sweeps and sharded runs execute many *independent* simulations over a
+handful of shared annotated traces.  The process-pool path pays per-point
+process and pickling overhead; this backend instead advances N simulations
+in lockstep inside one process:
+
+- per distinct trace, the event-skip wakeup tables
+  (:class:`~repro.core.backends.events.SkipTables`) are built **once**
+  with vectorized numpy column passes and shared by every lane replaying
+  that trace (memory layout: three contiguous ``int64`` arrays of length
+  ``n + 1`` — next-interesting position with/without a pending barrier,
+  and the plain-store prefix sum);
+- lane state is kept struct-of-arrays (``pos`` / ``cur`` / ``done``
+  vectors), and each lockstep step advances every live lane exactly one
+  epoch through its :class:`~repro.core.backend.EpochDriver`;
+- a lane that raises records its error and drops out of the step loop
+  without poisoning its siblings — the engine maps lane outcomes back to
+  per-job results.
+
+numpy is an *optional* dependency (the ``fast`` extra).  The backend
+always registers — name resolution and protocol validation must see it —
+but :func:`require_numpy` raises
+:class:`~repro.errors.BackendUnavailableError` with the install hint the
+moment a run is attempted without it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from ...config import SimulationConfig
+from ...errors import BackendUnavailableError
+from ...memory.annotate import AnnotatedTrace
+from ..backend import Backend, EpochDriver
+from ..results import SimulationResult
+from ..window import WindowObserver
+from .events import EventSimulator, SkipTables
+
+__all__ = [
+    "BatchBackend",
+    "BatchLane",
+    "LaneOutcome",
+    "LockstepBatch",
+    "build_skip_tables_np",
+    "numpy_available",
+    "require_numpy",
+]
+
+
+def numpy_available() -> bool:
+    """True when the optional ``fast`` extra (numpy) is importable."""
+    try:
+        import numpy  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def require_numpy():
+    """Import numpy or raise the structured unavailability error."""
+    try:
+        import numpy
+    except ImportError:
+        raise BackendUnavailableError(
+            "the 'batch' backend needs numpy, which is not installed; "
+            "install the optional extra with: pip install 'repro[fast]' "
+            "(or choose backend='reference'/'event')"
+        ) from None
+    return numpy
+
+
+#: Span classification codes for the vectorized table build.
+_BORING, _PLAIN_STORE, _INTERESTING = 0, 1, 2
+
+
+def _classify(trace: AnnotatedTrace):
+    """One linear pass distilling the trace into a tiny class column."""
+    from ...isa import InstructionClass
+
+    serializers = frozenset((
+        InstructionClass.MEMBAR,
+        InstructionClass.ISYNC,
+        InstructionClass.LWSYNC,
+    ))
+    storeish = frozenset((
+        InstructionClass.STORE,
+        InstructionClass.STORE_COND,
+        InstructionClass.CAS,
+    ))
+    for inst, info in trace:
+        kind = inst.kind
+        if info.inst_miss or info.data_miss or kind in serializers:
+            yield _INTERESTING
+        elif kind in storeish:
+            yield _PLAIN_STORE
+        else:
+            yield _BORING
+
+
+def build_skip_tables_np(trace: AnnotatedTrace) -> SkipTables:
+    """Vectorized :func:`~repro.core.backends.events.build_skip_tables`.
+
+    Identical output by construction: the class column is the only
+    per-instruction python work; the suffix-minimum scans and the prefix
+    sum run as numpy kernels.  The arrays are converted back to python
+    lists because the scan loop indexes them element-wise.
+    """
+    np = require_numpy()
+    n = len(trace)
+    classes = np.fromiter(_classify(trace), dtype=np.int8, count=n)
+    positions = np.arange(n, dtype=np.int64)
+    sentinel = np.int64(n)
+
+    def suffix_next(mask) -> List[int]:
+        vals = np.where(mask, positions, sentinel)
+        nxt = np.minimum.accumulate(vals[::-1])[::-1]
+        return np.append(nxt, sentinel).tolist()
+
+    interesting = classes == _INTERESTING
+    plain_store = classes == _PLAIN_STORE
+    next_plain = suffix_next(interesting)
+    next_barrier = suffix_next(interesting | plain_store)
+    store_prefix = np.concatenate(
+        (np.zeros(1, dtype=np.int64), np.cumsum(plain_store))
+    ).tolist()
+    return SkipTables(n, next_plain, next_barrier, store_prefix)
+
+
+@dataclass
+class BatchLane:
+    """One independent simulation in a lockstep batch."""
+
+    config: SimulationConfig
+    trace: AnnotatedTrace
+    observer: Optional[WindowObserver] = None
+    #: Extra :class:`EpochDriver` keywords (resume/stop/checkpoint hooks).
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+    #: Opaque caller tag mapped back onto the matching :class:`LaneOutcome`.
+    tag: Any = None
+
+
+@dataclass
+class LaneOutcome:
+    """What one lane produced: a result or the error that stopped it."""
+
+    tag: Any = None
+    result: Optional[SimulationResult] = None
+    error: Optional[BaseException] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None and self.result is not None
+
+
+class LockstepBatch:
+    """Advance N independent simulations one epoch at a time, together."""
+
+    def __init__(self, lanes: Sequence[BatchLane]) -> None:
+        self._np = require_numpy()
+        self.lanes = list(lanes)
+        tables_by_trace: Dict[int, SkipTables] = {}
+        self.drivers: List[Optional[EpochDriver]] = []
+        self.outcomes = [LaneOutcome(tag=lane.tag) for lane in self.lanes]
+        for index, lane in enumerate(self.lanes):
+            # id() keying is safe here: self.lanes keeps every trace alive
+            # for the lifetime of the cache.
+            key = id(lane.trace)
+            tables = tables_by_trace.get(key)
+            if tables is None:
+                tables = build_skip_tables_np(lane.trace)
+                tables_by_trace[key] = tables
+            simulator = EventSimulator(lane.config)
+            simulator.install_tables(lane.trace, tables)
+            try:
+                driver = EpochDriver(
+                    simulator, lane.trace, lane.observer, **lane.kwargs,
+                )
+            except Exception as exc:  # e.g. a corrupt resume snapshot
+                self.outcomes[index].error = exc
+                self.drivers.append(None)
+                continue
+            self.drivers.append(driver)
+
+    def run(self) -> List[LaneOutcome]:
+        """Step every live lane one epoch per round until all complete."""
+        np = self._np
+        n_lanes = len(self.drivers)
+        # Struct-of-arrays lane state: advanced in lockstep, consulted
+        # vectorized for the live-lane set each round.
+        done = np.zeros(n_lanes, dtype=bool)
+        pos = np.zeros(n_lanes, dtype=np.int64)
+        cur = np.zeros(n_lanes, dtype=np.int64)
+        for index, driver in enumerate(self.drivers):
+            if driver is None:
+                done[index] = True
+            else:
+                pos[index] = driver.state.pos
+                cur[index] = driver.state.cur
+        while not done.all():
+            for index in np.flatnonzero(~done):
+                driver = self.drivers[index]
+                try:
+                    events = driver.advance()
+                except Exception as exc:
+                    self.outcomes[index].error = exc
+                    done[index] = True
+                    continue
+                state = driver.state
+                pos[index] = state.pos
+                cur[index] = state.cur
+                if events is None or driver.done:
+                    done[index] = True
+        for index, driver in enumerate(self.drivers):
+            if driver is None or self.outcomes[index].error is not None:
+                continue
+            try:
+                self.outcomes[index].result = driver.finish()
+            except Exception as exc:
+                self.outcomes[index].error = exc
+        return self.outcomes
+
+
+class BatchBackend(Backend):
+    """Lockstep execution behind the standard backend lifecycle.
+
+    A single ``prepare`` is a batch of one (the same event-skip scan over
+    numpy-built tables); the distinctive entry point is
+    :class:`LockstepBatch`, which the engine uses to fan whole job batches
+    into one process.
+    """
+
+    name = "batch"
+
+    def __init__(self) -> None:
+        # Single-slot (trace, tables) cache, assigned atomically; sweeps
+        # over one annotated trace build the numpy tables exactly once.
+        self._cache = (None, None)
+
+    def _tables_for(self, trace) -> SkipTables:
+        cached_trace, cached_tables = self._cache
+        if cached_trace is not trace:
+            cached_tables = build_skip_tables_np(trace)
+            self._cache = (trace, cached_tables)
+        return cached_tables
+
+    def prepare(self, config, trace, observer=None, **kwargs):
+        simulator = EventSimulator(config)
+        simulator.install_tables(trace, self._tables_for(trace))
+        return EpochDriver(simulator, trace, observer, **kwargs)

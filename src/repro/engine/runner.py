@@ -109,6 +109,11 @@ class JobSpec:
     instead of restarting, and ``fault`` arms a test-only fault injection
     (``"kill@M"``/``"corrupt@M"``).  All default to "off", keeping plain
     jobs byte-compatible with previously serialized specs.
+
+    ``backend`` names the execution backend (``"reference"``, ``"event"``,
+    ``"batch"``) the simulation runs on; ``""`` defers to ``$REPRO_BACKEND``
+    and then the default.  Backends are bit-identical, so the field changes
+    how the job executes, never what it returns.
     """
 
     workload: str
@@ -124,6 +129,7 @@ class JobSpec:
     shard_stop: int = -1
     checkpoint_every: int = 0
     fault: str = ""
+    backend: str = ""
 
     @property
     def sharded(self) -> bool:
@@ -132,6 +138,16 @@ class JobSpec:
             self.shard_start >= 0
             or self.shard_stop >= 0
             or self.checkpoint_every > 0
+        )
+
+    def effective_backend(self) -> str:
+        """The backend name this spec will actually execute on."""
+        from ..core.backend import BACKEND_ENV_VAR, DEFAULT_BACKEND
+
+        return (
+            self.backend
+            or os.environ.get(BACKEND_ENV_VAR, "")
+            or DEFAULT_BACKEND
         )
 
     def describe(self) -> str:
@@ -146,6 +162,8 @@ class JobSpec:
             lo = self.shard_start if self.shard_start >= 0 else 0
             hi = self.shard_stop if self.shard_stop >= 0 else ""
             head += f"[{lo}:{hi})"
+        if self.backend:
+            head += f" @{self.backend}"
         return f"{head} {knobs}".strip()
 
     def to_dict(self) -> Dict[str, Any]:
@@ -371,6 +389,9 @@ class EngineTelemetry:
         self.sb_occupancy_hwm = 0
         self.sq_occupancy_hwm = 0
         self.termination_counts: Counter = Counter()
+        #: simulate jobs and instructions by effective execution backend.
+        self.backend_jobs: Counter = Counter()
+        self.backend_instructions: Counter = Counter()
 
     def batch_started(self, jobs: int) -> None:
         with self._lock:
@@ -394,6 +415,9 @@ class EngineTelemetry:
                 result = job.result
                 if result is None:
                     continue
+                backend = job.spec.effective_backend()
+                self.backend_jobs[backend] += 1
+                self.backend_instructions[backend] += result.instructions
                 self.sim_epochs += result.epoch_count
                 self.sim_instructions += result.instructions
                 if result.sb_occupancy_hwm > self.sb_occupancy_hwm:
@@ -486,6 +510,19 @@ class EngineTelemetry:
                 lambda c=cond.value: self.termination_counts.get(c, 0),
                 help=f"epochs terminated by {cond.value}",
             )
+        from ..core.backend import backend_names
+
+        for name in backend_names():
+            registry.gauge(
+                f"sim_backend_{name}_jobs_total",
+                lambda n=name: self.backend_jobs.get(n, 0),
+                help=f"simulate jobs executed on the {name} backend",
+            )
+            registry.gauge(
+                f"sim_backend_{name}_instructions_total",
+                lambda n=name: self.backend_instructions.get(n, 0),
+                help=f"instructions simulated on the {name} backend",
+            )
 
 
 # ---------------------------------------------------------------- worker --
@@ -577,6 +614,7 @@ def execute_job(
                     tag=spec.tag,
                     config=spec.config,
                     observer=observer,
+                    backend=spec.backend or None,
                     **dict(spec.core_changes),
                 )
         return bench.run(
@@ -587,6 +625,7 @@ def execute_job(
             tag=spec.tag,
             config=spec.config,
             observer=observer,
+            backend=spec.backend or None,
             **dict(spec.core_changes),
         )
     raise EngineConfigError(f"unknown job action {spec.action!r}")
@@ -608,7 +647,12 @@ def _run_job(
         and spec.action == "simulate"
     ):
         observer = EpochTimelineRecorder(tracer, label=spec.describe())
-    span = tracer.span("job", job=spec.describe()) if tracer is not None else None
+    span = (
+        tracer.span(
+            "job", job=spec.describe(), backend=spec.effective_backend(),
+        )
+        if tracer is not None else None
+    )
     start = time.perf_counter()
     hits_before, misses_before = bench.artifacts.stats.snapshot()
     shard_meta: Dict[str, Any] = {}
@@ -788,7 +832,10 @@ class EngineRunner:
             if tracer is not None else None
         )
         try:
-            if self.workers <= 1 or len(specs) <= 1:
+            if self._lockstep_eligible(specs):
+                results = self._run_lockstep(specs)
+                workers = 1
+            elif self.workers <= 1 or len(specs) <= 1:
                 results = self._run_serial(specs)
                 workers = 1
             else:
@@ -838,6 +885,114 @@ class EngineRunner:
         )
         thread.start()
         return handle
+
+    # ------------------------------------------------------------ lockstep --
+
+    def _lockstep_eligible(self, specs: Sequence[JobSpec]) -> bool:
+        """True when a batch should run as one in-process lockstep kernel.
+
+        Requires every job to be a plain (non-sharded) simulate spec whose
+        effective backend is ``batch``, plus an importable numpy.  When
+        numpy is missing the batch falls through to the per-job paths,
+        which surface the structured
+        :class:`~repro.errors.BackendUnavailableError` per job.
+        """
+        if len(specs) < 2:
+            return False
+        if not all(
+            spec.action == "simulate"
+            and not spec.sharded
+            and spec.effective_backend() == "batch"
+            for spec in specs
+        ):
+            return False
+        from ..core.backends.batch import numpy_available
+
+        return numpy_available()
+
+    def _run_lockstep(self, specs: List[JobSpec]) -> List[JobResult]:
+        """Advance the whole batch in lockstep, one epoch per lane per round.
+
+        Annotation still goes through the (cached) Workbench per spec, so
+        identical trace requests share one object — and therefore one set
+        of numpy-built skip tables.  The lockstep wall clock is shared;
+        each job is attributed an equal slice of it on top of its own
+        annotation time.
+        """
+        from ..core.backends.batch import BatchLane, LockstepBatch
+
+        bench = self._planning_bench()
+        tracer = self._obs_tracer()
+        span = (
+            tracer.span("lockstep_batch", jobs=len(specs), backend="batch")
+            if tracer is not None else None
+        )
+        payloads: List[Dict[str, Any]] = []
+        lanes: List[BatchLane] = []
+        try:
+            for index, spec in enumerate(specs):
+                start = time.perf_counter()
+                hits0, misses0 = bench.artifacts.stats.snapshot()
+                try:
+                    annotated = bench.annotated(
+                        spec.workload, spec.variant, spec.memory_config,
+                        spec.sharing, spec.tag,
+                    )
+                    config = bench.resolved_config(
+                        spec.workload, spec.variant, spec.config,
+                        **dict(spec.core_changes),
+                    )
+                except Exception as exc:
+                    status, error = "failed", "".join(
+                        traceback.format_exception_only(type(exc), exc)
+                    ).strip()
+                else:
+                    status, error = "ok", ""
+                    lanes.append(
+                        BatchLane(config=config, trace=annotated, tag=index)
+                    )
+                hits1, misses1 = bench.artifacts.stats.snapshot()
+                payloads.append({
+                    "status": status,
+                    "result": None,
+                    "error": error,
+                    "wall_time": time.perf_counter() - start,
+                    "cache_hits": hits1 - hits0,
+                    "cache_misses": misses1 - misses0,
+                })
+            sim_start = time.perf_counter()
+            outcomes = LockstepBatch(lanes).run() if lanes else []
+            share = (
+                (time.perf_counter() - sim_start) / len(lanes) if lanes else 0.0
+            )
+            for outcome in outcomes:
+                payload = payloads[outcome.tag]
+                payload["wall_time"] += share
+                if outcome.ok:
+                    payload["result"] = outcome.result
+                else:
+                    payload["status"] = "failed"
+                    payload["error"] = "".join(
+                        traceback.format_exception_only(
+                            type(outcome.error), outcome.error,
+                        )
+                    ).strip()
+        finally:
+            if span is not None:
+                span.__exit__()
+        out: List[JobResult] = []
+        for spec, payload in zip(specs, payloads):
+            attempts = 1
+            # Failed lanes retry on the ordinary serial path, which keeps
+            # the retry semantics of a non-lockstep batch.
+            while payload["status"] != "ok" and attempts <= self.retries:
+                attempts += 1
+                payload = _run_job(
+                    bench, spec,
+                    obs=self.obs, tracer=tracer, profiler=self._profiler,
+                )
+            out.append(JobResult(spec=spec, attempts=attempts, **payload))
+        return out
 
     # ------------------------------------------------------------- sharded --
 

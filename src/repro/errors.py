@@ -124,3 +124,27 @@ class BatchFailedError(EngineError, RuntimeError):
     Also a ``RuntimeError`` for backward compatibility."""
 
     code = "batch-failed"
+
+
+class BackendError(ReproError):
+    """An execution backend could not be selected or run."""
+
+    code = "backend-error"
+
+
+class UnknownBackendError(BackendError, ValueError):
+    """A backend name does not match any registered backend.
+
+    Also a ``ValueError``: an unknown name is an argument error at the api
+    surface (the service layer maps it to a structured 400 instead).
+    """
+
+    code = "backend-unknown"
+
+
+class BackendUnavailableError(BackendError):
+    """A registered backend cannot run because an optional dependency is
+    missing (e.g. the ``batch`` backend without numpy — install the
+    ``fast`` extra: ``pip install repro[fast]``)."""
+
+    code = "backend-unavailable"

@@ -41,7 +41,8 @@ from ..config import (
     SimulationConfig,
     SystemConfig,
 )
-from ..core import MlpSimulator, SimulationResult
+from ..core import SimulationResult
+from ..core.backend import resolve_backend
 from ..core.cpi import PAPER_CPI_ON_CHIP
 from ..core.window import WindowObserver
 from ..engine import serialize
@@ -308,17 +309,23 @@ class Workbench:
         tag: str = "",
         config: Optional[SimulationConfig] = None,
         observer: Optional[WindowObserver] = None,
+        backend: Optional[str] = None,
         **core_changes,
     ) -> SimulationResult:
         """Annotate (cached) and simulate one configuration.
 
         *observer* (e.g. an :class:`repro.obs.EpochTimelineRecorder`)
         attaches to the simulator run; ``None`` keeps the unobserved hot
-        path.
+        path.  *backend* selects the execution backend (``"reference"``,
+        ``"event"``, ``"batch"``); ``None`` defers to ``$REPRO_BACKEND``
+        and then the default.  Every backend returns a bit-identical
+        result, so the choice never changes what is measured.
         """
         annotated = self.annotated(workload, variant, memory_config, sharing, tag)
         config = self.resolved_config(workload, variant, config, **core_changes)
-        return MlpSimulator(config).run(annotated, observer=observer)
+        return resolve_backend(backend).simulate(
+            config, annotated, observer=observer,
+        )
 
 
 serialize.register(ExperimentSettings, SharingSettings)

@@ -135,11 +135,12 @@ class ServiceClient:
         workloads: Union[str, Sequence[str]],
         variant: str = "pc",
         priority: int = 0,
+        backend: str = "",
         **axes: Sequence[Any],
     ) -> Dict[str, Any]:
         if isinstance(workloads, str):
             workloads = [workloads]
-        return self.submit({
+        payload: Dict[str, Any] = {
             "kind": "sweep",
             "priority": priority,
             "sweep": {
@@ -150,16 +151,20 @@ class ServiceClient:
                     for name, values in axes.items()
                 },
             },
-        })
+        }
+        if backend:
+            payload["backend"] = backend
+        return self.submit(payload)
 
     def submit_simulate(
         self,
         workload: str,
         variant: str = "pc",
         priority: int = 0,
+        backend: str = "",
         **core_changes: Any,
     ) -> Dict[str, Any]:
-        return self.submit({
+        payload: Dict[str, Any] = {
             "kind": "simulate",
             "priority": priority,
             "job": {
@@ -170,7 +175,10 @@ class ServiceClient:
                     for name, value in core_changes.items()
                 },
             },
-        })
+        }
+        if backend:
+            payload["backend"] = backend
+        return self.submit(payload)
 
     def submit_figure(
         self,

@@ -21,6 +21,7 @@ by the client), figures carry a human-readable nested dict.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Any, Dict, Optional
 
 from ..engine.cache import ArtifactCache, resolve_cache_dir
@@ -106,9 +107,18 @@ class ServiceEngine:
         handle = self.runner.submit_batch(jobs)
         return handle.result()
 
+    @staticmethod
+    def _with_backend(jobs: list, backend: str) -> list:
+        """Stamp the request's execution backend onto its engine jobs."""
+        if not backend:
+            return jobs
+        return [replace(job, backend=backend) for job in jobs]
+
     def _execute_sweep(self, request: JobRequest) -> Dict[str, Any]:
         assert request.sweep is not None
-        report = self._run_batch(request.sweep.to_jobs())
+        report = self._run_batch(
+            self._with_backend(request.sweep.to_jobs(), request.backend)
+        )
         payload: Dict[str, Any] = {
             "kind": "sweep",
             "spec": request.sweep.to_dict(),
@@ -135,7 +145,9 @@ class ServiceEngine:
         assert request.job is not None
         if request.shards > 1 or request.checkpoint_every > 0:
             return self._execute_sharded(request)
-        report = self._run_batch([request.job])
+        report = self._run_batch(
+            self._with_backend([request.job], request.backend)
+        )
         payload: Dict[str, Any] = {
             "kind": "simulate",
             "report": report.to_dict(),
@@ -149,8 +161,11 @@ class ServiceEngine:
     def _execute_sharded(self, request: JobRequest) -> Dict[str, Any]:
         """A simulate request through the fault-tolerant sharded path."""
         assert request.job is not None
+        job = request.job
+        if request.backend:
+            job = replace(job, backend=request.backend)
         report = self.runner.run_sharded(
-            request.job, request.shards,
+            job, request.shards,
             checkpoint_every=request.checkpoint_every,
         )
         payload: Dict[str, Any] = {

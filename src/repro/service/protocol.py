@@ -32,6 +32,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
+from ..core.backend import backend_names
 from ..engine import serialize
 from ..engine.cache import content_key
 from ..engine.runner import JobSpec
@@ -74,6 +75,11 @@ class JobRequest:
     (:meth:`repro.engine.runner.EngineRunner.run_sharded`) — the result is
     bit-identical to an unsharded run, so they *are* part of the work
     signature only insofar as they change the execution request itself.
+
+    ``backend`` (sweep/simulate only) names the execution backend the
+    engine runs the simulations on; ``""`` defers to the server's default.
+    Backends are bit-identical, but the field still joins the signature
+    because it changes the execution being requested.
     """
 
     kind: str
@@ -84,12 +90,14 @@ class JobRequest:
     priority: int = 0
     shards: int = 1
     checkpoint_every: int = 0
+    backend: str = ""
 
     def signature(self) -> str:
         """Content hash identifying the *work* (priority excluded)."""
         return content_key(
             "service-job", self.kind, self.sweep, self.job,
             self.figure, self.workloads, self.shards, self.checkpoint_every,
+            self.backend,
         )
 
     def describe(self) -> str:
@@ -199,6 +207,33 @@ def _parse_simulate(payload: Dict[str, Any]) -> JobSpec:
     )
 
 
+def _parse_backend(payload: Dict[str, Any], kind: str) -> str:
+    """Validate the optional top-level ``backend`` field.
+
+    Unknown names are answered with a structured 400 listing the
+    registered backends, so a typo ("evnet") comes back actionable
+    instead of failing deep inside the engine.
+    """
+    raw = payload.get("backend", "")
+    _require(
+        isinstance(raw, str),
+        "'backend' must be a string naming an execution backend",
+    )
+    if not raw:
+        return ""
+    _require(
+        kind in ("sweep", "simulate"),
+        "'backend' applies to sweep and simulate jobs only",
+    )
+    names = backend_names()
+    _require(
+        raw in names,
+        f"unknown execution backend {raw!r}; "
+        f"registered backends: {list(names)}",
+    )
+    return raw
+
+
 def _parse_figure(payload: Dict[str, Any]) -> Tuple[str, Tuple[str, ...]]:
     figure = payload.get("figure")
     _require(
@@ -228,9 +263,11 @@ def parse_job_request(payload: Any) -> JobRequest:
         isinstance(priority, int) and not isinstance(priority, bool),
         "'priority' must be an integer",
     )
+    backend = _parse_backend(payload, kind)
     if kind == "sweep":
         return JobRequest(
             kind=kind, sweep=_parse_sweep(payload), priority=priority,
+            backend=backend,
         )
     if kind == "simulate":
         shards = payload.get("shards", 1)
@@ -249,6 +286,7 @@ def parse_job_request(payload: Any) -> JobRequest:
         return JobRequest(
             kind=kind, job=_parse_simulate(payload), priority=priority,
             shards=shards, checkpoint_every=checkpoint_every,
+            backend=backend,
         )
     figure, workloads = _parse_figure(payload)
     return JobRequest(

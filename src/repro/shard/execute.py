@@ -27,7 +27,7 @@ import dataclasses
 from dataclasses import dataclass
 from typing import Optional, TYPE_CHECKING
 
-from ..core.mlpsim import MlpSimulator
+from ..core.backend import resolve_backend
 from ..core.results import SimulationResult
 from ..core.snapshot import SimulatorSnapshot
 from ..engine.cache import content_key
@@ -179,7 +179,10 @@ def run_shard_job(
         elif injector.should_kill(snapshot):
             injector.terminate(_in_pool_worker())
 
-    simulator = MlpSimulator(config)
+    # Every backend honours the shard hooks (resume/stop/checkpoint) and is
+    # bit-identical to the reference loop, so shard merging stays exact
+    # regardless of which one runs the segment.
+    backend = resolve_backend(spec.backend or None)
     kwargs = dict(
         observer=observer,
         resume=resume,
@@ -189,9 +192,9 @@ def run_shard_job(
     )
     if profiler is not None:
         with profiler.phase("simulate"):
-            result = simulator.run(suffix, **kwargs)
+            result = backend.simulate(config, suffix, **kwargs)
     else:
-        result = simulator.run(suffix, **kwargs)
+        result = backend.simulate(config, suffix, **kwargs)
     return ShardOutcome(
         result=result,
         resumed_pos=resumed_pos,

@@ -15,10 +15,23 @@ import pytest
 from repro.config import StorePrefetchMode
 from repro.engine import EngineRunner, JobSpec, RunReport
 from repro.engine.runner import JobResult
-from repro.harness import ExperimentSettings, Workbench
-from repro.harness.sweeps import sweep, sweep_workloads
+from repro.harness import ExperimentSettings
+from repro.harness.experiment import Workbench
+from repro.harness import sweeps
 
 SMALL = ExperimentSettings(warmup=2000, measure=6000, seed=11, calibrate=False)
+
+
+def sweep(*args, **kwargs):
+    # Deprecated entry point, used deliberately: assert the warning rather
+    # than leaking it into pytest's summary (repro.api.sweep is current).
+    with pytest.warns(DeprecationWarning, match="sweep"):
+        return sweeps.sweep(*args, **kwargs)
+
+
+def sweep_workloads(*args, **kwargs):
+    with pytest.warns(DeprecationWarning, match="sweep_workloads"):
+        return sweeps.sweep_workloads(*args, **kwargs)
 
 GRID_JOBS = [
     JobSpec(

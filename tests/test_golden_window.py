@@ -16,7 +16,8 @@ from __future__ import annotations
 import pytest
 
 from repro.config import ScoutMode, StorePrefetchMode
-from repro.harness import ExperimentSettings, Workbench
+from repro.harness import ExperimentSettings
+from repro.harness.experiment import Workbench
 
 GOLDEN = {
     "database_pc_default": {

@@ -5,7 +5,8 @@ from __future__ import annotations
 import pytest
 
 from repro.config import StorePrefetchMode
-from repro.harness import ExperimentSettings, Workbench
+from repro.harness import ExperimentSettings
+from repro.harness.experiment import Workbench
 from repro.harness.experiment import SharingSettings
 from repro.harness.figures import smac_memory_config, smac_scaled_profile
 from repro.harness.formatting import format_series, format_table
@@ -115,3 +116,26 @@ class TestFormatting:
     def test_format_series(self):
         text = format_series("EPI", {"a": 1.0, "b": 2.5}, precision=1)
         assert text == "EPI: a=1.0 b=2.5"
+
+
+class TestDeprecatedEntryPoints:
+    # Both legacy import paths stay importable but must warn at the
+    # caller; repro-internal code imports from repro.harness.experiment
+    # and never pays this (see DESIGN.md for the removal timeline).
+    def test_repro_workbench_warns(self):
+        import repro
+
+        with pytest.warns(DeprecationWarning, match="Workbench"):
+            assert repro.Workbench is Workbench
+
+    def test_repro_harness_workbench_warns(self):
+        import repro.harness
+
+        with pytest.warns(DeprecationWarning, match="Workbench"):
+            assert repro.harness.Workbench is Workbench
+
+    def test_unknown_attribute_still_raises(self):
+        import repro.harness
+
+        with pytest.raises(AttributeError):
+            repro.harness.does_not_exist

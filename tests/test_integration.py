@@ -10,7 +10,8 @@ from __future__ import annotations
 import pytest
 
 from repro.config import ScoutMode, StorePrefetchMode
-from repro.harness import ExperimentSettings, Workbench
+from repro.harness import ExperimentSettings
+from repro.harness.experiment import Workbench
 from repro.harness.figures import smac_memory_config, smac_scaled_profile
 
 

@@ -19,7 +19,8 @@ from repro.config import (
     SmacConfig,
     StorePrefetchMode,
 )
-from repro.harness import ExperimentSettings, Workbench
+from repro.harness import ExperimentSettings
+from repro.harness.experiment import Workbench
 from repro.obs import EpochTimelineRecorder, Tracer
 
 SMALL = ExperimentSettings(warmup=2000, measure=6000, seed=13,

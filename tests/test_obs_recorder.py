@@ -11,7 +11,8 @@ from __future__ import annotations
 import pytest
 
 from repro import api
-from repro.harness import ExperimentSettings, Workbench
+from repro.harness import ExperimentSettings
+from repro.harness.experiment import Workbench
 from repro.obs import (
     ObsOptions,
     EpochTimelineRecorder,

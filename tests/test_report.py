@@ -4,7 +4,8 @@ from __future__ import annotations
 
 import pytest
 
-from repro.harness import ExperimentSettings, Workbench
+from repro.harness import ExperimentSettings
+from repro.harness.experiment import Workbench
 from repro.harness.report import ALL_SECTIONS, generate_report
 
 

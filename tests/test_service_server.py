@@ -16,7 +16,8 @@ import threading
 import pytest
 
 from repro.config import StorePrefetchMode
-from repro.harness import ExperimentSettings, Workbench
+from repro.harness import ExperimentSettings
+from repro.harness.experiment import Workbench
 from repro.service import ReproService, ServiceClient, ServiceError
 
 SMALL = ExperimentSettings(warmup=1500, measure=4000, seed=11,

@@ -71,7 +71,8 @@ class TestWcTransactions:
 
 class TestEndToEnd:
     def test_tm_variant_at_least_as_good_as_sle(self):
-        from repro.harness import ExperimentSettings, Workbench
+        from repro.harness import ExperimentSettings
+        from repro.harness.experiment import Workbench
         bench = Workbench(ExperimentSettings(
             warmup=10_000, measure=25_000, calibrate=False,
         ))

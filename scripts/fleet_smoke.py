@@ -1,0 +1,234 @@
+#!/usr/bin/env python
+"""CI fleet smoke: real processes, a SIGKILLed worker, verified recovery.
+
+Starts a fleet coordinator and two worker *processes* (the same
+``mlpsim serve --fleet`` / ``mlpsim worker --join`` entry points a user
+runs), submits a sharded simulate job, SIGKILLs one worker while it holds
+a leased shard with at least one checkpoint persisted, and then asserts:
+
+1. the coordinator evicts the dead worker and requeues its shard;
+2. the surviving worker resumes the shard from the killed worker's
+   checkpoint (``resumed_shards >= 1`` — no completed work redone);
+3. the merged result is bit-identical to a direct single-process run;
+4. a SIGTERM drain shuts the coordinator down cleanly (exit 0, nothing
+   abandoned) and the surviving worker exits 0 by itself.
+
+Exits non-zero with diagnostics on any deviation; CI uploads the log and
+checkpoint directories as artifacts for post-mortem.
+
+Usage::
+
+    python scripts/fleet_smoke.py [--cache-dir DIR] [--shards N]
+        [--checkpoint-every K]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+import urllib.request
+
+from repro.engine.runner import ShardedReport
+from repro.harness import ExperimentSettings
+from repro.harness.experiment import Workbench
+from repro.service.client import ServiceClient
+
+
+def _get(url: str, path: str) -> dict:
+    with urllib.request.urlopen(f"{url}{path}", timeout=10.0) as response:
+        return json.loads(response.read())
+
+
+def _wait_for(predicate, timeout: float, what: str):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        value = predicate()
+        if value:
+            return value
+        time.sleep(0.05)
+    raise TimeoutError(f"timed out waiting for {what}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--cache-dir", default=".ci-fleet-cache")
+    parser.add_argument("--workload", default="database")
+    parser.add_argument("--shards", type=int, default=2)
+    parser.add_argument("--checkpoint-every", type=int, default=500)
+    parser.add_argument("--warmup", type=int, default=3000)
+    parser.add_argument("--measure", type=int, default=9000)
+    parser.add_argument("--seed", type=int, default=13)
+    parser.add_argument("--log-dir", default=".")
+    args = parser.parse_args(argv)
+
+    os.makedirs(args.log_dir, exist_ok=True)
+    cache_dir = os.path.abspath(args.cache_dir)
+    settings = ExperimentSettings(
+        warmup=args.warmup, measure=args.measure, seed=args.seed,
+        calibrate=False,
+    )
+    sizing = [
+        "--warmup", str(args.warmup), "--measure", str(args.measure),
+        "--seed", str(args.seed), "--no-calibrate",
+        "--cache-dir", cache_dir,
+    ]
+
+    print(f"fleet smoke: golden single-process run of {args.workload} ...")
+    golden = Workbench(settings, cache_dir=cache_dir).run(args.workload)
+    print(f"  golden: {golden.summary()}")
+
+    mlpsim = [sys.executable, "-m", "repro.cli"]
+    serve_log_path = os.path.join(args.log_dir, "fleet-serve.log")
+    serve_log = open(serve_log_path, "w")
+    coordinator = subprocess.Popen(
+        mlpsim + sizing + [
+            "serve", "--fleet", "--port", "0",
+            "--lease-ttl", "1.0", "--max-inflight", "1",
+            "--drain-timeout", "120",
+        ],
+        stdout=serve_log, stderr=subprocess.STDOUT,
+    )
+    procs: list[subprocess.Popen] = [coordinator]
+    try:
+        def url_from_log():
+            with open(serve_log_path) as handle:
+                for line in handle:
+                    marker = "fleet coordinator listening on "
+                    if marker in line:
+                        return line.split(marker, 1)[1].strip()
+            return None
+
+        url = _wait_for(url_from_log, 30.0, "the coordinator URL")
+        print(f"fleet smoke: coordinator at {url}")
+
+        workers = {}
+        for name in ("victim", "survivor"):
+            log = open(os.path.join(args.log_dir, f"fleet-{name}.log"), "w")
+            proc = subprocess.Popen(
+                mlpsim + ["worker", "--join", url, "--name", name],
+                stdout=log, stderr=subprocess.STDOUT,
+            )
+            workers[name] = proc
+            procs.append(proc)
+        _wait_for(
+            lambda: _get(url, "/healthz")["fleet"]["workers"] == 2,
+            30.0, "both workers to register",
+        )
+        print("fleet smoke: 2 workers registered")
+
+        client = ServiceClient(url, timeout=30.0)
+        receipt = client.submit({
+            "kind": "simulate",
+            "job": {"workload": args.workload, "variant": "pc"},
+            "shards": args.shards,
+            "checkpoint_every": args.checkpoint_every,
+        })
+        job_id = receipt["id"]
+        print(f"fleet smoke: sharded job {job_id} submitted")
+
+        # Kill the victim once it holds a lease AND its shard has persisted
+        # a checkpoint (so there is something to resume from).
+        def victim_leases_with_checkpoint():
+            status = _get(url, "/v1/fleet/status")
+            victims = [
+                w["id"] for w in status["workers"] if w["name"] == "victim"
+            ]
+            if not victims:
+                return False
+            held = [
+                t for t in status["task_table"]
+                if t["state"] == "leased" and t["worker"] == victims[0]
+            ]
+            checkpoint_dir = os.path.join(cache_dir, "checkpoint")
+            return bool(held) and bool(
+                os.path.isdir(checkpoint_dir)
+                and len(os.listdir(checkpoint_dir)) >= args.shards
+            )
+
+        _wait_for(
+            victim_leases_with_checkpoint, 60.0,
+            "the victim to lease a shard with a checkpoint on disk",
+        )
+        os.kill(workers["victim"].pid, signal.SIGKILL)
+        print(
+            f"fleet smoke: SIGKILLed worker 'victim' "
+            f"(pid {workers['victim'].pid}) mid-shard"
+        )
+
+        status = client.wait(job_id, timeout=300.0)
+        failures = []
+        if status["state"] != "done":
+            failures.append(
+                f"job ended {status['state']}: {status.get('error', '')}"
+            )
+        else:
+            sharded = status["result"]["sharded"]
+            report = ShardedReport.from_dict(status["result"]["report"])
+            print(
+                f"  rounds={sharded['rounds']} "
+                f"resumed_shards={sharded['resumed_shards']} "
+                f"plan={sharded['plan']}"
+            )
+            if sharded["rounds"] < 2:
+                failures.append(
+                    "the killed shard was never re-leased (rounds < 2)"
+                )
+            if sharded["resumed_shards"] < 1:
+                failures.append(
+                    "the re-routed shard did not resume from the dead "
+                    "worker's checkpoint"
+                )
+            if report.merged != golden:
+                failures.append(
+                    "merged fleet result differs from the single-process "
+                    "golden"
+                )
+            redone = [
+                job for job in report.jobs
+                if job.ok and job.attempts > 1 and job.resumed_pos < 0
+            ]
+            if redone:
+                failures.append(
+                    f"{len(redone)} shard(s) were recomputed from scratch "
+                    f"instead of resuming"
+                )
+        metrics = _get(url, "/metrics?format=json")
+        if metrics["gauges"].get("fleet_workers_evicted_total", 0) < 1:
+            failures.append("the dead worker was never evicted")
+
+        # Graceful drain: coordinator exits 0 with nothing abandoned, and
+        # the surviving worker drains out by itself.
+        coordinator.send_signal(signal.SIGTERM)
+        coordinator.wait(timeout=180.0)
+        survivor_code = workers["survivor"].wait(timeout=60.0)
+        if coordinator.returncode != 0:
+            failures.append(
+                f"coordinator exited {coordinator.returncode} "
+                f"(work abandoned during drain?)"
+            )
+        if survivor_code != 0:
+            failures.append(f"surviving worker exited {survivor_code}")
+
+        if failures:
+            for failure in failures:
+                print(f"FAIL: {failure}", file=sys.stderr)
+            return 1
+        print(
+            "fleet smoke OK: eviction, checkpoint resume, bit-identical "
+            "merge, clean drain"
+        )
+        return 0
+    finally:
+        for proc in procs:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10.0)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

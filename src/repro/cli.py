@@ -279,6 +279,82 @@ def _build_parser() -> argparse.ArgumentParser:
         "--trace-dir", default=None, metavar="DIR",
         help="trace every job's engine batches and epochs as JSONL here",
     )
+    srv.add_argument(
+        "--fleet", action="store_true",
+        help="run as a fleet coordinator (async front end + pull-based "
+             "workers joined with 'mlpsim worker --join URL') instead of "
+             "executing jobs in-process",
+    )
+    srv.add_argument(
+        "--drain-timeout", type=float, default=30.0,
+        help="seconds SIGTERM waits for in-flight work before abandoning "
+             "it (exit status is nonzero when work was abandoned)",
+    )
+    srv.add_argument(
+        "--lease-ttl", type=float, default=5.0,
+        help="fleet worker heartbeat lease TTL in seconds",
+    )
+    srv.add_argument(
+        "--max-inflight", type=int, default=2,
+        help="fleet: max tasks leased per worker at once (backpressure "
+             "bound)",
+    )
+    srv.add_argument(
+        "--lease-batch", type=int, default=4,
+        help="fleet: tasks offered per lease long-poll",
+    )
+    srv.add_argument(
+        "--default-backend", default="",
+        choices=["", *backend_names()],
+        help="fleet: backend stamped on jobs that did not pick one",
+    )
+
+    wk = sub.add_parser(
+        "worker",
+        help="join a fleet coordinator and execute leased tasks",
+    )
+    wk.add_argument(
+        "--join", required=True, metavar="URL",
+        help="coordinator base URL, e.g. http://127.0.0.1:8137",
+    )
+    wk.add_argument("--name", default="", help="worker name for the fleet "
+                    "status table (default: worker-<pid>)")
+    wk.add_argument(
+        "--runner-workers", type=int, default=1,
+        help="engine worker processes inside this fleet worker (default 1)",
+    )
+    wk.add_argument(
+        "--lease-batch", type=int, default=0,
+        help="max tasks pulled per lease (default: the coordinator's hint)",
+    )
+    wk.add_argument(
+        "--log-level", default="info",
+        choices=["debug", "info", "warning", "error", "critical"],
+    )
+    wk.add_argument(
+        "--log-format", default="text", choices=["text", "json"],
+    )
+    wk.add_argument(
+        "--trace-dir", default=None, metavar="DIR",
+        help="trace leased batches as JSONL into this directory",
+    )
+
+    fl = sub.add_parser(
+        "fleet", help="inspect or control a running fleet coordinator",
+    )
+    fl_sub = fl.add_subparsers(dest="fleet_command", required=True)
+    fl_status = fl_sub.add_parser(
+        "status", help="worker and task table of a coordinator",
+    )
+    fl_status.add_argument("--url", default="http://127.0.0.1:8137")
+    fl_status.add_argument("--json", action="store_true",
+                           help="print the raw JSON payload")
+    fl_drain = fl_sub.add_parser(
+        "drain", help="flag one worker (or the whole fleet) to drain",
+    )
+    fl_drain.add_argument("--url", default="http://127.0.0.1:8137")
+    fl_drain.add_argument("--worker", default="",
+                          help="worker id (empty drains the whole fleet)")
 
     sb = sub.add_parser(
         "submit", help="submit a sweep to a running service and wait",
@@ -671,7 +747,25 @@ def _cmd_serve(args, settings: ExperimentSettings) -> int:
         ObsOptions.for_trace(args.trace_dir)
         if args.trace_dir is not None else None
     )
-    serve(
+    if args.fleet:
+        from .fleet import serve_fleet
+
+        return serve_fleet(
+            host=args.host,
+            port=args.port,
+            settings=settings,
+            cache_dir=_cache_dir(args),
+            queue_capacity=args.queue_capacity,
+            lease_ttl=args.lease_ttl,
+            max_inflight=args.max_inflight,
+            lease_batch=args.lease_batch,
+            drain_timeout=args.drain_timeout,
+            log_level=args.log_level,
+            log_format=args.log_format,
+            obs=obs,
+            default_backend=args.default_backend,
+        )
+    return serve(
         host=args.host,
         port=args.port,
         settings=settings,
@@ -679,10 +773,70 @@ def _cmd_serve(args, settings: ExperimentSettings) -> int:
         workers=args.workers,
         job_timeout=args.job_timeout,
         queue_capacity=args.queue_capacity,
+        drain_timeout=args.drain_timeout,
         log_level=args.log_level,
         log_format=args.log_format,
         obs=obs,
     )
+
+
+def _cmd_worker(args) -> int:
+    from .obs import ObsOptions
+    from .fleet import run_worker
+
+    obs = (
+        ObsOptions.for_trace(args.trace_dir)
+        if args.trace_dir is not None else None
+    )
+    cache_dir = _cache_dir(args)
+    return run_worker(
+        args.join,
+        name=args.name,
+        cache_dir=None if cache_dir == "auto" else cache_dir,
+        runner_workers=args.runner_workers,
+        lease_batch=args.lease_batch,
+        log_level=args.log_level,
+        log_format=args.log_format,
+        obs=obs,
+    )
+
+
+def _cmd_fleet(args) -> int:
+    from .service import ServiceClient, ServiceError
+
+    client = ServiceClient(args.url)
+    try:
+        if args.fleet_command == "drain":
+            client.fleet_drain(args.worker)
+            print("drain requested" + (
+                f" for worker {args.worker}" if args.worker else
+                " for the whole fleet"
+            ))
+            return 0
+        status = client.fleet_status()
+    except ServiceError as exc:
+        print(f"fleet query failed: {exc}", file=sys.stderr)
+        return 1
+    if getattr(args, "json", False):
+        print(json.dumps(status, indent=2))
+        return 0
+    workers = status.get("workers", [])
+    print(f"{len(workers)} worker(s); queue depth "
+          f"{status.get('queue_depth', 0)}; tasks {status.get('tasks')}")
+    for worker in workers:
+        flags = " draining" if worker.get("draining") else ""
+        print(
+            f"  {worker['id']}  {worker['name']:<16} "
+            f"pid={worker.get('pid', 0):<7} "
+            f"done={worker.get('tasks_done', 0):<5} "
+            f"failed={worker.get('tasks_failed', 0):<4} "
+            f"hb={worker.get('heartbeat_age_seconds', 0.0):.1f}s ago"
+            f"{flags}"
+        )
+    outstanding = status.get("outstanding_cost_units", 0)
+    if outstanding:
+        print(f"outstanding predicted cost: {outstanding} units "
+              f"(retry-after hint {status.get('retry_after_hint')}s)")
     return 0
 
 
@@ -830,6 +984,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_resume(args)
     if args.command == "serve":
         return _cmd_serve(args, settings)
+    if args.command == "worker":
+        return _cmd_worker(args)
+    if args.command == "fleet":
+        return _cmd_fleet(args)
     if args.command == "submit":
         return _cmd_submit(args)
     if args.command == "status":

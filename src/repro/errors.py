@@ -148,3 +148,37 @@ class BackendUnavailableError(BackendError):
     ``fast`` extra: ``pip install repro[fast]``)."""
 
     code = "backend-unavailable"
+
+
+class FleetError(ReproError):
+    """A fleet-level coordination failure (registration, leasing, routing)."""
+
+    code = "fleet-error"
+
+
+class UnknownWorkerError(FleetError):
+    """A worker id does not match any registered (live) worker.
+
+    Workers receive this after being evicted for missed heartbeats; the
+    correct response is to re-register and resume pulling work.
+    """
+
+    code = "fleet-unknown-worker"
+
+
+class SaturatedError(ReproError):
+    """The service cannot accept work right now; retry after a delay.
+
+    Carries the HTTP ``status`` to answer with (429 when the queue is full,
+    503 when no workers are live or the daemon is draining) and a
+    ``retry_after`` hint in seconds, surfaced as the ``Retry-After`` header.
+    """
+
+    code = "saturated"
+
+    def __init__(
+        self, message: str, status: int = 429, retry_after: float = 1.0,
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.retry_after = max(1, int(round(retry_after)))

@@ -1,0 +1,35 @@
+"""repro.fleet — distributed multi-worker execution for the service layer.
+
+One coordinator (asyncio front end + job queue + cost-aware router) and N
+pull-based workers, speaking the same versioned wire protocol as the
+single-node daemon.  See DESIGN.md ("Distributed fleet") for the
+topology, the lease protocol and the failure semantics.
+
+Quick start::
+
+    from repro.fleet import FleetCoordinator, FleetWorker
+
+    coord = FleetCoordinator(port=0).start()
+    worker = FleetWorker(coord.url).join()
+    # worker.run() in a thread/process; then submit jobs via
+    # repro.api.connect(coord.url) exactly as against a daemon.
+"""
+
+from .cost import CostEstimate, estimate_job_cost
+from .frontend import FleetCoordinator, serve_fleet
+from .registry import WorkerInfo, WorkerRegistry
+from .router import Router, TaskRecord
+from .worker import FleetWorker, run_worker
+
+__all__ = [
+    "CostEstimate",
+    "FleetCoordinator",
+    "FleetWorker",
+    "Router",
+    "TaskRecord",
+    "WorkerInfo",
+    "WorkerRegistry",
+    "estimate_job_cost",
+    "run_worker",
+    "serve_fleet",
+]

@@ -1,0 +1,1242 @@
+"""The fleet coordinator: asyncio HTTP front end + job → task orchestration.
+
+This is the horizontally scalable replacement for the single-process
+daemon's blocking accept loop.  One coordinator process owns:
+
+- an **asyncio front end** (stdlib ``asyncio.start_server``, HTTP/1.1 with
+  keep-alive) speaking the *existing* versioned wire protocol — clients,
+  ``repro.api.connect`` and ``mlpsim submit`` work unchanged against a
+  coordinator — plus the ``/v1/fleet/*`` worker protocol,
+- the same bounded, deduplicating :class:`~repro.service.jobqueue.JobQueue`
+  the daemon uses, with admission control in front of it (429/503 +
+  ``Retry-After``, priority-aware shedding),
+- a :class:`~repro.fleet.registry.WorkerRegistry` (lease heartbeats,
+  drain, eviction) and a :class:`~repro.fleet.router.Router` (cost-aware
+  LPT placement, bounded per-worker in-flight),
+- the content-addressed :class:`~repro.engine.cache.ArtifactCache` as the
+  cluster-wide shared result store: completed job payloads are published
+  under the request signature, so dedup-by-request-hash extends across
+  nodes and across coordinator restarts.
+
+The coordinator runs **no simulations itself**.  A dispatcher thread
+expands each claimed job into engine-level tasks (sweep grid points, or
+:class:`ShardPlan` shards for sharded simulates); workers long-poll
+``/v1/fleet/lease``, execute specs through their own
+:class:`~repro.engine.runner.EngineRunner`, and POST results back.  A
+worker SIGKILLed mid-shard misses its heartbeats, is evicted, and its
+leased shards requeue — the next worker to lease them resumes from the
+last verified checkpoint in the shared cache (content-keyed, so no
+completed shard is ever recomputed) and the merged result stays
+bit-identical to a single-node run.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import signal
+import threading
+import time
+from dataclasses import replace
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core.backend import backend_names
+from ..engine import serialize
+from ..engine.cache import ArtifactCache, resolve_cache_dir
+from ..engine.runner import JobResult, JobSpec, RunReport, ShardedReport
+from ..errors import ProtocolError, SaturatedError, UnknownWorkerError
+from ..harness.experiment import ExperimentSettings, Workbench
+from ..obs.logging import get_logger, setup_logging
+from ..obs.metrics import MetricsRegistry
+from ..obs.options import ObsOptions
+from ..obs.trace import Tracer
+from ..service.jobqueue import Job, JobQueue, JobState, QueueFullError
+from ..service.protocol import PROTOCOL_VERSION, parse_job_request
+from .cost import estimate_job_cost
+from .registry import WorkerRegistry
+from .router import Router, TaskRecord
+
+__all__ = ["FleetCoordinator", "serve_fleet"]
+
+_log = get_logger("fleet")
+
+#: Submission bodies larger than this are rejected outright (matches the
+#: single-node daemon).  Worker completions carry whole serialized results
+#: and get a much larger allowance.
+MAX_BODY_BYTES = 64 * 1024
+MAX_WORKER_BODY_BYTES = 64 * 1024 * 1024
+
+#: The artifact-cache kind under which finished job payloads are published
+#: (the cluster-wide dedup-by-request-hash store).
+RESULT_KIND = "service-result"
+
+#: Server-side cap on lease long-polling.
+MAX_LEASE_WAIT = 30.0
+
+
+def _sanitize_metric(name: str) -> str:
+    return "".join(c if c.isalnum() else "_" for c in name.lower())
+
+
+class FleetCoordinator:
+    """One coordinator: queue + registry + router + asyncio front end."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        settings: Optional[ExperimentSettings] = None,
+        cache_dir: Any = "auto",
+        queue_capacity: int = 256,
+        history: int = 1024,
+        lease_ttl: float = 5.0,
+        max_inflight: int = 2,
+        lease_batch: int = 4,
+        task_retries: int = 2,
+        default_backend: str = "",
+        obs: Optional[ObsOptions] = None,
+    ) -> None:
+        self.settings = settings or ExperimentSettings()
+        self.cache_dir = cache_dir
+        self.artifacts = ArtifactCache(resolve_cache_dir(cache_dir))
+        self.queue = JobQueue(capacity=queue_capacity, history=history)
+        self.registry = WorkerRegistry(lease_ttl=lease_ttl)
+        self.router = Router(
+            self.registry, max_inflight=max_inflight, retries=task_retries,
+        )
+        self.lease_batch = lease_batch
+        self.default_backend = default_backend
+        self.metrics = MetricsRegistry()
+        self.obs = obs
+        self._tracer: Optional[Tracer] = None
+        if obs is not None and obs.trace_dir is not None:
+            self._tracer = obs.open_tracer()
+        self.draining = False
+        self._stopping = False
+        self._started_at: Optional[float] = None
+        #: job id -> (job, ShardPlan or None); guards job assembly.
+        self._assembly_lock = threading.Lock()
+        self._plans: Dict[str, Any] = {}
+        #: Completion-rate window for Retry-After: (monotonic, cost units).
+        self._rate_lock = threading.Lock()
+        self._completions: List[Tuple[float, float]] = []
+        #: Planning bench (shard plans, sweep expansion); built lazily so a
+        #: coordinator that only serves cached results never touches traces.
+        self._bench: Optional[Workbench] = None
+        self._bench_lock = threading.Lock()
+
+        self._frontend = _AsyncFrontend(self, host, port)
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="fleet-dispatcher", daemon=True,
+        )
+        self._evictor = threading.Thread(
+            target=self._eviction_loop, name="fleet-evictor", daemon=True,
+        )
+        self._register_metrics()
+
+    # ----------------------------------------------------------- lifecycle --
+
+    @property
+    def host(self) -> str:
+        return self._frontend.host
+
+    @property
+    def port(self) -> int:
+        return self._frontend.port
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "FleetCoordinator":
+        self._started_at = time.time()
+        self._frontend.start()
+        self._dispatcher.start()
+        self._evictor.start()
+        return self
+
+    def stop(self) -> None:
+        self._stopping = True
+        self.queue.close()
+        self._frontend.stop()
+        self._dispatcher.join(timeout=5.0)
+        self._evictor.join(timeout=5.0)
+
+    def begin_drain(self) -> None:
+        """Stop accepting new submissions (503 + Retry-After)."""
+        self.draining = True
+
+    def drain(self, timeout: float = 30.0) -> int:
+        """Drain: refuse new work, let workers finish the backlog.
+
+        Returns the number of abandoned work items (jobs still queued or
+        tasks still outstanding when the timeout expired) — ``0`` means a
+        clean drain.  Workers are flagged to drain afterwards either way,
+        so they finish in-flight tasks, deregister and exit.
+        """
+        self.begin_drain()
+        deadline = time.monotonic() + max(0.0, timeout)
+        while time.monotonic() < deadline:
+            counts = self.router.counts()
+            outstanding = (
+                self.queue.depth()
+                + self.queue.counts_by_state()["running"]
+                + counts["pending"] + counts["leased"]
+            )
+            if outstanding == 0:
+                break
+            time.sleep(0.05)
+        counts = self.router.counts()
+        abandoned = (
+            self.queue.depth()
+            + self.queue.counts_by_state()["running"]
+        )
+        # running jobs already count their live tasks; don't double-count
+        abandoned = max(abandoned, counts["pending"] + counts["leased"])
+        self.registry.drain(None)
+        return abandoned
+
+    # ----------------------------------------------------------- admission --
+
+    def _retry_after_hint(self) -> float:
+        """Predicted seconds until the backlog has drained appreciably.
+
+        Outstanding predicted cost divided by the observed completion rate
+        (cost units/second over the recent completion window).  Before any
+        completion has been observed the hint falls back to the lease TTL.
+        """
+        outstanding = self.router.outstanding_cost()
+        with self._rate_lock:
+            window = self._completions[-50:]
+            if len(window) >= 2:
+                elapsed = max(1e-6, window[-1][0] - window[0][0])
+                rate = sum(units for _, units in window[1:]) / elapsed
+            else:
+                rate = 0.0
+        if rate <= 0:
+            return self.registry.lease_ttl
+        return min(60.0, max(1.0, outstanding / rate))
+
+    def submit(self, payload: Any) -> Tuple[Job, bool]:
+        """Parse, admission-check and enqueue one submission."""
+        request = parse_job_request(payload)
+        if request.kind == "figure":
+            raise ProtocolError(
+                "figure jobs are not fleet-routable (their drivers run "
+                "serially against one warm bench); submit them to a "
+                "single-node daemon (mlpsim serve without --fleet)",
+            )
+        if self.draining or self._stopping:
+            raise SaturatedError(
+                "coordinator is draining; not accepting new jobs",
+                status=503, retry_after=self._retry_after_hint(),
+            )
+        # Cluster-wide dedup: a completed payload for this exact request
+        # signature short-circuits the whole fleet.
+        signature = request.signature()
+        sentinel = object()
+        cached = self.artifacts.get(RESULT_KIND, signature, default=sentinel)
+        if cached is not sentinel:
+            job, deduped = self.queue.submit(request)
+            if not deduped and self.queue.resolve_queued(job.id, cached):
+                self.metrics.inc("fleet_result_cache_hits_total")
+                _log.info(
+                    "job %s served from the cluster result store", job.id,
+                )
+            self.metrics.inc("jobs_submitted_total")
+            if deduped:
+                self.metrics.inc("jobs_deduped_total")
+            return job, deduped
+        if not self.registry.live_workers():
+            raise SaturatedError(
+                "no live workers registered with the fleet",
+                status=503, retry_after=self.registry.lease_ttl,
+            )
+        try:
+            job, deduped = self.queue.submit(request)
+        except QueueFullError:
+            shed = self.queue.shed_lowest_below(request.priority)
+            if shed is None:
+                raise SaturatedError(
+                    f"queue is full ({self.queue.capacity} jobs pending)",
+                    status=429, retry_after=self._retry_after_hint(),
+                ) from None
+            self.metrics.inc("jobs_shed_total")
+            _log.warning(
+                "job %s shed (priority %d) for a priority-%d submission",
+                shed.id, shed.priority, request.priority,
+            )
+            job, deduped = self.queue.submit(request)
+        self.metrics.inc("jobs_submitted_total")
+        if deduped:
+            self.metrics.inc("jobs_deduped_total")
+        return job, deduped
+
+    # ------------------------------------------------------------ expansion --
+
+    def _planning_bench(self) -> Workbench:
+        with self._bench_lock:
+            if self._bench is None:
+                self._bench = Workbench(
+                    self.settings, artifacts=self.artifacts,
+                )
+            return self._bench
+
+    def _expand_job(self, job: Job) -> List[TaskRecord]:
+        """Expand one claimed job into leasable engine tasks."""
+        request = job.request
+        backend = request.backend or self.default_backend
+        if request.kind == "sweep":
+            assert request.sweep is not None
+            specs = request.sweep.to_jobs()
+            if backend:
+                specs = [replace(spec, backend=backend) for spec in specs]
+        else:
+            assert request.job is not None
+            spec = request.job
+            if backend:
+                spec = replace(spec, backend=backend)
+            if request.shards > 1 or request.checkpoint_every > 0:
+                plan = self._plan_shards(spec, max(1, request.shards))
+                base = spec.describe()
+                specs = [
+                    replace(
+                        spec,
+                        shard_start=lo,
+                        shard_stop=hi,
+                        checkpoint_every=request.checkpoint_every,
+                        label=f"{base} shard[{lo}:{hi})",
+                    )
+                    for lo, hi in plan.shards
+                ]
+                with self._assembly_lock:
+                    self._plans[job.id] = (plan, spec)
+            else:
+                specs = [spec]
+        return [
+            TaskRecord(
+                id=f"{job.id}.{index}",
+                job_id=job.id,
+                index=index,
+                spec=spec,
+                priority=job.priority,
+                cost=estimate_job_cost(spec, self.settings),
+                corr=job.id,
+            )
+            for index, spec in enumerate(specs)
+        ]
+
+    def _plan_shards(self, spec: JobSpec, shards: int) -> Any:
+        from ..shard.execute import shard_plan_for
+
+        return shard_plan_for(self._planning_bench(), spec, shards)
+
+    def _dispatch_loop(self) -> None:
+        """Claim queued jobs and hand their tasks to the router.
+
+        Claiming is gated on router capacity: while every worker slot is
+        covered by outstanding tasks, jobs stay queued and the bounded
+        queue provides the admission-control backpressure.
+        """
+        while not self._stopping:
+            if not self.router.wants_more():
+                time.sleep(0.05)
+                continue
+            job = self.queue.next_job(timeout=0.1)
+            if job is None:
+                if self.queue._closed:  # closed and drained
+                    return
+                continue
+            try:
+                tasks = self._expand_job(job)
+            except Exception as exc:
+                import traceback as tb
+
+                self.queue.finish(
+                    job,
+                    error=f"{type(exc).__name__}: {exc}",
+                    tb=tb.format_exc(),
+                )
+                self._record_finish(job)
+                _log.warning(
+                    "job %s failed to expand: %s: %s",
+                    job.id, type(exc).__name__, exc,
+                )
+                continue
+            self.router.add_tasks(tasks)
+            if self._tracer is not None:
+                self._tracer.event(
+                    "fleet_job_expanded", corr=job.id, job=job.id,
+                    tasks=len(tasks),
+                    cost_units=round(sum(t.cost.units for t in tasks), 1),
+                )
+            _log.info(
+                "job %s expanded into %d task(s): %s",
+                job.id, len(tasks), job.request.describe(),
+            )
+
+    def _eviction_loop(self) -> None:
+        """Evict lease-expired workers and requeue their tasks."""
+        interval = max(0.2, self.registry.lease_ttl / 3.0)
+        while not self._stopping:
+            time.sleep(interval)
+            for worker in self.registry.evict_expired():
+                released = self.router.release_worker(worker.id)
+                _log.warning(
+                    "worker %s (%s) evicted after %.1fs without a "
+                    "heartbeat; %d task(s) requeued",
+                    worker.name, worker.id,
+                    self.registry.lease_ttl * self.registry.grace,
+                    len(released),
+                )
+                if self._tracer is not None:
+                    self._tracer.event(
+                        "fleet_worker_evicted", worker=worker.id,
+                        name=worker.name, requeued=len(released),
+                    )
+                jobs = {task.job_id for task in released}
+                for job_id in jobs:
+                    self._maybe_finish_job(job_id)
+
+    # ----------------------------------------------------------- completion --
+
+    def _record_completion_rate(self, task: TaskRecord) -> None:
+        with self._rate_lock:
+            self._completions.append((time.monotonic(), task.cost.units))
+            del self._completions[:-200]
+
+    def complete_task(
+        self, worker_id: str, task_id: str, result: JobResult,
+    ) -> TaskRecord:
+        task = self.router.complete(worker_id, task_id, result)
+        if task.state == "done":
+            self.metrics.inc("fleet_tasks_done_total")
+            self.metrics.observe(
+                "task_exec", max(0.0, time.monotonic() - task.leased_at),
+            )
+            self._record_completion_rate(task)
+        elif task.state == "pending":
+            self.metrics.inc("fleet_tasks_retried_total")
+        elif task.state == "failed":
+            self.metrics.inc("fleet_tasks_failed_total")
+        if self._tracer is not None:
+            self._tracer.event(
+                "fleet_task_complete", corr=task.corr, task=task.id,
+                worker=worker_id, state=task.state,
+                resumed_pos=result.resumed_pos,
+                checkpoints=result.checkpoints_written,
+            )
+        self._maybe_finish_job(task.job_id)
+        return task
+
+    def _maybe_finish_job(self, job_id: str) -> None:
+        """Assemble and publish a job once its last task lands."""
+        with self._assembly_lock:
+            job = self.queue.get(job_id)
+            if job is None or job.state is not JobState.RUNNING:
+                return
+            tasks = self.router.job_tasks(job_id)
+            if not tasks:
+                return
+            failed = [t for t in tasks if t.state == "failed"]
+            if failed:
+                worst = failed[0]
+                error = (
+                    worst.result.error if worst.result is not None
+                    else "task abandoned"
+                )
+                self.router.drop_job(job_id)
+                self.queue.finish(
+                    job,
+                    error=(
+                        f"{len(failed)} task(s) failed after "
+                        f"{worst.attempts} attempt(s): {error}"
+                    ),
+                )
+                self.router.forget_job(job_id)
+                self._plans.pop(job_id, None)
+                self._record_finish(job)
+                _log.warning("job %s failed: %s", job_id, error)
+                return
+            if not all(t.state == "done" for t in tasks):
+                return
+            try:
+                payload = self._assemble(job, tasks)
+            except Exception as exc:
+                import traceback as tb
+
+                self.queue.finish(
+                    job,
+                    error=f"{type(exc).__name__}: {exc}",
+                    tb=tb.format_exc(),
+                )
+                self.router.forget_job(job_id)
+                self._plans.pop(job_id, None)
+                self._record_finish(job)
+                return
+            if self.artifacts.directory is not None:
+                self.artifacts.put(RESULT_KIND, job.key, payload)
+            self.queue.finish(job, result=payload)
+            self.router.forget_job(job_id)
+            self._plans.pop(job_id, None)
+            self._record_finish(job)
+            _log.info(
+                "job %s done in %.3fs across %d task(s)",
+                job_id,
+                (job.finished_at or 0.0) - (job.started_at or 0.0),
+                len(tasks),
+            )
+
+    def _assemble(self, job: Job, tasks: List[TaskRecord]) -> Dict[str, Any]:
+        """Merge per-task results into the single-node payload shape.
+
+        The payloads mirror :mod:`repro.service.executor` exactly, so a
+        client cannot tell (and tests assert it cannot tell) whether a job
+        ran on one node or across the fleet.
+        """
+        request = job.request
+        results = [t.result for t in tasks]
+        assert all(r is not None for r in results)
+        wall = time.time() - (job.started_at or time.time())
+        workers = max(1, len(self.registry.live_workers()))
+        report = RunReport(jobs=list(results), wall_time=wall, workers=workers)
+
+        if request.kind == "sweep":
+            assert request.sweep is not None
+            payload: Dict[str, Any] = {
+                "kind": "sweep",
+                "spec": request.sweep.to_dict(),
+                "report": report.to_dict(),
+                "summary": report.summary(),
+            }
+            if not report.failed:
+                records = request.sweep.records(report)
+                payload["records"] = [
+                    {
+                        "workload": record.workload,
+                        "point": record.label(),
+                        "epi_per_1000": record.epi_per_1000,
+                        "mlp": record.mlp,
+                        "store_mlp": record.store_mlp,
+                        "store_bandwidth_overhead":
+                            record.store_bandwidth_overhead,
+                    }
+                    for record in records
+                ]
+            return payload
+
+        assert request.kind == "simulate" and request.job is not None
+        planned = self._plans.get(job.id)
+        if planned is None:
+            payload = {
+                "kind": "simulate",
+                "report": report.to_dict(),
+                "summary": report.summary(),
+            }
+            first = report.jobs[0]
+            if first.ok and first.result is not None:
+                payload["summary"] = first.result.summary()
+            return payload
+
+        from ..shard.merge import merge_results
+
+        plan, base_spec = planned
+        merged = merge_results([r.result for r in results])
+        sharded = ShardedReport(
+            spec=base_spec,
+            plan=plan,
+            jobs=list(results),
+            rounds=max(t.attempts for t in tasks),
+            wall_time=wall,
+            workers=workers,
+            merged=merged,
+        )
+        payload = {
+            "kind": "simulate",
+            "sharded": {
+                "requested": request.shards,
+                "shard_count": plan.shard_count,
+                "plan": plan.describe(),
+                "rounds": sharded.rounds,
+                "resumed_shards": sharded.resumed_shards,
+                "checkpoints_written": sharded.checkpoints_written,
+                "tokens": [r.checkpoint_token for r in results],
+            },
+            "report": sharded.to_dict(),
+            "summary": sharded.summary(),
+        }
+        if merged is not None:
+            payload["summary"] = merged.summary()
+        return payload
+
+    def _record_finish(self, job: Job) -> None:
+        self.metrics.inc(f"jobs_{job.state.value}_total")
+        if job.finished_at is None:
+            return
+        if job.started_at is not None:
+            self.metrics.observe("job_exec", job.finished_at - job.started_at)
+            self.metrics.observe(
+                "job_queue_wait", job.started_at - job.submitted_at,
+            )
+        self.metrics.observe("job_latency", job.finished_at - job.submitted_at)
+
+    # -------------------------------------------------------- worker wire --
+
+    def register_worker(self, body: Dict[str, Any]) -> Dict[str, Any]:
+        name = str(body.get("name", ""))
+        pid = int(body.get("pid", 0) or 0)
+        capabilities = body.get("capabilities") or {}
+        worker = self.registry.register(
+            name=name, pid=pid, capabilities=capabilities,
+        )
+        self._register_worker_gauges(worker.id, worker.name)
+        _log.info(
+            "worker %s registered as %s (pid %d)",
+            worker.name, worker.id, pid,
+        )
+        if self._tracer is not None:
+            self._tracer.event(
+                "fleet_worker_registered", worker=worker.id, name=worker.name,
+            )
+        directory = self.artifacts.directory
+        return {
+            "worker": worker.id,
+            "name": worker.name,
+            "lease_ttl": self.registry.lease_ttl,
+            "lease_batch": self.lease_batch,
+            "max_inflight": self.router.max_inflight,
+            "settings": serialize.to_jsonable(self.settings),
+            "cache_dir": str(directory) if directory is not None else None,
+            "default_backend": self.default_backend,
+        }
+
+    def heartbeat_worker(self, body: Dict[str, Any]) -> Dict[str, Any]:
+        worker = self.registry.heartbeat(str(body.get("worker", "")))
+        return {
+            "ok": True,
+            "draining": worker.draining or self.draining,
+            "shutdown": self._stopping,
+        }
+
+    def _backlog_drained(self) -> bool:
+        """No runnable work anywhere: queued, running, pending or leased."""
+        counts = self.router.counts()
+        return (
+            self.queue.depth() == 0
+            and self.queue.counts_by_state()["running"] == 0
+            and counts["pending"] == 0
+            and counts["leased"] == 0
+        )
+
+    async def lease_tasks(self, body: Dict[str, Any]) -> Dict[str, Any]:
+        """Long-poll lease: waits up to ``wait`` seconds for work.
+
+        A coordinator-level drain does NOT send workers away while backlog
+        remains — draining means "finish what's accepted, refuse what
+        isn't", so workers keep leasing until the backlog is gone.  A
+        per-worker drain flag sends that worker away immediately.
+        """
+        worker_id = str(body.get("worker", ""))
+        max_tasks = max(1, int(body.get("max", 1)))
+        wait = min(float(body.get("wait", 0.0)), MAX_LEASE_WAIT)
+        deadline = time.monotonic() + wait
+        granted: List[TaskRecord] = []
+        while True:
+            worker = self.registry.heartbeat(worker_id)  # a lease renews too
+            granted = self.router.lease(worker_id, max_tasks)
+            if (
+                granted
+                or worker.draining
+                or self._stopping
+                or (self.draining and self._backlog_drained())
+                or time.monotonic() >= deadline
+            ):
+                break
+            await asyncio.sleep(0.02)
+        if granted and self._tracer is not None:
+            for task in granted:
+                self._tracer.event(
+                    "fleet_task_leased", corr=task.corr, task=task.id,
+                    worker=worker_id, attempt=task.attempts,
+                    cost_units=round(task.cost.units, 1),
+                )
+        return {
+            "tasks": [
+                {
+                    "task": task.id,
+                    "corr": task.corr,
+                    "attempt": task.attempts,
+                    "priority": task.priority,
+                    "spec": serialize.to_jsonable(task.spec),
+                }
+                for task in granted
+            ],
+            "draining": worker.draining or (
+                self.draining and self._backlog_drained()
+            ),
+            "shutdown": self._stopping,
+        }
+
+    def complete_tasks(self, body: Dict[str, Any]) -> Dict[str, Any]:
+        worker_id = str(body.get("worker", ""))
+        self.registry.heartbeat(worker_id)
+        results = body.get("results")
+        if not isinstance(results, list) or not results:
+            raise ProtocolError("'results' must be a non-empty list")
+        accepted = 0
+        for entry in results:
+            if not isinstance(entry, dict) or "task" not in entry:
+                raise ProtocolError(
+                    "each result needs 'task' and 'result' fields"
+                )
+            result = JobResult.from_dict(entry.get("result"))
+            task = self.complete_task(
+                worker_id, str(entry["task"]), result,
+            )
+            if task.state in ("done", "failed", "pending"):
+                accepted += 1
+        return {"ok": True, "accepted": accepted}
+
+    def leave_worker(self, body: Dict[str, Any]) -> Dict[str, Any]:
+        worker_id = str(body.get("worker", ""))
+        worker = self.registry.deregister(worker_id)
+        released = self.router.release_worker(worker_id)
+        for job_id in {task.job_id for task in released}:
+            self._maybe_finish_job(job_id)
+        if worker is not None:
+            _log.info("worker %s (%s) left", worker.name, worker.id)
+        return {"ok": True, "released": len(released)}
+
+    def drain_worker(self, body: Dict[str, Any]) -> Dict[str, Any]:
+        raw = body.get("worker")
+        self.registry.drain(str(raw) if raw else None)
+        return {"ok": True}
+
+    def fleet_status(self) -> Dict[str, Any]:
+        counts = self.router.counts()
+        return {
+            "workers": self.registry.status_payload(),
+            "tasks": counts,
+            "task_table": self.router.status_payload()[:200],
+            "queue_depth": self.queue.depth(),
+            "jobs": self.queue.counts_by_state(),
+            "outstanding_cost_units": round(
+                self.router.outstanding_cost(), 1,
+            ),
+            "retry_after_hint": round(self._retry_after_hint(), 1),
+            "draining": self.draining,
+        }
+
+    # -------------------------------------------------------------- health --
+
+    def health_payload(self) -> Dict[str, Any]:
+        return {
+            "status": "draining" if self.draining else "ok",
+            "mode": "fleet",
+            "uptime_seconds": (
+                time.time() - self._started_at if self._started_at else 0.0
+            ),
+            "queue_depth": self.queue.depth(),
+            "jobs": self.queue.counts_by_state(),
+            "backends": list(backend_names()),
+            "fleet": {
+                "workers": len(self.registry.live_workers()),
+                "accepting_workers": len(self.registry.accepting_workers()),
+                "tasks": self.router.counts(),
+            },
+            "dispatcher_alive": self._dispatcher.is_alive(),
+            "settings": {
+                "warmup": self.settings.warmup,
+                "measure": self.settings.measure,
+                "seed": self.settings.seed,
+                "calibrate": self.settings.calibrate,
+            },
+            "workers": len(self.registry.live_workers()),
+        }
+
+    # -------------------------------------------------------------- metrics --
+
+    def _register_metrics(self) -> None:
+        self.metrics.gauge(
+            "queue_depth", self.queue.depth, help="jobs waiting to run",
+        )
+        for state in JobState:
+            self.metrics.gauge(
+                f"jobs_{state.value}",
+                lambda s=state.value: self.queue.counts_by_state()[s],
+                help=f"jobs currently in state {state.value}",
+            )
+        self.metrics.gauge(
+            "fleet_workers", lambda: len(self.registry.live_workers()),
+            help="workers holding a fresh lease",
+        )
+        self.metrics.gauge(
+            "fleet_workers_draining",
+            lambda: sum(
+                1 for w in self.registry.live_workers() if w.draining
+            ),
+            help="live workers flagged to drain",
+        )
+        self.metrics.gauge(
+            "fleet_workers_evicted_total",
+            lambda: self.registry.evicted_total,
+            help="workers evicted after missed heartbeats",
+        )
+        for state in ("pending", "leased", "done", "failed"):
+            self.metrics.gauge(
+                f"fleet_tasks_{state}",
+                lambda s=state: self.router.counts()[s],
+                help=f"fleet tasks currently {state}",
+            )
+        self.metrics.gauge(
+            "fleet_tasks_requeued_total",
+            lambda: self.router.requeued_total,
+            help="task leases returned to the pending pool",
+        )
+        self.metrics.gauge(
+            "fleet_outstanding_cost_units",
+            lambda: self.router.outstanding_cost(),
+            help="predicted cost units pending or leased",
+        )
+        self.artifacts.stats.register_metrics(self.metrics)
+        self.metrics.describe(
+            "jobs_submitted_total", "job submissions accepted",
+        )
+        self.metrics.describe(
+            "jobs_deduped_total",
+            "submissions attached to an identical in-flight job",
+        )
+        self.metrics.describe(
+            "fleet_result_cache_hits_total",
+            "submissions served from the cluster result store",
+        )
+        self.metrics.describe(
+            "jobs_shed_total",
+            "queued jobs shed for higher-priority submissions",
+        )
+        self.metrics.describe("http_requests_total", "HTTP requests served")
+        self.metrics.describe(
+            "fleet_tasks_done_total", "tasks completed successfully",
+        )
+        self.metrics.describe(
+            "fleet_tasks_retried_total", "failed task attempts requeued",
+        )
+        self.metrics.describe(
+            "fleet_tasks_failed_total", "tasks that exhausted their retries",
+        )
+        self.metrics.describe(
+            "task_exec", "task execution time (lease to completion)",
+        )
+        self.metrics.describe(
+            "job_exec", "job execution time (dispatch to finish)",
+        )
+        self.metrics.describe(
+            "job_queue_wait", "time jobs spent queued before dispatch",
+        )
+        self.metrics.describe(
+            "job_latency", "end-to-end job latency (submit to finish)",
+        )
+
+    def _register_worker_gauges(self, worker_id: str, name: str) -> None:
+        slug = _sanitize_metric(name)
+        self.metrics.gauge(
+            f"fleet_worker_{slug}_inflight",
+            lambda wid=worker_id: self.router.inflight_by_worker().get(
+                wid, 0,
+            ),
+            help=f"tasks currently leased by worker {name}",
+        )
+        self.metrics.gauge(
+            f"fleet_worker_{slug}_tasks_done_total",
+            lambda wid=worker_id: (
+                w.tasks_done if (w := self.registry.get(wid)) else 0
+            ),
+            help=f"tasks completed by worker {name}",
+        )
+
+
+# ------------------------------------------------------------ HTTP front --
+
+
+class _AsyncFrontend:
+    """Minimal asyncio HTTP/1.1 server bound to one coordinator.
+
+    Runs its own event loop on a daemon thread so the coordinator embeds
+    in tests and the CLI the same way :class:`ReproService` does.  Replaces
+    the thread-per-request blocking accept loop: every connection is a
+    coroutine, so hundreds of concurrent clients (and long-polling
+    workers) cost one thread total.
+    """
+
+    def __init__(
+        self, coordinator: FleetCoordinator, host: str, port: int,
+    ) -> None:
+        self.coordinator = coordinator
+        self.host = host
+        self.port = port
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    def start(self) -> None:
+        self._thread = threading.Thread(
+            target=self._run, name="fleet-http", daemon=True,
+        )
+        self._thread.start()
+        self._ready.wait(timeout=10.0)
+        if self._startup_error is not None:
+            raise self._startup_error
+
+    def stop(self) -> None:
+        if self._loop is not None:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            server = loop.run_until_complete(
+                asyncio.start_server(self._handle_conn, self.host, self.port)
+            )
+        except OSError as exc:
+            self._startup_error = exc
+            self._ready.set()
+            return
+        self._server = server
+        sockname = server.sockets[0].getsockname()
+        self.host, self.port = sockname[0], sockname[1]
+        self._ready.set()
+        try:
+            loop.run_forever()
+        finally:
+            server.close()
+            loop.run_until_complete(server.wait_closed())
+            loop.run_until_complete(loop.shutdown_asyncgens())
+            loop.close()
+
+    # ------------------------------------------------------------ protocol --
+
+    async def _handle_conn(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter,
+    ) -> None:
+        try:
+            while True:
+                request_line = await reader.readline()
+                if not request_line or request_line in (b"\r\n", b"\n"):
+                    break
+                try:
+                    method, target, version = (
+                        request_line.decode("latin-1").split()
+                    )
+                except ValueError:
+                    await self._write(
+                        writer, 400, {"error": "malformed request line"},
+                        close=True,
+                    )
+                    break
+                headers: Dict[str, str] = {}
+                while True:
+                    line = await reader.readline()
+                    if line in (b"\r\n", b"\n", b""):
+                        break
+                    key, _, value = line.decode("latin-1").partition(":")
+                    headers[key.strip().lower()] = value.strip()
+                length = int(headers.get("content-length") or 0)
+                limit = (
+                    MAX_WORKER_BODY_BYTES
+                    if target.startswith("/v1/fleet/") else MAX_BODY_BYTES
+                )
+                if length > limit:
+                    await self._write(
+                        writer, 413,
+                        {"error": f"request body exceeds {limit} bytes"},
+                        close=True,
+                    )
+                    break
+                body = await reader.readexactly(length) if length else b""
+                status, payload, extra, is_text = await self._dispatch(
+                    method, target, body,
+                )
+                keep = (
+                    version == "HTTP/1.1"
+                    and headers.get("connection", "").lower() != "close"
+                )
+                await self._write(
+                    writer, status, payload, extra_headers=extra,
+                    is_text=is_text, close=not keep,
+                )
+                if not keep:
+                    break
+        except (
+            asyncio.IncompleteReadError, ConnectionError, TimeoutError,
+        ):
+            pass
+        finally:
+            with contextlib.suppress(Exception):
+                writer.close()
+                await writer.wait_closed()
+
+    async def _write(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: Any,
+        extra_headers: Optional[Dict[str, str]] = None,
+        is_text: bool = False,
+        close: bool = False,
+    ) -> None:
+        if is_text:
+            body = str(payload).encode("utf-8")
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        else:
+            if isinstance(payload, dict):
+                payload = {"v": PROTOCOL_VERSION, **payload}
+            body = json.dumps(payload, indent=2).encode("utf-8")
+            content_type = "application/json"
+        reason = {
+            200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
+            409: "Conflict", 410: "Gone", 413: "Payload Too Large",
+            429: "Too Many Requests", 500: "Internal Server Error",
+            503: "Service Unavailable",
+        }.get(status, "OK")
+        head = [
+            f"HTTP/1.1 {status} {reason}",
+            f"Content-Type: {content_type}",
+            f"Content-Length: {len(body)}",
+            "Server: repro-fleet/1.0",
+        ]
+        for key, value in (extra_headers or {}).items():
+            head.append(f"{key}: {value}")
+        if close:
+            head.append("Connection: close")
+        writer.write(
+            ("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + body
+        )
+        await writer.drain()
+
+    async def _dispatch(
+        self, method: str, target: str, body: bytes,
+    ) -> Tuple[int, Any, Optional[Dict[str, str]], bool]:
+        """Route one request; never raises (errors become JSON answers)."""
+        coord = self.coordinator
+        coord.metrics.inc("http_requests_total")
+        path, _, query = target.partition("?")
+        path = path.rstrip("/") or "/"
+        try:
+            payload: Any = None
+            if body:
+                try:
+                    payload = json.loads(body)
+                except json.JSONDecodeError as exc:
+                    raise ProtocolError(f"invalid JSON: {exc}") from None
+            if method == "GET":
+                return await self._get(path, query)
+            if method == "POST":
+                return await self._post(path, payload)
+            if method == "DELETE":
+                return self._delete(path)
+            return 404, {"error": f"unsupported method {method}"}, None, False
+        except ProtocolError as exc:
+            return (
+                exc.status,
+                {"error": str(exc), "code": exc.code},
+                None, False,
+            )
+        except SaturatedError as exc:
+            return (
+                exc.status,
+                {
+                    "error": str(exc),
+                    "code": exc.code,
+                    "retry_after": exc.retry_after,
+                },
+                {"Retry-After": str(exc.retry_after)},
+                False,
+            )
+        except UnknownWorkerError as exc:
+            return 410, {"error": str(exc), "code": exc.code}, None, False
+        except QueueFullError as exc:
+            hint = max(1, int(round(coord._retry_after_hint())))
+            return (
+                429,
+                {"error": str(exc), "code": "saturated",
+                 "retry_after": hint},
+                {"Retry-After": str(hint)},
+                False,
+            )
+        except Exception as exc:  # never leak a traceback as a reset socket
+            return (
+                500,
+                {
+                    "error": f"{type(exc).__name__}: {exc}",
+                    "code": getattr(exc, "code", "internal-error"),
+                },
+                None, False,
+            )
+
+    async def _get(
+        self, path: str, query: str,
+    ) -> Tuple[int, Any, Optional[Dict[str, str]], bool]:
+        coord = self.coordinator
+        if path == "/healthz":
+            return 200, coord.health_payload(), None, False
+        if path == "/metrics":
+            if "format=json" in query:
+                return 200, coord.metrics.to_dict(), None, False
+            return 200, coord.metrics.render_prometheus(), None, True
+        if path == "/v1/fleet/status":
+            return 200, coord.fleet_status(), None, False
+        if path == "/v1/jobs":
+            jobs = [
+                {
+                    "id": job.id,
+                    "kind": job.request.kind,
+                    "description": job.request.describe(),
+                    "state": job.state.value,
+                    "priority": job.priority,
+                }
+                for job in coord.queue.list_jobs()
+            ]
+            return 200, {"jobs": jobs}, None, False
+        if path.startswith("/v1/jobs/"):
+            job = coord.queue.get(path.rsplit("/", 1)[1])
+            if job is None:
+                return 404, {"error": "unknown job id"}, None, False
+            return 200, job.status_payload(), None, False
+        return 404, {"error": f"unknown path {path}"}, None, False
+
+    async def _post(
+        self, path: str, payload: Any,
+    ) -> Tuple[int, Any, Optional[Dict[str, str]], bool]:
+        coord = self.coordinator
+        if path == "/v1/jobs":
+            if payload is None:
+                raise ProtocolError("request body must be JSON")
+            job, deduped = coord.submit(payload)
+            return (
+                202,
+                {
+                    "id": job.id,
+                    "state": job.state.value,
+                    "deduped": deduped,
+                    "description": job.request.describe(),
+                },
+                None, False,
+            )
+        if path.startswith("/v1/fleet/"):
+            if payload is None:
+                payload = {}
+            verb = path.rsplit("/", 1)[1]
+            if verb == "register":
+                return 200, coord.register_worker(payload), None, False
+            if verb == "heartbeat":
+                return 200, coord.heartbeat_worker(payload), None, False
+            if verb == "lease":
+                return 200, await coord.lease_tasks(payload), None, False
+            if verb == "complete":
+                return 200, coord.complete_tasks(payload), None, False
+            if verb == "leave":
+                return 200, coord.leave_worker(payload), None, False
+            if verb == "drain":
+                return 200, coord.drain_worker(payload), None, False
+        return 404, {"error": f"unknown path {path}"}, None, False
+
+    def _delete(
+        self, path: str,
+    ) -> Tuple[int, Any, Optional[Dict[str, str]], bool]:
+        coord = self.coordinator
+        if not path.startswith("/v1/jobs/"):
+            return 404, {"error": f"unknown path {path}"}, None, False
+        job_id = path.rsplit("/", 1)[1]
+        job = coord.queue.get(job_id)
+        if job is None:
+            return 404, {"error": "unknown job id"}, None, False
+        outcome = coord.queue.cancel(job_id)
+        if outcome:
+            coord.metrics.inc("jobs_cancelled_total")
+            return (
+                200,
+                {
+                    "id": job_id,
+                    "cancelled": True,
+                    "detached": outcome == "detached",
+                },
+                None, False,
+            )
+        return (
+            409,
+            {
+                "error": (
+                    f"job {job_id} is {job.state.value}; only queued jobs "
+                    f"can be cancelled"
+                ),
+            },
+            None, False,
+        )
+
+
+# ----------------------------------------------------------------- serve --
+
+
+def serve_fleet(
+    host: str = "127.0.0.1",
+    port: int = 8137,
+    settings: Optional[ExperimentSettings] = None,
+    cache_dir: Any = "auto",
+    queue_capacity: int = 256,
+    lease_ttl: float = 5.0,
+    max_inflight: int = 2,
+    lease_batch: int = 4,
+    drain_timeout: float = 30.0,
+    log_level: str = "info",
+    log_format: str = "text",
+    obs: Optional[ObsOptions] = None,
+    default_backend: str = "",
+) -> int:
+    """Run a fleet coordinator in the foreground until interrupted.
+
+    SIGTERM (and Ctrl-C) triggers a graceful drain: stop accepting, let
+    workers finish or checkpoint in-flight work within *drain_timeout*,
+    then exit — nonzero when work had to be abandoned.
+    """
+    setup_logging(level=log_level, fmt=log_format)
+    log = get_logger("fleet")
+    coordinator = FleetCoordinator(
+        host=host,
+        port=port,
+        settings=settings,
+        cache_dir=cache_dir,
+        queue_capacity=queue_capacity,
+        lease_ttl=lease_ttl,
+        max_inflight=max_inflight,
+        lease_batch=lease_batch,
+        obs=obs,
+        default_backend=default_backend,
+    )
+    stop_event = threading.Event()
+
+    def _signalled(signum: int, frame: Any) -> None:
+        stop_event.set()
+
+    signal.signal(signal.SIGTERM, _signalled)
+    signal.signal(signal.SIGINT, _signalled)
+    coordinator.start()
+    log.info("repro fleet coordinator listening on %s", coordinator.url)
+    if obs is not None and obs.trace_dir is not None:
+        log.info("tracing to %s", obs.trace_dir)
+    stop_event.wait()
+    log.info("draining (timeout %.1fs)", drain_timeout)
+    abandoned = coordinator.drain(timeout=drain_timeout)
+    # Give workers one heartbeat round to observe the drain flag and leave.
+    deadline = time.monotonic() + coordinator.registry.lease_ttl
+    while coordinator.registry.count() and time.monotonic() < deadline:
+        time.sleep(0.05)
+    coordinator.stop()
+    log.info("shutting down (%d work item(s) abandoned)", abandoned)
+    return 1 if abandoned else 0

@@ -1,0 +1,292 @@
+"""Task table and cost-aware placement of engine jobs on fleet workers.
+
+One service *job* (a sweep, a sharded simulate) expands into one or more
+*tasks*, each a single :class:`~repro.engine.runner.JobSpec` — the unit a
+worker leases, executes and completes.  The router owns the task table
+and decides, when a worker asks for work, which tasks it gets:
+
+- strict priority first (the job's service priority),
+- then **largest predicted cost first** within a priority (classic LPT —
+  longest-processing-time — placement: handing the big shards out early
+  keeps the makespan of a sharded sweep near the balanced optimum without
+  knowing worker speeds),
+- FIFO as the final tie-break, so equal work is served fairly.
+
+Placement is bounded: a worker never holds more than ``max_inflight``
+leased tasks, which is the fleet's backpressure primitive — the
+coordinator can translate "every worker is at its in-flight bound and the
+queue is deep" into a 429 with a cost-derived ``Retry-After``.
+
+Failure handling: a task completed with a failed status (or abandoned by
+an evicted worker) returns to the pending pool up to ``retries`` extra
+attempts; tasks that exhaust their attempts fail their whole job.  Tasks
+already completed are never requeued — together with content-keyed
+checkpoints this is what makes "no completed shard is recomputed" hold
+across worker deaths.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
+
+from .cost import CostEstimate
+from .registry import WorkerRegistry
+
+if TYPE_CHECKING:
+    from ..engine.runner import JobResult, JobSpec
+
+__all__ = ["Router", "TaskRecord"]
+
+
+@dataclass
+class TaskRecord:
+    """One leasable unit of work (a single engine JobSpec)."""
+
+    id: str
+    job_id: str
+    index: int  # position within the job's spec list (result ordering)
+    spec: "JobSpec"
+    priority: int
+    cost: CostEstimate
+    corr: str = ""
+    state: str = "pending"  # pending | leased | done | failed
+    worker_id: str = ""
+    attempts: int = 0
+    seq: int = 0
+    leased_at: float = 0.0
+    result: Optional["JobResult"] = None
+    _f: Any = field(default=None, repr=False)
+
+    def status_payload(self) -> Dict[str, Any]:
+        return {
+            "id": self.id,
+            "job": self.job_id,
+            "index": self.index,
+            "state": self.state,
+            "worker": self.worker_id,
+            "attempts": self.attempts,
+            "priority": self.priority,
+            "cost_units": round(self.cost.units, 1),
+            "label": self.spec.describe(),
+        }
+
+
+class Router:
+    """Thread-safe task table with cost-aware, bounded lease placement."""
+
+    def __init__(
+        self,
+        registry: WorkerRegistry,
+        max_inflight: int = 2,
+        retries: int = 2,
+    ) -> None:
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        if retries < 0:
+            raise ValueError("retries must be non-negative")
+        self.registry = registry
+        self.max_inflight = max_inflight
+        self.retries = retries
+        self._lock = threading.Lock()
+        self._tasks: Dict[str, TaskRecord] = {}
+        self._pending: List[str] = []
+        self._seq = itertools.count()
+        self.requeued_total = 0
+        self.leased_total = 0
+
+    # ------------------------------------------------------------- intake --
+
+    def add_tasks(self, tasks: List[TaskRecord]) -> None:
+        with self._lock:
+            for task in tasks:
+                task.seq = next(self._seq)
+                self._tasks[task.id] = task
+                self._pending.append(task.id)
+
+    def drop_job(self, job_id: str) -> int:
+        """Forget a job's *pending* tasks (its job failed or was shed)."""
+        with self._lock:
+            doomed = [
+                tid for tid in self._pending
+                if self._tasks[tid].job_id == job_id
+            ]
+            for tid in doomed:
+                self._pending.remove(tid)
+                self._tasks[tid].state = "failed"
+            return len(doomed)
+
+    # ------------------------------------------------------------ leasing --
+
+    def lease(self, worker_id: str, max_tasks: int = 1) -> List[TaskRecord]:
+        """Grant up to *max_tasks* pending tasks to *worker_id*.
+
+        Returns an empty list when nothing is pending, the worker is
+        draining, or the worker is already at its in-flight bound.
+        Raises :class:`~repro.errors.UnknownWorkerError` for evicted ids.
+        """
+        worker = self.registry.require(worker_id)
+        if worker.draining:
+            return []
+        with self._lock:
+            held = sum(
+                1 for task in self._tasks.values()
+                if task.state == "leased" and task.worker_id == worker_id
+            )
+            budget = min(max(0, self.max_inflight - held), max(1, max_tasks))
+            if budget == 0 or not self._pending:
+                return []
+            # Priority desc, predicted cost desc (LPT), submission order.
+            self._pending.sort(
+                key=lambda tid: (
+                    -self._tasks[tid].priority,
+                    -self._tasks[tid].cost.units,
+                    self._tasks[tid].seq,
+                )
+            )
+            granted: List[TaskRecord] = []
+            for tid in self._pending[:budget]:
+                task = self._tasks[tid]
+                task.state = "leased"
+                task.worker_id = worker_id
+                task.attempts += 1
+                task.leased_at = time.monotonic()
+                granted.append(task)
+            del self._pending[:len(granted)]
+            self.leased_total += len(granted)
+            return granted
+
+    def complete(
+        self, worker_id: str, task_id: str, result: "JobResult",
+    ) -> TaskRecord:
+        """Record a worker's result for a leased task.
+
+        A failed result requeues the task while attempts remain; the
+        returned record's ``state`` tells the coordinator what happened
+        (``done`` / ``pending`` after requeue / ``failed`` terminally).
+        """
+        with self._lock:
+            task = self._tasks.get(task_id)
+            if task is None:
+                raise KeyError(f"unknown task {task_id!r}")
+            if task.state != "leased" or task.worker_id != worker_id:
+                # A stale completion (task was requeued and re-leased after
+                # this worker was evicted): ignore it — the fresh lease owns
+                # the task now, and double-counting a result would corrupt
+                # the job assembly.
+                return task
+            worker = self.registry.get(worker_id)
+            if result.ok:
+                task.state = "done"
+                task.result = result
+                if worker is not None:
+                    worker.tasks_done += 1
+                    worker.cost_done += task.cost.units
+            elif task.attempts <= self.retries:
+                task.state = "pending"
+                task.worker_id = ""
+                task.result = result  # keep the last error for diagnostics
+                self._pending.append(task.id)
+                self.requeued_total += 1
+                if worker is not None:
+                    worker.tasks_failed += 1
+            else:
+                task.state = "failed"
+                task.result = result
+                if worker is not None:
+                    worker.tasks_failed += 1
+            return task
+
+    def release_worker(self, worker_id: str) -> List[TaskRecord]:
+        """Requeue every task a (dead or departing) worker holds.
+
+        Attempts are *not* refunded — a worker death consumes an attempt,
+        bounding how often a poisonous task can take workers down.
+        """
+        requeued: List[TaskRecord] = []
+        with self._lock:
+            for task in self._tasks.values():
+                if task.state == "leased" and task.worker_id == worker_id:
+                    if task.attempts > self.retries:
+                        task.state = "failed"
+                    else:
+                        task.state = "pending"
+                        task.worker_id = ""
+                        self._pending.append(task.id)
+                        self.requeued_total += 1
+                    requeued.append(task)
+        return requeued
+
+    # -------------------------------------------------------------- reads --
+
+    def job_tasks(self, job_id: str) -> List[TaskRecord]:
+        with self._lock:
+            return sorted(
+                (t for t in self._tasks.values() if t.job_id == job_id),
+                key=lambda t: t.index,
+            )
+
+    def forget_job(self, job_id: str) -> None:
+        """Drop a finished job's tasks from the table."""
+        with self._lock:
+            doomed = [
+                tid for tid, task in self._tasks.items()
+                if task.job_id == job_id
+            ]
+            for tid in doomed:
+                self._tasks.pop(tid)
+                if tid in self._pending:
+                    self._pending.remove(tid)
+
+    def counts(self) -> Dict[str, int]:
+        with self._lock:
+            counts = {"pending": 0, "leased": 0, "done": 0, "failed": 0}
+            for task in self._tasks.values():
+                counts[task.state] += 1
+            return counts
+
+    def inflight_by_worker(self) -> Dict[str, int]:
+        with self._lock:
+            held: Dict[str, int] = {}
+            for task in self._tasks.values():
+                if task.state == "leased":
+                    held[task.worker_id] = held.get(task.worker_id, 0) + 1
+            return held
+
+    def outstanding_cost(self) -> float:
+        """Predicted cost units still pending or leased."""
+        with self._lock:
+            return sum(
+                task.cost.units for task in self._tasks.values()
+                if task.state in ("pending", "leased")
+            )
+
+    def has_capacity(self) -> bool:
+        """True while at least one accepting worker is under its bound."""
+        held = self.inflight_by_worker()
+        return any(
+            held.get(worker.id, 0) < self.max_inflight
+            for worker in self.registry.accepting_workers()
+        )
+
+    def wants_more(self) -> bool:
+        """True while the outstanding backlog fits the fleet's slots.
+
+        The dispatcher gates job claiming on this: once pending + leased
+        tasks cover every worker's in-flight bound, further jobs stay
+        *queued* — so a saturated fleet fills the bounded JobQueue and
+        admission control (429 + Retry-After, priority shedding) engages
+        instead of the backlog growing without bound.  One job can still
+        overshoot by its own fan-out; the gate bounds jobs, not tasks.
+        """
+        counts = self.counts()
+        slots = len(self.registry.accepting_workers()) * self.max_inflight
+        return counts["pending"] + counts["leased"] < slots
+
+    def status_payload(self) -> List[Dict[str, Any]]:
+        with self._lock:
+            tasks = sorted(self._tasks.values(), key=lambda t: t.seq)
+            return [task.status_payload() for task in tasks]

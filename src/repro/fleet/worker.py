@@ -1,0 +1,290 @@
+"""The fleet worker: a thin pull-loop around :class:`EngineRunner`.
+
+A worker joins a coordinator (``mlpsim worker --join URL``), adopts the
+coordinator's experiment settings and shared artifact-cache directory
+(both ride back on the registration response — this is what guarantees
+bit-identical results and cross-worker checkpoint resume), then loops:
+
+    long-poll ``/v1/fleet/lease``  →  run the leased specs through the
+    local EngineRunner  →  POST the serialized results to
+    ``/v1/fleet/complete``
+
+Liveness is a heartbeat thread renewing the lease every TTL/3.  If the
+process dies (or the machine does), the missed heartbeats evict it and the
+coordinator requeues its leased tasks — nothing on the worker side needs
+to clean up, which is the point of pull-based leasing.
+
+SIGTERM drains gracefully: the current batch finishes (writing its
+checkpoints), results are posted, the worker deregisters and exits 0.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import threading
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, List, Optional
+
+from ..engine import serialize
+from ..engine.runner import EngineRunner, JobSpec
+from ..errors import ReproError
+from ..harness.experiment import ExperimentSettings
+from ..obs.context import correlation
+from ..obs.logging import get_logger, setup_logging
+from ..obs.options import ObsOptions
+
+__all__ = ["FleetWorker", "run_worker"]
+
+_log = get_logger("fleet.worker")
+
+
+class WorkerJoinError(ReproError):
+    code = "fleet-join-failed"
+
+
+class FleetWorker:
+    """One worker process (or thread, in tests) attached to a coordinator."""
+
+    def __init__(
+        self,
+        coordinator_url: str,
+        name: str = "",
+        cache_dir: Optional[str] = None,
+        runner_workers: int = 1,
+        lease_batch: int = 0,
+        lease_wait: float = 10.0,
+        obs: Optional[ObsOptions] = None,
+        max_connect_failures: int = 10,
+    ) -> None:
+        self.url = coordinator_url.rstrip("/")
+        self.name = name
+        self.cache_dir_override = cache_dir
+        self.runner_workers = runner_workers
+        self.lease_batch = lease_batch
+        self.lease_wait = lease_wait
+        self.obs = obs
+        self.max_connect_failures = max_connect_failures
+        self.worker_id = ""
+        self.lease_ttl = 5.0
+        self.settings: Optional[ExperimentSettings] = None
+        self.runner: Optional[EngineRunner] = None
+        self.tasks_done = 0
+        self._stop = threading.Event()
+        self._heartbeat_thread: Optional[threading.Thread] = None
+
+    # ---------------------------------------------------------------- HTTP --
+
+    def _post(self, path: str, payload: Dict[str, Any]) -> Dict[str, Any]:
+        body = json.dumps(payload).encode("utf-8")
+        request = urllib.request.Request(
+            f"{self.url}{path}",
+            data=body,
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with urllib.request.urlopen(request, timeout=60.0) as response:
+            return json.loads(response.read().decode("utf-8"))
+
+    # ---------------------------------------------------------------- join --
+
+    def join(self) -> "FleetWorker":
+        """Register with the coordinator and adopt its configuration."""
+        try:
+            grant = self._post(
+                "/v1/fleet/register",
+                {
+                    "name": self.name or f"worker-{os.getpid()}",
+                    "pid": os.getpid(),
+                    "capabilities": {"runner_workers": self.runner_workers},
+                },
+            )
+        except (urllib.error.URLError, ConnectionError, OSError) as exc:
+            raise WorkerJoinError(
+                f"cannot join coordinator at {self.url}: {exc}"
+            ) from exc
+        self.worker_id = grant["worker"]
+        self.name = grant.get("name", self.name)
+        self.lease_ttl = float(grant.get("lease_ttl", 5.0))
+        if not self.lease_batch:
+            self.lease_batch = int(grant.get("lease_batch", 1)) or 1
+        self.settings = serialize.from_jsonable(grant["settings"])
+        cache_dir: Any = self.cache_dir_override or grant.get("cache_dir")
+        if cache_dir is None:
+            cache_dir = "auto"
+        self.runner = EngineRunner(
+            settings=self.settings,
+            cache_dir=cache_dir,
+            workers=self.runner_workers,
+            retries=0,  # the fleet router owns retry policy
+            obs=self.obs,
+        )
+        _log.info(
+            "joined %s as %s (%s); lease ttl %.1fs, batch %d",
+            self.url, self.name, self.worker_id,
+            self.lease_ttl, self.lease_batch,
+        )
+        return self
+
+    # ------------------------------------------------------------ liveness --
+
+    def _heartbeat_loop(self) -> None:
+        interval = max(0.2, self.lease_ttl / 3.0)
+        while not self._stop.wait(interval):
+            try:
+                answer = self._post(
+                    "/v1/fleet/heartbeat", {"worker": self.worker_id},
+                )
+            except urllib.error.HTTPError as exc:
+                if exc.code == 410:  # evicted; the pull loop will exit
+                    _log.warning("lease lost (evicted); stopping")
+                    self._stop.set()
+                    return
+            except (urllib.error.URLError, ConnectionError, OSError):
+                continue  # transient; the pull loop tracks failures
+            else:
+                if answer.get("shutdown"):
+                    self._stop.set()
+                    return
+
+    def request_stop(self) -> None:
+        """Finish the in-flight batch, then leave (SIGTERM handler)."""
+        self._stop.set()
+
+    # ----------------------------------------------------------- pull loop --
+
+    def _execute(self, leases: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+        assert self.runner is not None
+        specs: List[JobSpec] = [
+            serialize.from_jsonable(entry["spec"]) for entry in leases
+        ]
+        corr = leases[0].get("corr", "") or ""
+        with correlation(corr):
+            report = self.runner.run(specs)
+        results = []
+        for entry, job_result in zip(leases, report.jobs):
+            results.append(
+                {
+                    "task": entry["task"],
+                    "result": serialize.to_jsonable(job_result),
+                }
+            )
+            state = "ok" if job_result.ok else job_result.status
+            _log.info(
+                "task %s %s (%.2fs): %s",
+                entry["task"], state, job_result.wall_time,
+                job_result.spec.describe(),
+            )
+        return results
+
+    def run(self) -> int:
+        """Join (if needed) and pull work until drained or stopped."""
+        if not self.worker_id:
+            self.join()
+        self._heartbeat_thread = threading.Thread(
+            target=self._heartbeat_loop, name="fleet-heartbeat", daemon=True,
+        )
+        self._heartbeat_thread.start()
+        failures = 0
+        exit_code = 0
+        try:
+            while not self._stop.is_set():
+                try:
+                    answer = self._post(
+                        "/v1/fleet/lease",
+                        {
+                            "worker": self.worker_id,
+                            "max": self.lease_batch,
+                            "wait": self.lease_wait,
+                        },
+                    )
+                    failures = 0
+                except urllib.error.HTTPError as exc:
+                    if exc.code == 410:
+                        _log.warning("evicted by the coordinator; exiting")
+                        exit_code = 1
+                        break
+                    failures += 1
+                    time.sleep(min(5.0, 0.2 * failures))
+                    continue
+                except (urllib.error.URLError, ConnectionError, OSError):
+                    failures += 1
+                    if failures >= self.max_connect_failures:
+                        _log.error(
+                            "coordinator unreachable after %d attempts; "
+                            "exiting", failures,
+                        )
+                        exit_code = 1
+                        break
+                    time.sleep(min(5.0, 0.2 * failures))
+                    continue
+                if answer.get("shutdown"):
+                    break
+                leases = answer.get("tasks") or []
+                if not leases:
+                    if answer.get("draining"):
+                        _log.info("drained; leaving the fleet")
+                        break
+                    continue
+                results = self._execute(leases)
+                self.tasks_done += len(results)
+                try:
+                    self._post(
+                        "/v1/fleet/complete",
+                        {"worker": self.worker_id, "results": results},
+                    )
+                except urllib.error.HTTPError as exc:
+                    if exc.code == 410:
+                        # Evicted mid-batch: the tasks were requeued and the
+                        # shared checkpoints mean no work is lost.
+                        _log.warning("evicted before completing; exiting")
+                        exit_code = 1
+                        break
+                    raise
+        finally:
+            self._stop.set()
+            try:
+                self._post("/v1/fleet/leave", {"worker": self.worker_id})
+            except Exception:
+                pass
+            if self._heartbeat_thread is not None:
+                self._heartbeat_thread.join(timeout=2.0)
+        return exit_code
+
+
+def run_worker(
+    coordinator_url: str,
+    name: str = "",
+    cache_dir: Optional[str] = None,
+    runner_workers: int = 1,
+    lease_batch: int = 0,
+    log_level: str = "info",
+    log_format: str = "text",
+    obs: Optional[ObsOptions] = None,
+) -> int:
+    """Run a fleet worker in the foreground until drained or signalled."""
+    setup_logging(level=log_level, fmt=log_format)
+    worker = FleetWorker(
+        coordinator_url,
+        name=name,
+        cache_dir=cache_dir,
+        runner_workers=runner_workers,
+        lease_batch=lease_batch,
+        obs=obs,
+    )
+
+    def _signalled(signum: int, frame: Any) -> None:
+        worker.request_stop()
+
+    signal.signal(signal.SIGTERM, _signalled)
+    signal.signal(signal.SIGINT, _signalled)
+    worker.join()
+    code = worker.run()
+    _log.info(
+        "worker %s exiting with %d task(s) done", worker.name,
+        worker.tasks_done,
+    )
+    return code

@@ -25,6 +25,7 @@ misreading the body.
 from __future__ import annotations
 
 import json
+import random
 import time
 import urllib.error
 import urllib.request
@@ -40,13 +41,20 @@ _TERMINAL_STATES = frozenset({"done", "failed", "cancelled"})
 
 
 class ServiceError(Exception):
-    """An HTTP-level error answer from the service."""
+    """An HTTP-level error answer from the service.
+
+    ``retry_after`` carries the server's ``Retry-After`` hint in seconds
+    (0 when the answer had none) so callers can implement their own
+    backoff even when the client's automatic saturation retries are off.
+    """
 
     def __init__(self, status: int, message: str,
-                 payload: Optional[Dict[str, Any]] = None) -> None:
+                 payload: Optional[Dict[str, Any]] = None,
+                 retry_after: float = 0.0) -> None:
         super().__init__(f"[{status}] {message}")
         self.status = status
         self.payload = payload or {}
+        self.retry_after = retry_after
 
 
 class ServiceClient:
@@ -58,13 +66,39 @@ class ServiceClient:
         timeout: float = 30.0,
         retries: int = 3,
         backoff: float = 0.1,
+        saturation_retries: int = 0,
+        max_backoff: float = 10.0,
+        rng: Optional[random.Random] = None,
     ) -> None:
         if retries < 0:
             raise ValueError("retries must be non-negative")
+        if saturation_retries < 0:
+            raise ValueError("saturation_retries must be non-negative")
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
         self.retries = retries
         self.backoff = backoff
+        #: How many times a 429/503 answer is retried after honouring the
+        #: server's ``Retry-After``.  0 (the default) surfaces saturation
+        #: immediately as :class:`ServiceError` — load generators and batch
+        #: submitters opt in.
+        self.saturation_retries = saturation_retries
+        self.max_backoff = max_backoff
+        self._rng = rng if rng is not None else random.Random()
+        self._prev_sleep = backoff
+
+    def _jitter_sleep(self) -> float:
+        """Next decorrelated-jitter delay: ``min(cap, U(base, prev*3))``.
+
+        Decorrelated jitter (vs. plain exponential) keeps a thundering
+        herd of identical clients from re-colliding on every retry round —
+        exactly the scenario the load-test harness creates on purpose.
+        """
+        self._prev_sleep = min(
+            self.max_backoff,
+            self._rng.uniform(self.backoff, self._prev_sleep * 3),
+        )
+        return self._prev_sleep
 
     # ------------------------------------------------------------- plumbing --
 
@@ -79,6 +113,7 @@ class ServiceClient:
         )
         headers = {"Content-Type": "application/json"} if body else {}
         attempt = 0
+        saturation_attempt = 0
         while True:
             request = urllib.request.Request(
                 self.base_url + path, data=data, headers=headers,
@@ -94,20 +129,40 @@ class ServiceClient:
                         return json.loads(raw)
                     return raw.decode("utf-8")
             except urllib.error.HTTPError as exc:
-                # The server answered: no retry, surface its error document.
                 raw = exc.read()
                 try:
                     payload = json.loads(raw)
                     message = payload.get("error", raw.decode("utf-8"))
                 except (json.JSONDecodeError, UnicodeDecodeError):
                     payload, message = {}, repr(raw[:200])
-                raise ServiceError(exc.code, message, payload) from None
+                retry_after = 0.0
+                header = exc.headers.get("Retry-After") if exc.headers else None
+                if header:
+                    try:
+                        retry_after = float(header)
+                    except ValueError:
+                        retry_after = 0.0
+                if (
+                    exc.code in (429, 503)
+                    and saturation_attempt < self.saturation_retries
+                ):
+                    # Saturation is transient by definition: honour the
+                    # server's Retry-After (at least), add decorrelated
+                    # jitter so a herd of clients spreads out, and retry.
+                    saturation_attempt += 1
+                    time.sleep(max(retry_after, self._jitter_sleep()))
+                    continue
+                # Any other HTTP error answer: no retry, surface the
+                # server's error document.
+                raise ServiceError(
+                    exc.code, message, payload, retry_after=retry_after,
+                ) from None
             except (urllib.error.URLError, ConnectionError, OSError) as exc:
                 if attempt >= self.retries:
                     raise ServiceError(
                         0, f"cannot reach {self.base_url}: {exc}",
                     ) from None
-                time.sleep(self.backoff * (2 ** attempt))
+                time.sleep(self._jitter_sleep())
                 attempt += 1
 
     # ------------------------------------------------------------ endpoints --
@@ -119,6 +174,14 @@ class ServiceClient:
         if format == "json":
             return self._request("GET", "/metrics?format=json")
         return self._request("GET", "/metrics")
+
+    def fleet_status(self) -> Dict[str, Any]:
+        """Worker/task table of a fleet coordinator (404 on a plain daemon)."""
+        return self._request("GET", "/v1/fleet/status")
+
+    def fleet_drain(self, worker: str = "") -> Dict[str, Any]:
+        """Flag one worker (or the whole fleet) to drain."""
+        return self._request("POST", "/v1/fleet/drain", body={"worker": worker})
 
     def submit(self, payload: Dict[str, Any]) -> Dict[str, Any]:
         """Submit a raw protocol body; returns ``{"id", "deduped", ...}``.

@@ -207,22 +207,86 @@ class JobQueue:
             job.traceback = tb
             self._retire(job)
 
-    # ------------------------------------------------------------- clients --
+    def resolve_queued(self, job_id: str, result: Any) -> bool:
+        """Resolve a still-queued job directly to ``done`` with *result*.
 
-    def cancel(self, job_id: str) -> bool:
-        """Cancel a *queued* job.  A cancelled job is never executed.
-
-        Returns ``False`` when the job is unknown, already running, or
-        already terminal — the service cannot interrupt a simulation in
-        flight.
+        The fleet coordinator uses this for cluster-wide dedup: a request
+        whose signature already has a completed result in the shared
+        artifact store finishes instantly, without ever reaching a worker.
+        Returns ``False`` if the job already left the queued state.
         """
         with self._ready:
             job = self._jobs.get(job_id)
             if job is None or job.state is not JobState.QUEUED:
                 return False
-            job.state = JobState.CANCELLED
+            job.state = JobState.DONE
+            job.started_at = time.time()
+            job.result = result
             self._retire(job)
             return True
+
+    def shed_lowest_below(self, priority: int) -> Optional[Job]:
+        """Cancel the lowest-priority queued job strictly below *priority*.
+
+        Priority-aware shedding for admission control: when the queue is
+        full and a higher-priority submission arrives, the least urgent
+        (and, among equals, newest) pending job is sacrificed to make
+        room.  Returns the shed job, or ``None`` when nothing qualifies
+        (every pending job is at least as urgent as the newcomer).
+        """
+        with self._ready:
+            victim: Optional[Job] = None
+            for job in self._jobs.values():
+                if job.state is not JobState.QUEUED:
+                    continue
+                if job.priority >= priority:
+                    continue
+                if (
+                    victim is None
+                    or job.priority < victim.priority
+                    or (
+                        job.priority == victim.priority
+                        and job.submitted_at > victim.submitted_at
+                    )
+                ):
+                    victim = job
+            if victim is None:
+                return None
+            victim.state = JobState.CANCELLED
+            victim.error = (
+                f"shed: displaced by a priority-{priority} submission "
+                f"while the queue was full"
+            )
+            self._retire(victim)
+            return victim
+
+    # ------------------------------------------------------------- clients --
+
+    def cancel(self, job_id: str) -> str:
+        """Cancel a *queued* job.  A cancelled job is never executed.
+
+        Returns a truthy outcome string, or ``""`` (falsy) when the job is
+        unknown, already running with no co-waiters, or already terminal —
+        the service cannot interrupt a simulation in flight.
+
+        Deduplicated jobs detach instead of cancelling: while other
+        submissions are still attached to the same in-flight work
+        (``dedup_count > 0``), one client's cancel releases *its* claim
+        (``"detached"``) and the shared job keeps running for the rest.
+        Only the last remaining claim actually cancels the job.
+        """
+        with self._ready:
+            job = self._jobs.get(job_id)
+            if job is None or job.state.terminal:
+                return ""
+            if job.dedup_count > 0:
+                job.dedup_count -= 1
+                return "detached"
+            if job.state is not JobState.QUEUED:
+                return ""
+            job.state = JobState.CANCELLED
+            self._retire(job)
+            return "cancelled"
 
     def get(self, job_id: str) -> Optional[Job]:
         with self._lock:

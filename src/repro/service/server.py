@@ -30,6 +30,8 @@ import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 
+from ..core.backend import backend_names
+from ..errors import SaturatedError
 from ..harness.experiment import ExperimentSettings
 from ..obs.logging import get_logger, setup_logging
 from ..obs.options import ObsOptions
@@ -83,6 +85,7 @@ class ReproService:
         self._start_dispatcher = start_dispatcher
         self._started_at: Optional[float] = None
         self._serve_thread: Optional[threading.Thread] = None
+        self.draining = False
 
         handler = _make_handler(self)
         self.httpd = ThreadingHTTPServer((host, port), handler)
@@ -178,21 +181,38 @@ class ReproService:
 
     def submit(self, payload: Any) -> Tuple[Job, bool]:
         request = parse_job_request(payload)
+        if self.draining:
+            raise SaturatedError(
+                "service is draining; not accepting new jobs",
+                status=503, retry_after=self.retry_after_hint(),
+            )
         job, deduped = self.queue.submit(request)
         self.metrics.inc("jobs_submitted_total")
         if deduped:
             self.metrics.inc("jobs_deduped_total")
         return job, deduped
 
+    def retry_after_hint(self) -> int:
+        """Seconds a saturated/draining client should back off before
+        retrying: one average job execution per queued job, bounded to
+        [1, 60].  Falls back to the queue depth when nothing has run yet."""
+        depth = max(1, self.queue.depth())
+        summary = self.metrics.latency_summary("job_exec")
+        if summary["count"]:
+            return min(60, max(1, int(round(depth * summary["mean"]))))
+        return min(60, depth)
+
     def health_payload(self) -> Dict[str, Any]:
         settings = self.engine.settings
         return {
-            "status": "ok",
+            "status": "draining" if self.draining else "ok",
             "uptime_seconds": (
                 time.time() - self._started_at if self._started_at else 0.0
             ),
             "queue_depth": self.queue.depth(),
             "jobs": self.queue.counts_by_state(),
+            "backends": list(backend_names()),
+            "fleet": {"workers": 0},  # the single-node daemon has no fleet
             "dispatcher_alive": self.dispatcher.is_alive(),
             "settings": {
                 "warmup": settings.warmup,
@@ -232,7 +252,12 @@ def _make_handler(service: ReproService) -> type:
         def log_message(self, format: str, *args: Any) -> None:
             pass  # request logging is the metrics' job, not stderr's
 
-        def _send_json(self, status: int, payload: Any) -> None:
+        def _send_json(
+            self,
+            status: int,
+            payload: Any,
+            headers: Optional[Dict[str, str]] = None,
+        ) -> None:
             if isinstance(payload, dict):
                 # Every JSON response envelope carries the wire version.
                 payload = {"v": PROTOCOL_VERSION, **payload}
@@ -240,6 +265,8 @@ def _make_handler(service: ReproService) -> type:
             self.send_response(status)
             self.send_header("Content-Type", "application/json")
             self.send_header("Content-Length", str(len(body)))
+            for key, value in (headers or {}).items():
+                self.send_header(key, value)
             self.end_headers()
             self.wfile.write(body)
 
@@ -329,8 +356,29 @@ def _make_handler(service: ReproService) -> type:
                 job, deduped = service.submit(payload)
             except ProtocolError as exc:
                 self._error(exc.status, str(exc), code=exc.code)
+            except SaturatedError as exc:
+                # Structured saturation answer: clients see the machine
+                # code plus a Retry-After they can sleep on.
+                self._send_json(
+                    exc.status,
+                    {
+                        "error": str(exc),
+                        "code": exc.code,
+                        "retry_after": exc.retry_after,
+                    },
+                    headers={"Retry-After": str(exc.retry_after)},
+                )
             except QueueFullError as exc:
-                self._error(429, str(exc), code=getattr(exc, "code", ""))
+                hint = service.retry_after_hint()
+                self._send_json(
+                    429,
+                    {
+                        "error": str(exc),
+                        "code": getattr(exc, "code", "") or "saturated",
+                        "retry_after": hint,
+                    },
+                    headers={"Retry-After": str(hint)},
+                )
             except Exception as exc:  # never leak a traceback as HTML
                 self._error(
                     500, f"{type(exc).__name__}: {exc}",
@@ -355,9 +403,14 @@ def _make_handler(service: ReproService) -> type:
             if job is None:
                 self._error(404, "unknown job id")
                 return
-            if service.queue.cancel(job_id):
+            outcome = service.queue.cancel(job_id)
+            if outcome:
                 service.metrics.inc("jobs_cancelled_total")
-                self._send_json(200, {"id": job_id, "cancelled": True})
+                self._send_json(200, {
+                    "id": job_id,
+                    "cancelled": True,
+                    "detached": outcome == "detached",
+                })
             else:
                 self._error(
                     409,
@@ -376,15 +429,19 @@ def serve(
     workers: Optional[int] = None,
     job_timeout: float = 600.0,
     queue_capacity: int = 256,
+    drain_timeout: float = 30.0,
     log_level: str = "info",
     log_format: str = "text",
     obs: Optional[ObsOptions] = None,
-) -> None:
+) -> int:
     """Run the daemon in the foreground until interrupted.
 
     Stops cleanly on SIGTERM as well as Ctrl-C — shells start backgrounded
     children with SIGINT ignored, so ``kill -TERM`` is how scripts (and the
-    CI smoke step) shut the daemon down.
+    CI smoke step) shut the daemon down.  Shutdown is a graceful drain:
+    new submissions get a 503 with ``Retry-After`` while queued and running
+    jobs are given *drain_timeout* seconds to finish; the exit status is
+    nonzero when work had to be abandoned.
 
     All daemon output goes through :mod:`repro.obs.logging` — *log_level*
     and *log_format* (``text`` or ``json``) configure it; every record
@@ -403,15 +460,28 @@ def serve(
         queue_capacity=queue_capacity,
         obs=obs,
     )
+    stop_event = threading.Event()
 
-    def _sigterm(signum: int, frame: Any) -> None:
-        raise KeyboardInterrupt
+    def _signalled(signum: int, frame: Any) -> None:
+        stop_event.set()
 
-    signal.signal(signal.SIGTERM, _sigterm)
+    signal.signal(signal.SIGTERM, _signalled)
+    signal.signal(signal.SIGINT, _signalled)
+    service.start()
     log.info("repro service listening on %s", service.url)
     if obs is not None and obs.trace_dir is not None:
         log.info("tracing to %s", obs.trace_dir)
-    try:
-        service.serve_forever()
-    except KeyboardInterrupt:
-        log.info("shutting down")
+    stop_event.wait()
+    service.draining = True
+    log.info("draining (timeout %.1fs)", drain_timeout)
+    deadline = time.monotonic() + max(0.0, drain_timeout)
+    while time.monotonic() < deadline:
+        counts = service.queue.counts_by_state()
+        if counts["queued"] + counts["running"] == 0:
+            break
+        time.sleep(0.1)
+    counts = service.queue.counts_by_state()
+    abandoned = counts["queued"] + counts["running"]
+    service.stop()
+    log.info("shutting down (%d job(s) abandoned)", abandoned)
+    return 1 if abandoned else 0

@@ -1,0 +1,364 @@
+"""End-to-end fleet tests: coordinator + in-process workers over real HTTP.
+
+The acceptance contract of repro.fleet: results produced by a fleet (any
+number of workers, with or without a mid-run worker death) are
+**bit-identical** to single-node execution; saturation answers are
+structured 429/503 with ``Retry-After``; cluster-wide dedup serves
+repeated requests from the shared artifact store without touching a
+worker.
+
+Workers run as threads here (the real thing is a process; the wire
+protocol is identical either way) so a "killed" worker is simply one that
+stops heartbeating while holding a lease.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import threading
+import time
+import urllib.request
+
+import pytest
+
+from repro.engine import serialize
+from repro.engine.runner import EngineRunner, RunReport, ShardedReport
+from repro.fleet import FleetCoordinator, FleetWorker
+from repro.harness import ExperimentSettings
+from repro.harness.experiment import Workbench
+from repro.service.client import ServiceClient, ServiceError
+
+SMALL = ExperimentSettings(warmup=1500, measure=4000, seed=11,
+                           calibrate=False)
+
+
+@pytest.fixture(scope="module")
+def cache_dir(tmp_path_factory):
+    # One shared artifact store for the whole module: traces, annotations,
+    # checkpoints and finished service results — exactly how a real fleet
+    # shares state.
+    return tmp_path_factory.mktemp("fleet-cache")
+
+
+@pytest.fixture(scope="module")
+def golden(cache_dir):
+    return Workbench(SMALL, cache_dir=cache_dir).run("database")
+
+
+def _post(url, path, body):
+    request = urllib.request.Request(
+        f"{url}{path}", data=json.dumps(body).encode("utf-8"),
+        headers={"Content-Type": "application/json"}, method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=30.0) as response:
+        return json.loads(response.read())
+
+
+class _Fleet:
+    """A coordinator plus N thread workers, torn down deterministically."""
+
+    def __init__(self, cache_dir, workers=1, **coord_kwargs):
+        coord_kwargs.setdefault("lease_ttl", 1.0)
+        self.coord = FleetCoordinator(
+            port=0, settings=SMALL, cache_dir=str(cache_dir), **coord_kwargs,
+        ).start()
+        self.workers = []
+        self.threads = []
+        for index in range(workers):
+            self.add_worker(f"w{index}")
+
+    def add_worker(self, name):
+        worker = FleetWorker(self.coord.url, name=name, lease_wait=1.0).join()
+        thread = threading.Thread(target=worker.run, daemon=True)
+        thread.start()
+        self.workers.append(worker)
+        self.threads.append(thread)
+        return worker
+
+    def client(self, **kwargs):
+        return ServiceClient(self.coord.url, **kwargs)
+
+    def stop(self):
+        self.coord.begin_drain()
+        for worker in self.workers:
+            worker.request_stop()
+        for thread in self.threads:
+            thread.join(timeout=15.0)
+        self.coord.stop()
+
+
+@pytest.fixture
+def fleet_factory(cache_dir):
+    fleets = []
+
+    def make(workers=1, **kwargs):
+        fleet = _Fleet(cache_dir, workers=workers, **kwargs)
+        fleets.append(fleet)
+        return fleet
+
+    yield make
+    for fleet in fleets:
+        fleet.stop()
+
+
+class TestFleetExecution:
+    def test_simulate_bit_identical_to_single_node(
+        self, fleet_factory, golden,
+    ):
+        fleet = fleet_factory(workers=1)
+        client = fleet.client()
+        health = client.health()
+        assert health["mode"] == "fleet"
+        assert health["fleet"]["workers"] == 1
+        assert "reference" in health["backends"]
+
+        receipt = client.submit({
+            "kind": "simulate",
+            "job": {"workload": "database", "variant": "pc"},
+            "backend": "batch",
+        })
+        status = client.wait(receipt["id"], timeout=120)
+        assert status["state"] == "done"
+        report = RunReport.from_dict(status["result"]["report"])
+        assert report.jobs[0].ok
+        assert report.jobs[0].result == golden
+
+    def test_sweep_spreads_over_two_workers(self, fleet_factory, golden):
+        fleet = fleet_factory(workers=2, max_inflight=1)
+        client = fleet.client()
+        receipt = client.submit({
+            "kind": "sweep",
+            "sweep": {
+                "workloads": ["database"],
+                "variant": "pc",
+                "axes": {"store_queue": [8, 16]},
+            },
+            "backend": "batch",
+        })
+        status = client.wait(receipt["id"], timeout=180)
+        assert status["state"] == "done"
+        assert len(status["result"]["records"]) == 2
+        report = RunReport.from_dict(status["result"]["report"])
+        assert all(job.ok for job in report.jobs)
+        assert sum(w.tasks_done for w in fleet.workers) == 2
+        # order is the sweep's grid order, regardless of which worker ran
+        # which point
+        queues = [dict(job.spec.core_changes)["store_queue"]
+                  for job in report.jobs]
+        assert queues == [8, 16]
+
+    def test_dead_worker_shard_resumes_from_checkpoint(
+        self, fleet_factory, golden, cache_dir,
+    ):
+        """A worker dies mid-shard; its shard is re-routed and *resumed*.
+
+        The zombie leases one shard over the real wire, executes it with a
+        kill fault (so verified checkpoints land in the shared store),
+        then goes silent.  After eviction the replacement worker must
+        finish from the zombie's checkpoint — and the merged result must
+        equal the straight-through golden bit for bit.
+        """
+        fleet = fleet_factory(workers=0, lease_ttl=0.3)
+        url = fleet.coord.url
+        zombie = _post(url, "/v1/fleet/register", {"name": "zombie"})
+
+        client = fleet.client()
+        receipt = client.submit({
+            "kind": "simulate",
+            "job": {"workload": "database", "variant": "pc"},
+            "shards": 2,
+            "checkpoint_every": 500,
+        })
+        job_id = receipt["id"]
+
+        # Long-poll until the expansion lands and the zombie holds a lease.
+        lease = _post(
+            url, "/v1/fleet/lease",
+            {"worker": zombie["worker"], "max": 1, "wait": 20},
+        )
+        assert len(lease["tasks"]) == 1
+        spec = serialize.from_jsonable(lease["tasks"][0]["spec"])
+        assert spec.sharded and spec.checkpoint_every == 500
+
+        # Execute the leased shard with a kill fault: checkpoints are
+        # written to the shared cache, then the attempt dies.
+        runner = EngineRunner(
+            settings=SMALL, cache_dir=str(cache_dir), workers=1, retries=0,
+        )
+        doomed = dataclasses.replace(spec, fault="kill@600")
+        outcome = runner.run([doomed]).jobs[0]
+        assert not outcome.ok
+        # The kill fired at checkpoint-save time, so the failed attempt
+        # reports nothing — but its snapshot is in the shared store (the
+        # token excludes the fault field, so any worker can resume it).
+        from repro.engine.cache import ArtifactCache, resolve_cache_dir
+        from repro.shard.checkpoint import CheckpointStore
+
+        store = CheckpointStore(ArtifactCache(resolve_cache_dir(cache_dir)))
+        assert store.load(spec, SMALL) is not None
+        # ... and the zombie never reports back, never heartbeats again.
+
+        fleet.add_worker("replacement")
+        status = client.wait(job_id, timeout=180)
+        assert status["state"] == "done"
+
+        sharded = status["result"]["sharded"]
+        assert sharded["rounds"] == 2          # the shard was re-leased
+        assert sharded["resumed_shards"] >= 1  # ... and resumed, not redone
+        report = ShardedReport.from_dict(status["result"]["report"])
+        assert report.merged == golden
+        resumed = [job for job in report.jobs if job.resumed_pos >= 0]
+        assert resumed and all(job.ok for job in report.jobs)
+        assert fleet.coord.registry.evicted_total == 1
+
+    def test_cluster_wide_dedup_serves_from_result_store(
+        self, fleet_factory, cache_dir,
+    ):
+        body = {
+            "kind": "simulate",
+            "job": {
+                "workload": "database", "variant": "pc",
+                "core_changes": {"store_queue": 24},
+            },
+            "backend": "batch",
+        }
+        fleet = fleet_factory(workers=1)
+        client = fleet.client()
+        first = client.wait(client.submit(body)["id"], timeout=120)
+        assert first["state"] == "done"
+        before = fleet.coord.metrics.to_dict()["counters"].get(
+            "fleet_result_cache_hits_total", 0,
+        )
+        assert before == 0
+
+        again = client.wait(client.submit(body)["id"], timeout=30)
+        assert again["state"] == "done"
+        assert again["result"] == first["result"]
+        counters = fleet.coord.metrics.to_dict()["counters"]
+        assert counters["fleet_result_cache_hits_total"] == 1
+
+        # A *different* coordinator sharing the store — and owning ZERO
+        # workers — still answers instantly: dedup-by-request-hash extends
+        # across nodes and restarts.
+        other = fleet_factory(workers=0)
+        answer = other.client().wait(
+            other.client().submit(body)["id"], timeout=30,
+        )
+        assert answer["state"] == "done"
+        assert answer["result"] == first["result"]
+
+
+class TestFleetBackpressure:
+    def test_no_workers_means_structured_503(self, fleet_factory):
+        fleet = fleet_factory(workers=0)
+        with pytest.raises(ServiceError) as excinfo:
+            fleet.client().submit({
+                "kind": "simulate",
+                "job": {"workload": "tpcw", "variant": "pc"},
+            })
+        assert excinfo.value.status == 503
+        assert excinfo.value.payload["code"] == "saturated"
+        assert excinfo.value.retry_after >= 1  # from the Retry-After header
+
+    def test_full_queue_answers_429_with_retry_after(self, fleet_factory):
+        fleet = fleet_factory(workers=0, queue_capacity=1, max_inflight=1)
+        # A registered-but-idle worker keeps admission open while ensuring
+        # nothing dequeues: one claimed job saturates its single slot, so
+        # the dispatcher stops claiming and the queue fills.
+        _post(fleet.coord.url, "/v1/fleet/register", {"name": "idler"})
+        client = fleet.client()
+
+        def submit(queue):
+            return client.submit({
+                "kind": "simulate",
+                "job": {
+                    "workload": "specjbb", "variant": "pc",
+                    "core_changes": {"store_queue": queue},
+                },
+            })
+
+        submit(4)
+        deadline = time.monotonic() + 5.0
+        while (
+            fleet.coord.queue.counts_by_state()["running"] < 1
+            and time.monotonic() < deadline
+        ):
+            time.sleep(0.02)  # dispatcher claims #1; capacity frees up
+        submit(8)  # fills the single queued slot
+        with pytest.raises(ServiceError) as excinfo:
+            submit(12)
+        assert excinfo.value.status == 429
+        assert excinfo.value.payload["code"] == "saturated"
+        assert excinfo.value.retry_after >= 1
+
+        # Higher-priority work sheds the queued job instead of bouncing.
+        queued = [
+            job for job in fleet.coord.queue.list_jobs()
+            if job.state.value == "queued"
+        ]
+        assert len(queued) == 1
+        urgent = client.submit({
+            "kind": "simulate", "priority": 5,
+            "job": {
+                "workload": "specjbb", "variant": "pc",
+                "core_changes": {"store_queue": 16},
+            },
+        })
+        assert urgent["state"] == "queued"
+        shed = client.status(queued[0].id)
+        assert shed["state"] == "cancelled"
+        victim = fleet.coord.queue.get(queued[0].id)
+        assert victim is not None and victim.error.startswith("shed:")
+
+    def test_draining_coordinator_answers_503(self, fleet_factory):
+        fleet = fleet_factory(workers=1)
+        fleet.coord.begin_drain()
+        with pytest.raises(ServiceError) as excinfo:
+            fleet.client().submit({
+                "kind": "simulate",
+                "job": {"workload": "tpcw", "variant": "pc"},
+            })
+        assert excinfo.value.status == 503
+        assert fleet.client().health()["status"] == "draining"
+
+    def test_figure_jobs_are_rejected_structurally(self, fleet_factory):
+        fleet = fleet_factory(workers=1)
+        with pytest.raises(ServiceError) as excinfo:
+            fleet.client().submit({"kind": "figure", "figure": "figure2"})
+        assert excinfo.value.status == 400
+
+
+class TestFleetDrain:
+    def test_drain_finishes_backlog_and_releases_workers(
+        self, fleet_factory,
+    ):
+        fleet = fleet_factory(workers=1)
+        client = fleet.client()
+        receipt = client.submit({
+            "kind": "simulate",
+            "job": {
+                "workload": "database", "variant": "pc",
+                "core_changes": {"store_queue": 32},
+            },
+            "backend": "batch",
+        })
+        abandoned = fleet.coord.drain(timeout=120.0)
+        assert abandoned == 0
+        assert client.status(receipt["id"])["state"] == "done"
+        # the drained worker observes the flag and leaves by itself
+        deadline = time.monotonic() + 10.0
+        while (
+            fleet.coord.registry.count() and time.monotonic() < deadline
+        ):
+            time.sleep(0.05)
+        assert fleet.coord.registry.count() == 0
+
+    def test_fleet_status_payload(self, fleet_factory):
+        fleet = fleet_factory(workers=2)
+        status = fleet.client().fleet_status()
+        assert len(status["workers"]) == 2
+        assert status["tasks"] == {
+            "pending": 0, "leased": 0, "done": 0, "failed": 0,
+        }
+        assert status["draining"] is False

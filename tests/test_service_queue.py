@@ -136,6 +136,95 @@ class TestJobQueue:
         assert queue.depth() == 1
 
 
+class TestCancelRaces:
+    def test_cancel_while_deduped_fans_out_exactly_n_detaches(self):
+        """N clients attached to one job, N concurrent cancels.
+
+        Each waiter's cancel must detach exactly one attachment; the final
+        cancel (no waiters left) cancels the job itself.  No outcome may
+        be lost or double-counted under concurrency.
+        """
+        queue = JobQueue()
+        waiters = 7
+        job, _ = queue.submit(sweep_request())
+        for _ in range(waiters):
+            again, deduped = queue.submit(sweep_request())
+            assert deduped and again is job
+        assert job.dedup_count == waiters
+
+        outcomes = []
+        lock = threading.Lock()
+        barrier = threading.Barrier(waiters + 1)
+
+        def cancel():
+            barrier.wait()
+            outcome = queue.cancel(job.id)
+            with lock:
+                outcomes.append(outcome)
+
+        threads = [
+            threading.Thread(target=cancel) for _ in range(waiters + 1)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert outcomes.count("detached") == waiters
+        assert outcomes.count("cancelled") == 1
+        assert job.state is JobState.CANCELLED
+        assert queue.next_job(timeout=0.05) is None
+
+    def test_detach_keeps_the_job_alive_for_remaining_waiters(self):
+        queue = JobQueue()
+        job, _ = queue.submit(sweep_request())
+        queue.submit(sweep_request())  # one waiter attaches
+        assert queue.cancel(job.id) == "detached"
+        assert job.state is JobState.QUEUED  # the other client still waits
+        claimed = queue.next_job(timeout=1.0)
+        assert claimed is job  # ... and the job still runs
+        # running with no waiters left: cancel is refused, not detached
+        assert queue.cancel(job.id) == ""
+
+    def test_priority_order_survives_concurrent_submit_and_cancel(self):
+        queue = JobQueue(capacity=256)
+        cancelled = []
+        lock = threading.Lock()
+
+        def churn(offset):
+            for n in range(10):
+                job, _ = queue.submit(
+                    sweep_request(
+                        queues=(1000 + offset * 100 + n,), priority=n % 3,
+                    ),
+                )
+                if n % 4 == 0:
+                    assert queue.cancel(job.id) == "cancelled"
+                    with lock:
+                        cancelled.append(job.id)
+
+        threads = [
+            threading.Thread(target=churn, args=(k,)) for k in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        drained = []
+        while True:
+            job = queue.next_job(timeout=0.05)
+            if job is None:
+                break
+            drained.append(job)
+        assert len(drained) == 40 - len(cancelled)
+        # no cancelled job is ever dispatched ...
+        assert not set(cancelled) & {job.id for job in drained}
+        # ... and dispatch order is priority-monotonic despite the churn
+        priorities = [job.priority for job in drained]
+        assert priorities == sorted(priorities, reverse=True)
+
+
 class TestDispatcher:
     def _drain(self, queue, executor):
         dispatcher = Dispatcher(queue, executor)

@@ -216,3 +216,131 @@ class TestProtocolVersioning:
         assert "engine exploded" in status["error"]
         assert "RuntimeError" in status["traceback"]
         assert client.metrics()["counters"]["jobs_failed_total"] == 1
+
+
+class TestSaturationAndDrain:
+    def test_healthz_reports_backends_and_fleet_shape(self, client):
+        health = client.health()
+        assert health["status"] == "ok"
+        assert "reference" in health["backends"]
+        assert health["fleet"] == {"workers": 0}
+
+    def test_draining_daemon_answers_503_with_retry_after(
+        self, service, client,
+    ):
+        service.draining = True
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit_simulate("database")
+        error = excinfo.value
+        assert error.status == 503
+        assert error.payload["code"] == "saturated"
+        assert error.retry_after >= 1  # parsed from the Retry-After header
+        assert client.health()["status"] == "draining"
+        # draining refuses *new* work; reads still answer
+        assert client.jobs() == []
+
+    def test_full_queue_answers_429_with_retry_after(self, tmp_path):
+        svc = ReproService(
+            settings=SMALL,
+            cache_dir=tmp_path / "cache",
+            workers=1,
+            queue_capacity=1,
+            start_dispatcher=False,
+        ).start()
+        try:
+            own = ServiceClient(svc.url, timeout=30.0)
+            own.submit_sweep("database", store_queue=[16])
+            with pytest.raises(ServiceError) as excinfo:
+                own.submit_sweep("database", store_queue=[32])
+            error = excinfo.value
+            assert error.status == 429
+            assert error.payload["code"] == "saturated"
+            assert error.retry_after >= 1
+        finally:
+            svc.stop()
+
+
+class TestClientBackoff:
+    """Saturation retry behaviour against a scripted stub server."""
+
+    def _stub(self, fail_times, status=429, retry_after="0"):
+        import json
+        from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+        seen = []
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_POST(self):
+                self.rfile.read(int(self.headers.get("Content-Length", 0)))
+                seen.append(self.path)
+                if len(seen) <= fail_times:
+                    body = json.dumps(
+                        {"error": "try later", "code": "saturated"},
+                    ).encode("utf-8")
+                    self.send_response(status)
+                    self.send_header("Retry-After", retry_after)
+                else:
+                    body = json.dumps(
+                        {"id": "j1", "state": "queued", "deduped": False},
+                    ).encode("utf-8")
+                    self.send_response(202)
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *args):
+                pass
+
+        httpd = ThreadingHTTPServer(("127.0.0.1", 0), Handler)
+        threading.Thread(target=httpd.serve_forever, daemon=True).start()
+        return httpd, seen
+
+    def test_retries_past_saturation_then_succeeds(self):
+        import random
+
+        httpd, seen = self._stub(fail_times=2)
+        try:
+            client = ServiceClient(
+                f"http://127.0.0.1:{httpd.server_address[1]}",
+                saturation_retries=3,
+                backoff=0.001,
+                max_backoff=0.01,
+                rng=random.Random(7),
+            )
+            receipt = client.submit_simulate("database")
+            assert receipt["id"] == "j1"
+            assert len(seen) == 3  # two 429 answers, then the 202
+        finally:
+            httpd.shutdown()
+
+    def test_exhausted_retries_surface_the_retry_after_hint(self):
+        httpd, seen = self._stub(fail_times=99, status=503, retry_after="7")
+        try:
+            client = ServiceClient(
+                f"http://127.0.0.1:{httpd.server_address[1]}",
+                saturation_retries=0,  # surface saturation immediately
+            )
+            with pytest.raises(ServiceError) as excinfo:
+                client.submit_simulate("database")
+            error = excinfo.value
+            assert error.status == 503
+            assert error.payload["code"] == "saturated"
+            assert error.retry_after == 7.0
+            assert len(seen) == 1  # no retry when opted out
+        finally:
+            httpd.shutdown()
+
+    def test_decorrelated_jitter_stays_within_bounds(self):
+        import random
+
+        client = ServiceClient(
+            "http://127.0.0.1:9", retries=0,
+            backoff=0.01, max_backoff=0.5, rng=random.Random(1),
+        )
+        previous = client.backoff
+        for _ in range(200):
+            value = client._jitter_sleep()
+            assert client.backoff <= value <= client.max_backoff
+            assert value <= max(previous * 3, client.backoff) + 1e-12
+            previous = value

@@ -408,8 +408,18 @@ class FleetCoordinator:
 
     def complete_task(
         self, worker_id: str, task_id: str, result: JobResult,
-    ) -> TaskRecord:
+    ) -> Optional[TaskRecord]:
         task = self.router.complete(worker_id, task_id, result)
+        if task is None:
+            # Stale: the task's job already finished or failed and its
+            # table entries were forgotten while this worker was still
+            # executing.  Harmless — acknowledge and move on.
+            self.metrics.inc("fleet_tasks_stale_total")
+            _log.info(
+                "ignoring stale completion of %s from %s (job already "
+                "settled)", task_id, worker_id,
+            )
+            return None
         if task.state == "done":
             self.metrics.inc("fleet_tasks_done_total")
             self.metrics.observe(
@@ -684,19 +694,32 @@ class FleetCoordinator:
         results = body.get("results")
         if not isinstance(results, list) or not results:
             raise ProtocolError("'results' must be a non-empty list")
-        accepted = 0
-        for entry in results:
+        # Validate the whole batch BEFORE applying any of it: a malformed
+        # entry mid-list must not leave the worker holding an error answer
+        # for a partially-accepted batch.
+        parsed: List[Tuple[str, JobResult]] = []
+        for position, entry in enumerate(results):
             if not isinstance(entry, dict) or "task" not in entry:
                 raise ProtocolError(
-                    "each result needs 'task' and 'result' fields"
+                    f"results[{position}] needs 'task' and 'result' fields"
                 )
-            result = JobResult.from_dict(entry.get("result"))
-            task = self.complete_task(
-                worker_id, str(entry["task"]), result,
-            )
-            if task.state in ("done", "failed", "pending"):
+            try:
+                result = JobResult.from_dict(entry.get("result"))
+            except Exception as exc:
+                raise ProtocolError(
+                    f"results[{position}] ({entry.get('task')!r}) does not "
+                    f"decode as a JobResult: {exc}"
+                ) from None
+            parsed.append((str(entry["task"]), result))
+        accepted = 0
+        stale = 0
+        for task_id, result in parsed:
+            task = self.complete_task(worker_id, task_id, result)
+            if task is None:
+                stale += 1
+            elif task.state in ("done", "failed", "pending"):
                 accepted += 1
-        return {"ok": True, "accepted": accepted}
+        return {"ok": True, "accepted": accepted, "stale": stale}
 
     def leave_worker(self, body: Dict[str, Any]) -> Dict[str, Any]:
         worker_id = str(body.get("worker", ""))
@@ -826,6 +849,10 @@ class FleetCoordinator:
             "fleet_tasks_failed_total", "tasks that exhausted their retries",
         )
         self.metrics.describe(
+            "fleet_tasks_stale_total",
+            "late completions ignored because their job already settled",
+        )
+        self.metrics.describe(
             "task_exec", "task execution time (lease to completion)",
         )
         self.metrics.describe(
@@ -922,6 +949,20 @@ class _AsyncFrontend:
 
     # ------------------------------------------------------------ protocol --
 
+    @staticmethod
+    async def _offload(func: Any, *args: Any) -> Any:
+        """Run blocking work on the default executor.
+
+        Anything that can take more than a few milliseconds — parsing a
+        multi-MB worker completion, merging shard results, serializing a
+        finished job payload — must leave the event-loop thread, or every
+        heartbeat and lease long-poll stalls behind it and a long enough
+        stall (lease_ttl * grace) mass-evicts perfectly healthy workers.
+        """
+        return await asyncio.get_running_loop().run_in_executor(
+            None, func, *args,
+        )
+
     async def _handle_conn(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter,
     ) -> None:
@@ -947,7 +988,17 @@ class _AsyncFrontend:
                         break
                     key, _, value = line.decode("latin-1").partition(":")
                     headers[key.strip().lower()] = value.strip()
-                length = int(headers.get("content-length") or 0)
+                try:
+                    length = int(headers.get("content-length") or 0)
+                    if length < 0:
+                        raise ValueError(length)
+                except ValueError:
+                    await self._write(
+                        writer, 400,
+                        {"error": "invalid Content-Length header"},
+                        close=True,
+                    )
+                    break
                 limit = (
                     MAX_WORKER_BODY_BYTES
                     if target.startswith("/v1/fleet/") else MAX_BODY_BYTES
@@ -997,7 +1048,10 @@ class _AsyncFrontend:
         else:
             if isinstance(payload, dict):
                 payload = {"v": PROTOCOL_VERSION, **payload}
-            body = json.dumps(payload, indent=2).encode("utf-8")
+            # Serialized off-loop: a finished sharded job's payload can be
+            # tens of MB, and dumps of that size on the loop thread would
+            # stall every heartbeat behind it.
+            body = await self._offload(self._encode_json, payload)
             content_type = "application/json"
         reason = {
             200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
@@ -1020,6 +1074,10 @@ class _AsyncFrontend:
         )
         await writer.drain()
 
+    @staticmethod
+    def _encode_json(payload: Any) -> bytes:
+        return json.dumps(payload, indent=2).encode("utf-8")
+
     async def _dispatch(
         self, method: str, target: str, body: bytes,
     ) -> Tuple[int, Any, Optional[Dict[str, str]], bool]:
@@ -1032,7 +1090,12 @@ class _AsyncFrontend:
             payload: Any = None
             if body:
                 try:
-                    payload = json.loads(body)
+                    if len(body) > MAX_BODY_BYTES:
+                        # Worker completion bodies run to tens of MB;
+                        # parse them off-loop (see _offload).
+                        payload = await self._offload(json.loads, body)
+                    else:
+                        payload = json.loads(body)
                 except json.JSONDecodeError as exc:
                     raise ProtocolError(f"invalid JSON: {exc}") from None
             if method == "GET":
@@ -1140,9 +1203,15 @@ class _AsyncFrontend:
             if verb == "lease":
                 return 200, await coord.lease_tasks(payload), None, False
             if verb == "complete":
-                return 200, coord.complete_tasks(payload), None, False
+                # Decoding JobResults, job assembly and shard merging are
+                # seconds of work for big jobs — run them off-loop so
+                # heartbeats and lease polls keep flowing.
+                answer = await self._offload(coord.complete_tasks, payload)
+                return 200, answer, None, False
             if verb == "leave":
-                return 200, coord.leave_worker(payload), None, False
+                # Can trigger job assembly via _maybe_finish_job.
+                answer = await self._offload(coord.leave_worker, payload)
+                return 200, answer, None, False
             if verb == "drain":
                 return 200, coord.drain_worker(payload), None, False
         return 404, {"error": f"unknown path {path}"}, None, False

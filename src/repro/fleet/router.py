@@ -27,11 +27,12 @@ across worker deaths.
 
 from __future__ import annotations
 
+import heapq
 import itertools
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Dict, List, Optional
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
 from .cost import CostEstimate
 from .registry import WorkerRegistry
@@ -93,10 +94,21 @@ class Router:
         self.retries = retries
         self._lock = threading.Lock()
         self._tasks: Dict[str, TaskRecord] = {}
-        self._pending: List[str] = []
+        #: Min-heap of (-priority, -cost, seq, task_id): priority desc, then
+        #: predicted cost desc (LPT), then submission order.  Entries are
+        #: lazily invalidated — a popped id whose task is gone or no longer
+        #: pending is skipped — so drop/forget never have to scan the heap,
+        #: and idle lease polls never re-sort anything.
+        self._pending: List[Tuple[float, float, int, str]] = []
         self._seq = itertools.count()
         self.requeued_total = 0
         self.leased_total = 0
+
+    def _push_pending(self, task: TaskRecord) -> None:
+        heapq.heappush(
+            self._pending,
+            (-task.priority, -task.cost.units, task.seq, task.id),
+        )
 
     # ------------------------------------------------------------- intake --
 
@@ -105,18 +117,17 @@ class Router:
             for task in tasks:
                 task.seq = next(self._seq)
                 self._tasks[task.id] = task
-                self._pending.append(task.id)
+                self._push_pending(task)
 
     def drop_job(self, job_id: str) -> int:
         """Forget a job's *pending* tasks (its job failed or was shed)."""
         with self._lock:
             doomed = [
-                tid for tid in self._pending
-                if self._tasks[tid].job_id == job_id
+                task for task in self._tasks.values()
+                if task.job_id == job_id and task.state == "pending"
             ]
-            for tid in doomed:
-                self._pending.remove(tid)
-                self._tasks[tid].state = "failed"
+            for task in doomed:
+                task.state = "failed"  # heap entry is lazily skipped
             return len(doomed)
 
     # ------------------------------------------------------------ leasing --
@@ -139,39 +150,39 @@ class Router:
             budget = min(max(0, self.max_inflight - held), max(1, max_tasks))
             if budget == 0 or not self._pending:
                 return []
-            # Priority desc, predicted cost desc (LPT), submission order.
-            self._pending.sort(
-                key=lambda tid: (
-                    -self._tasks[tid].priority,
-                    -self._tasks[tid].cost.units,
-                    self._tasks[tid].seq,
-                )
-            )
             granted: List[TaskRecord] = []
-            for tid in self._pending[:budget]:
-                task = self._tasks[tid]
+            while self._pending and len(granted) < budget:
+                _, _, _, tid = heapq.heappop(self._pending)
+                task = self._tasks.get(tid)
+                if task is None or task.state != "pending":
+                    continue  # lazily-invalidated entry (job shed/forgotten)
                 task.state = "leased"
                 task.worker_id = worker_id
                 task.attempts += 1
                 task.leased_at = time.monotonic()
                 granted.append(task)
-            del self._pending[:len(granted)]
             self.leased_total += len(granted)
             return granted
 
     def complete(
         self, worker_id: str, task_id: str, result: "JobResult",
-    ) -> TaskRecord:
+    ) -> Optional[TaskRecord]:
         """Record a worker's result for a leased task.
 
         A failed result requeues the task while attempts remain; the
         returned record's ``state`` tells the coordinator what happened
         (``done`` / ``pending`` after requeue / ``failed`` terminally).
+
+        Returns ``None`` for task ids the router no longer tracks: the
+        task's job already finished or failed and was forgotten while this
+        (healthy) worker was still executing.  That late answer is stale,
+        not a protocol violation — erroring here would crash workers that
+        did nothing wrong.
         """
         with self._lock:
             task = self._tasks.get(task_id)
             if task is None:
-                raise KeyError(f"unknown task {task_id!r}")
+                return None
             if task.state != "leased" or task.worker_id != worker_id:
                 # A stale completion (task was requeued and re-leased after
                 # this worker was evicted): ignore it — the fresh lease owns
@@ -189,7 +200,7 @@ class Router:
                 task.state = "pending"
                 task.worker_id = ""
                 task.result = result  # keep the last error for diagnostics
-                self._pending.append(task.id)
+                self._push_pending(task)
                 self.requeued_total += 1
                 if worker is not None:
                     worker.tasks_failed += 1
@@ -215,7 +226,7 @@ class Router:
                     else:
                         task.state = "pending"
                         task.worker_id = ""
-                        self._pending.append(task.id)
+                        self._push_pending(task)
                         self.requeued_total += 1
                     requeued.append(task)
         return requeued
@@ -230,7 +241,11 @@ class Router:
             )
 
     def forget_job(self, job_id: str) -> None:
-        """Drop a finished job's tasks from the table."""
+        """Drop a finished job's tasks from the table.
+
+        Heap entries for the dropped tasks are invalidated lazily (the
+        leaser skips ids it no longer knows), so this is O(job tasks).
+        """
         with self._lock:
             doomed = [
                 tid for tid, task in self._tasks.items()
@@ -238,8 +253,6 @@ class Router:
             ]
             for tid in doomed:
                 self._tasks.pop(tid)
-                if tid in self._pending:
-                    self._pending.remove(tid)
 
     def counts(self) -> Dict[str, int]:
         with self._lock:

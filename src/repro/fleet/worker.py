@@ -180,6 +180,50 @@ class FleetWorker:
             )
         return results
 
+    def _post_complete(self, results: List[Dict[str, Any]]) -> bool:
+        """Deliver one batch of results to the coordinator; never raises.
+
+        Returns ``False`` only when the worker should exit (evicted, or
+        the coordinator stayed unreachable).  Any other coordinator error
+        is logged and the batch dropped — the work itself is safe: our
+        leases are released when we leave or get evicted, the tasks
+        requeue, and the next attempt resumes from shared checkpoints.
+        Crashing a healthy worker over one bad answer would turn a single
+        failed job into a fleet-wide cascade.
+        """
+        payload = {"worker": self.worker_id, "results": results}
+        failures = 0
+        while True:
+            try:
+                self._post("/v1/fleet/complete", payload)
+                return True
+            except urllib.error.HTTPError as exc:
+                if exc.code == 410:
+                    # Evicted mid-batch: the tasks were requeued and the
+                    # shared checkpoints mean no work is lost.
+                    _log.warning("evicted before completing; exiting")
+                    return False
+                _log.error(
+                    "coordinator rejected completion batch (HTTP %d); "
+                    "dropping %d result(s) and continuing",
+                    exc.code, len(results),
+                )
+                return True
+            except (urllib.error.URLError, ConnectionError, OSError):
+                failures += 1
+                if failures >= self.max_connect_failures:
+                    _log.error(
+                        "coordinator unreachable after %d completion "
+                        "attempts; exiting", failures,
+                    )
+                    return False
+                if self._stop.wait(min(5.0, 0.2 * failures)):
+                    _log.warning(
+                        "stopping with %d undelivered result(s)",
+                        len(results),
+                    )
+                    return True
+
     def run(self) -> int:
         """Join (if needed) and pull work until drained or stopped."""
         if not self.worker_id:
@@ -231,19 +275,9 @@ class FleetWorker:
                     continue
                 results = self._execute(leases)
                 self.tasks_done += len(results)
-                try:
-                    self._post(
-                        "/v1/fleet/complete",
-                        {"worker": self.worker_id, "results": results},
-                    )
-                except urllib.error.HTTPError as exc:
-                    if exc.code == 410:
-                        # Evicted mid-batch: the tasks were requeued and the
-                        # shared checkpoints mean no work is lost.
-                        _log.warning("evicted before completing; exiting")
-                        exit_code = 1
-                        break
-                    raise
+                if not self._post_complete(results):
+                    exit_code = 1
+                    break
         finally:
             self._stop.set()
             try:

@@ -186,10 +186,13 @@ class TestRouterCompletion:
         task = router.complete(live.id, "t", _ok())
         assert task.state == "done"
 
-    def test_unknown_task_raises(self):
+    def test_unknown_task_is_stale_not_an_error(self):
+        # A healthy worker finishing a task whose job was already failed
+        # and forgotten must get a shrug, not an error that crashes it.
         router, worker = self._leased()
-        with pytest.raises(KeyError):
-            router.complete(worker.id, "nope", _ok())
+        assert router.complete(worker.id, "nope", _ok()) is None
+        router.forget_job("j1")
+        assert router.complete(worker.id, "t1", _ok()) is None
 
     def test_outstanding_cost_and_forget(self):
         router, worker = self._leased()

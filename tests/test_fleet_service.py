@@ -16,14 +16,18 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import socket
 import threading
 import time
+import urllib.error
 import urllib.request
 
 import pytest
 
 from repro.engine import serialize
-from repro.engine.runner import EngineRunner, RunReport, ShardedReport
+from repro.engine.runner import (
+    EngineRunner, JobResult, JobSpec, RunReport, ShardedReport,
+)
 from repro.fleet import FleetCoordinator, FleetWorker
 from repro.harness import ExperimentSettings
 from repro.harness.experiment import Workbench
@@ -327,6 +331,137 @@ class TestFleetBackpressure:
         with pytest.raises(ServiceError) as excinfo:
             fleet.client().submit({"kind": "figure", "figure": "figure2"})
         assert excinfo.value.status == 400
+
+
+def _jsonable_result(status="ok", error=""):
+    return serialize.to_jsonable(JobResult(
+        spec=JobSpec(workload="database"), status=status,
+        result=None, error=error,
+    ))
+
+
+class TestCompletionProtocol:
+    """The /v1/fleet/complete contract: stale answers are acknowledged,
+    malformed batches are rejected atomically — a healthy worker must
+    never get an error answer for work the coordinator half-accepted.
+    """
+
+    def test_stale_completion_answers_200_not_error(self, fleet_factory):
+        # The task's job settled (failed/forgotten) while this worker was
+        # still executing; its late answer is a shrug, not a 500 that
+        # would crash the worker and cascade through the fleet.
+        fleet = fleet_factory(workers=0)
+        worker = _post(
+            fleet.coord.url, "/v1/fleet/register", {"name": "straggler"},
+        )
+        answer = _post(
+            fleet.coord.url, "/v1/fleet/complete",
+            {
+                "worker": worker["worker"],
+                "results": [{"task": "gone.0", "result": _jsonable_result()}],
+            },
+        )
+        assert answer["ok"] is True
+        assert answer["accepted"] == 0
+        assert answer["stale"] == 1
+
+    def test_malformed_batch_rejected_before_any_result_applies(
+        self, fleet_factory,
+    ):
+        fleet = fleet_factory(workers=0)
+        url = fleet.coord.url
+        worker = _post(url, "/v1/fleet/register", {"name": "w"})
+        client = fleet.client()
+        client.submit({
+            "kind": "sweep",
+            "sweep": {
+                "workloads": ["database"],
+                "variant": "pc",
+                "axes": {"store_queue": [8, 16]},
+            },
+        })
+        lease = _post(
+            url, "/v1/fleet/lease",
+            {"worker": worker["worker"], "max": 2, "wait": 20},
+        )
+        assert len(lease["tasks"]) == 2
+        good, other = (entry["task"] for entry in lease["tasks"])
+
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(url, "/v1/fleet/complete", {
+                "worker": worker["worker"],
+                "results": [
+                    {"task": good, "result": _jsonable_result()},
+                    {"task": other, "result": {"garbage": True}},
+                ],
+            })
+        assert excinfo.value.code == 400
+        body = json.loads(excinfo.value.read())
+        assert "results[1]" in body["error"]
+        # atomic rejection: the valid first entry was NOT applied
+        assert fleet.coord.router.counts()["leased"] == 2
+
+        answer = _post(url, "/v1/fleet/complete", {
+            "worker": worker["worker"],
+            "results": [
+                {"task": good, "result": _jsonable_result()},
+                {"task": other, "result": _jsonable_result()},
+            ],
+        })
+        assert answer["accepted"] == 2
+
+    def test_malformed_content_length_answers_400(self, fleet_factory):
+        fleet = fleet_factory(workers=0)
+        with socket.create_connection(
+            (fleet.coord.host, fleet.coord.port), timeout=5.0,
+        ) as sock:
+            sock.sendall(
+                b"GET /healthz HTTP/1.1\r\n"
+                b"Host: test\r\n"
+                b"Content-Length: banana\r\n\r\n"
+            )
+            data = sock.recv(65536)
+        assert data.split(b"\r\n", 1)[0] == b"HTTP/1.1 400 Bad Request"
+
+
+class TestWorkerResilience:
+    def _worker(self):
+        worker = FleetWorker("http://127.0.0.1:1")
+        worker.worker_id = "w-test"
+        return worker
+
+    def test_rejected_completion_is_dropped_not_fatal(self, monkeypatch):
+        worker = self._worker()
+
+        def reject(path, payload):
+            raise urllib.error.HTTPError(path, 500, "boom", None, None)
+
+        monkeypatch.setattr(worker, "_post", reject)
+        assert worker._post_complete([{"task": "t", "result": None}]) is True
+
+    def test_eviction_410_stops_the_worker(self, monkeypatch):
+        worker = self._worker()
+
+        def gone(path, payload):
+            raise urllib.error.HTTPError(path, 410, "gone", None, None)
+
+        monkeypatch.setattr(worker, "_post", gone)
+        assert worker._post_complete([{"task": "t", "result": None}]) is False
+
+    def test_unreachable_coordinator_retries_then_gives_up(
+        self, monkeypatch,
+    ):
+        worker = self._worker()
+        worker.max_connect_failures = 3
+        calls = []
+
+        def unreachable(path, payload):
+            calls.append(path)
+            raise ConnectionRefusedError("nope")
+
+        monkeypatch.setattr(worker, "_post", unreachable)
+        assert worker._post_complete([{"task": "t", "result": None}]) is False
+        assert len(calls) == 3
 
 
 class TestFleetDrain:

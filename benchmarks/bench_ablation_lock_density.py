@@ -10,7 +10,8 @@ from __future__ import annotations
 
 import pytest
 
-from repro.harness import ExperimentSettings, Workbench
+from repro.harness import ExperimentSettings
+from repro.harness.experiment import Workbench
 from repro.workloads import SPECWEB
 
 from conftest import MEASURE, SEED, WARMUP, once

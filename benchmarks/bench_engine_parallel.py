@@ -11,8 +11,8 @@ from __future__ import annotations
 
 import pytest
 
+from repro import api
 from repro.config import StorePrefetchMode
-from repro.harness.sweeps import sweep
 
 from conftest import once
 
@@ -20,16 +20,17 @@ from conftest import once
 @pytest.mark.benchmark(group="engine")
 def test_parallel_sweep_matches_serial(benchmark, bench_default,
                                        runner_default):
-    axes = dict(
+    spec = api.SweepSpec.build(
+        "database",
         store_prefetch=[StorePrefetchMode.NONE, StorePrefetchMode.AT_RETIRE,
                         StorePrefetchMode.AT_EXECUTE],
         store_queue=[16, 32, 64],
     )
-    parallel = once(
-        benchmark, sweep, bench_default, "database",
-        runner=runner_default, **axes,
-    )
-    serial = sweep(bench_default, "database", **axes)
+    parallel = once(benchmark, api.sweep, spec, runner=runner_default)
+    serial = [
+        bench_default.run("database", **dict(point))
+        for point in spec.points()
+    ]
     assert [r.epi_per_1000 for r in parallel] == \
         [r.epi_per_1000 for r in serial]
     assert [r.store_mlp for r in parallel] == \
@@ -42,9 +43,7 @@ def test_parallel_sweep_matches_serial(benchmark, bench_default,
 @pytest.mark.benchmark(group="engine")
 def test_parallel_smac_sweep(benchmark, runner_smac):
     """SMAC profiles reach the workers via the runner's profiles argument."""
-    records = once(
-        benchmark, sweep, None, "database",
-        runner=runner_smac, store_queue=[32, 64],
-    )
+    spec = api.SweepSpec.build("database", store_queue=[32, 64])
+    records = once(benchmark, api.sweep, spec, runner=runner_smac)
     assert len(records) == 2
     assert all(r.epi_per_1000 > 0 for r in records)

@@ -27,7 +27,8 @@ import os
 import pytest
 
 from repro.engine import EngineRunner
-from repro.harness import ExperimentSettings, Workbench
+from repro.harness import ExperimentSettings
+from repro.harness.experiment import Workbench
 from repro.harness.figures import smac_scaled_profile
 
 MEASURE = int(os.environ.get("REPRO_BENCH_MEASURE", 60_000))

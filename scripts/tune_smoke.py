@@ -1,0 +1,164 @@
+#!/usr/bin/env python
+"""CI tune smoke: the autotuner beats the default config on a real search.
+
+Replays the committed search (``benchmarks/best_configs.json``: the
+database workload over the scout x consistency x store_buffer space at
+the committed trace sizing) with the random and genetic strategies under
+the same evaluation budget, plus a grid baseline, and asserts:
+
+1. every strategy's winner is no worse than the default configuration;
+2. the seeded genetic search is at least as good as an equal-budget grid
+   prefix (the acceptance bar for shipping the strategy);
+3. the genetic winner reproduces the committed best exactly — EPI and
+   knobs — so the artifact under ``benchmarks/`` cannot rot silently;
+4. resubmitting the finished genetic search resumes from persisted state
+   without re-evaluating anything.
+
+Exits non-zero with diagnostics on any deviation and writes a JSON
+artifact for CI upload.
+
+Usage::
+
+    python scripts/tune_smoke.py [--cache-dir DIR] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro import api
+from repro.harness import ExperimentSettings
+
+COMMITTED = Path(__file__).resolve().parent.parent / "benchmarks" \
+    / "best_configs.json"
+
+#: The committed search space, in wire spellings (mirrors the "space"
+#: line of benchmarks/best_configs.json).
+SPACE = {
+    "scout": ["none", "hws0", "hws1", "hws2"],
+    "consistency": ["pc", "wc"],
+    "store_buffer": [4, 16, 32],
+}
+
+
+def fail(message: str) -> None:
+    print(f"TUNE SMOKE FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--cache-dir", default=".ci-tune-cache")
+    parser.add_argument("--out", default="TUNE_smoke.json")
+    args = parser.parse_args(argv)
+
+    committed = json.loads(COMMITTED.read_text(encoding="utf-8"))
+    budget = committed["budget"]
+    if budget > 12:
+        fail(f"committed budget {budget} exceeds the smoke cap of 12")
+    settings = ExperimentSettings(**committed["settings"])
+
+    # One cache per strategy: a shared artifact cache would serve later
+    # strategies from earlier measurements, making their results depend
+    # on execution order (and shadowing the state-resume path below).
+    results = {}
+    for strategy in ("grid", "random", "genetic"):
+        results[strategy] = api.tune(
+            SPACE,
+            profile=committed["workload"],
+            variant=committed["variant"],
+            strategy=strategy,
+            budget=budget,
+            seed=committed["seed"],
+            settings=settings,
+            cache_dir=Path(args.cache_dir) / strategy,
+        )
+        print(results[strategy].summary())
+
+    default = api.run(
+        committed["workload"], settings=settings,
+        cache_dir=Path(args.cache_dir) / "grid",
+    )
+    print(f"default config: {default.epi_per_1000:.3f} EPI/1000")
+
+    for strategy, result in results.items():
+        if result.best_epi_per_1000 > default.epi_per_1000:
+            fail(
+                f"{strategy} winner {result.best_epi_per_1000:.3f} is "
+                f"worse than the default {default.epi_per_1000:.3f}"
+            )
+    genetic = results["genetic"]
+    grid = results["grid"]
+    if genetic.best_epi_per_1000 > grid.best_epi_per_1000:
+        fail(
+            f"genetic {genetic.best_epi_per_1000:.3f} lost to the "
+            f"equal-budget grid prefix {grid.best_epi_per_1000:.3f}"
+        )
+
+    knobs = {
+        name: getattr(value, "value", value)
+        for name, value in genetic.best
+    }
+    if genetic.best_epi_per_1000 != committed["best_epi_per_1000"]:
+        fail(
+            f"genetic best {genetic.best_epi_per_1000} drifted from the "
+            f"committed {committed['best_epi_per_1000']} — regenerate "
+            f"benchmarks/best_configs.json if the change is intended"
+        )
+    if knobs != committed["best_knobs"]:
+        fail(f"genetic knobs {knobs} != committed {committed['best_knobs']}")
+
+    resumed = api.tune(
+        SPACE,
+        profile=committed["workload"],
+        variant=committed["variant"],
+        strategy="genetic",
+        budget=budget,
+        seed=committed["seed"],
+        settings=settings,
+        cache_dir=Path(args.cache_dir) / "genetic",
+    )
+    if resumed.evaluations != 0 or resumed.resumed == 0:
+        fail(
+            f"finished search did not resume from state: "
+            f"evaluations={resumed.evaluations} resumed={resumed.resumed}"
+        )
+    if resumed.best_epi_per_1000 != genetic.best_epi_per_1000:
+        fail("resumed search changed the winner")
+
+    artifact = {
+        "committed": committed,
+        "default_epi_per_1000": default.epi_per_1000,
+        "strategies": {
+            name: {
+                "best_epi_per_1000": result.best_epi_per_1000,
+                "best_knobs": {
+                    knob: getattr(value, "value", value)
+                    for knob, value in result.best
+                },
+                "evaluations": result.evaluations,
+                "deduped": result.deduped,
+                "pruned": result.pruned,
+                "generations": result.generations,
+                "wall_time": result.wall_time,
+            }
+            for name, result in results.items()
+        },
+        "resume": {
+            "evaluations": resumed.evaluations,
+            "resumed": resumed.resumed,
+        },
+    }
+    Path(args.out).write_text(
+        json.dumps(artifact, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    print(f"tune smoke ok; artifact written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -60,7 +60,7 @@ from .isa import Instruction, InstructionClass
 from .memory import MemorySystem, StoreMissAccelerator, annotate_trace
 from .workloads import WORKLOADS, WorkloadGenerator, WorkloadProfile
 
-__version__ = "1.0.0"
+__version__ = "2.0.0"
 
 __all__ = [
     "BranchPredictorConfig",
@@ -88,7 +88,6 @@ __all__ = [
     "TraceError",
     "TriggerKind",
     "WORKLOADS",
-    "Workbench",
     "WorkloadGenerator",
     "WorkloadProfile",
     "annotate_trace",
@@ -96,21 +95,6 @@ __all__ = [
     "simulate",
 ]
 
-
-def __getattr__(name: str):
-    # Deprecated entry-point aliases kept importable through one release;
-    # repro.api is the supported front door (timeline in DESIGN.md).
-    if name == "Workbench":
-        import warnings
-
-        warnings.warn(
-            "importing Workbench from repro is deprecated as an entry "
-            "point; construct one with repro.api.workbench() "
-            "(removal timeline in DESIGN.md)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        from .harness.experiment import Workbench
-
-        return Workbench
-    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+# The pre-v2 ``repro.Workbench`` import alias was removed per the
+# DESIGN.md timeline: construct one with ``repro.api.workbench()``, or
+# import the class from ``repro.harness.experiment`` for extension.

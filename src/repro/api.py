@@ -24,6 +24,16 @@ all three:
       records = api.sweep(spec)
       best = min(records, key=lambda r: r.epi_per_1000)
 
+- :func:`tune` — search the design space instead of sweeping it: three
+  seeded strategies (grid/random/genetic) with analytical pruning,
+  cached deduplication and resumable state::
+
+      result = api.tune(
+          {"store_queue": [16, 32, 64], "scout": ["none", "hws2"]},
+          profile="database", strategy="genetic", budget=12, seed=7,
+      )
+      print(result.best_knobs, result.best_epi_per_1000)
+
 - :func:`connect` — the same verbs against a running service daemon::
 
       client = api.connect("http://127.0.0.1:8137")
@@ -31,11 +41,16 @@ all three:
       report = client.result(receipt["id"])
 
 :func:`workbench` constructs the underlying serial workbench for repeated
-interactive runs that should share one annotated-trace cache.  The old
-import paths (``repro.harness.experiment.Workbench``,
-``repro.engine.runner.EngineRunner``, ``repro.service.client
-.ServiceClient``) keep working but are deprecated as *entry points*; new
-code should start here.
+interactive runs that should share one annotated-trace cache.
+
+Since v2.0 this module (plus the ``mlpsim`` CLI and the service protocol)
+is the *only supported entry-point surface*: the deprecated aliases
+(``repro.Workbench``, ``repro.harness.Workbench``,
+``repro.harness.sweeps.sweep``/``sweep_workloads``, the
+``repro.service.metrics`` shim) have been removed per the DESIGN.md
+timeline.  The underlying classes are still importable from their
+canonical homes (``repro.harness.experiment.Workbench`` et al.) for
+extension and testing.
 """
 
 from __future__ import annotations
@@ -54,13 +69,19 @@ from .engine.runner import (
     ShardedReport,
 )
 from .harness.experiment import ExperimentSettings, Workbench
-from .harness.sweeps import SweepRecord, SweepSpec, valid_axes
+from .harness.sweeps import (
+    SweepRecord,
+    SweepSpec,
+    coerce_axis_value,
+    valid_axes,
+)
 from .obs.options import ObsOptions
 from .obs.recorder import EpochTimelineRecorder
 from .service.client import ServiceClient
 from .shard.checkpoint import CheckpointStore
 from .shard.execute import shard_plan_for
 from .shard.plan import ShardPlan
+from .tune import SearchSpace, TuneResult, TuneSpec, run_tune
 
 __all__ = [
     "EngineRunner",
@@ -69,6 +90,7 @@ __all__ = [
     "JobSpec",
     "ObsOptions",
     "RunReport",
+    "SearchSpace",
     "ServiceClient",
     "ShardPlan",
     "ShardedReport",
@@ -76,12 +98,15 @@ __all__ = [
     "SimulationResult",
     "SweepRecord",
     "SweepSpec",
+    "TuneResult",
+    "TuneSpec",
     "Workbench",
     "connect",
     "resume",
     "run",
     "shard_plan",
     "sweep",
+    "tune",
     "valid_axes",
     "workbench",
 ]
@@ -113,8 +138,20 @@ def workbench(
     return Workbench(settings or ExperimentSettings(), cache_dir=cache_dir)
 
 
+def _coerce_core_changes(core_changes: Mapping[str, Any]) -> dict:
+    """Type every knob through the sweep axes.
+
+    Unknown knob names raise ``ValueError`` listing the valid axes —
+    the same actionable error surface as the CLI and the service.
+    """
+    return {
+        name: coerce_axis_value(name, value)
+        for name, value in core_changes.items()
+    }
+
+
 def run(
-    profile: str,
+    profile: Union[str, JobSpec, Mapping[str, Any]],
     config: Optional[SimulationConfig] = None,
     *,
     variant: str = "pc",
@@ -132,11 +169,15 @@ def run(
     """Simulate one workload *profile* under one configuration.
 
     *profile* names a calibrated workload (``"database"``, ``"tpcw"``,
-    ``"specjbb"``, ``"specweb"``); *variant* selects the trace flavour
-    (``"pc"``, ``"wc"``, ``"pc_sle"``, ...).  *config* overrides the whole
-    :class:`SimulationConfig`; *core_changes* tweak individual core fields
-    (``store_prefetch="sp2"``, ``store_queue=64``, ...) — see
-    :func:`valid_axes` for the accepted names.  Pass *bench* (from
+    ``"specjbb"``, ``"specweb"``) — or is a whole :class:`JobSpec` (or an
+    equivalent mapping, the shape ``ServiceClient.submit_simulate`` also
+    accepts), whose workload/variant/config/core-changes/backend seed the
+    run and explicit keyword arguments override.  *variant* selects the
+    trace flavour (``"pc"``, ``"wc"``, ``"pc_sle"``, ...).  *config*
+    overrides the whole :class:`SimulationConfig`; *core_changes* tweak
+    individual core fields (``store_prefetch="sp2"``, ``store_queue=64``,
+    ...) — see :func:`valid_axes` for the accepted names; an unknown name
+    raises ``ValueError`` listing them.  Pass *bench* (from
     :func:`workbench`) to reuse an annotated trace across calls.
 
     *backend* selects the execution backend — ``"reference"`` (the golden
@@ -160,6 +201,21 @@ def run(
     neither perturbs the simulation result.
     """
     options = _resolve_obs(trace, obs)
+    if not isinstance(profile, str):
+        base = JobSpec.coerce(profile)
+        merged = dict(base.core_changes)
+        merged.update(core_changes)
+        core_changes = merged
+        if variant == "pc":
+            variant = base.variant
+        if config is None:
+            config = base.config
+        if backend is None and base.backend:
+            backend = base.backend
+        if checkpoint_every == 0 and base.checkpoint_every > 0:
+            checkpoint_every = base.checkpoint_every
+        profile = base.workload
+    core_changes = _coerce_core_changes(core_changes)
     if shards > 1 or checkpoint_every > 0:
         if bench is not None:
             raise ValueError(
@@ -217,6 +273,8 @@ def sweep(
     trace: Union[str, Path, None] = None,
     obs: Optional[ObsOptions] = None,
     backend: Optional[str] = None,
+    shards: int = 1,
+    checkpoint_every: int = 0,
 ) -> List[SweepRecord]:
     """Execute a sweep *spec* and return one record per grid point.
 
@@ -226,6 +284,13 @@ def sweep(
     protocol accepts.  The grid fans out across *workers* processes
     (default ``min(4, cpus)``) sharing the persistent artifact cache;
     records come back workload-major in grid order, deterministically.
+
+    *shards* > 1 runs every grid point through the fault-tolerant sharded
+    path (:meth:`EngineRunner.run_sharded`) — long traces split at
+    quiescent boundaries, failed shards retry, results stay bit-identical.
+    *checkpoint_every* > 0 snapshots each job every K instructions so an
+    interrupted sweep resumes instead of restarting; it composes with
+    *shards* the same way it does for :func:`run`.
 
     *backend* runs every grid point on the named execution backend;
     ``backend="batch"`` additionally makes the engine advance the whole
@@ -262,12 +327,107 @@ def sweep(
             obs=options,
         )
     jobs = spec.to_jobs()
-    if backend:
+    if backend or checkpoint_every > 0:
         from dataclasses import replace
 
-        jobs = [replace(job, backend=backend) for job in jobs]
-    report = runner.run(jobs)
+        jobs = [
+            replace(
+                job,
+                backend=backend or job.backend,
+                checkpoint_every=checkpoint_every or job.checkpoint_every,
+            )
+            for job in jobs
+        ]
+    if shards > 1:
+        # Each grid point runs as its own sharded execution; synthesize a
+        # grid-ordered report from the merged results so spec.records()
+        # pairs them exactly like the unsharded path.
+        merged_jobs: List[JobResult] = []
+        wall_time = 0.0
+        for job in jobs:
+            sharded = runner.run_sharded(
+                job, shards, checkpoint_every=checkpoint_every,
+            )
+            sharded.raise_on_failure()
+            wall_time += sharded.wall_time
+            merged_jobs.append(JobResult(
+                spec=job,
+                status="ok",
+                result=sharded.merged,
+                wall_time=sharded.wall_time,
+            ))
+        report = RunReport(
+            jobs=merged_jobs, wall_time=wall_time, workers=runner.workers,
+        )
+    else:
+        report = runner.run(jobs)
     return spec.records(report)
+
+
+def tune(
+    space: Union[TuneSpec, SearchSpace, Mapping[str, Any]],
+    *,
+    profile: str = "database",
+    variant: str = "pc",
+    strategy: str = "genetic",
+    budget: int = 16,
+    seed: int = 0,
+    settings: Optional[ExperimentSettings] = None,
+    cache_dir: Any = "auto",
+    workers: Optional[int] = None,
+    backend: Optional[str] = None,
+    trace: Union[str, Path, None] = None,
+    obs: Optional[ObsOptions] = None,
+    margin: float = 0.30,
+    resume: bool = True,
+) -> TuneResult:
+    """Search the design space for the lowest-EPI configuration.
+
+    *space* is a mapping of axis values (coerced like sweep axes:
+    ``{"store_queue": [16, 32, 64], "scout": ["none", "hws2"]}``), a
+    built :class:`SearchSpace`, or a whole :class:`TuneSpec` (in which
+    case *profile*/*variant*/*strategy*/*budget*/*seed*/*backend* are
+    already part of the spec and must be left at their defaults).
+
+    *strategy* is ``"grid"`` (exhaustive, sweep order), ``"random"``
+    (uniform without replacement) or ``"genetic"`` (seeded tournament
+    selection + crossover + per-knob mutation); *budget* caps *measured*
+    evaluations — candidates served from the artifact cache, skipped by
+    the analytical pruner (within *margin* of predicted-worse), or
+    replayed from a previous interrupted run are free.  Identical
+    (workload, variant, candidate, settings) evaluations are measured
+    exactly once across runs and strategies.
+
+    Tuning state persists under the artifact cache after every
+    generation, so a killed run re-run with the same arguments resumes
+    where it stopped (``resume=False`` ignores — but still rewrites —
+    that state).  *trace*/*obs* record a ``tune_generation`` span per
+    batch in the usual JSONL trace.
+
+    Returns a :class:`TuneResult`; see ``result.best_knobs``,
+    ``result.best_epi_per_1000`` and ``result.summary()``.
+    """
+    options = _resolve_obs(trace, obs)
+    if isinstance(space, TuneSpec):
+        spec = space
+        if backend:
+            from dataclasses import replace
+
+            spec = replace(spec, backend=backend)
+    else:
+        spec = TuneSpec.build(
+            profile, space, variant=variant, strategy=strategy,
+            budget=budget, seed=seed, backend=backend or "",
+        )
+    return run_tune(
+        spec,
+        settings=settings,
+        cache_dir=cache_dir,
+        workers=workers,
+        obs=options,
+        margin=margin,
+        resume=resume,
+    )
 
 
 def shard_plan(

@@ -65,6 +65,7 @@ from .harness import (
     table3,
 )
 from .harness.figures import ALL_WORKLOADS
+from .tune import STRATEGIES
 from .harness.formatting import format_table
 from .harness.tables import format_table1, format_table2, format_table3
 
@@ -199,6 +200,57 @@ def _build_parser() -> argparse.ArgumentParser:
         "--backend", default=None, choices=list(backend_names()),
         help="execution backend for every grid point; 'batch' runs the "
              "whole grid as one in-process numpy lockstep batch",
+    )
+
+    tn = sub.add_parser(
+        "tune",
+        help="search the design space for the lowest-EPI configuration "
+             "(grid / random / genetic, with analytical pruning)",
+    )
+    tn.add_argument("--workload", default="database",
+                    choices=list(ALL_WORKLOADS))
+    tn.add_argument("--variant", default="pc")
+    tn.add_argument(
+        "--param", action="append", default=[], metavar="NAME=V1,V2",
+        help="one search dimension, e.g. store_queue=16,32,64 "
+             "(repeatable; same axes as 'mlpsim sweep')",
+    )
+    tn.add_argument(
+        "--strategy", default="genetic", choices=list(STRATEGIES),
+    )
+    tn.add_argument(
+        "--budget", type=int, default=16,
+        help="max measured evaluations (cached/pruned/resumed candidates "
+             "are free)",
+    )
+    tn.add_argument(
+        "--search-seed", type=int, default=0,
+        help="strategy RNG seed (distinct from --seed, the workload "
+             "generator seed)",
+    )
+    tn.add_argument(
+        "--margin", type=float, default=0.30,
+        help="prune candidates predicted this fraction worse than the "
+             "incumbent (default 0.30)",
+    )
+    tn.add_argument(
+        "--no-resume", action="store_true",
+        help="ignore persisted tuning state (state is still rewritten)",
+    )
+    tn.add_argument("--workers", type=int, default=None,
+                    help="worker processes (default: min(4, cpus))")
+    tn.add_argument(
+        "--backend", default=None, choices=list(backend_names()),
+        help="execution backend for every evaluation",
+    )
+    tn.add_argument(
+        "--trace-dir", default=None, metavar="DIR",
+        help="write JSONL tune_generation spans into this directory",
+    )
+    tn.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the winning configuration as JSON "
+             "(the benchmarks/best_configs.json shape)",
     )
 
     figs = sub.add_parser(
@@ -588,6 +640,86 @@ def _cmd_sweep(args, settings: ExperimentSettings, workloads) -> int:
     ))
     best = min(records, key=lambda r: r.epi_per_1000)
     print(f"best point: {best.label()} (EPI/1000={best.epi_per_1000:.3f})")
+    return 0
+
+
+def _best_config_payload(result) -> Dict[str, Any]:
+    """The JSON shape committed under benchmarks/best_configs.json."""
+    return {
+        "workload": result.spec.workload,
+        "variant": result.spec.variant,
+        "strategy": result.spec.strategy,
+        "budget": result.spec.budget,
+        "seed": result.spec.seed,
+        "settings": {
+            "warmup": result.settings.warmup,
+            "measure": result.settings.measure,
+            "seed": result.settings.seed,
+            "calibrate": result.settings.calibrate,
+        },
+        "space": result.spec.space.describe(),
+        "best_epi_per_1000": result.best_epi_per_1000,
+        "best_knobs": {
+            name: getattr(value, "value", value)
+            for name, value in result.best
+        },
+        "evaluations": result.evaluations,
+        "deduped": result.deduped,
+        "pruned": result.pruned,
+        "resumed": result.resumed,
+        "generations": result.generations,
+    }
+
+
+def _cmd_tune(args, settings: ExperimentSettings, workloads) -> int:
+    space = dict(_parse_axis(spec) for spec in args.param)
+    if not space:
+        print("tune needs at least one --param", file=sys.stderr)
+        return 2
+    try:
+        result = api.tune(
+            space,
+            profile=args.workload,
+            variant=args.variant,
+            strategy=args.strategy,
+            budget=args.budget,
+            seed=args.search_seed,
+            settings=settings,
+            cache_dir=_cache_dir(args),
+            workers=args.workers,
+            backend=args.backend,
+            trace=args.trace_dir,
+            margin=args.margin,
+            resume=not args.no_resume,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    rows = [
+        [
+            obs.generation,
+            obs.source,
+            obs.epi_per_1000,
+            " ".join(
+                f"{name}={getattr(value, 'value', value)}"
+                for name, value in obs.candidate
+            ),
+        ]
+        for obs in result.history
+    ]
+    print(format_table(
+        ["gen", "source", "EPI/1000", "candidate"],
+        rows,
+        title=f"{args.workload}/{args.variant} tune ({args.strategy})",
+    ))
+    print(result.summary())
+    if result.token:
+        print(f"resume state token: {result.token[:16]}...")
+    if args.out:
+        payload = _best_config_payload(result)
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote best configuration to {args.out}")
     return 0
 
 
@@ -1000,6 +1132,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_obs(args)
     if args.command == "sweep":
         return _cmd_sweep(args, settings, workloads)
+    if args.command == "tune":
+        return _cmd_tune(args, settings, workloads)
     if args.command == "figures":
         return _cmd_figures(args, settings, workloads)
     if args.command == "bench":

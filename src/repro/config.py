@@ -248,7 +248,24 @@ class CoreConfig:
         )
 
     def with_(self, **changes: Any) -> "CoreConfig":
-        """Return a copy with the given fields replaced."""
+        """Return a copy with the given fields replaced.
+
+        Enum-valued knobs accept their wire spellings (``scout="hws1"``,
+        ``consistency="wc"``, ``store_prefetch="sp2"``).  A bad spelling
+        raises :class:`ConfigError`; silently storing the raw string would
+        produce a config no simulator path recognises.
+        """
+        for name, value in changes.items():
+            current = getattr(self, name, None)
+            if isinstance(current, enum.Enum) and isinstance(value, str):
+                kind = type(current)
+                try:
+                    changes[name] = kind(value)
+                except ValueError:
+                    valid = ", ".join(member.value for member in kind)
+                    raise ConfigError(
+                        f"{name} must be one of: {valid} (got {value!r})"
+                    ) from None
         return replace(self, **changes)
 
 

@@ -38,13 +38,14 @@ from concurrent.futures import (
     ProcessPoolExecutor,
     TimeoutError as FutureTimeoutError,
 )
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field, fields, replace
 from typing import (
     TYPE_CHECKING,
     Any,
     Callable,
     Dict,
     List,
+    Mapping,
     Optional,
     Sequence,
     Tuple,
@@ -179,6 +180,50 @@ class JobSpec:
                 f"expected a JobSpec payload, decoded {type(spec).__name__}"
             )
         return spec
+
+    @classmethod
+    def coerce(cls, job: Any) -> "JobSpec":
+        """Normalize a JobSpec-shaped input into a :class:`JobSpec`.
+
+        The shared input convention of ``api.run`` and
+        ``ServiceClient.submit_simulate``: a :class:`JobSpec` passes
+        through, a workload name becomes a default spec, and a mapping is
+        validated field-by-field — unknown keys raise ``ValueError``
+        listing the valid field names (the ``valid_axes()`` error style),
+        and a ``core_changes`` mapping is coerced through the sweep axes
+        so enum spellings like ``"sp2"`` work everywhere.
+        """
+        if isinstance(job, cls):
+            return job
+        if isinstance(job, str):
+            return cls(workload=job)
+        if not isinstance(job, Mapping):
+            raise TypeError(
+                f"expected a JobSpec, workload name or mapping, got "
+                f"{type(job).__name__}"
+            )
+        data = dict(job)
+        valid = tuple(f.name for f in fields(cls))
+        unknown = sorted(set(data) - set(valid))
+        if unknown:
+            raise ValueError(
+                f"unknown job field{'s' if len(unknown) > 1 else ''} "
+                f"{', '.join(repr(name) for name in unknown)}; valid "
+                f"fields: {', '.join(valid)}"
+            )
+        changes = data.get("core_changes")
+        if changes is not None:
+            from ..harness.sweeps import coerce_axis_value
+
+            items = (
+                changes.items() if isinstance(changes, Mapping)
+                else tuple(changes)
+            )
+            data["core_changes"] = tuple(sorted(
+                (name, coerce_axis_value(name, value))
+                for name, value in items
+            ))
+        return cls(**data)
 
 
 @dataclass

@@ -227,6 +227,12 @@ class FleetCoordinator:
                 "serially against one warm bench); submit them to a "
                 "single-node daemon (mlpsim serve without --fleet)",
             )
+        if request.kind == "tune":
+            raise ProtocolError(
+                "tune jobs are not fleet-routable (generations are "
+                "sequential ask/tell rounds over one engine); submit them "
+                "to a single-node daemon (mlpsim serve without --fleet)",
+            )
         if self.draining or self._stopping:
             raise SaturatedError(
                 "coordinator is draining; not accepting new jobs",

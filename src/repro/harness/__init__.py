@@ -9,9 +9,6 @@ drivers, one function per paper exhibit; each returns structured data and
 has a matching formatter in :mod:`~repro.harness.formatting`.
 """
 
-import warnings
-from typing import Any
-
 from .experiment import ExperimentSettings
 from .figures import (
     figure2,
@@ -30,8 +27,6 @@ from .sweeps import (
     best_point,
     coerce_axis_value,
     pareto_front,
-    sweep,
-    sweep_workloads,
     valid_axes,
 )
 from .tables import table1, table2, table3
@@ -40,7 +35,6 @@ __all__ = [
     "ExperimentSettings",
     "SweepRecord",
     "SweepSpec",
-    "Workbench",
     "best_point",
     "figure2",
     "figure3",
@@ -54,28 +48,12 @@ __all__ = [
     "generate_report",
     "pareto_front",
     "coerce_axis_value",
-    "sweep",
-    "sweep_workloads",
     "table1",
     "table2",
     "table3",
     "valid_axes",
 ]
 
-
-def __getattr__(name: str) -> Any:
-    # ``Workbench`` stays importable here, but the facade is the supported
-    # entry point now; repro-internal code imports it from
-    # ``repro.harness.experiment`` and never pays this warning.
-    if name == "Workbench":
-        warnings.warn(
-            "importing Workbench from repro.harness is deprecated as an "
-            "entry point; construct one with repro.api.workbench() "
-            "(removal timeline in DESIGN.md)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        from .experiment import Workbench
-
-        return Workbench
-    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+# The pre-v2 ``repro.harness.Workbench`` import alias was removed per the
+# DESIGN.md timeline: construct one with ``repro.api.workbench()``, or
+# import the class from ``repro.harness.experiment`` for extension.

@@ -5,9 +5,9 @@ general tool for new studies: give it a workbench, a workload and a grid of
 core-configuration axes, get back one record per point with the headline
 metrics, ready for tabulation or plotting.
 
-Example (new code should go through :func:`repro.api.sweep`; the
-module-level :func:`sweep` / :func:`sweep_workloads` entry points are
-deprecated and emit :class:`DeprecationWarning`)::
+Execution goes through :func:`repro.api.sweep` (the pre-v2 module-level
+``sweep``/``sweep_workloads`` entry points were removed per the DESIGN.md
+timeline)::
 
     from repro import api
 
@@ -19,32 +19,23 @@ deprecated and emit :class:`DeprecationWarning`)::
     records = api.sweep(spec)
     best = min(records, key=lambda r: r.epi_per_1000)
 
-Pass ``runner=EngineRunner(...)`` to fan the grid out across worker
-processes instead of simulating serially; records come back in the same
-grid order with identical numbers (the pipeline is deterministic and the
-workers share the workbench's artifact cache)::
-
-    from repro.engine import EngineRunner
-
-    runner = EngineRunner(settings=bench.settings, workers=4)
-    records = sweep(bench, "database", runner=runner,
-                    store_queue=[16, 32, 64])
+``api.sweep`` fans the grid out across worker processes; records come
+back in grid order with numbers bit-identical to serial execution (the
+pipeline is deterministic and the workers share the artifact cache).
 """
 
 from __future__ import annotations
 
 import itertools
-import warnings
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Sequence, Tuple
 
 from ..config import ConsistencyModel, ScoutMode, StorePrefetchMode
 from ..core.results import SimulationResult
 from ..engine import serialize
-from .experiment import Workbench
 
 if TYPE_CHECKING:
-    from ..engine.runner import EngineRunner, JobSpec, RunReport
+    from ..engine.runner import JobSpec, RunReport
 
 #: Named-value axes: the string spellings accepted on the CLI and over the
 #: service protocol for enum-typed core-configuration fields.
@@ -273,113 +264,6 @@ def grid_points(
     return [
         tuple(zip(names, values))
         for values in itertools.product(*(axes[name] for name in names))
-    ]
-
-
-def _warn_deprecated_entry(name: str) -> None:
-    warnings.warn(
-        f"repro.harness.sweeps.{name}() is deprecated as an entry point; "
-        f"use repro.api.sweep() (see DESIGN.md for the removal timeline)",
-        DeprecationWarning,
-        stacklevel=3,
-    )
-
-
-def sweep(
-    bench: Workbench,
-    workload: str,
-    variant: str = "pc",
-    *,
-    runner: "EngineRunner | None" = None,
-    **axes: Sequence[Any],
-) -> List[SweepRecord]:
-    """Run the cartesian product of *axes* (core-config fields) and return
-    one record per point, in grid order.
-
-    .. deprecated::
-        Call :func:`repro.api.sweep` instead; this entry point will be
-        removed per the timeline in DESIGN.md.
-
-    With *runner*, the grid is executed as a parallel job batch (see
-    :class:`repro.engine.runner.EngineRunner`); without it, points are
-    simulated serially on *bench*.
-    """
-    _warn_deprecated_entry("sweep")
-    return _sweep(bench, workload, variant, runner=runner, **axes)
-
-
-def _sweep(
-    bench: Workbench,
-    workload: str,
-    variant: str = "pc",
-    *,
-    runner: "EngineRunner | None" = None,
-    **axes: Sequence[Any],
-) -> List[SweepRecord]:
-    points = grid_points(axes)
-    if runner is not None:
-        return _sweep_jobs(runner, [(workload, variant, p) for p in points])
-    records: List[SweepRecord] = []
-    for point in points:
-        result = bench.run(workload, variant=variant, **dict(point))
-        records.append(_record(workload, variant, point, result))
-    return records
-
-
-def sweep_workloads(
-    bench: Workbench,
-    workloads: Iterable[str],
-    variant: str = "pc",
-    *,
-    runner: "EngineRunner | None" = None,
-    **axes: Sequence[Any],
-) -> Dict[str, List[SweepRecord]]:
-    """:func:`sweep` across several workloads.
-
-    .. deprecated::
-        Call :func:`repro.api.sweep` with a multi-workload
-        :class:`SweepSpec` instead; this entry point will be removed per
-        the timeline in DESIGN.md.
-
-    With *runner*, the grids of all workloads are submitted as one batch so
-    parallelism spans workloads too.
-    """
-    _warn_deprecated_entry("sweep_workloads")
-    names = list(workloads)
-    if runner is not None:
-        points = grid_points(axes)
-        work = [
-            (workload, variant, point)
-            for workload in names for point in points
-        ]
-        records = _sweep_jobs(runner, work)
-        per_point = len(points)
-        return {
-            workload: records[i * per_point:(i + 1) * per_point]
-            for i, workload in enumerate(names)
-        }
-    return {
-        workload: _sweep(bench, workload, variant, **axes)
-        for workload in names
-    }
-
-
-def _sweep_jobs(
-    runner: "EngineRunner",
-    work: List[Tuple[str, str, Tuple[Tuple[str, Any], ...]]],
-) -> List[SweepRecord]:
-    """Execute (workload, variant, point) triples as one runner batch."""
-    from ..engine.runner import JobSpec
-
-    jobs = [
-        JobSpec(workload=workload, variant=variant, core_changes=point)
-        for workload, variant, point in work
-    ]
-    report = runner.run(jobs)
-    report.raise_on_failure()
-    return [
-        _record(workload, variant, point, job.result)
-        for (workload, variant, point), job in zip(work, report.jobs)
     ]
 
 

@@ -1,7 +1,8 @@
 """Thread-safe metrics shared by the core, engine and service layers.
 
-Originally this registry was private to the HTTP service
-(:mod:`repro.service.metrics`); it now lives here so the engine (cache
+Originally this registry was private to the HTTP service; it lives here
+(its canonical and, since v2.0, only home — the ``repro.service.metrics``
+shim was removed per the DESIGN.md timeline) so the engine (cache
 hits/misses/evictions, batch retries, worker utilization) and the simulator
 (epochs per 1k instructions, termination histogram, SB/SQ occupancy
 high-water marks) report into the same ``/metrics`` endpoint as the
@@ -35,11 +36,7 @@ __all__ = ["MetricsRegistry", "percentile"]
 
 
 def percentile(samples: Sequence[float], fraction: float) -> float:
-    """The *fraction*-quantile of *samples* by linear interpolation.
-
-    This is the canonical implementation; ``repro.service.metrics``
-    re-exports it for backwards compatibility.
-    """
+    """The *fraction*-quantile of *samples* by linear interpolation."""
     if not samples:
         return 0.0
     if len(samples) == 1:

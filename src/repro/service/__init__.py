@@ -13,15 +13,16 @@ deduplication of identical requests.
 - :mod:`repro.service.executor` — bridges requests onto
   :class:`~repro.engine.runner.EngineRunner` batches and figure drivers,
 - :mod:`repro.service.server` — the ``ThreadingHTTPServer`` front end,
-- :mod:`repro.service.metrics` — counters/gauges/latency summaries behind
-  ``/metrics`` (JSON and Prometheus text),
+  serving counters/gauges/latency summaries from
+  :class:`repro.obs.metrics.MetricsRegistry` behind ``/metrics`` (JSON
+  and Prometheus text),
 - :mod:`repro.service.client` — the blocking Python client used by the
   CLI (``mlpsim submit`` / ``mlpsim status``) and the tests.
 """
 
+from ..obs.metrics import MetricsRegistry
 from .client import ServiceClient, ServiceError
 from .jobqueue import Dispatcher, Job, JobQueue, JobState, QueueFullError
-from .metrics import MetricsRegistry
 from .protocol import JobRequest, ProtocolError, parse_job_request
 from .server import ReproService, serve
 

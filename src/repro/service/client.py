@@ -32,7 +32,9 @@ import urllib.request
 from typing import Any, Dict, List, Optional, Sequence, Union
 
 from ..engine import serialize
-from ..engine.runner import RunReport
+from ..engine.runner import JobSpec, RunReport
+from ..harness.sweeps import SweepSpec
+from ..tune import SearchSpace, TuneResult, TuneSpec
 from .protocol import PROTOCOL_VERSION
 
 __all__ = ["ServiceClient", "ServiceError"]
@@ -195,12 +197,23 @@ class ServiceClient:
 
     def submit_sweep(
         self,
-        workloads: Union[str, Sequence[str]],
+        workloads: Union[str, Sequence[str], SweepSpec],
         variant: str = "pc",
         priority: int = 0,
         backend: str = "",
         **axes: Sequence[Any],
     ) -> Dict[str, Any]:
+        """Submit a sweep: workload name(s) + ``**axes``, or a whole
+        :class:`SweepSpec` (the same object ``api.sweep`` accepts)."""
+        if isinstance(workloads, SweepSpec):
+            if axes:
+                raise TypeError(
+                    "pass axes inside the SweepSpec, not alongside it"
+                )
+            spec = workloads
+            workloads = list(spec.workloads)
+            variant = spec.variant
+            axes = {name: list(values) for name, values in spec.axes}
         if isinstance(workloads, str):
             workloads = [workloads]
         payload: Dict[str, Any] = {
@@ -221,12 +234,28 @@ class ServiceClient:
 
     def submit_simulate(
         self,
-        workload: str,
+        workload: Union[str, JobSpec, Dict[str, Any]],
         variant: str = "pc",
         priority: int = 0,
         backend: str = "",
         **core_changes: Any,
     ) -> Dict[str, Any]:
+        """Submit one simulation.
+
+        *workload* is a workload name, a whole :class:`JobSpec`, or a
+        JobSpec-shaped mapping — the same inputs ``api.run`` accepts;
+        explicit keyword arguments override the spec's fields.
+        """
+        if not isinstance(workload, str):
+            spec = JobSpec.coerce(workload)
+            changes = dict(spec.core_changes)
+            changes.update(core_changes)
+            core_changes = changes
+            if variant == "pc":
+                variant = spec.variant
+            if not backend:
+                backend = spec.backend
+            workload = spec.workload
         payload: Dict[str, Any] = {
             "kind": "simulate",
             "priority": priority,
@@ -236,6 +265,64 @@ class ServiceClient:
                 "core_changes": {
                     name: getattr(value, "value", value)
                     for name, value in core_changes.items()
+                },
+            },
+        }
+        if backend:
+            payload["backend"] = backend
+        return self.submit(payload)
+
+    def submit_tune(
+        self,
+        workload: Union[str, TuneSpec],
+        variant: str = "pc",
+        strategy: str = "genetic",
+        budget: int = 16,
+        seed: int = 0,
+        priority: int = 0,
+        backend: str = "",
+        **space: Sequence[Any],
+    ) -> Dict[str, Any]:
+        """Submit a design-space search (``api.tune`` over the wire).
+
+        *workload* is a workload name plus ``**space`` axis values, or a
+        whole :class:`TuneSpec`.
+        """
+        if isinstance(workload, TuneSpec):
+            if space:
+                raise TypeError(
+                    "pass the space inside the TuneSpec, not alongside it"
+                )
+            spec = workload
+            workload = spec.workload
+            variant = spec.variant
+            strategy = spec.strategy
+            budget = spec.budget
+            seed = spec.seed
+            backend = backend or spec.backend
+            space = {
+                name: list(values) for name, values in spec.space.params
+            }
+        elif isinstance(space.get("space"), SearchSpace):
+            built = space.pop("space")
+            if space:
+                raise TypeError(
+                    "pass axis values inside the SearchSpace, "
+                    "not alongside it"
+                )
+            space = {name: list(values) for name, values in built.params}
+        payload: Dict[str, Any] = {
+            "kind": "tune",
+            "priority": priority,
+            "tune": {
+                "workload": workload,
+                "variant": variant,
+                "strategy": strategy,
+                "budget": budget,
+                "seed": seed,
+                "space": {
+                    name: [getattr(v, "value", v) for v in values]
+                    for name, values in space.items()
                 },
             },
         }
@@ -274,9 +361,10 @@ class ServiceClient:
         """Block until *job_id* finishes and return its decoded result.
 
         Sweep and simulate jobs return the real
-        :class:`~repro.engine.runner.RunReport`; figure jobs return the
-        figure's data dict.  A failed or cancelled job raises
-        :class:`ServiceError` carrying the server's error text.
+        :class:`~repro.engine.runner.RunReport`; tune jobs the real
+        :class:`~repro.tune.TuneResult`; figure jobs the figure's data
+        dict.  A failed or cancelled job raises :class:`ServiceError`
+        carrying the server's error text.
         """
         status = self.wait(job_id, timeout=timeout, poll=poll)
         if status["state"] != "done":
@@ -289,6 +377,8 @@ class ServiceClient:
         result = status.get("result") or {}
         if "report" in result:
             return RunReport.from_dict(result["report"])
+        if result.get("kind") == "tune":
+            return TuneResult.from_dict(result["tune_result"])
         if result.get("kind") == "figure":
             return result.get("data")
         return result

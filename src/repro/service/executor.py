@@ -38,6 +38,7 @@ from ..harness.figures import (
     figure7,
     figure8,
 )
+from ..tune import TuneTelemetry, run_tune
 from .protocol import JobRequest, ProtocolError, jsonify
 
 __all__ = ["ServiceEngine"]
@@ -82,14 +83,19 @@ class ServiceEngine:
         # service-wide artifact cache object, so a figure run right after a
         # sweep starts from warm memory, not just warm disk.
         self.bench = Workbench(self.settings, artifacts=self.artifacts)
+        # Tuning runs through the same runner/cache; its counters live for
+        # the daemon's lifetime so /metrics sees totals across requests.
+        self.tune_telemetry = TuneTelemetry()
 
     def register_metrics(self, registry: MetricsRegistry) -> None:
         """Expose the whole stack below the service on *registry*: artifact
-        cache tiers, engine batch/job activity and simulation aggregates."""
+        cache tiers, engine batch/job activity, simulation aggregates and
+        tuning counters."""
         self.artifacts.stats.register_metrics(registry)
         self.runner.telemetry.register_metrics(
             registry, workers=self.runner.workers,
         )
+        self.tune_telemetry.register_metrics(registry)
 
     # ------------------------------------------------------------ execute --
 
@@ -101,6 +107,8 @@ class ServiceEngine:
             return self._execute_simulate(request)
         if request.kind == "figure":
             return self._execute_figure(request)
+        if request.kind == "tune":
+            return self._execute_tune(request)
         raise ProtocolError(f"unknown job kind {request.kind!r}")
 
     def _run_batch(self, jobs: list) -> RunReport:
@@ -186,6 +194,39 @@ class ServiceEngine:
             assert report.merged is not None
             payload["summary"] = report.merged.summary()
         return payload
+
+    def _execute_tune(self, request: JobRequest) -> Dict[str, Any]:
+        """A design-space search through the shared runner and cache.
+
+        The run shares the daemon's artifact cache, so identical
+        (workload, variant, candidate, settings) evaluations across tune
+        requests — or against earlier sweeps' tuning runs — are measured
+        once; tuning state persists in the same cache, so a cancelled
+        request resubmitted later resumes.
+        """
+        assert request.tune is not None
+        spec = request.tune
+        if request.backend:
+            spec = replace(spec, backend=request.backend)
+        result = run_tune(
+            spec,
+            runner=self.runner,
+            cache=self.artifacts,
+            telemetry=self.tune_telemetry,
+        )
+        return {
+            "kind": "tune",
+            "spec": spec.to_dict(),
+            "tune_result": result.to_dict(),
+            "summary": result.summary(),
+            "best": {
+                "epi_per_1000": result.best_epi_per_1000,
+                "knobs": {
+                    name: getattr(value, "value", value)
+                    for name, value in result.best
+                },
+            },
+        }
 
     def _execute_figure(self, request: JobRequest) -> Dict[str, Any]:
         driver = _FIGURE_DRIVERS[request.figure]

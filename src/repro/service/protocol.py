@@ -13,6 +13,12 @@ The wire protocol is plain JSON.  A job submission looks like::
 
     {"kind": "figure", "figure": "figure2", "workloads": ["database"]}
 
+    {"kind": "tune",
+     "tune": {"workload": "database", "strategy": "genetic", "budget": 12,
+              "seed": 7,
+              "space": {"store_queue": [16, 32, 64],
+                        "scout": ["none", "hws2"]}}}
+
 :func:`parse_job_request` validates such payloads into a frozen
 :class:`JobRequest`, coercing enum spellings (``"sp1"``, ``"wc"``, ...)
 through :func:`repro.harness.sweeps.coerce_axis_value` and raising
@@ -39,6 +45,7 @@ from ..engine.runner import JobSpec
 from ..errors import ProtocolError
 from ..harness.figures import ALL_WORKLOADS
 from ..harness.sweeps import SweepSpec, coerce_axis_value
+from ..tune import STRATEGIES, TuneSpec
 
 __all__ = [
     "FIGURES",
@@ -56,7 +63,7 @@ __all__ = [
 #: are accepted as version 1 (the pre-versioning wire form).
 PROTOCOL_VERSION = 1
 
-JOB_KINDS = ("sweep", "simulate", "figure")
+JOB_KINDS = ("sweep", "simulate", "figure", "tune")
 FIGURES = ("figure2", "figure3", "figure4", "figure5", "figure6",
            "figure7", "figure8")
 
@@ -85,6 +92,7 @@ class JobRequest:
     kind: str
     sweep: Optional[SweepSpec] = None
     job: Optional[JobSpec] = None
+    tune: Optional[TuneSpec] = None
     figure: str = ""
     workloads: Tuple[str, ...] = ()
     priority: int = 0
@@ -95,12 +103,15 @@ class JobRequest:
     def signature(self) -> str:
         """Content hash identifying the *work* (priority excluded)."""
         return content_key(
-            "service-job", self.kind, self.sweep, self.job,
+            "service-job", self.kind, self.sweep, self.job, self.tune,
             self.figure, self.workloads, self.shards, self.checkpoint_every,
             self.backend,
         )
 
     def describe(self) -> str:
+        if self.kind == "tune":
+            assert self.tune is not None
+            return self.tune.describe()
         if self.kind == "sweep":
             assert self.sweep is not None
             axes = " ".join(
@@ -207,6 +218,53 @@ def _parse_simulate(payload: Dict[str, Any]) -> JobSpec:
     )
 
 
+#: Upper bound on a tuning request's measured-evaluation budget — a
+#: service should refuse unbounded search, not queue it.
+_MAX_TUNE_BUDGET = 4096
+
+
+def _parse_tune(payload: Dict[str, Any]) -> TuneSpec:
+    raw = payload.get("tune")
+    _require(isinstance(raw, dict), "tune jobs need a 'tune' object")
+    workload = raw.get("workload")
+    _require(
+        isinstance(workload, str) and workload in ALL_WORKLOADS,
+        f"'tune.workload' must be one of {list(ALL_WORKLOADS)}",
+    )
+    variant = raw.get("variant", "pc")
+    _require(isinstance(variant, str), "'tune.variant' must be a string")
+    strategy = raw.get("strategy", "genetic")
+    _require(
+        isinstance(strategy, str) and strategy in STRATEGIES,
+        f"'tune.strategy' must be one of {list(STRATEGIES)}",
+    )
+    budget = raw.get("budget", 16)
+    _require(
+        isinstance(budget, int) and not isinstance(budget, bool)
+        and 1 <= budget <= _MAX_TUNE_BUDGET,
+        f"'tune.budget' must be an integer in [1, {_MAX_TUNE_BUDGET}]",
+    )
+    seed = raw.get("seed", 0)
+    _require(
+        isinstance(seed, int) and not isinstance(seed, bool),
+        "'tune.seed' must be an integer",
+    )
+    space = raw.get("space")
+    _require(
+        isinstance(space, dict) and space,
+        "tune jobs need a non-empty 'tune.space' object of "
+        "axis -> values",
+    )
+    try:
+        spec = TuneSpec.build(
+            workload, space, variant=variant, strategy=strategy,
+            budget=budget, seed=seed,
+        )
+    except ValueError as exc:
+        raise ProtocolError(str(exc)) from None
+    return spec
+
+
 def _parse_backend(payload: Dict[str, Any], kind: str) -> str:
     """Validate the optional top-level ``backend`` field.
 
@@ -222,8 +280,8 @@ def _parse_backend(payload: Dict[str, Any], kind: str) -> str:
     if not raw:
         return ""
     _require(
-        kind in ("sweep", "simulate"),
-        "'backend' applies to sweep and simulate jobs only",
+        kind in ("sweep", "simulate", "tune"),
+        "'backend' applies to sweep, simulate and tune jobs only",
     )
     names = backend_names()
     _require(
@@ -286,6 +344,11 @@ def parse_job_request(payload: Any) -> JobRequest:
         return JobRequest(
             kind=kind, job=_parse_simulate(payload), priority=priority,
             shards=shards, checkpoint_every=checkpoint_every,
+            backend=backend,
+        )
+    if kind == "tune":
+        return JobRequest(
+            kind=kind, tune=_parse_tune(payload), priority=priority,
             backend=backend,
         )
     figure, workloads = _parse_figure(payload)

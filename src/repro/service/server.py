@@ -37,7 +37,7 @@ from ..obs.logging import get_logger, setup_logging
 from ..obs.options import ObsOptions
 from .executor import ServiceEngine
 from .jobqueue import Dispatcher, Job, JobQueue, JobState, QueueFullError
-from .metrics import MetricsRegistry
+from ..obs.metrics import MetricsRegistry
 from .protocol import PROTOCOL_VERSION, ProtocolError, parse_job_request
 
 __all__ = ["ReproService", "serve"]

@@ -1,0 +1,218 @@
+"""Typed search spaces over the sweepable core-configuration knobs.
+
+A :class:`SearchSpace` is the tuning analogue of a sweep grid: an ordered
+set of named parameters, each with an ordered tuple of allowed values.
+Where a sweep *exhausts* the grid, a tuner *samples* it — so the space
+also knows how to draw random candidates, produce a near-default starting
+point, and validate a candidate against :class:`repro.config.CoreConfig`'s
+cross-field constraints (e.g. ``rob >= issue_window``).
+
+Parameter names and value spellings are exactly the sweep axes
+(:func:`repro.harness.sweeps.valid_axes`): strings like ``"sp2"`` or
+``"true"`` coerce to their typed form, and an unknown parameter name
+raises the same actionable ``ValueError`` listing every valid axis.
+
+Candidates are canonical ``((name, value), ...)`` tuples sorted by name —
+hashable, and stable under :func:`repro.engine.cache.content_key`, so two
+strategies proposing the same knob dict in different orders hash (and
+dedup) identically.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Sequence, Tuple
+
+from ..config import CoreConfig
+from ..engine import serialize
+from ..errors import ConfigError
+from ..harness.sweeps import AXIS_INTS, coerce_axis_value, grid_points
+
+__all__ = ["Candidate", "SearchSpace", "canonical_candidate"]
+
+#: One point of the design space: knob name -> typed value, sorted by name.
+Candidate = Tuple[Tuple[str, Any], ...]
+
+
+def canonical_candidate(
+    knobs: "Mapping[str, Any] | Sequence[Tuple[str, Any]]",
+) -> Candidate:
+    """*knobs* as the canonical sorted ``((name, value), ...)`` tuple."""
+    items = knobs.items() if isinstance(knobs, Mapping) else knobs
+    return tuple(sorted(items, key=lambda pair: pair[0]))
+
+
+@dataclass(frozen=True)
+class SearchSpace:
+    """A typed design space: parameter names x allowed values.
+
+    Stored as ``((name, (value, ...)), ...)`` — the same shape as
+    :class:`~repro.harness.sweeps.SweepSpec` axes — so the space is
+    hashable, tokenizes stably for content addressing, and round-trips
+    through the service wire encoding.  Build one with :meth:`build`,
+    which coerces external value spellings::
+
+        space = SearchSpace.build(
+            store_queue=[16, 32, 64],
+            store_prefetch=["sp0", "sp1", "sp2"],
+        )
+    """
+
+    params: Tuple[Tuple[str, Tuple[Any, ...]], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.params:
+            raise ValueError("a search space needs at least one parameter")
+        seen = set()
+        for name, values in self.params:
+            if name in seen:
+                raise ValueError(f"duplicate search space parameter {name!r}")
+            seen.add(name)
+            if not values:
+                raise ValueError(
+                    f"search space parameter {name!r} has no values"
+                )
+
+    @classmethod
+    def build(
+        cls,
+        params: "Mapping[str, Any] | None" = None,
+        **kwargs: Any,
+    ) -> "SearchSpace":
+        """The ergonomic constructor: coerces values via the sweep axes.
+
+        Accepts a mapping and/or keyword arguments of ``name -> values``;
+        a scalar value means a one-point parameter.  Unknown names raise
+        ``ValueError`` listing the valid axes (the ``valid_axes()``
+        rendering); duplicate values within a parameter collapse.
+        """
+        merged: Dict[str, Any] = dict(params or {})
+        merged.update(kwargs)
+        out = []
+        for name, values in merged.items():
+            if isinstance(values, str) or not isinstance(
+                values, (list, tuple, range)
+            ):
+                values = [values]
+            coerced: List[Any] = []
+            for value in values:
+                typed = coerce_axis_value(name, value)
+                if typed not in coerced:
+                    coerced.append(typed)
+            out.append((name, tuple(coerced)))
+        return cls(params=tuple(out))
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return tuple(name for name, _ in self.params)
+
+    def values(self, name: str) -> Tuple[Any, ...]:
+        """The allowed values of parameter *name* (in declared order)."""
+        for param, values in self.params:
+            if param == name:
+                return values
+        raise ValueError(
+            f"parameter {name!r} is not in this search space; "
+            f"parameters: {', '.join(self.names)}"
+        )
+
+    def is_ordered(self, name: str) -> bool:
+        """True when *name* is an integer sizing knob (step-mutable)."""
+        return name in AXIS_INTS
+
+    def size(self) -> int:
+        """Number of grid points (cross product of all value counts)."""
+        total = 1
+        for _, values in self.params:
+            total *= len(values)
+        return total
+
+    # -- candidates --------------------------------------------------------
+
+    def grid(self) -> List[Candidate]:
+        """Every point of the space, canonicalized, in grid order.
+
+        Grid order matches :class:`~repro.harness.sweeps.SweepSpec` —
+        the last declared parameter varies fastest — so an equal-budget
+        prefix of this list is exactly "the first N points a sweep would
+        run".
+        """
+        axes = {name: list(values) for name, values in self.params}
+        return [canonical_candidate(point) for point in grid_points(axes)]
+
+    def sample(self, rng: random.Random) -> Candidate:
+        """One uniformly random point (canonicalized)."""
+        return canonical_candidate(
+            tuple((name, rng.choice(values)) for name, values in self.params)
+        )
+
+    def default_candidate(self) -> Candidate:
+        """The point closest to the stock :class:`CoreConfig` defaults.
+
+        Per knob: the default itself when the space allows it, the nearest
+        allowed value for integer knobs, the first declared value
+        otherwise.  Guarantees search always starts from (near) the
+        paper's baseline configuration.
+        """
+        defaults = CoreConfig()
+        picked = []
+        for name, values in self.params:
+            default = getattr(defaults, name)
+            if default in values:
+                choice = default
+            elif name in AXIS_INTS:
+                choice = min(values, key=lambda v: (abs(v - default), v))
+            else:
+                choice = values[0]
+            picked.append((name, choice))
+        return canonical_candidate(tuple(picked))
+
+    def is_valid(self, candidate: Candidate) -> bool:
+        """Whether *candidate* lies in the space and configures cleanly.
+
+        Cross-field constraints (``rob >= issue_window``, power-of-two
+        coalescing) are delegated to :class:`CoreConfig` validation —
+        the single source of truth the whole pipeline shares.
+        """
+        knobs = dict(candidate)
+        if set(knobs) != set(self.names):
+            return False
+        for name, value in knobs.items():
+            if value not in self.values(name):
+                return False
+        try:
+            CoreConfig().with_(**knobs)
+        except ConfigError:
+            return False
+        return True
+
+    def describe(self) -> str:
+        """Compact one-line rendering for logs and CLI output."""
+        parts = []
+        for name, values in self.params:
+            rendered = ",".join(
+                str(getattr(value, "value", value)) for value in values
+            )
+            parts.append(f"{name}=[{rendered}]")
+        return " ".join(parts)
+
+    # -- wire form ---------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return serialize.to_jsonable(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SearchSpace":
+        space = serialize.from_jsonable(data)
+        if not isinstance(space, cls):
+            raise serialize.SerializeError(
+                f"expected a SearchSpace payload, decoded "
+                f"{type(space).__name__}"
+            )
+        return space
+
+
+serialize.register(SearchSpace)

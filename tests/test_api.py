@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro import api
+from repro.config import ScoutMode
 from repro.harness.experiment import Workbench
 
 SMALL = api.ExperimentSettings(
@@ -32,6 +33,40 @@ class TestRun:
         assert first.instructions == second.instructions
         # one annotation served both runs
         assert bench.artifacts.stats.memory_hits > 0
+
+    def test_jobspec_shaped_mapping_matches_direct_run(self):
+        # The JobSpec convention the service speaks works at the front
+        # door too: a mapping with core_changes in wire spellings.
+        via_mapping = api.run(
+            {"workload": "database", "variant": "wc",
+             "core_changes": {"scout": "hws2", "store_queue": 16}},
+            settings=SMALL, cache_dir=None,
+        )
+        direct = Workbench(SMALL, cache_dir=None).run(
+            "database", variant="wc",
+            scout=ScoutMode.HWS2, store_queue=16,
+        )
+        assert via_mapping == direct
+
+    def test_explicit_kwargs_override_jobspec_fields(self):
+        overridden = api.run(
+            {"workload": "database", "core_changes": {"store_queue": 16}},
+            settings=SMALL, cache_dir=None, store_queue=64,
+        )
+        direct = Workbench(SMALL, cache_dir=None).run(
+            "database", store_queue=64,
+        )
+        assert overridden == direct
+
+    def test_unknown_knob_lists_valid_axes(self):
+        with pytest.raises(ValueError, match="valid axes"):
+            api.run("database", settings=SMALL, cache_dir=None,
+                    warp_drive=9)
+
+    def test_unknown_job_field_lists_valid_fields(self):
+        with pytest.raises(ValueError, match="valid fields"):
+            api.run({"workload": "database", "cromulence": 3},
+                    settings=SMALL, cache_dir=None)
 
 
 class TestSweep:
@@ -64,6 +99,46 @@ class TestSweep:
         with pytest.raises(TypeError, match="SweepSpec"):
             api.sweep("database")
 
+    def test_sharded_sweep_is_bit_identical(self, tmp_path):
+        spec = api.SweepSpec.build("database", store_queue=[16, 32])
+        plain = api.sweep(
+            spec, settings=SMALL, cache_dir=None, workers=1,
+        )
+        sharded = api.sweep(
+            spec, settings=SMALL, cache_dir=tmp_path / "shards",
+            workers=1, shards=2,
+        )
+        assert [r.point for r in sharded] == [r.point for r in plain]
+        assert [r.epi_per_1000 for r in sharded] == \
+            [r.epi_per_1000 for r in plain]
+
+    def test_checkpointed_sweep_is_bit_identical(self, tmp_path):
+        spec = api.SweepSpec.build("database", store_queue=[16, 32])
+        plain = api.sweep(
+            spec, settings=SMALL, cache_dir=None, workers=1,
+        )
+        checkpointed = api.sweep(
+            spec, settings=SMALL, cache_dir=tmp_path / "ckpt",
+            workers=1, checkpoint_every=2000,
+        )
+        assert [r.epi_per_1000 for r in checkpointed] == \
+            [r.epi_per_1000 for r in plain]
+
+
+class TestTune:
+    def test_facade_finds_the_cheap_corner(self, tmp_path):
+        result = api.tune(
+            {"scout": ["none", "hws2"]},
+            profile="database", strategy="grid", budget=2,
+            settings=SMALL, cache_dir=tmp_path / "tune",
+        )
+        assert result.evaluations == 2
+        # Scouting is worth ~30% on database at any trace size; the
+        # exhaustive two-point search must pick it up.
+        assert dict(result.best)["scout"].value != "none"
+        baseline = api.run("database", settings=SMALL, cache_dir=None)
+        assert result.best_epi_per_1000 < baseline.epi_per_1000
+
 
 class TestSurface:
     def test_connect_builds_a_client(self):
@@ -79,8 +154,9 @@ class TestSurface:
         assert repro.api is api
         assert "api" in repro.__all__
 
-    def test_old_entry_points_still_importable(self):
-        # the deprecation is a docstring note, not a runtime break
+    def test_canonical_homes_remain_importable(self):
+        # v2 removed the *aliases*; the classes themselves stay
+        # importable from their canonical modules for extension code.
         from repro.engine.runner import EngineRunner
         from repro.harness.experiment import Workbench
         from repro.service.client import ServiceClient

@@ -87,3 +87,38 @@ class TestCli:
                 "--axis", "store_que=16,32",
             )
         assert "unknown sweep axis" in str(excinfo.value)
+
+    def test_tune_writes_best_config(self, capsys, tmp_path):
+        out_path = tmp_path / "best.json"
+        code, out, _ = run_cli(
+            capsys, *SMALL, "--cache-dir", str(tmp_path / "cache"),
+            "tune", "--workload", "database",
+            "--param", "scout=none,hws2", "--strategy", "grid",
+            "--budget", "2", "--out", str(out_path),
+        )
+        assert code == 0
+        assert "tune:database" in out
+        assert "resume state token" in out
+        import json
+
+        payload = json.loads(out_path.read_text())
+        assert payload["workload"] == "database"
+        assert payload["strategy"] == "grid"
+        assert payload["evaluations"] == 2
+        assert payload["best_knobs"]["scout"] == "hws2"
+        assert payload["best_epi_per_1000"] > 0
+
+    def test_tune_requires_a_param(self, capsys):
+        code, _, err = run_cli(
+            capsys, *SMALL, "tune", "--workload", "database",
+        )
+        assert code == 2
+        assert "--param" in err
+
+    def test_tune_reports_bad_axis_names(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            run_cli(
+                capsys, *SMALL, "tune", "--workload", "database",
+                "--param", "warp_drive=1,2",
+            )
+        assert "valid axes" in str(excinfo.value)

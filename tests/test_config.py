@@ -93,6 +93,20 @@ class TestCoreConfig:
         assert changed.store_queue == 64
         assert core.store_queue == 32
 
+    def test_with_coerces_enum_spellings(self):
+        # Wire spellings must land as the enum members, never as raw
+        # strings (a str-valued scout silently matches no simulator path).
+        changed = CoreConfig().with_(
+            scout="hws1", consistency="wc", store_prefetch="sp2",
+        )
+        assert changed.scout is ScoutMode.HWS1
+        assert changed.consistency is ConsistencyModel.WC
+        assert changed.store_prefetch is StorePrefetchMode.AT_EXECUTE
+
+    def test_with_rejects_bad_enum_spelling(self):
+        with pytest.raises(ConfigError, match="none, hws0, hws1, hws2"):
+            CoreConfig().with_(scout="turbo")
+
 
 class TestMemoryConfig:
     def test_latency_ordering_enforced(self):

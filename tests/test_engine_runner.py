@@ -12,26 +12,15 @@ import dataclasses
 
 import pytest
 
+from repro import api
 from repro.config import StorePrefetchMode
 from repro.engine import EngineRunner, JobSpec, RunReport
 from repro.engine.runner import JobResult
 from repro.harness import ExperimentSettings
 from repro.harness.experiment import Workbench
-from repro.harness import sweeps
+from repro.harness.sweeps import SweepSpec
 
 SMALL = ExperimentSettings(warmup=2000, measure=6000, seed=11, calibrate=False)
-
-
-def sweep(*args, **kwargs):
-    # Deprecated entry point, used deliberately: assert the warning rather
-    # than leaking it into pytest's summary (repro.api.sweep is current).
-    with pytest.warns(DeprecationWarning, match="sweep"):
-        return sweeps.sweep(*args, **kwargs)
-
-
-def sweep_workloads(*args, **kwargs):
-    with pytest.warns(DeprecationWarning, match="sweep_workloads"):
-        return sweeps.sweep_workloads(*args, **kwargs)
 
 GRID_JOBS = [
     JobSpec(
@@ -150,34 +139,32 @@ class TestParallelEquivalence:
 
 
 class TestSweepIntegration:
-    def test_sweep_with_runner_matches_serial_sweep(self, tmp_path):
+    def test_api_sweep_matches_serial_workbench(self, tmp_path):
         bench = Workbench(SMALL, cache_dir=tmp_path / "cache")
-        axes = dict(
+        spec = SweepSpec.build(
+            "database",
             store_prefetch=[StorePrefetchMode.NONE,
                             StorePrefetchMode.AT_RETIRE],
             store_queue=[16, 64],
         )
-        serial = sweep(bench, "database", **axes)
-        parallel = sweep(
-            bench, "database", runner=_runner(tmp_path, workers=2), **axes,
-        )
-        assert [r.point for r in parallel] == [r.point for r in serial]
+        parallel = api.sweep(spec, runner=_runner(tmp_path, workers=2))
+        serial = [
+            bench.run("database", **dict(point)) for point in spec.points()
+        ]
+        assert [r.point for r in parallel] == spec.points()
         assert [r.epi_per_1000 for r in parallel] == \
             [r.epi_per_1000 for r in serial]
 
-    def test_sweep_workloads_slices_one_batch(self, tmp_path):
-        bench = Workbench(SMALL, cache_dir=tmp_path / "cache")
+    def test_api_sweep_multi_workload_is_one_batch(self, tmp_path):
         names = ("database", "tpcw")
-        serial = sweep_workloads(bench, names, store_queue=[16, 64])
-        parallel = sweep_workloads(
-            bench, names, runner=_runner(tmp_path, workers=2),
-            store_queue=[16, 64],
-        )
-        assert set(parallel) == set(names)
-        for name in names:
-            assert [r.workload for r in parallel[name]] == [name, name]
-            assert [r.epi_per_1000 for r in parallel[name]] == \
-                [r.epi_per_1000 for r in serial[name]]
+        spec = SweepSpec.build(names, store_queue=[16, 64])
+        records = api.sweep(spec, runner=_runner(tmp_path, workers=2))
+        assert [r.workload for r in records] == \
+            ["database", "database", "tpcw", "tpcw"]
+        bench = Workbench(SMALL, cache_dir=tmp_path / "cache")
+        for record in records:
+            serial = bench.run(record.workload, **record.knobs)
+            assert record.epi_per_1000 == serial.epi_per_1000
 
 
 class TestReportShape:

@@ -9,9 +9,16 @@ from __future__ import annotations
 
 import pytest
 
+import json
+
 from repro.engine.runner import JobSpec
 from repro.fleet import estimate_job_cost
-from repro.fleet.cost import _BACKEND_SPEEDUP
+from repro.fleet.cost import (
+    _BACKEND_SPEEDUP,
+    _reset_speedups,
+    backend_speedup,
+    backend_speedups,
+)
 from repro.harness import ExperimentSettings
 from repro.workloads import WORKLOADS
 
@@ -41,16 +48,21 @@ class TestEstimate:
         assert double.units == pytest.approx(2.0 * small.units)
 
     def test_backend_speedup_divides_cost(self):
+        # Whatever speedups are in effect (measured from the committed
+        # BENCH_backends.json, or the documented defaults when it is
+        # absent), the cost divides by exactly that factor.
+        speedups = backend_speedups()
         reference = _cost(workload="database")
         batch = _cost(workload="database", backend="batch")
         event = _cost(workload="database", backend="event")
         assert reference.units == pytest.approx(
-            batch.units * _BACKEND_SPEEDUP["batch"],
+            batch.units * speedups["batch"],
         )
         assert reference.units == pytest.approx(
-            event.units * _BACKEND_SPEEDUP["event"],
+            event.units * speedups["event"],
         )
-        assert batch.units < event.units < reference.units
+        assert batch.units < reference.units
+        assert event.units < reference.units
 
     def test_unknown_backend_charged_as_reference(self):
         assert _cost(workload="database", backend="").units == pytest.approx(
@@ -104,3 +116,57 @@ class TestEstimate:
         half = estimate.scaled(0.5)
         assert half.units == pytest.approx(estimate.units / 2)
         assert half.backend == estimate.backend
+
+
+class TestBackendSpeedups:
+    """backend_speedups degrades gracefully when the report is unusable."""
+
+    @pytest.fixture(autouse=True)
+    def _fresh_cache(self):
+        _reset_speedups()
+        yield
+        _reset_speedups()
+
+    def _report(self, tmp_path, rates):
+        path = tmp_path / "BENCH_backends.json"
+        path.write_text(json.dumps({
+            "backends": {
+                name: {"aggregate": {"instructions_per_sec_geomean": rate}}
+                for name, rate in rates.items()
+            },
+        }), encoding="utf-8")
+        return path
+
+    def test_missing_report_falls_back_to_defaults(self, tmp_path):
+        speedups = backend_speedups(tmp_path / "does-not-exist.json")
+        assert speedups == _BACKEND_SPEEDUP
+
+    def test_malformed_json_falls_back_to_defaults(self, tmp_path):
+        path = tmp_path / "BENCH_backends.json"
+        path.write_text("{not json", encoding="utf-8")
+        assert backend_speedups(path) == _BACKEND_SPEEDUP
+
+    def test_missing_aggregates_fall_back_to_defaults(self, tmp_path):
+        path = tmp_path / "BENCH_backends.json"
+        path.write_text(json.dumps({"backends": {"reference": {}}}),
+                        encoding="utf-8")
+        assert backend_speedups(path) == _BACKEND_SPEEDUP
+
+    def test_zero_reference_throughput_falls_back(self, tmp_path):
+        path = self._report(tmp_path, {"reference": 0.0, "batch": 5e6})
+        assert backend_speedups(path) == _BACKEND_SPEEDUP
+
+    def test_measured_ratios_override_defaults(self, tmp_path):
+        path = self._report(tmp_path, {"reference": 1e6, "batch": 5e6})
+        speedups = backend_speedups(path)
+        assert speedups["batch"] == pytest.approx(5.0)
+        # A backend the report does not cover keeps its documented default.
+        assert speedups["event"] == _BACKEND_SPEEDUP["event"]
+
+    def test_env_var_selects_report(self, tmp_path, monkeypatch):
+        path = self._report(tmp_path, {"reference": 1e6, "event": 2e6})
+        monkeypatch.setenv("REPRO_BENCH_BACKENDS", str(path))
+        assert backend_speedup("event") == pytest.approx(2.0)
+
+    def test_unknown_backend_charged_as_reference(self, tmp_path):
+        assert backend_speedup("quantum", tmp_path / "nope.json") == 1.0

@@ -118,24 +118,30 @@ class TestFormatting:
         assert text == "EPI: a=1.0 b=2.5"
 
 
-class TestDeprecatedEntryPoints:
-    # Both legacy import paths stay importable but must warn at the
-    # caller; repro-internal code imports from repro.harness.experiment
-    # and never pays this (see DESIGN.md for the removal timeline).
-    def test_repro_workbench_warns(self):
+class TestRemovedEntryPoints:
+    # The pre-v2 aliases were deleted per the DESIGN.md removal timeline.
+    # Pin the removal so they cannot quietly come back: the canonical
+    # imports are repro.harness.experiment.Workbench and repro.api.
+    def test_repro_workbench_alias_removed(self):
         import repro
 
-        with pytest.warns(DeprecationWarning, match="Workbench"):
-            assert repro.Workbench is Workbench
+        with pytest.raises(AttributeError):
+            repro.Workbench
 
-    def test_repro_harness_workbench_warns(self):
-        import repro.harness
-
-        with pytest.warns(DeprecationWarning, match="Workbench"):
-            assert repro.harness.Workbench is Workbench
-
-    def test_unknown_attribute_still_raises(self):
+    def test_repro_harness_workbench_alias_removed(self):
         import repro.harness
 
         with pytest.raises(AttributeError):
-            repro.harness.does_not_exist
+            repro.harness.Workbench
+
+    def test_module_level_sweep_removed(self):
+        from repro.harness import sweeps
+
+        with pytest.raises(AttributeError):
+            sweeps.sweep
+        with pytest.raises(AttributeError):
+            sweeps.sweep_workloads
+
+    def test_service_metrics_shim_removed(self):
+        with pytest.raises(ImportError):
+            import repro.service.metrics  # noqa: F401

@@ -87,10 +87,11 @@ class TestPercentile:
         assert percentile([0.0, 10.0], 0.5) == 5.0
         assert percentile([1.0, 2.0, 3.0, 4.0], 1.0) == 4.0
 
-    def test_service_shim_reexports_canonical(self):
-        from repro.service.metrics import percentile as shimmed
-
-        assert shimmed is percentile
+    def test_service_shim_removed(self):
+        # The repro.service.metrics re-export shim was removed in v2.0;
+        # repro.obs.metrics is the only home.
+        with pytest.raises(ImportError):
+            from repro.service.metrics import percentile  # noqa: F401
 
 
 class TestRegistry:
@@ -113,10 +114,12 @@ class TestRegistry:
         assert summary["p50"] == pytest.approx(0.0505, abs=1e-6)
         assert summary["p99"] == pytest.approx(0.09901, abs=1e-5)
 
-    def test_service_shim_reexports_registry(self):
-        from repro.service.metrics import MetricsRegistry as shimmed
+    def test_registry_importable_from_service_package(self):
+        # The service package re-exposes the canonical registry class for
+        # daemon embedders (the deep repro.service.metrics module is gone).
+        from repro.service import MetricsRegistry as reexported
 
-        assert shimmed is MetricsRegistry
+        assert reexported is MetricsRegistry
 
 
 class TestPrometheusRendering:

@@ -73,6 +73,64 @@ class TestParseJobRequest:
         assert request.figure == "figure2"
         assert len(request.workloads) == 4
 
+    def test_tune_request_coerces_space(self):
+        request = parse_job_request(wire({
+            "kind": "tune",
+            "tune": {"workload": "database", "strategy": "random",
+                     "budget": 8, "seed": 7,
+                     "space": {"scout": ["none", "hws2"],
+                               "store_buffer": [4, 16]}},
+        }))
+        assert request.kind == "tune"
+        spec = request.tune
+        assert spec.strategy == "random"
+        assert spec.budget == 8 and spec.seed == 7
+        assert spec.space.values("scout") == (
+            ScoutMode.NONE, ScoutMode.HWS2,
+        )
+        assert spec.space.values("store_buffer") == (4, 16)
+        assert "tune:database" in spec.describe()
+
+    def test_tune_priority_excluded_from_signature(self):
+        body = {
+            "kind": "tune",
+            "tune": {"workload": "database",
+                     "space": {"store_buffer": [4, 16]}},
+        }
+        low = parse_job_request({**body, "priority": 0})
+        high = parse_job_request({**body, "priority": 9})
+        assert low.signature() == high.signature()
+
+    @pytest.mark.parametrize("payload,fragment", [
+        ({"kind": "tune"}, "'tune'"),
+        ({"kind": "tune", "tune": {"workload": "nosuch",
+                                   "space": {"store_buffer": [4]}}},
+         "'tune.workload'"),
+        ({"kind": "tune", "tune": {"workload": "database",
+                                   "strategy": "anneal",
+                                   "space": {"store_buffer": [4]}}},
+         "'tune.strategy'"),
+        ({"kind": "tune", "tune": {"workload": "database", "budget": 0,
+                                   "space": {"store_buffer": [4]}}},
+         "'tune.budget'"),
+        ({"kind": "tune", "tune": {"workload": "database", "budget": 9999,
+                                   "space": {"store_buffer": [4]}}},
+         "'tune.budget'"),
+        ({"kind": "tune", "tune": {"workload": "database"}},
+         "'tune.space'"),
+        ({"kind": "tune", "tune": {"workload": "database",
+                                   "space": {"warp_drive": [1]}}},
+         "valid axes"),
+        ({"kind": "tune", "tune": {"workload": "database",
+                                   "space": {"scout": ["sp9"]}}},
+         "sp9"),
+    ])
+    def test_bad_tune_payloads_raise_protocol_error(
+            self, payload, fragment):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_job_request(payload)
+        assert fragment.lower() in str(excinfo.value).lower()
+
     @pytest.mark.parametrize("payload,fragment", [
         ("not a dict", "JSON object"),
         ({}, "'kind'"),
@@ -158,6 +216,20 @@ class TestWireRoundTrips:
                       "axes": {"store_prefetch": ["sp0", "sp1"]}},
         })
         assert JobRequest.from_dict(wire(request.to_dict())) == request
+
+    def test_tune_request_round_trip(self):
+        request = parse_job_request({
+            "kind": "tune",
+            "priority": 1,
+            "backend": "batch",
+            "tune": {"workload": "tpcw", "variant": "wc",
+                     "strategy": "genetic", "budget": 12, "seed": 11,
+                     "space": {"scout": ["hws0", "hws1"],
+                               "store_queue": [16, 64]}},
+        })
+        back = JobRequest.from_dict(wire(request.to_dict()))
+        assert back == request
+        assert back.tune.space.grid() == request.tune.space.grid()
 
     def test_sweep_spec_round_trip(self):
         spec = SweepSpec.build(

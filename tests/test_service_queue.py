@@ -1,5 +1,5 @@
 """Queue lifecycle, dedup, cancellation and dispatcher resilience
-(repro.service.jobqueue + repro.service.metrics)."""
+(repro.service.jobqueue + repro.obs.metrics)."""
 
 from __future__ import annotations
 
@@ -14,7 +14,7 @@ from repro.service.jobqueue import (
     JobState,
     QueueFullError,
 )
-from repro.service.metrics import MetricsRegistry, percentile
+from repro.obs.metrics import MetricsRegistry, percentile
 from repro.service.protocol import parse_job_request
 
 

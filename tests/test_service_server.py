@@ -19,6 +19,7 @@ from repro.config import StorePrefetchMode
 from repro.harness import ExperimentSettings
 from repro.harness.experiment import Workbench
 from repro.service import ReproService, ServiceClient, ServiceError
+from repro.tune import TuneResult
 
 SMALL = ExperimentSettings(warmup=1500, measure=4000, seed=11,
                            calibrate=False)
@@ -126,6 +127,32 @@ class TestEndToEnd:
             store_queue=16,
         )
         assert report.jobs[0].result == direct
+
+    def test_tune_job_returns_best_config(self, service, client):
+        service.start_dispatcher()
+        receipt = client.submit_tune(
+            "database", strategy="grid", budget=2,
+            scout=["none", "hws2"],
+        )
+        status = client.wait(receipt["id"], timeout=240.0)
+        assert status["state"] == "done"
+        result = status["result"]
+        assert result["kind"] == "tune"
+        assert result["best"]["knobs"]["scout"] == "hws2"
+        assert result["best"]["epi_per_1000"] > 0
+        assert "tune:database" in result["summary"]
+        decoded = TuneResult.from_dict(result["tune_result"])
+        assert decoded.evaluations == 2
+        # identical resubmission resumes from the daemon's shared cache
+        again = client.submit_tune(
+            "database", strategy="grid", budget=2,
+            scout=["none", "hws2"],
+        )
+        second = client.wait(again["id"], timeout=240.0)
+        resumed = TuneResult.from_dict(second["result"]["tune_result"])
+        assert resumed.evaluations == 0
+        assert resumed.resumed > 0
+        assert second["result"]["best"] == result["best"]
 
     def test_cancel_queued_job_via_http(self, service, client):
         # dispatcher never started: the job stays queued

@@ -1,27 +1,37 @@
-"""Parameter-sweep utility."""
+"""Parameter-sweep utility.
+
+Since v2.0 execution goes through :func:`repro.api.sweep`; these tests
+drive the spec/record machinery serially through a Workbench so the grid
+semantics (ordering, coercion, selection helpers) stay covered without a
+process pool.  The parallel path is exercised in test_engine_runner.py.
+"""
 
 from __future__ import annotations
 
 import pytest
 
 from repro.config import StorePrefetchMode
+from repro.engine.runner import JobResult, RunReport
 from repro.harness import ExperimentSettings
 from repro.harness.experiment import Workbench
-from repro.harness import sweeps
-from repro.harness.sweeps import best_point, pareto_front
+from repro.harness.sweeps import SweepSpec, best_point, pareto_front
 
 
-def sweep(*args, **kwargs):
-    # The module-level entry point is deprecated (repro.api.sweep is the
-    # front door): exercise it deliberately and assert the warning instead
-    # of letting it leak into pytest's warning summary.
-    with pytest.warns(DeprecationWarning, match="sweep"):
-        return sweeps.sweep(*args, **kwargs)
-
-
-def sweep_workloads(*args, **kwargs):
-    with pytest.warns(DeprecationWarning, match="sweep_workloads"):
-        return sweeps.sweep_workloads(*args, **kwargs)
+def sweep(bench, workloads, variant="pc", **axes):
+    # Run the grid serially and pair it through SweepSpec.records — the
+    # same pairing api.sweep uses, minus the worker pool.
+    spec = SweepSpec.build(workloads, variant, **axes)
+    results = [
+        JobResult(
+            spec=job,
+            status="ok",
+            result=bench.run(job.workload, variant=job.variant,
+                             **dict(job.core_changes)),
+        )
+        for job in spec.to_jobs()
+    ]
+    report = RunReport(jobs=results, wall_time=0.0, workers=1)
+    return spec.records(report)
 
 
 @pytest.fixture(scope="module")
@@ -63,11 +73,9 @@ class TestSweep:
         with pytest.raises(ValueError):
             sweep(bench, "tpcw")
 
-    def test_sweep_workloads(self, bench):
-        results = sweep_workloads(
-            bench, ("tpcw", "specweb"), store_queue=[32]
-        )
-        assert set(results) == {"tpcw", "specweb"}
+    def test_multi_workload_grid_is_workload_major(self, bench):
+        records = sweep(bench, ("tpcw", "specweb"), store_queue=[32])
+        assert [r.workload for r in records] == ["tpcw", "specweb"]
 
 
 class TestSelection:

@@ -13,7 +13,11 @@ backpressure under overload is exactly the behaviour under test.
 
 The committed ``BENCH_service.json`` records, per fleet size: p50/p99
 client-observed latency, throughput (jobs/sec), saturation answers seen,
-and dedup/result-store hits.  ``cpu_count`` is recorded alongside because
+dedup/result-store hits, and a per-phase latency breakdown (p50/p99 of
+queued / lease_wait / recovery / executing / merging across executed
+jobs) reconstructed from the coordinator's trace by
+:mod:`repro.obs.timeline` — the column that says *where* p99 lives, not
+just how big it is.  ``cpu_count`` is recorded alongside because
 worker scaling is meaningless without it: thread workers on a single CPU
 time-share one core, so jobs/sec stays roughly flat until the host has
 cores to give (the shape to look for on multicore CI is throughput
@@ -41,6 +45,13 @@ import time
 
 from repro.fleet import FleetCoordinator, FleetWorker
 from repro.harness import ExperimentSettings
+from repro.obs import (
+    ObsOptions,
+    aggregate_phases,
+    fleet_job_ids,
+    job_timeline,
+    load_events,
+)
 from repro.service.client import ServiceClient, ServiceError
 
 #: A deliberately tiny trace: the load test measures the *service*, not
@@ -58,6 +69,33 @@ def percentile(values, fraction):
     return ordered[index]
 
 
+def _phase_breakdown(trace_dir: str) -> dict:
+    """Per-phase p50/p99/mean across the run's executed jobs.
+
+    Deduped jobs and result-store hits never expand into tasks, so the
+    breakdown covers jobs that actually crossed the fleet — the ones
+    whose latency the phases explain.
+    """
+    events = load_events(trace_dir, strict=False)
+    timelines = [
+        timeline
+        for timeline in (
+            job_timeline(events, job_id) for job_id in fleet_job_ids(events)
+        )
+        if timeline is not None and timeline.state == "done"
+    ]
+    stats = aggregate_phases(timelines)
+    return {
+        name: {
+            "count": int(summary["count"]),
+            "mean": round(summary["mean"], 4),
+            "p50": round(summary["p50"], 4),
+            "p99": round(summary["p99"], 4),
+        }
+        for name, summary in sorted(stats.items())
+    }
+
+
 def run_fleet_size(
     workers: int,
     clients: int,
@@ -66,6 +104,10 @@ def run_fleet_size(
     queue_capacity: int,
     cache_dir: str,
 ) -> dict:
+    # Trace only the coordinator: the five-phase decomposition is built
+    # from coordinator-side events alone (single clock), and worker-side
+    # tracing would add per-job span overhead to the thing being timed.
+    trace_dir = os.path.join(cache_dir, "traces")
     coordinator = FleetCoordinator(
         port=0,
         settings=TINY,
@@ -73,6 +115,7 @@ def run_fleet_size(
         queue_capacity=queue_capacity,
         lease_ttl=5.0,
         default_backend="batch",
+        obs=ObsOptions.for_trace(trace_dir, trace_epochs=False),
     ).start()
     fleet_workers = []
     threads = []
@@ -165,6 +208,7 @@ def run_fleet_size(
         ),
         "shed_total": counters.get("jobs_shed_total", 0),
         "tasks_done_total": counters.get("fleet_tasks_done_total", 0),
+        "phase_breakdown_seconds": _phase_breakdown(trace_dir),
     }
 
     coordinator.begin_drain()

@@ -10,8 +10,18 @@ a leased shard with at least one checkpoint persisted, and then asserts:
 2. the surviving worker resumes the shard from the killed worker's
    checkpoint (``resumed_shards >= 1`` — no completed work redone);
 3. the merged result is bit-identical to a direct single-process run;
-4. a SIGTERM drain shuts the coordinator down cleanly (exit 0, nothing
+4. the job's trace — coordinator plus both worker processes, across the
+   SIGKILL and the cross-worker resume — joins into ONE connected span
+   tree, and its five-phase decomposition reconciles with the measured
+   wall time within 5%;
+5. ``/metrics`` carries both workers' federated labeled series
+   (``fleet_worker_*{worker="..."}``), the SIGKILLed worker's included;
+6. a SIGTERM drain shuts the coordinator down cleanly (exit 0, nothing
    abandoned) and the surviving worker exits 0 by itself.
+
+A rendered critical-path report is always written to
+``<log-dir>/fleet-critical-path.txt`` so CI failure artifacts include
+the per-phase post-mortem.
 
 Exits non-zero with diagnostics on any deviation; CI uploads the log and
 checkpoint directories as artifacts for post-mortem.
@@ -36,6 +46,12 @@ import urllib.request
 from repro.engine.runner import ShardedReport
 from repro.harness import ExperimentSettings
 from repro.harness.experiment import Workbench
+from repro.obs import (
+    connected_roots,
+    job_timeline,
+    load_events,
+    render_timeline_report,
+)
 from repro.service.client import ServiceClient
 
 
@@ -59,15 +75,28 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--cache-dir", default=".ci-fleet-cache")
     parser.add_argument("--workload", default="database")
     parser.add_argument("--shards", type=int, default=2)
-    parser.add_argument("--checkpoint-every", type=int, default=500)
+    parser.add_argument("--checkpoint-every", type=int, default=2000)
     parser.add_argument("--warmup", type=int, default=3000)
-    parser.add_argument("--measure", type=int, default=9000)
+    # Large enough that one shard runs for whole seconds even on a fast
+    # host: the SIGKILL must land while the victim still holds a leased,
+    # checkpointed, *unfinished* shard, and that window is the shard's
+    # execution time.
+    parser.add_argument("--measure", type=int, default=60000)
     parser.add_argument("--seed", type=int, default=13)
     parser.add_argument("--log-dir", default=".")
+    parser.add_argument(
+        "--trace-dir", default="",
+        help="trace directory shared by the coordinator and both workers "
+             "(default: <log-dir>/fleet-traces)",
+    )
     args = parser.parse_args(argv)
 
     os.makedirs(args.log_dir, exist_ok=True)
     cache_dir = os.path.abspath(args.cache_dir)
+    trace_dir = os.path.abspath(
+        args.trace_dir or os.path.join(args.log_dir, "fleet-traces"),
+    )
+    os.makedirs(trace_dir, exist_ok=True)
     settings = ExperimentSettings(
         warmup=args.warmup, measure=args.measure, seed=args.seed,
         calibrate=False,
@@ -90,6 +119,7 @@ def main(argv: list[str] | None = None) -> int:
             "serve", "--fleet", "--port", "0",
             "--lease-ttl", "1.0", "--max-inflight", "1",
             "--drain-timeout", "120",
+            "--trace-dir", trace_dir,
         ],
         stdout=serve_log, stderr=subprocess.STDOUT,
     )
@@ -110,7 +140,10 @@ def main(argv: list[str] | None = None) -> int:
         for name in ("victim", "survivor"):
             log = open(os.path.join(args.log_dir, f"fleet-{name}.log"), "w")
             proc = subprocess.Popen(
-                mlpsim + ["worker", "--join", url, "--name", name],
+                mlpsim + [
+                    "worker", "--join", url, "--name", name,
+                    "--trace-dir", trace_dir,
+                ],
                 stdout=log, stderr=subprocess.STDOUT,
             )
             workers[name] = proc
@@ -201,6 +234,55 @@ def main(argv: list[str] | None = None) -> int:
         if metrics["gauges"].get("fleet_workers_evicted_total", 0) < 1:
             failures.append("the dead worker was never evicted")
 
+        # Metrics federation: both worker processes must have labeled
+        # series on the coordinator's /metrics — including the SIGKILLed
+        # one, whose last reported totals are retained after eviction.
+        federated = {
+            entry["labels"].get("worker")
+            for entry in metrics.get("labeled", {}).get(
+                "fleet_worker_tasks_done_total", [],
+            )
+        }
+        missing = {"victim", "survivor"} - federated
+        if missing:
+            failures.append(
+                f"workers missing from federated /metrics series: "
+                f"{sorted(missing)} (saw {sorted(federated)})"
+            )
+
+        # Trace propagation: the job's spans — coordinator + both worker
+        # processes, across the SIGKILL and the cross-worker resume —
+        # must join into one connected tree, and the phase decomposition
+        # must reconcile with the measured wall time.
+        events = load_events(trace_dir)
+        roots = connected_roots(events, job_id)
+        if len(roots) != 1:
+            failures.append(
+                f"trace tree for job {job_id} is split: "
+                f"{len(roots)} root(s) instead of 1"
+            )
+        timeline = job_timeline(events, job_id)
+        if timeline is None:
+            failures.append(f"no fleet_job span for {job_id} in the trace")
+        else:
+            report_path = os.path.join(
+                args.log_dir, "fleet-critical-path.txt",
+            )
+            with open(report_path, "w") as handle:
+                handle.write(render_timeline_report(timeline, events) + "\n")
+            print(f"fleet smoke: critical-path report at {report_path}")
+            drift = abs(timeline.phase_sum - timeline.wall)
+            if timeline.wall > 0 and drift > 0.05 * timeline.wall:
+                failures.append(
+                    f"phase sum {timeline.phase_sum:.3f}s deviates from "
+                    f"wall {timeline.wall:.3f}s by more than 5%"
+                )
+            if timeline.resumes < 1:
+                failures.append(
+                    "timeline records no checkpoint resume for the "
+                    "re-routed shard"
+                )
+
         # Graceful drain: coordinator exits 0 with nothing abandoned, and
         # the surviving worker drains out by itself.
         coordinator.send_signal(signal.SIGTERM)
@@ -220,7 +302,7 @@ def main(argv: list[str] | None = None) -> int:
             return 1
         print(
             "fleet smoke OK: eviction, checkpoint resume, bit-identical "
-            "merge, clean drain"
+            "merge, connected trace tree, federated metrics, clean drain"
         )
         return 0
     finally:

@@ -38,6 +38,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from typing import Any, Dict, List, Sequence, Tuple
 
 from . import api
@@ -332,6 +333,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="trace every job's engine batches and epochs as JSONL here",
     )
     srv.add_argument(
+        "--trace-max-bytes", type=int, default=0, metavar="BYTES",
+        help="rotate trace files at this size (trace-<pid>.jsonl -> .1, "
+             ".2, ...; 0 disables rotation)",
+    )
+    srv.add_argument(
         "--fleet", action="store_true",
         help="run as a fleet coordinator (async front end + pull-based "
              "workers joined with 'mlpsim worker --join URL') instead of "
@@ -390,6 +396,10 @@ def _build_parser() -> argparse.ArgumentParser:
         "--trace-dir", default=None, metavar="DIR",
         help="trace leased batches as JSONL into this directory",
     )
+    wk.add_argument(
+        "--trace-max-bytes", type=int, default=0, metavar="BYTES",
+        help="rotate trace files at this size (0 disables rotation)",
+    )
 
     fl = sub.add_parser(
         "fleet", help="inspect or control a running fleet coordinator",
@@ -407,6 +417,18 @@ def _build_parser() -> argparse.ArgumentParser:
     fl_drain.add_argument("--url", default="http://127.0.0.1:8137")
     fl_drain.add_argument("--worker", default="",
                           help="worker id (empty drains the whole fleet)")
+    fl_top = fl_sub.add_parser(
+        "top",
+        help="live console view of a coordinator: per-worker federated "
+             "metrics, lease ages and queue state, polled from /metrics",
+    )
+    fl_top.add_argument("--url", default="http://127.0.0.1:8137")
+    fl_top.add_argument("--interval", type=float, default=2.0,
+                        help="seconds between refreshes")
+    fl_top.add_argument(
+        "--iterations", type=int, default=0, metavar="N",
+        help="stop after N frames (0 = run until interrupted)",
+    )
 
     sb = sub.add_parser(
         "submit", help="submit a sweep to a running service and wait",
@@ -473,6 +495,29 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     obs_report.add_argument(
         "path", help="trace file, or directory of trace-<pid>.jsonl files",
+    )
+    obs_report.add_argument(
+        "--format", default="text", choices=["text", "json"],
+        help="render for humans (text) or machines (json digest)",
+    )
+    obs_critical = obs_sub.add_parser(
+        "critical-path",
+        help="per-phase latency decomposition and critical path of a "
+             "fleet job's merged cross-process trace",
+    )
+    obs_critical.add_argument(
+        "job_id",
+        help="fleet job id (its correlation id), or 'all' for every fleet "
+             "job in the trace",
+    )
+    obs_critical.add_argument(
+        "--trace-dir", required=True, metavar="PATH", dest="trace_path",
+        help="trace file or directory holding the coordinator's (and "
+             "optionally the workers') trace-<pid>.jsonl files",
+    )
+    obs_critical.add_argument(
+        "--json", action="store_true",
+        help="print the timeline as JSON instead of the console rendering",
     )
     return parser
 
@@ -876,7 +921,9 @@ def _cmd_serve(args, settings: ExperimentSettings) -> int:
     from .service import serve
 
     obs = (
-        ObsOptions.for_trace(args.trace_dir)
+        ObsOptions.for_trace(
+            args.trace_dir, trace_max_bytes=args.trace_max_bytes,
+        )
         if args.trace_dir is not None else None
     )
     if args.fleet:
@@ -917,7 +964,9 @@ def _cmd_worker(args) -> int:
     from .fleet import run_worker
 
     obs = (
-        ObsOptions.for_trace(args.trace_dir)
+        ObsOptions.for_trace(
+            args.trace_dir, trace_max_bytes=args.trace_max_bytes,
+        )
         if args.trace_dir is not None else None
     )
     cache_dir = _cache_dir(args)
@@ -933,9 +982,108 @@ def _cmd_worker(args) -> int:
     )
 
 
+def _cmd_fleet_top(args) -> int:
+    """Live console view over ``/metrics?format=json`` + fleet status."""
+    import urllib.error
+    import urllib.request
+
+    def fetch(path: str) -> Dict[str, Any]:
+        with urllib.request.urlopen(
+            f"{args.url.rstrip('/')}{path}", timeout=10.0,
+        ) as response:
+            return json.loads(response.read().decode("utf-8"))
+
+    frames = 0
+    try:
+        while True:
+            try:
+                snapshot = fetch("/metrics?format=json")
+                status = fetch("/v1/fleet/status")
+            except (urllib.error.URLError, ConnectionError, OSError) as exc:
+                print(f"fleet top: cannot reach {args.url}: {exc}",
+                      file=sys.stderr)
+                return 1
+            frames += 1
+            if frames > 1:
+                print("\x1b[2J\x1b[H", end="")
+            print(_render_fleet_top(args.url, snapshot, status))
+            if args.iterations and frames >= args.iterations:
+                return 0
+            time.sleep(max(0.1, args.interval))
+    except KeyboardInterrupt:
+        return 0
+
+
+def _render_fleet_top(
+    url: str, snapshot: Dict[str, Any], status: Dict[str, Any],
+) -> str:
+    counters = snapshot.get("counters", {})
+    gauges = snapshot.get("gauges", {})
+    labeled = snapshot.get("labeled", {})
+    latency = snapshot.get("latency", {})
+
+    def series(family: str) -> Dict[str, float]:
+        return {
+            entry["labels"].get("worker", "?"): entry["value"]
+            for entry in labeled.get(family, [])
+        }
+
+    inflight = series("fleet_worker_inflight")
+    lease_age = series("fleet_worker_lease_age_oldest")
+    tasks_done = series("fleet_worker_tasks_done_total")
+    epochs = series("fleet_worker_sim_epochs_total")
+    insts = series("fleet_worker_sim_instructions_total")
+    names = sorted(
+        set(inflight) | set(tasks_done) | set(epochs) | set(lease_age)
+    )
+    lines = [
+        f"fleet top — {url}",
+        (
+            f"workers {gauges.get('fleet_workers', 0):.0f}"
+            f" (evicted {gauges.get('fleet_workers_evicted_total', 0):.0f})"
+            f"  queue depth {gauges.get('queue_depth', 0):.0f}"
+            f"  tasks {status.get('tasks')}"
+            f"  submitted {counters.get('jobs_submitted_total', 0)}"
+            f"  shed {counters.get('jobs_shed_total', 0)}"
+        ),
+        (
+            f"{'worker':<18}{'inflight':>9}{'lease age':>11}"
+            f"{'tasks done':>12}{'epochs':>12}{'insts':>14}"
+        ),
+    ]
+    for name in names:
+        lines.append(
+            f"{name:<18}{inflight.get(name, 0):>9.0f}"
+            f"{lease_age.get(name, 0.0):>10.1f}s"
+            f"{tasks_done.get(name, 0):>12.0f}"
+            f"{epochs.get(name, 0):>12.0f}"
+            f"{insts.get(name, 0):>14.0f}"
+        )
+    if not names:
+        lines.append("  (no federated worker series yet)")
+    phases = []
+    for name, label in (
+        ("job_queue_wait", "queue"),
+        ("task_lease_wait", "lease"),
+        ("task_exec", "exec"),
+        ("job_assemble", "merge"),
+        ("job_latency", "job e2e"),
+    ):
+        summary = latency.get(name)
+        if summary and summary.get("count"):
+            phases.append(
+                f"{label} p50={summary['p50']:.3f}s p99={summary['p99']:.3f}s"
+            )
+    if phases:
+        lines.append("latency: " + "  |  ".join(phases))
+    return "\n".join(lines)
+
+
 def _cmd_fleet(args) -> int:
     from .service import ServiceClient, ServiceError
 
+    if args.fleet_command == "top":
+        return _cmd_fleet_top(args)
     client = ServiceClient(args.url)
     try:
         if args.fleet_command == "drain":
@@ -985,16 +1133,64 @@ def _cmd_trace(args) -> int:
 
 
 def _cmd_obs(args) -> int:
-    from .obs import read_events, render_report
+    from .obs import load_events, read_events, render_report
+    from .obs.report import summarize
 
-    if args.obs_command != "report":
-        print(f"unknown obs command {args.obs_command!r}", file=sys.stderr)
-        return 2
+    if args.obs_command == "report":
+        try:
+            if getattr(args, "format", "text") == "json":
+                digest = summarize(load_events(args.path))
+                print(json.dumps(digest, indent=2, sort_keys=True))
+            else:
+                print(render_report(read_events(args.path)), end="")
+        except (OSError, ValueError) as exc:
+            print(f"obs report failed: {exc}", file=sys.stderr)
+            return 1
+        return 0
+    if args.obs_command == "critical-path":
+        return _cmd_obs_critical_path(args)
+    print(f"unknown obs command {args.obs_command!r}", file=sys.stderr)
+    return 2
+
+
+def _cmd_obs_critical_path(args) -> int:
+    from .obs import (
+        fleet_job_ids,
+        job_timeline,
+        load_events,
+        render_timeline_report,
+    )
+
     try:
-        print(render_report(read_events(args.path)), end="")
+        events = load_events(args.trace_path)
     except (OSError, ValueError) as exc:
-        print(f"obs report failed: {exc}", file=sys.stderr)
+        print(f"obs critical-path failed: {exc}", file=sys.stderr)
         return 1
+    if args.job_id == "all":
+        job_ids = fleet_job_ids(events)
+        if not job_ids:
+            print("no fleet jobs found in trace", file=sys.stderr)
+            return 1
+    else:
+        job_ids = [args.job_id]
+    timelines = []
+    for job_id in job_ids:
+        timeline = job_timeline(events, job_id)
+        if timeline is None:
+            print(f"no trace for job {job_id!r}", file=sys.stderr)
+            return 1
+        timelines.append(timeline)
+    if args.json:
+        payload = [timeline.to_dict() for timeline in timelines]
+        print(json.dumps(
+            payload[0] if args.job_id != "all" else payload,
+            indent=2, sort_keys=True,
+        ))
+    else:
+        for index, timeline in enumerate(timelines):
+            if index:
+                print()
+            print(render_timeline_report(timeline, events), end="")
     return 0
 
 

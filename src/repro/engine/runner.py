@@ -56,7 +56,12 @@ from ..core.epoch import TerminationCondition
 from ..core.results import SimulationResult
 from ..core.window import WindowObserver
 from ..errors import BatchFailedError, EngineConfigError
-from ..obs.context import correlation_id, set_correlation_id
+from ..obs.context import (
+    correlation_id,
+    parent_span_id,
+    set_correlation_id,
+    set_parent_span_id,
+)
 from ..obs.metrics import MetricsRegistry
 from ..obs.options import ObsOptions
 from ..obs.profile import PhaseProfiler
@@ -473,6 +478,28 @@ class EngineTelemetry:
                     if cond is not None:
                         self.termination_counts[cond.value] += count
 
+    def totals(self) -> Dict[str, float]:
+        """Cumulative counters as a flat dict (the federation payload).
+
+        Fleet workers piggyback this on heartbeats; the coordinator
+        republishes each entry as ``fleet_worker_<name>{worker=...}`` plus
+        a fleet-wide total (:mod:`repro.fleet.federation`).
+        """
+        with self._lock:
+            return {
+                "engine_batches_total": float(self.batches),
+                "engine_jobs_ok_total": float(self.jobs_ok),
+                "engine_jobs_failed_total": float(self.jobs_failed),
+                "engine_jobs_timeout_total": float(self.jobs_timeout),
+                "engine_job_retries_total": float(self.job_retries),
+                "shard_checkpoints_written_total": float(
+                    self.checkpoints_written
+                ),
+                "shard_resumes_total": float(self.shard_resumes),
+                "sim_epochs_total": float(self.sim_epochs),
+                "sim_instructions_total": float(self.sim_instructions),
+            }
+
     def epochs_per_1k_insts(self) -> float:
         with self._lock:
             if not self.sim_instructions:
@@ -599,6 +626,7 @@ def _init_worker(
     profiles: Dict[str, WorkloadProfile],
     obs: Optional[ObsOptions] = None,
     corr: str = "",
+    parent_span: str = "",
 ) -> None:
     global _WORKER_BENCH, _WORKER_OBS, _WORKER_TRACER, _WORKER_PROFILER
     _WORKER_BENCH = _build_bench(settings, cache_dir, profiles)
@@ -608,6 +636,11 @@ def _init_worker(
         # boundary on their own; the parent snapshots its value into the
         # initargs so worker-side trace events still tie back to the job.
         set_correlation_id(corr)
+    if parent_span:
+        # Same for the cross-process parent span: installing it makes the
+        # worker's root spans children of the parent's batch span, so a
+        # fleet job's spans join into one tree across processes.
+        set_parent_span_id(parent_span)
     if obs is not None:
         _WORKER_TRACER = obs.open_tracer()
         if obs.profile_phases:
@@ -1146,10 +1179,17 @@ class EngineRunner:
 
     def _run_parallel(self, specs: List[JobSpec]) -> List[JobResult]:
         # A fresh pool is created per batch, so the initargs can carry the
-        # batch's correlation ID into every worker process.
+        # batch's correlation ID — and the enclosing span (the batch span
+        # when tracing, else any inherited cross-process parent) — into
+        # every worker process.
+        parent = (
+            self._tracer._current_span()
+            if self._tracer is not None
+            else parent_span_id()
+        )
         initargs = (
             self.settings, self.cache_dir, self.profiles,
-            self.obs, correlation_id(),
+            self.obs, correlation_id(), parent,
         )
         with ProcessPoolExecutor(
             max_workers=min(self.workers, len(specs)),

@@ -1,0 +1,138 @@
+"""Metrics federation: fold worker-reported totals into labeled series.
+
+Workers piggyback their cumulative engine/simulation counters on every
+heartbeat; the coordinator publishes them on its own ``/metrics`` as
+
+- ``fleet_worker_<metric>{worker="<name>"}`` — one labeled counter series
+  per worker *name*, and
+- ``fleet_<metric>`` — the fleet-wide total, a gauge sampled at scrape
+  (skipped when the coordinator already owns a metric of that name, e.g.
+  its own ``fleet_tasks_done_total`` counter — one exposition family per
+  name).
+
+Federation protocol
+-------------------
+
+Reports are **absolute cumulative totals within one registration epoch**,
+not deltas.  A worker snapshots a baseline when it (re)joins and reports
+``current − baseline`` on each heartbeat, so:
+
+- reports are idempotent — a heartbeat retried after a lost response, or
+  applied twice, cannot double-count (the coordinator *sets* the series,
+  it never adds),
+- an evicted worker loses nothing it already reported: on evict/leave the
+  coordinator folds the worker's last reported totals into a retained
+  bucket keyed by worker *name*, so fleet totals never step backward,
+- a worker rejoining under the same name continues its labeled series
+  monotonically: ``series = retained[name] + live[new registration]``,
+  and the rejoining worker's fresh baseline guarantees the live half
+  starts at zero.
+
+Only the coordinator's registry knows worker *ids* (one per
+registration); metric labels use worker *names* (stable across restarts)
+so dashboards and the scrape-and-parse tests key on something humans
+chose.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Set
+
+from ..obs.metrics import MetricsRegistry
+
+__all__ = ["MetricsFederation"]
+
+
+class MetricsFederation:
+    """Per-worker counter federation over one :class:`MetricsRegistry`."""
+
+    def __init__(self, metrics: MetricsRegistry) -> None:
+        self.metrics = metrics
+        self._lock = threading.Lock()
+        #: worker id -> totals reported on the latest heartbeat (this
+        #: registration epoch only).
+        self._live: Dict[str, Dict[str, float]] = {}
+        #: worker id -> the worker *name* its series are labeled with.
+        self._names: Dict[str, str] = {}
+        #: worker name -> totals folded in from past registrations.
+        self._retained: Dict[str, Dict[str, float]] = {}
+        #: metric names for which a fleet-total gauge is registered.
+        self._published: Set[str] = set()
+
+    def report(
+        self, worker_id: str, name: str, totals: Dict[str, float],
+    ) -> None:
+        """Apply one heartbeat's totals for *worker_id* (labeled *name*)."""
+        clean = {
+            str(metric): float(value)
+            for metric, value in totals.items()
+            if isinstance(value, (int, float)) and not isinstance(value, bool)
+        }
+        if not clean:
+            return
+        with self._lock:
+            self._live[worker_id] = clean
+            self._names[worker_id] = name
+            retained = self._retained.get(name, {})
+            to_set = {
+                metric: retained.get(metric, 0.0) + value
+                for metric, value in clean.items()
+            }
+            for metric in clean:
+                if metric in self._published:
+                    continue
+                self._published.add(metric)
+                # The coordinator may already own ``fleet_<metric>`` (its
+                # own fleet_tasks_done_total counter, say); registering a
+                # gauge over the same name would render two conflicting
+                # exposition families.  The name is taken — skip the
+                # convenience total, the labeled series still carry the
+                # per-worker values.
+                if self.metrics.has_metric(f"fleet_{metric}"):
+                    continue
+                self.metrics.gauge(
+                    f"fleet_{metric}",
+                    lambda m=metric: self.fleet_total(m),
+                    help=f"fleet-wide total of worker-reported {metric}",
+                )
+        for metric, value in to_set.items():
+            self.metrics.set_labeled(
+                f"fleet_worker_{metric}",
+                {"worker": name},
+                value,
+                kind="counter",
+                help=f"worker-reported {metric}, federated by worker name",
+            )
+
+    def forget(self, worker_id: str) -> None:
+        """Fold a departing/evicted worker's live totals into retention.
+
+        Its labeled series stay on ``/metrics`` at their last value (a
+        counter must never disappear and reappear lower); a successor
+        registration under the same name resumes them monotonically.
+        """
+        with self._lock:
+            live = self._live.pop(worker_id, None)
+            name = self._names.pop(worker_id, "")
+            if not live or not name:
+                return
+            retained = self._retained.setdefault(name, {})
+            for metric, value in live.items():
+                retained[metric] = retained.get(metric, 0.0) + value
+
+    def fleet_total(self, metric: str) -> float:
+        """Current fleet-wide total for *metric* (retained + live)."""
+        with self._lock:
+            total = sum(
+                totals.get(metric, 0.0) for totals in self._retained.values()
+            )
+            total += sum(
+                totals.get(metric, 0.0) for totals in self._live.values()
+            )
+            return total
+
+    def worker_names(self) -> Set[str]:
+        """Names with a live or retained series (for gauge refresh)."""
+        with self._lock:
+            return set(self._retained) | set(self._names.values())

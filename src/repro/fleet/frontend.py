@@ -47,6 +47,7 @@ from ..engine.cache import ArtifactCache, resolve_cache_dir
 from ..engine.runner import JobResult, JobSpec, RunReport, ShardedReport
 from ..errors import ProtocolError, SaturatedError, UnknownWorkerError
 from ..harness.experiment import ExperimentSettings, Workbench
+from ..obs.context import format_traceparent, new_span_id
 from ..obs.logging import get_logger, setup_logging
 from ..obs.metrics import MetricsRegistry
 from ..obs.options import ObsOptions
@@ -54,6 +55,7 @@ from ..obs.trace import Tracer
 from ..service.jobqueue import Job, JobQueue, JobState, QueueFullError
 from ..service.protocol import PROTOCOL_VERSION, parse_job_request
 from .cost import estimate_job_cost
+from .federation import MetricsFederation
 from .registry import WorkerRegistry
 from .router import Router, TaskRecord
 
@@ -73,10 +75,6 @@ RESULT_KIND = "service-result"
 
 #: Server-side cap on lease long-polling.
 MAX_LEASE_WAIT = 30.0
-
-
-def _sanitize_metric(name: str) -> str:
-    return "".join(c if c.isalnum() else "_" for c in name.lower())
 
 
 class FleetCoordinator:
@@ -108,6 +106,10 @@ class FleetCoordinator:
         self.lease_batch = lease_batch
         self.default_backend = default_backend
         self.metrics = MetricsRegistry()
+        self.federation = MetricsFederation(self.metrics)
+        #: job id -> root span id of its coordinator-side "fleet_job" span
+        #: (the parent every worker hangs its spans under via traceparent).
+        self._job_spans: Dict[str, str] = {}
         self.obs = obs
         self._tracer: Optional[Tracer] = None
         if obs is not None and obs.trace_dir is not None:
@@ -277,7 +279,36 @@ class FleetCoordinator:
         self.metrics.inc("jobs_submitted_total")
         if deduped:
             self.metrics.inc("jobs_deduped_total")
+        else:
+            self._begin_job_trace(job)
         return job, deduped
+
+    def _begin_job_trace(self, job: Job) -> None:
+        """Open the job's root span — the anchor of its cross-process tree.
+
+        Emitted as explicit ``span_start``/``span_end`` event pairs (not
+        ``Tracer.span``) because the span opens on the front-end thread
+        and closes from whichever thread lands the last task.
+        """
+        if self._tracer is None:
+            return
+        root = new_span_id()
+        self._job_spans[job.id] = root
+        self._tracer.event(
+            "span_start", "fleet_job", corr=job.id, span="", id=root,
+            parent="", job=job.id, priority=job.priority,
+        )
+
+    def _end_job_trace(self, job: Job, state: str = "") -> None:
+        root = self._job_spans.pop(job.id, None)
+        if root is None or self._tracer is None:
+            return
+        finished = job.finished_at or time.time()
+        self._tracer.event(
+            "span_end", "fleet_job", corr=job.id, span="", id=root,
+            parent="", job=job.id, dur=max(0.0, finished - job.submitted_at),
+            state=state or job.state.value,
+        )
 
     # ------------------------------------------------------------ expansion --
 
@@ -389,6 +420,7 @@ class FleetCoordinator:
             time.sleep(interval)
             for worker in self.registry.evict_expired():
                 released = self.router.release_worker(worker.id)
+                self.federation.forget(worker.id)
                 _log.warning(
                     "worker %s (%s) evicted after %.1fs without a "
                     "heartbeat; %d task(s) requeued",
@@ -477,8 +509,12 @@ class FleetCoordinator:
                 return
             if not all(t.state == "done" for t in tasks):
                 return
+            assemble_started = time.monotonic()
             try:
                 payload = self._assemble(job, tasks)
+                self.metrics.observe(
+                    "job_assemble", time.monotonic() - assemble_started,
+                )
             except Exception as exc:
                 import traceback as tb
 
@@ -588,6 +624,7 @@ class FleetCoordinator:
 
     def _record_finish(self, job: Job) -> None:
         self.metrics.inc(f"jobs_{job.state.value}_total")
+        self._end_job_trace(job)
         if job.finished_at is None:
             return
         if job.started_at is not None:
@@ -606,7 +643,6 @@ class FleetCoordinator:
         worker = self.registry.register(
             name=name, pid=pid, capabilities=capabilities,
         )
-        self._register_worker_gauges(worker.id, worker.name)
         _log.info(
             "worker %s registered as %s (pid %d)",
             worker.name, worker.id, pid,
@@ -629,6 +665,9 @@ class FleetCoordinator:
 
     def heartbeat_worker(self, body: Dict[str, Any]) -> Dict[str, Any]:
         worker = self.registry.heartbeat(str(body.get("worker", "")))
+        reported = body.get("metrics")
+        if isinstance(reported, dict) and reported:
+            self.federation.report(worker.id, worker.name, reported)
         return {
             "ok": True,
             "draining": worker.draining or self.draining,
@@ -670,8 +709,12 @@ class FleetCoordinator:
             ):
                 break
             await asyncio.sleep(0.02)
-        if granted and self._tracer is not None:
-            for task in granted:
+        for task in granted:
+            self.metrics.observe(
+                "task_lease_wait",
+                max(0.0, task.leased_at - task.queued_at),
+            )
+            if self._tracer is not None:
                 self._tracer.event(
                     "fleet_task_leased", corr=task.corr, task=task.id,
                     worker=worker_id, attempt=task.attempts,
@@ -682,6 +725,11 @@ class FleetCoordinator:
                 {
                     "task": task.id,
                     "corr": task.corr,
+                    # The W3C-traceparent-style context the worker restores
+                    # before executing, so its spans join the job's tree.
+                    "traceparent": format_traceparent(
+                        task.corr, self._job_spans.get(task.job_id, ""),
+                    ),
                     "attempt": task.attempts,
                     "priority": task.priority,
                     "spec": serialize.to_jsonable(task.spec),
@@ -731,6 +779,7 @@ class FleetCoordinator:
         worker_id = str(body.get("worker", ""))
         worker = self.registry.deregister(worker_id)
         released = self.router.release_worker(worker_id)
+        self.federation.forget(worker_id)
         for job_id in {task.job_id for task in released}:
             self._maybe_finish_job(job_id)
         if worker is not None:
@@ -828,6 +877,15 @@ class FleetCoordinator:
             lambda: self.router.outstanding_cost(),
             help="predicted cost units pending or leased",
         )
+        self.metrics.gauge(
+            "fleet_lease_age_oldest_seconds",
+            lambda: max(
+                (age for ages in self.router.lease_ages().values()
+                 for age in ages),
+                default=0.0,
+            ),
+            help="age of the oldest live lease across the fleet",
+        )
         self.artifacts.stats.register_metrics(self.metrics)
         self.metrics.describe(
             "jobs_submitted_total", "job submissions accepted",
@@ -862,6 +920,12 @@ class FleetCoordinator:
             "task_exec", "task execution time (lease to completion)",
         )
         self.metrics.describe(
+            "task_lease_wait", "time tasks spent pending before a lease",
+        )
+        self.metrics.describe(
+            "job_assemble", "time merging/serializing finished job payloads",
+        )
+        self.metrics.describe(
             "job_exec", "job execution time (dispatch to finish)",
         )
         self.metrics.describe(
@@ -871,22 +935,32 @@ class FleetCoordinator:
             "job_latency", "end-to-end job latency (submit to finish)",
         )
 
-    def _register_worker_gauges(self, worker_id: str, name: str) -> None:
-        slug = _sanitize_metric(name)
-        self.metrics.gauge(
-            f"fleet_worker_{slug}_inflight",
-            lambda wid=worker_id: self.router.inflight_by_worker().get(
-                wid, 0,
-            ),
-            help=f"tasks currently leased by worker {name}",
-        )
-        self.metrics.gauge(
-            f"fleet_worker_{slug}_tasks_done_total",
-            lambda wid=worker_id: (
-                w.tasks_done if (w := self.registry.get(wid)) else 0
-            ),
-            help=f"tasks completed by worker {name}",
-        )
+    def refresh_fleet_gauges(self) -> None:
+        """Materialize per-worker labeled gauges for a ``/metrics`` scrape.
+
+        Point-in-time state (inflight leases, oldest lease age) is rebuilt
+        from the router/registry on every scrape, so series for departed
+        workers disappear instead of freezing at a stale value.  Federated
+        *counter* series (``fleet_worker_*_total``) are the opposite —
+        retained forever by :class:`MetricsFederation` — because counters
+        must never step backward.
+        """
+        inflight = self.router.inflight_by_worker()
+        ages = self.router.lease_ages()
+        for family in ("fleet_worker_inflight", "fleet_worker_lease_age_oldest"):
+            self.metrics.remove_labeled(family)
+        for worker in self.registry.live_workers():
+            labels = {"worker": worker.name}
+            self.metrics.set_labeled(
+                "fleet_worker_inflight", labels,
+                float(inflight.get(worker.id, 0)),
+                help="tasks currently leased, by worker",
+            )
+            self.metrics.set_labeled(
+                "fleet_worker_lease_age_oldest", labels,
+                max(ages.get(worker.id, [0.0]), default=0.0),
+                help="age in seconds of the worker's oldest live lease",
+            )
 
 
 # ------------------------------------------------------------ HTTP front --
@@ -1156,6 +1230,7 @@ class _AsyncFrontend:
         if path == "/healthz":
             return 200, coord.health_payload(), None, False
         if path == "/metrics":
+            coord.refresh_fleet_gauges()
             if "format=json" in query:
                 return 200, coord.metrics.to_dict(), None, False
             return 200, coord.metrics.render_prometheus(), None, True
@@ -1235,6 +1310,7 @@ class _AsyncFrontend:
         outcome = coord.queue.cancel(job_id)
         if outcome:
             coord.metrics.inc("jobs_cancelled_total")
+            coord._end_job_trace(job, state="cancelled")
             return (
                 200,
                 {

@@ -59,6 +59,8 @@ class TaskRecord:
     attempts: int = 0
     seq: int = 0
     leased_at: float = 0.0
+    #: When the task (re)entered the pending pool — the lease-wait clock.
+    queued_at: float = 0.0
     result: Optional["JobResult"] = None
     _f: Any = field(default=None, repr=False)
 
@@ -105,6 +107,7 @@ class Router:
         self.leased_total = 0
 
     def _push_pending(self, task: TaskRecord) -> None:
+        task.queued_at = time.monotonic()
         heapq.heappush(
             self._pending,
             (-task.priority, -task.cost.units, task.seq, task.id),
@@ -260,6 +263,18 @@ class Router:
             for task in self._tasks.values():
                 counts[task.state] += 1
             return counts
+
+    def lease_ages(self) -> Dict[str, List[float]]:
+        """Ages (seconds) of live leases, grouped by holding worker."""
+        now = time.monotonic()
+        with self._lock:
+            ages: Dict[str, List[float]] = {}
+            for task in self._tasks.values():
+                if task.state == "leased":
+                    ages.setdefault(task.worker_id, []).append(
+                        max(0.0, now - task.leased_at),
+                    )
+            return ages
 
     def inflight_by_worker(self) -> Dict[str, int]:
         with self._lock:

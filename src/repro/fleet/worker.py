@@ -33,7 +33,7 @@ from ..engine import serialize
 from ..engine.runner import EngineRunner, JobSpec
 from ..errors import ReproError
 from ..harness.experiment import ExperimentSettings
-from ..obs.context import correlation
+from ..obs.context import format_traceparent, trace_context
 from ..obs.logging import get_logger, setup_logging
 from ..obs.options import ObsOptions
 
@@ -75,6 +75,12 @@ class FleetWorker:
         self.tasks_done = 0
         self._stop = threading.Event()
         self._heartbeat_thread: Optional[threading.Thread] = None
+        #: Federation baseline: counter totals at the moment of the latest
+        #: registration.  Heartbeats report ``current − baseline``, so a
+        #: worker that rejoins after an eviction (same process, fresh
+        #: registration) never re-reports counts the coordinator already
+        #: folded into its retained per-name totals.
+        self._metrics_baseline: Dict[str, float] = {}
 
     # ---------------------------------------------------------------- HTTP --
 
@@ -122,12 +128,32 @@ class FleetWorker:
             retries=0,  # the fleet router owns retry policy
             obs=self.obs,
         )
+        self._metrics_baseline = self._metrics_snapshot()
         _log.info(
             "joined %s as %s (%s); lease ttl %.1fs, batch %d",
             self.url, self.name, self.worker_id,
             self.lease_ttl, self.lease_batch,
         )
         return self
+
+    # ------------------------------------------------------------- metrics --
+
+    def _metrics_snapshot(self) -> Dict[str, float]:
+        """Absolute cumulative counters for this worker process."""
+        totals: Dict[str, float] = {
+            "tasks_done_total": float(self.tasks_done),
+        }
+        if self.runner is not None:
+            totals.update(self.runner.telemetry.totals())
+        return totals
+
+    def _metrics_report(self) -> Dict[str, float]:
+        """Totals since the registration baseline (the heartbeat payload)."""
+        snapshot = self._metrics_snapshot()
+        return {
+            name: value - self._metrics_baseline.get(name, 0.0)
+            for name, value in snapshot.items()
+        }
 
     # ------------------------------------------------------------ liveness --
 
@@ -136,7 +162,11 @@ class FleetWorker:
         while not self._stop.wait(interval):
             try:
                 answer = self._post(
-                    "/v1/fleet/heartbeat", {"worker": self.worker_id},
+                    "/v1/fleet/heartbeat",
+                    {
+                        "worker": self.worker_id,
+                        "metrics": self._metrics_report(),
+                    },
                 )
             except urllib.error.HTTPError as exc:
                 if exc.code == 410:  # evicted; the pull loop will exit
@@ -156,28 +186,44 @@ class FleetWorker:
 
     # ----------------------------------------------------------- pull loop --
 
+    @staticmethod
+    def _lease_traceparent(entry: Dict[str, Any]) -> str:
+        """The lease's trace context (synthesized from ``corr`` if absent)."""
+        traceparent = entry.get("traceparent")
+        if isinstance(traceparent, str) and traceparent:
+            return traceparent
+        return format_traceparent(str(entry.get("corr", "") or ""), "")
+
     def _execute(self, leases: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
         assert self.runner is not None
-        specs: List[JobSpec] = [
-            serialize.from_jsonable(entry["spec"]) for entry in leases
-        ]
-        corr = leases[0].get("corr", "") or ""
-        with correlation(corr):
-            report = self.runner.run(specs)
+        # One lease batch can mix tasks from several jobs; group by trace
+        # context so every span and event this worker emits lands in the
+        # right job's tree (restored via repro.obs.context.trace_context —
+        # the receiving half of cross-process propagation).
+        groups: Dict[str, List[Dict[str, Any]]] = {}
+        for entry in leases:
+            groups.setdefault(self._lease_traceparent(entry), []).append(entry)
         results = []
-        for entry, job_result in zip(leases, report.jobs):
-            results.append(
-                {
-                    "task": entry["task"],
-                    "result": serialize.to_jsonable(job_result),
-                }
-            )
-            state = "ok" if job_result.ok else job_result.status
-            _log.info(
-                "task %s %s (%.2fs): %s",
-                entry["task"], state, job_result.wall_time,
-                job_result.spec.describe(),
-            )
+        for traceparent, entries in groups.items():
+            specs: List[JobSpec] = [
+                serialize.from_jsonable(entry["spec"]) for entry in entries
+            ]
+            with trace_context(traceparent):
+                report = self.runner.run(specs)
+            for entry, job_result in zip(entries, report.jobs):
+                results.append(
+                    {
+                        "task": entry["task"],
+                        "traceparent": traceparent,
+                        "result": serialize.to_jsonable(job_result),
+                    }
+                )
+                state = "ok" if job_result.ok else job_result.status
+                _log.info(
+                    "task %s %s (%.2fs): %s",
+                    entry["task"], state, job_result.wall_time,
+                    job_result.spec.describe(),
+                )
         return results
 
     def _post_complete(self, results: List[Dict[str, Any]]) -> bool:

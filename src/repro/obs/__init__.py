@@ -13,6 +13,8 @@ One package shared by the simulator core, the engine and the service:
   phases,
 - :mod:`repro.obs.report` — renderers behind ``mlpsim trace`` and
   ``mlpsim obs report``,
+- :mod:`repro.obs.timeline` — fleet job phase decomposition and
+  critical-path analysis behind ``mlpsim obs critical-path``,
 - :mod:`repro.obs.logging` — structured (text or JSON-lines) logging with
   correlation IDs,
 - :mod:`repro.obs.options` — :class:`ObsOptions`, the knob bundle the
@@ -27,8 +29,15 @@ bit-identical.
 from .context import (
     correlation,
     correlation_id,
+    current_traceparent,
+    format_traceparent,
     new_correlation_id,
+    new_span_id,
+    parent_span_id,
+    parse_traceparent,
     set_correlation_id,
+    set_parent_span_id,
+    trace_context,
 )
 from .logging import get_logger, setup_logging
 from .metrics import MetricsRegistry, percentile
@@ -36,6 +45,17 @@ from .options import ObsOptions
 from .profile import PhaseProfiler
 from .recorder import STALL_CONDITIONS, EpochTimelineRecorder
 from .report import render_report, render_timeline, summarize
+from .timeline import (
+    PHASES,
+    JobTimeline,
+    aggregate_phases,
+    connected_roots,
+    critical_path,
+    fleet_job_ids,
+    job_timeline,
+    render_timeline_report,
+    span_tree,
+)
 from .trace import (
     Span,
     Tracer,
@@ -47,24 +67,40 @@ from .trace import (
 
 __all__ = [
     "EpochTimelineRecorder",
+    "JobTimeline",
     "MetricsRegistry",
     "ObsOptions",
+    "PHASES",
     "PhaseProfiler",
     "STALL_CONDITIONS",
     "Span",
     "Tracer",
+    "aggregate_phases",
+    "connected_roots",
     "correlation",
     "correlation_id",
+    "critical_path",
+    "current_traceparent",
     "default_trace_file",
+    "fleet_job_ids",
+    "format_traceparent",
     "get_logger",
+    "job_timeline",
     "load_events",
     "new_correlation_id",
+    "new_span_id",
+    "parent_span_id",
+    "parse_traceparent",
     "percentile",
     "read_events",
     "render_report",
     "render_timeline",
+    "render_timeline_report",
     "set_correlation_id",
+    "set_parent_span_id",
     "setup_logging",
+    "span_tree",
     "summarize",
+    "trace_context",
     "trace_files",
 ]

@@ -13,7 +13,11 @@ service's own counters.  Three metric kinds:
 - **gauges** — sampled-at-read callbacks (queue depth, cache tiers,
   telemetry aggregates),
 - **latency summaries** — bounded reservoirs of observed durations with
-  p50/p95/p99 computed on demand.
+  p50/p95/p99 computed on demand,
+- **labeled series** — counter/gauge families keyed by a label set
+  (``fleet_worker_inflight{worker="w0"}``), the substrate of fleet
+  metrics federation: the coordinator materializes one series per worker
+  plus a fleet total, and Prometheus-side aggregation works unchanged.
 
 Two export formats: :meth:`MetricsRegistry.to_dict` (JSON) and
 :meth:`MetricsRegistry.render_prometheus` (text exposition format 0.0.4,
@@ -49,6 +53,20 @@ def percentile(samples: Sequence[float], fraction: float) -> float:
     return ordered[low] * (1.0 - weight) + ordered[high] * weight
 
 
+def _escape_label(value: str) -> str:
+    """Escape a label value per the text exposition format."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _format_value(value: float) -> str:
+    """Render a sample value: integral counts stay integral."""
+    if float(value).is_integer():
+        return str(int(value))
+    return f"{value:.6f}"
+
+
 class MetricsRegistry:
     """Counters + gauges + latency reservoirs behind one lock."""
 
@@ -67,6 +85,10 @@ class MetricsRegistry:
         self._gauges: Dict[str, Callable[[], float]] = {}
         #: name -> (count, sum, bounded sample window)
         self._latency: Dict[str, Tuple[int, float, Deque[float]]] = {}
+        #: family name -> frozen label tuple -> value
+        self._labeled: Dict[str, Dict[Tuple[Tuple[str, str], ...], float]] = {}
+        #: family name -> "counter" | "gauge"
+        self._labeled_kind: Dict[str, str] = {}
         self._help: Dict[str, str] = {}
         self._reservoir = reservoir
 
@@ -86,6 +108,22 @@ class MetricsRegistry:
     def counter(self, name: str) -> int:
         with self._lock:
             return self._counters.get(name, 0)
+
+    def has_metric(self, name: str) -> bool:
+        """True if *name* is registered or described in any family.
+
+        A described-but-not-yet-incremented counter counts as taken: it
+        will materialize under that name, so registering a different
+        kind against it would produce a duplicate exposition family.
+        """
+        with self._lock:
+            return (
+                name in self._counters
+                or name in self._gauges
+                or name in self._latency
+                or name in self._labeled
+                or name in self._help
+            )
 
     def observe(
         self, name: str, seconds: float, help: Optional[str] = None,
@@ -112,6 +150,79 @@ class MetricsRegistry:
             if help is not None:
                 self._help[name] = help
 
+    # ----------------------------------------------------- labeled series --
+
+    @staticmethod
+    def _label_key(labels: Dict[str, str]) -> Tuple[Tuple[str, str], ...]:
+        return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+    def _labeled_family(
+        self, name: str, kind: str, help: Optional[str],
+    ) -> Dict[Tuple[Tuple[str, str], ...], float]:
+        family = self._labeled.setdefault(name, {})
+        known = self._labeled_kind.setdefault(name, kind)
+        if known != kind:
+            raise ValueError(
+                f"labeled metric {name!r} is a {known}, not a {kind}"
+            )
+        if help is not None:
+            self._help[name] = help
+        return family
+
+    def inc_labeled(
+        self,
+        name: str,
+        labels: Dict[str, str],
+        delta: float = 1,
+        help: Optional[str] = None,
+    ) -> None:
+        """Increment one series of the labeled counter family *name*."""
+        key = self._label_key(labels)
+        with self._lock:
+            family = self._labeled_family(name, "counter", help)
+            family[key] = family.get(key, 0.0) + delta
+
+    def set_labeled(
+        self,
+        name: str,
+        labels: Dict[str, str],
+        value: float,
+        kind: str = "gauge",
+        help: Optional[str] = None,
+    ) -> None:
+        """Set one series of labeled family *name* to an absolute value.
+
+        ``kind="counter"`` is for federated totals: the coordinator learns
+        absolute cumulative counts from worker heartbeats and installs
+        them verbatim rather than replaying increments.
+        """
+        key = self._label_key(labels)
+        with self._lock:
+            family = self._labeled_family(name, kind, help)
+            family[key] = float(value)
+
+    def remove_labeled(
+        self, name: str, labels: Optional[Dict[str, str]] = None,
+    ) -> None:
+        """Drop one series (or, with ``labels=None``, the whole family)."""
+        with self._lock:
+            if labels is None:
+                self._labeled.pop(name, None)
+                self._labeled_kind.pop(name, None)
+                return
+            family = self._labeled.get(name)
+            if family is not None:
+                family.pop(self._label_key(labels), None)
+
+    def labeled_value(self, name: str, labels: Dict[str, str]) -> float:
+        with self._lock:
+            return self._labeled.get(name, {}).get(self._label_key(labels), 0.0)
+
+    def labeled_series(self, name: str) -> Dict[Tuple[Tuple[str, str], ...], float]:
+        """All series of family *name* (frozen label tuple -> value)."""
+        with self._lock:
+            return dict(self._labeled.get(name, {}))
+
     # ------------------------------------------------------------- exports --
 
     def latency_summary(self, name: str) -> Dict[str, float]:
@@ -132,12 +243,20 @@ class MetricsRegistry:
             counters = dict(self._counters)
             gauges = list(self._gauges.items())
             latency_names = list(self._latency)
+            labeled = {
+                name: [
+                    {"labels": dict(key), "value": value}
+                    for key, value in sorted(family.items())
+                ]
+                for name, family in sorted(self._labeled.items())
+            }
         return {
             "counters": counters,
             "gauges": {name: float(sample()) for name, sample in gauges},
             "latency": {
                 name: self.latency_summary(name) for name in latency_names
             },
+            "labeled": labeled,
         }
 
     def _help_for(self, name: str) -> str:
@@ -157,6 +276,10 @@ class MetricsRegistry:
                 name: (count, total, list(window))
                 for name, (count, total, window) in self._latency.items()
             }
+            labeled = {
+                name: (self._labeled_kind.get(name, "gauge"), sorted(family.items()))
+                for name, family in sorted(self._labeled.items())
+            }
             help_texts = dict(self._help)
         lines: List[str] = []
 
@@ -173,6 +296,14 @@ class MetricsRegistry:
             metric = f"{self.namespace}_{name}"
             annotate(name, metric, "gauge")
             lines.append(f"{metric} {float(sample()):g}")
+        for name, (kind, series) in labeled.items():
+            metric = f"{self.namespace}_{name}"
+            annotate(name, metric, kind)
+            for key, value in series:
+                rendered = ",".join(
+                    f'{k}="{_escape_label(v)}"' for k, v in key
+                )
+                lines.append(f"{metric}{{{rendered}}} {_format_value(value)}")
         for name, (count, total, samples) in sorted(latency.items()):
             metric = f"{self.namespace}_{name}_seconds"
             annotate(name, metric, "summary")

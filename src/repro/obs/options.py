@@ -38,12 +38,18 @@ class ObsOptions:
     sample_rate:
         Fraction of phase entries the profiler times (deterministic
         every-N-th stride).
+    trace_max_bytes:
+        Size-based rotation threshold for trace files (0 disables
+        rotation).  When a process's ``trace-<pid>.jsonl`` would exceed
+        this, it is shifted to ``.1`` (``.N`` → ``.N+1``) and a fresh
+        segment starts; readers span segments transparently.
     """
 
     trace_dir: Optional[str] = None
     trace_epochs: bool = True
     profile_phases: bool = False
     sample_rate: float = 1.0
+    trace_max_bytes: int = 0
 
     @classmethod
     def for_trace(cls, trace_dir: Union[str, Path], **kwargs: object) -> "ObsOptions":
@@ -62,4 +68,7 @@ class ObsOptions:
         """A tracer on this process's per-PID file, or ``None`` if off."""
         if self.trace_dir is None:
             return None
-        return Tracer(default_trace_file(self.trace_dir))
+        return Tracer(
+            default_trace_file(self.trace_dir),
+            max_bytes=self.trace_max_bytes,
+        )

@@ -23,24 +23,37 @@ Event schema (every event is one flat JSON object):
 ``span_end`` events additionally carry ``dur`` — the span's wall time in
 seconds measured on a monotonic clock.  Span nesting is tracked per
 thread, so concurrent batch threads sharing one tracer attribute their
-events correctly.
+events correctly.  A thread with no open span of its own inherits the
+cross-process parent installed by :func:`repro.obs.context.trace_context`
+— that is what stitches a fleet worker's spans under the coordinator's
+job span into one tree.
+
+Rotation: a file-backed tracer with ``max_bytes > 0`` rotates its output
+once the current segment would exceed the cap — ``trace-<pid>.jsonl``
+shifts to ``trace-<pid>.jsonl.1`` (older segments shift to ``.2``, ``.3``,
+...), so long fleet soaks and tune runs stay bounded per segment.  With
+``max_segments > 0`` the oldest segments beyond the cap are deleted.
 
 Readers: :func:`read_events` streams events back from a JSONL file, a
-directory of ``*.jsonl`` files, or an iterable of lines; it is the input
-side of ``mlpsim trace`` / ``mlpsim obs report``.
+directory of ``*.jsonl`` files, or an iterable of lines — transparently
+spanning rotated segments in chronological order.  Strict mode raises on
+*interior* corruption but reports-and-skips a truncated final line (a
+process SIGKILLed mid-write leaves a partial tail; that is expected crash
+debris, not a corrupt trace).
 """
 
 from __future__ import annotations
 
 import json
 import os
+import re
 import threading
 import time
 import uuid
 from pathlib import Path
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Union
 
-from .context import correlation_id
+from .context import correlation_id, parent_span_id
 
 __all__ = [
     "Span",
@@ -87,18 +100,27 @@ class Tracer:
     :attr:`events` (already-decoded dicts).  All writes take a lock; one
     event is one line, flushed immediately, so a crashed run still leaves
     a parseable prefix.
+
+    ``max_bytes > 0`` enables size-based rotation for path-backed sinks
+    (see the module docstring); ``max_segments`` caps how many rotated
+    segments are retained (0 keeps all).
     """
 
     def __init__(
         self,
         sink: Union[str, Path, Any, None] = None,
         trace_id: Optional[str] = None,
+        max_bytes: int = 0,
+        max_segments: int = 0,
     ) -> None:
         self.trace_id = trace_id or uuid.uuid4().hex[:12]
+        self.max_bytes = max(0, int(max_bytes))
+        self.max_segments = max(0, int(max_segments))
         self._lock = threading.Lock()
         self._local = threading.local()
         self._owns_file = False
         self._file: Optional[Any] = None
+        self._bytes = 0
         self.path: Optional[Path] = None
         self.events: List[Dict[str, Any]] = []
         if sink is None:
@@ -108,6 +130,10 @@ class Tracer:
             self.path.parent.mkdir(parents=True, exist_ok=True)
             self._file = open(self.path, "a", encoding="utf-8")
             self._owns_file = True
+            try:
+                self._bytes = self.path.stat().st_size
+            except OSError:
+                self._bytes = 0
         else:
             self._file = sink
 
@@ -115,7 +141,12 @@ class Tracer:
 
     def _current_span(self) -> str:
         stack = getattr(self._local, "stack", None)
-        return stack[-1] if stack else ""
+        if stack:
+            return stack[-1]
+        # No span open on this thread: inherit the cross-process parent a
+        # fleet worker's trace_context installed, so its events and root
+        # spans hang under the coordinator's job span.
+        return parent_span_id()
 
     def event(self, kind: str, name: str = "", **attrs: Any) -> Dict[str, Any]:
         """Emit one event; returns the written record."""
@@ -162,11 +193,36 @@ class Tracer:
             if self._file is None:
                 self.events.append(record)
                 return
-            self._file.write(
+            line = (
                 json.dumps(record, separators=(",", ":"), sort_keys=True)
                 + "\n"
             )
+            if (
+                self.max_bytes
+                and self._owns_file
+                and self.path is not None
+                and self._bytes > 0
+                and self._bytes + len(line) > self.max_bytes
+            ):
+                self._rotate()
+            self._file.write(line)
             self._file.flush()
+            self._bytes += len(line)
+
+    def _rotate(self) -> None:
+        """Shift the current segment to ``.1`` (``.N`` -> ``.N+1``)."""
+        assert self.path is not None and self._file is not None
+        self._file.close()
+        rotated = _rotated_segments(self.path)  # oldest (highest N) first
+        for old in rotated:
+            index = int(old.suffix[1:])
+            if self.max_segments and index >= self.max_segments:
+                old.unlink(missing_ok=True)
+            else:
+                old.rename(old.with_suffix(f".{index + 1}"))
+        self.path.rename(self.path.with_name(self.path.name + ".1"))
+        self._file = open(self.path, "a", encoding="utf-8")
+        self._bytes = 0
 
     # ---------------------------------------------------------- lifecycle --
 
@@ -191,13 +247,35 @@ class Tracer:
 
 # ------------------------------------------------------------------ reading --
 
+#: Rotated-segment suffix: ``trace-123.jsonl.2`` etc.
+_ROTATED = re.compile(r"\.jsonl\.(\d+)$")
+
+
+def _rotated_segments(base: Path) -> List[Path]:
+    """Rotated segments of *base*, oldest (highest ``.N``) first."""
+    found = []
+    for sibling in base.parent.glob(base.name + ".*"):
+        match = _ROTATED.search(sibling.name)
+        if match:
+            found.append((int(match.group(1)), sibling))
+    return [path for _, path in sorted(found, reverse=True)]
+
 
 def trace_files(path: Union[str, Path]) -> List[Path]:
-    """The JSONL files behind *path* (a file, or a directory of traces)."""
+    """The JSONL files behind *path* (a file, or a directory of traces).
+
+    Rotated segments (``trace-<pid>.jsonl.N``) are included automatically
+    and ordered oldest-first before their base file, so readers span a
+    rotated stream in chronological order without knowing about rotation.
+    """
     root = Path(path)
     if root.is_dir():
-        return sorted(root.glob("*.jsonl"))
-    return [root]
+        files: List[Path] = []
+        for base in sorted(root.glob("*.jsonl")):
+            files.extend(_rotated_segments(base))
+            files.append(base)
+        return files
+    return _rotated_segments(root) + [root]
 
 
 def read_events(
@@ -206,9 +284,13 @@ def read_events(
 ) -> Iterator[Dict[str, Any]]:
     """Stream trace events back from a JSONL file, directory, or lines.
 
-    With ``strict=False`` undecodable lines are skipped (a process killed
-    mid-write can truncate its final line); by default they raise
-    ``ValueError`` naming the offending location.
+    With ``strict=False`` undecodable lines are skipped silently.  With
+    ``strict=True`` (the default) *interior* corruption raises
+    ``ValueError`` naming the offending location, but an undecodable
+    **final** line is reported (a warning log) and skipped: a process
+    killed mid-write — as fleet workers routinely are — truncates its last
+    line, and that expected crash debris must not make the rest of the
+    trace unreadable.
     """
     if isinstance(source, (str, Path)):
         for file in trace_files(source):
@@ -221,24 +303,31 @@ def read_events(
 def _decode_lines(
     lines: Iterable[str], origin: str, strict: bool
 ) -> Iterator[Dict[str, Any]]:
+    pending_error: Optional[str] = None
     for number, line in enumerate(lines, start=1):
         line = line.strip()
         if not line:
             continue
+        if pending_error is not None:
+            # The bad line was not the tail after all: that is interior
+            # corruption, which strict mode refuses to paper over.
+            raise ValueError(pending_error)
         try:
             record = json.loads(line)
         except json.JSONDecodeError as exc:
             if strict:
-                raise ValueError(
-                    f"{origin}:{number}: invalid trace event: {exc}"
-                ) from None
+                pending_error = f"{origin}:{number}: invalid trace event: {exc}"
             continue
         if isinstance(record, dict):
             yield record
         elif strict:
-            raise ValueError(
-                f"{origin}:{number}: trace event is not an object"
-            )
+            pending_error = f"{origin}:{number}: trace event is not an object"
+    if pending_error is not None:
+        from .logging import get_logger
+
+        get_logger("obs.trace").warning(
+            "skipping truncated trace tail (%s)", pending_error,
+        )
 
 
 def load_events(

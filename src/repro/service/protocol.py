@@ -31,6 +31,27 @@ deduplicates identical in-flight work: two clients posting the same sweep
 share one execution.  ``priority`` is deliberately excluded from the
 signature — the work is the same regardless of how urgently it was asked
 for.
+
+Trace context on the fleet wire
+-------------------------------
+
+The worker protocol (``/v1/fleet/lease`` and ``/v1/fleet/complete``)
+carries a ``traceparent`` field on every task entry, in the
+W3C-traceparent-inspired form emitted by
+:func:`repro.obs.context.format_traceparent`::
+
+    00-<correlation id>-<parent span id>
+
+Lease grants stamp it (the correlation ID is the job ID; the parent span
+is the coordinator's ``fleet_job`` root span, or empty when the
+coordinator is not tracing); workers restore it with
+:func:`repro.obs.context.trace_context` before executing and echo it on
+completion entries.  The field is observability metadata only: it never
+participates in request signatures, and a malformed or missing value
+degrades to a fresh correlation, never to a protocol error.  Worker
+heartbeats (``/v1/fleet/heartbeat``) may likewise carry a ``metrics``
+object of cumulative counter totals — see
+:mod:`repro.fleet.federation` for the federation semantics.
 """
 
 from __future__ import annotations

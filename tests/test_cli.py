@@ -122,3 +122,119 @@ class TestCli:
                 "--param", "warp_drive=1,2",
             )
         assert "valid axes" in str(excinfo.value)
+
+
+def _write_fleet_trace(path):
+    """A minimal coordinator trace: one job, one task, clean run."""
+    import json as _json
+
+    events = [
+        {"kind": "span_start", "name": "fleet_job", "corr": "job-1",
+         "span": "", "id": "root", "parent": "", "ts": 10.0},
+        {"kind": "fleet_job_expanded", "corr": "job-1", "ts": 11.0,
+         "tasks": 1},
+        {"kind": "fleet_task_leased", "corr": "job-1", "ts": 12.0,
+         "task": "T", "worker": "w1", "attempt": 1},
+        {"kind": "fleet_task_complete", "corr": "job-1", "ts": 15.0,
+         "task": "T", "worker": "w1", "state": "done", "resumed_pos": -1,
+         "checkpoints": 0},
+        {"kind": "span_end", "name": "fleet_job", "corr": "job-1",
+         "span": "", "id": "root", "parent": "", "ts": 16.0, "dur": 6.0,
+         "state": "done"},
+    ]
+    path.write_text(
+        "".join(_json.dumps(event) + "\n" for event in events)
+    )
+
+
+class TestObsCli:
+    def test_obs_report_json_format(self, capsys, tmp_path):
+        trace = tmp_path / "trace-1.jsonl"
+        _write_fleet_trace(trace)
+        code, out, _ = run_cli(
+            capsys, "obs", "report", str(trace), "--format", "json",
+        )
+        assert code == 0
+        import json as _json
+
+        digest = _json.loads(out)
+        assert digest["events"] >= 5
+
+    def test_critical_path_renders_phases(self, capsys, tmp_path):
+        trace = tmp_path / "trace-1.jsonl"
+        _write_fleet_trace(trace)
+        code, out, _ = run_cli(
+            capsys, "obs", "critical-path", "job-1",
+            "--trace-dir", str(tmp_path),
+        )
+        assert code == 0
+        assert "job job-1" in out
+        for phase in ("queued", "lease_wait", "executing", "merging"):
+            assert phase in out
+        assert "connected (1 root(s))" in out
+
+    def test_critical_path_json_and_all(self, capsys, tmp_path):
+        trace = tmp_path / "trace-1.jsonl"
+        _write_fleet_trace(trace)
+        code, out, _ = run_cli(
+            capsys, "obs", "critical-path", "all",
+            "--trace-dir", str(tmp_path), "--json",
+        )
+        assert code == 0
+        import json as _json
+
+        payload = _json.loads(out)
+        assert isinstance(payload, list) and len(payload) == 1
+        assert payload[0]["job"] == "job-1"
+        assert payload[0]["wall_seconds"] == 6.0
+        assert payload[0]["phase_sum_seconds"] == 6.0
+
+    def test_critical_path_unknown_job_errors(self, capsys, tmp_path):
+        trace = tmp_path / "trace-1.jsonl"
+        _write_fleet_trace(trace)
+        code, _, err = run_cli(
+            capsys, "obs", "critical-path", "nope",
+            "--trace-dir", str(tmp_path),
+        )
+        assert code == 1
+        assert "no trace for job" in err
+
+
+class TestFleetTopRendering:
+    def test_render_frame_from_snapshot(self):
+        from repro.cli import _render_fleet_top
+
+        snapshot = {
+            "counters": {"jobs_submitted_total": 3, "jobs_shed_total": 1},
+            "gauges": {"fleet_workers": 2.0, "queue_depth": 1.0,
+                       "fleet_workers_evicted_total": 0.0},
+            "latency": {
+                "task_lease_wait": {"count": 4, "p50": 0.01, "p99": 0.05},
+            },
+            "labeled": {
+                "fleet_worker_inflight": [
+                    {"labels": {"worker": "w0"}, "value": 1.0},
+                    {"labels": {"worker": "w1"}, "value": 2.0},
+                ],
+                "fleet_worker_tasks_done_total": [
+                    {"labels": {"worker": "w0"}, "value": 5.0},
+                ],
+            },
+        }
+        status = {"tasks": {"pending": 1, "leased": 3, "done": 5,
+                            "failed": 0}}
+        frame = _render_fleet_top("http://x", snapshot, status)
+        assert "workers 2" in frame
+        assert "queue depth 1" in frame
+        assert "w0" in frame and "w1" in frame
+        assert "lease p50=0.010s" in frame
+        assert "submitted 3" in frame and "shed 1" in frame
+
+    def test_render_frame_with_no_workers(self):
+        from repro.cli import _render_fleet_top
+
+        frame = _render_fleet_top(
+            "http://x", {"counters": {}, "gauges": {}, "labeled": {},
+                         "latency": {}}, {"tasks": {}},
+        )
+        assert "no federated worker series yet" in frame

@@ -1,0 +1,149 @@
+"""Federation edge cases: eviction, rejoin, and idempotent heartbeats.
+
+The protocol under test (see repro/fleet/federation.py): workers report
+absolute totals *within one registration epoch*, the coordinator sets —
+never adds — labeled series, and evict/rejoin folds the live half into a
+per-name retained bucket.  The two hazards these tests pin down are the
+ones the design exists to prevent: losing counts a dead worker already
+reported, and double-counting when the same worker name rejoins.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fleet.federation import MetricsFederation
+from repro.obs.metrics import MetricsRegistry
+from test_obs_metrics import parse_exposition
+
+
+@pytest.fixture()
+def metrics():
+    return MetricsRegistry()
+
+
+@pytest.fixture()
+def federation(metrics):
+    return MetricsFederation(metrics)
+
+
+def series(metrics, metric, name):
+    return metrics.labeled_value(
+        f"fleet_worker_{metric}", {"worker": name},
+    )
+
+
+class TestReporting:
+    def test_report_publishes_labeled_and_fleet_series(
+        self, federation, metrics,
+    ):
+        federation.report("id-1", "alpha", {"tasks_done_total": 3.0})
+        federation.report("id-2", "beta", {"tasks_done_total": 5.0})
+        assert series(metrics, "tasks_done_total", "alpha") == 3.0
+        assert series(metrics, "tasks_done_total", "beta") == 5.0
+        assert federation.fleet_total("tasks_done_total") == 8.0
+        # The fleet-total gauge is live on the registry itself.
+        assert metrics.to_dict()["gauges"]["fleet_tasks_done_total"] == 8.0
+
+    def test_fleet_total_skipped_when_name_already_owned(
+        self, federation, metrics,
+    ):
+        # The coordinator's own fleet_tasks_done_total counter (described
+        # at startup, incremented on completion) must stay the ONLY
+        # exposition family under that name — the federation gauge would
+        # otherwise render a duplicate with a conflicting TYPE.
+        metrics.describe("fleet_tasks_done_total", "tasks completed")
+        metrics.inc("fleet_tasks_done_total", 2)
+        federation.report("id-1", "alpha", {"tasks_done_total": 3.0})
+        assert "fleet_tasks_done_total" not in metrics.to_dict()["gauges"]
+        assert series(metrics, "tasks_done_total", "alpha") == 3.0
+        declarations = [
+            line
+            for line in metrics.render_prometheus().splitlines()
+            if line.startswith("# TYPE repro_fleet_tasks_done_total ")
+        ]
+        assert declarations == ["# TYPE repro_fleet_tasks_done_total counter"]
+        # Strict parse of the whole exposition: one family per name.
+        parse_exposition(metrics.render_prometheus())
+
+    def test_repeated_heartbeat_is_idempotent(self, federation, metrics):
+        for _ in range(3):  # retried heartbeat, same totals
+            federation.report("id-1", "alpha", {"sim_epochs_total": 40.0})
+        assert series(metrics, "sim_epochs_total", "alpha") == 40.0
+        assert federation.fleet_total("sim_epochs_total") == 40.0
+
+    def test_non_numeric_values_are_dropped(self, federation, metrics):
+        federation.report(
+            "id-1", "alpha",
+            {"tasks_done_total": 2.0, "hostname": "box", "flag": True},
+        )
+        assert series(metrics, "tasks_done_total", "alpha") == 2.0
+        assert federation.fleet_total("hostname") == 0.0
+        assert federation.fleet_total("flag") == 0.0
+
+
+class TestEvictionAndRejoin:
+    def test_evicted_worker_keeps_reported_totals(self, federation, metrics):
+        federation.report("id-1", "alpha", {"tasks_done_total": 7.0})
+        federation.forget("id-1")  # evicted between heartbeats
+        # Nothing already reported is lost: series and total hold.
+        assert series(metrics, "tasks_done_total", "alpha") == 7.0
+        assert federation.fleet_total("tasks_done_total") == 7.0
+
+    def test_rejoin_resumes_monotonically_without_double_count(
+        self, federation, metrics,
+    ):
+        federation.report("id-1", "alpha", {"tasks_done_total": 7.0})
+        federation.forget("id-1")
+        # Same name rejoins under a fresh registration.  Its baseline
+        # resets at join, so the first heartbeats report small values —
+        # which must *extend* the retained 7, not replace or re-add it.
+        federation.report("id-9", "alpha", {"tasks_done_total": 0.0})
+        assert series(metrics, "tasks_done_total", "alpha") == 7.0
+        federation.report("id-9", "alpha", {"tasks_done_total": 2.0})
+        assert series(metrics, "tasks_done_total", "alpha") == 9.0
+        assert federation.fleet_total("tasks_done_total") == 9.0
+
+    def test_multiple_evictions_accumulate_retained(
+        self, federation, metrics,
+    ):
+        for epoch, (worker_id, done) in enumerate(
+            [("id-1", 3.0), ("id-2", 4.0), ("id-3", 5.0)],
+        ):
+            federation.report(worker_id, "alpha", {"tasks_done_total": done})
+            federation.forget(worker_id)
+        assert series(metrics, "tasks_done_total", "alpha") == 12.0
+        assert federation.fleet_total("tasks_done_total") == 12.0
+
+    def test_forget_unknown_worker_is_a_noop(self, federation, metrics):
+        federation.forget("never-seen")
+        assert federation.fleet_total("tasks_done_total") == 0.0
+
+    def test_worker_names_spans_live_and_retained(self, federation):
+        federation.report("id-1", "alpha", {"tasks_done_total": 1.0})
+        federation.report("id-2", "beta", {"tasks_done_total": 1.0})
+        federation.forget("id-1")
+        assert federation.worker_names() == {"alpha", "beta"}
+
+
+class TestMonotonicity:
+    def test_series_never_steps_backward_across_epochs(
+        self, federation, metrics,
+    ):
+        observed = []
+
+        def sample():
+            observed.append(series(metrics, "sim_epochs_total", "alpha"))
+
+        federation.report("id-1", "alpha", {"sim_epochs_total": 10.0})
+        sample()
+        federation.report("id-1", "alpha", {"sim_epochs_total": 25.0})
+        sample()
+        federation.forget("id-1")
+        sample()
+        federation.report("id-2", "alpha", {"sim_epochs_total": 1.0})
+        sample()
+        federation.report("id-2", "alpha", {"sim_epochs_total": 6.0})
+        sample()
+        assert observed == sorted(observed)
+        assert observed[-1] == 31.0

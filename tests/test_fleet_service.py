@@ -72,8 +72,10 @@ class _Fleet:
         for index in range(workers):
             self.add_worker(f"w{index}")
 
-    def add_worker(self, name):
-        worker = FleetWorker(self.coord.url, name=name, lease_wait=1.0).join()
+    def add_worker(self, name, obs=None):
+        worker = FleetWorker(
+            self.coord.url, name=name, lease_wait=1.0, obs=obs,
+        ).join()
         thread = threading.Thread(target=worker.run, daemon=True)
         thread.start()
         self.workers.append(worker)
@@ -251,6 +253,194 @@ class TestFleetExecution:
         )
         assert answer["state"] == "done"
         assert answer["result"] == first["result"]
+
+
+class TestFleetObservability:
+    """Cross-process trace propagation and metrics federation, end to end."""
+
+    def test_sigkill_resume_yields_one_connected_trace_tree(
+        self, fleet_factory, cache_dir, tmp_path,
+    ):
+        """One job, two workers, one SIGKILL: still a single span tree.
+
+        The zombie worker leases a shard over the real wire, restores the
+        propagated trace context, executes with a kill fault (emitting its
+        engine spans parented under the coordinator's job span), then goes
+        silent.  The replacement resumes from the zombie's checkpoint.
+        The merged trace must form ONE connected tree rooted at the
+        coordinator's ``fleet_job`` span, with engine spans from both
+        workers — and the result must stay bit-identical to a single-node
+        run without any tracing (observer neutrality).
+        """
+        from repro.obs import (
+            ObsOptions,
+            connected_roots,
+            job_timeline,
+            load_events,
+            span_tree,
+            trace_context,
+        )
+
+        golden = Workbench(SMALL, cache_dir=cache_dir).run("tpcw")
+        trace_dir = tmp_path / "traces"
+        obs = ObsOptions.for_trace(trace_dir, trace_epochs=False)
+        fleet = fleet_factory(workers=0, lease_ttl=0.3, obs=obs)
+        url = fleet.coord.url
+        zombie = _post(url, "/v1/fleet/register", {"name": "obs-zombie"})
+
+        client = fleet.client()
+        receipt = client.submit({
+            "kind": "simulate",
+            "job": {"workload": "tpcw", "variant": "pc"},
+            "shards": 2,
+            "checkpoint_every": 500,
+        })
+        job_id = receipt["id"]
+
+        lease = _post(
+            url, "/v1/fleet/lease",
+            {"worker": zombie["worker"], "max": 1, "wait": 20},
+        )
+        assert len(lease["tasks"]) == 1
+        entry = lease["tasks"][0]
+        # The lease carries the job's trace context on the wire.
+        assert entry["traceparent"].startswith(f"00-{job_id}-")
+
+        runner = EngineRunner(
+            settings=SMALL, cache_dir=str(cache_dir), workers=1, retries=0,
+            obs=obs,
+        )
+        doomed = dataclasses.replace(
+            serialize.from_jsonable(entry["spec"]), fault="kill@600",
+        )
+        with trace_context(entry["traceparent"]):
+            outcome = runner.run([doomed]).jobs[0]
+        assert not outcome.ok
+        # ... and the zombie never reports back, never heartbeats again.
+
+        fleet.add_worker("obs-replacement", obs=obs)
+        status = client.wait(job_id, timeout=180)
+        assert status["state"] == "done"
+
+        # Neutrality: tracing + federation changed nothing in the result.
+        report = ShardedReport.from_dict(status["result"]["report"])
+        assert report.merged == golden
+
+        events = load_events(trace_dir)
+        roots = connected_roots(events, job_id)
+        assert len(roots) == 1, f"split trace tree: {len(roots)} roots"
+        (root,) = roots
+        nodes = span_tree(events, job_id)
+        assert nodes[root]["name"] == "fleet_job"
+        batches = [
+            node for node in nodes.values()
+            if node["name"] == "engine_batch" and node["parent"] == root
+        ]
+        assert len(batches) >= 2  # spans from both the zombie and the
+        #                           replacement hang under the job root
+
+        timeline = job_timeline(events, job_id)
+        assert timeline is not None and timeline.state == "done"
+        assert len(timeline.workers) == 2
+        assert timeline.resumes >= 1
+        assert timeline.phases["recovery"] > 0.0
+        # The five phases tile the wall: reconcile within the 5% bound.
+        assert timeline.phase_sum == pytest.approx(
+            timeline.wall, rel=0.05,
+        )
+
+    def test_workers_federate_labeled_series_onto_metrics(
+        self, fleet_factory,
+    ):
+        from test_obs_metrics import parse_exposition
+
+        fleet = fleet_factory(workers=2, max_inflight=1)
+        client = fleet.client()
+        receipt = client.submit({
+            "kind": "sweep",
+            "sweep": {
+                "workloads": ["database"],
+                "variant": "pc",
+                "axes": {"store_queue": [40, 48]},
+            },
+            "backend": "batch",
+        })
+        assert client.wait(receipt["id"], timeout=180)["state"] == "done"
+
+        def scrape():
+            with urllib.request.urlopen(
+                fleet.coord.url + "/metrics", timeout=10.0,
+            ) as response:
+                return response.read().decode("utf-8")
+
+        # Totals ride on heartbeats; wait for both workers to phone home.
+        family = "repro_fleet_worker_tasks_done_total"
+        deadline = time.monotonic() + 15.0
+        while time.monotonic() < deadline:
+            families = parse_exposition(scrape())
+            samples = families.get(family, {"samples": []})["samples"]
+            if (
+                len(samples) == 2
+                and sum(value for _, _, value in samples) == 2
+            ):
+                break
+            time.sleep(0.2)
+        families = parse_exposition(scrape())
+        assert families[family]["type"] == "counter"
+        labels = sorted(labels for _, labels, _ in families[family]["samples"])
+        assert labels == ['{worker="w0"}', '{worker="w1"}']
+        assert sum(v for _, _, v in families[family]["samples"]) == 2
+
+        # Fleet-wide total gauge, derived from the same reports.
+        total_family = families["repro_fleet_tasks_done_total"]
+        assert total_family["samples"][0][2] == 2
+
+        # Point-in-time health gauges carry per-worker labels too, and
+        # are rebuilt per scrape for live workers only.
+        inflight = families["repro_fleet_worker_inflight"]
+        assert sorted(
+            labels for _, labels, _ in inflight["samples"]
+        ) == ['{worker="w0"}', '{worker="w1"}']
+
+        # The JSON rendering exposes the same labeled section.
+        with urllib.request.urlopen(
+            fleet.coord.url + "/metrics?format=json", timeout=10.0,
+        ) as response:
+            snapshot = json.loads(response.read())
+        series = {
+            entry["labels"]["worker"]: entry["value"]
+            for entry in snapshot["labeled"]["fleet_worker_tasks_done_total"]
+        }
+        assert set(series) == {"w0", "w1"}
+        assert sum(series.values()) == 2
+
+    def test_eviction_retains_federated_totals_end_to_end(
+        self, fleet_factory,
+    ):
+        """Evicting a worker must not erase what it already reported."""
+        fleet = fleet_factory(workers=0, lease_ttl=0.3)
+        coord = fleet.coord
+        ghost = _post(
+            fleet.coord.url, "/v1/fleet/register", {"name": "ghost"},
+        )
+        _post(
+            fleet.coord.url, "/v1/fleet/heartbeat",
+            {"worker": ghost["worker"],
+             "metrics": {"tasks_done_total": 5.0}},
+        )
+        assert coord.federation.fleet_total("tasks_done_total") == 5.0
+        # Go silent; the eviction loop reaps the lease.
+        deadline = time.monotonic() + 10.0
+        while (
+            coord.registry.evicted_total == 0
+            and time.monotonic() < deadline
+        ):
+            time.sleep(0.05)
+        assert coord.registry.evicted_total == 1
+        assert coord.federation.fleet_total("tasks_done_total") == 5.0
+        assert coord.metrics.labeled_value(
+            "fleet_worker_tasks_done_total", {"worker": "ghost"},
+        ) == 5.0
 
 
 class TestFleetBackpressure:

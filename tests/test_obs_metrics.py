@@ -41,6 +41,9 @@ def parse_exposition(text: str) -> Dict[str, dict]:
             _, _, rest = line.partition("# HELP ")
             family, _, help_text = rest.partition(" ")
             assert help_text, f"line {number}: HELP without text"
+            assert family not in families, (
+                f"line {number}: family {family} declared twice"
+            )
             families[family] = {"help": help_text, "type": "", "samples": []}
             current = families[family]
             continue
@@ -157,6 +160,80 @@ class TestPrometheusRendering:
         }
         assert samples["repro_exec_seconds_count"] == 2
         assert samples["repro_exec_seconds_sum"] == pytest.approx(4.0)
+
+
+class TestLabeledSeries:
+    def test_inc_and_set_and_read_back(self):
+        registry = MetricsRegistry()
+        registry.inc_labeled("worker_tasks", {"worker": "a"}, 2)
+        registry.inc_labeled("worker_tasks", {"worker": "a"})
+        registry.set_labeled(
+            "worker_tasks", {"worker": "b"}, 7, kind="counter",
+        )
+        assert registry.labeled_value("worker_tasks", {"worker": "a"}) == 3
+        assert registry.labeled_value("worker_tasks", {"worker": "b"}) == 7
+        assert registry.labeled_value("worker_tasks", {"worker": "c"}) == 0.0
+
+    def test_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.set_labeled("inflight", {"worker": "a"}, 1, kind="gauge")
+        with pytest.raises(ValueError, match="is a gauge, not a counter"):
+            registry.inc_labeled("inflight", {"worker": "a"})
+
+    def test_remove_series_and_family(self):
+        registry = MetricsRegistry()
+        registry.set_labeled("inflight", {"worker": "a"}, 1, kind="gauge")
+        registry.set_labeled("inflight", {"worker": "b"}, 2, kind="gauge")
+        registry.remove_labeled("inflight", {"worker": "a"})
+        assert registry.labeled_value("inflight", {"worker": "a"}) == 0.0
+        assert registry.labeled_value("inflight", {"worker": "b"}) == 2
+        registry.remove_labeled("inflight")
+        assert registry.labeled_series("inflight") == {}
+
+    def test_labeled_families_render_and_parse_strictly(self):
+        registry = MetricsRegistry()
+        registry.inc_labeled(
+            "fleet_worker_tasks_done_total", {"worker": "alpha"}, 5,
+            help="tasks per worker",
+        )
+        registry.inc_labeled(
+            "fleet_worker_tasks_done_total", {"worker": "beta"}, 2,
+        )
+        registry.set_labeled(
+            "fleet_worker_inflight", {"worker": "alpha"}, 1.0, kind="gauge",
+        )
+        families = parse_exposition(registry.render_prometheus())
+        done = families["repro_fleet_worker_tasks_done_total"]
+        assert done["type"] == "counter"
+        assert done["help"] == "tasks per worker"
+        assert sorted(
+            (labels, value) for _, labels, value in done["samples"]
+        ) == [('{worker="alpha"}', 5.0), ('{worker="beta"}', 2.0)]
+        inflight = families["repro_fleet_worker_inflight"]
+        assert inflight["type"] == "gauge"
+        assert inflight["samples"] == [
+            ("repro_fleet_worker_inflight", '{worker="alpha"}', 1.0),
+        ]
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.set_labeled(
+            "inflight", {"worker": 'we"ird\\name\n'}, 1, kind="gauge",
+        )
+        rendered = registry.render_prometheus()
+        assert '{worker="we\\"ird\\\\name\\n"}' in rendered
+        # The escaped line still parses under the strict grammar.
+        parse_exposition(rendered)
+
+    def test_to_dict_includes_labeled_section(self):
+        registry = MetricsRegistry()
+        registry.set_labeled(
+            "inflight", {"worker": "a"}, 3, kind="gauge",
+        )
+        snapshot = registry.to_dict()
+        assert snapshot["labeled"]["inflight"] == [
+            {"labels": {"worker": "a"}, "value": 3.0},
+        ]
 
 
 class TestLiveScrape:

@@ -98,11 +98,35 @@ class TestReaders:
         ]
         assert [e["index"] for e in load_events(tmp_path)] == [0, 1]
 
-    def test_strict_raises_on_truncated_line(self, tmp_path):
+    def test_strict_raises_on_interior_corruption(self, tmp_path):
+        # A corrupt line *followed by more events* is real corruption, not
+        # a crash artifact — strict mode must refuse the file.
         path = tmp_path / "trace.jsonl"
-        path.write_text('{"kind": "epoch"}\n{"kind": "trunc\n')
+        path.write_text(
+            '{"kind": "epoch"}\n'
+            '{"kind": "trunc\n'
+            '{"kind": "termination"}\n'
+        )
         with pytest.raises(ValueError, match=r"trace\.jsonl:2"):
             load_events(path)
+
+    def test_strict_tolerates_truncated_tail(self, tmp_path, caplog):
+        # A half-written *final* line is what a SIGKILL mid-write leaves
+        # behind; strict mode keeps every complete event and warns.
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"kind": "epoch"}\n{"kind": "trunc')
+        with caplog.at_level("WARNING", logger="repro.obs.trace"):
+            events = load_events(path)
+        assert [e["kind"] for e in events] == ["epoch"]
+        assert any("truncated trace tail" in r.message for r in caplog.records)
+
+    def test_strict_tolerates_tail_before_blank_lines(self, tmp_path):
+        # Trailing blank lines after the torn write don't turn the tail
+        # into interior corruption.
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"kind": "epoch"}\n{"kind": "trunc\n\n\n')
+        events = load_events(path)
+        assert [e["kind"] for e in events] == ["epoch"]
 
     def test_non_strict_skips_garbage(self, tmp_path):
         path = tmp_path / "trace.jsonl"
@@ -116,13 +140,76 @@ class TestReaders:
         events = load_events(path, strict=False)
         assert [e["kind"] for e in events] == ["epoch", "termination"]
 
-    def test_strict_rejects_non_object_events(self):
+    def test_strict_rejects_interior_non_object_events(self):
         with pytest.raises(ValueError, match="not an object"):
-            load_events(["[1, 2]"])
+            load_events(["[1, 2]", '{"kind": "epoch"}'])
 
     def test_reads_from_line_iterable(self):
         events = list(read_events(['{"kind": "epoch"}']))
         assert events == [{"kind": "epoch"}]
+
+
+class TestRotation:
+    def _fill(self, tracer: Tracer, count: int) -> None:
+        for index in range(count):
+            tracer.event("epoch", index=index)
+
+    def test_rotates_when_segment_would_exceed_cap(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with Tracer(path, max_bytes=300) as tracer:
+            self._fill(tracer, 12)
+        segments = sorted(p.name for p in tmp_path.iterdir())
+        assert "trace.jsonl" in segments
+        assert "trace.jsonl.1" in segments
+        # Every rotated segment respects the cap; only the base is open.
+        for segment in tmp_path.iterdir():
+            if segment.name != "trace.jsonl":
+                assert segment.stat().st_size <= 300
+
+    def test_readers_span_rotated_segments_in_order(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with Tracer(path, max_bytes=300) as tracer:
+            self._fill(tracer, 12)
+        assert len(trace_files(path)) > 1
+        # Both the explicit file path and the directory view must
+        # reassemble the stream in write order, rotation invisible.
+        assert [e["index"] for e in load_events(path)] == list(range(12))
+        assert [e["index"] for e in load_events(tmp_path)] == list(range(12))
+
+    def test_segment_order_is_numeric_not_lexicographic(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        # 12 segments so .10 exists: lexicographic order would read
+        # .10 before .2 and scramble the stream.
+        for index in range(12):
+            (tmp_path / f"trace.jsonl.{12 - index}").write_text(
+                json.dumps({"kind": "epoch", "index": index}) + "\n"
+            )
+        path.write_text(json.dumps({"kind": "epoch", "index": 12}) + "\n")
+        assert [e["index"] for e in load_events(path)] == list(range(13))
+
+    def test_max_segments_prunes_oldest(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with Tracer(path, max_bytes=200, max_segments=2) as tracer:
+            self._fill(tracer, 40)
+        names = sorted(p.name for p in tmp_path.iterdir())
+        assert names == ["trace.jsonl", "trace.jsonl.1", "trace.jsonl.2"]
+
+    def test_append_run_resumes_byte_accounting(self, tmp_path):
+        # A tracer reopening an existing file counts its size, so the
+        # cap holds across restarts rather than resetting to zero.
+        path = tmp_path / "trace.jsonl"
+        with Tracer(path, max_bytes=300) as tracer:
+            self._fill(tracer, 3)
+        size_before = path.stat().st_size
+        with Tracer(path, max_bytes=size_before + 10) as tracer:
+            self._fill(tracer, 3)
+        assert (tmp_path / "trace.jsonl.1").exists()
+
+    def test_no_rotation_without_cap(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with Tracer(path) as tracer:
+            self._fill(tracer, 50)
+        assert [p.name for p in tmp_path.iterdir()] == ["trace.jsonl"]
 
 
 class TestContext:

@@ -1,0 +1,125 @@
+#!/usr/bin/env python
+"""CI estimate sanity gate: the analytical model tracks measurement.
+
+Compares ``api.estimate`` against measured EPI at the golden-fixture
+settings (the sizing ``tests/test_golden_window.py`` pins) and asserts
+the documented accuracy contract:
+
+1. at the anchor point (default config, pc variant) the calibrated
+   estimate reproduces measured EPI essentially exactly, for every
+   committed workload profile;
+2. single-knob excursions stay within ``VALIDATION_MARGIN`` (25%);
+3. a call completes in well under a millisecond — the estimate verb
+   must never silently grow a simulation dependency.
+
+Writes a JSON artifact with every (estimate, measured, error) triple for
+CI upload and exits non-zero with diagnostics on any violation.
+
+Usage::
+
+    python scripts/estimate_smoke.py [--cache-dir DIR] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.estimate import VALIDATION_MARGIN, estimate
+from repro.harness import ExperimentSettings
+from repro.harness.experiment import Workbench
+from repro.workloads import WORKLOADS
+
+GOLDEN_SETTINGS = {"warmup": 3000, "measure": 9000, "seed": 13,
+                   "calibrate": False}
+ANCHOR_MARGIN = 1e-6
+#: Single-knob excursions exercised on the ``database`` profile.
+EXCURSIONS = (
+    {"scout": "hws2"},
+    {"store_prefetch": "sp0"},
+    {"store_prefetch": "sp2"},
+    {"store_buffer": 4},
+    {"perfect_stores": True},
+)
+TIME_BUDGET_SECONDS = 1e-3
+
+
+def fail(message: str) -> None:
+    print(f"ESTIMATE SMOKE FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--cache-dir", default=".ci-estimate-cache")
+    parser.add_argument("--out", default="ESTIMATE_smoke.json")
+    args = parser.parse_args(argv)
+
+    bench = Workbench(
+        ExperimentSettings(**GOLDEN_SETTINGS), cache_dir=args.cache_dir,
+    )
+    rows = []
+    failures = []
+
+    def check(label: str, workload: str, margin: float, **knobs) -> None:
+        measured = bench.run(workload, **knobs).epi_per_1000
+        predicted = estimate(workload, **knobs).predicted_epi_per_1000
+        error = abs(predicted - measured) / measured
+        rows.append({
+            "case": label,
+            "workload": workload,
+            "knobs": knobs,
+            "measured_epi_per_1000": measured,
+            "predicted_epi_per_1000": predicted,
+            "relative_error": error,
+            "margin": margin,
+        })
+        print(
+            f"  {label:32s} measured={measured:8.3f} "
+            f"predicted={predicted:8.3f} err={error * 100:6.2f}%"
+        )
+        if error > margin:
+            failures.append(
+                f"{label}: relative error {error:.3f} exceeds the "
+                f"{margin:.2f} margin"
+            )
+
+    for workload in sorted(WORKLOADS):
+        check(f"anchor:{workload}", workload, ANCHOR_MARGIN)
+    for knobs in EXCURSIONS:
+        label = ",".join(f"{k}={v}" for k, v in knobs.items())
+        check(f"excursion:{label}", "database", VALIDATION_MARGIN, **knobs)
+
+    calls = 200
+    start = time.perf_counter()
+    for _ in range(calls):
+        estimate("database", scout="hws2")
+    per_call = (time.perf_counter() - start) / calls
+    print(f"  estimate call: {per_call * 1e6:.1f} us")
+
+    artifact = {
+        "settings": GOLDEN_SETTINGS,
+        "cases": rows,
+        "seconds_per_call": per_call,
+        "failures": failures,
+    }
+    Path(args.out).write_text(
+        json.dumps(artifact, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    if failures:
+        fail("; ".join(failures))
+    if per_call > TIME_BUDGET_SECONDS:
+        fail(
+            f"estimate took {per_call * 1e3:.3f} ms/call "
+            f"(budget {TIME_BUDGET_SECONDS * 1e3:.1f} ms)"
+        )
+    print(f"estimate smoke ok: {len(rows)} cases within margin")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,150 @@
+#!/usr/bin/env python
+"""SMT scheduler benchmark: the MLP-aware policy beats round-robin.
+
+Runs the committed mixed-workload scenario (the ``oltp_java`` mix —
+database + specjbb — at two hardware contexts, smoke trace sizing) once
+per scheduling policy on one shared workbench, prints the comparison
+table, and asserts the acceptance bar for shipping the MLP-aware
+scheduler:
+
+1. ``mlp`` achieves strictly higher system throughput (STP) than
+   ``round_robin``;
+2. ``mlp`` achieves strictly lower average normalized turnaround time
+   (ANTT) than ``round_robin``;
+3. with ``--check``, every recorded metric matches ``BENCH_smt.json``
+   exactly — the runs are deterministic, so any drift means the model
+   changed and the artifact must be regenerated deliberately.
+
+Exits non-zero with diagnostics on any deviation.  ``--update`` rewrites
+``BENCH_smt.json`` from the fresh measurement.
+
+Usage::
+
+    python scripts/smt_bench.py [--check | --update] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.analysis import compare_schedulers, context_breakdown
+from repro.harness import ExperimentSettings
+from repro.harness.experiment import Workbench
+
+COMMITTED = Path(__file__).resolve().parent.parent / "BENCH_smt.json"
+
+#: The committed scenario.  Tiny traces barely differentiate policies
+#: (every epoch drains in a slot or two), so the scenario pins the
+#: smoke sizing where store-miss epochs are long enough to matter.
+SCENARIO = {
+    "workload": "oltp_java",
+    "contexts": 2,
+    "variant": "pc",
+    "settings": {
+        "warmup": 3000,
+        "measure": 9000,
+        "seed": 13,
+        "calibrate": False,
+    },
+}
+SCHEDULERS = ("round_robin", "icount", "mlp")
+ROUND = 9
+
+
+def fail(message: str) -> None:
+    print(f"SMT BENCH FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def measure() -> dict:
+    settings = ExperimentSettings(**SCENARIO["settings"])
+    bench = Workbench(settings, cache_dir=None)
+    comparison = compare_schedulers(
+        bench,
+        SCENARIO["workload"],
+        contexts=SCENARIO["contexts"],
+        schedulers=SCHEDULERS,
+        variant=SCENARIO["variant"],
+    )
+    print(comparison.summary())
+
+    schedulers = {}
+    for result in comparison.results:
+        schedulers[result.scheduler] = {
+            "stp": round(result.stp, ROUND),
+            "antt": round(result.antt, ROUND),
+            "fairness": round(result.fairness, ROUND),
+            "epi_per_1000": round(result.epi_per_1000, ROUND),
+            "total_slots": result.total_slots,
+            "contexts": [
+                {
+                    "cid": cid,
+                    "workload": workload,
+                    "epi_per_1000": round(epi, ROUND),
+                    "normalized_turnaround": round(ntt, ROUND),
+                    "spin_slots": spin,
+                }
+                for cid, workload, epi, ntt, spin in context_breakdown(result)
+            ],
+        }
+    return {"scenario": SCENARIO, "schedulers": schedulers}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check", action="store_true",
+        help="also require an exact match against the committed artifact",
+    )
+    parser.add_argument(
+        "--update", action="store_true",
+        help=f"rewrite {COMMITTED.name} from this measurement",
+    )
+    parser.add_argument("--out", default=None,
+                        help="write the fresh measurement to PATH")
+    args = parser.parse_args(argv)
+
+    artifact = measure()
+    rows = artifact["schedulers"]
+
+    mlp, rr = rows["mlp"], rows["round_robin"]
+    if mlp["stp"] <= rr["stp"]:
+        fail(
+            f"mlp STP {mlp['stp']} does not beat round_robin {rr['stp']} "
+            f"on the committed scenario"
+        )
+    if mlp["antt"] >= rr["antt"]:
+        fail(
+            f"mlp ANTT {mlp['antt']} does not beat round_robin "
+            f"{rr['antt']} on the committed scenario"
+        )
+
+    if args.out:
+        Path(args.out).write_text(
+            json.dumps(artifact, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+    if args.update:
+        COMMITTED.write_text(
+            json.dumps(artifact, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote {COMMITTED}")
+        return 0
+
+    if args.check:
+        committed = json.loads(COMMITTED.read_text(encoding="utf-8"))
+        if committed != artifact:
+            fail(
+                "measurement drifted from the committed BENCH_smt.json — "
+                "rerun with --update if the model change is intended"
+            )
+        print("committed artifact reproduced exactly")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,7 +4,8 @@ These helpers turn :class:`~repro.core.SimulationResult` objects into the
 specific views the paper's figures present: the Figure 3 termination
 histograms (:mod:`~repro.analysis.termination`), the Figure 4 MLP
 distributions (:mod:`~repro.analysis.mlp_stats`), and the Table 2 overlap
-accounting (:mod:`~repro.analysis.overlap`).
+accounting (:mod:`~repro.analysis.overlap`) — plus the SMT scheduler
+comparison views (:mod:`~repro.analysis.smt`).
 """
 
 from .mlp_stats import (
@@ -14,6 +15,12 @@ from .mlp_stats import (
     store_mlp_histogram,
 )
 from .overlap import OverlapBreakdown, overlap_breakdown
+from .smt import (
+    SchedulerComparison,
+    compare_schedulers,
+    context_breakdown,
+    scheduler_rows,
+)
 from .termination import (
     TERMINATION_ORDER,
     dominant_condition,
@@ -24,11 +31,15 @@ from .termination import (
 __all__ = [
     "ExpensiveStoreStats",
     "OverlapBreakdown",
+    "SchedulerComparison",
     "TERMINATION_ORDER",
+    "compare_schedulers",
+    "context_breakdown",
     "dominant_condition",
     "expensive_store_stats",
     "mlp_profile",
     "overlap_breakdown",
+    "scheduler_rows",
     "store_caused_fraction",
     "store_mlp_histogram",
     "termination_stack",

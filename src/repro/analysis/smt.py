@@ -1,0 +1,125 @@
+"""SMT scheduler comparison analysis.
+
+Post-processing over :class:`~repro.smt.results.SmtResult` objects — the
+views the SMT study presents: a policy-by-policy table of the standard
+multiprogram metrics (STP, ANTT, fairness) and the per-context
+normalized-turnaround breakdown that explains *why* a policy wins.
+
+The one driver helper, :func:`compare_schedulers`, runs the same
+workload mix once per scheduling policy on a shared workbench (traces
+are annotated once and cached), so the comparison isolates the policy:
+every run sees byte-identical per-context traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Sequence, Tuple
+
+from ..smt.results import SmtResult
+
+if TYPE_CHECKING:
+    from ..harness.experiment import Workbench
+
+__all__ = [
+    "SchedulerComparison",
+    "compare_schedulers",
+    "context_breakdown",
+    "scheduler_rows",
+]
+
+
+@dataclass(frozen=True)
+class SchedulerComparison:
+    """One workload mix run under several scheduling policies."""
+
+    workload: str
+    contexts: int
+    results: Tuple[SmtResult, ...]
+
+    def by_scheduler(self) -> Dict[str, SmtResult]:
+        return {result.scheduler: result for result in self.results}
+
+    def best(self, metric: str = "stp") -> SmtResult:
+        """The winning policy on *metric* (STP/fairness maximize; ANTT and
+        EPI minimize; ties go to the earlier run)."""
+        minimize = metric in ("antt", "epi_per_1000")
+        chooser = min if minimize else max
+        return chooser(self.results, key=lambda r: getattr(r, metric))
+
+    def summary(self) -> str:
+        lines = [
+            f"{self.workload} x{self.contexts}: "
+            f"best STP {self.best('stp').scheduler}, "
+            f"best ANTT {self.best('antt').scheduler}"
+        ]
+        for scheduler, stp, antt, fairness, epi in scheduler_rows(
+            self.results
+        ):
+            lines.append(
+                f"  {scheduler:12s} STP={stp:.3f} ANTT={antt:.3f} "
+                f"fairness={fairness:.3f} EPI/1000={epi:.3f}"
+            )
+        return "\n".join(lines)
+
+
+def scheduler_rows(
+    results: Sequence[SmtResult],
+) -> List[Tuple[str, float, float, float, float]]:
+    """``(scheduler, stp, antt, fairness, epi_per_1000)`` table rows."""
+    return [
+        (
+            result.scheduler,
+            result.stp,
+            result.antt,
+            result.fairness,
+            result.epi_per_1000,
+        )
+        for result in results
+    ]
+
+
+def context_breakdown(
+    result: SmtResult,
+) -> List[Tuple[int, str, float, float, int]]:
+    """Per-context ``(cid, workload, epi_per_1000, ntt, spin_slots)`` —
+    the normalized-turnaround decomposition behind the aggregate ANTT."""
+    return [
+        (
+            context.cid,
+            context.workload,
+            context.epi_per_1000,
+            context.normalized_turnaround,
+            context.spin_slots,
+        )
+        for context in result.contexts
+    ]
+
+
+def compare_schedulers(
+    bench: "Workbench",
+    workload: str,
+    *,
+    contexts: int = 2,
+    schedulers: Sequence[str] = ("round_robin", "icount", "mlp"),
+    variant: str = "pc",
+    **core_changes,
+) -> SchedulerComparison:
+    """Run *workload* (a mix spec) once per policy on one shared bench.
+
+    Per-context traces are annotated once and served from the bench's
+    artifact cache on every subsequent policy run, so the only variable
+    across the returned results is the scheduler itself.
+    """
+    from ..smt import run_smt
+
+    results = tuple(
+        run_smt(
+            bench, workload, contexts=contexts, scheduler=scheduler,
+            variant=variant, **core_changes,
+        )
+        for scheduler in schedulers
+    )
+    return SchedulerComparison(
+        workload=workload, contexts=contexts, results=results,
+    )

@@ -34,11 +34,27 @@ all three:
       )
       print(result.best_knobs, result.best_epi_per_1000)
 
+- :func:`estimate` — the analytical EPI prediction behind ``mlpsim
+  estimate``: no trace read, no simulation run, sub-millisecond::
+
+      guess = api.estimate("database", scout="hws2")
+      print(guess.predicted_epi_per_1000)
+
 - :func:`connect` — the same verbs against a running service daemon::
 
       client = api.connect("http://127.0.0.1:8137")
       receipt = client.submit_sweep("database", store_queue=[16, 32])
       report = client.result(receipt["id"])
+
+:func:`run`, :func:`sweep` (via the ``contexts``/``scheduler`` axes),
+:func:`tune` and :func:`estimate` all accept the SMT axis: ``contexts=N``
+runs N hardware contexts over one shared memory system and returns a
+:class:`~repro.smt.results.SmtResult` with per-context breakdowns plus
+STP/ANTT/fairness aggregates; ``scheduler=`` picks the thread-scheduling
+policy (``round_robin``, ``icount``, ``mlp``)::
+
+    smt = api.run("oltp_java", contexts=2, scheduler="mlp")
+    print(smt.stp, smt.antt, smt.contexts[0].epi_per_1000)
 
 :func:`workbench` constructs the underlying serial workbench for repeated
 interactive runs that should share one annotated-trace cache.
@@ -60,6 +76,7 @@ from typing import Any, List, Mapping, Optional, Union
 
 from .config import SimulationConfig
 from .core.results import SimulationResult
+from .estimate import EpiEstimate, estimate
 from .engine.cache import ArtifactCache, resolve_cache_dir
 from .engine.runner import (
     EngineRunner,
@@ -81,10 +98,12 @@ from .service.client import ServiceClient
 from .shard.checkpoint import CheckpointStore
 from .shard.execute import shard_plan_for
 from .shard.plan import ShardPlan
+from .smt import SmtResult, run_smt, valid_schedulers
 from .tune import SearchSpace, TuneResult, TuneSpec, run_tune
 
 __all__ = [
     "EngineRunner",
+    "EpiEstimate",
     "ExperimentSettings",
     "JobResult",
     "JobSpec",
@@ -96,18 +115,21 @@ __all__ = [
     "ShardedReport",
     "SimulationConfig",
     "SimulationResult",
+    "SmtResult",
     "SweepRecord",
     "SweepSpec",
     "TuneResult",
     "TuneSpec",
     "Workbench",
     "connect",
+    "estimate",
     "resume",
     "run",
     "shard_plan",
     "sweep",
     "tune",
     "valid_axes",
+    "valid_schedulers",
     "workbench",
 ]
 
@@ -164,8 +186,10 @@ def run(
     checkpoint_every: int = 0,
     workers: Optional[int] = None,
     backend: Optional[str] = None,
+    contexts: int = 1,
+    scheduler: str = "",
     **core_changes: Any,
-) -> SimulationResult:
+) -> Union[SimulationResult, SmtResult]:
     """Simulate one workload *profile* under one configuration.
 
     *profile* names a calibrated workload (``"database"``, ``"tpcw"``,
@@ -199,6 +223,15 @@ def run(
     (rendered by ``mlpsim trace`` / ``mlpsim obs report``); *obs* passes
     full :class:`ObsOptions` instead.  They are mutually exclusive, and
     neither perturbs the simulation result.
+
+    *contexts* > 1 runs an SMT simulation: N hardware contexts sharing
+    the SMAC and lock lines, each running one component of the *profile*
+    mix (``"database+specjbb"`` or a named mix like ``"oltp_java"``;
+    a single workload name replicates).  *scheduler* picks the policy
+    (see :func:`valid_schedulers`).  Returns an :class:`SmtResult`
+    instead of a :class:`SimulationResult`; ``contexts=1`` is
+    bit-identical to the single-context pipeline under every policy.
+    SMT runs do not compose with *shards*/*checkpoint_every*/*trace*.
     """
     options = _resolve_obs(trace, obs)
     if not isinstance(profile, str):
@@ -214,8 +247,33 @@ def run(
             backend = base.backend
         if checkpoint_every == 0 and base.checkpoint_every > 0:
             checkpoint_every = base.checkpoint_every
+        if contexts == 1 and base.contexts > 1:
+            contexts = base.contexts
+        if not scheduler and base.scheduler:
+            scheduler = base.scheduler
         profile = base.workload
     core_changes = _coerce_core_changes(core_changes)
+    if contexts > 1:
+        if shards > 1 or checkpoint_every > 0:
+            raise ValueError(
+                "contexts= cannot be combined with shards=/checkpoint_every= "
+                "(SMT runs are not shardable)"
+            )
+        if options is not None:
+            raise ValueError(
+                "contexts= cannot be combined with trace=/obs= "
+                "(SMT contexts drive their own shared-SMAC observers)"
+            )
+        if bench is None:
+            bench = workbench(settings, cache_dir)
+        return run_smt(
+            bench, profile, contexts=contexts, scheduler=scheduler,
+            variant=variant, config=config, **core_changes,
+        )
+    if scheduler:
+        raise ValueError(
+            "scheduler= only applies to SMT runs; pass contexts > 1"
+        )
     if shards > 1 or checkpoint_every > 0:
         if bench is not None:
             raise ValueError(
@@ -380,6 +438,8 @@ def tune(
     obs: Optional[ObsOptions] = None,
     margin: float = 0.30,
     resume: bool = True,
+    contexts: int = 1,
+    scheduler: str = "",
 ) -> TuneResult:
     """Search the design space for the lowest-EPI configuration.
 
@@ -388,6 +448,10 @@ def tune(
     built :class:`SearchSpace`, or a whole :class:`TuneSpec` (in which
     case *profile*/*variant*/*strategy*/*budget*/*seed*/*backend* are
     already part of the spec and must be left at their defaults).
+
+    *contexts* > 1 evaluates every candidate as an SMT run (aggregate
+    EPI is the optimized metric) under *scheduler* — the analytical
+    pruner disengages for mix workloads, so every candidate is measured.
 
     *strategy* is ``"grid"`` (exhaustive, sweep order), ``"random"``
     (uniform without replacement) or ``"genetic"`` (seeded tournament
@@ -410,14 +474,20 @@ def tune(
     options = _resolve_obs(trace, obs)
     if isinstance(space, TuneSpec):
         spec = space
-        if backend:
+        if backend or contexts > 1 or scheduler:
             from dataclasses import replace
 
-            spec = replace(spec, backend=backend)
+            spec = replace(
+                spec,
+                backend=backend or spec.backend,
+                contexts=contexts if contexts > 1 else spec.contexts,
+                scheduler=scheduler or spec.scheduler,
+            )
     else:
         spec = TuneSpec.build(
             profile, space, variant=variant, strategy=strategy,
             budget=budget, seed=seed, backend=backend or "",
+            contexts=contexts, scheduler=scheduler,
         )
     return run_tune(
         spec,

@@ -130,7 +130,22 @@ def _build_parser() -> argparse.ArgumentParser:
         help="Figure 3B: SLE + prefetch past serializing",
     )
     run = sub.add_parser("run", help="one simulation with explicit knobs")
-    run.add_argument("--workload", default="database", choices=list(ALL_WORKLOADS))
+    run.add_argument(
+        "--workload", default="database",
+        help="workload profile; with --contexts > 1 also a '+'-joined "
+             "mix (database+specjbb) or a named mix (oltp_java, "
+             "web_tier, commercial)",
+    )
+    run.add_argument(
+        "--contexts", type=int, default=1, metavar="N",
+        help="SMT hardware contexts (default 1 = the single-context "
+             "pipeline, bit-identical to the reference backend)",
+    )
+    run.add_argument(
+        "--scheduler", default="",
+        help="SMT thread-scheduling policy for --contexts > 1 "
+             "(round_robin, icount, mlp; default round_robin)",
+    )
     run.add_argument("--prefetch", default="sp1", choices=sorted(_PREFETCH))
     run.add_argument(
         "--consistency", default="pc", choices=["pc", "wc"],
@@ -163,6 +178,30 @@ def _build_parser() -> argparse.ArgumentParser:
         "--backend", default=None, choices=list(backend_names()),
         help="execution backend (default: $REPRO_BACKEND or 'reference'); "
              "all backends return bit-identical results",
+    )
+
+    est = sub.add_parser(
+        "estimate",
+        help="analytical EPI prediction for a job spec — no trace read, "
+             "no simulation run (sub-millisecond)",
+    )
+    est.add_argument(
+        "--workload", default="database",
+        help="workload profile, '+'-joined mix or named mix",
+    )
+    est.add_argument("--variant", default="pc")
+    est.add_argument(
+        "--contexts", type=int, default=1, metavar="N",
+        help="SMT hardware contexts (mix components are averaged)",
+    )
+    est.add_argument(
+        "--knob", action="append", default=[], metavar="NAME=VALUE",
+        help="one core-config knob, e.g. scout=hws2 or store_queue=64 "
+             "(repeatable; same names as the sweep axes)",
+    )
+    est.add_argument(
+        "--json", action="store_true",
+        help="print the full estimate as JSON instead of the summary line",
     )
 
     rs = sub.add_parser(
@@ -208,13 +247,25 @@ def _build_parser() -> argparse.ArgumentParser:
         help="search the design space for the lowest-EPI configuration "
              "(grid / random / genetic, with analytical pruning)",
     )
-    tn.add_argument("--workload", default="database",
-                    choices=list(ALL_WORKLOADS))
+    tn.add_argument(
+        "--workload", default="database",
+        help="workload profile; with --contexts > 1 also a '+'-joined "
+             "or named mix",
+    )
     tn.add_argument("--variant", default="pc")
     tn.add_argument(
         "--param", action="append", default=[], metavar="NAME=V1,V2",
         help="one search dimension, e.g. store_queue=16,32,64 "
              "(repeatable; same axes as 'mlpsim sweep')",
+    )
+    tn.add_argument(
+        "--contexts", type=int, default=1, metavar="N",
+        help="evaluate every candidate as an N-context SMT run "
+             "(aggregate EPI is the optimized metric)",
+    )
+    tn.add_argument(
+        "--scheduler", default="",
+        help="SMT scheduling policy for --contexts > 1",
     )
     tn.add_argument(
         "--strategy", default="genetic", choices=list(STRATEGIES),
@@ -526,12 +577,12 @@ def _cache_dir(args: argparse.Namespace) -> Any:
     return None if args.cache_dir == "none" else args.cache_dir
 
 
-def _parse_axis(spec: str) -> Tuple[str, List[Any]]:
+def _parse_axis(spec: str, flag: str = "--axis") -> Tuple[str, List[Any]]:
     """``store_queue=16,32`` -> ("store_queue", [16, 32])."""
     name, _, raw = spec.partition("=")
     name = name.strip()
     if not name or not raw:
-        raise SystemExit(f"bad --axis {spec!r}: expected NAME=V1,V2,...")
+        raise SystemExit(f"bad {flag} {spec!r}: expected NAME=V1,V2,...")
     try:
         values = [
             coerce_axis_value(name, token.strip())
@@ -542,6 +593,25 @@ def _parse_axis(spec: str) -> Tuple[str, List[Any]]:
     if not values:
         raise SystemExit(f"axis {name} has no values")
     return name, values
+
+
+def _parse_axes(specs: Sequence[str], flag: str) -> Dict[str, List[Any]]:
+    """Parse repeated ``NAME=V1,V2`` options, rejecting duplicate names.
+
+    A repeated knob name used to silently keep the last spelling; now it
+    is an explicit error so ``--param store_queue=16 --param
+    store_queue=32`` cannot masquerade as a two-value dimension.
+    """
+    axes: Dict[str, List[Any]] = {}
+    for spec in specs:
+        name, values = _parse_axis(spec, flag)
+        if name in axes:
+            raise SystemExit(
+                f"duplicate {flag} name {name!r}: merge the values into "
+                f"one option ({flag} {name}=V1,V2,...)"
+            )
+        axes[name] = values
+    return axes
 
 
 _SIZE_SUFFIXES = {"k": 1024, "m": 1024 ** 2, "g": 1024 ** 3}
@@ -656,7 +726,7 @@ def _render_figure(name: str, bench: Workbench, workloads,
 
 
 def _cmd_sweep(args, settings: ExperimentSettings, workloads) -> int:
-    axes = dict(_parse_axis(spec) for spec in args.axis)
+    axes = _parse_axes(args.axis, "--axis")
     if not axes:
         print("sweep needs at least one --axis", file=sys.stderr)
         return 2
@@ -717,10 +787,11 @@ def _best_config_payload(result) -> Dict[str, Any]:
 
 
 def _cmd_tune(args, settings: ExperimentSettings, workloads) -> int:
-    space = dict(_parse_axis(spec) for spec in args.param)
+    space = _parse_axes(args.param, "--param")
     if not space:
         print("tune needs at least one --param", file=sys.stderr)
         return 2
+    _check_workload(args.workload, args.contexts)
     try:
         result = api.tune(
             space,
@@ -736,6 +807,8 @@ def _cmd_tune(args, settings: ExperimentSettings, workloads) -> int:
             trace=args.trace_dir,
             margin=args.margin,
             resume=not args.no_resume,
+            contexts=args.contexts,
+            scheduler=args.scheduler,
         )
     except ValueError as exc:
         raise SystemExit(str(exc))
@@ -836,7 +909,18 @@ def _cmd_bench_smoke(args, settings: ExperimentSettings) -> int:
     return 0
 
 
+def _check_workload(name: str, contexts: int) -> None:
+    """Single-context commands need a plain profile name; SMT commands
+    defer to the mix resolver (which validates and lists the mixes)."""
+    if contexts == 1 and name not in ALL_WORKLOADS:
+        raise SystemExit(
+            f"unknown workload {name!r}; valid workloads: "
+            f"{', '.join(ALL_WORKLOADS)} (mixes need --contexts > 1)"
+        )
+
+
 def _cmd_run(args, settings: ExperimentSettings) -> int:
+    _check_workload(args.workload, args.contexts)
     variant = (
         ("wc" if args.consistency == "wc" else "pc")
         + ("_sle" if args.sle else "")
@@ -852,6 +936,32 @@ def _cmd_run(args, settings: ExperimentSettings) -> int:
         store_queue=args.store_queue,
         perfect_stores=args.perfect_stores,
     )
+    if args.contexts > 1:
+        if args.shards > 1 or args.checkpoint_every > 0 or args.trace:
+            print(
+                "--contexts > 1 is not supported with --shards/"
+                "--checkpoint-every/--trace",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            result = api.run(
+                args.workload,
+                settings=settings,
+                cache_dir=_cache_dir(args),
+                variant=variant,
+                contexts=args.contexts,
+                scheduler=args.scheduler,
+                **core_changes,
+            )
+        except ValueError as exc:
+            raise SystemExit(str(exc))
+        print(result.summary())
+        return 0
+    if args.scheduler:
+        print("--scheduler only applies with --contexts > 1",
+              file=sys.stderr)
+        return 2
     if args.shards > 1 or args.checkpoint_every > 0:
         if args.trace is not None:
             print("--trace is not supported with --shards/--checkpoint-every",
@@ -892,6 +1002,43 @@ def _cmd_run(args, settings: ExperimentSettings) -> int:
         **core_changes,
     )
     print(result.summary())
+    return 0
+
+
+def _cmd_estimate(args) -> int:
+    knobs = {}
+    for spec in args.knob:
+        name, _, raw = spec.partition("=")
+        name = name.strip()
+        if not name or not raw:
+            raise SystemExit(
+                f"bad --knob {spec!r}: expected NAME=VALUE"
+            )
+        if name in knobs:
+            raise SystemExit(
+                f"duplicate --knob name {name!r}"
+            )
+        try:
+            knobs[name] = coerce_axis_value(name, raw.strip())
+        except ValueError as exc:
+            raise SystemExit(str(exc))
+    try:
+        guess = api.estimate({
+            "workload": args.workload,
+            "variant": args.variant,
+            "contexts": args.contexts,
+            "core_changes": knobs,
+        })
+    except (KeyError, ValueError) as exc:
+        raise SystemExit(str(exc))
+    if args.json:
+        from .engine import serialize
+
+        print(json.dumps(
+            serialize.to_jsonable(guess), indent=2, sort_keys=True,
+        ))
+    else:
+        print(guess.summary())
     return 0
 
 
@@ -1217,7 +1364,7 @@ def _print_job_status(status: Dict[str, Any]) -> None:
 def _cmd_submit(args) -> int:
     from .service import ServiceError
 
-    axes = dict(_parse_axis(spec) for spec in args.axis)
+    axes = _parse_axes(args.axis, "--axis")
     if not axes:
         print("submit needs at least one --axis", file=sys.stderr)
         return 2
@@ -1308,6 +1455,8 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if args.command == "run":
         return _cmd_run(args, settings)
+    if args.command == "estimate":
+        return _cmd_estimate(args)
     if args.command == "resume":
         return _cmd_resume(args)
     if args.command == "serve":

@@ -251,21 +251,28 @@ class CoreConfig:
         """Return a copy with the given fields replaced.
 
         Enum-valued knobs accept their wire spellings (``scout="hws1"``,
-        ``consistency="wc"``, ``store_prefetch="sp2"``).  A bad spelling
-        raises :class:`ConfigError`; silently storing the raw string would
-        produce a config no simulator path recognises.
+        ``consistency="wc"``, ``store_prefetch="sp2"``) or the enum
+        members themselves.  Any other value — a bad spelling, a number,
+        a member of the wrong enum — raises :class:`ConfigError` naming
+        the offending knob; silently storing the raw value would produce
+        a config no simulator path recognises.
         """
         for name, value in changes.items():
             current = getattr(self, name, None)
-            if isinstance(current, enum.Enum) and isinstance(value, str):
+            if isinstance(current, enum.Enum):
                 kind = type(current)
-                try:
-                    changes[name] = kind(value)
-                except ValueError:
-                    valid = ", ".join(member.value for member in kind)
-                    raise ConfigError(
-                        f"{name} must be one of: {valid} (got {value!r})"
-                    ) from None
+                if isinstance(value, kind):
+                    continue
+                valid = ", ".join(member.value for member in kind)
+                if isinstance(value, str):
+                    try:
+                        changes[name] = kind(value)
+                        continue
+                    except ValueError:
+                        pass
+                raise ConfigError(
+                    f"{name} must be one of: {valid} (got {value!r})"
+                )
         return replace(self, **changes)
 
 

@@ -247,6 +247,57 @@ class MlpSimulator:
         state.store_unit.pump(state.cur + 1)
         return accountant.finalize(state.store_unit)
 
+    # ------------------------------------------------- external stepping --
+
+    def new_state(
+        self,
+        trace: AnnotatedTrace,
+        observer: WindowObserver | None = None,
+    ) -> Tuple[WindowState, EpochAccountant]:
+        """A fresh ``(state, accountant)`` pair exactly as :meth:`run`
+        builds them — the entry point for externally driven simulations
+        (:mod:`repro.smt`) that interleave epochs from several contexts."""
+        core = self.core
+        accountant = EpochAccountant(instructions=len(trace))
+        state = WindowState(
+            scoreboard=RegisterScoreboard(),
+            store_unit=StoreUnit(core),
+            stagnation_limit=core.store_queue + core.store_buffer + 8,
+            observer=observer if observer is not None else self.observer,
+        )
+        return state, accountant
+
+    def step_epoch(
+        self,
+        trace: AnnotatedTrace,
+        state: WindowState,
+        accountant: EpochAccountant,
+    ) -> Tuple[bool, int]:
+        """Advance one epoch of an externally driven simulation.
+
+        One iteration of :meth:`run`'s loop body, verbatim: open the
+        window, scan, close, advance the epoch clock.  Returns
+        ``(done, misses)``; once *done* the caller owns the final drain
+        (``state.store_unit.pump(state.cur + 1)`` then
+        ``accountant.finalize``), mirroring :meth:`run`'s tail so a
+        single-context stepped run stays bit-identical to ``run()``.
+        """
+        state.begin_epoch()
+        observer = state.observer
+        if observer is not None:
+            observer.on_epoch_begin(state)
+        self._scan_window(trace, state, accountant)
+        misses = self._close_epoch(trace, state, accountant)
+        state.advance_epoch()
+        if (
+            state.pos >= len(trace)
+            and not state.replay
+            and state.store_unit.all_completed(state.cur)
+        ):
+            return True, misses
+        state.check_progress(misses)
+        return False, misses
+
     # -------------------------------------------------------- window scan --
 
     def _scan_window(
@@ -475,15 +526,21 @@ class MlpSimulator:
     ) -> None:
         """A store (or store-conditional) flows through the store unit."""
         core = self.core
+        granule = state.store_unit.granule_of(inst.address)
+        smac_hit = info.smac_hit
+        if smac_hit and state.smac_probe is not None:
+            # SMT sharing hook: another context may have dirtied the line
+            # since this context trained the SMAC, demoting the hit.
+            smac_hit = state.smac_probe(granule)
         missing = (
             info.data_miss
-            and not info.smac_hit
+            and not smac_hit
             and state.pos not in state.resolved
             and not core.perfect_stores
         )
-        accelerated = info.data_miss and (info.smac_hit or core.perfect_stores)
+        accelerated = info.data_miss and (smac_hit or core.perfect_stores)
         entry = StoreEntry(
-            granule=state.store_unit.granule_of(inst.address),
+            granule=granule,
             missing=missing,
             accelerated=accelerated,
             release=inst.lock_release,

@@ -25,7 +25,7 @@ and the store-accounting counters to the pre-refactor values.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Set, Tuple
+from typing import Callable, List, Optional, Set, Tuple
 
 from ..errors import SimulationError
 from .epoch import EpochRecord, TerminationCondition, TriggerKind
@@ -91,6 +91,13 @@ class WindowState:
     store_unit: StoreUnit
     stagnation_limit: int
     observer: Optional[WindowObserver] = None
+    #: Cross-context SMAC presence probe (SMT sharing hook).  When set, a
+    #: store whose annotation says ``smac_hit`` consults this callable with
+    #: the store's granule; returning ``False`` demotes the hit to a plain
+    #: miss (another hardware context dirtied the line since this context
+    #: trained the accelerator).  ``None`` — the single-context default —
+    #: keeps the annotated hit authoritative and the hot path unchanged.
+    smac_probe: Optional[Callable[[int], bool]] = None
 
     # -- cross-epoch machine state ----------------------------------------
     pos: int = 0

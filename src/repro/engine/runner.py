@@ -120,6 +120,14 @@ class JobSpec:
     ``"batch"``) the simulation runs on; ``""`` defers to ``$REPRO_BACKEND``
     and then the default.  Backends are bit-identical, so the field changes
     how the job executes, never what it returns.
+
+    ``contexts``/``scheduler`` opt a simulate job into the SMT
+    multi-context model (:mod:`repro.smt`): ``contexts`` hardware
+    contexts run the workload mix named by ``workload`` (``"a+b"`` or a
+    named mix) under the chosen scheduling policy, returning an
+    :class:`repro.smt.SmtResult`.  The defaults — one context, no
+    scheduler — keep the single-context path bit-identical to the
+    reference backend and previously serialized specs decodable.
     """
 
     workload: str
@@ -136,6 +144,8 @@ class JobSpec:
     checkpoint_every: int = 0
     fault: str = ""
     backend: str = ""
+    contexts: int = 1
+    scheduler: str = ""
 
     @property
     def sharded(self) -> bool:
@@ -164,6 +174,10 @@ class JobSpec:
             for name, value in self.core_changes
         )
         head = f"{self.action}:{self.workload}/{self.variant}"
+        if self.contexts > 1:
+            head += f" x{self.contexts}"
+            if self.scheduler:
+                head += f"/{self.scheduler}"
         if self.shard_start >= 0 or self.shard_stop >= 0:
             lo = self.shard_start if self.shard_start >= 0 else 0
             hi = self.shard_stop if self.shard_stop >= 0 else ""
@@ -228,6 +242,26 @@ class JobSpec:
                 (name, coerce_axis_value(name, value))
                 for name, value in items
             ))
+        if "contexts" in data:
+            contexts = data["contexts"]
+            if isinstance(contexts, str):
+                try:
+                    contexts = int(contexts)
+                except ValueError:
+                    contexts = -1
+            if not isinstance(contexts, int) or isinstance(contexts, bool) \
+                    or contexts < 1:
+                raise ValueError(
+                    f"bad value {data['contexts']!r} for 'contexts': "
+                    f"expected an integer >= 1"
+                )
+            data["contexts"] = contexts
+        if data.get("scheduler"):
+            from ..smt.schedulers import resolve_scheduler
+
+            # Resolution validates the name; unknown policies raise a
+            # ValueError listing the valid schedulers (valid_axes style).
+            resolve_scheduler(data["scheduler"])
         return cls(**data)
 
 
@@ -662,6 +696,31 @@ def execute_job(
     :class:`repro.shard.execute.ShardOutcome` instead of a bare result —
     :func:`_run_job` unpacks it into the job payload.
     """
+    if spec.contexts > 1:
+        if spec.sharded:
+            raise EngineConfigError(
+                "multi-context (SMT) jobs cannot be sharded or "
+                "checkpointed; run with contexts=1 or drop the shard "
+                "options"
+            )
+        from ..smt import run_smt
+
+        if profiler is not None:
+            with profiler.phase("simulate"):
+                return run_smt(
+                    bench, spec.workload,
+                    contexts=spec.contexts, scheduler=spec.scheduler,
+                    variant=spec.variant, memory_config=spec.memory_config,
+                    sharing=spec.sharing, tag=spec.tag, config=spec.config,
+                    **dict(spec.core_changes),
+                )
+        return run_smt(
+            bench, spec.workload,
+            contexts=spec.contexts, scheduler=spec.scheduler,
+            variant=spec.variant, memory_config=spec.memory_config,
+            sharing=spec.sharing, tag=spec.tag, config=spec.config,
+            **dict(spec.core_changes),
+        )
     if spec.sharded:
         from ..shard.execute import run_shard_job
 
@@ -980,6 +1039,7 @@ class EngineRunner:
         if not all(
             spec.action == "simulate"
             and not spec.sharded
+            and spec.contexts == 1
             and spec.effective_backend() == "batch"
             for spec in specs
         ):

@@ -41,6 +41,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Dict, Optional
 
+from ..estimate import epochs_per_inst
 from ..workloads import WORKLOADS, WorkloadProfile
 
 if TYPE_CHECKING:
@@ -154,24 +155,9 @@ class CostEstimate:
         )
 
 
-def epochs_per_inst(profile: WorkloadProfile) -> float:
-    """Predicted epochs per instruction from profile statistics.
-
-    Serializing instructions (locks/membars) each close an epoch; clustered
-    store misses close roughly one epoch per burst.  Quiet phases stretch
-    epochs (stores drain under computation), modelled by discounting the
-    store term by the quiet fraction.
-
-    This is the base model the tuner's analytical pruner
-    (:mod:`repro.tune.pruner`) extends with knob sensitivity.
-    """
-    lock_epochs = profile.locks_per_1000 / 1000.0
-    store_burst_epochs = (
-        (profile.store_miss_per_100 / 100.0)
-        / max(1.0, profile.store_burst_mean)
-    ) * (1.0 - profile.quiet_fraction)
-    return lock_epochs + store_burst_epochs
-
+# The epoch model itself is canonical in repro.estimate (the `estimate`
+# verb); the top-of-module import above re-exports it so cost callers
+# and tests keep their import path.
 
 #: Backwards-compatible alias (pre-tune internal name).
 _epochs_per_inst = epochs_per_inst

@@ -235,6 +235,18 @@ class FleetCoordinator:
                 "sequential ask/tell rounds over one engine); submit them "
                 "to a single-node daemon (mlpsim serve without --fleet)",
             )
+        if request.kind == "estimate":
+            # Pure arithmetic — resolved inline on the coordinator, no
+            # worker lease, no queue wait.
+            from ..service.executor import estimate_payload
+
+            job, deduped = self.queue.submit(request)
+            if not deduped:
+                self.queue.resolve_queued(job.id, estimate_payload(request))
+            self.metrics.inc("jobs_submitted_total")
+            if deduped:
+                self.metrics.inc("jobs_deduped_total")
+            return job, deduped
         if self.draining or self._stopping:
             raise SaturatedError(
                 "coordinator is draining; not accepting new jobs",

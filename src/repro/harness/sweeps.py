@@ -54,19 +54,30 @@ AXIS_INTS = (
     "store_buffer", "store_queue", "coalesce_bytes",
 )
 
+#: Job-level axes: sweepable like knobs but carried on the
+#: :class:`~repro.engine.runner.JobSpec` itself rather than inside
+#: ``core_changes`` — ``contexts`` (SMT hardware contexts) and
+#: ``scheduler`` (the SMT thread-scheduling policy).
+AXIS_JOB = ("contexts", "scheduler")
+
 
 def valid_axes() -> Dict[str, str]:
     """Every sweepable axis name mapped to a description of its values.
 
     These are the scalar fields of :class:`repro.config.CoreConfig` (the
-    nested ``branch`` predictor config is not sweepable through an axis).
+    nested ``branch`` predictor config is not sweepable through an axis)
+    plus the job-level SMT axes ``contexts`` and ``scheduler``.
     """
+    from ..smt.schedulers import valid_schedulers
+
     axes = {name: "int" for name in AXIS_INTS}
     axes.update({name: "bool ('true'/'false')" for name in AXIS_BOOLS})
     axes.update({
         name: f"one of {sorted(mapping)}"
         for name, mapping in AXIS_ENUMS.items()
     })
+    axes["contexts"] = "int >= 1 (SMT hardware contexts)"
+    axes["scheduler"] = f"one of {valid_schedulers()}"
     return dict(sorted(axes.items()))
 
 
@@ -87,6 +98,21 @@ def coerce_axis_value(name: str, value: Any) -> Any:
     verbatim, so a typo comes back actionable instead of as a bare
     ``KeyError`` deep in config construction.
     """
+    if name == "contexts":
+        if isinstance(value, str):
+            try:
+                value = int(value)
+            except ValueError:
+                raise _axis_error(name, value, "an integer >= 1") from None
+        if isinstance(value, bool) or not isinstance(value, int) or value < 1:
+            raise _axis_error(name, value, "an integer >= 1")
+        return value
+    if name == "scheduler":
+        from ..smt.schedulers import resolve_scheduler
+
+        if not isinstance(value, str):
+            raise _axis_error(name, value, "a scheduler name")
+        return resolve_scheduler(value).name
     mapping = AXIS_ENUMS.get(name)
     if mapping is not None:
         if isinstance(value, str):
@@ -197,15 +223,33 @@ class SweepSpec:
         return grid_points(self.axes_dict)
 
     def to_jobs(self) -> "List[JobSpec]":
-        """The grid as runner jobs: workload-major, grid order within."""
+        """The grid as runner jobs: workload-major, grid order within.
+
+        The job-level axes (``contexts``, ``scheduler``) are lifted out of
+        the point onto the :class:`~repro.engine.runner.JobSpec` itself;
+        everything else travels as ``core_changes``.
+        """
         from ..engine.runner import JobSpec
 
-        return [
-            JobSpec(workload=workload, variant=self.variant,
-                    core_changes=point)
-            for workload in self.workloads
-            for point in self.points()
-        ]
+        jobs = []
+        for workload in self.workloads:
+            for point in self.points():
+                knobs = tuple(
+                    (name, value) for name, value in point
+                    if name not in AXIS_JOB
+                )
+                job_fields = dict(
+                    (name, value) for name, value in point
+                    if name in AXIS_JOB
+                )
+                jobs.append(JobSpec(
+                    workload=workload,
+                    variant=self.variant,
+                    core_changes=knobs,
+                    contexts=int(job_fields.get("contexts", 1)),
+                    scheduler=str(job_fields.get("scheduler", "")),
+                ))
+        return jobs
 
     def records(self, report: "RunReport") -> List[SweepRecord]:
         """Pair this spec's grid with a report from :meth:`to_jobs` jobs."""

@@ -238,6 +238,8 @@ class ServiceClient:
         variant: str = "pc",
         priority: int = 0,
         backend: str = "",
+        contexts: int = 1,
+        scheduler: str = "",
         **core_changes: Any,
     ) -> Dict[str, Any]:
         """Submit one simulation.
@@ -245,6 +247,8 @@ class ServiceClient:
         *workload* is a workload name, a whole :class:`JobSpec`, or a
         JobSpec-shaped mapping — the same inputs ``api.run`` accepts;
         explicit keyword arguments override the spec's fields.
+        ``contexts > 1`` submits an SMT run (*workload* may then be a mix
+        spec) under the *scheduler* policy.
         """
         if not isinstance(workload, str):
             spec = JobSpec.coerce(workload)
@@ -255,6 +259,10 @@ class ServiceClient:
                 variant = spec.variant
             if not backend:
                 backend = spec.backend
+            if contexts == 1:
+                contexts = spec.contexts
+            if not scheduler:
+                scheduler = spec.scheduler
             workload = spec.workload
         payload: Dict[str, Any] = {
             "kind": "simulate",
@@ -268,8 +276,49 @@ class ServiceClient:
                 },
             },
         }
+        if contexts != 1:
+            payload["job"]["contexts"] = contexts
+        if scheduler:
+            payload["job"]["scheduler"] = scheduler
         if backend:
             payload["backend"] = backend
+        return self.submit(payload)
+
+    def submit_estimate(
+        self,
+        workload: Union[str, JobSpec, Dict[str, Any]],
+        variant: str = "pc",
+        priority: int = 0,
+        contexts: int = 1,
+        **core_changes: Any,
+    ) -> Dict[str, Any]:
+        """Submit an analytical EPI estimate (``api.estimate`` over the
+        wire) — the service answers from arithmetic alone, no simulation.
+        """
+        if not isinstance(workload, str):
+            spec = JobSpec.coerce(workload)
+            changes = dict(spec.core_changes)
+            changes.update(core_changes)
+            core_changes = changes
+            if variant == "pc":
+                variant = spec.variant
+            if contexts == 1:
+                contexts = spec.contexts
+            workload = spec.workload
+        payload: Dict[str, Any] = {
+            "kind": "estimate",
+            "priority": priority,
+            "job": {
+                "workload": workload,
+                "variant": variant,
+                "core_changes": {
+                    name: getattr(value, "value", value)
+                    for name, value in core_changes.items()
+                },
+            },
+        }
+        if contexts != 1:
+            payload["job"]["contexts"] = contexts
         return self.submit(payload)
 
     def submit_tune(
@@ -362,9 +411,10 @@ class ServiceClient:
 
         Sweep and simulate jobs return the real
         :class:`~repro.engine.runner.RunReport`; tune jobs the real
-        :class:`~repro.tune.TuneResult`; figure jobs the figure's data
-        dict.  A failed or cancelled job raises :class:`ServiceError`
-        carrying the server's error text.
+        :class:`~repro.tune.TuneResult`; estimate jobs the real
+        :class:`~repro.estimate.EpiEstimate`; figure jobs the figure's
+        data dict.  A failed or cancelled job raises
+        :class:`ServiceError` carrying the server's error text.
         """
         status = self.wait(job_id, timeout=timeout, poll=poll)
         if status["state"] != "done":
@@ -379,6 +429,8 @@ class ServiceClient:
             return RunReport.from_dict(result["report"])
         if result.get("kind") == "tune":
             return TuneResult.from_dict(result["tune_result"])
+        if result.get("kind") == "estimate":
+            return serialize.from_jsonable(result["estimate"])
         if result.get("kind") == "figure":
             return result.get("data")
         return result

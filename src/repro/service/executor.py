@@ -41,7 +41,24 @@ from ..harness.figures import (
 from ..tune import TuneTelemetry, run_tune
 from .protocol import JobRequest, ProtocolError, jsonify
 
-__all__ = ["ServiceEngine"]
+__all__ = ["ServiceEngine", "estimate_payload"]
+
+
+def estimate_payload(request: JobRequest) -> Dict[str, Any]:
+    """The ``estimate`` verb's result payload: pure arithmetic, no engine
+    batch, no trace read — shared by the single-node executor and the
+    fleet front end (which resolves estimates inline, without workers)."""
+    from .. import estimate as estimate_mod
+    from ..engine import serialize
+
+    assert request.job is not None
+    guess = estimate_mod.estimate(request.job)
+    return {
+        "kind": "estimate",
+        "estimate": serialize.to_jsonable(guess),
+        "summary": guess.summary(),
+        "predicted_epi_per_1000": guess.predicted_epi_per_1000,
+    }
 
 _FIGURE_DRIVERS = {
     "figure2": figure2,
@@ -109,6 +126,8 @@ class ServiceEngine:
             return self._execute_figure(request)
         if request.kind == "tune":
             return self._execute_tune(request)
+        if request.kind == "estimate":
+            return self._execute_estimate(request)
         raise ProtocolError(f"unknown job kind {request.kind!r}")
 
     def _run_batch(self, jobs: list) -> RunReport:
@@ -194,6 +213,10 @@ class ServiceEngine:
             assert report.merged is not None
             payload["summary"] = report.merged.summary()
         return payload
+
+    def _execute_estimate(self, request: JobRequest) -> Dict[str, Any]:
+        """The analytical ``estimate`` verb — never touches the runner."""
+        return estimate_payload(request)
 
     def _execute_tune(self, request: JobRequest) -> Dict[str, Any]:
         """A design-space search through the shared runner and cache.

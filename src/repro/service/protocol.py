@@ -11,6 +11,13 @@ The wire protocol is plain JSON.  A job submission looks like::
      "job": {"workload": "database", "variant": "pc",
              "core_changes": {"store_queue": 16, "store_prefetch": "sp1"}}}
 
+    {"kind": "simulate",
+     "job": {"workload": "oltp_java", "contexts": 2, "scheduler": "mlp"}}
+
+    {"kind": "estimate",
+     "job": {"workload": "database",
+             "core_changes": {"scout": "hws2"}}}
+
     {"kind": "figure", "figure": "figure2", "workloads": ["database"]}
 
     {"kind": "tune",
@@ -84,7 +91,7 @@ __all__ = [
 #: are accepted as version 1 (the pre-versioning wire form).
 PROTOCOL_VERSION = 1
 
-JOB_KINDS = ("sweep", "simulate", "figure", "tune")
+JOB_KINDS = ("sweep", "simulate", "figure", "tune", "estimate")
 FIGURES = ("figure2", "figure3", "figure4", "figure5", "figure6",
            "figure7", "figure8")
 
@@ -145,6 +152,9 @@ class JobRequest:
         if self.kind == "simulate":
             assert self.job is not None
             return self.job.describe()
+        if self.kind == "estimate":
+            assert self.job is not None
+            return f"estimate[{self.job.describe()}]"
         return f"{self.figure}:{','.join(self.workloads)}"
 
     def to_dict(self) -> Dict[str, Any]:
@@ -212,14 +222,42 @@ def _parse_sweep(payload: Dict[str, Any]) -> SweepSpec:
         raise ProtocolError(str(exc)) from None
 
 
-def _parse_simulate(payload: Dict[str, Any]) -> JobSpec:
+def _parse_simulate(payload: Dict[str, Any], kind: str = "simulate") -> JobSpec:
     raw = payload.get("job")
-    _require(isinstance(raw, dict), "simulate jobs need a 'job' object")
-    workload = raw.get("workload")
+    _require(isinstance(raw, dict), f"{kind} jobs need a 'job' object")
+    contexts = raw.get("contexts", 1)
     _require(
-        isinstance(workload, str) and workload in ALL_WORKLOADS,
-        f"'job.workload' must be one of {list(ALL_WORKLOADS)}",
+        isinstance(contexts, int) and not isinstance(contexts, bool)
+        and contexts >= 1,
+        "'job.contexts' must be an integer >= 1",
     )
+    scheduler = raw.get("scheduler", "")
+    _require(
+        isinstance(scheduler, str),
+        "'job.scheduler' must be a string naming an SMT scheduling policy",
+    )
+    if scheduler:
+        from ..smt.schedulers import resolve_scheduler
+
+        try:
+            scheduler = resolve_scheduler(scheduler).name
+        except ValueError as exc:
+            raise ProtocolError(str(exc)) from None
+    workload = raw.get("workload")
+    _require(isinstance(workload, str), "'job.workload' must be a string")
+    if contexts > 1:
+        # SMT specs take mixes; the resolver validates and lists them.
+        from ..workloads.mixes import resolve_mix
+
+        try:
+            resolve_mix(workload, contexts)
+        except ValueError as exc:
+            raise ProtocolError(str(exc)) from None
+    else:
+        _require(
+            workload in ALL_WORKLOADS,
+            f"'job.workload' must be one of {list(ALL_WORKLOADS)}",
+        )
     variant = raw.get("variant", "pc")
     _require(isinstance(variant, str), "'job.variant' must be a string")
     changes = raw.get("core_changes", {})
@@ -236,6 +274,7 @@ def _parse_simulate(payload: Dict[str, Any]) -> JobSpec:
         raise ProtocolError(str(exc)) from None
     return JobSpec(
         workload=workload, variant=variant, core_changes=core_changes,
+        contexts=contexts, scheduler=scheduler,
     )
 
 
@@ -362,10 +401,20 @@ def parse_job_request(payload: Any) -> JobRequest:
             and checkpoint_every >= 0,
             "'checkpoint_every' must be a non-negative integer",
         )
+        job = _parse_simulate(payload)
+        _require(
+            job.contexts == 1 or (shards == 1 and checkpoint_every == 0),
+            "multi-context (SMT) jobs cannot be sharded or checkpointed",
+        )
         return JobRequest(
-            kind=kind, job=_parse_simulate(payload), priority=priority,
+            kind=kind, job=job, priority=priority,
             shards=shards, checkpoint_every=checkpoint_every,
             backend=backend,
+        )
+    if kind == "estimate":
+        return JobRequest(
+            kind=kind, job=_parse_simulate(payload, kind="estimate"),
+            priority=priority,
         )
     if kind == "tune":
         return JobRequest(

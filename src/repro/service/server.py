@@ -190,6 +190,13 @@ class ReproService:
         self.metrics.inc("jobs_submitted_total")
         if deduped:
             self.metrics.inc("jobs_deduped_total")
+        elif request.kind == "estimate":
+            # Estimates are pure arithmetic: answer on the submit path
+            # (sub-millisecond) instead of burning a dispatcher slot.
+            from .executor import estimate_payload
+
+            self.queue.resolve_queued(job.id, estimate_payload(request))
+            self._record_finish(job)
         return job, deduped
 
     def retry_after_hint(self) -> int:

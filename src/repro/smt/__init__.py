@@ -1,0 +1,43 @@
+"""SMT multi-context simulation: N hardware contexts, one core.
+
+Entry points:
+
+- :func:`run_smt` — the driver behind ``api.run(..., contexts=N)``.
+- :data:`SCHEDULERS` / :func:`resolve_scheduler` /
+  :func:`valid_schedulers` — the pluggable scheduling policies.
+- :class:`SmtResult` — per-context breakdown plus STP/ANTT/fairness.
+"""
+
+from .results import SmtContextResult, SmtResult
+from .schedulers import (
+    DEFAULT_SCHEDULER,
+    SCHEDULERS,
+    IcountScheduler,
+    MlpScheduler,
+    RoundRobinScheduler,
+    Scheduler,
+    resolve_scheduler,
+    valid_schedulers,
+)
+from .sharing import SharedLockTable, SharedSmac, SharedSmacObserver
+from .simulator import SmtContext, SmtSimulator, baseline_slots, run_smt
+
+__all__ = [
+    "DEFAULT_SCHEDULER",
+    "SCHEDULERS",
+    "IcountScheduler",
+    "MlpScheduler",
+    "RoundRobinScheduler",
+    "Scheduler",
+    "SharedLockTable",
+    "SharedSmac",
+    "SharedSmacObserver",
+    "SmtContext",
+    "SmtContextResult",
+    "SmtResult",
+    "SmtSimulator",
+    "baseline_slots",
+    "resolve_scheduler",
+    "run_smt",
+    "valid_schedulers",
+]

@@ -1,0 +1,155 @@
+"""Thread-scheduling policies for the SMT multi-context simulator.
+
+Each simulated slot, exactly one runnable hardware context is granted the
+pipeline for one epoch step; every other live context *absorbs* the slot
+(its epoch clock advances, so outstanding misses and deferred dependence
+chains mature "in the shadow" of the granted context's execution).  The
+scheduler decides who gets the grant — the fetch-policy decision of a real
+SMT front end collapsed to epoch granularity.
+
+Three policies ship, mirroring the MLP-aware-scheduling literature the
+ROADMAP cites:
+
+- ``round_robin``: strict rotation over runnable contexts — the neutral
+  baseline every comparison is anchored to.
+- ``icount``: grant the context with the fewest fetched instructions
+  (ICOUNT's "favor the least-represented thread" heuristic at epoch
+  granularity); balances progress, starves nobody.
+- ``mlp``: MLP-aware — deprioritize contexts currently draining
+  store-miss epochs (store unit still holds work, or the last stepped
+  epoch closed on store misses).  Their misses complete during absorbed
+  slots anyway, so the grant goes to a compute-ready context that will
+  turn the slot into trace progress.
+
+All policies are deterministic: ties break on the context id, and no
+policy consults wall-clock or randomness, so a seeded run reproduces
+slot-for-slot.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Type, TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from .simulator import SmtContext
+
+
+class Scheduler:
+    """One scheduling policy instance, stateful across a single SMT run.
+
+    Subclasses implement :meth:`pick`; the simulator calls it once per
+    slot with the runnable contexts (never empty) and the slot index.
+    State (e.g. the round-robin cursor) lives on the instance — the
+    simulator constructs a fresh scheduler per run, so runs never share
+    policy state.
+    """
+
+    name: str = ""
+
+    def pick(
+        self, runnable: Sequence["SmtContext"], slot: int
+    ) -> "SmtContext":
+        raise NotImplementedError
+
+
+class RoundRobinScheduler(Scheduler):
+    """Strict rotation: the next runnable context at or after the cursor."""
+
+    name = "round_robin"
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def pick(
+        self, runnable: Sequence["SmtContext"], slot: int
+    ) -> "SmtContext":
+        chosen = min(
+            runnable,
+            key=lambda c: ((c.cid - self._next) % _modulus(runnable), c.cid),
+        )
+        self._next = chosen.cid + 1
+        return chosen
+
+
+def _modulus(runnable: Sequence["SmtContext"]) -> int:
+    """A rotation modulus covering every context id present."""
+    return max(c.cid for c in runnable) + 1
+
+
+class IcountScheduler(Scheduler):
+    """Fewest fetched instructions first (ICOUNT at epoch granularity)."""
+
+    name = "icount"
+
+    def pick(
+        self, runnable: Sequence["SmtContext"], slot: int
+    ) -> "SmtContext":
+        return min(runnable, key=lambda c: (c.state.pos, c.cid))
+
+
+class MlpScheduler(Scheduler):
+    """MLP-aware: don't grant the pipeline to a context draining
+    store-miss epochs — absorption completes those misses for free.
+
+    Two-level priority, per the MLP-aware fetch policies the ROADMAP
+    cites:
+
+    1. Contexts whose last stepped epoch closed on store misses are
+       deprioritized outright (they are mid-burst; a grant would likely
+       buy another low-progress store epoch).
+    2. Within a tier, the context with the *lowest store-miss
+       intensity* — the fraction of its stepped epochs that closed on
+       store misses — wins, so memory-bound threads systematically
+       yield the pipeline to compute-bound ones.  That is what moves
+       STP/ANTT versus round-robin; the fairness metric records the
+       price.
+
+    Ties (e.g. replicated-workload mixes) fall back to fewest slots
+    granted, then the context id, so the policy degrades to fair
+    rotation when the MLP signal carries no information and no context
+    ever starves (a deprioritized context still runs whenever the
+    others drain or finish, and its misses mature while it waits).
+    """
+
+    name = "mlp"
+
+    def pick(
+        self, runnable: Sequence["SmtContext"], slot: int
+    ) -> "SmtContext":
+        preferred = [c for c in runnable if not c.draining()]
+        pool = preferred if preferred else runnable
+        return min(
+            pool,
+            key=lambda c: (c.store_intensity(), c.slots_granted, c.cid),
+        )
+
+
+SCHEDULERS: Dict[str, Type[Scheduler]] = {
+    cls.name: cls
+    for cls in (RoundRobinScheduler, IcountScheduler, MlpScheduler)
+}
+
+#: The policy used when ``contexts >= 2`` and none was requested.
+DEFAULT_SCHEDULER = "round_robin"
+
+
+def valid_schedulers() -> List[str]:
+    """The registered policy names, sorted for stable error messages."""
+    return sorted(SCHEDULERS)
+
+
+def resolve_scheduler(name: str) -> Scheduler:
+    """A fresh scheduler instance for *name*.
+
+    Unknown names raise ``ValueError`` listing the valid policies —
+    the same actionable-error style as ``valid_axes()`` — so a CLI or
+    wire-protocol typo comes back with the fix in the message.
+    """
+    key = (name or DEFAULT_SCHEDULER).lower()
+    try:
+        return SCHEDULERS[key]()
+    except KeyError:
+        raise ValueError(
+            f"unknown scheduler {name!r}; valid schedulers: "
+            f"{', '.join(valid_schedulers())}"
+        ) from None

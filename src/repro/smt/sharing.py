@@ -1,0 +1,111 @@
+"""Cross-context sharing state for the SMT simulator.
+
+Two structures model what N hardware contexts on one core actually
+share:
+
+- :class:`SharedSmac` — the Store Miss Accelerator is a per-core
+  structure, so a context's trained entry for a granule goes stale the
+  moment another context's store miss dirties that granule.  The window
+  scan consults :meth:`SharedSmac.probe` (via the ``WindowState.smac_probe``
+  hook) before honouring an annotated SMAC hit; a stale entry demotes the
+  hit to a plain store miss and counts an invalidation.
+- :class:`SharedLockTable` — lock words live in shared lines, so an
+  acquire by one context while another holds the lock costs a bounded,
+  deterministic spin (the acquiring context loses its next scheduling
+  grant).  Ownership always transfers on acquire, so the model cannot
+  deadlock, and traces with elided locks (the SLE variants) carry no
+  acquire/release flags and therefore never contend — the paper's SLE
+  benefit, reproduced at the scheduling layer.
+
+Contexts share one physical address space: mixes that replicate a
+workload model threads of a single application (true sharing on its
+store pool and locks), while heterogeneous mixes model consolidation,
+where overlap is incidental but still deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..core.store_unit import StoreEntry
+from ..core.window import WindowObserver
+
+#: Lock words are line-granular: the generator spaces locks a cache line
+#: apart, so the line address identifies the lock.
+_LOCK_LINE = 64
+
+
+class SharedSmac:
+    """Granule-level last-writer directory backing cross-context SMAC
+    invalidation."""
+
+    __slots__ = ("last_writer", "invalidations")
+
+    def __init__(self) -> None:
+        self.last_writer: Dict[int, int] = {}
+        self.invalidations = 0
+
+    def note_store(self, cid: int, granule: int) -> None:
+        """Context *cid* sent a store miss for *granule* off chip."""
+        self.last_writer[granule] = cid
+
+    def probe(self, cid: int, granule: int) -> bool:
+        """Is context *cid*'s trained SMAC entry for *granule* still good?
+
+        ``True`` keeps the annotated hit (nobody else wrote the granule
+        since); ``False`` demotes it to a plain miss and counts the
+        invalidation.
+        """
+        owner = self.last_writer.get(granule)
+        if owner is None or owner == cid:
+            return True
+        self.invalidations += 1
+        return False
+
+
+class SharedSmacObserver(WindowObserver):
+    """Feeds one context's store-miss stream into the shared directory."""
+
+    def __init__(self, shared: SharedSmac, cid: int) -> None:
+        self.shared = shared
+        self.cid = cid
+
+    def on_store_event(self, entry: StoreEntry, pos: int, epoch: int) -> None:
+        self.shared.note_store(self.cid, entry.granule)
+
+
+class SharedLockTable:
+    """Deterministic bounded-spin lock ownership across contexts."""
+
+    __slots__ = ("owner", "contentions", "spin_penalty")
+
+    def __init__(self, spin_penalty: int = 1) -> None:
+        if spin_penalty < 1:
+            raise ValueError("spin penalty must be at least one slot")
+        self.owner: Dict[int, int] = {}
+        self.contentions = 0
+        self.spin_penalty = spin_penalty
+
+    def acquire(self, cid: int, address: int) -> int:
+        """Record an acquire; return the spin slots it costs (0 or the
+        penalty).  Ownership transfers unconditionally — the spin is
+        bounded, so the model cannot wedge."""
+        line = address // _LOCK_LINE
+        holder: Optional[int] = self.owner.get(line)
+        self.owner[line] = cid
+        if holder is None or holder == cid:
+            return 0
+        self.contentions += 1
+        return self.spin_penalty
+
+    def release(self, cid: int, address: int) -> None:
+        line = address // _LOCK_LINE
+        if self.owner.get(line) == cid:
+            del self.owner[line]
+
+    def drop_context(self, cid: int) -> None:
+        """A context finished: its held locks free immediately."""
+        self.owner = {
+            line: holder for line, holder in self.owner.items()
+            if holder != cid
+        }

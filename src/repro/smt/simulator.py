@@ -1,0 +1,293 @@
+"""The SMT multi-context simulation driver.
+
+Execution model — one core, N hardware contexts, epoch-granular slots:
+
+1. Every context owns its full architectural state (its own
+   :class:`~repro.core.window.WindowState`, store unit, scoreboard and
+   trace cursor) built by :meth:`MlpSimulator.new_state`.
+2. Each *slot*, the scheduler grants one runnable context an epoch step
+   (:meth:`MlpSimulator.step_epoch` — exactly one iteration of the
+   single-context run loop).  Every other live context *absorbs* the
+   slot: its epoch clock advances without a window scan, so outstanding
+   store misses and deferred load chains mature in the shadow of the
+   granted context's execution.  Which context is granted therefore
+   genuinely changes per-context epoch counts and turnaround — the lever
+   MLP-aware scheduling pulls.
+3. Contexts share the SMAC and the lock lines
+   (:mod:`repro.smt.sharing`): a store miss from one context invalidates
+   the others' trained SMAC entries for that granule, and a contended
+   lock acquire costs the acquirer its next grant (bounded spin).
+
+With one context the slot loop degenerates to the single-context run
+loop verbatim — no sharing structures attach, the scheduler has a
+single choice and the finalization path mirrors
+:meth:`MlpSimulator.run`'s tail — which is what keeps ``contexts=1``
+bit-identical to the reference backend under every policy.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from functools import partial
+from typing import List, Optional, TYPE_CHECKING
+
+from ..core.mlpsim import MlpSimulator
+from ..core.window import EpochAccountant, WindowState
+from ..errors import SimulationError
+from ..memory.annotate import AnnotatedTrace
+from ..workloads.mixes import resolve_mix
+from .results import SmtContextResult, SmtResult
+from .schedulers import Scheduler, resolve_scheduler
+from .sharing import SharedLockTable, SharedSmac, SharedSmacObserver
+
+if TYPE_CHECKING:
+    from ..config import MemoryConfig, SimulationConfig
+    from ..harness.experiment import SharingSettings, Workbench
+
+
+@dataclass
+class SmtContext:
+    """One hardware context's live state inside the slot loop."""
+
+    cid: int
+    workload: str
+    trace: AnnotatedTrace
+    simulator: MlpSimulator
+    state: WindowState
+    accountant: EpochAccountant
+    done: bool = False
+    slots_granted: int = 0
+    slots_absorbed: int = 0
+    spin_slots: int = 0
+    #: First slot at which this context may be granted again (lock spin).
+    stall_until: int = 0
+    #: Store misses the last stepped epoch closed with (draining signal).
+    last_store_misses: int = 0
+    #: Stepped epochs that closed on store misses (intensity numerator).
+    store_epochs: int = 0
+    finished_slot: int = -1
+    result: object = field(default=None, repr=False)
+
+    def draining(self) -> bool:
+        """Is this context in the middle of a store-miss drain?
+
+        True while the most recent epoch this context stepped closed on
+        store misses — the burst state the MLP-aware policy
+        deprioritizes, because those misses complete during absorbed
+        slots anyway and a grant would likely buy another low-progress
+        burst epoch.  (Store-buffer occupancy alone is deliberately not
+        a signal: a non-empty store buffer is the steady state of every
+        store-bearing workload, not a drain.)
+        """
+        return self.last_store_misses > 0
+
+    def store_intensity(self) -> float:
+        """Fraction of this context's stepped epochs that closed on
+        store misses — the MLP scheduler's persistent priority signal."""
+        if self.slots_granted == 0:
+            return 0.0
+        return self.store_epochs / self.slots_granted
+
+
+class SmtSimulator:
+    """Runs N prepared contexts to completion under one scheduler."""
+
+    def __init__(
+        self,
+        contexts: List[SmtContext],
+        scheduler: Scheduler,
+        *,
+        spin_penalty: int = 1,
+        share: bool = True,
+    ) -> None:
+        if not contexts:
+            raise ValueError("an SMT run needs at least one context")
+        self.contexts = contexts
+        self.scheduler = scheduler
+        self.smac = SharedSmac()
+        self.locks = SharedLockTable(spin_penalty=spin_penalty)
+        # Sharing only exists between contexts: a single context keeps
+        # the pristine single-context window state (bit-identity).
+        if share and len(contexts) > 1:
+            for context in contexts:
+                context.state.observer = SharedSmacObserver(
+                    self.smac, context.cid
+                )
+                context.state.smac_probe = partial(
+                    self.smac.probe, context.cid
+                )
+
+    # ------------------------------------------------------------- loop --
+
+    def run(self) -> SmtResult:
+        contexts = self.contexts
+        live = [c for c in contexts if not c.done]
+        # Generous bound: every context alone finishes in at most one
+        # slot per trace position plus its stagnation allowance.
+        max_slots = sum(len(c.trace) + 1024 for c in contexts) * 2
+        slot = 0
+        while live:
+            runnable = [c for c in live if c.stall_until <= slot]
+            granted: Optional[SmtContext] = None
+            if runnable:
+                granted = self.scheduler.pick(runnable, slot)
+            for context in live:
+                if context is granted:
+                    self._step(context, slot)
+                else:
+                    context.state.advance_epoch()
+                    context.slots_absorbed += 1
+            slot += 1
+            if granted is not None and granted.done:
+                live = [c for c in live if not c.done]
+            if slot > max_slots:
+                raise SimulationError(
+                    f"SMT run exceeded {max_slots} slots with "
+                    f"{len(live)} context(s) unfinished; scheduler "
+                    f"{self.scheduler.name!r} is not making progress"
+                )
+        return self._collect(slot)
+
+    def _step(self, context: SmtContext, slot: int) -> None:
+        records = context.accountant.result.epochs
+        before = len(records)
+        done, _ = context.simulator.step_epoch(
+            context.trace, context.state, context.accountant
+        )
+        context.slots_granted += 1
+        context.last_store_misses = (
+            records[-1].store_misses if len(records) > before else 0
+        )
+        if context.last_store_misses > 0:
+            context.store_epochs += 1
+        if len(self.contexts) > 1:
+            self._scan_locks(context, slot)
+        if done:
+            # Mirror MlpSimulator.run's tail: final drain then finalize.
+            context.state.store_unit.pump(context.state.cur + 1)
+            context.result = context.accountant.finalize(
+                context.state.store_unit
+            )
+            context.done = True
+            context.finished_slot = slot
+            self.locks.drop_context(context.cid)
+
+    def _scan_locks(self, context: SmtContext, slot: int) -> None:
+        """Charge lock contention for the epoch span just stepped.
+
+        Every instruction retires inside exactly one epoch span
+        ``[epoch_start_pos, pos)`` (a stalled serializer or rejected
+        store stays at ``pos`` and lands in a later span), so each
+        acquire/release is accounted once.
+        """
+        trace = context.trace
+        state = context.state
+        cid = context.cid
+        locks = self.locks
+        for index in range(state.epoch_start_pos, state.pos):
+            inst = trace[index][0]
+            if inst.lock_acquire:
+                spin = locks.acquire(cid, inst.address)
+                if spin:
+                    context.spin_slots += spin
+                    context.stall_until = slot + 1 + spin
+            elif inst.lock_release:
+                locks.release(cid, inst.address)
+
+    # ---------------------------------------------------------- results --
+
+    def _collect(self, total_slots: int) -> SmtResult:
+        per_context = []
+        for context in self.contexts:
+            baseline = baseline_slots(context.simulator, context.trace)
+            per_context.append(SmtContextResult(
+                cid=context.cid,
+                workload=context.workload,
+                result=context.result,
+                slots_granted=context.slots_granted,
+                slots_absorbed=context.slots_absorbed,
+                spin_slots=context.spin_slots,
+                turnaround_slots=context.finished_slot + 1,
+                baseline_slots=baseline,
+            ))
+        return SmtResult(
+            scheduler=self.scheduler.name,
+            contexts=tuple(per_context),
+            total_slots=total_slots,
+            smac_invalidations=self.smac.invalidations,
+            lock_contentions=self.locks.contentions,
+        )
+
+
+def baseline_slots(simulator: MlpSimulator, trace: AnnotatedTrace) -> int:
+    """Slots (epoch steps) the trace needs running alone on this core —
+    the exact standalone turnaround that normalizes STP/ANTT."""
+    state, accountant = simulator.new_state(trace, observer=None)
+    slots = 0
+    while True:
+        done, _ = simulator.step_epoch(trace, state, accountant)
+        slots += 1
+        if done:
+            return slots
+
+
+# ------------------------------------------------------------- driver --
+
+
+def run_smt(
+    bench: "Workbench",
+    workload: str,
+    *,
+    contexts: int,
+    scheduler: str = "",
+    variant: str = "pc",
+    memory_config: "MemoryConfig | None" = None,
+    sharing: "SharingSettings | None" = None,
+    tag: str = "",
+    config: "SimulationConfig | None" = None,
+    spin_penalty: int = 1,
+    **core_changes,
+) -> SmtResult:
+    """Annotate per-context traces (cached) and run one SMT simulation.
+
+    *workload* is a mix spec (see :mod:`repro.workloads.mixes`); context
+    *i* runs its component with seed ``settings.seed + i`` through a
+    derived workbench sharing the artifact cache, so context 0's trace
+    is byte-identical to the single-context pipeline's and every other
+    context's trace is cached across runs and schedulers.
+    """
+    from ..harness.experiment import Workbench
+
+    assignments = resolve_mix(workload, contexts)
+    policy = resolve_scheduler(scheduler)
+    prepared: List[SmtContext] = []
+    for cid, name in enumerate(assignments):
+        if cid == 0:
+            context_bench = bench
+        else:
+            context_bench = Workbench(
+                dataclasses.replace(
+                    bench.settings, seed=bench.settings.seed + cid
+                ),
+                artifacts=bench.artifacts,
+            )
+        trace = context_bench.annotated(
+            name, variant, memory_config, sharing, tag
+        )
+        resolved = context_bench.resolved_config(
+            name, variant, config, **core_changes
+        )
+        simulator = MlpSimulator(resolved)
+        state, accountant = simulator.new_state(trace)
+        prepared.append(SmtContext(
+            cid=cid,
+            workload=name,
+            trace=trace,
+            simulator=simulator,
+            state=state,
+            accountant=accountant,
+        ))
+    return SmtSimulator(
+        prepared, policy, spin_penalty=spin_penalty,
+    ).run()

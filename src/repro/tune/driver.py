@@ -74,6 +74,12 @@ class TuneSpec:
     budget: int = 16
     seed: int = 0
     backend: str = ""
+    #: SMT hardware contexts every evaluation runs with (1 = classic
+    #: single-context tuning; >1 tunes the aggregate SMT metric).
+    contexts: int = 1
+    #: SMT scheduling policy ("" = the default) — only meaningful with
+    #: ``contexts > 1``.
+    scheduler: str = ""
 
     def __post_init__(self) -> None:
         if not self.workload:
@@ -87,6 +93,14 @@ class TuneSpec:
             raise ValueError(
                 f"tune budget must be >= 1 evaluation, got {self.budget}"
             )
+        if self.contexts < 1:
+            raise ValueError(
+                f"tune contexts must be >= 1, got {self.contexts}"
+            )
+        if self.scheduler:
+            from ..smt.schedulers import resolve_scheduler
+
+            resolve_scheduler(self.scheduler)
 
     @classmethod
     def build(
@@ -99,6 +113,8 @@ class TuneSpec:
         budget: int = 16,
         seed: int = 0,
         backend: str = "",
+        contexts: int = 1,
+        scheduler: str = "",
     ) -> "TuneSpec":
         """The ergonomic constructor: accepts a mapping of axis values
         (coerced like sweep axes) in place of a built space."""
@@ -107,6 +123,7 @@ class TuneSpec:
         return cls(
             workload=workload, space=space, variant=variant,
             strategy=strategy, budget=budget, seed=seed, backend=backend,
+            contexts=contexts, scheduler=scheduler,
         )
 
     def describe(self) -> str:
@@ -274,6 +291,8 @@ def _job_for(
         variant=spec.variant,
         core_changes=candidate,
         backend=spec.backend,
+        contexts=spec.contexts,
+        scheduler=spec.scheduler,
         label=f"tune[{spec.strategy} g{generation}] {knobs}",
     )
 

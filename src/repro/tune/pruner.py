@@ -1,119 +1,43 @@
 """ECM-style analytical pruning of tuning candidates.
 
-The fleet's routing cost model (:mod:`repro.fleet.cost`) already predicts
-epochs/instruction from published workload statistics; this module extends
-that shared base model with knob sensitivity so the tuner can skip
-candidates *predicted* far worse than the measured incumbent before paying
-for a simulation — the same cheap-estimate-then-simulate pattern the
-router uses for placement.
+The prediction itself — :func:`repro.estimate.predicted_epi_per_1000`,
+the base epoch model extended with per-knob sensitivity scales — is
+canonical in :mod:`repro.estimate` (it also backs the fleet's routing
+cost and the user-facing ``estimate`` verb); this module supplies the
+pruning *policy* around it.
 
-The prediction is deliberately coarse: multiplicative scale factors on the
-lock-epoch and store-burst-epoch terms of
-:func:`repro.fleet.cost.epochs_per_inst`, one per knob, each monotone in
-the direction the paper establishes (deeper store prefetch, bigger SB/SQ,
-wider coalescing, scouting and weak consistency all reduce epochs).  The
-absolute value is meaningless; only the *ordering* across candidates is
-used, and the pruning margin absorbs model error: a candidate is skipped
-only when its predicted EPI is at least ``margin`` (default 30%) worse
-than the incumbent's prediction.
+The model is deliberately coarse: multiplicative scale factors on the
+lock-epoch and store-burst-epoch terms, one per knob, each monotone in
+the direction the paper establishes (deeper store prefetch, bigger
+SB/SQ, wider coalescing, scouting and weak consistency all reduce
+epochs).  The absolute value is meaningless here; only the *ordering*
+across candidates is used, and the pruning margin absorbs model error: a
+candidate is skipped only when its predicted EPI is at least ``margin``
+(default 30%) worse than the incumbent's prediction.
 
 The magnitudes are calibrated against this simulator's measured
 single-knob sensitivities, and that calibration is what makes the margin
-sound: only the scout on/off decision moves measured EPI by more than the
-margin (scouting is worth ~30-40% on the commercial profiles), so only
-that knob is allowed a predicted spread larger than ``1 + margin``.
-Every other knob's predicted spread is kept well inside the margin, which
-bounds the damage of interaction effects the separable model cannot see
-(e.g. a small store buffer *helping* under scouting): whatever the true
-optimum's mix of small-effect knobs, its prediction stays within the
-margin of any same-scout-class incumbent, so it is never pruned — the
-driver-level property test pins this on an exhaustive space.
+sound: only the scout on/off decision moves measured EPI by more than
+the margin (scouting is worth ~30-40% on the commercial profiles), so
+only that knob is allowed a predicted spread larger than ``1 + margin``.
+Every other knob's predicted spread is kept well inside the margin,
+which bounds the damage of interaction effects the separable model
+cannot see (e.g. a small store buffer *helping* under scouting):
+whatever the true optimum's mix of small-effect knobs, its prediction
+stays within the margin of any same-scout-class incumbent, so it is
+never pruned — the driver-level property test pins this on an
+exhaustive space.
 """
 
 from __future__ import annotations
 
-from typing import Any, Mapping, Optional
+from typing import Optional
 
-from ..config import ConsistencyModel, CoreConfig, ScoutMode, StorePrefetchMode
+from ..estimate import predicted_epi_per_1000
 from ..workloads import WorkloadProfile
 from .space import Candidate
 
 __all__ = ["TunePruner", "predicted_epi_per_1000"]
-
-#: Scale on the whole epoch estimate per scout mode (hws2 also covers
-#: SQ-full stalls, the paper's novel trigger — the largest discount).
-#: Scouting on/off is the one knob whose measured effect (~30-40% on the
-#: commercial profiles) exceeds the pruning margin; the spread *between*
-#: scout modes is kept small because measurement ranks them within a few
-#: percent of each other.
-_SCOUT_SCALE = {
-    ScoutMode.NONE: 1.0,
-    ScoutMode.HWS0: 0.76,
-    ScoutMode.HWS1: 0.74,
-    ScoutMode.HWS2: 0.72,
-}
-
-#: Scale on the store-burst epoch term per store-prefetch mode (measured
-#: sp0 -> sp1 is ~6% of total EPI; sp2 adds little on these profiles).
-_PREFETCH_SCALE = {
-    StorePrefetchMode.NONE: 1.0,
-    StorePrefetchMode.AT_RETIRE: 0.82,
-    StorePrefetchMode.AT_EXECUTE: 0.76,
-}
-
-
-def predicted_epi_per_1000(
-    profile: WorkloadProfile, knobs: Mapping[str, Any],
-) -> float:
-    """Analytically predicted EPI/1000 insts for *knobs* on *profile*.
-
-    Knobs not present in *knobs* take their :class:`CoreConfig` defaults,
-    so partial candidates (a space over two knobs) predict sensibly.
-    """
-    # Imported here, not at module top: repro.fleet's package __init__
-    # pulls in the coordinator, whose service imports lead back to
-    # repro.tune (the protocol speaks TuneSpec) — a cycle at import time,
-    # harmless at call time.
-    from ..fleet.cost import epochs_per_inst
-
-    defaults = CoreConfig()
-
-    def knob(name: str) -> Any:
-        return knobs.get(name, getattr(defaults, name))
-
-    lock = profile.locks_per_1000 / 1000.0
-    store = epochs_per_inst(profile) - lock
-
-    # Exponents and caps below are deliberately gentle: measurement puts
-    # each of these knobs at a few percent of total EPI, so their
-    # predicted spread must stay well inside the pruning margin.
-    store *= _PREFETCH_SCALE.get(knob("store_prefetch"), 1.0)
-    sb = max(1, int(knob("store_buffer")))
-    store *= min(1.25, (defaults.store_buffer / sb) ** 0.1)
-    sq = max(1, int(knob("store_queue")))
-    store *= min(1.15, (defaults.store_queue / sq) ** 0.05)
-    cb = int(knob("coalesce_bytes"))
-    if cb == 0:
-        store *= 1.1
-    else:
-        store *= min(1.15, (defaults.coalesce_bytes / cb) ** 0.05)
-    if bool(knob("perfect_stores")):
-        store *= 0.6
-
-    if knob("consistency") == ConsistencyModel.WC:
-        lock *= 0.85
-        store *= 0.95
-    if bool(knob("sle")):
-        lock *= 0.85
-    if bool(knob("prefetch_past_serializing")):
-        lock *= 0.9
-
-    total = (lock + store) * _SCOUT_SCALE.get(knob("scout"), 1.0)
-    rob = max(1, int(knob("rob")))
-    total *= (defaults.rob / rob) ** 0.05
-    window = max(1, int(knob("issue_window")))
-    total *= (defaults.issue_window / window) ** 0.02
-    return 1000.0 * total
 
 
 class TunePruner:

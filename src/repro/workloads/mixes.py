@@ -1,0 +1,65 @@
+"""Per-context workload mixes for SMT multi-context runs.
+
+A *mix spec* names what each hardware context runs:
+
+- a single workload (``"database"``) replicates across all contexts —
+  threads of one application, the commercial-workload case the paper's
+  machines actually ran;
+- a ``+``-joined list (``"database+specjbb"``) assigns components to
+  contexts in order, cycling when there are more contexts than
+  components — server consolidation;
+- a named mix from :data:`MIXES` expands to its component tuple first.
+
+Every context gets its own deterministic trace: context *i* generates
+with ``seed + i``, so replicated workloads are distinct threads, not
+clones, while context 0 keeps the base seed — the anchor for the
+``contexts=1`` bit-identity guarantee.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from .profiles import WORKLOADS
+
+#: Named mixes: curated scenarios for the SMT figures and benches.
+MIXES: Dict[str, Tuple[str, ...]] = {
+    # Store-burst heavy paired with serialization heavy: the scenario
+    # where MLP-aware scheduling has the most to gain over round-robin.
+    "oltp_java": ("database", "specjbb"),
+    # Both sides of the web tier.
+    "web_tier": ("specweb", "tpcw"),
+    # All four commercial workloads, one per context.
+    "commercial": ("database", "tpcw", "specjbb", "specweb"),
+}
+
+
+def resolve_mix(spec: str, contexts: int) -> Tuple[str, ...]:
+    """Expand a mix spec into exactly *contexts* workload names.
+
+    Unknown components raise ``ValueError`` listing the valid workloads
+    and named mixes, mirroring the ``valid_axes()`` error style.
+    """
+    if contexts < 1:
+        raise ValueError(f"contexts must be >= 1 (got {contexts})")
+    name = spec.strip()
+    if name in MIXES:
+        components = MIXES[name]
+    else:
+        components = tuple(part.strip() for part in name.split("+"))
+        unknown = [w for w in components if w not in WORKLOADS]
+        if unknown or not all(components):
+            raise ValueError(
+                f"unknown workload(s) {'+'.join(components)!r} in mix "
+                f"{spec!r}; valid workloads: {', '.join(sorted(WORKLOADS))}; "
+                f"named mixes: {', '.join(sorted(MIXES))}"
+            )
+    return tuple(components[i % len(components)] for i in range(contexts))
+
+
+def mix_components(spec: str) -> Tuple[str, ...]:
+    """The distinct workloads a mix spec draws from (validation helper)."""
+    name = spec.strip()
+    if name in MIXES:
+        return MIXES[name]
+    return resolve_mix(spec, max(1, name.count("+") + 1))

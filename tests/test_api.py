@@ -164,3 +164,80 @@ class TestSurface:
         assert api.EngineRunner is EngineRunner
         assert api.Workbench is Workbench
         assert api.ServiceClient is ServiceClient
+
+
+class TestRunContexts:
+    """The redesigned ``contexts=``/``scheduler=`` axis on ``api.run``."""
+
+    def test_multi_context_returns_an_smt_result(self):
+        result = api.run(
+            "oltp_java", settings=SMALL, cache_dir=None,
+            contexts=2, scheduler="mlp",
+        )
+        assert isinstance(result, api.SmtResult)
+        assert result.scheduler == "mlp"
+        assert [c.workload for c in result.contexts] == [
+            "database", "specjbb",
+        ]
+
+    def test_jobspec_mapping_carries_the_smt_fields(self):
+        result = api.run(
+            {"workload": "database", "contexts": 2},
+            settings=SMALL, cache_dir=None,
+        )
+        assert isinstance(result, api.SmtResult)
+        assert result.scheduler == "round_robin"
+
+    def test_single_context_keeps_the_reference_result(self):
+        bench = api.workbench(SMALL, cache_dir=None)
+        assert api.run("database", bench=bench, contexts=1) == \
+            bench.run("database")
+
+    def test_scheduler_requires_multiple_contexts(self):
+        with pytest.raises(ValueError, match="contexts > 1"):
+            api.run(
+                "database", settings=SMALL, cache_dir=None,
+                scheduler="mlp",
+            )
+
+    def test_contexts_cannot_shard(self):
+        with pytest.raises(ValueError, match="not shardable"):
+            api.run(
+                "database", settings=SMALL, cache_dir=None,
+                contexts=2, shards=2,
+            )
+
+    def test_contexts_cannot_trace(self):
+        with pytest.raises(ValueError, match="trace="):
+            api.run(
+                "database", settings=SMALL, cache_dir=None,
+                contexts=2, trace="run.jsonl",
+            )
+
+    def test_valid_schedulers_exported(self):
+        assert "mlp" in api.valid_schedulers()
+
+
+class TestJobSpecSmtFields:
+    def test_coerce_validates_contexts(self):
+        from repro.engine.runner import JobSpec
+
+        with pytest.raises(ValueError, match="integer >= 1"):
+            JobSpec.coerce({"workload": "database", "contexts": 0})
+
+    def test_coerce_validates_scheduler(self):
+        from repro.engine.runner import JobSpec
+
+        with pytest.raises(ValueError, match="valid schedulers"):
+            JobSpec.coerce({
+                "workload": "database", "contexts": 2, "scheduler": "fifo",
+            })
+
+    def test_describe_shows_the_smt_suffix(self):
+        from repro.engine.runner import JobSpec
+
+        spec = JobSpec.coerce({
+            "workload": "oltp_java", "contexts": 2, "scheduler": "mlp",
+        })
+        assert "x2" in spec.describe()
+        assert "mlp" in spec.describe()

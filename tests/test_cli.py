@@ -238,3 +238,108 @@ class TestFleetTopRendering:
                          "latency": {}}, {"tasks": {}},
         )
         assert "no federated worker series yet" in frame
+
+
+class TestCliSmt:
+    """The redesigned ``--contexts``/``--scheduler`` axis on ``run``."""
+
+    def test_run_multi_context_mix(self, capsys, tmp_path):
+        code, out, _ = run_cli(
+            capsys, *SMALL, "--cache-dir", str(tmp_path), "run",
+            "--workload", "oltp_java", "--contexts", "2",
+            "--scheduler", "mlp",
+        )
+        assert code == 0
+        assert "scheduler=mlp" in out
+        assert "STP=" in out and "ANTT=" in out
+        assert "ctx0" in out and "ctx1" in out
+
+    def test_scheduler_requires_multiple_contexts(self, capsys):
+        code, _, err = run_cli(
+            capsys, *SMALL, "run", "--workload", "tpcw",
+            "--scheduler", "mlp",
+        )
+        assert code == 2
+        assert "--contexts > 1" in err
+
+    def test_contexts_reject_sharding(self, capsys):
+        code, _, err = run_cli(
+            capsys, *SMALL, "run", "--workload", "tpcw",
+            "--contexts", "2", "--shards", "2",
+        )
+        assert code == 2
+        assert "--shards" in err
+
+    def test_unknown_scheduler_lists_policies(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            run_cli(
+                capsys, *SMALL, "run", "--workload", "tpcw",
+                "--contexts", "2", "--scheduler", "fifo",
+            )
+        assert "valid schedulers" in str(excinfo.value)
+
+    def test_mix_requires_contexts(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            run_cli(
+                capsys, *SMALL, "run", "--workload", "oltp_java",
+            )
+        assert "mixes need --contexts > 1" in str(excinfo.value)
+
+
+class TestCliEstimate:
+    def test_estimate_summary(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "estimate", "--workload", "database",
+            "--knob", "scout=hws2",
+        )
+        assert code == 0
+        assert "estimate database" in out
+        assert "scout=hws2" in out
+
+    def test_estimate_json(self, capsys):
+        import json as _json
+
+        code, out, _ = run_cli(
+            capsys, "estimate", "--workload", "database", "--json",
+        )
+        assert code == 0
+        payload = _json.loads(out)
+        fields = payload["fields"]
+        assert payload["$dc"] == "EpiEstimate"
+        assert fields["workload"] == "database"
+        assert fields["predicted_epi_per_1000"] > 0
+
+    def test_estimate_rejects_duplicate_knobs(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            run_cli(
+                capsys, "estimate", "--workload", "database",
+                "--knob", "scout=hws2", "--knob", "scout=none",
+            )
+        assert "duplicate --knob name 'scout'" in str(excinfo.value)
+
+    def test_estimate_rejects_bad_knob_values(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            run_cli(
+                capsys, "estimate", "--workload", "database",
+                "--knob", "scout=warp",
+            )
+        assert "scout" in str(excinfo.value)
+
+
+class TestCliDuplicateAxes:
+    def test_sweep_rejects_duplicate_axes(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            run_cli(
+                capsys, *SMALL, "sweep", "--workload", "database",
+                "--axis", "store_queue=16", "--axis", "store_queue=32",
+            )
+        assert "duplicate --axis name 'store_queue'" in str(excinfo.value)
+        assert "store_queue=V1,V2" in str(excinfo.value)
+
+    def test_tune_rejects_duplicate_params(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            run_cli(
+                capsys, *SMALL, "tune", "--workload", "database",
+                "--param", "scout=none", "--param", "scout=hws2",
+            )
+        assert "duplicate --param name 'scout'" in str(excinfo.value)

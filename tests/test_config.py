@@ -162,3 +162,41 @@ class TestBranchPredictorConfig:
         assert config.gshare_entries == 64 * 1024
         assert config.btb_entries == 16 * 1024
         assert config.ras_entries == 16
+
+
+class TestCoreConfigWith:
+    """``CoreConfig.with_``: every enum-knob error names the knob."""
+
+    def test_wire_spellings_convert(self):
+        core = CoreConfig().with_(
+            scout="hws2", consistency="wc", store_prefetch="sp0",
+        )
+        assert core.scout is ScoutMode.HWS2
+        assert core.consistency is ConsistencyModel.WC
+        assert core.store_prefetch is StorePrefetchMode.NONE
+
+    def test_enum_members_pass_through(self):
+        core = CoreConfig().with_(scout=ScoutMode.HWS1)
+        assert core.scout is ScoutMode.HWS1
+
+    def test_bad_spelling_names_the_knob(self):
+        with pytest.raises(ConfigError) as err:
+            CoreConfig().with_(scout="warp")
+        message = str(err.value)
+        assert message.startswith("scout must be one of:")
+        assert "hws2" in message and "'warp'" in message
+
+    def test_non_string_value_names_the_knob(self):
+        with pytest.raises(ConfigError) as err:
+            CoreConfig().with_(consistency=3)
+        message = str(err.value)
+        assert message.startswith("consistency must be one of:")
+        assert "pc, wc" in message and "got 3" in message
+
+    def test_wrong_enum_member_names_the_knob(self):
+        with pytest.raises(ConfigError) as err:
+            CoreConfig().with_(store_prefetch=ScoutMode.HWS2)
+        assert str(err.value).startswith("store_prefetch must be one of:")
+
+    def test_non_enum_knobs_replace_normally(self):
+        assert CoreConfig().with_(store_queue=64).store_queue == 64

@@ -302,3 +302,96 @@ class TestJsonify:
             "store": {"1,2": 0.5},
             "plain": ["sp0", 3, None],
         }
+
+
+class TestSmtRequests:
+    """SMT fields and the ``estimate`` kind on the wire."""
+
+    def test_simulate_carries_contexts_and_scheduler(self):
+        request = parse_job_request(wire({
+            "kind": "simulate",
+            "job": {
+                "workload": "oltp_java",
+                "contexts": 2,
+                "scheduler": "mlp",
+            },
+        }))
+        assert request.job.contexts == 2
+        assert request.job.scheduler == "mlp"
+
+    def test_contexts_default_to_single(self):
+        request = parse_job_request({
+            "kind": "simulate", "job": {"workload": "database"},
+        })
+        assert request.job.contexts == 1
+        assert request.job.scheduler == ""
+
+    def test_mix_workloads_need_multiple_contexts(self):
+        with pytest.raises(ProtocolError) as err:
+            parse_job_request({
+                "kind": "simulate", "job": {"workload": "oltp_java"},
+            })
+        assert "workload" in str(err.value)
+
+    @pytest.mark.parametrize("contexts", [0, -1, True, "two", 2.5])
+    def test_bad_contexts_rejected(self, contexts):
+        with pytest.raises(ProtocolError):
+            parse_job_request({
+                "kind": "simulate",
+                "job": {"workload": "database", "contexts": contexts},
+            })
+
+    def test_unknown_scheduler_lists_policies(self):
+        with pytest.raises(ProtocolError) as err:
+            parse_job_request({
+                "kind": "simulate",
+                "job": {"workload": "database", "contexts": 2,
+                        "scheduler": "fifo"},
+            })
+        assert "valid schedulers" in str(err.value)
+
+    def test_smt_jobs_cannot_shard_or_checkpoint(self):
+        with pytest.raises(ProtocolError) as err:
+            parse_job_request({
+                "kind": "simulate",
+                "job": {"workload": "database", "contexts": 2},
+                "shards": 2,
+            })
+        assert "sharded" in str(err.value)
+
+    def test_smt_fields_change_the_signature(self):
+        def build(job):
+            return parse_job_request({"kind": "simulate", "job": job})
+
+        base = build({"workload": "database"})
+        smt = build({"workload": "database", "contexts": 2})
+        mlp = build({"workload": "database", "contexts": 2,
+                     "scheduler": "mlp"})
+        assert base.signature() != smt.signature()
+        assert smt.signature() != mlp.signature()
+
+    def test_estimate_request(self):
+        request = parse_job_request(wire({
+            "kind": "estimate",
+            "job": {
+                "workload": "database",
+                "core_changes": {"scout": "hws2"},
+            },
+        }))
+        assert request.kind == "estimate"
+        assert request.job.workload == "database"
+        assert "estimate[" in request.describe()
+
+    def test_estimate_accepts_smt_specs(self):
+        request = parse_job_request({
+            "kind": "estimate",
+            "job": {"workload": "oltp_java", "contexts": 2},
+        })
+        assert request.job.contexts == 2
+
+    def test_estimate_validates_like_simulate(self):
+        with pytest.raises(ProtocolError):
+            parse_job_request({
+                "kind": "estimate",
+                "job": {"workload": "database", "contexts": 0},
+            })

@@ -18,7 +18,10 @@ import pytest
 from repro.config import StorePrefetchMode
 from repro.harness import ExperimentSettings
 from repro.harness.experiment import Workbench
+from repro.estimate import EpiEstimate
+from repro.estimate import estimate as estimate_verb
 from repro.service import ReproService, ServiceClient, ServiceError
+from repro.smt import run_smt
 from repro.tune import TuneResult
 
 SMALL = ExperimentSettings(warmup=1500, measure=4000, seed=11,
@@ -371,3 +374,45 @@ class TestClientBackoff:
             assert client.backoff <= value <= client.max_backoff
             assert value <= max(previous * 3, client.backoff) + 1e-12
             previous = value
+
+
+class TestSmtAndEstimateVerbs:
+    def test_smt_simulate_over_http(self, service, client):
+        service.start_dispatcher()
+        receipt = client.submit_simulate(
+            "oltp_java", contexts=2, scheduler="mlp",
+        )
+        status = client.wait(receipt["id"], timeout=240.0)
+        assert status["state"] == "done"
+        report = ServiceClient.decode_report(status)
+        result = report.jobs[0].result
+        assert result.scheduler == "mlp"
+        assert len(result.contexts) == 2
+        direct = run_smt(
+            Workbench(SMALL, cache_dir=None), "oltp_java",
+            contexts=2, scheduler="mlp",
+        )
+        assert result.stp == direct.stp
+        assert result.antt == direct.antt
+
+    def test_estimate_resolves_without_the_dispatcher(self, client):
+        # No dispatcher: estimates are answered inline on submit, so
+        # the job is already done when the receipt comes back.
+        receipt = client.submit_estimate("database", scout="hws2")
+        status = client.wait(receipt["id"], timeout=30.0)
+        assert status["state"] == "done"
+        result = status["result"]
+        assert result["kind"] == "estimate"
+        assert result["predicted_epi_per_1000"] > 0
+        assert "estimate database" in result["summary"]
+        decoded = client.result(receipt["id"])
+        assert isinstance(decoded, EpiEstimate)
+        assert decoded == estimate_verb("database", scout="hws2")
+
+    def test_estimate_bad_scheduler_answers_400(self, client):
+        from repro.service import ServiceError as _err
+
+        with pytest.raises(_err):
+            client.submit_simulate(
+                "database", contexts=2, scheduler="fifo",
+            )

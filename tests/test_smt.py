@@ -1,0 +1,469 @@
+"""SMT multi-context simulation: schedulers, sharing, and invariants.
+
+The load-bearing guarantees pinned here:
+
+- ``contexts=1`` is bit-identical to the reference single-context
+  backend under *every* scheduling policy (the redesigned ``contexts=``
+  axis is a strict superset of the old API, not a parallel code path);
+- every policy is deterministic run-to-run;
+- per-context counters reconcile exactly with the aggregate STP/ANTT/
+  fairness the results object reports;
+- cross-context sharing (SMAC invalidation, lock contention) only
+  exists between contexts and behaves per the documented model;
+- the committed ``BENCH_smt.json`` scenario reproduces exactly and the
+  MLP-aware policy beats round-robin on it (the regression gate).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from types import SimpleNamespace
+
+import pytest
+
+from conftest import annotated
+from repro.analysis import compare_schedulers, context_breakdown, scheduler_rows
+from repro.config import (
+    CacheConfig,
+    MemoryConfig,
+    SimulationConfig,
+    SmacConfig,
+)
+from repro.core.mlpsim import MlpSimulator
+from repro.engine import serialize
+from repro.harness import ExperimentSettings
+from repro.harness.experiment import Workbench
+from repro.isa import InstructionClass
+from repro.smt import (
+    DEFAULT_SCHEDULER,
+    IcountScheduler,
+    MlpScheduler,
+    RoundRobinScheduler,
+    SharedLockTable,
+    SharedSmac,
+    SmtContext,
+    SmtSimulator,
+    resolve_scheduler,
+    run_smt,
+    valid_schedulers,
+)
+from repro.workloads.mixes import MIXES, mix_components, resolve_mix
+
+GOLDEN_SETTINGS = ExperimentSettings(
+    warmup=3000, measure=9000, seed=13, calibrate=False,
+)
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_smt.json"
+
+
+@pytest.fixture(scope="module")
+def bench() -> Workbench:
+    return Workbench(GOLDEN_SETTINGS, cache_dir=None)
+
+
+# ------------------------------------------------------------ policies --
+
+
+def fake_context(
+    cid: int,
+    pos: int = 0,
+    draining: bool = False,
+    intensity: float = 0.0,
+    granted: int = 0,
+) -> SimpleNamespace:
+    """The slice of SmtContext the scheduler protocol reads."""
+    return SimpleNamespace(
+        cid=cid,
+        state=SimpleNamespace(pos=pos),
+        draining=lambda: draining,
+        store_intensity=lambda: intensity,
+        slots_granted=granted,
+    )
+
+
+class TestSchedulers:
+    def test_registry_and_default(self):
+        assert valid_schedulers() == ["icount", "mlp", "round_robin"]
+        assert resolve_scheduler("").name == DEFAULT_SCHEDULER
+        assert resolve_scheduler("MLP").name == "mlp"
+
+    def test_unknown_scheduler_lists_valid_policies(self):
+        with pytest.raises(ValueError) as err:
+            resolve_scheduler("fifo")
+        assert "unknown scheduler 'fifo'" in str(err.value)
+        assert "icount, mlp, round_robin" in str(err.value)
+
+    def test_fresh_instance_per_resolve(self):
+        assert resolve_scheduler("round_robin") is not resolve_scheduler(
+            "round_robin"
+        )
+
+    def test_round_robin_rotates(self):
+        contexts = [fake_context(cid) for cid in range(3)]
+        policy = RoundRobinScheduler()
+        picked = [policy.pick(contexts, slot).cid for slot in range(6)]
+        assert picked == [0, 1, 2, 0, 1, 2]
+
+    def test_round_robin_skips_stalled_context(self):
+        policy = RoundRobinScheduler()
+        assert policy.pick([fake_context(0), fake_context(1)], 0).cid == 0
+        # Context 1 unrunnable this slot: the cursor wraps past it.
+        assert policy.pick([fake_context(0), fake_context(2)], 1).cid == 2
+
+    def test_icount_favors_least_progressed(self):
+        contexts = [fake_context(0, pos=90), fake_context(1, pos=10)]
+        assert IcountScheduler().pick(contexts, 0).cid == 1
+
+    def test_icount_ties_break_on_cid(self):
+        contexts = [fake_context(1, pos=5), fake_context(0, pos=5)]
+        assert IcountScheduler().pick(contexts, 0).cid == 0
+
+    def test_mlp_deprioritizes_draining_context(self):
+        draining = fake_context(0, draining=True)
+        compute = fake_context(1, intensity=0.9)
+        assert MlpScheduler().pick([draining, compute], 0).cid == 1
+
+    def test_mlp_prefers_lowest_store_intensity(self):
+        stores = fake_context(0, intensity=0.5)
+        compute = fake_context(1, intensity=0.1)
+        assert MlpScheduler().pick([stores, compute], 0).cid == 1
+
+    def test_mlp_all_draining_falls_back_to_full_pool(self):
+        a = fake_context(0, draining=True, intensity=0.4)
+        b = fake_context(1, draining=True, intensity=0.2)
+        assert MlpScheduler().pick([a, b], 0).cid == 1
+
+    def test_mlp_ties_rotate_on_slots_granted(self):
+        a = fake_context(0, granted=3)
+        b = fake_context(1, granted=2)
+        assert MlpScheduler().pick([a, b], 0).cid == 1
+
+
+# ------------------------------------------------------------- sharing --
+
+
+class TestSharedSmac:
+    def test_own_writes_keep_the_entry_trained(self):
+        smac = SharedSmac()
+        smac.note_store(0, granule=7)
+        assert smac.probe(0, 7) is True
+        assert smac.invalidations == 0
+
+    def test_foreign_write_invalidates(self):
+        smac = SharedSmac()
+        smac.note_store(1, granule=7)
+        assert smac.probe(0, 7) is False
+        assert smac.invalidations == 1
+        # The entry stays stale until context 0 writes it back.
+        assert smac.probe(0, 7) is False
+        smac.note_store(0, granule=7)
+        assert smac.probe(0, 7) is True
+
+    def test_unwritten_granule_is_trusted(self):
+        assert SharedSmac().probe(0, 99) is True
+
+
+class TestSharedLockTable:
+    def test_uncontended_acquire_is_free(self):
+        locks = SharedLockTable()
+        assert locks.acquire(0, 0x1000) == 0
+        assert locks.contentions == 0
+
+    def test_cross_context_acquire_spins(self):
+        locks = SharedLockTable(spin_penalty=3)
+        locks.acquire(0, 0x1000)
+        assert locks.acquire(1, 0x1000) == 3
+        assert locks.contentions == 1
+        # Ownership transferred: context 1 re-acquires freely.
+        assert locks.acquire(1, 0x1000) == 0
+
+    def test_release_frees_the_line(self):
+        locks = SharedLockTable()
+        locks.acquire(0, 0x1000)
+        locks.release(0, 0x1000)
+        assert locks.acquire(1, 0x1000) == 0
+
+    def test_release_by_non_owner_is_a_noop(self):
+        locks = SharedLockTable()
+        locks.acquire(0, 0x1000)
+        locks.release(1, 0x1000)
+        assert locks.acquire(1, 0x1000) == 1
+
+    def test_locks_are_line_granular(self):
+        locks = SharedLockTable()
+        locks.acquire(0, 0x1000)
+        # Same 64B line, different word: still contended.
+        assert locks.acquire(1, 0x1008) == 1
+        # A different line is independent.
+        assert locks.acquire(1, 0x2000) == 0
+
+    def test_finished_context_drops_its_locks(self):
+        locks = SharedLockTable()
+        locks.acquire(0, 0x1000)
+        locks.drop_context(0)
+        assert locks.acquire(1, 0x1000) == 0
+
+    def test_spin_penalty_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SharedLockTable(spin_penalty=0)
+
+
+def _lock_trace(lock_address: int = 0x4000, epochs: int = 4):
+    """Acquire a lock, hold it across several miss-closed epochs, release.
+
+    Each missing load closes an epoch, so the acquire lands several
+    epochs before the release — the window in which another context's
+    acquire of the same line contends.
+    """
+    trace = [annotated(InstructionClass.ALU, lock_acquire=True,
+                       address=lock_address)]
+    for i in range(epochs):
+        trace.append(annotated(InstructionClass.LOAD, miss=True,
+                               address=0x10000 + 64 * i))
+        # Enough work behind the blocking miss to fill the window and
+        # close the epoch.
+        trace.extend(
+            annotated(InstructionClass.ALU, pc=0x1000 + 4 * (100 * i + j))
+            for j in range(100)
+        )
+    trace.append(annotated(InstructionClass.ALU, lock_release=True,
+                           address=lock_address))
+    return trace
+
+
+class TestLockContentionInTheSlotLoop:
+    def _context(self, cid: int, trace) -> SmtContext:
+        simulator = MlpSimulator(SimulationConfig())
+        state, accountant = simulator.new_state(trace)
+        return SmtContext(
+            cid=cid, workload=f"synthetic{cid}", trace=trace,
+            simulator=simulator, state=state, accountant=accountant,
+        )
+
+    def test_overlapping_critical_sections_contend(self):
+        contexts = [
+            self._context(0, _lock_trace()),
+            self._context(1, _lock_trace()),
+        ]
+        result = SmtSimulator(contexts, RoundRobinScheduler()).run()
+        assert result.lock_contentions >= 1
+        assert sum(c.spin_slots for c in result.contexts) >= 1
+
+    def test_disjoint_locks_never_contend(self):
+        contexts = [
+            self._context(0, _lock_trace(lock_address=0x4000)),
+            self._context(1, _lock_trace(lock_address=0x9000)),
+        ]
+        result = SmtSimulator(contexts, RoundRobinScheduler()).run()
+        assert result.lock_contentions == 0
+        assert all(c.spin_slots == 0 for c in result.contexts)
+
+    def test_single_context_never_attaches_sharing(self):
+        trace = _lock_trace()
+        alone = SmtSimulator(
+            [self._context(0, trace)], RoundRobinScheduler(),
+        )
+        assert alone.contexts[0].state.observer is None
+        assert alone.contexts[0].state.smac_probe is None
+        result = alone.run()
+        assert result.lock_contentions == 0
+        assert result.smac_invalidations == 0
+
+
+# --------------------------------------------------------------- mixes --
+
+
+class TestMixes:
+    def test_single_workload_replicates(self):
+        assert resolve_mix("database", 3) == (
+            "database", "database", "database",
+        )
+
+    def test_plus_list_assigns_in_order_and_cycles(self):
+        assert resolve_mix("database+specjbb", 2) == ("database", "specjbb")
+        assert resolve_mix("database+specjbb", 3) == (
+            "database", "specjbb", "database",
+        )
+
+    def test_named_mix_expands(self):
+        assert resolve_mix("oltp_java", 2) == MIXES["oltp_java"]
+
+    def test_components_helper(self):
+        assert mix_components("oltp_java") == ("database", "specjbb")
+        assert mix_components("tpcw") == ("tpcw",)
+
+    def test_unknown_component_lists_valid_names(self):
+        with pytest.raises(ValueError) as err:
+            resolve_mix("database+nosql", 2)
+        message = str(err.value)
+        assert "nosql" in message
+        assert "valid workloads" in message
+        assert "oltp_java" in message
+
+    def test_contexts_must_be_positive(self):
+        with pytest.raises(ValueError):
+            resolve_mix("database", 0)
+
+
+# --------------------------------------------- determinism & identity --
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("scheduler", ["round_robin", "icount", "mlp"])
+    def test_rerun_is_bitwise_identical(self, bench, scheduler):
+        first = run_smt(
+            bench, "oltp_java", contexts=2, scheduler=scheduler,
+        )
+        second = run_smt(
+            bench, "oltp_java", contexts=2, scheduler=scheduler,
+        )
+        assert serialize.to_jsonable(first) == serialize.to_jsonable(second)
+
+
+class TestSingleContextBitIdentity:
+    @pytest.mark.parametrize("scheduler", ["round_robin", "icount", "mlp"])
+    def test_matches_the_reference_backend(self, bench, scheduler):
+        reference = bench.run("database")
+        smt = run_smt(bench, "database", contexts=1, scheduler=scheduler)
+        assert serialize.to_jsonable(smt.contexts[0].result) == \
+            serialize.to_jsonable(reference)
+        # Golden constants from tests/test_golden_window.py.
+        assert smt.epoch_count == 205
+        assert smt.epi_per_1000 == pytest.approx(22.777777778)
+
+    def test_alone_means_no_interference(self, bench):
+        smt = run_smt(bench, "database", contexts=1)
+        (context,) = smt.contexts
+        assert context.turnaround_slots == context.baseline_slots
+        assert smt.stp == pytest.approx(1.0)
+        assert smt.antt == pytest.approx(1.0)
+        assert smt.fairness == pytest.approx(1.0)
+
+
+class TestPerContextReconciliation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        bench = Workbench(GOLDEN_SETTINGS, cache_dir=None)
+        return run_smt(bench, "oltp_java", contexts=2, scheduler="mlp")
+
+    def test_aggregates_are_per_context_sums(self, result):
+        assert result.instructions == sum(
+            c.result.instructions for c in result.contexts
+        )
+        assert result.epoch_count == sum(
+            c.result.epoch_count for c in result.contexts
+        )
+        assert result.total_misses == sum(
+            c.result.total_misses for c in result.contexts
+        )
+
+    def test_multiprogram_metrics_recompute_from_contexts(self, result):
+        ntts = [c.normalized_turnaround for c in result.contexts]
+        assert result.stp == pytest.approx(sum(
+            c.baseline_slots / c.turnaround_slots for c in result.contexts
+        ))
+        assert result.antt == pytest.approx(sum(ntts) / len(ntts))
+        assert result.fairness == pytest.approx(min(ntts) / max(ntts))
+
+    def test_slot_accounting_closes(self, result):
+        for context in result.contexts:
+            # Every slot up to the finish was either stepped or absorbed.
+            assert context.slots_granted + context.slots_absorbed == \
+                context.turnaround_slots
+            assert context.turnaround_slots <= result.total_slots
+            # Scheduling reorders epoch steps but never adds or removes
+            # them: granted slots equal the standalone turnaround.
+            assert context.slots_granted == context.baseline_slots
+
+    def test_telemetry_hooks_are_drop_in(self, result):
+        # EngineTelemetry reads these off every job result; SmtResult
+        # must answer like a SimulationResult.
+        assert result.sb_occupancy_hwm == max(
+            c.result.sb_occupancy_hwm for c in result.contexts
+        )
+        assert result.sq_occupancy_hwm == max(
+            c.result.sq_occupancy_hwm for c in result.contexts
+        )
+        histogram = result.termination_histogram()
+        assert sum(histogram.values()) == result.epoch_count
+
+    def test_context_workloads_follow_the_mix(self, result):
+        assert tuple(c.workload for c in result.contexts) == (
+            "database", "specjbb",
+        )
+
+
+class TestCrossContextSmac:
+    def test_replicated_threads_invalidate_trained_entries(self, bench):
+        # A replicated workload models threads of one application: the
+        # contexts draw stores from the same pool, so one thread's store
+        # miss demotes another's trained SMAC entry.  (The small L2 is
+        # what gives the SMAC trainable traffic at smoke trace sizes.)
+        memory = MemoryConfig(
+            l2=CacheConfig(64 * 1024, 4), smac=SmacConfig(),
+        )
+        result = run_smt(
+            bench, "database", contexts=2, scheduler="round_robin",
+            memory_config=memory,
+        )
+        assert result.smac_invalidations > 0
+
+    def test_single_context_smac_never_invalidates(self, bench):
+        memory = MemoryConfig(
+            l2=CacheConfig(64 * 1024, 4), smac=SmacConfig(),
+        )
+        result = run_smt(
+            bench, "database", contexts=1, memory_config=memory,
+        )
+        assert result.smac_invalidations == 0
+
+
+# ------------------------------------------------------ regression gate --
+
+
+class TestBenchGate:
+    """``BENCH_smt.json``: the committed MLP-vs-round-robin scenario."""
+
+    @pytest.fixture(scope="class")
+    def committed(self) -> dict:
+        return json.loads(BENCH_PATH.read_text(encoding="utf-8"))
+
+    def test_committed_scenario_pins_the_golden_settings(self, committed):
+        assert committed["scenario"]["settings"] == {
+            "warmup": 3000, "measure": 9000, "seed": 13, "calibrate": False,
+        }
+        assert committed["scenario"]["workload"] == "oltp_java"
+        assert committed["scenario"]["contexts"] == 2
+
+    def test_committed_mlp_beats_round_robin(self, committed):
+        rows = committed["schedulers"]
+        assert rows["mlp"]["stp"] > rows["round_robin"]["stp"]
+        assert rows["mlp"]["antt"] < rows["round_robin"]["antt"]
+
+    def test_live_rerun_reproduces_the_artifact(self, committed):
+        scenario = committed["scenario"]
+        bench = Workbench(
+            ExperimentSettings(**scenario["settings"]), cache_dir=None,
+        )
+        comparison = compare_schedulers(
+            bench,
+            scenario["workload"],
+            contexts=scenario["contexts"],
+            schedulers=tuple(sorted(committed["schedulers"])),
+            variant=scenario["variant"],
+        )
+        for name, stp, antt, fairness, epi in scheduler_rows(
+            comparison.results
+        ):
+            row = committed["schedulers"][name]
+            assert round(stp, 9) == row["stp"], name
+            assert round(antt, 9) == row["antt"], name
+            assert round(fairness, 9) == row["fairness"], name
+            assert round(epi, 9) == row["epi_per_1000"], name
+            assert comparison.by_scheduler()[name].total_slots == \
+                row["total_slots"]
+        best = comparison.best("stp")
+        assert best.scheduler == "mlp"
+        assert comparison.best("antt").scheduler == "mlp"
+        breakdown = context_breakdown(best)
+        assert [cid for cid, *_ in breakdown] == [0, 1]

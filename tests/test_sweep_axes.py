@@ -81,3 +81,58 @@ class TestActionableErrors:
         with pytest.raises(ValueError) as excinfo:
             SweepSpec.build("database", store_que=[16, 32])
         assert "unknown sweep axis" in str(excinfo.value)
+
+
+class TestSmtAxes:
+    """The job-level ``contexts``/``scheduler`` sweep axes."""
+
+    def test_listed_in_valid_axes(self):
+        axes = valid_axes()
+        assert "SMT" in axes["contexts"]
+        assert "mlp" in axes["scheduler"]
+
+    def test_contexts_coercion(self):
+        assert coerce_axis_value("contexts", "2") == 2
+        assert coerce_axis_value("contexts", 4) == 4
+
+    @pytest.mark.parametrize("value", ["two", 0, -1, True, 2.5, None])
+    def test_bad_contexts_rejected(self, value):
+        with pytest.raises(ValueError) as excinfo:
+            coerce_axis_value("contexts", value)
+        assert "integer >= 1" in str(excinfo.value)
+
+    def test_scheduler_coercion_normalizes_case(self):
+        assert coerce_axis_value("scheduler", "MLP") == "mlp"
+        assert coerce_axis_value("scheduler", "round_robin") == "round_robin"
+
+    def test_unknown_scheduler_lists_policies(self):
+        with pytest.raises(ValueError) as excinfo:
+            coerce_axis_value("scheduler", "fifo")
+        assert "valid schedulers" in str(excinfo.value)
+
+    @pytest.mark.parametrize("value", [3, None, True])
+    def test_non_string_scheduler_rejected(self, value):
+        with pytest.raises(ValueError) as excinfo:
+            coerce_axis_value("scheduler", value)
+        assert "scheduler" in str(excinfo.value)
+
+    def test_to_jobs_lifts_smt_axes_onto_the_spec(self):
+        spec = SweepSpec.build(
+            "database",
+            contexts=[1, 2],
+            scheduler=["round_robin", "mlp"],
+            store_queue=[16],
+        )
+        jobs = spec.to_jobs()
+        assert len(jobs) == 4
+        for job in jobs:
+            # Job-level axes never leak into the core knobs.
+            assert dict(job.core_changes) == {"store_queue": 16}
+        assert {(job.contexts, job.scheduler) for job in jobs} == {
+            (1, "round_robin"), (1, "mlp"), (2, "round_robin"), (2, "mlp"),
+        }
+
+    def test_points_keep_the_full_tuple_for_labels(self):
+        spec = SweepSpec.build("database", contexts=[2])
+        (point,) = spec.points()
+        assert point == (("contexts", 2),)

@@ -319,3 +319,23 @@ class TestTelemetry:
         snapshot = registry.to_dict()["gauges"]
         assert snapshot["tune_runs_total"] == 1
         assert snapshot["tune_candidates_evaluated_total"] == 4
+
+
+class TestSmtTuning:
+    """``contexts=``/``scheduler=`` as a tuning axis (SMT sweeps)."""
+
+    def test_tune_over_a_mix_runs_smt_candidates(self, tmp_path):
+        result = _tune(
+            tmp_path, "smt", profile="oltp_java", strategy="grid",
+            budget=2, contexts=2, scheduler="mlp",
+        )
+        assert result.evaluations == 2
+        assert result.best_epi_per_1000 > 0
+
+    def test_invalid_contexts_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="contexts"):
+            _tune(tmp_path, "bad", contexts=0)
+
+    def test_unknown_scheduler_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="valid schedulers"):
+            _tune(tmp_path, "bad", contexts=2, scheduler="fifo")
